@@ -1,0 +1,38 @@
+// Shared helpers for the reproduction bench binaries.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace bifrost::bench {
+
+/// BIFROST_BENCH_FULL=1 selects paper-scale durations / step counts.
+inline bool full_mode() {
+  const char* env = std::getenv("BIFROST_BENCH_FULL");
+  return env != nullptr && std::string(env) == "1";
+}
+
+inline void print_header(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+/// One boxplot row in the style of the paper's Figures 7 and 9.
+inline void print_boxplot_row(int x, const util::Boxplot& b,
+                              const char* unit) {
+  std::printf(
+      "%6d | min %6.1f  q1 %6.1f  med %6.1f  q3 %6.1f  max %6.1f %s  "
+      "(whiskers %.1f..%.1f, %zu outliers)\n",
+      x, b.min, b.q1, b.median, b.q3, b.max, unit, b.whisker_lo, b.whisker_hi,
+      b.outliers);
+}
+
+inline void print_mean_sd_row(int x, double mean, double sd,
+                              const char* unit) {
+  std::printf("%6d | mean %8.2f %s  (+- %6.2f)\n", x, mean, unit, sd);
+}
+
+}  // namespace bifrost::bench

@@ -1,0 +1,217 @@
+// Reproduces Figures 9 and 10 of the paper (§5.2.2): engine CPU
+// utilization and enactment delay for a single strategy with an
+// increasing number of parallel checks.
+//
+// The strategy is the paper's: two identical phases of 60 s, each with
+// 8*n checks (per 8: 3 availability probes against the product service
+// and 5 Prometheus queries), checks re-executed every 12 s, n stepped
+// 1..200 (8..1600 checks). Single simulated core; the delay arises from
+// check-execution bursts serializing on the core and the chained timers
+// re-arming only after completion (the Node.js event-loop behavior the
+// paper observed).
+#include <chrono>
+#include <memory>
+
+#include "bench_common.hpp"
+#include "engine/execution.hpp"
+#include "sim/sim_env.hpp"
+#include "sim/simulation.hpp"
+#include "util/csv.hpp"
+
+namespace {
+
+using namespace std::chrono_literals;
+using namespace bifrost;
+
+/// Two 60 s phases with 8*n checks each (3 availability + 5 prometheus
+/// per group of 8), every check re-executed every 12 s (5 executions).
+core::StrategyDef checks_strategy(int n_groups) {
+  core::StrategyDef strategy;
+  strategy.name = "checks-bench";
+  strategy.initial_state = "phase-1";
+  strategy.providers["prometheus"] = core::ProviderConfig{"prometheus", 0};
+  strategy.providers["availability"] = core::ProviderConfig{"availability", 0};
+
+  core::ServiceDef product;
+  product.name = "product";
+  product.versions = {core::VersionDef{"stable", "10.0.0.1", 80},
+                      core::VersionDef{"a", "10.0.0.2", 80}};
+  product.proxy_admin_host = "10.0.0.9";
+  product.proxy_admin_port = 81;
+  strategy.services.push_back(product);
+
+  const auto make_phase = [&](const std::string& name,
+                              const std::string& next) {
+    core::StateDef phase;
+    phase.name = name;
+    double basic = 0.0;
+    for (int g = 0; g < n_groups; ++g) {
+      for (int i = 0; i < 8; ++i) {
+        core::CheckDef check;
+        check.name = name + "-g" + std::to_string(g) + "-c" +
+                     std::to_string(i);
+        const bool availability = i < 3;
+        check.conditions.push_back(core::MetricCondition{
+            availability ? "availability" : "prometheus", check.name,
+            availability ? "up{service=\"product\"}"
+                         : "request_errors{service=\"product\"}",
+            core::Validator::parse(availability ? ">=0" : "<5").value(),
+            false});
+        check.interval = 12s;
+        check.executions = 5;
+        check.thresholds = {4.5};
+        check.outputs = {0, 1};
+        phase.checks.push_back(std::move(check));
+        basic += 1.0;
+      }
+    }
+    phase.thresholds = {basic - 0.5};
+    phase.transitions = {"rollback", next};
+    core::ServiceRouting routing;
+    routing.service = "product";
+    routing.splits = {core::VersionSplit{"stable", 95.0, "", ""},
+                      core::VersionSplit{"a", 5.0, "", ""}};
+    phase.routing.push_back(routing);
+    return phase;
+  };
+
+  strategy.states.push_back(make_phase("phase-1", "phase-2"));
+  strategy.states.push_back(make_phase("phase-2", "done"));
+
+  core::StateDef done;
+  done.name = "done";
+  done.final_kind = core::FinalKind::kSuccess;
+  strategy.states.push_back(done);
+  core::StateDef rollback;
+  rollback.name = "rollback";
+  rollback.final_kind = core::FinalKind::kRollback;
+  strategy.states.push_back(rollback);
+  return strategy;
+}
+
+struct StepResult {
+  int checks = 0;
+  util::Boxplot utilization;
+  double delay_mean_seconds = 0.0;
+  double delay_sd_seconds = 0.0;
+};
+
+StepResult run_step(int n_groups, int repetitions, int cores = 1) {
+  std::vector<double> utilization_samples;
+  std::vector<double> delays;
+
+  for (int rep = 0; rep < repetitions; ++rep) {
+    sim::Simulation::Options sim_options;
+    sim_options.cores = cores;
+    sim_options.dispatch_overhead = 60us;
+    sim::Simulation sim(sim_options);
+
+    // Calibration (EXPERIMENTS.md): per query the engine spends a few ms
+    // of CPU (dispatch + JSON handling) and then waits on the single
+    // metrics-provider/service VM answering queries serially —
+    // availability probes are full HTTP GETs against the service
+    // (costlier), Prometheus queries are local API hits. The engine core
+    // therefore shows moderate utilization while enactment delay grows,
+    // matching the paper's observation.
+    sim::SimMetricsClient::Costs metric_costs;
+    metric_costs.per_provider["availability"] = {
+        5800us + std::chrono::microseconds(29 * rep), 4200us};
+    metric_costs.per_provider["prometheus"] = {
+        4300us + std::chrono::microseconds(17 * rep), 4000us};
+    sim::SimMetricsClient metrics(sim, sim::always_healthy(0.0),
+                                  metric_costs);
+    sim::SimProxyController proxies(sim);
+
+    engine::StrategyExecution execution(
+        "s-0", sim, metrics, proxies, checks_strategy(n_groups),
+        sim::charged_listener(sim, 150us));
+    sim.schedule_at(runtime::Time{0}, [&] { execution.start(); });
+    sim.run_all();
+
+    delays.push_back(
+        std::chrono::duration<double>(execution.enactment_delay()).count());
+    for (const double u : sim.utilization_samples(runtime::Time{0},
+                                                  execution.finished_at())) {
+      utilization_samples.push_back(u * 100.0);
+    }
+  }
+
+  StepResult result;
+  result.checks = n_groups * 8;
+  result.utilization = util::boxplot(utilization_samples);
+  result.delay_mean_seconds = util::mean(delays);
+  result.delay_sd_seconds = util::stddev(delays);
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  const int repetitions = bifrost::bench::full_mode() ? 5 : 3;
+  // Paper: step size 10 groups (80 checks), 8..1600.
+  std::vector<int> groups{1};
+  for (int g = 10; g <= 200; g += 10) groups.push_back(g);
+
+  std::printf("Reproduction of paper Figures 9 and 10 (single strategy,\n"
+              "two 60 s phases, 8n parallel checks re-executed every 12 s,\n"
+              "single simulated core, %d repetitions per step).\n",
+              repetitions);
+
+  std::vector<StepResult> results;
+  results.reserve(groups.size());
+  for (const int g : groups) results.push_back(run_step(g, repetitions));
+
+  bifrost::bench::print_header(
+      "Figure 9: engine CPU utilization (%) vs parallel checks");
+  std::vector<double> medians;
+  for (const StepResult& r : results) {
+    bifrost::bench::print_boxplot_row(r.checks, r.utilization, "%");
+    medians.push_back(r.utilization.median);
+  }
+  std::printf("median trend: %s\n", bifrost::util::sparkline(medians).c_str());
+
+  bifrost::bench::print_header(
+      "Figure 10: delay of specified execution time (s) vs parallel checks");
+  std::vector<double> delay_means;
+  for (const StepResult& r : results) {
+    bifrost::bench::print_mean_sd_row(r.checks, r.delay_mean_seconds,
+                                      r.delay_sd_seconds, "s");
+    delay_means.push_back(r.delay_mean_seconds);
+  }
+  std::printf("mean trend:   %s\n",
+              bifrost::util::sparkline(delay_means).c_str());
+
+  bifrost::util::CsvWriter csv(
+      "bench_parallel_checks.csv",
+      {"checks", "util_q1", "util_median", "util_q3", "util_whisker_lo",
+       "util_whisker_hi", "delay_mean_s", "delay_sd_s"});
+  for (const StepResult& r : results) {
+    csv.row(std::vector<double>{
+        static_cast<double>(r.checks), r.utilization.q1,
+        r.utilization.median, r.utilization.q3, r.utilization.whisker_lo,
+        r.utilization.whisker_hi, r.delay_mean_seconds, r.delay_sd_seconds});
+  }
+  std::printf("\nraw series written to %s\n", csv.path().c_str());
+
+  const StepResult& last = results.back();
+  std::printf("\nshape check: delay(%d checks) = %.0f s over a 120 s "
+              "specified execution (paper: ~50 s); utilization rising but "
+              "not saturated (paper: 'did not reach full utilization')\n",
+              last.checks, last.delay_mean_seconds);
+
+  // Ablation: the paper's §5.2.2 mitigation — "deploying the engine to a
+  // larger cloud instance, specifically one with more virtual CPUs, is
+  // likely to mitigate this problem". The simulation dispatches check
+  // callbacks to any free core (i.e. it assumes check evaluation
+  // parallelizes, unlike a literal single-threaded Node.js loop), which
+  // is the assumption under which the paper's mitigation holds: delay
+  // collapses once rounds fit into the re-execution interval again.
+  bifrost::bench::print_header(
+      "Ablation: 1600 checks on larger instances (more cores)");
+  for (const int cores : {1, 2, 4}) {
+    const StepResult r = run_step(200, repetitions, cores);
+    std::printf("%d core(s): delay %.0f s, median utilization %.0f%%\n",
+                cores, r.delay_mean_seconds, r.utilization.median);
+  }
+  return 0;
+}

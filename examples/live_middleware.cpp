@@ -1,0 +1,212 @@
+// Full live demo over real loopback sockets: the 7-service case-study
+// e-commerce application, Bifrost proxies in front of the product and
+// search services, the metrics provider with its scrape loop, the
+// engine with its REST API, and a load generator producing user
+// traffic. A three-phase strategy (canary -> dark launch -> A/B test ->
+// promote) is submitted through the REST API exactly as the Bifrost CLI
+// would, and its progress is streamed from the /events endpoint.
+//
+//   $ ./examples/live_middleware          (~15 s)
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+#include "casestudy/app.hpp"
+#include "engine/engine.hpp"
+#include "engine/http_clients.hpp"
+#include "engine/server.hpp"
+#include "http/client.hpp"
+#include "json/json.hpp"
+#include "loadgen/loadgen.hpp"
+#include "loadgen/workload.hpp"
+#include "runtime/event_loop.hpp"
+
+using namespace bifrost;
+using namespace std::chrono_literals;
+
+int main() {
+  // 1. The microservice application (Figure 5 of the paper).
+  casestudy::AppOptions options;
+  options.product_delay = 4ms;
+  options.search_delay = 4ms;
+  options.fast_search_delay = 2ms;
+  options.auth_delay = 1ms;
+  options.db_delay = 500us;
+  options.scrape_interval = 250ms;
+  casestudy::CaseStudyApp app(options);
+  app.start();
+  std::printf("case study up: gateway :%u, product proxy :%u, metrics :%u\n",
+              app.gateway_endpoint().port, app.product_entry().port,
+              app.metrics_endpoint().port);
+
+  // 2. The Bifrost engine and its REST API.
+  runtime::EventLoop loop;
+  loop.start();
+  engine::HttpMetricsClient metrics_client;
+  engine::HttpProxyController proxy_controller;
+  engine::Engine engine(loop, metrics_client, proxy_controller);
+  engine::EngineServer api(engine);
+  api.start();
+  std::printf("engine API on 127.0.0.1:%u "
+              "(dashboard: http://127.0.0.1:%u/)\n",
+              api.port(), api.port());
+
+  // 3. Production traffic (the paper's 4-request mix).
+  loadgen::LoadGenerator::Options gen_options;
+  gen_options.requests_per_second = 50.0;
+  gen_options.poisson = true;
+  loadgen::LoadGenerator generator(
+      gen_options, app.product_entry().host, app.product_entry().port,
+      loadgen::paper_request_mix(app.auth_token(), 12));
+  generator.start();
+
+  // 4. Submit the release strategy through the REST API, like the CLI.
+  const auto product = app.product_service_def();
+  const auto provider = app.prometheus_provider();
+  char yaml[4096];
+  std::snprintf(yaml, sizeof yaml, R"(
+strategy:
+  name: live-demo
+  initial: canary
+  states:
+    - state:
+        name: canary
+        onSuccess: dark
+        onFailure: rollback
+        checks:
+          - metric:
+              name: b-errors
+              query: request_errors{service="product",version="b"}
+              validator: "<10"
+              failOnNoData: false
+              intervalTime: 1
+              intervalLimit: 3
+        routes:
+          - route:
+              service: product
+              split:
+                - version: stable
+                  percent: 90
+                - version: b
+                  percent: 10
+    - state:
+        name: dark
+        duration: 3
+        next: ab
+        routes:
+          - route:
+              service: product
+              split:
+                - version: stable
+                  percent: 100
+              shadows:
+                - shadow: { from: stable, to: b, percent: 100 }
+    - state:
+        name: ab
+        duration: 3
+        next: promote
+        routes:
+          - route:
+              service: product
+              sticky: true
+              split:
+                - version: a
+                  percent: 50
+                - version: b
+                  percent: 50
+    - state:
+        name: promote
+        final: success
+        routes:
+          - route:
+              service: product
+              split:
+                - version: b
+                  percent: 100
+    - state:
+        name: rollback
+        final: rollback
+        routes:
+          - route:
+              service: product
+              split:
+                - version: stable
+                  percent: 100
+deployment:
+  providers:
+    prometheus: { host: 127.0.0.1, port: %u }
+  services:
+    - service:
+        name: product
+        proxy: { adminHost: 127.0.0.1, adminPort: %u }
+        versions:
+          - version: { name: stable, host: 127.0.0.1, port: %u }
+          - version: { name: a, host: 127.0.0.1, port: %u }
+          - version: { name: b, host: 127.0.0.1, port: %u }
+)",
+                provider.port, product.proxy_admin_port,
+                product.versions[0].port, product.versions[1].port,
+                product.versions[2].port);
+
+  http::HttpClient client;
+  const std::string base = "http://127.0.0.1:" + std::to_string(api.port());
+  auto submitted = client.post(base + "/strategies", yaml,
+                               "application/x-yaml");
+  if (!submitted.ok() || submitted.value().status != 201) {
+    std::fprintf(stderr, "submit failed: %s\n",
+                 submitted.ok() ? submitted.value().body.c_str()
+                                : submitted.error_message().c_str());
+    return 1;
+  }
+  const std::string id =
+      json::parse(submitted.value().body).value().get_string("id");
+  std::printf("submitted strategy %s\n\n", id.c_str());
+
+  // 5. Stream status events (long-poll) until the strategy finishes.
+  std::uint64_t since = 0;
+  bool finished = false;
+  while (!finished) {
+    auto events = client.get(base + "/events?wait=2000&since=" +
+                             std::to_string(since));
+    if (!events.ok()) break;
+    auto docs = json::parse(events.value().body);
+    if (!docs.ok() || !docs.value().is_array()) continue;
+    for (const auto& event : docs.value().as_array()) {
+      since = std::max(
+          since, static_cast<std::uint64_t>(event.get_number("seq")));
+      const std::string type = event.get_string("type");
+      if (type == "state_entered" || type == "finished" ||
+          type == "check_completed") {
+        std::printf("[%6.2fs] %-16s %-10s %s\n", event.get_number("time"),
+                    type.c_str(), event.get_string("state").c_str(),
+                    event.get_string("check").c_str());
+      }
+      finished |= type == "finished" || type == "aborted";
+    }
+  }
+  generator.stop();
+
+  // 6. What did users see? Which backends served them?
+  std::map<std::string, int> served;
+  for (const auto& result : generator.results()) {
+    if (!result.served_by.empty()) ++served[result.served_by];
+  }
+  std::printf("\nrequests served per version:");
+  for (const auto& [version, count] : served) {
+    std::printf(" %s=%d", version.c_str(), count);
+  }
+  std::printf("\nshadow requests duplicated during the dark launch: %llu\n",
+              static_cast<unsigned long long>(
+                  app.product_proxy()->shadow_requests()));
+  std::printf("sticky sessions pinned during the A/B test: %zu\n",
+              app.product_proxy()->sticky_sessions());
+
+  const auto snapshot = engine.status(id);
+  std::printf("strategy end state: %s\n",
+              snapshot ? snapshot->current_state.c_str() : "?");
+
+  api.stop();
+  loop.stop();
+  app.stop();
+  return 0;
+}

@@ -1,0 +1,125 @@
+// Quickstart: define a two-phase live testing strategy in the Bifrost
+// DSL, compile it to the formal model, and enact it with the engine —
+// all in-process, on a manual clock, with scripted metrics. No sockets.
+//
+//   $ ./examples/quickstart
+#include <cstdio>
+#include <map>
+
+#include "dsl/dsl.hpp"
+#include "engine/execution.hpp"
+#include "runtime/manual_clock.hpp"
+
+using namespace bifrost;
+using namespace std::chrono_literals;
+
+namespace {
+
+// Scripted monitoring data: the canary's error count stays low, so the
+// strategy promotes the new version.
+class ScriptedMetrics final : public engine::MetricsClient {
+ public:
+  util::Result<std::optional<double>> query(const core::ProviderConfig&,
+                                            const std::string& query) override {
+    std::printf("  [metrics] %s -> 2 errors\n", query.c_str());
+    return std::optional<double>{2.0};
+  }
+};
+
+// Proxy reconfigurations are printed instead of sent anywhere.
+class PrintingProxies final : public engine::ProxyController {
+ public:
+  util::Result<void> apply(const core::ServiceDef& service,
+                           const proxy::ProxyConfig& config) override {
+    std::printf("  [proxy] %s:", service.name.c_str());
+    for (const auto& backend : config.backends) {
+      std::printf(" %s=%.0f%%", backend.version.c_str(), backend.percent);
+    }
+    std::printf("\n");
+    return {};
+  }
+};
+
+}  // namespace
+
+int main() {
+  // A canary release of the "search" service: 5% of traffic to the new
+  // version, promoted to 100% if the error metric stays below 5 across
+  // three checks 10 seconds apart.
+  const char* kStrategy = R"(
+strategy:
+  name: quickstart
+  initial: canary
+  states:
+    - state:
+        name: canary
+        onSuccess: promote
+        onFailure: rollback
+        checks:
+          - metric:
+              name: search-errors
+              query: request_errors{service="search"}
+              validator: "<5"
+              intervalTime: 10
+              intervalLimit: 3
+        routes:
+          - route:
+              service: search
+              split:
+                - version: stable
+                  percent: 95
+                - version: canary
+                  percent: 5
+    - state:
+        name: promote
+        final: success
+        routes:
+          - route:
+              service: search
+              split:
+                - version: canary
+                  percent: 100
+    - state:
+        name: rollback
+        final: rollback
+deployment:
+  providers:
+    prometheus: { host: 127.0.0.1, port: 9090 }
+  services:
+    - service:
+        name: search
+        proxy: { adminHost: 127.0.0.1, adminPort: 8101 }
+        versions:
+          - version: { name: stable, host: 127.0.0.1, port: 8001 }
+          - version: { name: canary, host: 127.0.0.1, port: 8002 }
+)";
+
+  auto strategy = dsl::compile(kStrategy);
+  if (!strategy.ok()) {
+    std::fprintf(stderr, "compile failed: %s\n",
+                 strategy.error_message().c_str());
+    return 1;
+  }
+  std::printf("compiled strategy '%s' with %zu states\n\n",
+              strategy.value().name.c_str(), strategy.value().states.size());
+
+  runtime::ManualClock clock;
+  ScriptedMetrics metrics;
+  PrintingProxies proxies;
+  engine::StrategyExecution execution(
+      "quickstart-1", clock, metrics, proxies, std::move(strategy).value(),
+      [](const engine::StatusEvent& event) {
+        std::printf("[%6.1fs] %-18s state=%-8s %s %s\n", event.time_seconds,
+                    event.type_name().c_str(), event.state.c_str(),
+                    event.check.c_str(), event.detail.c_str());
+      });
+
+  execution.start();
+  clock.advance_by(60s);  // three checks at t = 10, 20, 30
+
+  std::printf("\nfinal status: %s\n",
+              execution.status() == engine::ExecutionStatus::kSucceeded
+                  ? "rolled out"
+                  : "not rolled out");
+  return execution.status() == engine::ExecutionStatus::kSucceeded ? 0 : 1;
+}

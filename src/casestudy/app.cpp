@@ -1,0 +1,247 @@
+#include "casestudy/app.hpp"
+
+#include <stdexcept>
+
+#include "http/client.hpp"
+
+namespace bifrost::casestudy {
+
+CaseStudyApp::CaseStudyApp(AppOptions options) : options_(options) {}
+
+CaseStudyApp::~CaseStudyApp() { stop(); }
+
+void CaseStudyApp::start() {
+  if (started_) return;
+  started_ = true;
+
+  // Doc store first: everything else depends on it.
+  DocStoreService::Options db_options;
+  db_options.base_delay = std::chrono::duration_cast<std::chrono::milliseconds>(
+      options_.db_delay);
+  db_options.workers = options_.db_workers;
+  docstore_ = std::make_unique<DocStoreService>(db_options);
+  docstore_->start();
+  const Endpoint db{"127.0.0.1", docstore_->port()};
+
+  const auto behavior = [&](const std::string& service,
+                            const std::string& version,
+                            std::chrono::microseconds delay,
+                            std::size_t workers) {
+    ServiceBehavior b;
+    b.service = service;
+    b.version = version;
+    b.base_delay = delay;
+    b.workers = workers;
+    b.rng_seed = options_.rng_seed;
+    return b;
+  };
+
+  auth_ = std::make_unique<AuthService>(
+      behavior("auth", "stable", options_.auth_delay, options_.auth_workers),
+      db);
+  auth_->start();
+  const Endpoint auth{"127.0.0.1", auth_->port()};
+
+  search_ = std::make_unique<SearchService>(
+      behavior("search", "stable", options_.search_delay,
+               options_.search_workers),
+      db);
+  search_->start();
+  fast_search_ = std::make_unique<SearchService>(
+      behavior("search", "fast", options_.fast_search_delay,
+               options_.search_workers),
+      db);
+  fast_search_->start();
+
+  // Search proxy sits in front of both search variants.
+  Endpoint search_entry{"127.0.0.1", search_->port()};
+  if (options_.with_proxies) {
+    proxy::ProxyConfig initial;
+    initial.service = "search";
+    initial.backends.push_back(proxy::BackendTarget{
+        "stable", "127.0.0.1", search_->port(), 100.0, "", ""});
+    proxy::BifrostProxy::Options proxy_options;
+    proxy_options.emulation_cost = options_.proxy_emulation_cost;
+    proxy_options.rng_seed = options_.rng_seed + 1;
+    search_proxy_ =
+        std::make_unique<proxy::BifrostProxy>(proxy_options, initial);
+    search_proxy_->start();
+    search_entry = Endpoint{"127.0.0.1", search_proxy_->data_port()};
+  }
+
+  ProductService::Dependencies deps{db, auth, search_entry};
+  product_ = std::make_unique<ProductService>(
+      behavior("product", "stable", options_.product_delay,
+               options_.product_workers),
+      deps, 1.0);
+  product_->start();
+  product_a_ = std::make_unique<ProductService>(
+      behavior("product", "a", options_.product_delay,
+               options_.product_workers),
+      deps, options_.product_a_conversion);
+  product_a_->start();
+  product_b_ = std::make_unique<ProductService>(
+      behavior("product", "b", options_.product_delay,
+               options_.product_workers),
+      deps, options_.product_b_conversion);
+  product_b_->start();
+
+  Endpoint product_entry{"127.0.0.1", product_->port()};
+  if (options_.with_proxies) {
+    proxy::ProxyConfig initial;
+    initial.service = "product";
+    initial.backends.push_back(proxy::BackendTarget{
+        "stable", "127.0.0.1", product_->port(), 100.0, "", ""});
+    proxy::BifrostProxy::Options proxy_options;
+    proxy_options.emulation_cost = options_.proxy_emulation_cost;
+    proxy_options.rng_seed = options_.rng_seed + 2;
+    product_proxy_ =
+        std::make_unique<proxy::BifrostProxy>(proxy_options, initial);
+    product_proxy_->start();
+    product_entry = Endpoint{"127.0.0.1", product_proxy_->data_port()};
+  }
+
+  frontend_ = std::make_unique<FrontendService>(
+      behavior("frontend", "stable", std::chrono::microseconds(500), 4));
+  frontend_->start();
+
+  gateway_ = std::make_unique<GatewayService>(
+      behavior("nginx", "stable", std::chrono::microseconds(200), 16),
+      Endpoint{"127.0.0.1", frontend_->port()}, product_entry);
+  gateway_->start();
+
+  // Metrics provider + scrape loop (Prometheus + cAdvisor stand-in).
+  metrics_server_ = std::make_unique<metrics::MetricsServer>(store_);
+  metrics_server_->start();
+  loop_.start();
+  scraper_ = std::make_unique<metrics::Scraper>(
+      loop_, store_,
+      std::chrono::duration_cast<runtime::Duration>(
+          options_.scrape_interval));
+  const auto target = [&](std::uint16_t port, const std::string& instance) {
+    metrics::Scraper::Target t;
+    t.port = port;
+    t.host = "127.0.0.1";
+    t.labels = {{"instance", instance}};
+    scraper_->add_target(std::move(t));
+  };
+  target(docstore_->port(), "db");
+  target(auth_->port(), "auth");
+  target(search_->port(), "search:stable");
+  target(fast_search_->port(), "search:fast");
+  target(product_->port(), "product:stable");
+  target(product_a_->port(), "product:a");
+  target(product_b_->port(), "product:b");
+  if (product_proxy_) target(product_proxy_->admin_port(), "proxy:product");
+  if (search_proxy_) target(search_proxy_->admin_port(), "proxy:search");
+  scraper_->start();
+
+  seed_data();
+}
+
+void CaseStudyApp::stop() {
+  if (!started_) return;
+  started_ = false;
+  if (scraper_) scraper_->stop();
+  loop_.stop();
+  if (metrics_server_) metrics_server_->stop();
+  if (gateway_) gateway_->stop();
+  if (frontend_) frontend_->stop();
+  if (product_proxy_) product_proxy_->stop();
+  if (search_proxy_) search_proxy_->stop();
+  if (product_b_) product_b_->stop();
+  if (product_a_) product_a_->stop();
+  if (product_) product_->stop();
+  if (fast_search_) fast_search_->stop();
+  if (search_) search_->stop();
+  if (auth_) auth_->stop();
+  if (docstore_) docstore_->stop();
+}
+
+void CaseStudyApp::seed_data() {
+  static const char* kNames[] = {
+      "laptop", "phone", "tablet", "camera", "headphones", "monitor",
+      "keyboard", "mouse", "router", "speaker", "charger", "drone",
+      "printer", "webcam", "microphone", "ssd"};
+  DocStore& store = docstore_->store();
+  for (std::size_t i = 0; i < options_.seed_products; ++i) {
+    const std::string name = kNames[i % (sizeof kNames / sizeof *kNames)];
+    store.insert("products",
+                 json::Object{{"_id", "p" + std::to_string(i + 1)},
+                              {"name", name + "-" + std::to_string(i + 1)},
+                              {"price", 10.0 + 5.0 * static_cast<double>(i)}});
+  }
+  for (std::size_t i = 0; i < options_.seed_users; ++i) {
+    store.insert("users",
+                 json::Object{{"email", "user" + std::to_string(i + 1) +
+                                            "@example.com"},
+                              {"password", "secret"}});
+  }
+
+  // Log one user in so benches/tests have a valid bearer token.
+  http::HttpClient client;
+  auto response = client.post(
+      Endpoint{"127.0.0.1", auth_->port()}.url("/login"),
+      json::Value(json::Object{{"email", "user1@example.com"},
+                               {"password", "secret"}})
+          .dump(),
+      "application/json");
+  if (!response.ok() || response.value().status != 200) {
+    throw std::runtime_error("case study: login during seed failed");
+  }
+  auto doc = json::parse(response.value().body);
+  token_ = doc.ok() ? doc.value().get_string("token") : "";
+  if (token_.empty()) {
+    throw std::runtime_error("case study: no token from auth service");
+  }
+}
+
+Endpoint CaseStudyApp::gateway_endpoint() const {
+  return Endpoint{"127.0.0.1", gateway_->port()};
+}
+
+Endpoint CaseStudyApp::product_entry() const {
+  if (product_proxy_) {
+    return Endpoint{"127.0.0.1", product_proxy_->data_port()};
+  }
+  return Endpoint{"127.0.0.1", product_->port()};
+}
+
+Endpoint CaseStudyApp::metrics_endpoint() const {
+  return Endpoint{"127.0.0.1", metrics_server_->port()};
+}
+
+core::ServiceDef CaseStudyApp::product_service_def() const {
+  core::ServiceDef service;
+  service.name = "product";
+  service.versions = {
+      core::VersionDef{"stable", "127.0.0.1", product_->port()},
+      core::VersionDef{"a", "127.0.0.1", product_a_->port()},
+      core::VersionDef{"b", "127.0.0.1", product_b_->port()},
+  };
+  if (product_proxy_) {
+    service.proxy_admin_host = "127.0.0.1";
+    service.proxy_admin_port = product_proxy_->admin_port();
+  }
+  return service;
+}
+
+core::ServiceDef CaseStudyApp::search_service_def() const {
+  core::ServiceDef service;
+  service.name = "search";
+  service.versions = {
+      core::VersionDef{"stable", "127.0.0.1", search_->port()},
+      core::VersionDef{"fast", "127.0.0.1", fast_search_->port()},
+  };
+  if (search_proxy_) {
+    service.proxy_admin_host = "127.0.0.1";
+    service.proxy_admin_port = search_proxy_->admin_port();
+  }
+  return service;
+}
+
+core::ProviderConfig CaseStudyApp::prometheus_provider() const {
+  return core::ProviderConfig{"127.0.0.1", metrics_server_->port()};
+}
+
+}  // namespace bifrost::casestudy

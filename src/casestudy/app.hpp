@@ -1,0 +1,118 @@
+// Assembly of the full case-study deployment (paper Figure 5): doc
+// store, auth, search + fastSearch, product + product A + product B,
+// frontend, gateway, optional Bifrost proxies for the product and
+// search services, and the metrics provider with a scrape loop.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "casestudy/docstore.hpp"
+#include "casestudy/services.hpp"
+#include "core/model.hpp"
+#include "metrics/scraper.hpp"
+#include "metrics/server.hpp"
+#include "proxy/proxy.hpp"
+#include "runtime/event_loop.hpp"
+
+namespace bifrost::casestudy {
+
+struct AppOptions {
+  bool with_proxies = true;
+  /// Artificial proxy per-request cost (see BifrostProxy::Options).
+  std::chrono::microseconds proxy_emulation_cost{0};
+  /// Base processing delays per service.
+  std::chrono::microseconds product_delay{10000};
+  std::chrono::microseconds search_delay{8000};
+  std::chrono::microseconds fast_search_delay{3000};
+  std::chrono::microseconds auth_delay{1000};
+  std::chrono::microseconds db_delay{1000};
+  /// Worker-thread bounds (smaller = earlier queueing under load).
+  std::size_t product_workers = 4;
+  std::size_t search_workers = 4;
+  std::size_t db_workers = 4;
+  std::size_t auth_workers = 8;
+  /// Business-metric difference between the A/B variants: sales recorded
+  /// per buy. B converting better is the paper's implied A/B outcome.
+  double product_a_conversion = 1.0;
+  double product_b_conversion = 1.25;
+  std::chrono::milliseconds scrape_interval{1000};
+  std::uint64_t rng_seed = 42;
+  std::size_t seed_products = 12;
+  std::size_t seed_users = 4;
+};
+
+/// Owns every component; all ports are ephemeral (loopback).
+class CaseStudyApp {
+ public:
+  explicit CaseStudyApp(AppOptions options = {});
+  ~CaseStudyApp();
+
+  CaseStudyApp(const CaseStudyApp&) = delete;
+  CaseStudyApp& operator=(const CaseStudyApp&) = delete;
+
+  /// Starts all services (+ proxies + metrics scraper); seeds the store.
+  void start();
+  void stop();
+
+  // Entry points --------------------------------------------------------
+  [[nodiscard]] Endpoint gateway_endpoint() const;
+  /// Where product traffic enters: the product proxy when proxies are
+  /// deployed, the stable product service otherwise.
+  [[nodiscard]] Endpoint product_entry() const;
+  [[nodiscard]] Endpoint metrics_endpoint() const;
+
+  // Components ----------------------------------------------------------
+  [[nodiscard]] DocStoreService& docstore() { return *docstore_; }
+  [[nodiscard]] AuthService& auth() { return *auth_; }
+  [[nodiscard]] ProductService& product_stable() { return *product_; }
+  [[nodiscard]] ProductService& product_a() { return *product_a_; }
+  [[nodiscard]] ProductService& product_b() { return *product_b_; }
+  [[nodiscard]] SearchService& search_stable() { return *search_; }
+  [[nodiscard]] SearchService& fast_search() { return *fast_search_; }
+  [[nodiscard]] proxy::BifrostProxy* product_proxy() {
+    return product_proxy_.get();
+  }
+  [[nodiscard]] proxy::BifrostProxy* search_proxy() {
+    return search_proxy_.get();
+  }
+  [[nodiscard]] metrics::TimeSeriesStore& metrics_store() { return store_; }
+
+  /// One valid bearer token (a seeded user logged in during start()).
+  [[nodiscard]] const std::string& auth_token() const { return token_; }
+
+  // Strategy-building helpers -------------------------------------------
+  /// ServiceDef for the product service with versions stable/a/b and the
+  /// product proxy's admin endpoint (requires with_proxies).
+  [[nodiscard]] core::ServiceDef product_service_def() const;
+  /// ServiceDef for the search service with versions stable/fast.
+  [[nodiscard]] core::ServiceDef search_service_def() const;
+  /// Provider table entry pointing at the metrics server.
+  [[nodiscard]] core::ProviderConfig prometheus_provider() const;
+
+ private:
+  void seed_data();
+
+  AppOptions options_;
+  bool started_ = false;
+
+  runtime::EventLoop loop_;
+  metrics::TimeSeriesStore store_;
+  std::unique_ptr<metrics::MetricsServer> metrics_server_;
+  std::unique_ptr<metrics::Scraper> scraper_;
+
+  std::unique_ptr<DocStoreService> docstore_;
+  std::unique_ptr<AuthService> auth_;
+  std::unique_ptr<SearchService> search_;
+  std::unique_ptr<SearchService> fast_search_;
+  std::unique_ptr<ProductService> product_;
+  std::unique_ptr<ProductService> product_a_;
+  std::unique_ptr<ProductService> product_b_;
+  std::unique_ptr<FrontendService> frontend_;
+  std::unique_ptr<GatewayService> gateway_;
+  std::unique_ptr<proxy::BifrostProxy> product_proxy_;
+  std::unique_ptr<proxy::BifrostProxy> search_proxy_;
+  std::string token_;
+};
+
+}  // namespace bifrost::casestudy

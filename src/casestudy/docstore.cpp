@@ -1,0 +1,118 @@
+#include "casestudy/docstore.hpp"
+
+#include "http/router.hpp"
+
+#include <thread>
+
+namespace bifrost::casestudy {
+
+std::string DocStore::insert(const std::string& collection,
+                             json::Value document) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::string id;
+  if (const json::Value* existing = document.find("_id");
+      existing != nullptr && existing->is_string()) {
+    id = existing->as_string();
+  } else {
+    id = "d" + std::to_string(next_id_++);
+    if (document.is_object()) document.as_object()["_id"] = id;
+  }
+  collections_[collection][id] = std::move(document);
+  return id;
+}
+
+std::optional<json::Value> DocStore::get(const std::string& collection,
+                                         const std::string& id) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto coll = collections_.find(collection);
+  if (coll == collections_.end()) return std::nullopt;
+  const auto doc = coll->second.find(id);
+  if (doc == coll->second.end()) return std::nullopt;
+  return doc->second;
+}
+
+std::vector<json::Value> DocStore::find(const std::string& collection,
+                                        const std::string& field,
+                                        const std::string& value) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<json::Value> out;
+  const auto coll = collections_.find(collection);
+  if (coll == collections_.end()) return out;
+  for (const auto& [id, doc] : coll->second) {
+    if (!field.empty()) {
+      const json::Value* member = doc.find(field);
+      if (member == nullptr || !member->is_string() ||
+          member->as_string() != value) {
+        continue;
+      }
+    }
+    out.push_back(doc);
+  }
+  return out;
+}
+
+std::size_t DocStore::count(const std::string& collection) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto coll = collections_.find(collection);
+  return coll == collections_.end() ? 0 : coll->second.size();
+}
+
+void DocStore::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  collections_.clear();
+}
+
+DocStoreService::DocStoreService(Options options) : options_(options) {
+  http::HttpServer::Options server_options;
+  server_options.port = options_.port;
+  server_options.worker_threads = options_.workers;
+  server_ = std::make_unique<http::HttpServer>(
+      server_options,
+      [this](const http::Request& req) { return handle(req); });
+}
+
+DocStoreService::~DocStoreService() { stop(); }
+
+void DocStoreService::start() { server_->start(); }
+void DocStoreService::stop() { server_->stop(); }
+std::uint16_t DocStoreService::port() const { return server_->port(); }
+
+http::Response DocStoreService::handle(const http::Request& request) {
+  const std::vector<std::string> segments = http::split_path(request.path());
+  if (request.path() == "/healthz") return http::Response::text(200, "ok\n");
+  if (request.path() == "/metrics") {
+    return http::Response::text(200, registry_.expose());
+  }
+  if (segments.empty() || segments[0] != "db") {
+    return http::Response::not_found();
+  }
+  if (options_.base_delay.count() > 0) {
+    std::this_thread::sleep_for(options_.base_delay);
+  }
+  registry_.counter("db_requests_total").increment();
+
+  if (segments.size() == 2 && request.method == "POST") {
+    auto doc = json::parse(request.body);
+    if (!doc.ok()) return http::Response::bad_request(doc.error_message());
+    const std::string id = store_.insert(segments[1], std::move(doc).value());
+    return http::Response::json(
+        201, json::Value(json::Object{{"_id", id}}).dump());
+  }
+  if (segments.size() == 3 && request.method == "GET") {
+    const auto doc = store_.get(segments[1], segments[2]);
+    if (!doc) return http::Response::not_found();
+    return http::Response::json(200, doc->dump());
+  }
+  if (segments.size() == 2 && request.method == "GET") {
+    const std::string field = request.query_param("field").value_or("");
+    const std::string value = request.query_param("value").value_or("");
+    json::Array docs;
+    for (json::Value& doc : store_.find(segments[1], field, value)) {
+      docs.push_back(std::move(doc));
+    }
+    return http::Response::json(200, json::Value(std::move(docs)).dump());
+  }
+  return http::Response::not_found();
+}
+
+}  // namespace bifrost::casestudy

@@ -1,0 +1,76 @@
+// In-memory document store behind an HTTP API — the MongoDB stand-in of
+// the case-study deployment. Keeps the extra network hop of the paper's
+// request paths (every product/search/auth request touches the DB).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "http/server.hpp"
+#include "json/json.hpp"
+#include "metrics/registry.hpp"
+
+namespace bifrost::casestudy {
+
+/// Thread-safe collection/document map.
+class DocStore {
+ public:
+  /// Inserts a document; returns its assigned id. A document with an
+  /// "_id" string member keeps that id (upsert).
+  std::string insert(const std::string& collection, json::Value document);
+
+  [[nodiscard]] std::optional<json::Value> get(const std::string& collection,
+                                               const std::string& id) const;
+
+  /// All documents of a collection, optionally filtered by equality on
+  /// one string member.
+  [[nodiscard]] std::vector<json::Value> find(
+      const std::string& collection, const std::string& field = "",
+      const std::string& value = "") const;
+
+  [[nodiscard]] std::size_t count(const std::string& collection) const;
+  void clear();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::map<std::string, json::Value>> collections_;
+  std::uint64_t next_id_ = 1;
+};
+
+/// HTTP face:
+///   POST /db/{collection}          insert, body = JSON document
+///   GET  /db/{collection}/{id}
+///   GET  /db/{collection}[?field=&value=]
+///   GET  /metrics, /healthz
+class DocStoreService {
+ public:
+  struct Options {
+    std::uint16_t port = 0;
+    std::size_t workers = 4;
+    std::chrono::milliseconds base_delay{2};
+  };
+
+  explicit DocStoreService(Options options);
+  ~DocStoreService();
+
+  void start();
+  void stop();
+  [[nodiscard]] std::uint16_t port() const;
+
+  [[nodiscard]] DocStore& store() { return store_; }
+
+ private:
+  http::Response handle(const http::Request& request);
+
+  Options options_;
+  DocStore store_;
+  metrics::Registry registry_;
+  std::unique_ptr<http::HttpServer> server_;
+};
+
+}  // namespace bifrost::casestudy

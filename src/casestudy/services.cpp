@@ -1,0 +1,349 @@
+#include "casestudy/services.hpp"
+
+#include <thread>
+
+#include "http/router.hpp"
+#include "http/url.hpp"
+#include "json/json.hpp"
+#include "util/strings.hpp"
+#include "util/uuid.hpp"
+
+namespace bifrost::casestudy {
+
+CaseStudyService::CaseStudyService(ServiceBehavior behavior)
+    : behavior_(std::move(behavior)),
+      error_rate_(behavior_.error_rate),
+      rng_(behavior_.rng_seed) {
+  http::HttpServer::Options options;
+  options.port = behavior_.port;
+  options.worker_threads = behavior_.workers;
+  server_ = std::make_unique<http::HttpServer>(
+      options, [this](const http::Request& req) { return handle(req); });
+}
+
+CaseStudyService::~CaseStudyService() { stop(); }
+
+void CaseStudyService::start() { server_->start(); }
+void CaseStudyService::stop() { server_->stop(); }
+std::uint16_t CaseStudyService::port() const { return server_->port(); }
+
+http::Response CaseStudyService::handle(const http::Request& request) {
+  if (request.path() == "/healthz") return http::Response::text(200, "ok\n");
+  if (request.path() == "/metrics") {
+    return http::Response::text(200, registry_.expose());
+  }
+
+  const auto started = std::chrono::steady_clock::now();
+
+  // Processing-time emulation with jitter; occupies a bounded worker, so
+  // queueing under overload emerges naturally.
+  if (behavior_.base_delay.count() > 0) {
+    double jitter = 0.0;
+    if (behavior_.delay_jitter > 0.0) {
+      const std::lock_guard<std::mutex> lock(rng_mutex_);
+      jitter = rng_.uniform() * 2.0 - 1.0;
+    }
+    const auto delay = std::chrono::duration_cast<std::chrono::microseconds>(
+        behavior_.base_delay *
+        (1.0 + jitter * behavior_.delay_jitter));
+    std::this_thread::sleep_for(delay);
+  }
+
+  registry_.counter("request_count", labels()).increment();
+
+  // Error injection (used by rollback-scenario tests and benches).
+  const double error_rate = error_rate_.load();
+  bool inject_error = false;
+  if (error_rate > 0.0) {
+    const std::lock_guard<std::mutex> lock(rng_mutex_);
+    inject_error = rng_.bernoulli(error_rate);
+  }
+  http::Response response =
+      inject_error ? http::Response::text(500, "injected failure\n")
+                   : serve(request);
+
+  if (response.status >= 500) {
+    registry_.counter("request_errors", labels()).increment();
+  }
+  if (response.status == 404) {
+    registry_.counter("request_404", labels()).increment();
+  }
+  const double elapsed_ms = std::chrono::duration<double, std::milli>(
+                                std::chrono::steady_clock::now() - started)
+                                .count();
+  registry_.counter("processing_time_ms_total", labels())
+      .increment(elapsed_ms);
+  return response;
+}
+
+// ---------------------------------------------------------------------------
+// auth
+
+AuthService::AuthService(ServiceBehavior behavior, Endpoint docstore)
+    : CaseStudyService(std::move(behavior)), docstore_(docstore) {}
+
+http::Response AuthService::serve(const http::Request& request) {
+  const std::string path = request.path();
+  if (path == "/login" && request.method == "POST") {
+    auto body = json::parse(request.body);
+    if (!body.ok()) return http::Response::bad_request(body.error_message());
+    const std::string email = body.value().get_string("email");
+    const std::string password = body.value().get_string("password");
+    if (email.empty()) return http::Response::bad_request("missing email");
+
+    // Validate credentials against the user collection in the DB.
+    auto users = client_.get(
+        docstore_.url("/db/users?field=email&value=" + http::url_encode(email)));
+    if (!users.ok() || users.value().status != 200) {
+      return http::Response::bad_gateway("user store unavailable");
+    }
+    auto docs = json::parse(users.value().body);
+    if (!docs.ok() || !docs.value().is_array() ||
+        docs.value().as_array().empty()) {
+      return http::Response::text(401, "unknown user\n");
+    }
+    if (docs.value().as_array()[0].get_string("password") != password) {
+      return http::Response::text(401, "bad credentials\n");
+    }
+    const std::string token = util::uuid4();
+    {
+      const std::lock_guard<std::mutex> lock(sessions_mutex_);
+      sessions_[token] = email;
+    }
+    registry().counter("logins_total", labels()).increment();
+    return http::Response::json(
+        200, json::Value(json::Object{{"token", token}}).dump());
+  }
+  if (path == "/validate" && request.method == "GET") {
+    const auto header = request.headers.get("Authorization");
+    if (!header || !util::starts_with(*header, "Bearer ")) {
+      return http::Response::text(401, "missing bearer token\n");
+    }
+    const std::string token = header->substr(7);
+    const std::lock_guard<std::mutex> lock(sessions_mutex_);
+    const auto it = sessions_.find(token);
+    if (it == sessions_.end()) {
+      return http::Response::text(401, "invalid token\n");
+    }
+    return http::Response::json(
+        200, json::Value(json::Object{{"email", it->second}}).dump());
+  }
+  return http::Response::not_found();
+}
+
+// ---------------------------------------------------------------------------
+// search
+
+SearchService::SearchService(ServiceBehavior behavior, Endpoint docstore)
+    : CaseStudyService(std::move(behavior)), docstore_(docstore) {}
+
+http::Response SearchService::serve(const http::Request& request) {
+  if (request.path() != "/search" || request.method != "GET") {
+    return http::Response::not_found();
+  }
+  const std::string query =
+      util::to_lower(request.query_param("q").value_or(""));
+  auto products = client_.get(docstore_.url("/db/products"));
+  if (!products.ok() || products.value().status != 200) {
+    return http::Response::bad_gateway("product store unavailable");
+  }
+  auto docs = json::parse(products.value().body);
+  if (!docs.ok() || !docs.value().is_array()) {
+    return http::Response::text(500, "corrupt product data\n");
+  }
+  json::Array hits;
+  for (const json::Value& doc : docs.value().as_array()) {
+    const std::string name = util::to_lower(doc.get_string("name"));
+    if (query.empty() || name.find(query) != std::string::npos) {
+      hits.push_back(doc);
+    }
+  }
+  registry().counter("search_requests_total", labels()).increment();
+  return http::Response::json(
+      200, json::Value(json::Object{{"hits", std::move(hits)}}).dump());
+}
+
+// ---------------------------------------------------------------------------
+// product
+
+ProductService::ProductService(ServiceBehavior behavior, Dependencies deps,
+                               double conversion)
+    : CaseStudyService(std::move(behavior)),
+      deps_(deps),
+      conversion_(conversion) {}
+
+void ProductService::set_search_endpoint(Endpoint endpoint) {
+  const std::lock_guard<std::mutex> lock(deps_mutex_);
+  deps_.search = endpoint;
+}
+
+bool ProductService::authorized(const http::Request& request) {
+  const auto header = request.headers.get("Authorization");
+  if (!header) return false;
+  http::Request validate;
+  validate.method = "GET";
+  validate.target = "/validate";
+  validate.headers.set("Authorization", *header);
+  Endpoint auth;
+  {
+    const std::lock_guard<std::mutex> lock(deps_mutex_);
+    auth = deps_.auth;
+  }
+  auto response = client_.request(std::move(validate), auth.host, auth.port);
+  return response.ok() && response.value().status == 200;
+}
+
+http::Response ProductService::serve(const http::Request& request) {
+  if (!authorized(request)) {
+    return http::Response::text(401, "unauthorized\n");
+  }
+  const std::vector<std::string> segments = http::split_path(request.path());
+  Endpoint docstore;
+  Endpoint search;
+  {
+    const std::lock_guard<std::mutex> lock(deps_mutex_);
+    docstore = deps_.docstore;
+    search = deps_.search;
+  }
+
+  // Products: full catalog with buyers (large response body).
+  if (segments.size() == 1 && segments[0] == "products" &&
+      request.method == "GET") {
+    auto products = client_.get(docstore.url("/db/products"));
+    if (!products.ok() || products.value().status != 200) {
+      return http::Response::bad_gateway("product store unavailable");
+    }
+    auto orders = client_.get(docstore.url("/db/orders"));
+    json::Array order_docs;
+    if (orders.ok() && orders.value().status == 200) {
+      if (auto parsed = json::parse(orders.value().body);
+          parsed.ok() && parsed.value().is_array()) {
+        order_docs = parsed.value().as_array();
+        // Join only the most recent orders (pagination): keeps the
+        // response size bounded under sustained buy traffic.
+        constexpr std::size_t kMaxJoinedOrders = 100;
+        if (order_docs.size() > kMaxJoinedOrders) {
+          order_docs.erase(order_docs.begin(),
+                           order_docs.end() - kMaxJoinedOrders);
+        }
+      }
+    }
+    auto docs = json::parse(products.value().body);
+    if (!docs.ok() || !docs.value().is_array()) {
+      return http::Response::text(500, "corrupt product data\n");
+    }
+    json::Array out;
+    for (json::Value& doc : docs.value().as_array()) {
+      json::Array buyers;
+      const std::string id = doc.get_string("_id");
+      for (const json::Value& order : order_docs) {
+        if (order.get_string("productId") == id) {
+          buyers.push_back(order.get_string("buyer"));
+        }
+      }
+      doc.as_object()["buyers"] = std::move(buyers);
+      out.push_back(std::move(doc));
+    }
+    return http::Response::json(200, json::Value(std::move(out)).dump());
+  }
+
+  // Details: single product (small response body).
+  if (segments.size() == 2 && segments[0] == "products" &&
+      request.method == "GET") {
+    auto doc = client_.get(docstore.url("/db/products/" + segments[1]));
+    if (!doc.ok()) return http::Response::bad_gateway("product store down");
+    if (doc.value().status != 200) return http::Response::not_found();
+    return http::Response::json(200, doc.value().body);
+  }
+
+  // Buy: write an order (no response body, as in the paper's workload).
+  if (segments.size() == 1 && segments[0] == "buy" &&
+      request.method == "POST") {
+    auto body = json::parse(request.body);
+    const std::string product_id =
+        body.ok() ? body.value().get_string("productId") : "";
+    json::Object order{{"productId", product_id},
+                       {"buyer", body.ok() ? body.value().get_string("buyer")
+                                           : std::string{}},
+                       {"version", behavior().version}};
+    auto response = client_.post(docstore.url("/db/orders"),
+                                 json::Value(std::move(order)).dump(),
+                                 "application/json");
+    if (!response.ok() || response.value().status != 201) {
+      return http::Response::bad_gateway("order store unavailable");
+    }
+    // Conversion models the business-metric difference between variants
+    // (an A/B variant that sells better records more sales per buy).
+    registry().counter("sales_total", labels()).increment(conversion_);
+    http::Response out;
+    out.status = 204;
+    return out;
+  }
+
+  // Search: delegate to the search service (possibly via its proxy).
+  if (segments.size() == 1 && segments[0] == "search" &&
+      request.method == "GET") {
+    http::Request downstream;
+    downstream.method = "GET";
+    downstream.target = request.target;
+    auto response =
+        client_.request(std::move(downstream), search.host, search.port);
+    if (!response.ok()) {
+      return http::Response::bad_gateway("search unavailable: " +
+                                         response.error_message());
+    }
+    return std::move(response).value();
+  }
+
+  return http::Response::not_found();
+}
+
+// ---------------------------------------------------------------------------
+// frontend
+
+FrontendService::FrontendService(ServiceBehavior behavior)
+    : CaseStudyService(std::move(behavior)) {}
+
+http::Response FrontendService::serve(const http::Request& request) {
+  if (request.path() != "/") return http::Response::not_found();
+  http::Response response;
+  response.headers.set("Content-Type", "text/html");
+  response.body =
+      "<!doctype html><html><head><title>Bifrost Electronics</title></head>"
+      "<body><h1>Bifrost Electronics</h1>"
+      "<p>Consumer electronics case-study storefront.</p></body></html>";
+  return response;
+}
+
+// ---------------------------------------------------------------------------
+// gateway
+
+GatewayService::GatewayService(ServiceBehavior behavior, Endpoint frontend,
+                               Endpoint product)
+    : CaseStudyService(std::move(behavior)),
+      frontend_(frontend),
+      product_(product) {}
+
+void GatewayService::set_product_endpoint(Endpoint endpoint) {
+  const std::lock_guard<std::mutex> lock(endpoint_mutex_);
+  product_ = endpoint;
+}
+
+http::Response GatewayService::serve(const http::Request& request) {
+  Endpoint target;
+  {
+    const std::lock_guard<std::mutex> lock(endpoint_mutex_);
+    target = request.path() == "/" ? frontend_ : product_;
+  }
+  http::Request downstream = request;
+  downstream.headers.set("Host",
+                         target.host + ":" + std::to_string(target.port));
+  auto response =
+      client_.request(std::move(downstream), target.host, target.port);
+  if (!response.ok()) {
+    return http::Response::bad_gateway(response.error_message());
+  }
+  return std::move(response).value();
+}
+
+}  // namespace bifrost::casestudy

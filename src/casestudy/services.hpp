@@ -1,0 +1,169 @@
+// The case-study microservices (paper §5.1.1): auth, search (stable and
+// fastSearch variants), product (stable plus A/B variants), frontend,
+// and the nginx-style gateway. Each service is an HTTP server with a
+// configurable processing delay, bounded worker concurrency (so load
+// effects — queueing under dark-launch duplication, relief under A/B
+// splitting — emerge naturally), optional error injection, and a
+// Prometheus-style /metrics endpoint.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "http/client.hpp"
+#include "http/server.hpp"
+#include "metrics/registry.hpp"
+#include "util/rng.hpp"
+
+namespace bifrost::casestudy {
+
+/// Host:port of a dependency (settable, so traffic can be pointed at a
+/// Bifrost proxy instead of the service itself).
+struct Endpoint {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+
+  [[nodiscard]] std::string url(const std::string& path) const {
+    return "http://" + host + ":" + std::to_string(port) + path;
+  }
+};
+
+/// Behaviour knobs shared by all case-study services.
+struct ServiceBehavior {
+  std::string service;   ///< metrics label, e.g. "product"
+  std::string version;   ///< metrics label, e.g. "stable" / "a" / "b"
+  std::uint16_t port = 0;
+  std::size_t workers = 4;  ///< concurrency bound (queueing under load)
+  std::chrono::microseconds base_delay{5000};
+  double delay_jitter = 0.2;  ///< +- fraction of base_delay, uniform
+  double error_rate = 0.0;    ///< fraction of injected HTTP 500s
+  std::uint64_t rng_seed = 1;
+};
+
+/// Common plumbing: server lifecycle, delay/error injection, metrics.
+class CaseStudyService {
+ public:
+  explicit CaseStudyService(ServiceBehavior behavior);
+  virtual ~CaseStudyService();
+
+  void start();
+  void stop();
+  [[nodiscard]] std::uint16_t port() const;
+  [[nodiscard]] const ServiceBehavior& behavior() const { return behavior_; }
+
+  void set_error_rate(double rate) { error_rate_.store(rate); }
+
+ protected:
+  /// Subclass request handling after delay/error injection.
+  virtual http::Response serve(const http::Request& request) = 0;
+
+  metrics::Registry& registry() { return registry_; }
+  [[nodiscard]] metrics::Labels labels() const {
+    return {{"service", behavior_.service}, {"version", behavior_.version}};
+  }
+
+ private:
+  http::Response handle(const http::Request& request);
+
+  ServiceBehavior behavior_;
+  std::atomic<double> error_rate_;
+  metrics::Registry registry_;
+  std::mutex rng_mutex_;
+  util::Rng rng_;
+  std::unique_ptr<http::HttpServer> server_;
+};
+
+/// auth: POST /login {email, password} -> {token}; GET /validate
+/// (Authorization: Bearer <token>). Users live in the doc store.
+class AuthService final : public CaseStudyService {
+ public:
+  AuthService(ServiceBehavior behavior, Endpoint docstore);
+
+ protected:
+  http::Response serve(const http::Request& request) override;
+
+ private:
+  Endpoint docstore_;
+  http::HttpClient client_;
+  std::mutex sessions_mutex_;
+  std::unordered_map<std::string, std::string> sessions_;  // token -> email
+};
+
+/// search: GET /search?q= over the product catalog in the doc store.
+/// The fastSearch variant is the same service with a smaller base_delay.
+class SearchService final : public CaseStudyService {
+ public:
+  SearchService(ServiceBehavior behavior, Endpoint docstore);
+
+ protected:
+  http::Response serve(const http::Request& request) override;
+
+ private:
+  Endpoint docstore_;
+  http::HttpClient client_;
+};
+
+/// product: GET /products, GET /products/{id}, POST /buy,
+/// GET /search?q= (delegates to the search dependency). Every request is
+/// authorized against the auth dependency. `conversion` scales the
+/// sales metric (the business-metric difference between A/B variants).
+class ProductService final : public CaseStudyService {
+ public:
+  struct Dependencies {
+    Endpoint docstore;
+    Endpoint auth;
+    Endpoint search;
+  };
+
+  ProductService(ServiceBehavior behavior, Dependencies deps,
+                 double conversion = 1.0);
+
+  /// Re-points the search dependency (e.g. at a Bifrost proxy).
+  void set_search_endpoint(Endpoint endpoint);
+
+ protected:
+  http::Response serve(const http::Request& request) override;
+
+ private:
+  [[nodiscard]] bool authorized(const http::Request& request);
+
+  Dependencies deps_;
+  std::mutex deps_mutex_;
+  double conversion_;
+  http::HttpClient client_;
+};
+
+/// frontend: GET / returns the storefront page.
+class FrontendService final : public CaseStudyService {
+ public:
+  explicit FrontendService(ServiceBehavior behavior);
+
+ protected:
+  http::Response serve(const http::Request& request) override;
+};
+
+/// gateway (nginx stand-in): "/" -> frontend, everything else ->
+/// the product entry point (directly, or via a Bifrost proxy).
+class GatewayService final : public CaseStudyService {
+ public:
+  GatewayService(ServiceBehavior behavior, Endpoint frontend,
+                 Endpoint product);
+
+  void set_product_endpoint(Endpoint endpoint);
+
+ protected:
+  http::Response serve(const http::Request& request) override;
+
+ private:
+  Endpoint frontend_;
+  Endpoint product_;
+  std::mutex endpoint_mutex_;
+  http::HttpClient client_;
+};
+
+}  // namespace bifrost::casestudy

@@ -1,0 +1,322 @@
+// The Bifrost command-line interface (paper §4.1): validates strategy
+// files locally and drives a running engine remotely (submit / list /
+// status / abort / watch / dashboard). `watch` consumes the engine's
+// long-poll event stream — the prototype's Socket.IO channel substitute.
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/analysis.hpp"
+#include "core/model.hpp"
+#include "dsl/dsl.hpp"
+#include "http/client.hpp"
+#include "json/json.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+using bifrost::http::HttpClient;
+
+int usage() {
+  std::cout <<
+      R"(bifrost - multi-phase live testing CLI
+
+Usage:
+  bifrost validate <strategy.yaml>          check a strategy file
+  bifrost dot <strategy.yaml>               print Graphviz of the automaton
+  bifrost analyze <strategy.yaml>           expected duration / outcome
+                                            probabilities (uniform and
+                                            optimistic transition models)
+  bifrost submit <strategy.yaml> [--engine HOST:PORT]
+  bifrost list [--engine HOST:PORT]
+  bifrost status <id> [--engine HOST:PORT]
+  bifrost abort <id> [--engine HOST:PORT]
+  bifrost watch [--engine HOST:PORT] [--since N]
+  bifrost dashboard [--engine HOST:PORT]
+
+The default engine endpoint is 127.0.0.1:4000 (override with --engine or
+the BIFROST_ENGINE environment variable).
+)";
+  return 2;
+}
+
+struct Cli {
+  std::string command;
+  std::vector<std::string> positional;
+  std::string engine = "127.0.0.1:4000";
+  long long since = 0;
+};
+
+Cli parse_args(int argc, char** argv) {
+  Cli cli;
+  if (const char* env = std::getenv("BIFROST_ENGINE"); env != nullptr) {
+    cli.engine = env;
+  }
+  if (argc >= 2) cli.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--engine" && i + 1 < argc) {
+      cli.engine = argv[++i];
+    } else if (arg == "--since" && i + 1 < argc) {
+      cli.since = bifrost::util::parse_int(argv[++i]).value_or(0);
+    } else {
+      cli.positional.push_back(arg);
+    }
+  }
+  return cli;
+}
+
+std::string engine_url(const Cli& cli, const std::string& path) {
+  return "http://" + cli.engine + path;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+int cmd_validate(const Cli& cli) {
+  auto def = bifrost::dsl::compile_file(cli.positional.at(0));
+  if (!def.ok()) {
+    std::cerr << "INVALID: " << def.error_message() << "\n";
+    return 1;
+  }
+  const auto& strategy = def.value();
+  std::cout << "OK: strategy '" << strategy.name << "'\n"
+            << "  states:   " << strategy.states.size() << "\n"
+            << "  services: " << strategy.services.size() << "\n"
+            << "  initial:  " << strategy.initial_state << "\n"
+            << "  expected duration: "
+            << std::chrono::duration<double>(strategy.expected_duration())
+                   .count()
+            << "s (optimistic path)\n";
+  return 0;
+}
+
+int cmd_dot(const Cli& cli) {
+  auto def = bifrost::dsl::compile_file(cli.positional.at(0));
+  if (!def.ok()) {
+    std::cerr << "INVALID: " << def.error_message() << "\n";
+    return 1;
+  }
+  std::cout << bifrost::core::to_dot(def.value());
+  return 0;
+}
+
+int cmd_analyze(const Cli& cli) {
+  auto def = bifrost::dsl::compile_file(cli.positional.at(0));
+  if (!def.ok()) {
+    std::cerr << "INVALID: " << def.error_message() << "\n";
+    return 1;
+  }
+  const auto& strategy = def.value();
+  const auto print_model = [&](const char* label,
+                               const bifrost::core::TransitionModel& model) {
+    auto analysis = bifrost::core::analyze(strategy, model);
+    if (!analysis.ok()) {
+      std::cerr << label << ": " << analysis.error_message() << "\n";
+      return;
+    }
+    const auto& result = analysis.value();
+    std::printf("%s model:\n", label);
+    std::printf("  expected duration: %.1f s\n",
+                std::chrono::duration<double>(result.expected_duration)
+                    .count());
+    std::printf("  P(success)  = %.3f\n", result.success_probability);
+    std::printf("  P(rollback) = %.3f\n", result.rollback_probability);
+    for (const auto& [state, visits] : result.expected_visits) {
+      if (visits > 1.0 + 1e-9) {
+        std::printf("  state '%s' expected to run %.2f times\n",
+                    state.c_str(), visits);
+      }
+    }
+  };
+  print_model("uniform", bifrost::core::uniform_model(strategy));
+  print_model("optimistic", bifrost::core::optimistic_model(strategy));
+  return 0;
+}
+
+int cmd_submit(const Cli& cli) {
+  const std::string body = read_file(cli.positional.at(0));
+  HttpClient client;
+  auto response = client.post(engine_url(cli, "/strategies"), body,
+                              "application/x-yaml");
+  if (!response.ok()) {
+    std::cerr << "engine unreachable: " << response.error_message() << "\n";
+    return 1;
+  }
+  auto doc = bifrost::json::parse(response.value().body);
+  if (response.value().status != 201) {
+    std::cerr << "rejected (" << response.value().status
+              << "): " << (doc.ok() ? doc.value().get_string("error") : "")
+              << "\n";
+    return 1;
+  }
+  std::cout << doc.value().get_string("id") << "\n";
+  return 0;
+}
+
+void print_snapshot_line(const bifrost::json::Value& snapshot) {
+  std::printf("%-8s %-24s %-12s %-18s %6lld transitions, %6lld checks\n",
+              snapshot.get_string("id").c_str(),
+              snapshot.get_string("name").c_str(),
+              snapshot.get_string("status").c_str(),
+              snapshot.get_string("currentState").c_str(),
+              static_cast<long long>(snapshot.get_number("transitions")),
+              static_cast<long long>(snapshot.get_number("checksExecuted")));
+}
+
+int cmd_list(const Cli& cli) {
+  HttpClient client;
+  auto response = client.get(engine_url(cli, "/strategies"));
+  if (!response.ok() || response.value().status != 200) {
+    std::cerr << "engine unreachable\n";
+    return 1;
+  }
+  auto doc = bifrost::json::parse(response.value().body);
+  if (!doc.ok() || !doc.value().is_array()) return 1;
+  for (const auto& snapshot : doc.value().as_array()) {
+    print_snapshot_line(snapshot);
+  }
+  return 0;
+}
+
+int cmd_status(const Cli& cli) {
+  HttpClient client;
+  auto response =
+      client.get(engine_url(cli, "/strategies/" + cli.positional.at(0)));
+  if (!response.ok()) {
+    std::cerr << "engine unreachable\n";
+    return 1;
+  }
+  if (response.value().status != 200) {
+    std::cerr << "not found\n";
+    return 1;
+  }
+  auto doc = bifrost::json::parse(response.value().body);
+  if (!doc.ok()) return 1;
+  std::cout << doc.value().dump_pretty() << "\n";
+  return 0;
+}
+
+int cmd_abort(const Cli& cli) {
+  HttpClient client;
+  bifrost::http::Request request;
+  request.method = "DELETE";
+  request.target = "/strategies/" + cli.positional.at(0);
+  const auto host_port = bifrost::util::split_once(cli.engine, ':');
+  if (!host_port) {
+    std::cerr << "bad --engine value\n";
+    return 2;
+  }
+  auto response = client.request(
+      std::move(request), host_port->first,
+      static_cast<std::uint16_t>(
+          bifrost::util::parse_int(host_port->second).value_or(4000)));
+  if (!response.ok() || response.value().status != 200) {
+    std::cerr << "abort failed\n";
+    return 1;
+  }
+  std::cout << "aborting\n";
+  return 0;
+}
+
+void print_event(const bifrost::json::Value& event) {
+  std::printf("[%10.3f] %-10s %-20s %-14s %-20s %g %s\n",
+              event.get_number("time"),
+              event.get_string("strategy").c_str(),
+              event.get_string("type").c_str(),
+              event.get_string("state").c_str(),
+              event.get_string("check").c_str(), event.get_number("value"),
+              event.get_string("detail").c_str());
+}
+
+int cmd_watch(const Cli& cli) {
+  HttpClient client;
+  long long since = cli.since;
+  while (true) {
+    auto response = client.get(engine_url(
+        cli, "/events?wait=25000&since=" + std::to_string(since)));
+    if (!response.ok()) {
+      std::cerr << "engine unreachable: " << response.error_message() << "\n";
+      return 1;
+    }
+    auto doc = bifrost::json::parse(response.value().body);
+    if (!doc.ok() || !doc.value().is_array()) continue;
+    for (const auto& event : doc.value().as_array()) {
+      print_event(event);
+      since = std::max(
+          since, static_cast<long long>(event.get_number("seq")));
+    }
+    std::fflush(stdout);
+  }
+}
+
+int cmd_dashboard(const Cli& cli) {
+  HttpClient client;
+  auto strategies = client.get(engine_url(cli, "/strategies"));
+  auto events = client.get(engine_url(cli, "/events?since=0"));
+  if (!strategies.ok() || strategies.value().status != 200) {
+    std::cerr << "engine unreachable\n";
+    return 1;
+  }
+  std::cout << "=== Bifrost dashboard (" << cli.engine << ") ===\n\n"
+            << "Strategies:\n";
+  if (auto doc = bifrost::json::parse(strategies.value().body);
+      doc.ok() && doc.value().is_array()) {
+    for (const auto& snapshot : doc.value().as_array()) {
+      print_snapshot_line(snapshot);
+    }
+  }
+  std::cout << "\nRecent events:\n";
+  if (events.ok()) {
+    if (auto doc = bifrost::json::parse(events.value().body);
+        doc.ok() && doc.value().is_array()) {
+      const auto& all = doc.value().as_array();
+      const std::size_t start = all.size() > 20 ? all.size() - 20 : 0;
+      for (std::size_t i = start; i < all.size(); ++i) print_event(all[i]);
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Cli cli = parse_args(argc, argv);
+  try {
+    if (cli.command == "validate" && cli.positional.size() == 1) {
+      return cmd_validate(cli);
+    }
+    if (cli.command == "dot" && cli.positional.size() == 1) {
+      return cmd_dot(cli);
+    }
+    if (cli.command == "analyze" && cli.positional.size() == 1) {
+      return cmd_analyze(cli);
+    }
+    if (cli.command == "submit" && cli.positional.size() == 1) {
+      return cmd_submit(cli);
+    }
+    if (cli.command == "list") return cmd_list(cli);
+    if (cli.command == "status" && cli.positional.size() == 1) {
+      return cmd_status(cli);
+    }
+    if (cli.command == "abort" && cli.positional.size() == 1) {
+      return cmd_abort(cli);
+    }
+    if (cli.command == "watch") return cmd_watch(cli);
+    if (cli.command == "dashboard") return cmd_dashboard(cli);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return usage();
+}

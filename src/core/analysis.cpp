@@ -1,0 +1,208 @@
+#include "core/analysis.hpp"
+
+#include <cmath>
+
+namespace bifrost::core {
+namespace {
+
+using util::Result;
+
+Result<AnalysisResult> fail(const std::string& what) {
+  return Result<AnalysisResult>::error("strategy analysis: " + what);
+}
+
+/// Solves A x = b in place by Gaussian elimination with partial
+/// pivoting; returns false if A is (numerically) singular.
+bool solve_linear(std::vector<std::vector<double>>& a,
+                  std::vector<double>& b) {
+  const std::size_t n = b.size();
+  for (std::size_t col = 0; col < n; ++col) {
+    std::size_t pivot = col;
+    for (std::size_t row = col + 1; row < n; ++row) {
+      if (std::abs(a[row][col]) > std::abs(a[pivot][col])) pivot = row;
+    }
+    if (std::abs(a[pivot][col]) < 1e-12) return false;
+    std::swap(a[col], a[pivot]);
+    std::swap(b[col], b[pivot]);
+    for (std::size_t row = col + 1; row < n; ++row) {
+      const double factor = a[row][col] / a[col][col];
+      if (factor == 0.0) continue;
+      for (std::size_t k = col; k < n; ++k) a[row][k] -= factor * a[col][k];
+      b[row] -= factor * b[col];
+    }
+  }
+  for (std::size_t col = n; col-- > 0;) {
+    for (std::size_t row = 0; row < col; ++row) {
+      b[row] -= a[row][col] / a[col][col] * b[col];
+    }
+    b[col] /= a[col][col];
+  }
+  return true;
+}
+
+}  // namespace
+
+TransitionModel uniform_model(const StrategyDef& strategy) {
+  TransitionModel model;
+  for (const StateDef& state : strategy.states) {
+    if (state.is_final()) continue;
+    StateProbabilities probabilities;
+    probabilities.transition_probability.assign(
+        state.transitions.size(),
+        1.0 / static_cast<double>(state.transitions.size()));
+    model[state.name] = std::move(probabilities);
+  }
+  return model;
+}
+
+TransitionModel optimistic_model(const StrategyDef& strategy) {
+  TransitionModel model;
+  for (const StateDef& state : strategy.states) {
+    if (state.is_final()) continue;
+    StateProbabilities probabilities;
+    probabilities.transition_probability.assign(state.transitions.size(),
+                                                0.0);
+    // The highest outcome range is the last transition entry.
+    probabilities.transition_probability.back() = 1.0;
+    model[state.name] = std::move(probabilities);
+  }
+  return model;
+}
+
+util::Result<AnalysisResult> analyze(const StrategyDef& strategy,
+                                     const TransitionModel& model) {
+  if (auto v = validate(strategy); !v) return fail(v.error_message());
+
+  std::vector<const StateDef*> transient;
+  std::vector<const StateDef*> absorbing;
+  std::map<std::string, std::size_t> transient_index;
+  for (const StateDef& state : strategy.states) {
+    if (state.is_final()) {
+      absorbing.push_back(&state);
+    } else {
+      transient_index[state.name] = transient.size();
+      transient.push_back(&state);
+    }
+  }
+  const std::size_t n = transient.size();
+
+  // Per transient state: successor distribution over all states, the
+  // expected dwell time, and sanity checks on the supplied model.
+  std::vector<std::map<std::string, double>> successor(n);
+  std::vector<double> dwell_seconds(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const StateDef& state = *transient[i];
+    StateProbabilities probabilities;
+    const auto it = model.find(state.name);
+    if (it != model.end()) {
+      probabilities = it->second;
+    } else {
+      probabilities.transition_probability.assign(
+          state.transitions.size(),
+          1.0 / static_cast<double>(state.transitions.size()));
+    }
+    if (probabilities.transition_probability.size() !=
+        state.transitions.size()) {
+      return fail("state '" + state.name + "': expected " +
+                  std::to_string(state.transitions.size()) +
+                  " transition probabilities, got " +
+                  std::to_string(probabilities.transition_probability.size()));
+    }
+
+    double exception_total = 0.0;
+    for (const auto& [check_name, p] : probabilities.exception_probability) {
+      if (p < 0.0 || p > 1.0) {
+        return fail("state '" + state.name + "': exception probability of '" +
+                    check_name + "' out of [0,1]");
+      }
+      const CheckDef* check = nullptr;
+      for (const CheckDef& candidate : state.checks) {
+        if (candidate.name == check_name &&
+            candidate.kind == CheckKind::kException) {
+          check = &candidate;
+        }
+      }
+      if (check == nullptr) {
+        return fail("state '" + state.name + "': no exception check named '" +
+                    check_name + "'");
+      }
+      successor[i][check->fallback_state] += p;
+      exception_total += p;
+    }
+    if (exception_total > 1.0 + 1e-9) {
+      return fail("state '" + state.name +
+                  "': exception probabilities sum past 1");
+    }
+
+    double threshold_total = 0.0;
+    for (const double p : probabilities.transition_probability) {
+      if (p < 0.0) {
+        return fail("state '" + state.name + "': negative probability");
+      }
+      threshold_total += p;
+    }
+    if (std::abs(threshold_total - 1.0) > 1e-9) {
+      return fail("state '" + state.name +
+                  "': transition probabilities sum to " +
+                  std::to_string(threshold_total) + ", expected 1");
+    }
+    const double remaining = 1.0 - exception_total;
+    for (std::size_t t = 0; t < state.transitions.size(); ++t) {
+      successor[i][state.transitions[t]] +=
+          remaining * probabilities.transition_probability[t];
+    }
+
+    // Expected dwell: the full nominal duration on a normal exit; half
+    // of it when an exception fires (uniform over the state's lifetime).
+    const double duration =
+        std::chrono::duration<double>(state.duration()).count();
+    dwell_seconds[i] =
+        duration * (remaining + 0.5 * exception_total);
+  }
+
+  // Expected visits x solve (I - Q)^T x = e_initial.
+  std::vector<std::vector<double>> a(n, std::vector<double>(n, 0.0));
+  for (std::size_t i = 0; i < n; ++i) a[i][i] = 1.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (const auto& [target, p] : successor[i]) {
+      const auto it = transient_index.find(target);
+      if (it != transient_index.end()) {
+        a[it->second][i] -= p;  // transposed
+      }
+    }
+  }
+  std::vector<double> x(n, 0.0);
+  x[transient_index.at(strategy.initial_state)] = 1.0;
+  if (!solve_linear(a, x)) {
+    return fail("the chain never reaches a final state with probability 1 "
+                "(a recurrent loop of transient states has total "
+                "probability 1)");
+  }
+
+  AnalysisResult result;
+  double expected_seconds = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (x[i] < 0.0 && x[i] > -1e-9) x[i] = 0.0;
+    result.expected_visits[transient[i]->name] = x[i];
+    expected_seconds += x[i] * dwell_seconds[i];
+  }
+  result.expected_duration = std::chrono::duration_cast<runtime::Duration>(
+      std::chrono::duration<double>(expected_seconds));
+
+  for (const StateDef* final_state : absorbing) {
+    double p_absorb = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto it = successor[i].find(final_state->name);
+      if (it != successor[i].end()) p_absorb += x[i] * it->second;
+    }
+    result.absorption_probability[final_state->name] = p_absorb;
+    if (final_state->final_kind == FinalKind::kSuccess) {
+      result.success_probability += p_absorb;
+    } else {
+      result.rollback_probability += p_absorb;
+    }
+  }
+  return result;
+}
+
+}  // namespace bifrost::core

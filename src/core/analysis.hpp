@@ -1,0 +1,61 @@
+// Probabilistic strategy analysis. The paper motivates formalizing
+// release strategies partly because it "fosters formally or
+// probabilistically reasoning about the strategy, e.g., in terms of
+// expected rollout time" (§1). This module implements that reasoning:
+// the automaton plus per-transition probabilities form an absorbing
+// Markov chain whose absorption probabilities (success vs rollback) and
+// expected time to absorption are computed exactly.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/model.hpp"
+#include "util/result.hpp"
+
+namespace bifrost::core {
+
+/// Probabilities of the outgoing transitions of one state, in the same
+/// order as StateDef::transitions (the n+1 threshold ranges). May also
+/// include an exception-fallback probability per exception check,
+/// keyed by check name.
+struct StateProbabilities {
+  std::vector<double> transition_probability;
+  std::map<std::string, double> exception_probability;
+};
+
+/// Transition model for a whole strategy; states absent from the map
+/// get uniform probabilities over their outgoing transitions and zero
+/// exception probability.
+using TransitionModel = std::map<std::string, StateProbabilities>;
+
+struct AnalysisResult {
+  /// Probability that the strategy ends in each final state (by name).
+  std::map<std::string, double> absorption_probability;
+  /// Convenience: summed over FinalKind::kSuccess / kRollback states.
+  double success_probability = 0.0;
+  double rollback_probability = 0.0;
+  /// Expected enactment time from the initial state (nominal state
+  /// durations; engine-side delay not included).
+  runtime::Duration expected_duration{0};
+  /// Expected number of visits per state (transient states only).
+  std::map<std::string, double> expected_visits;
+};
+
+/// Analyzes a validated strategy under the given transition model.
+/// Fails if probabilities are malformed (negative, wrong arity, summing
+/// past 1) or the chain cannot reach absorption with probability 1.
+util::Result<AnalysisResult> analyze(const StrategyDef& strategy,
+                                     const TransitionModel& model);
+
+/// Uniform model: every outgoing transition of each state equally
+/// likely, exceptions never fire. Useful as a quick structural summary
+/// (`bifrost analyze` uses this by default).
+TransitionModel uniform_model(const StrategyDef& strategy);
+
+/// Optimistic model: every state takes its highest-outcome transition
+/// with probability 1 (the "everything passes" path).
+TransitionModel optimistic_model(const StrategyDef& strategy);
+
+}  // namespace bifrost::core

@@ -1,0 +1,71 @@
+// Graphviz rendering of a strategy's automaton, in the style of the
+// paper's Figure 2: solid edges for threshold transitions (labelled with
+// the outcome range), dashed edges for exception-check fallbacks.
+#include <sstream>
+
+#include "core/model.hpp"
+
+namespace bifrost::core {
+namespace {
+
+std::string range_label(const StateDef& state, size_t index) {
+  std::ostringstream out;
+  if (state.thresholds.empty()) return "always";
+  if (index == 0) {
+    out << "<= " << state.thresholds[0];
+  } else if (index == state.thresholds.size()) {
+    out << "> " << state.thresholds.back();
+  } else {
+    out << state.thresholds[index - 1] << " < e <= "
+        << state.thresholds[index];
+  }
+  return out.str();
+}
+
+std::string routing_label(const StateDef& state) {
+  std::ostringstream out;
+  for (const ServiceRouting& routing : state.routing) {
+    for (const VersionSplit& split : routing.splits) {
+      out << "\\n" << routing.service << "/" << split.version << " "
+          << split.percent << "%";
+    }
+    for (const ShadowRule& shadow : routing.shadows) {
+      out << "\\nshadow " << shadow.source_version << "->"
+          << shadow.target_version << " " << shadow.percent << "%";
+    }
+  }
+  return out.str();
+}
+
+}  // namespace
+
+std::string to_dot(const StrategyDef& strategy) {
+  std::ostringstream out;
+  out << "digraph \"" << strategy.name << "\" {\n";
+  out << "  rankdir=LR;\n  node [shape=box, style=rounded];\n";
+  for (const StateDef& state : strategy.states) {
+    out << "  \"" << state.name << "\" [label=\"" << state.name
+        << routing_label(state) << "\"";
+    if (state.name == strategy.initial_state) out << ", penwidth=2";
+    if (state.final_kind == FinalKind::kSuccess) {
+      out << ", shape=doubleoctagon";
+    } else if (state.final_kind == FinalKind::kRollback) {
+      out << ", shape=octagon";
+    }
+    out << "];\n";
+    for (size_t i = 0; i < state.transitions.size(); ++i) {
+      out << "  \"" << state.name << "\" -> \"" << state.transitions[i]
+          << "\" [label=\"" << range_label(state, i) << "\"];\n";
+    }
+    for (const CheckDef& check : state.checks) {
+      if (check.kind == CheckKind::kException) {
+        out << "  \"" << state.name << "\" -> \"" << check.fallback_state
+            << "\" [style=dashed, label=\"" << check.name << "\"];\n";
+      }
+    }
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace bifrost::core

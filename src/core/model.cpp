@@ -1,0 +1,161 @@
+#include "core/model.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace bifrost::core {
+
+const VersionDef* ServiceDef::find_version(const std::string& v) const {
+  for (const VersionDef& version : versions) {
+    if (version.version == v) return &version;
+  }
+  return nullptr;
+}
+
+bool Validator::eval(double value) const {
+  switch (cmp) {
+    case Comparator::kLt:
+      return value < operand;
+    case Comparator::kLe:
+      return value <= operand;
+    case Comparator::kGt:
+      return value > operand;
+    case Comparator::kGe:
+      return value >= operand;
+    case Comparator::kEq:
+      return value == operand;
+    case Comparator::kNe:
+      return value != operand;
+  }
+  return false;
+}
+
+std::string Validator::to_string() const {
+  std::ostringstream out;
+  switch (cmp) {
+    case Comparator::kLt:
+      out << "<";
+      break;
+    case Comparator::kLe:
+      out << "<=";
+      break;
+    case Comparator::kGt:
+      out << ">";
+      break;
+    case Comparator::kGe:
+      out << ">=";
+      break;
+    case Comparator::kEq:
+      out << "==";
+      break;
+    case Comparator::kNe:
+      out << "!=";
+      break;
+  }
+  out << operand;
+  return out.str();
+}
+
+util::Result<Validator> Validator::parse(std::string_view text) {
+  const std::string_view trimmed = util::trim(text);
+  Validator v;
+  std::string_view rest;
+  if (util::starts_with(trimmed, "<=")) {
+    v.cmp = Comparator::kLe;
+    rest = trimmed.substr(2);
+  } else if (util::starts_with(trimmed, ">=")) {
+    v.cmp = Comparator::kGe;
+    rest = trimmed.substr(2);
+  } else if (util::starts_with(trimmed, "==")) {
+    v.cmp = Comparator::kEq;
+    rest = trimmed.substr(2);
+  } else if (util::starts_with(trimmed, "!=")) {
+    v.cmp = Comparator::kNe;
+    rest = trimmed.substr(2);
+  } else if (util::starts_with(trimmed, "<")) {
+    v.cmp = Comparator::kLt;
+    rest = trimmed.substr(1);
+  } else if (util::starts_with(trimmed, ">")) {
+    v.cmp = Comparator::kGt;
+    rest = trimmed.substr(1);
+  } else if (util::starts_with(trimmed, "=")) {
+    v.cmp = Comparator::kEq;
+    rest = trimmed.substr(1);
+  } else {
+    return util::Result<Validator>::error(
+        "validator must start with <, <=, >, >=, ==, or !=: '" +
+        std::string(trimmed) + "'");
+  }
+  const auto operand = util::parse_double(rest);
+  if (!operand) {
+    return util::Result<Validator>::error("invalid validator operand: '" +
+                                          std::string(rest) + "'");
+  }
+  v.operand = *operand;
+  return v;
+}
+
+runtime::Duration StateDef::duration() const {
+  runtime::Duration longest = min_duration;
+  for (const CheckDef& check : checks) {
+    longest = std::max(longest, check.total_duration());
+  }
+  return longest;
+}
+
+const StateDef* StrategyDef::find_state(const std::string& state_name) const {
+  for (const StateDef& state : states) {
+    if (state.name == state_name) return &state;
+  }
+  return nullptr;
+}
+
+const ServiceDef* StrategyDef::find_service(
+    const std::string& service_name) const {
+  for (const ServiceDef& service : services) {
+    if (service.name == service_name) return &service;
+  }
+  return nullptr;
+}
+
+runtime::Duration StrategyDef::expected_duration() const {
+  runtime::Duration total{0};
+  std::set<std::string> visited;
+  const StateDef* state = find_state(initial_state);
+  while (state != nullptr && !visited.contains(state->name)) {
+    visited.insert(state->name);
+    total += state->duration();
+    if (state->is_final() || state->transitions.empty()) break;
+    state = find_state(state->transitions.back());  // optimistic path
+  }
+  return total;
+}
+
+int map_through_thresholds(const std::vector<double>& thresholds,
+                           const std::vector<int>& outputs, double e) {
+  for (size_t i = 0; i < thresholds.size(); ++i) {
+    if (e <= thresholds[i]) return outputs[i];
+  }
+  return outputs.back();
+}
+
+const std::string& next_state_name(const StateDef& state, double outcome) {
+  for (size_t i = 0; i < state.thresholds.size(); ++i) {
+    if (outcome <= state.thresholds[i]) return state.transitions[i];
+  }
+  return state.transitions.back();
+}
+
+double weighted_outcome(
+    const std::vector<std::pair<double, double>>& value_weight_pairs) {
+  double sum = 0.0;
+  for (const auto& [value, weight] : value_weight_pairs) {
+    sum += value * weight;
+  }
+  return sum;
+}
+
+}  // namespace bifrost::core

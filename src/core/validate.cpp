@@ -1,0 +1,255 @@
+// Structural validation of a StrategyDef. Rules:
+//  (V1)  at least one state; initial state exists
+//  (V2)  state names unique and non-empty
+//  (V3)  per state: thresholds strictly increasing;
+//        transitions.size() == thresholds.size() + 1 unless final
+//  (V4)  final states have no transitions and no checks
+//  (V5)  every transition target exists
+//  (V6)  basic checks: outputs.size() == thresholds.size() + 1,
+//        thresholds strictly increasing, executions >= 1, interval > 0
+//  (V7)  exception checks: fallback state exists; no thresholds/outputs
+//  (V8)  non-final states need thresholds+transitions (or exactly one
+//        transition with no thresholds)
+//  (V9)  routing: service declared; versions declared; cookie-mode split
+//        percentages within [0,100] and summing to ~100; header-mode
+//        splits carry header name+value; shadow rules reference declared
+//        versions with percent in (0,100]
+//  (V10) every metric condition names a configured provider
+//  (V11) at least one final state; all states reachable from the initial
+//        state; a final state is reachable
+//  (V12) service names unique; version names unique per service
+#include <cmath>
+#include <queue>
+#include <set>
+
+#include "core/model.hpp"
+
+namespace bifrost::core {
+namespace {
+
+using util::Result;
+
+Result<void> fail(const std::string& what) {
+  return Result<void>::error("strategy validation: " + what);
+}
+
+bool strictly_increasing(const std::vector<double>& xs) {
+  for (size_t i = 1; i < xs.size(); ++i) {
+    if (xs[i] <= xs[i - 1]) return false;
+  }
+  return true;
+}
+
+Result<void> validate_check(const StrategyDef& strategy, const StateDef& state,
+                            const CheckDef& check) {
+  const std::string where =
+      "state '" + state.name + "' check '" + check.name + "': ";
+  if (check.name.empty()) return fail("state '" + state.name + "': unnamed check");
+  if (check.executions < 1) return fail(where + "executions must be >= 1");
+  if (check.interval <= runtime::Duration::zero()) {
+    return fail(where + "interval must be positive");
+  }
+  if (check.conditions.empty() && !check.custom) {
+    return fail(where + "check has neither conditions nor a custom function");
+  }
+  for (const MetricCondition& condition : check.conditions) {
+    if (condition.query.empty()) {
+      return fail(where + "condition with empty query");
+    }
+    if (!strategy.providers.contains(condition.provider)) {
+      return fail(where + "unknown provider '" + condition.provider + "'");
+    }
+  }
+  if (check.kind == CheckKind::kBasic) {
+    if (!check.fallback_state.empty()) {
+      return fail(where + "basic check must not declare a fallback state");
+    }
+    if (check.outputs.size() != check.thresholds.size() + 1) {
+      return fail(where + "needs thresholds.size()+1 output mappings (got " +
+                  std::to_string(check.outputs.size()) + " for " +
+                  std::to_string(check.thresholds.size()) + " thresholds)");
+    }
+    if (!strictly_increasing(check.thresholds)) {
+      return fail(where + "thresholds must be strictly increasing");
+    }
+  } else {
+    if (check.fallback_state.empty()) {
+      return fail(where + "exception check needs a fallback state");
+    }
+    if (strategy.find_state(check.fallback_state) == nullptr) {
+      return fail(where + "fallback state '" + check.fallback_state +
+                  "' does not exist");
+    }
+    if (!check.thresholds.empty() || !check.outputs.empty()) {
+      return fail(where + "exception check must not carry output mappings");
+    }
+  }
+  return {};
+}
+
+Result<void> validate_routing(const StrategyDef& strategy,
+                              const StateDef& state,
+                              const ServiceRouting& routing) {
+  const std::string where =
+      "state '" + state.name + "' routing for '" + routing.service + "': ";
+  const ServiceDef* service = strategy.find_service(routing.service);
+  if (service == nullptr) {
+    return fail(where + "service is not declared in the strategy");
+  }
+  if (routing.splits.empty() && routing.shadows.empty()) {
+    return fail(where + "routing with neither splits nor shadows");
+  }
+  double total = 0.0;
+  for (const VersionSplit& split : routing.splits) {
+    if (service->find_version(split.version) == nullptr) {
+      return fail(where + "unknown version '" + split.version + "'");
+    }
+    if (routing.mode == RoutingMode::kCookie) {
+      if (split.percent < 0.0 || split.percent > 100.0) {
+        return fail(where + "split percentage out of [0,100]");
+      }
+      total += split.percent;
+    } else {
+      if (split.match_header.empty()) {
+        return fail(where + "header-mode split needs a header name");
+      }
+    }
+  }
+  if (routing.mode == RoutingMode::kCookie && !routing.splits.empty() &&
+      std::abs(total - 100.0) > 1e-6) {
+    return fail(where + "split percentages sum to " + std::to_string(total) +
+                ", expected 100");
+  }
+  if (routing.filter.active()) {
+    if (routing.filter.default_version.empty()) {
+      return fail(where + "experiment filter needs a default version");
+    }
+    bool default_in_split = false;
+    for (const VersionSplit& split : routing.splits) {
+      default_in_split |= split.version == routing.filter.default_version;
+    }
+    if (!default_in_split) {
+      return fail(where + "filter default version '" +
+                  routing.filter.default_version +
+                  "' must be one of the split versions");
+    }
+  }
+  for (const ShadowRule& shadow : routing.shadows) {
+    if (service->find_version(shadow.source_version) == nullptr) {
+      return fail(where + "shadow source version '" + shadow.source_version +
+                  "' unknown");
+    }
+    if (service->find_version(shadow.target_version) == nullptr) {
+      return fail(where + "shadow target version '" + shadow.target_version +
+                  "' unknown");
+    }
+    if (shadow.percent <= 0.0 || shadow.percent > 100.0) {
+      return fail(where + "shadow percent out of (0,100]");
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+util::Result<void> validate(const StrategyDef& strategy) {
+  if (strategy.states.empty()) return fail("no states");  // V1
+  if (strategy.find_state(strategy.initial_state) == nullptr) {
+    return fail("initial state '" + strategy.initial_state +
+                "' does not exist");
+  }
+
+  {  // V2, V12
+    std::set<std::string> names;
+    for (const StateDef& state : strategy.states) {
+      if (state.name.empty()) return fail("state with empty name");
+      if (!names.insert(state.name).second) {
+        return fail("duplicate state name '" + state.name + "'");
+      }
+    }
+    std::set<std::string> services;
+    for (const ServiceDef& service : strategy.services) {
+      if (service.name.empty()) return fail("service with empty name");
+      if (!services.insert(service.name).second) {
+        return fail("duplicate service name '" + service.name + "'");
+      }
+      std::set<std::string> versions;
+      for (const VersionDef& version : service.versions) {
+        if (!versions.insert(version.version).second) {
+          return fail("service '" + service.name + "': duplicate version '" +
+                      version.version + "'");
+        }
+      }
+    }
+  }
+
+  bool any_final = false;
+  for (const StateDef& state : strategy.states) {
+    if (state.is_final()) {
+      any_final = true;
+      if (!state.transitions.empty()) {  // V4
+        return fail("final state '" + state.name + "' has transitions");
+      }
+      if (!state.checks.empty()) {
+        return fail("final state '" + state.name + "' has checks");
+      }
+      continue;
+    }
+    // V3 / V8
+    if (!strictly_increasing(state.thresholds)) {
+      return fail("state '" + state.name +
+                  "': thresholds must be strictly increasing");
+    }
+    if (state.transitions.size() != state.thresholds.size() + 1) {
+      return fail("state '" + state.name + "': needs thresholds.size()+1 (" +
+                  std::to_string(state.thresholds.size() + 1) +
+                  ") transitions, got " +
+                  std::to_string(state.transitions.size()));
+    }
+    for (const std::string& target : state.transitions) {  // V5
+      if (strategy.find_state(target) == nullptr) {
+        return fail("state '" + state.name + "': transition target '" +
+                    target + "' does not exist");
+      }
+    }
+    for (const CheckDef& check : state.checks) {  // V6, V7, V10
+      if (auto r = validate_check(strategy, state, check); !r) return r;
+    }
+    for (const ServiceRouting& routing : state.routing) {  // V9
+      if (auto r = validate_routing(strategy, state, routing); !r) return r;
+    }
+  }
+  if (!any_final) return fail("no final state");  // V11
+
+  // V11: reachability from the initial state.
+  std::set<std::string> reachable;
+  std::queue<const StateDef*> frontier;
+  frontier.push(strategy.find_state(strategy.initial_state));
+  reachable.insert(strategy.initial_state);
+  bool final_reachable = false;
+  while (!frontier.empty()) {
+    const StateDef* state = frontier.front();
+    frontier.pop();
+    if (state->is_final()) final_reachable = true;
+    auto visit = [&](const std::string& target) {
+      if (reachable.insert(target).second) {
+        frontier.push(strategy.find_state(target));
+      }
+    };
+    for (const std::string& target : state->transitions) visit(target);
+    for (const CheckDef& check : state->checks) {
+      if (check.kind == CheckKind::kException) visit(check.fallback_state);
+    }
+  }
+  for (const StateDef& state : strategy.states) {
+    if (!reachable.contains(state.name)) {
+      return fail("state '" + state.name + "' is unreachable");
+    }
+  }
+  if (!final_reachable) {
+    return fail("no final state reachable from the initial state");
+  }
+  return {};
+}
+
+}  // namespace bifrost::core

@@ -1,0 +1,644 @@
+#include <chrono>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "dsl/dsl.hpp"
+#include "util/strings.hpp"
+
+namespace bifrost::dsl {
+namespace {
+
+using core::CheckDef;
+using core::CheckKind;
+using core::FinalKind;
+using core::MetricCondition;
+using core::RoutingMode;
+using core::ServiceRouting;
+using core::ShadowRule;
+using core::StateDef;
+using core::StrategyDef;
+using core::Validator;
+using core::VersionSplit;
+using util::Result;
+
+class CompileError : public std::runtime_error {
+ public:
+  explicit CompileError(const std::string& what)
+      : std::runtime_error("dsl: " + what) {}
+};
+
+[[noreturn]] void fail(const std::string& what) { throw CompileError(what); }
+
+runtime::Duration seconds(double s) {
+  return std::chrono::duration_cast<runtime::Duration>(
+      std::chrono::duration<double>(s));
+}
+
+/// Unwraps the common "- key:\n    ..." sequence-item shape: a mapping
+/// with a single entry whose key is `expected`. Items may also be bare
+/// mappings (without the wrapper key).
+const yaml::Node& unwrap(const yaml::Node& item, const std::string& expected) {
+  if (!item.is_mapping()) fail("expected a mapping for '" + expected + "'");
+  if (item.entries().size() == 1 && item.entries()[0].first == expected &&
+      item.entries()[0].second.is_mapping()) {
+    return item.entries()[0].second;
+  }
+  return item;
+}
+
+double require_number(const yaml::Node& node, const std::string& key,
+                      const std::string& where) {
+  const yaml::Node* child = node.find(key);
+  if (child == nullptr) fail(where + ": missing '" + key + "'");
+  const auto value = child->as_double();
+  if (!value) fail(where + ": '" + key + "' must be a number");
+  return *value;
+}
+
+std::string require_string(const yaml::Node& node, const std::string& key,
+                           const std::string& where) {
+  const yaml::Node* child = node.find(key);
+  if (child == nullptr || !child->is_scalar() || child->as_string().empty()) {
+    fail(where + ": missing '" + key + "'");
+  }
+  return child->as_string();
+}
+
+// ---------------------------------------------------------------------------
+// Checks
+
+Validator parse_validator(const std::string& text, const std::string& where) {
+  auto v = Validator::parse(text);
+  if (!v.ok()) fail(where + ": " + v.error_message());
+  return std::move(v).value();
+}
+
+/// Conditions from the paper's `providers:` list (Listing 1): each item
+/// is `- <providerName>: {name, query, validator?}`.
+std::vector<MetricCondition> parse_provider_conditions(
+    const yaml::Node& providers, const std::optional<Validator>& fallback,
+    const std::string& where) {
+  std::vector<MetricCondition> out;
+  if (!providers.is_sequence()) fail(where + ": 'providers' must be a list");
+  for (const yaml::Node& item : providers.items()) {
+    if (!item.is_mapping() || item.entries().size() != 1) {
+      fail(where + ": each providers item must be '- <provider>: {...}'");
+    }
+    const auto& [provider_name, body] = item.entries()[0];
+    MetricCondition condition;
+    condition.provider = provider_name;
+    condition.alias = body.get_string("name");
+    condition.query = require_string(body, "query", where);
+    if (const yaml::Node* v = body.find("validator"); v != nullptr) {
+      condition.validator = parse_validator(v->as_string(), where);
+    } else if (fallback) {
+      condition.validator = *fallback;
+    } else {
+      fail(where + ": metric '" + condition.alias + "' has no validator");
+    }
+    condition.fail_on_no_data = body.get_bool("failOnNoData", true);
+    out.push_back(std::move(condition));
+  }
+  return out;
+}
+
+/// Richer `metrics:` list form: `- metric: {provider, name, query,
+/// validator, failOnNoData}` or bare mappings.
+std::vector<MetricCondition> parse_metric_conditions(
+    const yaml::Node& metrics, const std::optional<Validator>& fallback,
+    const std::string& where) {
+  std::vector<MetricCondition> out;
+  if (!metrics.is_sequence()) fail(where + ": 'metrics' must be a list");
+  for (const yaml::Node& item : metrics.items()) {
+    const yaml::Node& body = unwrap(item, "metric");
+    MetricCondition condition;
+    condition.provider = body.get_string("provider", "prometheus");
+    condition.alias = body.get_string("name");
+    condition.query = require_string(body, "query", where);
+    if (const yaml::Node* v = body.find("validator"); v != nullptr) {
+      condition.validator = parse_validator(v->as_string(), where);
+    } else if (fallback) {
+      condition.validator = *fallback;
+    } else {
+      fail(where + ": metric '" + condition.alias + "' has no validator");
+    }
+    condition.fail_on_no_data = body.get_bool("failOnNoData", true);
+    out.push_back(std::move(condition));
+  }
+  return out;
+}
+
+CheckDef parse_check(const yaml::Node& item, int index,
+                     const std::string& state_name) {
+  // Accept both `- check: {...}` and the paper's `- metric: {...}`.
+  const yaml::Node* body = nullptr;
+  bool paper_metric_shape = false;
+  if (item.is_mapping() && item.entries().size() == 1) {
+    const auto& [key, value] = item.entries()[0];
+    if (key == "metric") {
+      body = &value;
+      paper_metric_shape = true;
+    } else if (key == "check") {
+      body = &value;
+    }
+  }
+  if (body == nullptr) body = &item;
+
+  const std::string default_name =
+      state_name + "-check-" + std::to_string(index + 1);
+  CheckDef check;
+  check.name = body->get_string("name", default_name);
+  const std::string where = "state '" + state_name + "' check '" +
+                            check.name + "'";
+
+  const std::string type = body->get_string("type", "basic");
+  if (type == "basic") {
+    check.kind = CheckKind::kBasic;
+  } else if (type == "exception") {
+    check.kind = CheckKind::kException;
+    check.fallback_state = require_string(*body, "fallback", where);
+    // Exception checks guard via immediate fallback; by default they do
+    // not contribute to the state outcome (weight 0), so onSuccess/
+    // onFailure sugar keeps counting only basic checks.
+    check.weight = 0.0;
+  } else {
+    fail(where + ": unknown check type '" + type + "'");
+  }
+
+  check.interval = seconds(body->get_double("intervalTime", 5.0));
+  check.executions =
+      static_cast<int>(body->get_int("intervalLimit", 1));
+
+  std::optional<Validator> fallback_validator;
+  if (const yaml::Node* v = body->find("validator"); v != nullptr) {
+    fallback_validator = parse_validator(v->as_string(), where);
+  }
+  if (const yaml::Node* providers = body->find("providers");
+      providers != nullptr) {
+    check.conditions =
+        parse_provider_conditions(*providers, fallback_validator, where);
+  } else if (const yaml::Node* metrics = body->find("metrics");
+             metrics != nullptr) {
+    check.conditions =
+        parse_metric_conditions(*metrics, fallback_validator, where);
+  } else if (paper_metric_shape && body->has("query")) {
+    // Compact Listing-1 variant: query directly on the metric element.
+    MetricCondition condition;
+    condition.provider = body->get_string("provider", "prometheus");
+    condition.alias = body->get_string("name");
+    condition.query = require_string(*body, "query", where);
+    if (!fallback_validator) fail(where + ": missing validator");
+    condition.validator = *fallback_validator;
+    condition.fail_on_no_data = body->get_bool("failOnNoData", true);
+    check.conditions.push_back(std::move(condition));
+  } else {
+    fail(where + ": needs 'providers', 'metrics', or a 'query'");
+  }
+
+  if (check.kind == CheckKind::kBasic) {
+    if (const yaml::Node* thresholds = body->find("thresholds");
+        thresholds != nullptr) {
+      // Full-model form: explicit thresholds + outputs (Out_c).
+      if (!thresholds->is_sequence()) {
+        fail(where + ": 'thresholds' must be a list");
+      }
+      for (const yaml::Node& t : thresholds->items()) {
+        const auto value = t.as_double();
+        if (!value) fail(where + ": threshold must be a number");
+        check.thresholds.push_back(*value);
+      }
+      const yaml::Node* outputs = body->find("outputs");
+      if (outputs == nullptr || !outputs->is_sequence()) {
+        fail(where + ": 'thresholds' needs a matching 'outputs' list");
+      }
+      for (const yaml::Node& o : outputs->items()) {
+        const auto value = o.as_int();
+        if (!value) fail(where + ": output must be an integer");
+        check.outputs.push_back(static_cast<int>(*value));
+      }
+    } else {
+      // Simplified form (paper's current DSL): one `threshold` counting
+      // required successful executions; outcome is boolean 0/1.
+      const double threshold = body->get_double(
+          "threshold", static_cast<double>(check.executions));
+      check.thresholds = {threshold - 0.5};
+      check.outputs = {0, 1};
+    }
+    check.weight = body->get_double("weight", 1.0);
+  } else if (body->has("weight")) {
+    check.weight = body->get_double("weight", 0.0);
+  }
+  return check;
+}
+
+// ---------------------------------------------------------------------------
+// Routes
+
+/// Paper Listing-2 `filters` shape on a route with scalar from/to.
+void apply_traffic_filters(const yaml::Node& filters, const std::string& from,
+                           const std::string& to, ServiceRouting& routing,
+                           StateDef& state, const std::string& where) {
+  if (!filters.is_sequence()) fail(where + ": 'filters' must be a list");
+  for (const yaml::Node& item : filters.items()) {
+    const yaml::Node& body = unwrap(item, "traffic");
+    const double percentage = body.get_double("percentage", 100.0);
+    const bool shadow = body.get_bool("shadow", false);
+    if (const yaml::Node* interval = body.find("intervalTime");
+        interval != nullptr) {
+      const auto value = interval->as_double();
+      if (!value) fail(where + ": 'intervalTime' must be a number");
+      state.min_duration = std::max(state.min_duration, seconds(*value));
+    }
+    if (shadow) {
+      // Duplicate `percentage` percent of `from` traffic onto `to`.
+      routing.splits.push_back(VersionSplit{from, 100.0, "", ""});
+      routing.shadows.push_back(ShadowRule{from, to, percentage});
+    } else {
+      routing.splits.push_back(
+          VersionSplit{from, 100.0 - percentage, "", ""});
+      routing.splits.push_back(VersionSplit{to, percentage, "", ""});
+    }
+  }
+}
+
+ServiceRouting parse_route(const yaml::Node& item, StateDef& state,
+                           const std::string& state_name) {
+  const yaml::Node& body = unwrap(item, "route");
+  const std::string where = "state '" + state_name + "' route";
+
+  ServiceRouting routing;
+  const std::string from = body.get_string("from");
+  routing.service = body.get_string("service", from);
+  if (routing.service.empty()) {
+    fail(where + ": needs 'service' (or 'from')");
+  }
+
+  const std::string mode = body.get_string("mode", "cookie");
+  if (mode == "cookie") {
+    routing.mode = RoutingMode::kCookie;
+  } else if (mode == "header") {
+    routing.mode = RoutingMode::kHeader;
+  } else {
+    fail(where + ": unknown mode '" + mode + "'");
+  }
+  routing.sticky = body.get_bool("sticky", false);
+
+  // Experiment scoping ("5% of US users"): `filter` with header/value
+  // plus the default version for everyone outside the population.
+  if (const yaml::Node* filter = body.find("filter"); filter != nullptr) {
+    routing.filter.header = require_string(*filter, "header", where);
+    routing.filter.value = require_string(*filter, "value", where);
+    routing.filter.default_version =
+        require_string(*filter, "default", where);
+  }
+
+  if (const yaml::Node* filters = body.find("filters"); filters != nullptr) {
+    const std::string to = require_string(body, "to", where);
+    const std::string source = body.get_string("from", "stable");
+    apply_traffic_filters(*filters, source, to, routing, state, where);
+    // Merge duplicate split entries the filter form can produce.
+    std::vector<VersionSplit> merged;
+    for (const VersionSplit& split : routing.splits) {
+      bool found = false;
+      for (VersionSplit& m : merged) {
+        if (m.version == split.version) {
+          m.percent = std::min(100.0, m.percent + split.percent);
+          found = true;
+          break;
+        }
+      }
+      if (!found) merged.push_back(split);
+    }
+    // Shadow filters push the full-traffic source split; drop zero-
+    // percent leftovers from mixed forms.
+    std::erase_if(merged, [](const VersionSplit& s) { return s.percent <= 0.0; });
+    routing.splits = std::move(merged);
+    return routing;
+  }
+
+  if (const yaml::Node* split = body.find("split"); split != nullptr) {
+    if (!split->is_sequence()) fail(where + ": 'split' must be a list");
+    for (const yaml::Node& entry : split->items()) {
+      const yaml::Node& split_body = unwrap(entry, "version");
+      VersionSplit version_split;
+      version_split.version = split_body.is_scalar()
+                                  ? split_body.as_string()
+                                  : require_string(split_body, "version", where);
+      version_split.percent = split_body.is_mapping()
+                                  ? split_body.get_double("percent", 0.0)
+                                  : 0.0;
+      version_split.match_header = split_body.is_mapping()
+                                       ? split_body.get_string("matchHeader")
+                                       : "";
+      version_split.match_value = split_body.is_mapping()
+                                      ? split_body.get_string("matchValue")
+                                      : "";
+      routing.splits.push_back(std::move(version_split));
+    }
+  }
+  if (const yaml::Node* shadows = body.find("shadows"); shadows != nullptr) {
+    if (!shadows->is_sequence()) fail(where + ": 'shadows' must be a list");
+    for (const yaml::Node& entry : shadows->items()) {
+      const yaml::Node& shadow_body = unwrap(entry, "shadow");
+      ShadowRule rule;
+      rule.source_version = require_string(shadow_body, "from", where);
+      rule.target_version = require_string(shadow_body, "to", where);
+      rule.percent = shadow_body.get_double("percent", 100.0);
+      routing.shadows.push_back(std::move(rule));
+    }
+  }
+  if (routing.splits.empty() && routing.shadows.empty()) {
+    fail(where + ": needs 'split', 'shadows', or 'filters'");
+  }
+  return routing;
+}
+
+// ---------------------------------------------------------------------------
+// States
+
+StateDef parse_state(const yaml::Node& body) {
+  StateDef state;
+  state.name = require_string(body, "name", "state");
+  const std::string where = "state '" + state.name + "'";
+
+  if (const yaml::Node* final_node = body.find("final"); final_node != nullptr) {
+    const std::string kind = final_node->as_string();
+    if (kind == "success") {
+      state.final_kind = FinalKind::kSuccess;
+    } else if (kind == "rollback") {
+      state.final_kind = FinalKind::kRollback;
+    } else {
+      fail(where + ": 'final' must be success or rollback");
+    }
+  }
+
+  if (const yaml::Node* duration = body.find("duration"); duration != nullptr) {
+    const auto value = duration->as_double();
+    if (!value || *value < 0.0) fail(where + ": invalid 'duration'");
+    state.min_duration = std::max(state.min_duration, seconds(*value));
+  }
+
+  if (const yaml::Node* checks = body.find("checks"); checks != nullptr) {
+    if (!checks->is_sequence()) fail(where + ": 'checks' must be a list");
+    int index = 0;
+    for (const yaml::Node& item : checks->items()) {
+      state.checks.push_back(parse_check(item, index++, state.name));
+    }
+  }
+
+  if (const yaml::Node* routes = body.find("routes"); routes != nullptr) {
+    if (!routes->is_sequence()) fail(where + ": 'routes' must be a list");
+    for (const yaml::Node& item : routes->items()) {
+      state.routing.push_back(parse_route(item, state, state.name));
+    }
+  }
+
+  if (state.is_final()) {
+    if (body.has("transitions") || body.has("onSuccess") ||
+        body.has("onFailure") || body.has("next")) {
+      fail(where + ": final states cannot have transitions");
+    }
+    return state;
+  }
+
+  // Transitions: explicit thresholds+transitions, or sugar.
+  if (const yaml::Node* transitions = body.find("transitions");
+      transitions != nullptr) {
+    if (!transitions->is_sequence()) {
+      fail(where + ": 'transitions' must be a list");
+    }
+    for (const yaml::Node& t : transitions->items()) {
+      state.transitions.push_back(t.as_string());
+    }
+    if (const yaml::Node* thresholds = body.find("thresholds");
+        thresholds != nullptr) {
+      if (!thresholds->is_sequence()) {
+        fail(where + ": 'thresholds' must be a list");
+      }
+      for (const yaml::Node& t : thresholds->items()) {
+        const auto value = t.as_double();
+        if (!value) fail(where + ": state threshold must be a number");
+        state.thresholds.push_back(*value);
+      }
+    }
+    return state;
+  }
+
+  const std::string on_success =
+      body.get_string("onSuccess", body.get_string("next"));
+  const std::string on_failure = body.get_string("onFailure");
+  if (on_success.empty()) {
+    fail(where + ": needs 'transitions', 'onSuccess', or 'next'");
+  }
+  double basic_checks = 0.0;
+  for (const CheckDef& check : state.checks) {
+    if (check.kind == CheckKind::kBasic) basic_checks += 1.0;
+  }
+  if (on_failure.empty() || basic_checks == 0.0) {
+    // Unconditional transition (timer-only states, e.g. dark launches).
+    state.transitions = {on_success};
+  } else {
+    // Success iff every basic check passed (outcome == #basic checks).
+    state.thresholds = {basic_checks - 0.5};
+    state.transitions = {on_failure, on_success};
+  }
+  return state;
+}
+
+// ---------------------------------------------------------------------------
+// Rollout macro
+
+/// Expands `rollout` into the chain of gradual-release states
+/// (paper Fig. 1: "increase traffic to the new version in 5% steps").
+std::vector<StateDef> expand_rollout(const yaml::Node& body) {
+  const std::string name = require_string(body, "name", "rollout");
+  const std::string where = "rollout '" + name + "'";
+  const std::string service = require_string(body, "service", where);
+  const std::string from = require_string(body, "from", where);
+  const std::string to = require_string(body, "to", where);
+  const double start = body.get_double("startPercent", 5.0);
+  const double end = body.get_double("endPercent", 100.0);
+  const double step = body.get_double("stepPercent", 5.0);
+  const double step_duration = require_number(body, "stepDuration", where);
+  const std::string on_complete = require_string(body, "onComplete", where);
+  const std::string on_failure = body.get_string("onFailure");
+  const bool sticky = body.get_bool("sticky", false);
+  if (step <= 0.0 || start <= 0.0 || end > 100.0 || start > end) {
+    fail(where + ": need 0 < startPercent <= endPercent <= 100, step > 0");
+  }
+
+  // Optional checks template re-instantiated in every step.
+  std::vector<yaml::Node> check_nodes;
+  if (const yaml::Node* checks = body.find("checks"); checks != nullptr) {
+    if (!checks->is_sequence()) fail(where + ": 'checks' must be a list");
+    for (const yaml::Node& item : checks->items()) check_nodes.push_back(item);
+  }
+
+  std::vector<StateDef> states;
+  std::vector<double> percents;
+  for (double p = start; p < end + 1e-9; p += step) {
+    percents.push_back(std::min(p, 100.0));
+  }
+  for (std::size_t i = 0; i < percents.size(); ++i) {
+    StateDef state;
+    const long long pct = std::llround(percents[i]);
+    state.name = name + "-" + std::to_string(pct);
+    state.min_duration = seconds(step_duration);
+
+    ServiceRouting routing;
+    routing.service = service;
+    routing.sticky = sticky;
+    if (percents[i] >= 100.0 - 1e-9) {
+      routing.splits.push_back(VersionSplit{to, 100.0, "", ""});
+    } else {
+      routing.splits.push_back(
+          VersionSplit{from, 100.0 - percents[i], "", ""});
+      routing.splits.push_back(VersionSplit{to, percents[i], "", ""});
+    }
+    state.routing.push_back(std::move(routing));
+
+    int check_index = 0;
+    double basic_checks = 0.0;
+    for (const yaml::Node& item : check_nodes) {
+      CheckDef check = parse_check(item, check_index++, state.name);
+      if (check.kind == CheckKind::kBasic) basic_checks += 1.0;
+      state.checks.push_back(std::move(check));
+    }
+
+    const std::string next =
+        i + 1 < percents.size()
+            ? name + "-" + std::to_string(std::llround(percents[i + 1]))
+            : on_complete;
+    if (!on_failure.empty() && basic_checks > 0.0) {
+      state.thresholds = {basic_checks - 0.5};
+      state.transitions = {on_failure, next};
+    } else {
+      state.transitions = {next};
+    }
+    states.push_back(std::move(state));
+  }
+  return states;
+}
+
+// ---------------------------------------------------------------------------
+// Deployment
+
+void parse_deployment(const yaml::Node& deployment, StrategyDef& strategy) {
+  if (const yaml::Node* providers = deployment.find("providers");
+      providers != nullptr) {
+    if (!providers->is_mapping()) fail("deployment: 'providers' must map");
+    for (const auto& [name, body] : providers->entries()) {
+      core::ProviderConfig provider;
+      provider.host = require_string(body, "host", "provider '" + name + "'");
+      provider.port = static_cast<std::uint16_t>(
+          require_number(body, "port", "provider '" + name + "'"));
+      strategy.providers[name] = provider;
+    }
+  }
+  if (const yaml::Node* services = deployment.find("services");
+      services != nullptr) {
+    if (!services->is_sequence()) fail("deployment: 'services' must be a list");
+    for (const yaml::Node& item : services->items()) {
+      const yaml::Node& body = unwrap(item, "service");
+      core::ServiceDef service;
+      service.name = require_string(body, "name", "service");
+      const std::string where = "service '" + service.name + "'";
+      if (const yaml::Node* proxy = body.find("proxy"); proxy != nullptr) {
+        service.proxy_admin_host =
+            proxy->get_string("adminHost", proxy->get_string("host"));
+        service.proxy_admin_port = static_cast<std::uint16_t>(
+            proxy->get_int("adminPort", proxy->get_int("port", 0)));
+      }
+      const yaml::Node* versions = body.find("versions");
+      if (versions == nullptr || !versions->is_sequence()) {
+        fail(where + ": needs a 'versions' list");
+      }
+      for (const yaml::Node& version_item : versions->items()) {
+        const yaml::Node& version_body = unwrap(version_item, "version");
+        core::VersionDef version;
+        version.version =
+            version_body.get_string("name", version_body.get_string("version"));
+        if (version.version.empty()) fail(where + ": version without a name");
+        version.host = require_string(version_body, "host", where);
+        version.port = static_cast<std::uint16_t>(
+            require_number(version_body, "port", where));
+        service.versions.push_back(std::move(version));
+      }
+      strategy.services.push_back(std::move(service));
+    }
+  }
+}
+
+StrategyDef compile_document(const yaml::Node& root) {
+  if (!root.is_mapping()) fail("document must be a mapping");
+  const yaml::Node* strategy_node = root.find("strategy");
+  if (strategy_node == nullptr) fail("missing 'strategy' section");
+
+  StrategyDef strategy;
+  strategy.name = strategy_node->get_string("name", "unnamed");
+  strategy.initial_state = require_string(*strategy_node, "initial", "strategy");
+
+  // Providers may be declared inline in the strategy part too.
+  if (const yaml::Node* providers = strategy_node->find("providers");
+      providers != nullptr && providers->is_mapping()) {
+    for (const auto& [name, body] : providers->entries()) {
+      core::ProviderConfig provider;
+      provider.host = require_string(body, "host", "provider '" + name + "'");
+      provider.port = static_cast<std::uint16_t>(
+          require_number(body, "port", "provider '" + name + "'"));
+      strategy.providers[name] = provider;
+    }
+  }
+
+  const yaml::Node* states = strategy_node->find("states");
+  if (states == nullptr || !states->is_sequence()) {
+    fail("strategy needs a 'states' list");
+  }
+  for (const yaml::Node& item : states->items()) {
+    if (item.is_mapping() && item.entries().size() == 1 &&
+        item.entries()[0].first == "rollout") {
+      for (StateDef& state : expand_rollout(item.entries()[0].second)) {
+        strategy.states.push_back(std::move(state));
+      }
+      continue;
+    }
+    strategy.states.push_back(parse_state(unwrap(item, "state")));
+  }
+
+  if (const yaml::Node* deployment = root.find("deployment");
+      deployment != nullptr) {
+    parse_deployment(*deployment, strategy);
+  }
+  return strategy;
+}
+
+}  // namespace
+
+Result<StrategyDef> compile(const yaml::Node& root) {
+  try {
+    StrategyDef strategy = compile_document(root);
+    if (auto v = core::validate(strategy); !v) {
+      return Result<StrategyDef>::error(v.error_message());
+    }
+    return strategy;
+  } catch (const CompileError& e) {
+    return Result<StrategyDef>::error(e.what());
+  }
+}
+
+Result<StrategyDef> compile(const std::string& yaml_text) {
+  auto root = yaml::parse(yaml_text);
+  if (!root.ok()) return Result<StrategyDef>::error(root.error_message());
+  return compile(root.value());
+}
+
+Result<StrategyDef> compile_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Result<StrategyDef>::error("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return compile(buffer.str());
+}
+
+}  // namespace bifrost::dsl

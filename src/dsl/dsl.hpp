@@ -1,0 +1,74 @@
+// The Bifrost domain-specific language (paper §4.2.2): YAML documents
+// with a `strategy` part (states, checks, routes) and a `deployment`
+// part (services, versions, proxies, providers), compiled into the
+// formal model (core::StrategyDef).
+//
+// Shapes supported under `checks:`/`routes:` include the paper's
+// Listing 1 (`metric` element with providers/intervalTime/intervalLimit/
+// threshold/validator) and Listing 2 (`route` with from/to and a
+// `traffic` filter with percentage/shadow/intervalTime), plus richer
+// forms and a `rollout` macro that expands into the chain of gradual-
+// rollout states. See docs in README.md and the strategies under
+// examples/strategies/.
+//
+// Example:
+//
+//   strategy:
+//     name: fastsearch-rollout
+//     initial: canary
+//     states:
+//       - state:
+//           name: canary
+//           duration: 60
+//           onSuccess: ab-test
+//           onFailure: rollback
+//           checks:
+//             - metric:
+//                 providers:
+//                   - prometheus:
+//                       name: search_error
+//                       query: request_errors{instance="search:80"}
+//                 intervalTime: 5
+//                 intervalLimit: 12
+//                 threshold: 12
+//                 validator: "<5"
+//           routes:
+//             - route:
+//                 service: search
+//                 split:
+//                   - version: stable
+//                     percent: 95
+//                   - version: canary
+//                     percent: 5
+//       ...
+//   deployment:
+//     providers:
+//       prometheus: { host: localhost, port: 9090 }
+//     services:
+//       - service:
+//           name: search
+//           proxy: { adminHost: localhost, adminPort: 8101 }
+//           versions:
+//             - version: { name: stable, host: localhost, port: 8001 }
+//             - version: { name: canary, host: localhost, port: 8002 }
+#pragma once
+
+#include <string>
+
+#include "core/model.hpp"
+#include "util/result.hpp"
+#include "yaml/yaml.hpp"
+
+namespace bifrost::dsl {
+
+/// Compiles DSL text into the formal model. The result additionally
+/// passes core::validate() when this returns success.
+util::Result<core::StrategyDef> compile(const std::string& yaml_text);
+
+/// Compiles an already-parsed YAML document.
+util::Result<core::StrategyDef> compile(const yaml::Node& root);
+
+/// Reads and compiles a strategy file.
+util::Result<core::StrategyDef> compile_file(const std::string& path);
+
+}  // namespace bifrost::dsl

@@ -1,0 +1,96 @@
+// The Bifrost dashboard (paper §4.1): a self-contained HTML page served
+// by the engine API that visualizes the execution state of release
+// strategies in real time. It polls the engine's own REST endpoints
+// (/strategies and the long-poll /events stream), so it needs no build
+// step and no external assets.
+#pragma once
+
+namespace bifrost::engine {
+
+inline constexpr const char* kDashboardHtml = R"HTML(<!doctype html>
+<html>
+<head>
+<meta charset="utf-8">
+<title>Bifrost dashboard</title>
+<style>
+  body { font-family: ui-monospace, Menlo, Consolas, monospace;
+         margin: 2rem; background: #14171c; color: #d7dce2; }
+  h1 { font-size: 1.3rem; } h2 { font-size: 1.05rem; margin-top: 1.6rem; }
+  table { border-collapse: collapse; width: 100%; }
+  th, td { text-align: left; padding: .35rem .7rem;
+           border-bottom: 1px solid #2a2f37; font-size: .85rem; }
+  th { color: #8b949e; font-weight: normal; }
+  .running   { color: #58a6ff; } .succeeded { color: #3fb950; }
+  .rolled_back, .failed, .aborted { color: #f85149; }
+  .pending { color: #8b949e; }
+  #events { max-height: 24rem; overflow-y: auto; white-space: pre;
+            font-size: .8rem; background: #0d1117; padding: .8rem;
+            border-radius: 6px; }
+  .muted { color: #8b949e; }
+</style>
+</head>
+<body>
+<h1>Bifrost dashboard</h1>
+<div class="muted" id="meta">connecting&hellip;</div>
+<h2>Strategies</h2>
+<table>
+  <thead><tr><th>id</th><th>name</th><th>status</th><th>state</th>
+  <th>transitions</th><th>checks</th><th>delay&nbsp;(s)</th></tr></thead>
+  <tbody id="strategies"></tbody>
+</table>
+<h2>Event stream</h2>
+<div id="events"></div>
+<script>
+let since = 0;
+const eventsBox = document.getElementById('events');
+
+async function refreshStrategies() {
+  try {
+    const res = await fetch('/strategies');
+    const list = await res.json();
+    const rows = list.map(s =>
+      `<tr><td>${s.id}</td><td>${s.name}</td>` +
+      `<td class="${s.status}">${s.status}</td>` +
+      `<td>${s.currentState || '-'}</td><td>${s.transitions}</td>` +
+      `<td>${s.checksExecuted}</td>` +
+      `<td>${(s.enactmentDelaySeconds || 0).toFixed(2)}</td></tr>`);
+    document.getElementById('strategies').innerHTML = rows.join('');
+    document.getElementById('meta').textContent =
+      `${list.length} strategies - ${new Date().toLocaleTimeString()}`;
+  } catch (e) {
+    document.getElementById('meta').textContent = 'engine unreachable';
+  }
+}
+
+async function pollEvents() {
+  for (;;) {
+    try {
+      const res = await fetch(`/events?since=${since}&wait=20000`);
+      const events = await res.json();
+      for (const ev of events) {
+        since = Math.max(since, ev.seq);
+        const line = `[${ev.time.toFixed(2).padStart(9)}] ` +
+          `${ev.strategy.padEnd(8)} ${ev.type.padEnd(18)} ` +
+          `${(ev.state || '').padEnd(16)} ${ev.check || ''} ` +
+          `${ev.detail || ''}`;
+        const div = document.createElement('div');
+        div.textContent = line;
+        eventsBox.appendChild(div);
+        eventsBox.scrollTop = eventsBox.scrollHeight;
+      }
+      if (events.length) refreshStrategies();
+    } catch (e) {
+      await new Promise(r => setTimeout(r, 2000));
+    }
+  }
+}
+
+refreshStrategies();
+setInterval(refreshStrategies, 5000);
+pollEvents();
+</script>
+</body>
+</html>
+)HTML";
+
+}  // namespace bifrost::engine

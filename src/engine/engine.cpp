@@ -1,0 +1,182 @@
+#include "engine/engine.hpp"
+
+#include <chrono>
+
+namespace bifrost::engine {
+
+Engine::Engine(runtime::Scheduler& scheduler, MetricsClient& metrics,
+               ProxyController& proxies, Options options)
+    : scheduler_(scheduler),
+      metrics_(metrics),
+      proxies_(proxies),
+      options_(options) {}
+
+Engine::~Engine() = default;
+
+util::Result<std::string> Engine::submit(core::StrategyDef def,
+                                         StatusListener extra_listener) {
+  if (auto v = core::validate(def); !v) {
+    return util::Result<std::string>::error(v.error_message());
+  }
+  std::string id;
+  StrategyExecution* execution = nullptr;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    id = "s-" + std::to_string(next_id_++);
+    StrategySnapshot record;
+    record.id = id;
+    record.name = def.name;
+    record.status = ExecutionStatus::kPending;
+    records_[id] = std::move(record);
+
+    auto listener = [this, extra = std::move(extra_listener)](
+                        const StatusEvent& event) {
+      on_event(event, extra);
+    };
+    auto owned = std::make_unique<StrategyExecution>(
+        id, scheduler_, metrics_, proxies_, std::move(def),
+        std::move(listener));
+    execution = owned.get();
+    executions_[id] = std::move(owned);
+  }
+  scheduler_.post([execution] { execution->start(); });
+  return id;
+}
+
+bool Engine::abort(const std::string& id, const std::string& reason) {
+  StrategyExecution* execution = nullptr;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = executions_.find(id);
+    if (it == executions_.end()) return false;
+    execution = it->second.get();
+  }
+  scheduler_.post([execution, reason] { execution->abort(reason); });
+  return true;
+}
+
+void Engine::on_event(StatusEvent event, const StatusListener& extra) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    event.sequence = next_sequence_++;
+    events_.push_back(event);
+    if (events_.size() > options_.event_log_capacity) events_.pop_front();
+
+    auto record_it = records_.find(event.strategy_id);
+    if (record_it != records_.end()) {
+      StrategySnapshot& record = record_it->second;
+      const auto exec_it = executions_.find(event.strategy_id);
+      switch (event.type) {
+        case StatusEvent::Type::kStarted:
+          record.status = ExecutionStatus::kRunning;
+          record.started_seconds = event.time_seconds;
+          break;
+        case StatusEvent::Type::kStateEntered:
+          if (!record.current_state.empty()) ++record.transitions;
+          record.current_state = event.state;
+          record.history.push_back(StateVisit{
+              event.state,
+              std::chrono::duration_cast<runtime::Time>(
+                  std::chrono::duration<double>(event.time_seconds)),
+              runtime::Time{0}, 0.0, false});
+          break;
+        case StatusEvent::Type::kCheckExecuted:
+          ++record.checks_executed;
+          break;
+        case StatusEvent::Type::kStateCompleted:
+          if (!record.history.empty()) {
+            record.history.back().outcome = event.value;
+            record.history.back().exited =
+                std::chrono::duration_cast<runtime::Time>(
+                    std::chrono::duration<double>(event.time_seconds));
+          }
+          break;
+        case StatusEvent::Type::kFinished:
+        case StatusEvent::Type::kAborted:
+          record.finished_seconds = event.time_seconds;
+          if (exec_it != executions_.end()) {
+            record.status = exec_it->second->status();
+            record.enactment_delay_seconds =
+                std::chrono::duration<double>(
+                    exec_it->second->enactment_delay())
+                    .count();
+          }
+          if (!record.history.empty() &&
+              record.history.back().exited == runtime::Time{0}) {
+            record.history.back().exited =
+                std::chrono::duration_cast<runtime::Time>(
+                    std::chrono::duration<double>(event.time_seconds));
+          }
+          break;
+        default:
+          break;
+      }
+    }
+  }
+  event_cv_.notify_all();
+  if (extra) extra(event);
+}
+
+std::optional<StrategySnapshot> Engine::status(const std::string& id) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = records_.find(id);
+  if (it == records_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<StrategySnapshot> Engine::list() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<StrategySnapshot> out;
+  out.reserve(records_.size());
+  for (const auto& [id, record] : records_) out.push_back(record);
+  return out;
+}
+
+std::size_t Engine::running_count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t n = 0;
+  for (const auto& [id, record] : records_) {
+    if (record.status == ExecutionStatus::kRunning ||
+        record.status == ExecutionStatus::kPending) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+std::vector<StatusEvent> Engine::events_since(
+    std::uint64_t after, std::size_t max,
+    std::chrono::milliseconds wait) const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  const auto collect = [&] {
+    std::vector<StatusEvent> out;
+    for (const StatusEvent& event : events_) {
+      if (event.sequence > after) {
+        out.push_back(event);
+        if (out.size() >= max) break;
+      }
+    }
+    return out;
+  };
+  auto out = collect();
+  if (out.empty() && wait.count() > 0) {
+    event_cv_.wait_for(lock, wait,
+                       [&] { return next_sequence_ - 1 > after; });
+    out = collect();
+  }
+  return out;
+}
+
+std::optional<std::string> Engine::dot(const std::string& id) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = executions_.find(id);
+  if (it == executions_.end()) return std::nullopt;
+  return core::to_dot(it->second->definition());
+}
+
+std::uint64_t Engine::last_event_sequence() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return next_sequence_ - 1;
+}
+
+}  // namespace bifrost::engine

@@ -1,0 +1,98 @@
+// The Bifrost engine: owns strategy executions on one scheduler, keeps
+// thread-safe status records (snapshots are served from the engine's own
+// bookkeeping, never by poking execution internals across threads), and
+// maintains the status event log that feeds the CLI/dashboard stream.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/model.hpp"
+#include "engine/execution.hpp"
+#include "engine/interfaces.hpp"
+#include "runtime/scheduler.hpp"
+
+namespace bifrost::engine {
+
+/// Thread-safe view of one execution's progress.
+struct StrategySnapshot {
+  std::string id;
+  std::string name;
+  ExecutionStatus status = ExecutionStatus::kPending;
+  std::string current_state;
+  double started_seconds = 0.0;
+  double finished_seconds = 0.0;
+  std::uint64_t transitions = 0;
+  std::uint64_t checks_executed = 0;
+  std::vector<StateVisit> history;
+  double enactment_delay_seconds = 0.0;  ///< valid once finished
+};
+
+class Engine {
+ public:
+  struct Options {
+    std::size_t event_log_capacity = 100000;
+  };
+
+  Engine(runtime::Scheduler& scheduler, MetricsClient& metrics,
+         ProxyController& proxies, Options options);
+  Engine(runtime::Scheduler& scheduler, MetricsClient& metrics,
+         ProxyController& proxies)
+      : Engine(scheduler, metrics, proxies, Options{}) {}
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Validates and schedules a strategy; returns its id or the
+  /// validation error. `extra_listener` (optional) receives every event
+  /// of this strategy in addition to the engine log.
+  util::Result<std::string> submit(core::StrategyDef def,
+                                   StatusListener extra_listener = nullptr);
+
+  /// Requests an abort (delivered on the scheduler thread).
+  bool abort(const std::string& id, const std::string& reason = "user abort");
+
+  [[nodiscard]] std::optional<StrategySnapshot> status(
+      const std::string& id) const;
+  [[nodiscard]] std::vector<StrategySnapshot> list() const;
+  [[nodiscard]] std::size_t running_count() const;
+
+  /// Events with sequence > `after`, up to `max`; blocks up to `wait`
+  /// when none are available yet (long-poll support). Pass wait = 0 for
+  /// a non-blocking read.
+  [[nodiscard]] std::vector<StatusEvent> events_since(
+      std::uint64_t after, std::size_t max,
+      std::chrono::milliseconds wait) const;
+
+  [[nodiscard]] std::uint64_t last_event_sequence() const;
+
+  /// Graphviz rendering of a submitted strategy's automaton (the
+  /// definition is immutable after submit, so this is thread-safe).
+  [[nodiscard]] std::optional<std::string> dot(const std::string& id) const;
+
+ private:
+  void on_event(StatusEvent event, const StatusListener& extra);
+
+  runtime::Scheduler& scheduler_;
+  MetricsClient& metrics_;
+  ProxyController& proxies_;
+  Options options_;
+
+  mutable std::mutex mutex_;
+  mutable std::condition_variable event_cv_;
+  std::map<std::string, std::unique_ptr<StrategyExecution>> executions_;
+  std::map<std::string, StrategySnapshot> records_;
+  std::deque<StatusEvent> events_;
+  std::uint64_t next_sequence_ = 1;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace bifrost::engine

@@ -1,0 +1,307 @@
+#include "engine/execution.hpp"
+
+#include <chrono>
+
+#include "util/log.hpp"
+
+namespace bifrost::engine {
+namespace {
+
+/// EvalContext bound to the engine's MetricsClient and the strategy's
+/// provider table.
+class ClientEvalContext final : public core::EvalContext {
+ public:
+  ClientEvalContext(MetricsClient& client, const core::StrategyDef& def,
+                    double now_seconds)
+      : client_(client), def_(def), now_seconds_(now_seconds) {}
+
+  util::Result<std::optional<double>> query(const std::string& provider,
+                                            const std::string& query) override {
+    const auto it = def_.providers.find(provider);
+    if (it == def_.providers.end()) {
+      return util::Result<std::optional<double>>::error(
+          "unknown provider '" + provider + "'");
+    }
+    return client_.query(it->second, query);
+  }
+
+  [[nodiscard]] double now_seconds() const override { return now_seconds_; }
+
+ private:
+  MetricsClient& client_;
+  const core::StrategyDef& def_;
+  double now_seconds_;
+};
+
+}  // namespace
+
+StrategyExecution::StrategyExecution(std::string id,
+                                     runtime::Scheduler& scheduler,
+                                     MetricsClient& metrics,
+                                     ProxyController& proxies,
+                                     core::StrategyDef def,
+                                     StatusListener listener, Options options)
+    : id_(std::move(id)),
+      scheduler_(scheduler),
+      metrics_(metrics),
+      proxies_(proxies),
+      def_(std::move(def)),
+      listener_(std::move(listener)),
+      options_(options) {}
+
+double StrategyExecution::now_seconds() const {
+  return std::chrono::duration<double>(scheduler_.now()).count();
+}
+
+void StrategyExecution::emit(StatusEvent::Type type, const std::string& state,
+                             const std::string& check, double value,
+                             const std::string& detail) {
+  if (!listener_) return;
+  StatusEvent event;
+  event.time_seconds = now_seconds();
+  event.strategy_id = id_;
+  event.type = type;
+  event.state = state;
+  event.check = check;
+  event.value = value;
+  event.detail = detail;
+  listener_(event);
+}
+
+void StrategyExecution::start() {
+  if (status_ != ExecutionStatus::kPending) return;
+  status_ = ExecutionStatus::kRunning;
+  started_at_ = scheduler_.now();
+  emit(StatusEvent::Type::kStarted, def_.initial_state);
+  enter_state(def_.initial_state);
+}
+
+void StrategyExecution::abort(const std::string& reason) {
+  if (status_ != ExecutionStatus::kRunning &&
+      status_ != ExecutionStatus::kPending) {
+    return;
+  }
+  ++generation_;  // invalidate all pending timers
+  if (!history_.empty() && history_.back().exited == runtime::Time{0}) {
+    history_.back().exited = scheduler_.now();
+  }
+  finished_at_ = scheduler_.now();
+  status_ = ExecutionStatus::kAborted;
+  // Emit after the status flip so listeners observe the final state.
+  emit(StatusEvent::Type::kAborted, current_state_, "", 0.0, reason);
+}
+
+void StrategyExecution::enter_state(const std::string& name) {
+  const core::StateDef* state = def_.find_state(name);
+  if (state == nullptr) {  // unreachable after validation
+    emit(StatusEvent::Type::kError, name, "", 0.0, "state not found");
+    finish(ExecutionStatus::kFailed);
+    return;
+  }
+  ++generation_;
+  const std::uint64_t gen = generation_;
+  current_state_ = name;
+  state_ = state;
+  dwell_elapsed_ = state->min_duration <= runtime::Duration::zero();
+  history_.push_back(StateVisit{name, scheduler_.now(), runtime::Time{0}, 0.0,
+                                false});
+  emit(StatusEvent::Type::kStateEntered, name);
+
+  apply_routing(*state);
+
+  if (state->is_final()) {
+    history_.back().exited = scheduler_.now();
+    finish(state->final_kind == core::FinalKind::kSuccess
+               ? ExecutionStatus::kSucceeded
+               : ExecutionStatus::kRolledBack);
+    return;
+  }
+
+  checks_.clear();
+  checks_.reserve(state->checks.size());
+  for (const core::CheckDef& check : state->checks) {
+    checks_.push_back(CheckRuntime{&check, 0, 0, false});
+  }
+  for (std::size_t i = 0; i < checks_.size(); ++i) schedule_check(i);
+
+  if (!dwell_elapsed_) {
+    scheduler_.schedule_after(state->min_duration, [this, gen] {
+      if (gen != generation_ || status_ != ExecutionStatus::kRunning) return;
+      dwell_elapsed_ = true;
+      maybe_complete_state();
+    });
+  }
+  // A state with no checks and no dwell completes immediately (but via
+  // the scheduler so re-entrant transitions unwind).
+  if (checks_.empty() && dwell_elapsed_) {
+    scheduler_.post([this, gen] {
+      if (gen != generation_ || status_ != ExecutionStatus::kRunning) return;
+      maybe_complete_state();
+    });
+  }
+}
+
+void StrategyExecution::apply_routing(const core::StateDef& state) {
+  for (const core::ServiceRouting& routing : state.routing) {
+    const core::ServiceDef* service = def_.find_service(routing.service);
+    if (service == nullptr) continue;  // validated earlier
+    auto config = build_proxy_config(*service, routing);
+    if (!config.ok()) {
+      emit(StatusEvent::Type::kError, state.name, "", 0.0,
+           config.error_message());
+      continue;
+    }
+    auto applied = proxies_.apply(*service, config.value());
+    if (!applied.ok()) {
+      emit(StatusEvent::Type::kError, state.name, "", 0.0,
+           "proxy update failed: " + applied.error_message());
+      continue;
+    }
+    emit(StatusEvent::Type::kRoutingApplied, state.name, routing.service);
+  }
+}
+
+void StrategyExecution::schedule_check(std::size_t check_index) {
+  const std::uint64_t gen = generation_;
+  const core::CheckDef& check = *checks_[check_index].def;
+  // Node-style chained timer: the next execution is armed `interval`
+  // after the previous one *completes*, so engine-side processing delay
+  // accumulates — the effect measured in the paper's Figures 8/10.
+  scheduler_.schedule_after(check.interval, [this, gen, check_index] {
+    if (gen != generation_ || status_ != ExecutionStatus::kRunning) return;
+    run_check_execution(check_index);
+  });
+}
+
+void StrategyExecution::run_check_execution(std::size_t check_index) {
+  CheckRuntime& runtime = checks_[check_index];
+  const core::CheckDef& check = *runtime.def;
+
+  const bool success = evaluate_check_once(check);
+  ++runtime.executed;
+  ++checks_executed_;
+  if (success) ++runtime.successes;
+  emit(StatusEvent::Type::kCheckExecuted, current_state_, check.name,
+       success ? 1.0 : 0.0);
+
+  if (check.kind == core::CheckKind::kException && !success) {
+    // A failing exception check rolls back immediately (paper §3.2).
+    emit(StatusEvent::Type::kExceptionTriggered, current_state_, check.name);
+    transition_to(check.fallback_state, /*via_exception=*/true);
+    return;
+  }
+
+  if (runtime.executed >= check.executions) {
+    runtime.done = true;
+    double contribution;
+    if (check.kind == core::CheckKind::kBasic) {
+      contribution = core::map_through_thresholds(
+          check.thresholds, check.outputs,
+          static_cast<double>(runtime.successes));
+    } else {
+      // All executions of an exception check succeeded: its aggregated
+      // outcome equals n (paper §3.2).
+      contribution = static_cast<double>(runtime.successes);
+    }
+    emit(StatusEvent::Type::kCheckCompleted, current_state_, check.name,
+         contribution);
+    maybe_complete_state();
+    return;
+  }
+  schedule_check(check_index);
+}
+
+bool StrategyExecution::evaluate_check_once(const core::CheckDef& check) {
+  ClientEvalContext context(metrics_, def_, now_seconds());
+  for (const core::MetricCondition& condition : check.conditions) {
+    auto value = context.query(condition.provider, condition.query);
+    if (!value.ok()) {
+      util::log_debug("execution", id_, ": provider error for '",
+                      condition.query, "': ", value.error_message());
+      if (condition.fail_on_no_data) return false;
+      continue;
+    }
+    if (!value.value().has_value()) {
+      if (condition.fail_on_no_data) return false;
+      continue;
+    }
+    if (!condition.validator.eval(*value.value())) return false;
+  }
+  if (check.custom && !check.custom(context)) return false;
+  return true;
+}
+
+void StrategyExecution::maybe_complete_state() {
+  if (!dwell_elapsed_) return;
+  for (const CheckRuntime& check : checks_) {
+    if (!check.done) return;
+  }
+  complete_state();
+}
+
+void StrategyExecution::complete_state() {
+  std::vector<std::pair<double, double>> contributions;
+  contributions.reserve(checks_.size());
+  for (const CheckRuntime& runtime : checks_) {
+    const core::CheckDef& check = *runtime.def;
+    double value;
+    if (check.kind == core::CheckKind::kBasic) {
+      value = core::map_through_thresholds(
+          check.thresholds, check.outputs,
+          static_cast<double>(runtime.successes));
+    } else {
+      value = static_cast<double>(runtime.successes);
+    }
+    contributions.emplace_back(value, check.weight);
+  }
+  const double outcome = core::weighted_outcome(contributions);
+  history_.back().outcome = outcome;
+  emit(StatusEvent::Type::kStateCompleted, current_state_, "", outcome);
+
+  const std::string& next =
+      state_->transitions.empty()
+          ? current_state_  // unreachable: non-final states have transitions
+          : core::next_state_name(*state_, outcome);
+  transition_to(next, /*via_exception=*/false);
+}
+
+void StrategyExecution::transition_to(const std::string& next,
+                                      bool via_exception) {
+  history_.back().exited = scheduler_.now();
+  history_.back().via_exception = via_exception;
+  if (++transitions_ > options_.max_transitions) {
+    emit(StatusEvent::Type::kError, current_state_, "", 0.0,
+         "transition limit exceeded (loop guard)");
+    finish(ExecutionStatus::kFailed);
+    return;
+  }
+  enter_state(next);
+}
+
+void StrategyExecution::finish(ExecutionStatus status) {
+  ++generation_;
+  status_ = status;
+  finished_at_ = scheduler_.now();
+  emit(StatusEvent::Type::kFinished, current_state_, "",
+       status == ExecutionStatus::kSucceeded ? 1.0 : 0.0,
+       status == ExecutionStatus::kSucceeded    ? "success"
+       : status == ExecutionStatus::kRolledBack ? "rollback"
+                                                : "failed");
+}
+
+runtime::Duration StrategyExecution::enactment_delay() const {
+  // Nominal time = sum of specified durations of the transient states
+  // actually visited (a check's first execution waits one interval, but
+  // interval * executions already accounts for that).
+  runtime::Duration specified{0};
+  for (const StateVisit& visit : history_) {
+    const core::StateDef* state = def_.find_state(visit.state);
+    if (state != nullptr && !state->is_final()) {
+      specified += state->duration();
+    }
+  }
+  const runtime::Duration actual = finished_at_ - started_at_;
+  return actual - specified;
+}
+
+}  // namespace bifrost::engine

@@ -1,0 +1,132 @@
+// Enactment of a single strategy: the engine-side interpreter of the
+// formal model's automaton. Single-threaded: all methods and timer
+// callbacks run on the owning Scheduler's thread (run-to-completion, as
+// in the paper's Node.js engine).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/model.hpp"
+#include "engine/interfaces.hpp"
+#include "runtime/scheduler.hpp"
+
+namespace bifrost::engine {
+
+/// Per-state timing of one visit (used to compute enactment delay, the
+/// metric of the paper's Figures 8 and 10).
+struct StateVisit {
+  std::string state;
+  runtime::Time entered{0};
+  runtime::Time exited{0};
+  double outcome = 0.0;
+  bool via_exception = false;
+};
+
+enum class ExecutionStatus {
+  kPending,
+  kRunning,
+  kSucceeded,   ///< reached a FinalKind::kSuccess state
+  kRolledBack,  ///< reached a FinalKind::kRollback state
+  kAborted,
+  kFailed,  ///< internal error (e.g. transition-loop guard)
+};
+
+class StrategyExecution {
+ public:
+  struct Options {
+    /// Abort guard against zero-duration transition cycles.
+    std::uint64_t max_transitions = 100000;
+  };
+
+  /// `def` must already pass core::validate(). The listener receives
+  /// every status event (sequence is left 0; the Engine assigns it).
+  StrategyExecution(std::string id, runtime::Scheduler& scheduler,
+                    MetricsClient& metrics, ProxyController& proxies,
+                    core::StrategyDef def, StatusListener listener,
+                    Options options);
+  StrategyExecution(std::string id, runtime::Scheduler& scheduler,
+                    MetricsClient& metrics, ProxyController& proxies,
+                    core::StrategyDef def, StatusListener listener)
+      : StrategyExecution(std::move(id), scheduler, metrics, proxies,
+                          std::move(def), std::move(listener), Options{}) {}
+
+  StrategyExecution(const StrategyExecution&) = delete;
+  StrategyExecution& operator=(const StrategyExecution&) = delete;
+
+  /// Enters the initial state. Must be called on the scheduler thread
+  /// (or before the scheduler starts delivering timers).
+  void start();
+
+  /// Stops all timers and marks the execution aborted.
+  void abort(const std::string& reason);
+
+  [[nodiscard]] const std::string& id() const { return id_; }
+  [[nodiscard]] ExecutionStatus status() const { return status_; }
+  [[nodiscard]] const std::string& current_state() const {
+    return current_state_;
+  }
+  [[nodiscard]] const core::StrategyDef& definition() const { return def_; }
+  [[nodiscard]] const std::vector<StateVisit>& history() const {
+    return history_;
+  }
+  [[nodiscard]] runtime::Time started_at() const { return started_at_; }
+  [[nodiscard]] runtime::Time finished_at() const { return finished_at_; }
+
+  /// Total enactment wall time minus the specified (nominal) duration of
+  /// the states actually visited — the "delay of specified execution
+  /// time" in the paper's Figures 8 and 10. Only valid once finished.
+  [[nodiscard]] runtime::Duration enactment_delay() const;
+
+  [[nodiscard]] std::uint64_t checks_executed() const {
+    return checks_executed_;
+  }
+
+ private:
+  struct CheckRuntime {
+    const core::CheckDef* def = nullptr;
+    int executed = 0;
+    int successes = 0;
+    bool done = false;
+  };
+
+  void enter_state(const std::string& name);
+  void apply_routing(const core::StateDef& state);
+  void schedule_check(std::size_t check_index);
+  void run_check_execution(std::size_t check_index);
+  bool evaluate_check_once(const core::CheckDef& check);
+  void maybe_complete_state();
+  void complete_state();
+  void transition_to(const std::string& next, bool via_exception);
+  void finish(ExecutionStatus status);
+  void emit(StatusEvent::Type type, const std::string& state,
+            const std::string& check = "", double value = 0.0,
+            const std::string& detail = "");
+  [[nodiscard]] double now_seconds() const;
+
+  std::string id_;
+  runtime::Scheduler& scheduler_;
+  MetricsClient& metrics_;
+  ProxyController& proxies_;
+  core::StrategyDef def_;
+  StatusListener listener_;
+  Options options_;
+
+  ExecutionStatus status_ = ExecutionStatus::kPending;
+  std::string current_state_;
+  const core::StateDef* state_ = nullptr;
+  std::uint64_t generation_ = 0;  ///< invalidates timers of left states
+  std::vector<CheckRuntime> checks_;
+  bool dwell_elapsed_ = false;
+  std::vector<StateVisit> history_;
+  runtime::Time started_at_{0};
+  runtime::Time finished_at_{0};
+  std::uint64_t transitions_ = 0;
+  std::uint64_t checks_executed_ = 0;
+};
+
+}  // namespace bifrost::engine

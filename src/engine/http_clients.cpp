@@ -1,0 +1,52 @@
+#include "engine/http_clients.hpp"
+
+#include "http/url.hpp"
+#include "json/json.hpp"
+
+namespace bifrost::engine {
+
+util::Result<std::optional<double>> HttpMetricsClient::query(
+    const core::ProviderConfig& provider, const std::string& query) {
+  using R = util::Result<std::optional<double>>;
+  const std::string url = "http://" + provider.host + ":" +
+                          std::to_string(provider.port) +
+                          "/api/v1/query?query=" + http::url_encode(query);
+  auto response = client_.get(url);
+  if (!response.ok()) return R::error(response.error_message());
+  if (response.value().status != 200) {
+    return R::error("provider returned HTTP " +
+                    std::to_string(response.value().status));
+  }
+  auto doc = json::parse(response.value().body);
+  if (!doc.ok()) return R::error("provider JSON: " + doc.error_message());
+  const json::Value* data = doc.value().find("data");
+  if (data == nullptr || !data->is_object()) {
+    return R::error("provider response missing data object");
+  }
+  if (data->get_number("seriesMatched", 0.0) <= 0.0) {
+    return std::optional<double>{};  // no data
+  }
+  return std::optional<double>{data->get_number("value", 0.0)};
+}
+
+util::Result<void> HttpProxyController::apply(const core::ServiceDef& service,
+                                              const proxy::ProxyConfig& config) {
+  using R = util::Result<void>;
+  if (service.proxy_admin_host.empty() || service.proxy_admin_port == 0) {
+    return R::error("service '" + service.name + "' has no proxy admin endpoint");
+  }
+  const std::string url = "http://" + service.proxy_admin_host + ":" +
+                          std::to_string(service.proxy_admin_port) +
+                          "/admin/config";
+  auto response =
+      client_.put(url, config.to_json().dump(), "application/json");
+  if (!response.ok()) return R::error(response.error_message());
+  if (response.value().status != 200) {
+    return R::error("proxy admin returned HTTP " +
+                    std::to_string(response.value().status) + ": " +
+                    response.value().body);
+  }
+  return {};
+}
+
+}  // namespace bifrost::engine

@@ -1,0 +1,35 @@
+// Production implementations of the engine-side interfaces, speaking
+// HTTP to the metrics provider (Prometheus stand-in) and to the Bifrost
+// proxies' admin APIs.
+#pragma once
+
+#include "engine/interfaces.hpp"
+#include "http/client.hpp"
+
+namespace bifrost::engine {
+
+/// Queries GET /api/v1/query?query=... on the provider endpoint.
+class HttpMetricsClient final : public MetricsClient {
+ public:
+  HttpMetricsClient() = default;
+
+  util::Result<std::optional<double>> query(
+      const core::ProviderConfig& provider, const std::string& query) override;
+
+ private:
+  http::HttpClient client_;
+};
+
+/// Pushes routing tables via PUT /admin/config on each proxy.
+class HttpProxyController final : public ProxyController {
+ public:
+  HttpProxyController() = default;
+
+  util::Result<void> apply(const core::ServiceDef& service,
+                           const proxy::ProxyConfig& config) override;
+
+ private:
+  http::HttpClient client_;
+};
+
+}  // namespace bifrost::engine

@@ -1,0 +1,80 @@
+#include "engine/interfaces.hpp"
+
+namespace bifrost::engine {
+
+std::string StatusEvent::type_name() const {
+  switch (type) {
+    case Type::kStarted:
+      return "started";
+    case Type::kStateEntered:
+      return "state_entered";
+    case Type::kRoutingApplied:
+      return "routing_applied";
+    case Type::kCheckExecuted:
+      return "check_executed";
+    case Type::kCheckCompleted:
+      return "check_completed";
+    case Type::kExceptionTriggered:
+      return "exception_triggered";
+    case Type::kStateCompleted:
+      return "state_completed";
+    case Type::kFinished:
+      return "finished";
+    case Type::kAborted:
+      return "aborted";
+    case Type::kError:
+      return "error";
+  }
+  return "?";
+}
+
+util::Result<proxy::ProxyConfig> build_proxy_config(
+    const core::ServiceDef& service, const core::ServiceRouting& routing) {
+  using R = util::Result<proxy::ProxyConfig>;
+  proxy::ProxyConfig config;
+  config.service = service.name;
+  config.mode = routing.mode;
+  config.sticky = routing.sticky;
+  if (routing.filter.active()) {
+    config.filter_header = routing.filter.header;
+    config.filter_value = routing.filter.value;
+    config.default_version = routing.filter.default_version;
+  }
+  for (const core::VersionSplit& split : routing.splits) {
+    const core::VersionDef* version = service.find_version(split.version);
+    if (version == nullptr) {
+      return R::error("service '" + service.name + "' has no version '" +
+                      split.version + "'");
+    }
+    config.backends.push_back(proxy::BackendTarget{
+        split.version, version->host, version->port, split.percent,
+        split.match_header, split.match_value});
+  }
+  for (const core::ShadowRule& shadow : routing.shadows) {
+    const core::VersionDef* target = service.find_version(shadow.target_version);
+    if (target == nullptr) {
+      return R::error("service '" + service.name + "' has no version '" +
+                      shadow.target_version + "'");
+    }
+    config.shadows.push_back(proxy::ShadowTarget{shadow.source_version,
+                                                 shadow.target_version,
+                                                 target->host, target->port,
+                                                 shadow.percent});
+  }
+  if (auto v = config.validate(); !v) return R::error(v.error_message());
+  return config;
+}
+
+proxy::ProxyConfig passthrough_config(const core::ServiceDef& service,
+                                      const std::string& version) {
+  proxy::ProxyConfig config;
+  config.service = service.name;
+  const core::VersionDef* v = service.find_version(version);
+  if (v != nullptr) {
+    config.backends.push_back(
+        proxy::BackendTarget{v->version, v->host, v->port, 100.0, "", ""});
+  }
+  return config;
+}
+
+}  // namespace bifrost::engine

@@ -1,0 +1,76 @@
+// Engine-side abstractions. The strategy-enactment logic talks to the
+// outside world only through these interfaces, so the identical code
+// drives the real middleware (HTTP implementations in http_clients.hpp)
+// and the discrete-event simulator used for the paper's engine-scale
+// experiments (implementations in src/sim/).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "core/model.hpp"
+#include "proxy/config.hpp"
+#include "util/result.hpp"
+
+namespace bifrost::engine {
+
+/// Queries a metrics provider. Returns an error when the provider is
+/// unreachable; a nullopt value when the query matched no series.
+class MetricsClient {
+ public:
+  virtual ~MetricsClient() = default;
+  virtual util::Result<std::optional<double>> query(
+      const core::ProviderConfig& provider, const std::string& query) = 0;
+};
+
+/// Pushes a routing table to a service's Bifrost proxy.
+class ProxyController {
+ public:
+  virtual ~ProxyController() = default;
+  virtual util::Result<void> apply(const core::ServiceDef& service,
+                                   const proxy::ProxyConfig& config) = 0;
+};
+
+/// Execution status events (fed to the dashboard/CLI event stream).
+struct StatusEvent {
+  enum class Type {
+    kStarted,
+    kStateEntered,
+    kRoutingApplied,
+    kCheckExecuted,
+    kCheckCompleted,
+    kExceptionTriggered,
+    kStateCompleted,
+    kFinished,
+    kAborted,
+    kError,
+  };
+
+  std::uint64_t sequence = 0;  ///< assigned by the engine event log
+  double time_seconds = 0.0;
+  std::string strategy_id;
+  Type type = Type::kStarted;
+  std::string state;
+  std::string check;
+  double value = 0.0;  ///< check result / state outcome, by type
+  std::string detail;
+
+  [[nodiscard]] std::string type_name() const;
+};
+
+using StatusListener = std::function<void(const StatusEvent&)>;
+
+/// Materializes the proxy routing table for one service in one state:
+/// resolves version names of the state's dynamic routing configuration
+/// against the service's static endpoint configuration.
+util::Result<proxy::ProxyConfig> build_proxy_config(
+    const core::ServiceDef& service, const core::ServiceRouting& routing);
+
+/// The default table outside any live test: 100% of traffic to the given
+/// version.
+proxy::ProxyConfig passthrough_config(const core::ServiceDef& service,
+                                      const std::string& version);
+
+}  // namespace bifrost::engine

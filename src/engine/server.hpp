@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "engine/engine.hpp"
+#include "http/server.hpp"
+
+namespace bifrost::engine {
+
+/// REST face of the engine, used by the Bifrost CLI and dashboard.
+/// Endpoints:
+///   POST   /strategies            body: DSL YAML -> {"id": "..."}
+///   POST   /strategies?dryRun=1   compile + validate only -> summary
+///   GET    /strategies            list of snapshots
+///   GET    /strategies/{id}       snapshot with state history
+///   GET    /strategies/{id}/dot   Graphviz rendering of the automaton
+///   DELETE /strategies/{id}       abort
+///   GET    /events?since=N&wait=MS[&strategy=ID]  long-poll status
+///          event stream (the Socket.IO substitute: ordered one-way
+///          push to CLI/dashboard), optionally per strategy
+///   GET    /healthz
+class EngineServer {
+ public:
+  EngineServer(Engine& engine, std::uint16_t port = 0);
+  ~EngineServer();
+
+  void start();
+  void stop();
+  [[nodiscard]] std::uint16_t port() const;
+
+ private:
+  http::Response handle(const http::Request& request);
+
+  Engine& engine_;
+  std::unique_ptr<http::HttpServer> server_;
+};
+
+/// JSON rendering of a snapshot / event (shared with the CLI).
+json::Value snapshot_to_json(const StrategySnapshot& snapshot);
+json::Value event_to_json(const StatusEvent& event);
+
+}  // namespace bifrost::engine

@@ -1,0 +1,141 @@
+#include "http/client.hpp"
+
+#include "http/url.hpp"
+#include "util/strings.hpp"
+
+namespace bifrost::http {
+
+util::Result<Response> HttpClient::request(Request req, const std::string& host,
+                                           std::uint16_t port) {
+  if (!req.headers.has("Host")) {
+    req.headers.set("Host", host + ":" + std::to_string(port));
+  }
+  const std::string wire = req.serialize();
+
+  bool reused = false;
+  auto conn = take_connection(host, port, reused);
+  if (!conn.ok()) {
+    return util::Result<Response>::error(conn.error_message());
+  }
+  auto response = send_once(wire, conn.value());
+  if (!response.ok() && reused) {
+    // Stale keep-alive connection; retry once on a fresh one.
+    auto fresh = take_connection(host, port, reused);
+    if (!fresh.ok()) {
+      return util::Result<Response>::error(fresh.error_message());
+    }
+    conn = std::move(fresh);
+    response = send_once(wire, conn.value());
+  }
+  if (!response.ok()) return response;
+
+  const auto conn_header = response.value().headers.get("Connection");
+  const bool keep_alive =
+      !(conn_header && util::iequals(*conn_header, "close")) &&
+      response.value().version == "HTTP/1.1";
+  if (keep_alive) {
+    return_connection(host + ":" + std::to_string(port),
+                      std::move(conn).value());
+  }
+  return response;
+}
+
+util::Result<Response> HttpClient::get(const std::string& url) {
+  auto parsed = parse_url(url);
+  if (!parsed.ok()) {
+    return util::Result<Response>::error(parsed.error_message());
+  }
+  Request req;
+  req.method = "GET";
+  req.target = parsed.value().target;
+  return request(std::move(req), parsed.value().host, parsed.value().port);
+}
+
+util::Result<Response> HttpClient::post(const std::string& url,
+                                        std::string body,
+                                        const std::string& content_type) {
+  auto parsed = parse_url(url);
+  if (!parsed.ok()) {
+    return util::Result<Response>::error(parsed.error_message());
+  }
+  Request req;
+  req.method = "POST";
+  req.target = parsed.value().target;
+  req.headers.set("Content-Type", content_type);
+  req.body = std::move(body);
+  return request(std::move(req), parsed.value().host, parsed.value().port);
+}
+
+util::Result<Response> HttpClient::put(const std::string& url,
+                                       std::string body,
+                                       const std::string& content_type) {
+  auto parsed = parse_url(url);
+  if (!parsed.ok()) {
+    return util::Result<Response>::error(parsed.error_message());
+  }
+  Request req;
+  req.method = "PUT";
+  req.target = parsed.value().target;
+  req.headers.set("Content-Type", content_type);
+  req.body = std::move(body);
+  return request(std::move(req), parsed.value().host, parsed.value().port);
+}
+
+void HttpClient::clear_pool() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  pool_.clear();
+}
+
+std::size_t HttpClient::idle_connections() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t n = 0;
+  for (const auto& [key, conns] : pool_) n += conns.size();
+  return n;
+}
+
+util::Result<Response> HttpClient::send_once(const std::string& wire,
+                                             PooledConnection& conn) {
+  if (auto w = conn.stream.write_all(wire); !w) {
+    return util::Result<Response>::error(w.error_message());
+  }
+  return read_response(conn.stream, conn.buffer);
+}
+
+util::Result<HttpClient::PooledConnection> HttpClient::take_connection(
+    const std::string& host, std::uint16_t port, bool& reused) {
+  const std::string key = host + ":" + std::to_string(port);
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    auto it = pool_.find(key);
+    if (it != pool_.end() && !it->second.empty()) {
+      PooledConnection conn = std::move(it->second.back());
+      it->second.pop_back();
+      reused = true;
+      return conn;
+    }
+  }
+  reused = false;
+  auto stream = net::TcpStream::connect(host, port, options_.connect_timeout);
+  if (!stream.ok()) {
+    return util::Result<PooledConnection>::error(stream.error_message());
+  }
+  PooledConnection conn{std::move(stream).value(), {}};
+  if (auto t = conn.stream.set_io_timeout(options_.io_timeout); !t) {
+    return util::Result<PooledConnection>::error(t.error_message());
+  }
+  return conn;
+}
+
+void HttpClient::return_connection(const std::string& key,
+                                   PooledConnection conn) {
+  // Only pool connections with no unconsumed bytes; leftover data would
+  // desynchronize the next request/response exchange.
+  if (!conn.buffer.data.empty()) return;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& conns = pool_[key];
+  if (conns.size() < options_.max_idle_per_endpoint) {
+    conns.push_back(std::move(conn));
+  }
+}
+
+}  // namespace bifrost::http

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "http/message.hpp"
+#include "http/parser.hpp"
+#include "net/tcp.hpp"
+#include "util/result.hpp"
+
+namespace bifrost::http {
+
+/// HTTP/1.1 client with a keep-alive connection pool per endpoint.
+/// Thread-safe; concurrent requests to the same endpoint use separate
+/// pooled connections.
+class HttpClient {
+ public:
+  struct Options {
+    std::chrono::milliseconds connect_timeout{2000};
+    std::chrono::milliseconds io_timeout{10000};
+    std::size_t max_idle_per_endpoint = 16;
+  };
+
+  HttpClient() = default;
+  explicit HttpClient(Options options) : options_(options) {}
+
+  /// Sends `req` to host:port. Sets Host and Content-Length; retries
+  /// once on a stale pooled connection.
+  util::Result<Response> request(Request req, const std::string& host,
+                                 std::uint16_t port);
+
+  /// Convenience helpers against an absolute http:// URL.
+  util::Result<Response> get(const std::string& url);
+  util::Result<Response> post(const std::string& url, std::string body,
+                              const std::string& content_type);
+  util::Result<Response> put(const std::string& url, std::string body,
+                             const std::string& content_type);
+
+  /// Drops all idle pooled connections.
+  void clear_pool();
+
+  [[nodiscard]] std::size_t idle_connections() const;
+
+ private:
+  struct PooledConnection {
+    net::TcpStream stream;
+    ReadBuffer buffer;
+  };
+
+  util::Result<Response> send_once(const std::string& wire,
+                                   PooledConnection& conn);
+  util::Result<PooledConnection> take_connection(const std::string& host,
+                                                 std::uint16_t port,
+                                                 bool& reused);
+  void return_connection(const std::string& key, PooledConnection conn);
+
+  Options options_;
+  mutable std::mutex mutex_;
+  std::map<std::string, std::vector<PooledConnection>> pool_;
+};
+
+}  // namespace bifrost::http

@@ -1,0 +1,186 @@
+#include "http/message.hpp"
+
+#include "http/url.hpp"
+#include "util/strings.hpp"
+
+namespace bifrost::http {
+
+void HeaderMap::set(const std::string& name, const std::string& value) {
+  for (auto& [n, v] : fields_) {
+    if (util::iequals(n, name)) {
+      v = value;
+      return;
+    }
+  }
+  fields_.emplace_back(name, value);
+}
+
+void HeaderMap::append(const std::string& name, const std::string& value) {
+  fields_.emplace_back(name, value);
+}
+
+std::optional<std::string> HeaderMap::get(const std::string& name) const {
+  for (const auto& [n, v] : fields_) {
+    if (util::iequals(n, name)) return v;
+  }
+  return std::nullopt;
+}
+
+bool HeaderMap::has(const std::string& name) const {
+  return get(name).has_value();
+}
+
+void HeaderMap::remove(const std::string& name) {
+  std::erase_if(fields_, [&](const auto& field) {
+    return util::iequals(field.first, name);
+  });
+}
+
+std::string Request::path() const {
+  const size_t pos = target.find('?');
+  return pos == std::string::npos ? target : target.substr(0, pos);
+}
+
+std::optional<std::string> Request::query_param(
+    const std::string& name) const {
+  const size_t pos = target.find('?');
+  if (pos == std::string::npos) return std::nullopt;
+  for (const auto& [k, v] : parse_query(target.substr(pos + 1))) {
+    if (k == name) return v;
+  }
+  return std::nullopt;
+}
+
+std::map<std::string, std::string> Request::cookies() const {
+  std::map<std::string, std::string> out;
+  const auto header = headers.get("Cookie");
+  if (!header) return out;
+  for (const std::string& pair : util::split(*header, ';')) {
+    const auto kv = util::split_once(util::trim(pair), '=');
+    if (kv) out[kv->first] = kv->second;
+  }
+  return out;
+}
+
+std::optional<std::string> Request::cookie(const std::string& name) const {
+  const auto all = cookies();
+  const auto it = all.find(name);
+  if (it == all.end()) return std::nullopt;
+  return it->second;
+}
+
+namespace {
+
+void serialize_headers(std::string& out, const HeaderMap& headers,
+                       std::size_t body_size) {
+  bool has_length = false;
+  for (const auto& [name, value] : headers.all()) {
+    if (util::iequals(name, "Content-Length")) has_length = true;
+    out += name;
+    out += ": ";
+    out += value;
+    out += "\r\n";
+  }
+  if (!has_length) {
+    out += "Content-Length: " + std::to_string(body_size) + "\r\n";
+  }
+  out += "\r\n";
+}
+
+}  // namespace
+
+std::string Request::serialize() const {
+  std::string out = method + " " + target + " " + version + "\r\n";
+  serialize_headers(out, headers, body.size());
+  out += body;
+  return out;
+}
+
+std::string Response::serialize() const {
+  std::string out =
+      version + " " + std::to_string(status) + " " + reason_phrase(status) +
+      "\r\n";
+  serialize_headers(out, headers, body.size());
+  out += body;
+  return out;
+}
+
+void Response::set_cookie(const std::string& name, const std::string& value,
+                          const std::string& attributes) {
+  headers.append("Set-Cookie", name + "=" + value +
+                                   (attributes.empty() ? "" : "; ") +
+                                   attributes);
+}
+
+Response Response::text(int status, std::string body) {
+  Response r;
+  r.status = status;
+  r.headers.set("Content-Type", "text/plain");
+  r.body = std::move(body);
+  return r;
+}
+
+Response Response::json(int status, std::string body) {
+  Response r;
+  r.status = status;
+  r.headers.set("Content-Type", "application/json");
+  r.body = std::move(body);
+  return r;
+}
+
+Response Response::not_found() { return text(404, "not found\n"); }
+
+Response Response::bad_request(const std::string& why) {
+  return text(400, "bad request: " + why + "\n");
+}
+
+Response Response::bad_gateway(const std::string& why) {
+  return text(502, "bad gateway: " + why + "\n");
+}
+
+std::string reason_phrase(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 201:
+      return "Created";
+    case 202:
+      return "Accepted";
+    case 204:
+      return "No Content";
+    case 301:
+      return "Moved Permanently";
+    case 302:
+      return "Found";
+    case 304:
+      return "Not Modified";
+    case 400:
+      return "Bad Request";
+    case 401:
+      return "Unauthorized";
+    case 403:
+      return "Forbidden";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    case 409:
+      return "Conflict";
+    case 422:
+      return "Unprocessable Entity";
+    case 429:
+      return "Too Many Requests";
+    case 500:
+      return "Internal Server Error";
+    case 502:
+      return "Bad Gateway";
+    case 503:
+      return "Service Unavailable";
+    case 504:
+      return "Gateway Timeout";
+    default:
+      return "Unknown";
+  }
+}
+
+}  // namespace bifrost::http

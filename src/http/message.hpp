@@ -1,0 +1,76 @@
+// HTTP/1.1 message model: case-insensitive headers, cookies, request and
+// response types. Covers the RFC 2616 subset the Bifrost proxy inspects
+// (paper §4.2.2: header-based and cookie-based traffic filtering).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace bifrost::http {
+
+/// Header field map with case-insensitive names; preserves one value per
+/// name except Set-Cookie, which may repeat.
+class HeaderMap {
+ public:
+  void set(const std::string& name, const std::string& value);
+  void append(const std::string& name, const std::string& value);
+  [[nodiscard]] std::optional<std::string> get(const std::string& name) const;
+  [[nodiscard]] bool has(const std::string& name) const;
+  void remove(const std::string& name);
+
+  /// All (name, value) pairs in insertion order.
+  [[nodiscard]] const std::vector<std::pair<std::string, std::string>>& all()
+      const {
+    return fields_;
+  }
+  [[nodiscard]] std::size_t size() const { return fields_.size(); }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+struct Request {
+  std::string method = "GET";
+  std::string target = "/";  ///< origin-form: path + optional ?query
+  std::string version = "HTTP/1.1";
+  HeaderMap headers;
+  std::string body;
+
+  [[nodiscard]] std::string path() const;
+  [[nodiscard]] std::optional<std::string> query_param(
+      const std::string& name) const;
+
+  /// Cookies from the Cookie header as name -> value.
+  [[nodiscard]] std::map<std::string, std::string> cookies() const;
+  [[nodiscard]] std::optional<std::string> cookie(
+      const std::string& name) const;
+
+  /// Serializes the full request (sets Content-Length from body).
+  [[nodiscard]] std::string serialize() const;
+};
+
+struct Response {
+  int status = 200;
+  std::string version = "HTTP/1.1";
+  HeaderMap headers;
+  std::string body;
+
+  [[nodiscard]] std::string serialize() const;
+
+  /// Appends a Set-Cookie header.
+  void set_cookie(const std::string& name, const std::string& value,
+                  const std::string& attributes = "Path=/");
+
+  static Response text(int status, std::string body);
+  static Response json(int status, std::string body);
+  static Response not_found();
+  static Response bad_request(const std::string& why);
+  static Response bad_gateway(const std::string& why);
+};
+
+/// Standard reason phrase ("OK", "Not Found", ...); "Unknown" otherwise.
+std::string reason_phrase(int status);
+
+}  // namespace bifrost::http

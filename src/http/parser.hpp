@@ -1,0 +1,38 @@
+// Incremental HTTP/1.1 message reading. Pure head-parsing functions are
+// exposed for property tests; stream readers keep leftover bytes across
+// keep-alive requests.
+#pragma once
+
+#include <string>
+
+#include "http/message.hpp"
+#include "net/tcp.hpp"
+#include "util/result.hpp"
+
+namespace bifrost::http {
+
+/// Hard limits; messages beyond these are rejected as malformed.
+constexpr std::size_t kMaxHeaderBytes = 64 * 1024;
+constexpr std::size_t kMaxBodyBytes = 16 * 1024 * 1024;
+
+/// Parses a request head (start line + headers, no body) from the bytes
+/// up to and including the blank line.
+util::Result<Request> parse_request_head(std::string_view head);
+
+/// Parses a response head.
+util::Result<Response> parse_response_head(std::string_view head);
+
+/// Carry-over buffer for pipelined/keep-alive connections.
+struct ReadBuffer {
+  std::string data;
+};
+
+/// Reads one full request (head + body) from the stream.
+/// An empty Result error of "connection closed" means orderly EOF
+/// between requests (normal for keep-alive).
+util::Result<Request> read_request(net::TcpStream& stream, ReadBuffer& buf);
+
+/// Reads one full response (head + body; Content-Length or chunked).
+util::Result<Response> read_response(net::TcpStream& stream, ReadBuffer& buf);
+
+}  // namespace bifrost::http

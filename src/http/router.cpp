@@ -1,0 +1,53 @@
+#include "http/router.hpp"
+
+#include "http/url.hpp"
+#include "util/strings.hpp"
+
+namespace bifrost::http {
+
+std::vector<std::string> split_path(const std::string& path) {
+  std::vector<std::string> out;
+  for (const std::string& seg : util::split(path, '/')) {
+    if (!seg.empty()) out.push_back(url_decode(seg, /*plus_as_space=*/false));
+  }
+  return out;
+}
+
+void Router::add(const std::string& method, const std::string& pattern,
+                 RouteHandler handler) {
+  routes_.push_back(Route{method, split_path(pattern), std::move(handler)});
+}
+
+bool Router::match(const Route& route, const std::vector<std::string>& path,
+                   PathParams& params) {
+  for (size_t i = 0; i < route.segments.size(); ++i) {
+    const std::string& seg = route.segments[i];
+    // A trailing "*" matches one or more remaining segments.
+    if (seg == "*" && i + 1 == route.segments.size()) return i < path.size();
+    if (i >= path.size()) return false;
+    if (!seg.empty() && seg[0] == ':') {
+      params[seg.substr(1)] = path[i];
+    } else if (seg != path[i]) {
+      return false;
+    }
+  }
+  return route.segments.size() == path.size();
+}
+
+Response Router::dispatch(const Request& request) const {
+  const std::vector<std::string> path = split_path(request.path());
+  bool path_matched = false;
+  for (const Route& route : routes_) {
+    PathParams params;
+    if (!match(route, path, params)) continue;
+    if (route.method != request.method) {
+      path_matched = true;
+      continue;
+    }
+    return route.handler(request, params);
+  }
+  if (path_matched) return Response::text(405, "method not allowed\n");
+  return Response::not_found();
+}
+
+}  // namespace bifrost::http

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "http/message.hpp"
+
+namespace bifrost::http {
+
+/// Path parameters captured by a route pattern (":name" segments).
+using PathParams = std::map<std::string, std::string>;
+
+/// Method+pattern dispatch for HTTP handlers. Patterns are literal
+/// segments or ":param" captures; "*" as the last segment matches any
+/// remaining path ("/static/*").
+class Router {
+ public:
+  using RouteHandler =
+      std::function<Response(const Request&, const PathParams&)>;
+
+  /// Registers a route; method is uppercase ("GET"). Longest pattern
+  /// wins on ties between literal and capture segments.
+  void add(const std::string& method, const std::string& pattern,
+           RouteHandler handler);
+
+  /// Dispatches a request; 404 if no route matches, 405 if the path
+  /// matches under a different method.
+  [[nodiscard]] Response dispatch(const Request& request) const;
+
+  /// Usable directly as an HttpServer::Handler.
+  Response operator()(const Request& request) const {
+    return dispatch(request);
+  }
+
+ private:
+  struct Route {
+    std::string method;
+    std::vector<std::string> segments;
+    RouteHandler handler;
+  };
+
+  static bool match(const Route& route, const std::vector<std::string>& path,
+                    PathParams& params);
+
+  std::vector<Route> routes_;
+};
+
+/// Splits a path into segments; ignores leading/trailing slashes.
+std::vector<std::string> split_path(const std::string& path);
+
+}  // namespace bifrost::http

@@ -1,0 +1,235 @@
+#include "http/server.hpp"
+
+#include <poll.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+#include "util/log.hpp"
+#include "util/strings.hpp"
+
+namespace bifrost::http {
+
+HttpServer::HttpServer(Options options, Handler handler)
+    : options_(options), handler_(std::move(handler)) {
+  if (!handler_) throw std::invalid_argument("http server needs a handler");
+}
+
+HttpServer::~HttpServer() { stop(); }
+
+void HttpServer::start() {
+  if (running_.exchange(true)) return;
+  auto listener = net::TcpListener::bind(options_.port);
+  if (!listener.ok()) {
+    running_ = false;
+    throw std::runtime_error("http server: " + listener.error_message());
+  }
+  listener_ = std::move(listener).value();
+  port_ = listener_.port();
+  if (::pipe(wake_pipe_) != 0) {
+    running_ = false;
+    throw std::runtime_error("http server: pipe failed");
+  }
+  pool_ = std::make_unique<runtime::ThreadPool>(options_.worker_threads);
+  dispatch_thread_ = std::thread([this] { dispatch_loop(); });
+}
+
+void HttpServer::stop() {
+  if (!running_.exchange(false)) return;
+  listener_.close();
+  wake_dispatcher();
+  if (dispatch_thread_.joinable()) dispatch_thread_.join();
+  {
+    // Unblock workers mid-read so the pool drains promptly.
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& [id, conn] : connections_) conn->stream.shutdown_both();
+  }
+  if (pool_) pool_->shutdown();
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    connections_.clear();
+    idle_.clear();
+  }
+  for (int& fd : wake_pipe_) {
+    if (fd >= 0) {
+      ::close(fd);
+      fd = -1;
+    }
+  }
+}
+
+std::size_t HttpServer::open_connections() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return connections_.size();
+}
+
+void HttpServer::wake_dispatcher() {
+  if (wake_pipe_[1] >= 0) {
+    const char byte = 'w';
+    [[maybe_unused]] const ssize_t n = ::write(wake_pipe_[1], &byte, 1);
+  }
+}
+
+void HttpServer::dispatch_loop() {
+  while (running_.load()) {
+    // Snapshot idle connections for the poll set.
+    std::vector<std::uint64_t> ids;
+    std::vector<pollfd> fds;
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      fds.reserve(idle_.size() + 2);
+      fds.push_back(pollfd{listener_.valid() ? listener_.fd() : -1, POLLIN, 0});
+      fds.push_back(pollfd{wake_pipe_[0], POLLIN, 0});
+      for (const auto& [id, is_idle] : idle_) {
+        if (!is_idle) continue;
+        const auto it = connections_.find(id);
+        if (it == connections_.end()) continue;
+        ids.push_back(id);
+        fds.push_back(pollfd{it->second->stream.fd(), POLLIN, 0});
+      }
+    }
+
+    const int rc = ::poll(fds.data(), fds.size(), /*timeout_ms=*/500);
+    if (!running_.load()) return;
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      util::log_error("http_server", "poll failed: ", std::strerror(errno));
+      return;
+    }
+
+    // Drain wake pipe.
+    if ((fds[1].revents & POLLIN) != 0) {
+      char buf[64];
+      while (::read(wake_pipe_[0], buf, sizeof buf) == sizeof buf) {
+      }
+    }
+
+    // New connections.
+    if ((fds[0].revents & (POLLIN | POLLERR | POLLHUP)) != 0) {
+      auto stream = listener_.accept();
+      if (stream.ok()) {
+        (void)stream.value().set_io_timeout(options_.io_timeout);
+        auto conn =
+            std::make_shared<Connection>(std::move(stream).value());
+        const std::lock_guard<std::mutex> lock(mutex_);
+        const std::uint64_t id = next_id_++;
+        connections_[id] = std::move(conn);
+        idle_[id] = true;
+      } else if (running_.load()) {
+        util::log_debug("http_server",
+                        "accept failed: ", stream.error_message());
+      }
+    }
+
+    // Readable idle connections -> hand to workers.
+    const auto now = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      const pollfd& pfd = fds[i + 2];
+      const std::uint64_t id = ids[i];
+      if ((pfd.revents & (POLLIN | POLLERR | POLLHUP)) != 0) {
+        {
+          const std::lock_guard<std::mutex> lock(mutex_);
+          const auto it = idle_.find(id);
+          if (it == idle_.end() || !it->second) continue;
+          it->second = false;
+          connections_[id]->last_active = now;
+        }
+        pool_->submit([this, id] { serve_connection(id); });
+      }
+    }
+
+    // Idle-timeout sweep.
+    {
+      std::vector<std::uint64_t> expired;
+      const std::lock_guard<std::mutex> lock(mutex_);
+      for (const auto& [id, is_idle] : idle_) {
+        if (!is_idle) continue;
+        const auto it = connections_.find(id);
+        if (it != connections_.end() &&
+            now - it->second->last_active > options_.idle_timeout) {
+          expired.push_back(id);
+        }
+      }
+      for (const std::uint64_t id : expired) {
+        connections_.erase(id);
+        idle_.erase(id);
+      }
+    }
+  }
+}
+
+void HttpServer::serve_connection(std::uint64_t id) {
+  std::shared_ptr<Connection> conn;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = connections_.find(id);
+    if (it == connections_.end()) return;
+    conn = it->second;
+  }
+
+  // Serve requests until the connection has no more buffered or
+  // immediately-readable data, then hand it back to the dispatcher.
+  while (running_.load()) {
+    auto request = read_request(conn->stream, conn->buffer);
+    if (!request.ok()) {
+      if (request.error_message() != "connection closed") {
+        util::log_debug("http_server",
+                        "read failed: ", request.error_message());
+        Response err = Response::bad_request(request.error_message());
+        err.headers.set("Connection", "close");
+        (void)conn->stream.write_all(err.serialize());
+      }
+      close_connection(id);
+      return;
+    }
+    const Request& req = request.value();
+    Response response;
+    try {
+      response = handler_(req);
+    } catch (const std::exception& e) {
+      response = Response::text(500, std::string("handler error: ") + e.what());
+    }
+    requests_served_.fetch_add(1);
+
+    const auto conn_header = req.headers.get("Connection");
+    const bool close =
+        (conn_header && util::iequals(*conn_header, "close")) ||
+        req.version == "HTTP/1.0";
+    response.headers.set("Connection", close ? "close" : "keep-alive");
+    if (!conn->stream.write_all(response.serialize())) {
+      close_connection(id);
+      return;
+    }
+    if (close) {
+      close_connection(id);
+      return;
+    }
+    // Pipelined request already buffered? Serve it now; otherwise
+    // return the connection to the poll set.
+    if (conn->buffer.data.empty()) {
+      conn->last_active = std::chrono::steady_clock::now();
+      return_to_idle(id);
+      return;
+    }
+  }
+}
+
+void HttpServer::return_to_idle(std::uint64_t id) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (!connections_.contains(id)) return;
+    idle_[id] = true;
+  }
+  wake_dispatcher();
+}
+
+void HttpServer::close_connection(std::uint64_t id) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  connections_.erase(id);
+  idle_.erase(id);
+}
+
+}  // namespace bifrost::http

@@ -1,0 +1,98 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "http/message.hpp"
+#include "http/parser.hpp"
+#include "net/tcp.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace bifrost::http {
+
+/// HTTP/1.1 server. A poll-based dispatcher thread watches the listener
+/// and all idle keep-alive connections; when a connection becomes
+/// readable it is handed to a bounded worker pool which reads and
+/// serves requests until the connection goes idle again, then returns
+/// it to the dispatcher. Workers are therefore only occupied while a
+/// request is actually in flight — thousands of idle keep-alive
+/// connections can be multiplexed over a few workers (the worker count
+/// bounds request concurrency, not connection count). Handlers run
+/// concurrently; they must be thread-safe.
+class HttpServer {
+ public:
+  using Handler = std::function<Response(const Request&)>;
+
+  struct Options {
+    std::uint16_t port = 0;  ///< 0 = ephemeral
+    std::size_t worker_threads = 8;
+    std::chrono::milliseconds io_timeout{10000};
+    /// Idle keep-alive connections are closed after this long.
+    std::chrono::milliseconds idle_timeout{60000};
+  };
+
+  HttpServer(Options options, Handler handler);
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Binds and starts accepting. Throws std::runtime_error on bind error.
+  void start();
+
+  /// Stops accepting and joins all threads. Idempotent.
+  void stop();
+
+  /// Bound port (valid after start()).
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+  [[nodiscard]] std::uint64_t requests_served() const {
+    return requests_served_.load();
+  }
+
+  /// Currently open connections (idle + in flight), for diagnostics.
+  [[nodiscard]] std::size_t open_connections() const;
+
+ private:
+  struct Connection {
+    explicit Connection(net::TcpStream s) : stream(std::move(s)) {}
+    net::TcpStream stream;
+    ReadBuffer buffer;
+    std::chrono::steady_clock::time_point last_active =
+        std::chrono::steady_clock::now();
+  };
+
+  void dispatch_loop();
+  void serve_connection(std::uint64_t id);
+  void return_to_idle(std::uint64_t id);
+  void close_connection(std::uint64_t id);
+  void wake_dispatcher();
+
+  Options options_;
+  Handler handler_;
+  net::TcpListener listener_;
+  std::uint16_t port_ = 0;
+  std::thread dispatch_thread_;
+  std::unique_ptr<runtime::ThreadPool> pool_;
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint64_t> requests_served_{0};
+
+  // Connection registry. `idle` marks connections owned by the
+  // dispatcher (watched by poll); busy connections are owned by a
+  // worker. Guarded by mutex_.
+  mutable std::mutex mutex_;
+  std::map<std::uint64_t, std::shared_ptr<Connection>> connections_;
+  std::map<std::uint64_t, bool> idle_;
+  std::uint64_t next_id_ = 1;
+
+  int wake_pipe_[2] = {-1, -1};  // self-pipe to interrupt poll()
+};
+
+}  // namespace bifrost::http

@@ -1,0 +1,96 @@
+#include "http/url.hpp"
+
+#include <cctype>
+
+#include "util/strings.hpp"
+
+namespace bifrost::http {
+
+std::string url_decode(std::string_view s, bool plus_as_space) {
+  std::string out;
+  out.reserve(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    const char c = s[i];
+    if (c == '+' && plus_as_space) {
+      out += ' ';
+    } else if (c == '%' && i + 2 < s.size() &&
+               std::isxdigit(static_cast<unsigned char>(s[i + 1])) != 0 &&
+               std::isxdigit(static_cast<unsigned char>(s[i + 2])) != 0) {
+      const auto hex = [](char h) -> int {
+        if (h >= '0' && h <= '9') return h - '0';
+        if (h >= 'a' && h <= 'f') return h - 'a' + 10;
+        return h - 'A' + 10;
+      };
+      out += static_cast<char>(hex(s[i + 1]) * 16 + hex(s[i + 2]));
+      i += 2;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string url_encode(std::string_view s) {
+  static constexpr char kHex[] = "0123456789ABCDEF";
+  std::string out;
+  for (const char c : s) {
+    const auto u = static_cast<unsigned char>(c);
+    if (std::isalnum(u) != 0 || c == '-' || c == '_' || c == '.' ||
+        c == '~') {
+      out += c;
+    } else {
+      out += '%';
+      out += kHex[u >> 4];
+      out += kHex[u & 0xf];
+    }
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, std::string>> parse_query(
+    std::string_view query) {
+  std::vector<std::pair<std::string, std::string>> out;
+  if (query.empty()) return out;
+  for (const std::string& pair : util::split(query, '&')) {
+    if (pair.empty()) continue;
+    const auto kv = util::split_once(pair, '=');
+    if (kv) {
+      out.emplace_back(url_decode(kv->first), url_decode(kv->second));
+    } else {
+      out.emplace_back(url_decode(pair), "");
+    }
+  }
+  return out;
+}
+
+util::Result<Url> parse_url(std::string_view url) {
+  constexpr std::string_view kScheme = "http://";
+  if (!util::starts_with(url, kScheme)) {
+    return util::Result<Url>::error("only http:// URLs are supported: " +
+                                    std::string(url));
+  }
+  url.remove_prefix(kScheme.size());
+  Url out;
+  const size_t slash = url.find('/');
+  std::string_view authority =
+      slash == std::string_view::npos ? url : url.substr(0, slash);
+  out.target =
+      slash == std::string_view::npos ? "/" : std::string(url.substr(slash));
+  const size_t colon = authority.find(':');
+  if (colon == std::string_view::npos) {
+    out.host = std::string(authority);
+  } else {
+    out.host = std::string(authority.substr(0, colon));
+    const auto port = util::parse_int(authority.substr(colon + 1));
+    if (!port || *port < 1 || *port > 65535) {
+      return util::Result<Url>::error("invalid port in URL");
+    }
+    out.port = static_cast<std::uint16_t>(*port);
+  }
+  if (out.host.empty()) {
+    return util::Result<Url>::error("empty host in URL");
+  }
+  return out;
+}
+
+}  // namespace bifrost::http

@@ -1,0 +1,30 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/result.hpp"
+
+namespace bifrost::http {
+
+/// Percent-decodes a URL component ('+' becomes space in queries).
+std::string url_decode(std::string_view s, bool plus_as_space = true);
+
+/// Percent-encodes everything outside the unreserved set.
+std::string url_encode(std::string_view s);
+
+/// Parses "a=1&b=two" into ordered pairs (values decoded).
+std::vector<std::pair<std::string, std::string>> parse_query(
+    std::string_view query);
+
+/// A parsed absolute URL of the form http://host[:port]/path[?query].
+struct Url {
+  std::string host;
+  std::uint16_t port = 80;
+  std::string target = "/";  ///< path plus query, as sent on the wire
+};
+
+util::Result<Url> parse_url(std::string_view url);
+
+}  // namespace bifrost::http

@@ -1,0 +1,101 @@
+// Minimal JSON value / parser / serializer for the engine and metrics
+// HTTP APIs. Full RFC 8259 input grammar except \u surrogate pairs are
+// passed through unvalidated.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "util/result.hpp"
+
+namespace bifrost::json {
+
+class Value;
+using Array = std::vector<Value>;
+/// std::map keeps object keys ordered, which makes serialized output
+/// deterministic — important for golden tests.
+using Object = std::map<std::string, Value>;
+
+class Value {
+ public:
+  Value() : data_(nullptr) {}
+  Value(std::nullptr_t) : data_(nullptr) {}          // NOLINT
+  Value(bool b) : data_(b) {}                        // NOLINT
+  Value(double d) : data_(d) {}                      // NOLINT
+  Value(int i) : data_(static_cast<double>(i)) {}    // NOLINT
+  Value(std::int64_t i) : data_(static_cast<double>(i)) {}  // NOLINT
+  Value(std::size_t i) : data_(static_cast<double>(i)) {}   // NOLINT
+  Value(const char* s) : data_(std::string(s)) {}    // NOLINT
+  Value(std::string s) : data_(std::move(s)) {}      // NOLINT
+  Value(Array a) : data_(std::move(a)) {}            // NOLINT
+  Value(Object o) : data_(std::move(o)) {}           // NOLINT
+
+  [[nodiscard]] bool is_null() const {
+    return std::holds_alternative<std::nullptr_t>(data_);
+  }
+  [[nodiscard]] bool is_bool() const {
+    return std::holds_alternative<bool>(data_);
+  }
+  [[nodiscard]] bool is_number() const {
+    return std::holds_alternative<double>(data_);
+  }
+  [[nodiscard]] bool is_string() const {
+    return std::holds_alternative<std::string>(data_);
+  }
+  [[nodiscard]] bool is_array() const {
+    return std::holds_alternative<Array>(data_);
+  }
+  [[nodiscard]] bool is_object() const {
+    return std::holds_alternative<Object>(data_);
+  }
+
+  /// Typed accessors; throw std::bad_variant_access on type mismatch.
+  [[nodiscard]] bool as_bool() const { return std::get<bool>(data_); }
+  [[nodiscard]] double as_number() const { return std::get<double>(data_); }
+  [[nodiscard]] const std::string& as_string() const {
+    return std::get<std::string>(data_);
+  }
+  [[nodiscard]] const Array& as_array() const { return std::get<Array>(data_); }
+  [[nodiscard]] Array& as_array() { return std::get<Array>(data_); }
+  [[nodiscard]] const Object& as_object() const {
+    return std::get<Object>(data_);
+  }
+  [[nodiscard]] Object& as_object() { return std::get<Object>(data_); }
+
+  /// Object member lookup; returns nullptr if absent or not an object.
+  [[nodiscard]] const Value* find(const std::string& key) const;
+
+  /// Convenience: member as string/number/bool with fallback.
+  [[nodiscard]] std::string get_string(const std::string& key,
+                                       std::string fallback = "") const;
+  [[nodiscard]] double get_number(const std::string& key,
+                                  double fallback = 0.0) const;
+  [[nodiscard]] bool get_bool(const std::string& key,
+                              bool fallback = false) const;
+
+  /// Compact serialization (no whitespace).
+  [[nodiscard]] std::string dump() const;
+  /// Pretty serialization with 2-space indent.
+  [[nodiscard]] std::string dump_pretty() const;
+
+  friend bool operator==(const Value& a, const Value& b) {
+    return a.data_ == b.data_;
+  }
+
+ private:
+  void dump_into(std::string& out, int indent, int depth) const;
+
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object> data_;
+};
+
+/// Parses a complete JSON document; trailing non-whitespace is an error.
+util::Result<Value> parse(std::string_view text);
+
+/// Escapes a string into a JSON string literal (with quotes).
+std::string escape_string(const std::string& s);
+
+}  // namespace bifrost::json

@@ -1,0 +1,56 @@
+#include "loadgen/workload.hpp"
+
+#include "json/json.hpp"
+
+namespace bifrost::loadgen {
+
+std::vector<RequestTemplate> paper_request_mix(const std::string& auth_token,
+                                               std::size_t product_count) {
+  const std::string bearer = "Bearer " + auth_token;
+  const auto product_id = [product_count](util::Rng& rng) {
+    return "p" + std::to_string(rng.uniform_int(
+                     1, static_cast<std::int64_t>(product_count)));
+  };
+  static const char* kQueries[] = {"lap", "pho", "cam", "mon", "dro"};
+
+  std::vector<RequestTemplate> mix;
+  mix.push_back(RequestTemplate{
+      "buy", 1.0, [bearer, product_id](util::Rng& rng) {
+        http::Request req;
+        req.method = "POST";
+        req.target = "/buy";
+        req.headers.set("Authorization", bearer);
+        req.headers.set("Content-Type", "application/json");
+        req.body = json::Value(json::Object{{"productId", product_id(rng)},
+                                            {"buyer", "loadgen"}})
+                       .dump();
+        return req;
+      }});
+  mix.push_back(RequestTemplate{
+      "details", 1.0, [bearer, product_id](util::Rng& rng) {
+        http::Request req;
+        req.method = "GET";
+        req.target = "/products/" + product_id(rng);
+        req.headers.set("Authorization", bearer);
+        return req;
+      }});
+  mix.push_back(RequestTemplate{"products", 1.0, [bearer](util::Rng&) {
+                                  http::Request req;
+                                  req.method = "GET";
+                                  req.target = "/products";
+                                  req.headers.set("Authorization", bearer);
+                                  return req;
+                                }});
+  mix.push_back(RequestTemplate{
+      "search", 1.0, [bearer](util::Rng& rng) {
+        http::Request req;
+        req.method = "GET";
+        req.target = std::string("/search?q=") +
+                     kQueries[rng.uniform_int(0, 4)];
+        req.headers.set("Authorization", bearer);
+        return req;
+      }});
+  return mix;
+}
+
+}  // namespace bifrost::loadgen

@@ -1,0 +1,18 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "loadgen/loadgen.hpp"
+
+namespace bifrost::loadgen {
+
+/// The paper's 4-request JMeter mix against the product entry point
+/// (§5.1.2): Buy (POST, DB write, empty response), Details (GET one
+/// product, small body), Products (GET catalog incl. buyers, large
+/// body), Search (GET, fans out to the search service). All carry the
+/// bearer token.
+std::vector<RequestTemplate> paper_request_mix(const std::string& auth_token,
+                                               std::size_t product_count);
+
+}  // namespace bifrost::loadgen

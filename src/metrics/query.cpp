@@ -1,0 +1,509 @@
+#include "metrics/query.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace bifrost::metrics {
+namespace {
+
+const char* aggregation_name(Aggregation agg) {
+  switch (agg) {
+    case Aggregation::kSum:
+      return "sum";
+    case Aggregation::kAvg:
+      return "avg";
+    case Aggregation::kMin:
+      return "min";
+    case Aggregation::kMax:
+      return "max";
+    case Aggregation::kCount:
+      return "count";
+    case Aggregation::kRate:
+      return "rate";
+    case Aggregation::kIncrease:
+      return "increase";
+  }
+  return "?";
+}
+
+std::optional<Aggregation> aggregation_from(std::string_view name) {
+  if (name == "sum") return Aggregation::kSum;
+  if (name == "avg") return Aggregation::kAvg;
+  if (name == "min") return Aggregation::kMin;
+  if (name == "max") return Aggregation::kMax;
+  if (name == "count") return Aggregation::kCount;
+  if (name == "rate") return Aggregation::kRate;
+  if (name == "increase") return Aggregation::kIncrease;
+  return std::nullopt;
+}
+
+bool valid_metric_name(std::string_view s) {
+  if (s.empty()) return false;
+  for (const char c : s) {
+    if (std::isalnum(static_cast<unsigned char>(c)) == 0 && c != '_' &&
+        c != ':') {
+      return false;
+    }
+  }
+  return std::isdigit(static_cast<unsigned char>(s[0])) == 0;
+}
+
+util::Result<double> parse_duration_seconds(std::string_view s) {
+  double multiplier = 1.0;
+  if (util::ends_with(s, "ms")) {
+    multiplier = 0.001;
+    s.remove_suffix(2);
+  } else if (util::ends_with(s, "s")) {
+    s.remove_suffix(1);
+  } else if (util::ends_with(s, "m")) {
+    multiplier = 60.0;
+    s.remove_suffix(1);
+  } else if (util::ends_with(s, "h")) {
+    multiplier = 3600.0;
+    s.remove_suffix(1);
+  } else {
+    return util::Result<double>::error("duration needs a unit (ms/s/m/h)");
+  }
+  const auto n = util::parse_int(s);
+  if (!n || *n <= 0) {
+    return util::Result<double>::error("invalid duration value");
+  }
+  return static_cast<double>(*n) * multiplier;
+}
+
+util::Result<Labels> parse_matchers(std::string_view inner) {
+  Labels out;
+  inner = util::trim(inner);
+  if (inner.empty()) return out;
+  size_t pos = 0;
+  while (pos < inner.size()) {
+    const size_t eq = inner.find('=', pos);
+    if (eq == std::string_view::npos) {
+      return util::Result<Labels>::error("matcher missing '='");
+    }
+    const std::string label(util::trim(inner.substr(pos, eq - pos)));
+    if (!valid_metric_name(label)) {
+      return util::Result<Labels>::error("invalid label name: " + label);
+    }
+    size_t vpos = eq + 1;
+    while (vpos < inner.size() && inner[vpos] == ' ') ++vpos;
+    if (vpos >= inner.size() || inner[vpos] != '"') {
+      return util::Result<Labels>::error("matcher value must be quoted");
+    }
+    const size_t vend = inner.find('"', vpos + 1);
+    if (vend == std::string_view::npos) {
+      return util::Result<Labels>::error("unterminated matcher value");
+    }
+    out[label] = std::string(inner.substr(vpos + 1, vend - vpos - 1));
+    pos = vend + 1;
+    while (pos < inner.size() && (inner[pos] == ' ' || inner[pos] == ',')) {
+      ++pos;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string Query::to_string() const {
+  std::string inner = selector.to_string();
+  if (window_seconds) {
+    inner += "[" + std::to_string(static_cast<long long>(*window_seconds)) +
+             "s]";
+  }
+  if (aggregation) {
+    return std::string(aggregation_name(*aggregation)) + "(" + inner + ")";
+  }
+  return inner;
+}
+
+util::Result<Query> parse_query(std::string_view text) {
+  Query query;
+  std::string_view rest = util::trim(text);
+
+  // Optional aggregation function wrapper.
+  const size_t paren = rest.find('(');
+  if (paren != std::string_view::npos &&
+      rest.find('{') > paren) {  // '(' before any '{' means func call
+    const std::string_view func = util::trim(rest.substr(0, paren));
+    const auto agg = aggregation_from(func);
+    if (!agg) {
+      return util::Result<Query>::error("unknown aggregation: " +
+                                        std::string(func));
+    }
+    if (!util::ends_with(rest, ")")) {
+      return util::Result<Query>::error("missing closing ')'");
+    }
+    query.aggregation = agg;
+    rest = util::trim(rest.substr(paren + 1, rest.size() - paren - 2));
+  }
+
+  // Optional range window suffix.
+  if (util::ends_with(rest, "]")) {
+    const size_t open = rest.rfind('[');
+    if (open == std::string_view::npos) {
+      return util::Result<Query>::error("unbalanced ']'");
+    }
+    auto window =
+        parse_duration_seconds(rest.substr(open + 1, rest.size() - open - 2));
+    if (!window.ok()) return util::Result<Query>::error(window.error_message());
+    query.window_seconds = window.value();
+    rest = util::trim(rest.substr(0, open));
+  }
+
+  // Selector: name plus optional matchers.
+  const size_t brace = rest.find('{');
+  if (brace == std::string_view::npos) {
+    query.selector.name = std::string(rest);
+  } else {
+    if (!util::ends_with(rest, "}")) {
+      return util::Result<Query>::error("unterminated matcher block");
+    }
+    query.selector.name = std::string(util::trim(rest.substr(0, brace)));
+    auto matchers =
+        parse_matchers(rest.substr(brace + 1, rest.size() - brace - 2));
+    if (!matchers.ok()) {
+      return util::Result<Query>::error(matchers.error_message());
+    }
+    query.selector.matchers = std::move(matchers).value();
+  }
+  if (!valid_metric_name(query.selector.name)) {
+    return util::Result<Query>::error("invalid metric name: " +
+                                      query.selector.name);
+  }
+  if ((query.aggregation == Aggregation::kRate ||
+       query.aggregation == Aggregation::kIncrease) &&
+      !query.window_seconds) {
+    return util::Result<Query>::error("rate/increase need a [window]");
+  }
+  return query;
+}
+
+namespace {
+
+double aggregate_values(Aggregation agg, const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  switch (agg) {
+    case Aggregation::kSum:
+    case Aggregation::kRate:      // per-series results summed across series
+    case Aggregation::kIncrease:  // (idem)
+    {
+      double sum = 0.0;
+      for (const double v : values) sum += v;
+      return sum;
+    }
+    case Aggregation::kAvg: {
+      double sum = 0.0;
+      for (const double v : values) sum += v;
+      return sum / static_cast<double>(values.size());
+    }
+    case Aggregation::kMin:
+      return *std::min_element(values.begin(), values.end());
+    case Aggregation::kMax:
+      return *std::max_element(values.begin(), values.end());
+    case Aggregation::kCount:
+      return static_cast<double>(values.size());
+  }
+  return 0.0;
+}
+
+double per_series_window_value(Aggregation agg,
+                               const std::vector<Sample>& samples,
+                               double window) {
+  std::vector<double> values;
+  values.reserve(samples.size());
+  for (const Sample& s : samples) values.push_back(s.value);
+  switch (agg) {
+    case Aggregation::kRate:
+    case Aggregation::kIncrease: {
+      // Counter semantics: delta between last and first sample in the
+      // window (resets are not handled — our producers never reset).
+      const double delta = samples.back().value - samples.front().value;
+      if (agg == Aggregation::kIncrease) return delta;
+      return window > 0.0 ? delta / window : 0.0;
+    }
+    case Aggregation::kSum: {
+      double sum = 0.0;
+      for (const double v : values) sum += v;
+      return sum;
+    }
+    case Aggregation::kAvg: {
+      double sum = 0.0;
+      for (const double v : values) sum += v;
+      return sum / static_cast<double>(values.size());
+    }
+    case Aggregation::kMin:
+      return *std::min_element(values.begin(), values.end());
+    case Aggregation::kMax:
+      return *std::max_element(values.begin(), values.end());
+    case Aggregation::kCount:
+      return static_cast<double>(values.size());
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+QueryResult evaluate(const TimeSeriesStore& store, const Query& query,
+                     double at_time) {
+  QueryResult result;
+  if (query.window_seconds) {
+    const auto ranges =
+        store.range(query.selector, at_time, *query.window_seconds);
+    result.series_matched = ranges.size();
+    const Aggregation agg = query.aggregation.value_or(Aggregation::kAvg);
+    double sum = 0.0;
+    for (const auto& [key, samples] : ranges) {
+      sum += per_series_window_value(agg, samples, *query.window_seconds);
+    }
+    // Across series: sum of per-series aggregates (matches the common
+    // sum(rate(...)) idiom collapsed into one level).
+    result.value = sum;
+    return result;
+  }
+  const auto instants = store.instant(query.selector, at_time);
+  result.series_matched = instants.size();
+  std::vector<double> values;
+  values.reserve(instants.size());
+  for (const auto& [key, sample] : instants) values.push_back(sample.value);
+  result.value =
+      aggregate_values(query.aggregation.value_or(Aggregation::kSum), values);
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Arithmetic expressions
+
+Expr Expr::leaf_of(Query query) {
+  Expr e;
+  e.op_ = Op::kLeaf;
+  e.query_ = std::move(query);
+  return e;
+}
+
+Expr Expr::constant(double value) {
+  Expr e;
+  e.op_ = Op::kConst;
+  e.constant_ = value;
+  return e;
+}
+
+Expr Expr::binary(Op op, Expr lhs, Expr rhs) {
+  Expr e;
+  e.op_ = op;
+  e.lhs_ = std::make_shared<const Expr>(std::move(lhs));
+  e.rhs_ = std::make_shared<const Expr>(std::move(rhs));
+  return e;
+}
+
+std::string Expr::to_string() const {
+  switch (op_) {
+    case Op::kLeaf:
+      return query_.to_string();
+    case Op::kConst: {
+      std::ostringstream out;
+      out << constant_;
+      return out.str();
+    }
+    case Op::kAdd:
+      return "(" + lhs_->to_string() + " + " + rhs_->to_string() + ")";
+    case Op::kSub:
+      return "(" + lhs_->to_string() + " - " + rhs_->to_string() + ")";
+    case Op::kMul:
+      return "(" + lhs_->to_string() + " * " + rhs_->to_string() + ")";
+    case Op::kDiv:
+      return "(" + lhs_->to_string() + " / " + rhs_->to_string() + ")";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Splits `text` on top-level occurrences of the given single-char
+/// operators (outside quotes and any bracket nesting). Returns segments
+/// and the operator preceding each segment after the first.
+util::Result<std::pair<std::vector<std::string>, std::vector<char>>>
+split_top_level(std::string_view text, std::string_view ops) {
+  std::vector<std::string> segments;
+  std::vector<char> operators;
+  std::string current;
+  int depth = 0;
+  bool in_quote = false;
+  for (const char c : text) {
+    if (in_quote) {
+      current += c;
+      if (c == '"') in_quote = false;
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_quote = true;
+        current += c;
+        break;
+      case '(':
+      case '{':
+      case '[':
+        ++depth;
+        current += c;
+        break;
+      case ')':
+      case '}':
+      case ']':
+        --depth;
+        if (depth < 0) {
+          return util::Result<
+              std::pair<std::vector<std::string>, std::vector<char>>>::
+              error("unbalanced brackets in expression");
+        }
+        current += c;
+        break;
+      default:
+        if (depth == 0 && ops.find(c) != std::string_view::npos) {
+          segments.push_back(current);
+          operators.push_back(c);
+          current.clear();
+        } else {
+          current += c;
+        }
+    }
+  }
+  if (in_quote || depth != 0) {
+    return util::Result<std::pair<std::vector<std::string>,
+                                  std::vector<char>>>::
+        error("unbalanced quotes or brackets in expression");
+  }
+  segments.push_back(current);
+  return std::pair{std::move(segments), std::move(operators)};
+}
+
+util::Result<Expr> parse_expr_impl(std::string_view text);
+
+util::Result<Expr> parse_primary(std::string_view text) {
+  text = util::trim(text);
+  if (text.empty()) {
+    return util::Result<Expr>::error("empty operand in expression");
+  }
+  if (text.front() == '(' && text.back() == ')') {
+    // Only strip if these parens actually match each other.
+    int depth = 0;
+    bool wraps = true;
+    for (size_t i = 0; i < text.size(); ++i) {
+      if (text[i] == '(') ++depth;
+      if (text[i] == ')') {
+        --depth;
+        if (depth == 0 && i + 1 != text.size()) {
+          wraps = false;
+          break;
+        }
+      }
+    }
+    if (wraps) return parse_expr_impl(text.substr(1, text.size() - 2));
+  }
+  if (std::isdigit(static_cast<unsigned char>(text.front())) != 0 ||
+      text.front() == '.') {
+    const auto value = util::parse_double(text);
+    if (!value) {
+      return util::Result<Expr>::error("invalid numeric constant: " +
+                                       std::string(text));
+    }
+    return Expr::constant(*value);
+  }
+  auto query = parse_query(text);
+  if (!query.ok()) return util::Result<Expr>::error(query.error_message());
+  return Expr::leaf_of(std::move(query).value());
+}
+
+util::Result<Expr> parse_term(std::string_view text) {
+  auto split = split_top_level(text, "*/");
+  if (!split.ok()) return util::Result<Expr>::error(split.error_message());
+  auto& [segments, operators] = split.value();
+  auto expr = parse_primary(segments[0]);
+  if (!expr.ok()) return expr;
+  Expr result = std::move(expr).value();
+  for (size_t i = 0; i < operators.size(); ++i) {
+    auto rhs = parse_primary(segments[i + 1]);
+    if (!rhs.ok()) return rhs;
+    result = Expr::binary(
+        operators[i] == '*' ? Expr::Op::kMul : Expr::Op::kDiv,
+        std::move(result), std::move(rhs).value());
+  }
+  return result;
+}
+
+util::Result<Expr> parse_expr_impl(std::string_view text) {
+  auto split = split_top_level(text, "+-");
+  if (!split.ok()) return util::Result<Expr>::error(split.error_message());
+  auto& [segments, operators] = split.value();
+  auto expr = parse_term(segments[0]);
+  if (!expr.ok()) return expr;
+  Expr result = std::move(expr).value();
+  for (size_t i = 0; i < operators.size(); ++i) {
+    auto rhs = parse_term(segments[i + 1]);
+    if (!rhs.ok()) return rhs;
+    result = Expr::binary(
+        operators[i] == '+' ? Expr::Op::kAdd : Expr::Op::kSub,
+        std::move(result), std::move(rhs).value());
+  }
+  return result;
+}
+
+}  // namespace
+
+util::Result<Expr> parse_expr(std::string_view text) {
+  return parse_expr_impl(util::trim(text));
+}
+
+struct ExprEval {
+  static QueryResult eval(const TimeSeriesStore& store, const Expr& expr,
+                          double at_time) {
+    switch (expr.op_) {
+      case Expr::Op::kLeaf:
+        return evaluate(store, expr.query_, at_time);
+      case Expr::Op::kConst:
+        // series_matched counts only leaf queries (header contract).
+        return QueryResult{expr.constant_, 0};
+      default: {
+        const QueryResult lhs = eval(store, *expr.lhs_, at_time);
+        const QueryResult rhs = eval(store, *expr.rhs_, at_time);
+        QueryResult out;
+        out.series_matched = lhs.series_matched + rhs.series_matched;
+        switch (expr.op_) {
+          case Expr::Op::kAdd:
+            out.value = lhs.value + rhs.value;
+            break;
+          case Expr::Op::kSub:
+            out.value = lhs.value - rhs.value;
+            break;
+          case Expr::Op::kMul:
+            out.value = lhs.value * rhs.value;
+            break;
+          case Expr::Op::kDiv:
+            out.value = rhs.value == 0.0 ? 0.0 : lhs.value / rhs.value;
+            break;
+          default:
+            break;
+        }
+        return out;
+      }
+    }
+  }
+};
+
+QueryResult evaluate(const TimeSeriesStore& store, const Expr& expr,
+                     double at_time) {
+  return ExprEval::eval(store, expr, at_time);
+}
+
+util::Result<QueryResult> evaluate(const TimeSeriesStore& store,
+                                   std::string_view text, double at_time) {
+  auto expr = parse_expr(text);
+  if (!expr.ok()) {
+    return util::Result<QueryResult>::error(expr.error_message());
+  }
+  return evaluate(store, expr.value(), at_time);
+}
+
+}  // namespace bifrost::metrics

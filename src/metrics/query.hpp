@@ -1,0 +1,108 @@
+// PromQL-subset query language. Covers the query surface Bifrost's DSL
+// uses against its metrics provider (instant vector selectors with label
+// matchers, optional range windows, and an aggregation function):
+//
+//   request_errors{instance="search:80"}
+//   sum(http_requests_total{service="product"}[60s])
+//   rate(request_count{version="fastSearch"}[5m])
+//   avg(response_time_ms{service="search"}[30s])
+//
+// Grammar:
+//   expr     := term (('+' | '-') term)*
+//   term     := primary (('*' | '/') primary)*
+//   primary  := number | query | '(' expr ')'
+//   query    := func '(' selector ')' | selector
+//   func     := sum | avg | min | max | count | rate | increase
+//   selector := name ( '{' matcher (',' matcher)* '}' )? ( '[' dur ']' )?
+//   matcher  := label '=' '"' value '"'
+//   dur      := integer ('ms' | 's' | 'm' | 'h')
+//
+// Semantics (scalar result):
+//  * no window: instant value per matching series (5 min lookback),
+//    then func across series (default: sum).
+//  * window: per-series aggregation over the window (rate/increase are
+//    counter deltas; rate divides by the window), then sum across series.
+//  * arithmetic combines scalar results; x/0 evaluates to 0 (checks
+//    compare against thresholds, so a NaN would poison validators).
+//    A/B comparisons are the motivating use:
+//       sales_total{version="b"} - sales_total{version="a"} with ">0".
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "metrics/timeseries.hpp"
+#include "util/result.hpp"
+
+namespace bifrost::metrics {
+
+enum class Aggregation {
+  kSum,
+  kAvg,
+  kMin,
+  kMax,
+  kCount,
+  kRate,
+  kIncrease,
+};
+
+struct Query {
+  Selector selector;
+  std::optional<Aggregation> aggregation;
+  std::optional<double> window_seconds;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Parses the textual query form above (a single selector, no
+/// arithmetic; see Expr for full expressions).
+util::Result<Query> parse_query(std::string_view text);
+
+/// An arithmetic expression over queries and constants.
+class Expr {
+ public:
+  enum class Op { kLeaf, kConst, kAdd, kSub, kMul, kDiv };
+
+  [[nodiscard]] Op op() const { return op_; }
+  [[nodiscard]] const Query& leaf() const { return query_; }
+  [[nodiscard]] std::string to_string() const;
+
+  static Expr leaf_of(Query query);
+  static Expr constant(double value);
+  static Expr binary(Op op, Expr lhs, Expr rhs);
+
+ private:
+  Op op_ = Op::kConst;
+  double constant_ = 0.0;
+  Query query_;
+  std::shared_ptr<const Expr> lhs_;
+  std::shared_ptr<const Expr> rhs_;
+
+  friend struct ExprEval;
+};
+
+/// Parses a full expression ("a - b", "rate(x[1m]) / 2", ...).
+util::Result<Expr> parse_expr(std::string_view text);
+
+struct QueryResult {
+  double value = 0.0;
+  std::size_t series_matched = 0;  ///< 0 means "no data"
+};
+
+/// Evaluates `query` against `store` as of `at_time` (seconds).
+/// A query that matches no series yields series_matched == 0 and value 0;
+/// the caller decides whether no-data passes or fails its check.
+QueryResult evaluate(const TimeSeriesStore& store, const Query& query,
+                     double at_time);
+
+/// Evaluates an expression; series_matched is the total over all leaf
+/// queries (0 = none of the referenced metrics had data).
+QueryResult evaluate(const TimeSeriesStore& store, const Expr& expr,
+                     double at_time);
+
+/// Parse (full expression grammar) + evaluate in one step.
+util::Result<QueryResult> evaluate(const TimeSeriesStore& store,
+                                   std::string_view text, double at_time);
+
+}  // namespace bifrost::metrics

@@ -1,0 +1,129 @@
+#include "metrics/registry.hpp"
+
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace bifrost::metrics {
+
+void Counter::increment(double delta) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  value_ += delta;
+}
+
+double Counter::value() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return value_;
+}
+
+void Gauge::set(double value) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  value_ = value;
+}
+
+void Gauge::add(double delta) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  value_ += delta;
+}
+
+double Gauge::value() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return value_;
+}
+
+Counter& Registry::counter(const std::string& name, const Labels& labels) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[SeriesKey{name, labels}];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name, const Labels& labels) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[SeriesKey{name, labels}];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+std::string Registry::expose() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream out;
+  for (const auto& [key, counter] : counters_) {
+    out << key.to_string() << ' ' << counter->value() << '\n';
+  }
+  for (const auto& [key, gauge] : gauges_) {
+    out << key.to_string() << ' ' << gauge->value() << '\n';
+  }
+  return out.str();
+}
+
+util::Result<std::vector<ExpositionSample>> parse_exposition(
+    std::string_view text) {
+  using R = util::Result<std::vector<ExpositionSample>>;
+  std::vector<ExpositionSample> out;
+  int line_no = 0;
+  for (const std::string& raw : util::split(text, '\n')) {
+    ++line_no;
+    const std::string_view line = util::trim(raw);
+    if (line.empty() || line[0] == '#') continue;
+
+    ExpositionSample sample;
+    std::string_view rest = line;
+    const size_t brace = rest.find('{');
+    size_t value_start;
+    if (brace != std::string_view::npos) {
+      sample.key.name = std::string(rest.substr(0, brace));
+      const size_t close = rest.find('}', brace);
+      if (close == std::string_view::npos) {
+        return R::error("exposition line " + std::to_string(line_no) +
+                        ": unterminated label block");
+      }
+      std::string_view labels = rest.substr(brace + 1, close - brace - 1);
+      while (!labels.empty()) {
+        const size_t eq = labels.find('=');
+        if (eq == std::string_view::npos) {
+          return R::error("exposition line " + std::to_string(line_no) +
+                          ": label missing '='");
+        }
+        const std::string label(util::trim(labels.substr(0, eq)));
+        size_t vpos = eq + 1;
+        if (vpos >= labels.size() || labels[vpos] != '"') {
+          return R::error("exposition line " + std::to_string(line_no) +
+                          ": label value must be quoted");
+        }
+        const size_t vend = labels.find('"', vpos + 1);
+        if (vend == std::string_view::npos) {
+          return R::error("exposition line " + std::to_string(line_no) +
+                          ": unterminated label value");
+        }
+        sample.key.labels[label] =
+            std::string(labels.substr(vpos + 1, vend - vpos - 1));
+        size_t next = vend + 1;
+        while (next < labels.size() &&
+               (labels[next] == ',' || labels[next] == ' ')) {
+          ++next;
+        }
+        labels = labels.substr(next);
+      }
+      value_start = close + 1;
+    } else {
+      const size_t space = rest.find(' ');
+      if (space == std::string_view::npos) {
+        return R::error("exposition line " + std::to_string(line_no) +
+                        ": missing value");
+      }
+      sample.key.name = std::string(rest.substr(0, space));
+      value_start = space + 1;
+    }
+    const auto value = util::parse_double(rest.substr(value_start));
+    if (!value) {
+      return R::error("exposition line " + std::to_string(line_no) +
+                      ": invalid value");
+    }
+    sample.value = *value;
+    out.push_back(std::move(sample));
+  }
+  return out;
+}
+
+}  // namespace bifrost::metrics

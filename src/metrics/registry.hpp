@@ -1,0 +1,69 @@
+// Instrumentation registry for services: counters and gauges exposed in
+// the Prometheus text format (the case-study services expose business
+// and performance metrics this way; cAdvisor-style resource gauges are
+// recorded by the simulator).
+#pragma once
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "metrics/timeseries.hpp"
+#include "util/result.hpp"
+
+namespace bifrost::metrics {
+
+/// Monotonically increasing counter.
+class Counter {
+ public:
+  void increment(double delta = 1.0);
+  [[nodiscard]] double value() const;
+
+ private:
+  mutable std::mutex mutex_;
+  double value_ = 0.0;
+};
+
+/// Arbitrary settable gauge.
+class Gauge {
+ public:
+  void set(double value);
+  void add(double delta);
+  [[nodiscard]] double value() const;
+
+ private:
+  mutable std::mutex mutex_;
+  double value_ = 0.0;
+};
+
+/// Named collection of counters/gauges; renders the exposition format.
+class Registry {
+ public:
+  /// Returns the counter for (name, labels), creating it on first use.
+  Counter& counter(const std::string& name, const Labels& labels = {});
+  Gauge& gauge(const std::string& name, const Labels& labels = {});
+
+  /// Prometheus text exposition ("name{l=\"v\"} value" lines).
+  [[nodiscard]] std::string expose() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<SeriesKey, std::unique_ptr<Counter>> counters_;
+  std::map<SeriesKey, std::unique_ptr<Gauge>> gauges_;
+};
+
+/// One parsed exposition line.
+struct ExpositionSample {
+  SeriesKey key;
+  double value = 0.0;
+};
+
+/// Parses Prometheus text exposition (used by the scraper). '#' comment
+/// lines are skipped; malformed lines fail the whole parse.
+util::Result<std::vector<ExpositionSample>> parse_exposition(
+    std::string_view text);
+
+}  // namespace bifrost::metrics

@@ -1,0 +1,68 @@
+#include "metrics/scraper.hpp"
+
+#include <chrono>
+
+#include "metrics/registry.hpp"
+#include "util/log.hpp"
+
+namespace bifrost::metrics {
+
+Scraper::Scraper(runtime::Scheduler& scheduler, TimeSeriesStore& store,
+                 runtime::Duration interval)
+    : scheduler_(scheduler), store_(store), interval_(interval) {}
+
+Scraper::~Scraper() { stop(); }
+
+void Scraper::add_target(Target target) { targets_.push_back(std::move(target)); }
+
+void Scraper::start() {
+  if (running_.exchange(true)) return;
+  schedule_next();
+}
+
+void Scraper::stop() {
+  running_ = false;
+  if (timer_ != runtime::kInvalidTimer) scheduler_.cancel(timer_);
+}
+
+void Scraper::schedule_next() {
+  timer_ = scheduler_.schedule_after(interval_, [this] {
+    if (!running_.load()) return;
+    scrape_once();
+    schedule_next();
+  });
+}
+
+std::size_t Scraper::scrape_once() {
+  const double now_seconds =
+      std::chrono::duration<double>(scheduler_.now()).count();
+  std::size_t ok = 0;
+  for (const Target& target : targets_) {
+    auto response = client_.get("http://" + target.host + ":" +
+                                std::to_string(target.port) + target.path);
+    if (!response.ok() || response.value().status != 200) {
+      scrape_errors_.fetch_add(1);
+      util::log_debug("scraper", "scrape of ", target.host, ":", target.port,
+                      " failed: ",
+                      response.ok() ? std::to_string(response.value().status)
+                                    : response.error_message());
+      continue;
+    }
+    auto samples = parse_exposition(response.value().body);
+    if (!samples.ok()) {
+      scrape_errors_.fetch_add(1);
+      util::log_warn("scraper", "bad exposition from ", target.host, ":",
+                     target.port, ": ", samples.error_message());
+      continue;
+    }
+    for (const ExpositionSample& sample : samples.value()) {
+      Labels labels = sample.key.labels;
+      for (const auto& [k, v] : target.labels) labels[k] = v;
+      store_.record(sample.key.name, labels, now_seconds, sample.value);
+    }
+    ++ok;
+  }
+  return ok;
+}
+
+}  // namespace bifrost::metrics

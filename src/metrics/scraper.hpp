@@ -1,0 +1,60 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "http/client.hpp"
+#include "metrics/timeseries.hpp"
+#include "runtime/scheduler.hpp"
+
+namespace bifrost::metrics {
+
+/// Pull-based collection from services' /metrics endpoints into a
+/// TimeSeriesStore — the cAdvisor/Prometheus scrape loop of the paper's
+/// deployment. Runs on a Scheduler so it works in real and virtual time.
+class Scraper {
+ public:
+  struct Target {
+    std::string host;
+    std::uint16_t port = 0;
+    std::string path = "/metrics";
+    /// Extra labels stamped onto every scraped series (e.g. instance).
+    Labels labels;
+  };
+
+  Scraper(runtime::Scheduler& scheduler, TimeSeriesStore& store,
+          runtime::Duration interval);
+  ~Scraper();
+
+  void add_target(Target target);
+
+  /// Schedules the periodic scrape loop.
+  void start();
+
+  /// Stops scheduling further scrapes.
+  void stop();
+
+  /// One synchronous scrape pass over all targets (also used directly by
+  /// tests). Returns the number of targets scraped successfully.
+  std::size_t scrape_once();
+
+  [[nodiscard]] std::uint64_t scrape_errors() const {
+    return scrape_errors_.load();
+  }
+
+ private:
+  void schedule_next();
+
+  runtime::Scheduler& scheduler_;
+  TimeSeriesStore& store_;
+  runtime::Duration interval_;
+  std::vector<Target> targets_;
+  http::HttpClient client_;
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint64_t> scrape_errors_{0};
+  runtime::TimerId timer_ = runtime::kInvalidTimer;
+};
+
+}  // namespace bifrost::metrics

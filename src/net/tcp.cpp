@@ -1,0 +1,186 @@
+#include "net/tcp.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace bifrost::net {
+namespace {
+
+std::string errno_message(const std::string& what) {
+  return what + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+void FdHandle::reset() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+util::Result<TcpStream> TcpStream::connect(const std::string& host,
+                                           std::uint16_t port,
+                                           std::chrono::milliseconds timeout) {
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  const std::string service = std::to_string(port);
+  if (const int rc = ::getaddrinfo(host.c_str(), service.c_str(), &hints, &res);
+      rc != 0) {
+    return util::Result<TcpStream>::error("getaddrinfo(" + host +
+                                          "): " + gai_strerror(rc));
+  }
+  FdHandle fd(::socket(res->ai_family, res->ai_socktype | SOCK_CLOEXEC,
+                       res->ai_protocol));
+  if (!fd.valid()) {
+    ::freeaddrinfo(res);
+    return util::Result<TcpStream>::error(errno_message("socket"));
+  }
+
+  // Non-blocking connect with poll() so we honour the timeout.
+  const int flags = ::fcntl(fd.get(), F_GETFL, 0);
+  ::fcntl(fd.get(), F_SETFL, flags | O_NONBLOCK);
+  int rc = ::connect(fd.get(), res->ai_addr, res->ai_addrlen);
+  ::freeaddrinfo(res);
+  if (rc != 0 && errno != EINPROGRESS) {
+    return util::Result<TcpStream>::error(errno_message("connect"));
+  }
+  if (rc != 0) {
+    pollfd pfd{fd.get(), POLLOUT, 0};
+    rc = ::poll(&pfd, 1, static_cast<int>(timeout.count()));
+    if (rc <= 0) {
+      return util::Result<TcpStream>::error(
+          rc == 0 ? "connect timeout" : errno_message("poll"));
+    }
+    int err = 0;
+    socklen_t len = sizeof err;
+    ::getsockopt(fd.get(), SOL_SOCKET, SO_ERROR, &err, &len);
+    if (err != 0) {
+      return util::Result<TcpStream>::error(std::string("connect: ") +
+                                            std::strerror(err));
+    }
+  }
+  ::fcntl(fd.get(), F_SETFL, flags);  // back to blocking
+
+  TcpStream stream(std::move(fd));
+  if (auto r = stream.set_no_delay(true); !r) {
+    return util::Result<TcpStream>::error(r.error_message());
+  }
+  return stream;
+}
+
+util::Result<void> TcpStream::set_io_timeout(
+    std::chrono::milliseconds timeout) {
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(timeout.count() / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((timeout.count() % 1000) * 1000);
+  if (::setsockopt(fd_.get(), SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv) != 0 ||
+      ::setsockopt(fd_.get(), SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv) != 0) {
+    return util::Result<void>::error(errno_message("setsockopt(timeout)"));
+  }
+  return {};
+}
+
+util::Result<void> TcpStream::set_no_delay(bool on) {
+  const int value = on ? 1 : 0;
+  if (::setsockopt(fd_.get(), IPPROTO_TCP, TCP_NODELAY, &value,
+                   sizeof value) != 0) {
+    return util::Result<void>::error(errno_message("setsockopt(nodelay)"));
+  }
+  return {};
+}
+
+util::Result<std::size_t> TcpStream::read_some(char* buf, std::size_t len) {
+  while (true) {
+    const ssize_t n = ::recv(fd_.get(), buf, len, 0);
+    if (n >= 0) return static_cast<std::size_t>(n);
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return util::Result<std::size_t>::error("read timeout");
+    }
+    return util::Result<std::size_t>::error(errno_message("recv"));
+  }
+}
+
+util::Result<void> TcpStream::write_all(const char* buf, std::size_t len) {
+  std::size_t sent = 0;
+  while (sent < len) {
+    const ssize_t n =
+        ::send(fd_.get(), buf + sent, len - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      return util::Result<void>::error("write timeout");
+    }
+    return util::Result<void>::error(errno_message("send"));
+  }
+  return {};
+}
+
+void TcpStream::shutdown_both() {
+  if (fd_.valid()) ::shutdown(fd_.get(), SHUT_RDWR);
+}
+
+util::Result<TcpListener> TcpListener::bind(std::uint16_t port, int backlog) {
+  FdHandle fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) {
+    return util::Result<TcpListener>::error(errno_message("socket"));
+  }
+  const int one = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    return util::Result<TcpListener>::error(errno_message("bind"));
+  }
+  if (::listen(fd.get(), backlog) != 0) {
+    return util::Result<TcpListener>::error(errno_message("listen"));
+  }
+
+  socklen_t len = sizeof addr;
+  ::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&addr), &len);
+
+  TcpListener listener;
+  listener.fd_ = std::move(fd);
+  listener.port_ = ntohs(addr.sin_port);
+  return listener;
+}
+
+util::Result<TcpStream> TcpListener::accept() {
+  while (true) {
+    const int client = ::accept4(fd_.get(), nullptr, nullptr, SOCK_CLOEXEC);
+    if (client >= 0) {
+      TcpStream stream((FdHandle(client)));
+      (void)stream.set_no_delay(true);
+      return stream;
+    }
+    if (errno == EINTR) continue;
+    return util::Result<TcpStream>::error(errno_message("accept"));
+  }
+}
+
+void TcpListener::close() {
+  // Shut down first so a concurrent accept() wakes with an error instead
+  // of racing on the closed descriptor.
+  if (fd_.valid()) ::shutdown(fd_.get(), SHUT_RDWR);
+  fd_.reset();
+}
+
+}  // namespace bifrost::net

@@ -1,0 +1,110 @@
+// Thin RAII layer over POSIX TCP sockets. Blocking I/O with per-socket
+// timeouts; higher layers (HTTP server/client) provide concurrency.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "util/result.hpp"
+
+namespace bifrost::net {
+
+/// Move-only owner of a file descriptor.
+class FdHandle {
+ public:
+  FdHandle() = default;
+  explicit FdHandle(int fd) : fd_(fd) {}
+  ~FdHandle() { reset(); }
+
+  FdHandle(FdHandle&& other) noexcept : fd_(other.release()) {}
+  FdHandle& operator=(FdHandle&& other) noexcept {
+    if (this != &other) {
+      reset();
+      fd_ = other.release();
+    }
+    return *this;
+  }
+  FdHandle(const FdHandle&) = delete;
+  FdHandle& operator=(const FdHandle&) = delete;
+
+  [[nodiscard]] int get() const { return fd_; }
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  int release() {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+  void reset();
+
+ private:
+  int fd_ = -1;
+};
+
+/// A connected TCP stream (blocking, with optional I/O timeouts).
+class TcpStream {
+ public:
+  TcpStream() = default;
+  explicit TcpStream(FdHandle fd) : fd_(std::move(fd)) {}
+
+  /// Connects to host:port (IPv4 literal or resolvable name).
+  static util::Result<TcpStream> connect(
+      const std::string& host, std::uint16_t port,
+      std::chrono::milliseconds timeout = std::chrono::milliseconds(5000));
+
+  [[nodiscard]] bool valid() const { return fd_.valid(); }
+
+  /// Applies a receive+send timeout to subsequent operations.
+  util::Result<void> set_io_timeout(std::chrono::milliseconds timeout);
+
+  /// Disables Nagle's algorithm (latency-sensitive request/response).
+  util::Result<void> set_no_delay(bool on);
+
+  /// Reads up to `len` bytes. Returns 0 on orderly shutdown.
+  util::Result<std::size_t> read_some(char* buf, std::size_t len);
+
+  /// Writes the whole buffer (looping over partial writes).
+  util::Result<void> write_all(const char* buf, std::size_t len);
+  util::Result<void> write_all(const std::string& data) {
+    return write_all(data.data(), data.size());
+  }
+
+  void close() { fd_.reset(); }
+
+  /// Shuts down both directions without closing the descriptor; a
+  /// blocked read on another thread returns immediately with EOF.
+  void shutdown_both();
+
+  /// Raw descriptor for poll()-style readiness watching. The stream
+  /// retains ownership.
+  [[nodiscard]] int fd() const { return fd_.get(); }
+
+ private:
+  FdHandle fd_;
+};
+
+/// A listening TCP socket bound to 127.0.0.1.
+class TcpListener {
+ public:
+  /// Binds and listens on loopback. Port 0 picks an ephemeral port.
+  static util::Result<TcpListener> bind(std::uint16_t port,
+                                        int backlog = 128);
+
+  /// Blocks until a client connects. Fails when the listener is closed
+  /// from another thread (used to stop accept loops).
+  util::Result<TcpStream> accept();
+
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+  [[nodiscard]] bool valid() const { return fd_.valid(); }
+  [[nodiscard]] int fd() const { return fd_.get(); }
+
+  /// Closing from another thread unblocks accept() with an error.
+  void close();
+
+ private:
+  FdHandle fd_;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace bifrost::net

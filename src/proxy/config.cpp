@@ -1,0 +1,127 @@
+#include "proxy/config.hpp"
+
+#include <cmath>
+
+namespace bifrost::proxy {
+
+json::Value ProxyConfig::to_json() const {
+  json::Array backends_json;
+  for (const BackendTarget& b : backends) {
+    backends_json.push_back(json::Object{
+        {"version", b.version},
+        {"host", b.host},
+        {"port", static_cast<double>(b.port)},
+        {"percent", b.percent},
+        {"matchHeader", b.match_header},
+        {"matchValue", b.match_value},
+    });
+  }
+  json::Array shadows_json;
+  for (const ShadowTarget& s : shadows) {
+    shadows_json.push_back(json::Object{
+        {"sourceVersion", s.source_version},
+        {"targetVersion", s.target_version},
+        {"host", s.host},
+        {"port", static_cast<double>(s.port)},
+        {"percent", s.percent},
+    });
+  }
+  return json::Object{
+      {"service", service},
+      {"mode", mode == core::RoutingMode::kCookie ? "cookie" : "header"},
+      {"sticky", sticky},
+      {"filterHeader", filter_header},
+      {"filterValue", filter_value},
+      {"defaultVersion", default_version},
+      {"backends", std::move(backends_json)},
+      {"shadows", std::move(shadows_json)},
+  };
+}
+
+util::Result<ProxyConfig> ProxyConfig::from_json(const json::Value& doc) {
+  using R = util::Result<ProxyConfig>;
+  if (!doc.is_object()) return R::error("proxy config must be an object");
+  ProxyConfig config;
+  config.service = doc.get_string("service");
+  const std::string mode = doc.get_string("mode", "cookie");
+  if (mode == "cookie") {
+    config.mode = core::RoutingMode::kCookie;
+  } else if (mode == "header") {
+    config.mode = core::RoutingMode::kHeader;
+  } else {
+    return R::error("unknown routing mode '" + mode + "'");
+  }
+  config.sticky = doc.get_bool("sticky", false);
+  config.filter_header = doc.get_string("filterHeader");
+  config.filter_value = doc.get_string("filterValue");
+  config.default_version = doc.get_string("defaultVersion");
+  if (const json::Value* backends = doc.find("backends");
+      backends != nullptr && backends->is_array()) {
+    for (const json::Value& b : backends->as_array()) {
+      BackendTarget target;
+      target.version = b.get_string("version");
+      target.host = b.get_string("host");
+      target.port = static_cast<std::uint16_t>(b.get_number("port"));
+      target.percent = b.get_number("percent");
+      target.match_header = b.get_string("matchHeader");
+      target.match_value = b.get_string("matchValue");
+      config.backends.push_back(std::move(target));
+    }
+  }
+  if (const json::Value* shadows = doc.find("shadows");
+      shadows != nullptr && shadows->is_array()) {
+    for (const json::Value& s : shadows->as_array()) {
+      ShadowTarget target;
+      target.source_version = s.get_string("sourceVersion");
+      target.target_version = s.get_string("targetVersion");
+      target.host = s.get_string("host");
+      target.port = static_cast<std::uint16_t>(s.get_number("port"));
+      target.percent = s.get_number("percent", 100.0);
+      config.shadows.push_back(std::move(target));
+    }
+  }
+  if (auto v = config.validate(); !v) return R::error(v.error_message());
+  return config;
+}
+
+util::Result<void> ProxyConfig::validate() const {
+  using R = util::Result<void>;
+  if (backends.empty()) return R::error("proxy config needs >= 1 backend");
+  double total = 0.0;
+  for (const BackendTarget& b : backends) {
+    if (b.host.empty() || b.port == 0) {
+      return R::error("backend '" + b.version + "' has no endpoint");
+    }
+    if (mode == core::RoutingMode::kCookie) {
+      if (b.percent < 0.0 || b.percent > 100.0) {
+        return R::error("backend percent out of [0,100]");
+      }
+      total += b.percent;
+    }
+  }
+  if (mode == core::RoutingMode::kCookie && std::abs(total - 100.0) > 1e-6) {
+    return R::error("backend percentages sum to " + std::to_string(total) +
+                    ", expected 100");
+  }
+  if (!filter_header.empty()) {
+    bool default_known = false;
+    for (const BackendTarget& b : backends) {
+      default_known |= b.version == default_version;
+    }
+    if (!default_known) {
+      return R::error("experiment filter default version '" +
+                      default_version + "' is not a configured backend");
+    }
+  }
+  for (const ShadowTarget& s : shadows) {
+    if (s.host.empty() || s.port == 0) {
+      return R::error("shadow target has no endpoint");
+    }
+    if (s.percent <= 0.0 || s.percent > 100.0) {
+      return R::error("shadow percent out of (0,100]");
+    }
+  }
+  return {};
+}
+
+}  // namespace bifrost::proxy

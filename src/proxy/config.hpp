@@ -1,0 +1,63 @@
+// The routing table a Bifrost proxy enacts. The engine materializes one
+// of these per service from the active state's dynamic routing
+// configuration (Phi) and pushes it to the proxy's admin API whenever a
+// state transition happens.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/model.hpp"
+#include "json/json.hpp"
+#include "util/result.hpp"
+
+namespace bifrost::proxy {
+
+/// A candidate backend: one version of the proxied service.
+struct BackendTarget {
+  std::string version;
+  std::string host;
+  std::uint16_t port = 0;
+  /// Cookie mode: share of traffic in percent (all backends sum to 100).
+  double percent = 0.0;
+  /// Header mode: requests with match_header == match_value route here.
+  /// A backend with empty match_value is the default for non-matching
+  /// requests.
+  std::string match_header;
+  std::string match_value;
+};
+
+/// A dark-launch duplication rule: requests served by `source_version`
+/// are additionally sent (with probability percent/100) to host:port;
+/// the duplicate's response is discarded.
+struct ShadowTarget {
+  std::string source_version;
+  std::string target_version;
+  std::string host;
+  std::uint16_t port = 0;
+  double percent = 100.0;
+};
+
+struct ProxyConfig {
+  std::string service;
+  core::RoutingMode mode = core::RoutingMode::kCookie;
+  bool sticky = false;
+  /// Optional experiment scoping: only requests with
+  /// filter_header == filter_value take part in the split; all other
+  /// requests go to the backend named default_version.
+  std::string filter_header;
+  std::string filter_value;
+  std::string default_version;
+  std::vector<BackendTarget> backends;
+  std::vector<ShadowTarget> shadows;
+
+  [[nodiscard]] json::Value to_json() const;
+  static util::Result<ProxyConfig> from_json(const json::Value& doc);
+
+  /// Structural sanity: at least one backend; cookie percentages sum to
+  /// ~100; endpoints non-empty.
+  [[nodiscard]] util::Result<void> validate() const;
+};
+
+}  // namespace bifrost::proxy

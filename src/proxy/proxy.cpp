@@ -1,0 +1,351 @@
+#include "proxy/proxy.hpp"
+
+#include <stdexcept>
+#include <thread>
+
+#include "util/log.hpp"
+#include "util/stats.hpp"
+#include "util/uuid.hpp"
+
+namespace bifrost::proxy {
+
+BifrostProxy::BifrostProxy(Options options, ProxyConfig initial)
+    : options_(options),
+      rng_(options.rng_seed == 0 ? util::Rng() : util::Rng(options.rng_seed)) {
+  if (auto v = initial.validate(); !v) {
+    throw std::invalid_argument("proxy initial config: " + v.error_message());
+  }
+  config_ = std::make_shared<const ProxyConfig>(std::move(initial));
+
+  http::HttpServer::Options data_options;
+  data_options.port = options_.data_port;
+  data_options.worker_threads = options_.worker_threads;
+  data_server_ = std::make_unique<http::HttpServer>(
+      data_options,
+      [this](const http::Request& req) { return handle_data(req); });
+
+  http::HttpServer::Options admin_options;
+  admin_options.port = options_.admin_port;
+  admin_options.worker_threads = 2;
+  admin_server_ = std::make_unique<http::HttpServer>(
+      admin_options,
+      [this](const http::Request& req) { return handle_admin(req); });
+
+  shadow_pool_ = std::make_unique<runtime::ThreadPool>(options_.shadow_threads);
+}
+
+BifrostProxy::~BifrostProxy() { stop(); }
+
+void BifrostProxy::start() {
+  data_server_->start();
+  admin_server_->start();
+}
+
+void BifrostProxy::stop() {
+  data_server_->stop();
+  admin_server_->stop();
+  if (shadow_pool_) shadow_pool_->shutdown();
+}
+
+std::uint16_t BifrostProxy::data_port() const { return data_server_->port(); }
+std::uint16_t BifrostProxy::admin_port() const { return admin_server_->port(); }
+
+util::Result<void> BifrostProxy::apply(ProxyConfig config) {
+  if (auto v = config.validate(); !v) return v;
+  auto next = std::make_shared<const ProxyConfig>(std::move(config));
+  {
+    const std::lock_guard<std::mutex> lock(config_mutex_);
+    config_ = std::move(next);
+  }
+  config_updates_.fetch_add(1);
+  return {};
+}
+
+ProxyConfig BifrostProxy::current_config() const {
+  const std::lock_guard<std::mutex> lock(config_mutex_);
+  return *config_;
+}
+
+std::uint64_t BifrostProxy::requests_for(const std::string& version) const {
+  return static_cast<std::uint64_t>(
+      registry_.counter("bifrost_proxy_requests_total", {{"version", version}})
+          .value());
+}
+
+BifrostProxy::LatencyStats BifrostProxy::latency_for(
+    const std::string& version) const {
+  std::vector<double> window;
+  {
+    const std::lock_guard<std::mutex> lock(latency_mutex_);
+    const auto it = latencies_.find(version);
+    if (it == latencies_.end() || it->second.empty()) return {};
+    window = it->second;
+  }
+  LatencyStats stats;
+  stats.count = window.size();
+  stats.p50 = util::percentile(window, 50.0);
+  stats.p95 = util::percentile(window, 95.0);
+  stats.p99 = util::percentile(window, 99.0);
+  return stats;
+}
+
+std::size_t BifrostProxy::sticky_sessions() const {
+  const std::lock_guard<std::mutex> lock(session_mutex_);
+  return sticky_.size();
+}
+
+std::size_t BifrostProxy::decide_backend(
+    const ProxyConfig& config, const http::Request& request,
+    const std::string& session_id,
+    const std::unordered_map<std::string, std::string>& sticky,
+    util::Rng& rng) {
+  if (config.backends.size() == 1) return 0;
+
+  // Experiment scoping: requests outside the filtered population go
+  // straight to the default version (no split, no stickiness).
+  if (!config.filter_header.empty()) {
+    const auto value = request.headers.get(config.filter_header);
+    if (!value || *value != config.filter_value) {
+      for (std::size_t i = 0; i < config.backends.size(); ++i) {
+        if (config.backends[i].version == config.default_version) return i;
+      }
+      return 0;  // unreachable after validate()
+    }
+  }
+
+  if (config.mode == core::RoutingMode::kHeader) {
+    std::size_t fallback = 0;
+    for (std::size_t i = 0; i < config.backends.size(); ++i) {
+      const BackendTarget& backend = config.backends[i];
+      if (backend.match_value.empty()) {
+        fallback = i;
+        continue;
+      }
+      const auto value = request.headers.get(backend.match_header);
+      if (value && *value == backend.match_value) return i;
+    }
+    return fallback;
+  }
+
+  // Cookie mode: sticky hit first.
+  if (config.sticky && !session_id.empty()) {
+    const auto it = sticky.find(session_id);
+    if (it != sticky.end()) {
+      for (std::size_t i = 0; i < config.backends.size(); ++i) {
+        if (config.backends[i].version == it->second) return i;
+      }
+      // Assigned version no longer a backend (state changed): fall
+      // through to a fresh decision.
+    }
+  }
+
+  // Weighted random pick over percentages.
+  const double roll = rng.uniform() * 100.0;
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < config.backends.size(); ++i) {
+    cumulative += config.backends[i].percent;
+    if (roll < cumulative) return i;
+  }
+  return config.backends.size() - 1;
+}
+
+http::Response BifrostProxy::handle_data(const http::Request& request) {
+  const auto started = std::chrono::steady_clock::now();
+  std::shared_ptr<const ProxyConfig> config;
+  {
+    const std::lock_guard<std::mutex> lock(config_mutex_);
+    config = config_;
+  }
+
+  if (options_.emulation_cost.count() > 0) {
+    // Emulates the per-request processing cost of the paper's Node.js
+    // prototype so the evaluation harness reproduces its overhead shape.
+    std::this_thread::sleep_for(options_.emulation_cost);
+  }
+
+  // Session identification (cookie mode).
+  std::string session_id;
+  bool new_session = false;
+  if (config->mode == core::RoutingMode::kCookie && config->sticky) {
+    if (const auto cookie = request.cookie(kStickyCookie)) {
+      session_id = *cookie;
+    } else {
+      session_id = util::uuid4();
+      new_session = true;
+    }
+  }
+
+  std::size_t index;
+  {
+    const std::lock_guard<std::mutex> session_lock(session_mutex_);
+    const std::lock_guard<std::mutex> rng_lock(rng_mutex_);
+    index = decide_backend(*config, request, session_id, sticky_, rng_);
+  }
+  const BackendTarget& backend = config->backends[index];
+  if (config->sticky && !session_id.empty()) {
+    record_sticky(session_id, backend.version);
+  }
+
+  // Forward to the chosen backend.
+  http::Request upstream = request;
+  upstream.headers.set("Host",
+                       backend.host + ":" + std::to_string(backend.port));
+  auto response = backend_client_.request(std::move(upstream), backend.host,
+                                          backend.port);
+
+  fire_shadows(config, backend.version, request);
+
+  registry_
+      .counter("bifrost_proxy_requests_total", {{"version", backend.version}})
+      .increment();
+  const double elapsed_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                started)
+          .count();
+  registry_
+      .counter("bifrost_proxy_request_time_ms_total",
+               {{"version", backend.version}})
+      .increment(elapsed_ms);
+  {
+    const std::lock_guard<std::mutex> lock(latency_mutex_);
+    auto& window = latencies_[backend.version];
+    if (window.size() < kLatencyWindow) {
+      window.push_back(elapsed_ms);
+    } else {
+      auto& cursor = latency_cursor_[backend.version];
+      window[cursor] = elapsed_ms;
+      cursor = (cursor + 1) % kLatencyWindow;
+    }
+  }
+
+  if (!response.ok()) {
+    backend_errors_.fetch_add(1);
+    registry_
+        .counter("bifrost_proxy_backend_errors_total",
+                 {{"version", backend.version}})
+        .increment();
+    return http::Response::bad_gateway(response.error_message());
+  }
+
+  http::Response out = std::move(response).value();
+  out.headers.set(kVersionHeader, backend.version);
+  if (new_session) out.set_cookie(kStickyCookie, session_id);
+  return out;
+}
+
+void BifrostProxy::fire_shadows(
+    const std::shared_ptr<const ProxyConfig>& config,
+    const std::string& version, const http::Request& request) {
+  for (const ShadowTarget& shadow : config->shadows) {
+    if (shadow.source_version != version) continue;
+    bool fire = true;
+    if (shadow.percent < 100.0) {
+      const std::lock_guard<std::mutex> lock(rng_mutex_);
+      fire = rng_.bernoulli(shadow.percent / 100.0);
+    }
+    if (!fire) continue;
+    http::Request duplicate = request;
+    duplicate.headers.set(kShadowHeader, "1");
+    duplicate.headers.set(
+        "Host", shadow.host + ":" + std::to_string(shadow.port));
+    const std::string host = shadow.host;
+    const std::uint16_t port = shadow.port;
+    const std::string target_version = shadow.target_version;
+    shadow_requests_.fetch_add(1);
+    registry_
+        .counter("bifrost_proxy_shadow_total", {{"version", target_version}})
+        .increment();
+    shadow_pool_->submit(
+        [this, duplicate = std::move(duplicate), host, port]() mutable {
+          auto result = shadow_client_.request(std::move(duplicate), host, port);
+          if (!result.ok()) {
+            registry_.counter("bifrost_proxy_shadow_errors_total").increment();
+          }
+          // Shadow responses are discarded (dark launch semantics).
+        });
+  }
+}
+
+void BifrostProxy::record_sticky(const std::string& session_id,
+                                 const std::string& version) {
+  const std::lock_guard<std::mutex> lock(session_mutex_);
+  auto [it, inserted] = sticky_.try_emplace(session_id, version);
+  if (!inserted) {
+    it->second = version;
+    return;
+  }
+  sticky_order_.push_back(session_id);
+  if (sticky_order_.size() > options_.max_sticky_sessions) {
+    sticky_.erase(sticky_order_.front());
+    sticky_order_.erase(sticky_order_.begin());
+  }
+}
+
+http::Response BifrostProxy::handle_admin(const http::Request& request) {
+  const std::string path = request.path();
+  if (path == "/healthz") return http::Response::text(200, "ok\n");
+
+  if (path == "/admin/config" && request.method == "GET") {
+    return http::Response::json(200, current_config().to_json().dump());
+  }
+  if (path == "/admin/config" && request.method == "PUT") {
+    auto doc = json::parse(request.body);
+    if (!doc.ok()) return http::Response::bad_request(doc.error_message());
+    auto config = ProxyConfig::from_json(doc.value());
+    if (!config.ok()) {
+      return http::Response::bad_request(config.error_message());
+    }
+    if (auto applied = apply(std::move(config).value()); !applied) {
+      return http::Response::bad_request(applied.error_message());
+    }
+    return http::Response::json(200, R"({"status":"ok"})");
+  }
+  if (path == "/admin/stats" && request.method == "GET") {
+    json::Object latency_json;
+    for (const BackendTarget& backend : current_config().backends) {
+      const LatencyStats stats = latency_for(backend.version);
+      if (stats.count == 0) continue;
+      latency_json[backend.version] =
+          json::Object{{"count", stats.count},
+                       {"p50_ms", stats.p50},
+                       {"p95_ms", stats.p95},
+                       {"p99_ms", stats.p99}};
+    }
+    json::Object stats{
+        {"service", current_config().service},
+        {"shadowRequests", shadow_requests_.load()},
+        {"backendErrors", backend_errors_.load()},
+        {"configUpdates", config_updates_.load()},
+        {"stickySessions", sticky_sessions()},
+        {"latency", std::move(latency_json)},
+    };
+    return http::Response::json(200, json::Value(std::move(stats)).dump());
+  }
+  if (path == "/admin/sessions" && request.method == "GET") {
+    // The dynamic routing state's user mappings M: 3-tuples
+    // <user, version, sticky> (paper §3.2). Capped sample for large
+    // tables; `total` always reports the full size.
+    constexpr std::size_t kMaxListed = 1000;
+    json::Array sessions;
+    std::size_t total = 0;
+    {
+      const std::lock_guard<std::mutex> lock(session_mutex_);
+      total = sticky_.size();
+      for (const auto& [user, version] : sticky_) {
+        if (sessions.size() >= kMaxListed) break;
+        sessions.push_back(json::Object{
+            {"user", user}, {"version", version}, {"sticky", true}});
+      }
+    }
+    return http::Response::json(
+        200, json::Value(json::Object{{"total", total},
+                                      {"mappings", std::move(sessions)}})
+                 .dump());
+  }
+  if (path == "/metrics" && request.method == "GET") {
+    return http::Response::text(200, registry_.expose());
+  }
+  return http::Response::not_found();
+}
+
+}  // namespace bifrost::proxy

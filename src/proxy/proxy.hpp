@@ -1,0 +1,141 @@
+// The Bifrost proxy (paper §4.1/§4.2): one lightweight reverse proxy per
+// service, configured by the engine at state transitions. Implements
+//  * percentage traffic splits (cookie mode: proxy decides, re-identifies
+//    clients via a Set-Cookie UUID when sticky sessions are on),
+//  * header-based routing (an upstream component injected the group
+//    header; the proxy only matches it),
+//  * dark-launch traffic duplication (shadow requests are fired
+//    asynchronously; their responses are discarded),
+// and exposes an admin API plus Prometheus-style /metrics.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "http/client.hpp"
+#include "http/server.hpp"
+#include "metrics/registry.hpp"
+#include "proxy/config.hpp"
+#include "runtime/thread_pool.hpp"
+#include "util/rng.hpp"
+
+namespace bifrost::proxy {
+
+/// Name of the sticky-session cookie the proxy sets (RFC-compliant UUID
+/// value, per paper §4.2.2).
+inline constexpr const char* kStickyCookie = "bifrost.sid";
+/// Header stamped onto responses naming the backend version that served
+/// the request (observability / test hook).
+inline constexpr const char* kVersionHeader = "X-Bifrost-Version";
+/// Header stamped onto duplicated (shadow) requests.
+inline constexpr const char* kShadowHeader = "X-Bifrost-Shadow";
+
+class BifrostProxy {
+ public:
+  struct Options {
+    std::uint16_t data_port = 0;   ///< user traffic (0 = ephemeral)
+    std::uint16_t admin_port = 0;  ///< engine control plane
+    std::size_t worker_threads = 16;
+    std::size_t shadow_threads = 8;
+    std::chrono::milliseconds backend_timeout{10000};
+    /// Artificial per-request processing cost. Used by the evaluation
+    /// harness to emulate the paper's Node.js prototype overhead (~8 ms
+    /// per hop); 0 for the raw C++ data path.
+    std::chrono::microseconds emulation_cost{0};
+    std::uint64_t rng_seed = 0;  ///< 0 = nondeterministic
+    /// Maximum sticky-session table entries (oldest-insertion eviction).
+    std::size_t max_sticky_sessions = 1 << 20;
+  };
+
+  /// `initial` must pass ProxyConfig::validate(); it is typically a
+  /// single stable backend at 100%.
+  BifrostProxy(Options options, ProxyConfig initial);
+  ~BifrostProxy();
+
+  BifrostProxy(const BifrostProxy&) = delete;
+  BifrostProxy& operator=(const BifrostProxy&) = delete;
+
+  void start();
+  void stop();
+
+  [[nodiscard]] std::uint16_t data_port() const;
+  [[nodiscard]] std::uint16_t admin_port() const;
+
+  /// Atomically replaces the routing table (also reachable via
+  /// PUT /admin/config on the admin server).
+  util::Result<void> apply(ProxyConfig config);
+
+  [[nodiscard]] ProxyConfig current_config() const;
+
+  /// Per-version request counts (forwarded, not shadow).
+  [[nodiscard]] std::uint64_t requests_for(const std::string& version) const;
+  [[nodiscard]] std::uint64_t shadow_requests() const {
+    return shadow_requests_.load();
+  }
+  [[nodiscard]] std::uint64_t backend_errors() const {
+    return backend_errors_.load();
+  }
+  [[nodiscard]] std::size_t sticky_sessions() const;
+
+  /// Recent per-version latency summary (ms) from the proxy's own
+  /// vantage point — what /admin/stats reports.
+  struct LatencyStats {
+    std::size_t count = 0;
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+  };
+  [[nodiscard]] LatencyStats latency_for(const std::string& version) const;
+
+  /// Routing decision as a pure function (exposed for tests/benches):
+  /// which backend serves a request with the given cookie/header state.
+  /// Returns the index into config.backends.
+  static std::size_t decide_backend(const ProxyConfig& config,
+                                    const http::Request& request,
+                                    const std::string& session_id,
+                                    const std::unordered_map<std::string, std::string>& sticky,
+                                    util::Rng& rng);
+
+ private:
+  http::Response handle_data(const http::Request& request);
+  http::Response handle_admin(const http::Request& request);
+  void fire_shadows(const std::shared_ptr<const ProxyConfig>& config,
+                    const std::string& version, const http::Request& request);
+  void record_sticky(const std::string& session_id, const std::string& version);
+
+  Options options_;
+  std::shared_ptr<const ProxyConfig> config_;
+  mutable std::mutex config_mutex_;
+
+  mutable std::mutex session_mutex_;
+  std::unordered_map<std::string, std::string> sticky_;  // uuid -> version
+  std::vector<std::string> sticky_order_;                // for eviction
+
+  // Sliding window of recent per-version latencies (ms) for the admin
+  // stats; bounded ring buffers.
+  static constexpr std::size_t kLatencyWindow = 4096;
+  mutable std::mutex latency_mutex_;
+  std::unordered_map<std::string, std::vector<double>> latencies_;
+  std::unordered_map<std::string, std::size_t> latency_cursor_;
+
+  mutable std::mutex rng_mutex_;
+  util::Rng rng_;
+
+  http::HttpClient backend_client_;
+  http::HttpClient shadow_client_;
+  std::unique_ptr<runtime::ThreadPool> shadow_pool_;
+  std::unique_ptr<http::HttpServer> data_server_;
+  std::unique_ptr<http::HttpServer> admin_server_;
+
+  mutable metrics::Registry registry_;
+  std::atomic<std::uint64_t> shadow_requests_{0};
+  std::atomic<std::uint64_t> backend_errors_{0};
+  std::atomic<std::uint64_t> config_updates_{0};
+};
+
+}  // namespace bifrost::proxy

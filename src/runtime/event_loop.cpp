@@ -1,0 +1,87 @@
+#include "runtime/event_loop.hpp"
+
+#include "util/log.hpp"
+
+namespace bifrost::runtime {
+
+EventLoop::EventLoop() : epoch_(std::chrono::steady_clock::now()) {}
+
+EventLoop::~EventLoop() { stop(); }
+
+void EventLoop::start() {
+  bool expected = false;
+  if (!running_.compare_exchange_strong(expected, true)) return;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_requested_ = false;
+  }
+  thread_ = std::thread([this] { run(); });
+}
+
+void EventLoop::stop() {
+  if (!running_.exchange(false)) return;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+Time EventLoop::now() const {
+  return std::chrono::duration_cast<Time>(std::chrono::steady_clock::now() -
+                                          epoch_);
+}
+
+TimerId EventLoop::schedule_at(Time when, Task task) {
+  TimerId id = kInvalidTimer;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    id = next_id_++;
+    queue_.emplace(when, std::make_pair(id, std::move(task)));
+  }
+  cv_.notify_all();
+  return id;
+}
+
+void EventLoop::cancel(TimerId id) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  cancelled_.insert(id);
+}
+
+std::size_t EventLoop::pending() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+void EventLoop::run() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!stop_requested_) {
+    if (queue_.empty()) {
+      cv_.wait(lock, [this] { return stop_requested_ || !queue_.empty(); });
+      continue;
+    }
+    const Time due = queue_.begin()->first;
+    const Time current = now();
+    if (due > current) {
+      cv_.wait_for(lock, due - current);
+      continue;
+    }
+    auto node = queue_.extract(queue_.begin());
+    auto [id, task] = std::move(node.mapped());
+    if (cancelled_.erase(id) > 0) continue;
+    lock.unlock();
+    try {
+      task();
+    } catch (const std::exception& e) {
+      util::log_error("event_loop", "task threw: ", e.what());
+    } catch (...) {
+      util::log_error("event_loop", "task threw unknown exception");
+    }
+    lock.lock();
+  }
+  queue_.clear();
+  cancelled_.clear();
+}
+
+}  // namespace bifrost::runtime

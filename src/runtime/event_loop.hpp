@@ -1,0 +1,53 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <unordered_set>
+
+#include "runtime/scheduler.hpp"
+
+namespace bifrost::runtime {
+
+/// Single-threaded timer loop over the wall clock. Tasks run on the loop
+/// thread, one at a time — the same run-to-completion discipline as the
+/// Node.js event loop the paper's prototype is built on. Thread-safe to
+/// schedule into from any thread.
+class EventLoop final : public Scheduler {
+ public:
+  EventLoop();
+  ~EventLoop() override;
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Starts the loop thread. Idempotent.
+  void start();
+
+  /// Stops the loop and joins its thread; pending timers are dropped.
+  void stop();
+
+  [[nodiscard]] Time now() const override;
+  TimerId schedule_at(Time when, Task task) override;
+  void cancel(TimerId id) override;
+
+  /// Number of timers not yet fired (for tests/diagnostics).
+  [[nodiscard]] std::size_t pending() const;
+
+ private:
+  void run();
+
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::multimap<Time, std::pair<TimerId, Task>> queue_;
+  std::unordered_set<TimerId> cancelled_;
+  TimerId next_id_ = 1;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  bool stop_requested_ = false;
+};
+
+}  // namespace bifrost::runtime

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <map>
+#include <unordered_set>
+#include <utility>
+
+#include "runtime/scheduler.hpp"
+
+namespace bifrost::runtime {
+
+/// Deterministic single-threaded scheduler for tests: time only moves
+/// when the test calls advance_to()/advance_by(), firing due timers in
+/// order. Not thread-safe by design — tests own the thread.
+class ManualClock final : public Scheduler {
+ public:
+  [[nodiscard]] Time now() const override { return now_; }
+
+  TimerId schedule_at(Time when, Task task) override {
+    const TimerId id = next_id_++;
+    queue_.emplace(when < now_ ? now_ : when, std::make_pair(id, std::move(task)));
+    return id;
+  }
+
+  void cancel(TimerId id) override { cancelled_.insert(id); }
+
+  /// Advances to `target`, firing every due timer (including ones that
+  /// newly-scheduled tasks add, as long as they are due before target).
+  void advance_to(Time target) {
+    while (!queue_.empty() && queue_.begin()->first <= target) {
+      auto node = queue_.extract(queue_.begin());
+      now_ = std::max(now_, node.key());
+      auto [id, task] = std::move(node.mapped());
+      if (cancelled_.erase(id) > 0) continue;
+      task();
+    }
+    now_ = std::max(now_, target);
+  }
+
+  void advance_by(Duration delta) { advance_to(now_ + delta); }
+
+  /// Fires exactly one due timer if any exist; returns whether one fired.
+  bool step() {
+    if (queue_.empty()) return false;
+    auto node = queue_.extract(queue_.begin());
+    now_ = std::max(now_, node.key());
+    auto [id, task] = std::move(node.mapped());
+    if (cancelled_.erase(id) > 0) return step();
+    task();
+    return true;
+  }
+
+  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+
+ private:
+  Time now_{0};
+  std::multimap<Time, std::pair<TimerId, Task>> queue_;
+  std::unordered_set<TimerId> cancelled_;
+  TimerId next_id_ = 1;
+};
+
+}  // namespace bifrost::runtime

@@ -1,0 +1,44 @@
+// Abstract timer scheduling. The Bifrost engine is written against this
+// interface so the identical strategy-enactment code runs on the real
+// EventLoop (wall-clock) and inside the discrete-event simulator
+// (virtual time) used for the paper's engine-scale experiments.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+
+namespace bifrost::runtime {
+
+/// Time on the scheduler's own timeline, measured from its start.
+using Time = std::chrono::nanoseconds;
+using Duration = std::chrono::nanoseconds;
+
+using TimerId = std::uint64_t;
+constexpr TimerId kInvalidTimer = 0;
+
+class Scheduler {
+ public:
+  using Task = std::function<void()>;
+
+  virtual ~Scheduler() = default;
+
+  /// Current time on this scheduler's timeline.
+  [[nodiscard]] virtual Time now() const = 0;
+
+  /// Runs `task` at absolute time `when` (immediately if in the past).
+  virtual TimerId schedule_at(Time when, Task task) = 0;
+
+  /// Cancels a pending timer; no-op if already fired or unknown.
+  virtual void cancel(TimerId id) = 0;
+
+  /// Runs `task` after `delay` from now.
+  TimerId schedule_after(Duration delay, Task task) {
+    return schedule_at(now() + delay, std::move(task));
+  }
+
+  /// Runs `task` as soon as possible.
+  void post(Task task) { schedule_at(now(), std::move(task)); }
+};
+
+}  // namespace bifrost::runtime

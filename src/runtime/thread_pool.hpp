@@ -1,0 +1,41 @@
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace bifrost::runtime {
+
+/// Fixed-size worker pool. Used by the HTTP server to bound concurrent
+/// connection handlers and by the load generator for request workers.
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task; returns false if the pool is shutting down.
+  bool submit(std::function<void()> task);
+
+  /// Stops accepting tasks, drains the queue, joins all workers.
+  void shutdown();
+
+  [[nodiscard]] std::size_t size() const { return workers_.size(); }
+  [[nodiscard]] std::size_t queued() const;
+
+ private:
+  void worker_main();
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  bool stopping_ = false;
+};
+
+}  // namespace bifrost::runtime

@@ -1,0 +1,58 @@
+#include "sim/sim_env.hpp"
+
+#include <chrono>
+
+namespace bifrost::sim {
+
+SimMetricsClient::SimMetricsClient(Simulation& sim, MetricFn source,
+                                   Costs costs)
+    : sim_(sim), source_(std::move(source)), costs_(costs) {}
+
+util::Result<std::optional<double>> SimMetricsClient::query(
+    const core::ProviderConfig& provider, const std::string& query) {
+  // Per-provider cost override, keyed by the provider's host field (sim
+  // strategies use symbolic hosts like "prometheus" / "availability").
+  const auto it = costs_.per_provider.find(provider.host);
+  const QueryCost& cost =
+      it != costs_.per_provider.end() ? it->second : costs_.default_query;
+  sim_.consume(cost.engine);
+  sim_.wait_external(cost.wait);
+  ++queries_;
+  const double now_seconds =
+      std::chrono::duration<double>(sim_.now()).count();
+  if (!source_) return std::optional<double>{};
+  return source_(query, now_seconds);
+}
+
+SimProxyController::SimProxyController(Simulation& sim, Costs costs)
+    : sim_(sim), costs_(costs) {}
+
+util::Result<void> SimProxyController::apply(const core::ServiceDef& service,
+                                             const proxy::ProxyConfig& config) {
+  (void)service;
+  sim_.consume(costs_.per_update);
+  sim_.wait_external(costs_.update_wait);
+  ++updates_;
+  last_config_ = config;
+  return {};
+}
+
+engine::StatusListener charged_listener(Simulation& sim,
+                                        runtime::Duration per_event,
+                                        engine::StatusListener inner) {
+  return [&sim, per_event, inner = std::move(inner)](
+             const engine::StatusEvent& event) {
+    sim.consume(per_event);
+    if (inner) inner(event);
+  };
+}
+
+MetricFn always_healthy(double healthy_value) {
+  return [healthy_value](const std::string& query,
+                         double) -> std::optional<double> {
+    if (query.find("error") != std::string::npos) return 0.0;
+    return healthy_value;
+  };
+}
+
+}  // namespace bifrost::sim

@@ -1,0 +1,94 @@
+// Simulated engine environment: MetricsClient / ProxyController
+// implementations that charge calibrated CPU costs to the Simulation and
+// return synthetic data. Costs default to values calibrated against the
+// paper's published curves (see bench/bench_parallel_*.cpp and
+// EXPERIMENTS.md for the calibration notes).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "engine/interfaces.hpp"
+#include "sim/simulation.hpp"
+
+namespace bifrost::sim {
+
+/// Synthetic metric source: maps (query, virtual time seconds) to a
+/// value; return nullopt for "no data".
+using MetricFn =
+    std::function<std::optional<double>(const std::string&, double)>;
+
+class SimMetricsClient final : public engine::MetricsClient {
+ public:
+  /// Cost of one metric query, split into engine CPU (request dispatch,
+  /// JSON parse, validation) and external wait (the provider answering;
+  /// the run-to-completion engine is blocked but its core is idle).
+  struct QueryCost {
+    runtime::Duration engine = std::chrono::milliseconds(3);
+    runtime::Duration wait = std::chrono::milliseconds(9);
+  };
+
+  struct Costs {
+    QueryCost default_query;
+    /// Per-provider overrides keyed by the provider's symbolic host
+    /// (e.g. availability probes vs Prometheus queries, §5.2.2).
+    std::map<std::string, QueryCost> per_provider;
+  };
+
+  SimMetricsClient(Simulation& sim, MetricFn source, Costs costs);
+  SimMetricsClient(Simulation& sim, MetricFn source)
+      : SimMetricsClient(sim, std::move(source), Costs{}) {}
+
+  util::Result<std::optional<double>> query(
+      const core::ProviderConfig& provider, const std::string& query) override;
+
+  [[nodiscard]] std::uint64_t queries() const { return queries_; }
+
+ private:
+  Simulation& sim_;
+  MetricFn source_;
+  Costs costs_;
+  std::uint64_t queries_ = 0;
+};
+
+class SimProxyController final : public engine::ProxyController {
+ public:
+  struct Costs {
+    /// CPU consumed per proxy reconfiguration (engine-side serialization
+    /// and HTTP PUT issuance) plus the wait for the proxy's ack.
+    runtime::Duration per_update = std::chrono::milliseconds(3);
+    runtime::Duration update_wait = std::chrono::milliseconds(4);
+  };
+
+  SimProxyController(Simulation& sim, Costs costs);
+  explicit SimProxyController(Simulation& sim)
+      : SimProxyController(sim, Costs{}) {}
+
+  util::Result<void> apply(const core::ServiceDef& service,
+                           const proxy::ProxyConfig& config) override;
+
+  [[nodiscard]] std::uint64_t updates() const { return updates_; }
+  [[nodiscard]] const proxy::ProxyConfig& last_config() const {
+    return last_config_;
+  }
+
+ private:
+  Simulation& sim_;
+  Costs costs_;
+  std::uint64_t updates_ = 0;
+  proxy::ProxyConfig last_config_;
+};
+
+/// Status listener that charges a small CPU cost per emitted event
+/// (status propagation to dashboard/CLI in the modeled prototype) and
+/// forwards to an optional inner listener.
+engine::StatusListener charged_listener(Simulation& sim,
+                                        runtime::Duration per_event,
+                                        engine::StatusListener inner = {});
+
+/// A MetricFn whose values always satisfy "healthy" checks: returns 0
+/// for error-style queries and `healthy_value` otherwise.
+MetricFn always_healthy(double healthy_value = 0.0);
+
+}  // namespace bifrost::sim

@@ -1,0 +1,109 @@
+#include "sim/simulation.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace bifrost::sim {
+
+Simulation::Simulation(Options options) : options_(options) {
+  if (options_.cores < 1) throw std::invalid_argument("cores must be >= 1");
+  core_free_.assign(static_cast<std::size_t>(options_.cores),
+                    runtime::Time{0});
+}
+
+runtime::TimerId Simulation::schedule_at(runtime::Time when, Task task) {
+  const runtime::TimerId id = next_id_++;
+  queue_.emplace(std::max(when, now_), std::make_pair(id, std::move(task)));
+  return id;
+}
+
+void Simulation::cancel(runtime::TimerId id) { cancelled_.insert(id); }
+
+void Simulation::consume(runtime::Duration cost) {
+  if (cost <= runtime::Duration::zero()) return;
+  accrue_busy(now_, cost);
+  now_ += cost;
+}
+
+void Simulation::wait_external(runtime::Duration wait) {
+  if (wait <= runtime::Duration::zero()) return;
+  now_ += wait;
+}
+
+void Simulation::accrue_busy(runtime::Time from, runtime::Duration amount) {
+  busy_ += amount;
+  // Attribute busy time to sample windows, splitting across boundaries.
+  const auto window = options_.sample_window;
+  runtime::Time cursor = from;
+  runtime::Duration remaining = amount;
+  while (remaining > runtime::Duration::zero()) {
+    const auto index = static_cast<std::size_t>(cursor / window);
+    if (window_busy_seconds_.size() <= index) {
+      window_busy_seconds_.resize(index + 1, 0.0);
+    }
+    const runtime::Time window_end = window * static_cast<long>(index + 1);
+    const runtime::Duration in_window =
+        std::min(remaining, window_end - cursor);
+    window_busy_seconds_[index] +=
+        std::chrono::duration<double>(in_window).count();
+    cursor += in_window;
+    remaining -= in_window;
+  }
+}
+
+std::size_t Simulation::run_until(runtime::Time until) {
+  std::size_t executed = 0;
+  while (!queue_.empty()) {
+    const runtime::Time due = queue_.begin()->first;
+    if (due > until) break;
+    auto node = queue_.extract(queue_.begin());
+    auto [id, task] = std::move(node.mapped());
+    if (cancelled_.erase(id) > 0) continue;
+
+    // The callback starts when both its due time has passed and a core
+    // is free (FIFO dispatch over due events).
+    auto free_core =
+        std::min_element(core_free_.begin(), core_free_.end());
+    const runtime::Time start = std::max(due, *free_core);
+    if (start > until) {
+      // Would start beyond the horizon; push it back and stop.
+      queue_.emplace(due, std::make_pair(id, std::move(task)));
+      break;
+    }
+    now_ = start;
+    in_callback_ = true;
+    consume(options_.dispatch_overhead);
+    task();
+    in_callback_ = false;
+    *free_core = now_;
+    ++callbacks_run_;
+    ++executed;
+  }
+  if (queue_.empty() || queue_.begin()->first > until) {
+    if (until != runtime::Time::max()) now_ = std::max(now_, until);
+  }
+  return executed;
+}
+
+std::vector<double> Simulation::utilization_samples() const {
+  return utilization_samples(runtime::Time{0}, now_);
+}
+
+std::vector<double> Simulation::utilization_samples(runtime::Time from,
+                                                    runtime::Time to) const {
+  std::vector<double> out;
+  const auto window = options_.sample_window;
+  const double window_seconds = std::chrono::duration<double>(window).count();
+  const double capacity = window_seconds * options_.cores;
+  if (to <= from || capacity <= 0.0) return out;
+  const auto first = static_cast<std::size_t>(from / window);
+  const auto last = static_cast<std::size_t>((to - runtime::Duration{1}) / window);
+  for (std::size_t i = first; i <= last; ++i) {
+    const double busy =
+        i < window_busy_seconds_.size() ? window_busy_seconds_[i] : 0.0;
+    out.push_back(std::clamp(busy / capacity, 0.0, 1.0));
+  }
+  return out;
+}
+
+}  // namespace bifrost::sim

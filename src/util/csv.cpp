@@ -1,0 +1,50 @@
+#include "util/csv.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace bifrost::util {
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& header)
+    : path_(path), out_(path), columns_(header.size()) {
+  if (!out_) throw std::runtime_error("cannot open CSV file: " + path);
+  if (header.empty()) throw std::invalid_argument("CSV header is empty");
+  row(header);
+}
+
+std::string CsvWriter::escape(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  std::string out = "\"";
+  for (const char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::row(const std::vector<std::string>& fields) {
+  if (fields.size() != columns_) {
+    throw std::invalid_argument("CSV row width mismatch");
+  }
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) out_ << ',';
+    out_ << escape(fields[i]);
+  }
+  out_ << '\n';
+  out_.flush();
+}
+
+void CsvWriter::row(const std::vector<double>& fields) {
+  std::vector<std::string> s;
+  s.reserve(fields.size());
+  for (const double f : fields) {
+    std::ostringstream os;
+    os << f;
+    s.push_back(os.str());
+  }
+  row(s);
+}
+
+}  // namespace bifrost::util

@@ -1,0 +1,29 @@
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace bifrost::util {
+
+/// Minimal CSV writer used by the bench harness to dump raw series next
+/// to the formatted tables, so figures can be re-plotted externally.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row. Throws on I/O error.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  void row(const std::vector<std::string>& fields);
+  void row(const std::vector<double>& fields);
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  static std::string escape(const std::string& field);
+
+  std::string path_;
+  std::ofstream out_;
+  std::size_t columns_;
+};
+
+}  // namespace bifrost::util

@@ -1,0 +1,47 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+
+namespace bifrost::util {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::mutex g_mutex;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level); }
+LogLevel log_level() { return g_level.load(); }
+
+void log(LogLevel level, const std::string& component,
+         const std::string& message) {
+  if (level < g_level.load()) return;
+  using namespace std::chrono;
+  const auto now = duration_cast<milliseconds>(
+                       steady_clock::now().time_since_epoch())
+                       .count();
+  const std::lock_guard<std::mutex> lock(g_mutex);
+  std::fprintf(stderr, "[%10lld.%03lld] %-5s %-12s %s\n",
+               static_cast<long long>(now / 1000),
+               static_cast<long long>(now % 1000), level_name(level),
+               component.c_str(), message.c_str());
+}
+
+}  // namespace bifrost::util

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace bifrost::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Process-wide minimum level; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Thread-safe line-oriented logging to stderr.
+void log(LogLevel level, const std::string& component,
+         const std::string& message);
+
+namespace detail {
+inline void format_into(std::ostringstream&) {}
+template <typename T, typename... Rest>
+void format_into(std::ostringstream& os, const T& first, const Rest&... rest) {
+  os << first;
+  format_into(os, rest...);
+}
+}  // namespace detail
+
+template <typename... Args>
+void log_debug(const std::string& component, const Args&... args) {
+  if (log_level() > LogLevel::kDebug) return;
+  std::ostringstream os;
+  detail::format_into(os, args...);
+  log(LogLevel::kDebug, component, os.str());
+}
+
+template <typename... Args>
+void log_info(const std::string& component, const Args&... args) {
+  if (log_level() > LogLevel::kInfo) return;
+  std::ostringstream os;
+  detail::format_into(os, args...);
+  log(LogLevel::kInfo, component, os.str());
+}
+
+template <typename... Args>
+void log_warn(const std::string& component, const Args&... args) {
+  if (log_level() > LogLevel::kWarn) return;
+  std::ostringstream os;
+  detail::format_into(os, args...);
+  log(LogLevel::kWarn, component, os.str());
+}
+
+template <typename... Args>
+void log_error(const std::string& component, const Args&... args) {
+  std::ostringstream os;
+  detail::format_into(os, args...);
+  log(LogLevel::kError, component, os.str());
+}
+
+}  // namespace bifrost::util

@@ -1,0 +1,80 @@
+// Lightweight Result<T> for recoverable errors (parse failures, I/O on
+// untrusted input). Unrecoverable logic errors still throw.
+#pragma once
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace bifrost::util {
+
+/// A value-or-error sum type. The error is a human-readable message;
+/// callers that need structured errors wrap their own enum in T.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+
+  static Result error(std::string message) {
+    Result r;
+    r.error_ = std::move(message);
+    return r;
+  }
+
+  [[nodiscard]] bool ok() const { return value_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  /// Returns the contained value; throws if this holds an error.
+  [[nodiscard]] T& value() & {
+    ensure_ok();
+    return *value_;
+  }
+  [[nodiscard]] const T& value() const& {
+    ensure_ok();
+    return *value_;
+  }
+  [[nodiscard]] T&& value() && {
+    ensure_ok();
+    return std::move(*value_);
+  }
+
+  [[nodiscard]] const std::string& error_message() const { return error_; }
+
+  [[nodiscard]] T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Result() = default;
+  void ensure_ok() const {
+    if (!ok()) throw std::runtime_error("Result::value on error: " + error_);
+  }
+
+  std::optional<T> value_;
+  std::string error_;
+};
+
+/// Result<void>: success or an error message.
+template <>
+class [[nodiscard]] Result<void> {
+ public:
+  Result() = default;
+
+  static Result error(std::string message) {
+    Result r;
+    r.ok_ = false;
+    r.error_ = std::move(message);
+    return r;
+  }
+
+  [[nodiscard]] bool ok() const { return ok_; }
+  explicit operator bool() const { return ok_; }
+  [[nodiscard]] const std::string& error_message() const { return error_; }
+
+ private:
+  bool ok_ = true;
+  std::string error_;
+};
+
+}  // namespace bifrost::util

@@ -1,0 +1,132 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace bifrost::util {
+
+double mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  return std::accumulate(xs.begin(), xs.end(), 0.0) /
+         static_cast<double>(xs.size());
+}
+
+double stddev(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double ss = 0.0;
+  for (const double x : xs) ss += (x - m) * (x - m);
+  return std::sqrt(ss / static_cast<double>(xs.size() - 1));
+}
+
+double percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) throw std::invalid_argument("percentile of empty sample");
+  if (p < 0.0 || p > 100.0) throw std::invalid_argument("percentile range");
+  std::sort(xs.begin(), xs.end());
+  if (xs.size() == 1) return xs[0];
+  const double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= xs.size()) return xs.back();
+  return xs[lo] * (1.0 - frac) + xs[lo + 1] * frac;
+}
+
+Summary summarize(const std::vector<double>& xs) {
+  Summary s;
+  s.count = xs.size();
+  if (xs.empty()) return s;
+  s.mean = mean(xs);
+  s.sd = stddev(xs);
+  const auto [mn, mx] = std::minmax_element(xs.begin(), xs.end());
+  s.min = *mn;
+  s.max = *mx;
+  s.median = percentile(xs, 50.0);
+  return s;
+}
+
+Boxplot boxplot(std::vector<double> xs) {
+  if (xs.empty()) throw std::invalid_argument("boxplot of empty sample");
+  std::sort(xs.begin(), xs.end());
+  Boxplot b;
+  b.min = xs.front();
+  b.max = xs.back();
+  b.q1 = percentile(xs, 25.0);
+  b.median = percentile(xs, 50.0);
+  b.q3 = percentile(xs, 75.0);
+  const double iqr = b.q3 - b.q1;
+  const double lo_fence = b.q1 - 1.5 * iqr;
+  const double hi_fence = b.q3 + 1.5 * iqr;
+  b.whisker_lo = b.max;
+  b.whisker_hi = b.min;
+  for (const double x : xs) {
+    if (x >= lo_fence) {
+      b.whisker_lo = std::min(b.whisker_lo, x);
+      break;  // xs sorted: first in-fence value is the low whisker
+    }
+  }
+  for (auto it = xs.rbegin(); it != xs.rend(); ++it) {
+    if (*it <= hi_fence) {
+      b.whisker_hi = *it;
+      break;
+    }
+  }
+  for (const double x : xs) {
+    if (x < lo_fence || x > hi_fence) ++b.outliers;
+  }
+  return b;
+}
+
+MovingAverage::MovingAverage(double window_seconds) : window_(window_seconds) {
+  if (window_seconds <= 0.0) {
+    throw std::invalid_argument("moving average window must be positive");
+  }
+}
+
+void MovingAverage::add(double t_seconds, double value) {
+  samples_.emplace_back(t_seconds, value);
+}
+
+double MovingAverage::at(double t_seconds) const {
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (const auto& [t, v] : samples_) {
+    if (t > t_seconds - window_ && t <= t_seconds) {
+      sum += v;
+      ++n;
+    }
+  }
+  return n == 0 ? 0.0 : sum / static_cast<double>(n);
+}
+
+std::vector<std::pair<double, double>> MovingAverage::series(
+    double step) const {
+  std::vector<std::pair<double, double>> out;
+  if (samples_.empty() || step <= 0.0) return out;
+  auto [lo, hi] = std::minmax_element(
+      samples_.begin(), samples_.end(),
+      [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (double t = lo->first; t <= hi->first + 1e-9; t += step) {
+    out.emplace_back(t, at(t));
+  }
+  return out;
+}
+
+std::string sparkline(const std::vector<double>& xs) {
+  static const char* kLevels[] = {" ", "▁", "▂", "▃", "▄", "▅", "▆", "▇", "█"};
+  if (xs.empty()) return {};
+  const auto [mn, mx] = std::minmax_element(xs.begin(), xs.end());
+  const double span = *mx - *mn;
+  std::string out;
+  for (const double x : xs) {
+    const int level =
+        span <= 0.0
+            ? 4
+            : static_cast<int>(std::lround((x - *mn) / span * 8.0));
+    out += kLevels[std::clamp(level, 0, 8)];
+  }
+  return out;
+}
+
+}  // namespace bifrost::util

@@ -1,0 +1,66 @@
+// Descriptive statistics used by the benchmark harness (Table 1 rows,
+// Figure 7/9 boxplots, Figure 8/10 mean +- sd series).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace bifrost::util {
+
+/// Summary statistics over a sample (Table 1 reports exactly these).
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double sd = 0.0;  ///< sample standard deviation (n-1 denominator)
+  double median = 0.0;
+};
+
+/// Five-number summary plus 1.5*IQR whiskers, as drawn by the paper's
+/// boxplot figures (Figs 7 and 9).
+struct Boxplot {
+  double min = 0.0;  ///< sample minimum
+  double q1 = 0.0;
+  double median = 0.0;
+  double q3 = 0.0;
+  double max = 0.0;          ///< sample maximum
+  double whisker_lo = 0.0;   ///< lowest sample >= q1 - 1.5*IQR
+  double whisker_hi = 0.0;   ///< highest sample <= q3 + 1.5*IQR
+  std::size_t outliers = 0;  ///< samples outside the whiskers
+};
+
+double mean(const std::vector<double>& xs);
+double stddev(const std::vector<double>& xs);  ///< sample sd; 0 if n < 2
+
+/// Linear-interpolated percentile, p in [0,100]. Throws on empty input.
+double percentile(std::vector<double> xs, double p);
+
+Summary summarize(const std::vector<double>& xs);
+Boxplot boxplot(std::vector<double> xs);
+
+/// Simple moving average over (time, value) samples with a fixed-width
+/// trailing window; mirrors the 3-second window used for Figure 6.
+class MovingAverage {
+ public:
+  explicit MovingAverage(double window_seconds);
+
+  void add(double t_seconds, double value);
+
+  /// Average of samples in (t - window, t]; 0 if none recorded yet.
+  [[nodiscard]] double at(double t_seconds) const;
+
+  /// Resamples the series every `step` seconds from first to last sample.
+  [[nodiscard]] std::vector<std::pair<double, double>> series(
+      double step) const;
+
+ private:
+  double window_;
+  std::vector<std::pair<double, double>> samples_;  // sorted by insertion
+};
+
+/// Renders a fixed-width ASCII sparkline of a series (bench output).
+std::string sparkline(const std::vector<double>& xs);
+
+}  // namespace bifrost::util

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bifrost::util {
+
+/// Splits `s` on `delim`; keeps empty fields ("a,,b" -> {"a","","b"}).
+std::vector<std::string> split(std::string_view s, char delim);
+
+/// Splits on the first occurrence of `delim`; nullopt if absent.
+std::optional<std::pair<std::string, std::string>> split_once(
+    std::string_view s, char delim);
+
+std::string_view trim(std::string_view s);
+std::string to_lower(std::string_view s);
+
+/// Case-insensitive ASCII comparison (HTTP header names, etc.).
+bool iequals(std::string_view a, std::string_view b);
+
+bool starts_with(std::string_view s, std::string_view prefix);
+bool ends_with(std::string_view s, std::string_view suffix);
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Strict integer / double parsing: whole string must be consumed.
+std::optional<long long> parse_int(std::string_view s);
+std::optional<double> parse_double(std::string_view s);
+
+/// Replaces all occurrences of `from` with `to`.
+std::string replace_all(std::string s, std::string_view from,
+                        std::string_view to);
+
+}  // namespace bifrost::util

@@ -1,0 +1,59 @@
+#include "util/uuid.hpp"
+
+#include <array>
+#include <cctype>
+#include <random>
+
+namespace bifrost::util {
+namespace {
+
+std::string format_uuid(std::uint64_t hi, std::uint64_t lo) {
+  // Set version (4) and variant (10xx) bits per RFC 4122.
+  hi = (hi & 0xffffffffffff0fffULL) | 0x0000000000004000ULL;
+  lo = (lo & 0x3fffffffffffffffULL) | 0x8000000000000000ULL;
+
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(36);
+  const auto emit = [&](std::uint64_t v, int nibbles) {
+    for (int i = nibbles - 1; i >= 0; --i) {
+      out += kHex[(v >> (i * 4)) & 0xf];
+    }
+  };
+  emit(hi >> 32, 8);
+  out += '-';
+  emit(hi >> 16, 4);
+  out += '-';
+  emit(hi, 4);
+  out += '-';
+  emit(lo >> 48, 4);
+  out += '-';
+  emit(lo, 12);
+  return out;
+}
+
+}  // namespace
+
+std::string uuid4() {
+  thread_local std::mt19937_64 rng{std::random_device{}()};
+  return format_uuid(rng(), rng());
+}
+
+std::string uuid4_from(std::uint64_t seed) {
+  std::mt19937_64 rng{seed};
+  return format_uuid(rng(), rng());
+}
+
+bool is_uuid(const std::string& s) {
+  if (s.size() != 36) return false;
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (i == 8 || i == 13 || i == 18 || i == 23) {
+      if (s[i] != '-') return false;
+    } else if (std::isxdigit(static_cast<unsigned char>(s[i])) == 0) {
+      return false;
+    }
+  }
+  return s[14] == '4';
+}
+
+}  // namespace bifrost::util

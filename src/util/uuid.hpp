@@ -1,0 +1,20 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace bifrost::util {
+
+/// RFC 4122 version-4 UUID as a lowercase hex string
+/// ("xxxxxxxx-xxxx-4xxx-yxxx-xxxxxxxxxxxx"). Used by the proxy to
+/// re-identify clients for sticky sessions (paper §4.2.2).
+std::string uuid4();
+
+/// Deterministic variant for tests/simulation: derives the UUID from the
+/// given seed so runs are reproducible.
+std::string uuid4_from(std::uint64_t seed);
+
+/// True if `s` is syntactically a v4 UUID as produced above.
+bool is_uuid(const std::string& s);
+
+}  // namespace bifrost::util

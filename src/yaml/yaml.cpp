@@ -1,0 +1,473 @@
+#include "yaml/yaml.hpp"
+
+#include <cctype>
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace bifrost::yaml {
+
+Node Node::scalar(std::string value) {
+  Node n;
+  n.kind_ = Kind::kScalar;
+  n.scalar_ = std::move(value);
+  return n;
+}
+
+Node Node::sequence(std::vector<Node> items) {
+  Node n;
+  n.kind_ = Kind::kSequence;
+  n.seq_ = std::move(items);
+  return n;
+}
+
+Node Node::mapping(std::vector<std::pair<std::string, Node>> entries) {
+  Node n;
+  n.kind_ = Kind::kMapping;
+  n.map_ = std::move(entries);
+  return n;
+}
+
+std::optional<long long> Node::as_int() const {
+  if (!is_scalar()) return std::nullopt;
+  return util::parse_int(scalar_);
+}
+
+std::optional<double> Node::as_double() const {
+  if (!is_scalar()) return std::nullopt;
+  return util::parse_double(scalar_);
+}
+
+std::optional<bool> Node::as_bool() const {
+  if (!is_scalar()) return std::nullopt;
+  const std::string v = util::to_lower(scalar_);
+  if (v == "true" || v == "yes" || v == "on") return true;
+  if (v == "false" || v == "no" || v == "off") return false;
+  return std::nullopt;
+}
+
+const Node* Node::find(const std::string& key) const {
+  for (const auto& [k, v] : map_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+std::string Node::get_string(const std::string& key,
+                             std::string fallback) const {
+  const Node* n = find(key);
+  return (n != nullptr && n->is_scalar()) ? n->as_string()
+                                          : std::move(fallback);
+}
+
+long long Node::get_int(const std::string& key, long long fallback) const {
+  const Node* n = find(key);
+  if (n == nullptr) return fallback;
+  return n->as_int().value_or(fallback);
+}
+
+double Node::get_double(const std::string& key, double fallback) const {
+  const Node* n = find(key);
+  if (n == nullptr) return fallback;
+  return n->as_double().value_or(fallback);
+}
+
+bool Node::get_bool(const std::string& key, bool fallback) const {
+  const Node* n = find(key);
+  if (n == nullptr) return fallback;
+  return n->as_bool().value_or(fallback);
+}
+
+namespace {
+
+/// Quotes a scalar on output when it would not round-trip as plain.
+std::string quote_if_needed(const std::string& s) {
+  if (s.empty()) return "''";
+  const bool needs =
+      s.find_first_of(":#{}[],&*!|>'\"%@`") != std::string::npos ||
+      std::isspace(static_cast<unsigned char>(s.front())) != 0 ||
+      std::isspace(static_cast<unsigned char>(s.back())) != 0;
+  if (!needs) return s;
+  std::string out = "'";
+  for (const char c : s) {
+    if (c == '\'') out += "''";
+    out += c;
+  }
+  out += '\'';
+  return out;
+}
+
+}  // namespace
+
+std::string Node::dump(int indent) const {
+  const std::string pad(static_cast<size_t>(indent), ' ');
+  std::string out;
+  switch (kind_) {
+    case Kind::kNull:
+      out = pad + "~\n";
+      break;
+    case Kind::kScalar:
+      out = pad + quote_if_needed(scalar_) + "\n";
+      break;
+    case Kind::kSequence:
+      if (seq_.empty()) return pad + "[]\n";
+      for (const Node& item : seq_) {
+        if (item.is_scalar() || item.is_null()) {
+          out += pad + "- " +
+                 (item.is_null() ? "~" : quote_if_needed(item.scalar_)) + "\n";
+        } else {
+          out += pad + "-\n" + item.dump(indent + 2);
+        }
+      }
+      break;
+    case Kind::kMapping:
+      if (map_.empty()) return pad + "{}\n";
+      for (const auto& [key, value] : map_) {
+        if (value.is_scalar() || value.is_null()) {
+          out += pad + quote_if_needed(key) + ": " +
+                 (value.is_null() ? "~" : quote_if_needed(value.scalar_)) +
+                 "\n";
+        } else {
+          out += pad + quote_if_needed(key) + ":\n" + value.dump(indent + 2);
+        }
+      }
+      break;
+  }
+  return out;
+}
+
+namespace {
+
+struct Line {
+  int number = 0;  // 1-based in the source text
+  int indent = 0;
+  std::string content;  // comment-stripped, no leading spaces
+};
+
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(int line, const std::string& what)
+      : std::runtime_error("yaml: line " + std::to_string(line) + ": " +
+                           what) {}
+};
+
+/// Strips a trailing comment (a '#' outside quotes preceded by
+/// whitespace or at the start of content).
+std::string strip_comment(const std::string& line) {
+  char quote = '\0';
+  for (size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (quote != '\0') {
+      if (c == quote) quote = '\0';
+      continue;
+    }
+    if (c == '\'' || c == '"') {
+      quote = c;
+      continue;
+    }
+    if (c == '#' &&
+        (i == 0 || line[i - 1] == ' ' || line[i - 1] == '\t')) {
+      return line.substr(0, i);
+    }
+  }
+  return line;
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) { tokenize(text); }
+
+  Node parse_document() {
+    if (lines_.empty()) return Node{};
+    Node root = parse_block(lines_[0].indent);
+    if (pos_ != lines_.size()) {
+      throw ParseError(lines_[pos_].number, "unexpected dedent/indent");
+    }
+    return root;
+  }
+
+ private:
+  void tokenize(std::string_view text) {
+    int number = 0;
+    for (const std::string& raw : util::split(text, '\n')) {
+      ++number;
+      if (number == 1 && util::trim(raw) == "---") continue;
+      const std::string no_comment = strip_comment(raw);
+      size_t indent = 0;
+      while (indent < no_comment.size() && no_comment[indent] == ' ') {
+        ++indent;
+      }
+      if (indent < no_comment.size() && no_comment[indent] == '\t') {
+        throw ParseError(number, "tab characters are not allowed in indent");
+      }
+      const std::string content(util::trim(no_comment));
+      if (content.empty()) continue;
+      lines_.push_back(
+          {number, static_cast<int>(indent), content});
+    }
+  }
+
+  [[nodiscard]] bool done() const { return pos_ >= lines_.size(); }
+  [[nodiscard]] const Line& cur() const { return lines_[pos_]; }
+
+  /// Parses the block starting at the current line, which must sit at
+  /// exactly `indent`. Consumes all lines with indent >= `indent` that
+  /// belong to the block.
+  Node parse_block(int indent) {
+    if (done()) return Node{};
+    if (cur().indent != indent) {
+      throw ParseError(cur().number, "inconsistent indentation");
+    }
+    if (is_sequence_item(cur().content)) return parse_sequence(indent);
+    return parse_mapping(indent);
+  }
+
+  static bool is_sequence_item(const std::string& content) {
+    return content == "-" || util::starts_with(content, "- ");
+  }
+
+  Node parse_sequence(int indent) {
+    std::vector<Node> items;
+    while (!done() && cur().indent == indent &&
+           is_sequence_item(cur().content)) {
+      const Line line = cur();
+      const std::string rest(
+          util::trim(line.content.size() > 1 ? line.content.substr(1) : ""));
+      ++pos_;
+      if (rest.empty()) {
+        // Item body on following more-indented lines (or empty item).
+        if (!done() && cur().indent > indent) {
+          items.push_back(parse_block(cur().indent));
+        } else {
+          items.emplace_back();
+        }
+      } else if (looks_like_mapping_entry(rest)) {
+        // "- key: value" — the rest is a mapping whose first entry sits
+        // on this line at a virtual indent of dash column + 2.
+        const int virtual_indent = indent + 2;
+        lines_.insert(lines_.begin() + static_cast<long>(pos_),
+                      {line.number, virtual_indent, rest});
+        items.push_back(parse_mapping(virtual_indent));
+      } else {
+        items.push_back(parse_scalar_or_flow(rest, line.number));
+      }
+    }
+    if (!done() && cur().indent > indent) {
+      throw ParseError(cur().number, "unexpected indent inside sequence");
+    }
+    return Node::sequence(std::move(items));
+  }
+
+  Node parse_mapping(int indent) {
+    std::vector<std::pair<std::string, Node>> entries;
+    while (!done() && cur().indent == indent &&
+           !is_sequence_item(cur().content)) {
+      const Line line = cur();
+      auto [key, rest] = split_mapping_entry(line);
+      ++pos_;
+      if (!rest.empty()) {
+        entries.emplace_back(key, parse_scalar_or_flow(rest, line.number));
+      } else if (!done() && cur().indent > indent) {
+        entries.emplace_back(key, parse_block(cur().indent));
+      } else if (!done() && cur().indent == indent &&
+                 is_sequence_item(cur().content)) {
+        // Sequences are commonly written at the same indent as their key.
+        entries.emplace_back(key, parse_sequence(indent));
+      } else {
+        entries.emplace_back(key, Node{});
+      }
+    }
+    if (!done() && cur().indent > indent) {
+      throw ParseError(cur().number, "unexpected indent inside mapping");
+    }
+    return Node::mapping(std::move(entries));
+  }
+
+  static bool looks_like_mapping_entry(const std::string& content) {
+    // A colon followed by space or end-of-line, outside quotes.
+    char quote = '\0';
+    for (size_t i = 0; i < content.size(); ++i) {
+      const char c = content[i];
+      if (quote != '\0') {
+        if (c == quote) quote = '\0';
+        continue;
+      }
+      if (c == '\'' || c == '"') {
+        quote = c;
+        continue;
+      }
+      if (c == ':' && (i + 1 == content.size() || content[i + 1] == ' ')) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  std::pair<std::string, std::string> split_mapping_entry(const Line& line) {
+    char quote = '\0';
+    for (size_t i = 0; i < line.content.size(); ++i) {
+      const char c = line.content[i];
+      if (quote != '\0') {
+        if (c == quote) quote = '\0';
+        continue;
+      }
+      if (c == '\'' || c == '"') {
+        quote = c;
+        continue;
+      }
+      if (c == ':' &&
+          (i + 1 == line.content.size() || line.content[i + 1] == ' ')) {
+        std::string key(util::trim(line.content.substr(0, i)));
+        key = unquote(key, line.number);
+        const std::string rest(util::trim(line.content.substr(i + 1)));
+        if (key.empty()) throw ParseError(line.number, "empty mapping key");
+        return {key, rest};
+      }
+    }
+    throw ParseError(line.number, "expected 'key: value' mapping entry");
+  }
+
+  Node parse_scalar_or_flow(const std::string& text, int line) {
+    if (util::starts_with(text, "[")) return parse_flow_sequence(text, line);
+    if (util::starts_with(text, "{")) return parse_flow_mapping(text, line);
+    if (text == "~" || text == "null") return Node{};
+    return Node::scalar(unquote(text, line));
+  }
+
+  Node parse_flow_sequence(const std::string& text, int line) {
+    if (!util::ends_with(text, "]")) {
+      throw ParseError(line, "unterminated flow sequence");
+    }
+    const std::string inner(util::trim(text.substr(1, text.size() - 2)));
+    std::vector<Node> items;
+    if (inner.empty()) return Node::sequence(std::move(items));
+    for (const std::string& part : split_flow(inner, line)) {
+      items.push_back(parse_scalar_or_flow(std::string(util::trim(part)), line));
+    }
+    return Node::sequence(std::move(items));
+  }
+
+  Node parse_flow_mapping(const std::string& text, int line) {
+    if (!util::ends_with(text, "}")) {
+      throw ParseError(line, "unterminated flow mapping");
+    }
+    const std::string inner(util::trim(text.substr(1, text.size() - 2)));
+    std::vector<std::pair<std::string, Node>> entries;
+    if (inner.empty()) return Node::mapping(std::move(entries));
+    for (const std::string& part : split_flow(inner, line)) {
+      const auto kv = util::split_once(part, ':');
+      if (!kv) throw ParseError(line, "expected 'key: value' in flow mapping");
+      entries.emplace_back(
+          unquote(std::string(util::trim(kv->first)), line),
+          parse_scalar_or_flow(std::string(util::trim(kv->second)), line));
+    }
+    return Node::mapping(std::move(entries));
+  }
+
+  /// Splits flow content on top-level commas (respects quotes/brackets).
+  static std::vector<std::string> split_flow(const std::string& s, int line) {
+    std::vector<std::string> parts;
+    std::string current;
+    char quote = '\0';
+    int depth = 0;
+    for (const char c : s) {
+      if (quote != '\0') {
+        current += c;
+        if (c == quote) quote = '\0';
+        continue;
+      }
+      switch (c) {
+        case '\'':
+        case '"':
+          quote = c;
+          current += c;
+          break;
+        case '[':
+        case '{':
+          ++depth;
+          current += c;
+          break;
+        case ']':
+        case '}':
+          --depth;
+          current += c;
+          break;
+        case ',':
+          if (depth == 0) {
+            parts.push_back(current);
+            current.clear();
+          } else {
+            current += c;
+          }
+          break;
+        default:
+          current += c;
+      }
+    }
+    if (quote != '\0') throw ParseError(line, "unterminated quote");
+    if (depth != 0) throw ParseError(line, "unbalanced brackets");
+    parts.push_back(current);
+    return parts;
+  }
+
+  static std::string unquote(const std::string& s, int line) {
+    if (s.size() >= 2 && s.front() == '\'' && s.back() == '\'') {
+      std::string out;
+      for (size_t i = 1; i + 1 < s.size(); ++i) {
+        if (s[i] == '\'' && i + 2 < s.size() && s[i + 1] == '\'') {
+          out += '\'';
+          ++i;
+        } else {
+          out += s[i];
+        }
+      }
+      return out;
+    }
+    if (s.size() >= 2 && s.front() == '"' && s.back() == '"') {
+      std::string out;
+      for (size_t i = 1; i + 1 < s.size(); ++i) {
+        if (s[i] == '\\' && i + 2 < s.size()) {
+          ++i;
+          switch (s[i]) {
+            case 'n':
+              out += '\n';
+              break;
+            case 't':
+              out += '\t';
+              break;
+            case 'r':
+              out += '\r';
+              break;
+            case '"':
+              out += '"';
+              break;
+            case '\\':
+              out += '\\';
+              break;
+            default:
+              throw ParseError(line, "unsupported escape in double quotes");
+          }
+        } else {
+          out += s[i];
+        }
+      }
+      return out;
+    }
+    return s;
+  }
+
+  std::vector<Line> lines_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+util::Result<Node> parse(std::string_view text) {
+  try {
+    return Parser(text).parse_document();
+  } catch (const ParseError& e) {
+    return util::Result<Node>::error(e.what());
+  }
+}
+
+}  // namespace bifrost::yaml

@@ -1,0 +1,76 @@
+// YAML-subset parser for the Bifrost DSL (paper §4.2.2 builds the DSL as
+// an internal DSL on top of YAML). Supported: block mappings and
+// sequences, nested "- key: value" sequence items, plain/single/double
+// quoted scalars, comments, flow sequences/mappings one level deep,
+// "---" document start. Not supported (not needed by the DSL): anchors,
+// aliases, tags, multi-line block scalars, multiple documents.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/result.hpp"
+
+namespace bifrost::yaml {
+
+class Node {
+ public:
+  enum class Kind { kNull, kScalar, kSequence, kMapping };
+
+  Node() : kind_(Kind::kNull) {}
+  static Node scalar(std::string value);
+  static Node sequence(std::vector<Node> items);
+  static Node mapping(std::vector<std::pair<std::string, Node>> entries);
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] bool is_null() const { return kind_ == Kind::kNull; }
+  [[nodiscard]] bool is_scalar() const { return kind_ == Kind::kScalar; }
+  [[nodiscard]] bool is_sequence() const { return kind_ == Kind::kSequence; }
+  [[nodiscard]] bool is_mapping() const { return kind_ == Kind::kMapping; }
+
+  /// Raw scalar text (after quote processing). Empty for non-scalars.
+  [[nodiscard]] const std::string& as_string() const { return scalar_; }
+
+  /// Typed scalar conversions; nullopt when not a scalar or not parseable.
+  [[nodiscard]] std::optional<long long> as_int() const;
+  [[nodiscard]] std::optional<double> as_double() const;
+  /// Accepts true/false/yes/no/on/off, case-insensitive.
+  [[nodiscard]] std::optional<bool> as_bool() const;
+
+  [[nodiscard]] const std::vector<Node>& items() const { return seq_; }
+  [[nodiscard]] const std::vector<std::pair<std::string, Node>>& entries()
+      const {
+    return map_;
+  }
+
+  /// First mapping entry with the given key; nullptr if absent.
+  [[nodiscard]] const Node* find(const std::string& key) const;
+  [[nodiscard]] bool has(const std::string& key) const {
+    return find(key) != nullptr;
+  }
+
+  /// Convenience lookups with fallbacks (mapping nodes only).
+  [[nodiscard]] std::string get_string(const std::string& key,
+                                       std::string fallback = "") const;
+  [[nodiscard]] long long get_int(const std::string& key,
+                                  long long fallback) const;
+  [[nodiscard]] double get_double(const std::string& key,
+                                  double fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& key, bool fallback) const;
+
+  /// Serializes back to block-style YAML (used by tests and tooling).
+  [[nodiscard]] std::string dump(int indent = 0) const;
+
+ private:
+  Kind kind_;
+  std::string scalar_;
+  std::vector<Node> seq_;
+  std::vector<std::pair<std::string, Node>> map_;
+};
+
+/// Parses one YAML document. Errors carry 1-based line numbers.
+util::Result<Node> parse(std::string_view text);
+
+}  // namespace bifrost::yaml

@@ -1,0 +1,224 @@
+// Probabilistic strategy analysis (absorbing Markov chains over the
+// automaton): absorption probabilities, expected durations, expected
+// visits, and model validation.
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "core/analysis.hpp"
+
+namespace bifrost::core {
+namespace {
+
+using namespace std::chrono_literals;
+
+/// canary(60 s) -> {rollback | done}; providers/services kept minimal.
+StrategyDef two_way_strategy() {
+  StrategyDef strategy;
+  strategy.name = "analysis";
+  strategy.initial_state = "canary";
+  strategy.providers["prometheus"] = ProviderConfig{"h", 1};
+
+  StateDef canary;
+  canary.name = "canary";
+  canary.min_duration = 60s;
+  canary.thresholds = {0.5};
+  canary.transitions = {"rollback", "done"};
+  strategy.states.push_back(canary);
+
+  StateDef done;
+  done.name = "done";
+  done.final_kind = FinalKind::kSuccess;
+  strategy.states.push_back(done);
+  StateDef rollback;
+  rollback.name = "rollback";
+  rollback.final_kind = FinalKind::kRollback;
+  strategy.states.push_back(rollback);
+  return strategy;
+}
+
+TransitionModel model_for(const std::string& state, std::vector<double> ps) {
+  TransitionModel model;
+  model[state].transition_probability = std::move(ps);
+  return model;
+}
+
+TEST(Analysis, SingleStateSplit) {
+  const auto result =
+      analyze(two_way_strategy(), model_for("canary", {0.2, 0.8}));
+  ASSERT_TRUE(result.ok()) << result.error_message();
+  EXPECT_NEAR(result.value().success_probability, 0.8, 1e-12);
+  EXPECT_NEAR(result.value().rollback_probability, 0.2, 1e-12);
+  EXPECT_NEAR(result.value().absorption_probability.at("done"), 0.8, 1e-12);
+  EXPECT_NEAR(
+      std::chrono::duration<double>(result.value().expected_duration).count(),
+      60.0, 1e-9);
+  EXPECT_NEAR(result.value().expected_visits.at("canary"), 1.0, 1e-12);
+}
+
+TEST(Analysis, UniformModelSplitsEvenly) {
+  const auto strategy = two_way_strategy();
+  const auto result = analyze(strategy, uniform_model(strategy));
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result.value().success_probability, 0.5, 1e-12);
+}
+
+TEST(Analysis, OptimisticModelAlwaysSucceeds) {
+  const auto strategy = two_way_strategy();
+  const auto result = analyze(strategy, optimistic_model(strategy));
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result.value().success_probability, 1.0, 1e-12);
+  EXPECT_NEAR(result.value().rollback_probability, 0.0, 1e-12);
+}
+
+TEST(Analysis, SelfLoopGeometricVisits) {
+  // canary re-runs itself with p = 0.5: expected visits = 1/(1-0.5) = 2,
+  // expected duration = 2 * 60 s.
+  auto strategy = two_way_strategy();
+  strategy.states[0].transitions = {"canary", "done"};
+  // "rollback" would now be unreachable; drop it.
+  strategy.states.erase(strategy.states.begin() + 2);
+  const auto result = analyze(strategy, model_for("canary", {0.5, 0.5}));
+  ASSERT_TRUE(result.ok()) << result.error_message();
+  EXPECT_NEAR(result.value().expected_visits.at("canary"), 2.0, 1e-12);
+  EXPECT_NEAR(
+      std::chrono::duration<double>(result.value().expected_duration).count(),
+      120.0, 1e-9);
+  EXPECT_NEAR(result.value().success_probability, 1.0, 1e-12);
+}
+
+TEST(Analysis, ChainedStatesAddDurations) {
+  // a(10 s) -> b(20 s) -> done, deterministic.
+  StrategyDef strategy;
+  strategy.name = "chain";
+  strategy.initial_state = "a";
+  StateDef a;
+  a.name = "a";
+  a.min_duration = 10s;
+  a.transitions = {"b"};
+  strategy.states.push_back(a);
+  StateDef b;
+  b.name = "b";
+  b.min_duration = 20s;
+  b.transitions = {"done"};
+  strategy.states.push_back(b);
+  StateDef done;
+  done.name = "done";
+  done.final_kind = FinalKind::kSuccess;
+  strategy.states.push_back(done);
+
+  const auto result = analyze(strategy, uniform_model(strategy));
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(
+      std::chrono::duration<double>(result.value().expected_duration).count(),
+      30.0, 1e-9);
+  EXPECT_NEAR(result.value().success_probability, 1.0, 1e-12);
+}
+
+TEST(Analysis, ExceptionProbabilityDivertsToFallback) {
+  auto strategy = two_way_strategy();
+  CheckDef guard;
+  guard.name = "guard";
+  guard.kind = CheckKind::kException;
+  guard.fallback_state = "rollback";
+  guard.conditions.push_back(MetricCondition{
+      "prometheus", "g", "q", Validator::parse("<1").value(), true});
+  guard.interval = 10s;
+  guard.executions = 6;
+  strategy.states[0].checks.push_back(guard);
+
+  TransitionModel model = model_for("canary", {0.0, 1.0});
+  model["canary"].exception_probability["guard"] = 0.25;
+  const auto result = analyze(strategy, model);
+  ASSERT_TRUE(result.ok()) << result.error_message();
+  EXPECT_NEAR(result.value().rollback_probability, 0.25, 1e-12);
+  EXPECT_NEAR(result.value().success_probability, 0.75, 1e-12);
+  // Exception exits are modeled at half the dwell: 0.75*60 + 0.25*30.
+  EXPECT_NEAR(
+      std::chrono::duration<double>(result.value().expected_duration).count(),
+      52.5, 1e-9);
+}
+
+TEST(Analysis, RejectsBadModels) {
+  const auto strategy = two_way_strategy();
+  EXPECT_FALSE(analyze(strategy, model_for("canary", {0.5})).ok());  // arity
+  EXPECT_FALSE(
+      analyze(strategy, model_for("canary", {0.7, 0.7})).ok());  // sum != 1
+  EXPECT_FALSE(
+      analyze(strategy, model_for("canary", {-0.5, 1.5})).ok());  // negative
+
+  TransitionModel bad_exception = model_for("canary", {0.0, 1.0});
+  bad_exception["canary"].exception_probability["ghost-check"] = 0.1;
+  EXPECT_FALSE(analyze(strategy, bad_exception).ok());
+}
+
+TEST(Analysis, RejectsCertainLoop) {
+  auto strategy = two_way_strategy();
+  strategy.states[0].transitions = {"canary", "done"};
+  strategy.states.erase(strategy.states.begin() + 2);
+  // Probability-1 self-loop never absorbs.
+  EXPECT_FALSE(analyze(strategy, model_for("canary", {1.0, 0.0})).ok());
+}
+
+TEST(Analysis, MissingStatesGetUniformDefaults) {
+  const auto result = analyze(two_way_strategy(), {});
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result.value().success_probability, 0.5, 1e-12);
+}
+
+TEST(Analysis, MultiPathAbsorption) {
+  // a -> {b | rollback}; b -> {done | rollback}. P(done) = pa * pb.
+  StrategyDef strategy;
+  strategy.name = "multi";
+  strategy.initial_state = "a";
+  for (const char* name : {"a", "b"}) {
+    StateDef state;
+    state.name = name;
+    state.min_duration = 30s;
+    state.thresholds = {0.5};
+    state.transitions = {"rollback",
+                         std::string(name) == "a" ? "b" : "done"};
+    strategy.states.push_back(state);
+  }
+  StateDef done;
+  done.name = "done";
+  done.final_kind = FinalKind::kSuccess;
+  strategy.states.push_back(done);
+  StateDef rollback;
+  rollback.name = "rollback";
+  rollback.final_kind = FinalKind::kRollback;
+  strategy.states.push_back(rollback);
+
+  TransitionModel model;
+  model["a"].transition_probability = {0.1, 0.9};
+  model["b"].transition_probability = {0.2, 0.8};
+  const auto result = analyze(strategy, model);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result.value().success_probability, 0.72, 1e-12);
+  EXPECT_NEAR(result.value().expected_visits.at("b"), 0.9, 1e-12);
+  // E[T] = 30 (state a) + 0.9 * 30 (state b).
+  EXPECT_NEAR(
+      std::chrono::duration<double>(result.value().expected_duration).count(),
+      57.0, 1e-9);
+}
+
+// Sweep: a geometric retry loop with varying retry probability p —
+// expected visits must equal 1/(1-p).
+class GeometricSweep : public testing::TestWithParam<double> {};
+
+TEST_P(GeometricSweep, VisitsMatchClosedForm) {
+  auto strategy = two_way_strategy();
+  strategy.states[0].transitions = {"canary", "done"};
+  strategy.states.erase(strategy.states.begin() + 2);
+  const double p = GetParam();
+  const auto result = analyze(strategy, model_for("canary", {p, 1.0 - p}));
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result.value().expected_visits.at("canary"), 1.0 / (1.0 - p),
+              1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Probabilities, GeometricSweep,
+                         testing::Values(0.0, 0.1, 0.5, 0.9, 0.99));
+
+}  // namespace
+}  // namespace bifrost::core

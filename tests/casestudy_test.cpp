@@ -1,0 +1,257 @@
+// The e-commerce case-study services, individually and assembled.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "casestudy/app.hpp"
+#include "http/client.hpp"
+#include "json/json.hpp"
+
+namespace bifrost::casestudy {
+namespace {
+
+using namespace std::chrono_literals;
+
+// ---------------------------------------------------------------------------
+// DocStore (unit)
+
+TEST(DocStore, InsertAssignsIds) {
+  DocStore store;
+  const std::string id1 = store.insert("c", json::Object{{"x", 1}});
+  const std::string id2 = store.insert("c", json::Object{{"x", 2}});
+  EXPECT_NE(id1, id2);
+  EXPECT_EQ(store.count("c"), 2u);
+  ASSERT_TRUE(store.get("c", id1).has_value());
+  EXPECT_DOUBLE_EQ(store.get("c", id1)->get_number("x"), 1.0);
+}
+
+TEST(DocStore, ExplicitIdUpserts) {
+  DocStore store;
+  store.insert("c", json::Object{{"_id", "k1"}, {"v", 1}});
+  store.insert("c", json::Object{{"_id", "k1"}, {"v", 2}});
+  EXPECT_EQ(store.count("c"), 1u);
+  EXPECT_DOUBLE_EQ(store.get("c", "k1")->get_number("v"), 2.0);
+}
+
+TEST(DocStore, FindByFieldEquality) {
+  DocStore store;
+  store.insert("users", json::Object{{"email", "a@x"}, {"role", "admin"}});
+  store.insert("users", json::Object{{"email", "b@x"}, {"role", "user"}});
+  const auto admins = store.find("users", "role", "admin");
+  ASSERT_EQ(admins.size(), 1u);
+  EXPECT_EQ(admins[0].get_string("email"), "a@x");
+  EXPECT_EQ(store.find("users").size(), 2u);
+  EXPECT_TRUE(store.find("ghosts").empty());
+}
+
+TEST(DocStore, MissingLookups) {
+  DocStore store;
+  EXPECT_FALSE(store.get("c", "nope").has_value());
+  EXPECT_EQ(store.count("c"), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Full app assembly
+
+class CaseStudyAppTest : public testing::Test {
+ public:
+  static AppOptions fast_options() {
+    AppOptions options;
+    // Keep processing delays tiny for tests.
+    options.product_delay = 200us;
+    options.search_delay = 200us;
+    options.fast_search_delay = 100us;
+    options.auth_delay = 100us;
+    options.db_delay = 0us;
+    options.scrape_interval = 100ms;
+    return options;
+  }
+
+ protected:
+  void SetUp() override {
+    app_ = std::make_unique<CaseStudyApp>(fast_options());
+    app_->start();
+    bearer_ = "Bearer " + app_->auth_token();
+  }
+
+  http::Request authed(const std::string& method, const std::string& target) {
+    http::Request req;
+    req.method = method;
+    req.target = target;
+    req.headers.set("Authorization", bearer_);
+    return req;
+  }
+
+  std::unique_ptr<CaseStudyApp> app_;
+  http::HttpClient client_;
+  std::string bearer_;
+};
+
+TEST_F(CaseStudyAppTest, GatewayServesFrontend) {
+  const auto gw = app_->gateway_endpoint();
+  auto res = client_.get(gw.url("/"));
+  ASSERT_TRUE(res.ok()) << res.error_message();
+  EXPECT_EQ(res.value().status, 200);
+  EXPECT_NE(res.value().body.find("Bifrost Electronics"), std::string::npos);
+}
+
+TEST_F(CaseStudyAppTest, UnauthorizedWithoutToken) {
+  const auto gw = app_->gateway_endpoint();
+  auto res = client_.get(gw.url("/products"));
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res.value().status, 401);
+}
+
+TEST_F(CaseStudyAppTest, ProductsListIncludesBuyers) {
+  const auto gw = app_->gateway_endpoint();
+  auto res = client_.request(authed("GET", "/products"), gw.host, gw.port);
+  ASSERT_TRUE(res.ok());
+  ASSERT_EQ(res.value().status, 200);
+  auto docs = json::parse(res.value().body);
+  ASSERT_TRUE(docs.ok());
+  ASSERT_TRUE(docs.value().is_array());
+  EXPECT_GE(docs.value().as_array().size(), 10u);
+  EXPECT_TRUE(docs.value().as_array()[0].find("buyers") != nullptr);
+}
+
+TEST_F(CaseStudyAppTest, DetailsReturnsOneProduct) {
+  const auto gw = app_->gateway_endpoint();
+  auto res = client_.request(authed("GET", "/products/p1"), gw.host, gw.port);
+  ASSERT_TRUE(res.ok());
+  ASSERT_EQ(res.value().status, 200);
+  auto doc = json::parse(res.value().body);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc.value().get_string("_id"), "p1");
+  auto missing =
+      client_.request(authed("GET", "/products/p999"), gw.host, gw.port);
+  EXPECT_EQ(missing.value().status, 404);
+}
+
+TEST_F(CaseStudyAppTest, BuyWritesOrderAndSalesMetric) {
+  const auto gw = app_->gateway_endpoint();
+  http::Request buy = authed("POST", "/buy");
+  buy.headers.set("Content-Type", "application/json");
+  buy.body = R"({"productId":"p2","buyer":"tester"})";
+  auto res = client_.request(std::move(buy), gw.host, gw.port);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res.value().status, 204);
+  EXPECT_TRUE(res.value().body.empty());  // paper: no response body
+  EXPECT_EQ(app_->docstore().store().count("orders"), 1u);
+}
+
+TEST_F(CaseStudyAppTest, SearchFansOutThroughProxy) {
+  const auto gw = app_->gateway_endpoint();
+  auto res =
+      client_.request(authed("GET", "/search?q=laptop"), gw.host, gw.port);
+  ASSERT_TRUE(res.ok());
+  ASSERT_EQ(res.value().status, 200) << res.value().body;
+  auto doc = json::parse(res.value().body);
+  ASSERT_TRUE(doc.ok());
+  const json::Value* hits = doc.value().find("hits");
+  ASSERT_NE(hits, nullptr);
+  EXPECT_GE(hits->as_array().size(), 1u);
+  // Traffic went through the search proxy (deployed by default).
+  ASSERT_NE(app_->search_proxy(), nullptr);
+  EXPECT_GE(app_->search_proxy()->requests_for("stable"), 1u);
+}
+
+TEST_F(CaseStudyAppTest, LoginIssuesToken) {
+  const auto auth_port = app_->auth().port();
+  auto res = client_.post(
+      "http://127.0.0.1:" + std::to_string(auth_port) + "/login",
+      R"({"email":"user2@example.com","password":"secret"})",
+      "application/json");
+  ASSERT_TRUE(res.ok());
+  ASSERT_EQ(res.value().status, 200);
+  auto doc = json::parse(res.value().body);
+  EXPECT_FALSE(doc.value().get_string("token").empty());
+
+  auto bad = client_.post(
+      "http://127.0.0.1:" + std::to_string(auth_port) + "/login",
+      R"({"email":"user2@example.com","password":"wrong"})",
+      "application/json");
+  EXPECT_EQ(bad.value().status, 401);
+}
+
+TEST_F(CaseStudyAppTest, ErrorInjectionProduces500s) {
+  app_->product_stable().set_error_rate(1.0);
+  const auto gw = app_->gateway_endpoint();
+  auto res = client_.request(authed("GET", "/products"), gw.host, gw.port);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res.value().status, 500);
+  app_->product_stable().set_error_rate(0.0);
+  res = client_.request(authed("GET", "/products"), gw.host, gw.port);
+  EXPECT_EQ(res.value().status, 200);
+}
+
+TEST_F(CaseStudyAppTest, MetricsScrapedIntoStore) {
+  const auto gw = app_->gateway_endpoint();
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(
+        client_.request(authed("GET", "/products/p1"), gw.host, gw.port).ok());
+  }
+  // Wait for at least one scrape cycle.
+  std::this_thread::sleep_for(400ms);
+  const auto hits = app_->metrics_store().instant(
+      metrics::Selector{"request_count", {{"service", "product"}}}, 1e18,
+      1e18);
+  ASSERT_FALSE(hits.empty());
+  double total = 0;
+  for (const auto& [key, sample] : hits) total += sample.value;
+  EXPECT_GE(total, 3.0);
+}
+
+TEST_F(CaseStudyAppTest, MetricsQueryableViaHttpApi) {
+  const auto gw = app_->gateway_endpoint();
+  ASSERT_TRUE(
+      client_.request(authed("GET", "/products/p1"), gw.host, gw.port).ok());
+  std::this_thread::sleep_for(400ms);
+  const auto me = app_->metrics_endpoint();
+  auto res = client_.get(me.url("/api/v1/query?query=request_count"));
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res.value().status, 200);
+  auto doc = json::parse(res.value().body);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_GT(doc.value().find("data")->get_number("seriesMatched"), 0.0);
+}
+
+TEST_F(CaseStudyAppTest, ServiceDefsDescribeDeployment) {
+  const auto product = app_->product_service_def();
+  EXPECT_EQ(product.name, "product");
+  EXPECT_EQ(product.versions.size(), 3u);
+  EXPECT_NE(product.find_version("a"), nullptr);
+  EXPECT_GT(product.proxy_admin_port, 0);
+  const auto search = app_->search_service_def();
+  EXPECT_EQ(search.versions.size(), 2u);
+  EXPECT_GT(app_->prometheus_provider().port, 0);
+}
+
+TEST_F(CaseStudyAppTest, ProductVariantsServeTraffic) {
+  // Hit variant A directly (bypassing the proxy).
+  auto res = client_.request(authed("GET", "/products/p1"), "127.0.0.1",
+                             app_->product_a().port());
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res.value().status, 200);
+}
+
+TEST(CaseStudyAppNoProxies, EntryPointsFallBackToServices) {
+  AppOptions options = CaseStudyAppTest::fast_options();
+  options.with_proxies = false;
+  CaseStudyApp app(options);
+  app.start();
+  EXPECT_EQ(app.product_proxy(), nullptr);
+  EXPECT_EQ(app.search_proxy(), nullptr);
+  http::HttpClient client;
+  http::Request req;
+  req.method = "GET";
+  req.target = "/products/p1";
+  req.headers.set("Authorization", "Bearer " + app.auth_token());
+  auto res = client.request(std::move(req), app.product_entry().host,
+                            app.product_entry().port);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res.value().status, 200);
+  app.stop();
+}
+
+}  // namespace
+}  // namespace bifrost::casestudy

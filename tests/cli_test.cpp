@@ -1,0 +1,210 @@
+// End-to-end tests of the `bifrost` CLI binary (path passed as argv[1]
+// by CTest): validate / dot / analyze against strategy files, plus
+// submit/list/status/abort against a live engine API.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+
+#include "engine/engine.hpp"
+#include "util/strings.hpp"
+#include "engine/server.hpp"
+#include "runtime/manual_clock.hpp"
+
+namespace {
+
+std::string g_cli_path;  // set from argv in main()
+
+struct CommandResult {
+  int exit_code = -1;
+  std::string output;
+};
+
+CommandResult run_cli(const std::string& args) {
+  const std::string command = g_cli_path + " " + args + " 2>&1";
+  std::array<char, 4096> buffer{};
+  std::string output;
+  FILE* pipe = ::popen(command.c_str(), "r");
+  if (pipe == nullptr) return {};
+  while (std::fgets(buffer.data(), buffer.size(), pipe) != nullptr) {
+    output += buffer.data();
+  }
+  const int status = ::pclose(pipe);
+  return CommandResult{WEXITSTATUS(status), output};
+}
+
+const char* kValidStrategy = R"(
+strategy:
+  name: cli-test
+  initial: canary
+  states:
+    - state:
+        name: canary
+        duration: 10
+        next: done
+        routes:
+          - route:
+              service: search
+              split:
+                - version: stable
+                  percent: 100
+    - state:
+        name: done
+        final: success
+deployment:
+  providers:
+    prometheus: { host: 127.0.0.1, port: 9090 }
+  services:
+    - service:
+        name: search
+        proxy: { adminHost: 127.0.0.1, adminPort: 8101 }
+        versions:
+          - version: { name: stable, host: 127.0.0.1, port: 8001 }
+)";
+
+std::string write_temp(const std::string& content, const std::string& name) {
+  const std::string path = testing::TempDir() + name;
+  std::ofstream out(path);
+  out << content;
+  return path;
+}
+
+TEST(CliTest, NoArgsPrintsUsage) {
+  const auto result = run_cli("");
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.output.find("Usage"), std::string::npos);
+}
+
+TEST(CliTest, ValidateAcceptsGoodStrategy) {
+  const std::string path = write_temp(kValidStrategy, "cli_good.yaml");
+  const auto result = run_cli("validate " + path);
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("OK: strategy 'cli-test'"), std::string::npos);
+  EXPECT_NE(result.output.find("states:   2"), std::string::npos);
+}
+
+TEST(CliTest, ValidateRejectsBadStrategy) {
+  const std::string path =
+      write_temp("strategy:\n  name: broken\n", "cli_bad.yaml");
+  const auto result = run_cli("validate " + path);
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_NE(result.output.find("INVALID"), std::string::npos);
+}
+
+TEST(CliTest, ValidateMissingFileFails) {
+  const auto result = run_cli("validate /nonexistent.yaml");
+  EXPECT_NE(result.exit_code, 0);
+}
+
+TEST(CliTest, DotRendersAutomaton) {
+  const std::string path = write_temp(kValidStrategy, "cli_dot.yaml");
+  const auto result = run_cli("dot " + path);
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.output.find("digraph \"cli-test\""), std::string::npos);
+  EXPECT_NE(result.output.find("\"canary\" -> \"done\""), std::string::npos);
+}
+
+TEST(CliTest, AnalyzePrintsProbabilities) {
+  const std::string path = write_temp(kValidStrategy, "cli_analyze.yaml");
+  const auto result = run_cli("analyze " + path);
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("P(success)  = 1.000"), std::string::npos);
+  EXPECT_NE(result.output.find("expected duration: 10.0 s"),
+            std::string::npos);
+}
+
+class CliEngineTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    engine_ = std::make_unique<bifrost::engine::Engine>(clock_, metrics_,
+                                                        proxies_);
+    server_ = std::make_unique<bifrost::engine::EngineServer>(*engine_);
+    server_->start();
+    endpoint_ = "--engine 127.0.0.1:" + std::to_string(server_->port());
+  }
+
+  // Strategies never progress (manual clock never advanced): the CLI
+  // only exercises the API surface.
+  class NoMetrics final : public bifrost::engine::MetricsClient {
+    bifrost::util::Result<std::optional<double>> query(
+        const bifrost::core::ProviderConfig&, const std::string&) override {
+      return std::optional<double>{0.0};
+    }
+  };
+  class NoProxies final : public bifrost::engine::ProxyController {
+    bifrost::util::Result<void> apply(
+        const bifrost::core::ServiceDef&,
+        const bifrost::proxy::ProxyConfig&) override {
+      return {};
+    }
+  };
+
+  bifrost::runtime::ManualClock clock_;
+  NoMetrics metrics_;
+  NoProxies proxies_;
+  std::unique_ptr<bifrost::engine::Engine> engine_;
+  std::unique_ptr<bifrost::engine::EngineServer> server_;
+  std::string endpoint_;
+};
+
+TEST_F(CliEngineTest, SubmitListStatusAbort) {
+  const std::string path = write_temp(kValidStrategy, "cli_submit.yaml");
+
+  const auto submitted = run_cli("submit " + path + " " + endpoint_);
+  ASSERT_EQ(submitted.exit_code, 0) << submitted.output;
+  const std::string id(bifrost::util::trim(submitted.output));
+  EXPECT_FALSE(id.empty());
+
+  const auto listed = run_cli("list " + endpoint_);
+  EXPECT_EQ(listed.exit_code, 0);
+  EXPECT_NE(listed.output.find(id), std::string::npos);
+  EXPECT_NE(listed.output.find("cli-test"), std::string::npos);
+
+  const auto status = run_cli("status " + id + " " + endpoint_);
+  EXPECT_EQ(status.exit_code, 0);
+  EXPECT_NE(status.output.find("\"name\": \"cli-test\""), std::string::npos);
+
+  const auto aborted = run_cli("abort " + id + " " + endpoint_);
+  EXPECT_EQ(aborted.exit_code, 0) << aborted.output;
+
+  const auto missing = run_cli("status ghost-id " + endpoint_);
+  EXPECT_NE(missing.exit_code, 0);
+}
+
+TEST_F(CliEngineTest, SubmitRejectsInvalidStrategy) {
+  const std::string path =
+      write_temp("strategy:\n  name: broken\n", "cli_submit_bad.yaml");
+  const auto result = run_cli("submit " + path + " " + endpoint_);
+  EXPECT_NE(result.exit_code, 0);
+  EXPECT_NE(result.output.find("rejected"), std::string::npos);
+}
+
+TEST_F(CliEngineTest, DashboardRenders) {
+  const std::string path = write_temp(kValidStrategy, "cli_dash.yaml");
+  ASSERT_EQ(run_cli("submit " + path + " " + endpoint_).exit_code, 0);
+  const auto result = run_cli("dashboard " + endpoint_);
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.output.find("Bifrost dashboard"), std::string::npos);
+  EXPECT_NE(result.output.find("cli-test"), std::string::npos);
+}
+
+TEST(CliTest, UnreachableEngineFailsGracefully) {
+  const auto result = run_cli("list --engine 127.0.0.1:1");
+  EXPECT_NE(result.exit_code, 0);
+  EXPECT_NE(result.output.find("unreachable"), std::string::npos);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  testing::InitGoogleTest(&argc, argv);
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: cli_test <path-to-bifrost-binary>\n");
+    return 2;
+  }
+  g_cli_path = argv[1];
+  return RUN_ALL_TESTS();
+}

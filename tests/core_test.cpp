@@ -1,0 +1,419 @@
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "core/model.hpp"
+
+namespace bifrost::core {
+namespace {
+
+using namespace std::chrono_literals;
+
+// ---------------------------------------------------------------------------
+// Validator
+
+TEST(Validator, ParseAllComparators) {
+  EXPECT_EQ(Validator::parse("<5").value().cmp, Comparator::kLt);
+  EXPECT_EQ(Validator::parse("<=5").value().cmp, Comparator::kLe);
+  EXPECT_EQ(Validator::parse(">0.99").value().cmp, Comparator::kGt);
+  EXPECT_EQ(Validator::parse(">= 150").value().cmp, Comparator::kGe);
+  EXPECT_EQ(Validator::parse("==3").value().cmp, Comparator::kEq);
+  EXPECT_EQ(Validator::parse("=3").value().cmp, Comparator::kEq);
+  EXPECT_EQ(Validator::parse("!=0").value().cmp, Comparator::kNe);
+  EXPECT_DOUBLE_EQ(Validator::parse(" < 150 ").value().operand, 150.0);
+}
+
+TEST(Validator, ParseRejectsGarbage) {
+  EXPECT_FALSE(Validator::parse("5<").ok());
+  EXPECT_FALSE(Validator::parse("").ok());
+  EXPECT_FALSE(Validator::parse("<abc").ok());
+  EXPECT_FALSE(Validator::parse("around 5").ok());
+}
+
+TEST(Validator, EvalSemantics) {
+  EXPECT_TRUE(Validator::parse("<5").value().eval(4.999));
+  EXPECT_FALSE(Validator::parse("<5").value().eval(5.0));
+  EXPECT_TRUE(Validator::parse("<=5").value().eval(5.0));
+  EXPECT_TRUE(Validator::parse(">=5").value().eval(5.0));
+  EXPECT_FALSE(Validator::parse(">5").value().eval(5.0));
+  EXPECT_TRUE(Validator::parse("==2").value().eval(2.0));
+  EXPECT_TRUE(Validator::parse("!=2").value().eval(2.1));
+}
+
+TEST(Validator, ToStringRoundTrip) {
+  for (const char* text : {"<5", "<=5", ">5", ">=5", "==5", "!=5"}) {
+    const auto v = Validator::parse(text);
+    ASSERT_TRUE(v.ok());
+    const auto again = Validator::parse(v.value().to_string());
+    ASSERT_TRUE(again.ok());
+    EXPECT_EQ(again.value().cmp, v.value().cmp);
+    EXPECT_DOUBLE_EQ(again.value().operand, v.value().operand);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Threshold mapping (the paper's Out_c example, §3.2)
+
+TEST(Thresholds, PaperResponseTimeExample) {
+  // thresholds <75, 95>, mappings (-inf,75,-5), (75,95,4), (95,inf,5).
+  const std::vector<double> thresholds{75.0, 95.0};
+  const std::vector<int> outputs{-5, 4, 5};
+  EXPECT_EQ(map_through_thresholds(thresholds, outputs, 0.0), -5);
+  EXPECT_EQ(map_through_thresholds(thresholds, outputs, 75.0), -5);  // e<=75
+  EXPECT_EQ(map_through_thresholds(thresholds, outputs, 75.1), 4);
+  EXPECT_EQ(map_through_thresholds(thresholds, outputs, 95.0), 4);
+  EXPECT_EQ(map_through_thresholds(thresholds, outputs, 95.1), 5);
+  EXPECT_EQ(map_through_thresholds(thresholds, outputs, 1000.0), 5);
+}
+
+TEST(Thresholds, SingleThresholdFormsTwoRanges) {
+  EXPECT_EQ(map_through_thresholds({3.0}, {0, 1}, 3.0), 0);
+  EXPECT_EQ(map_through_thresholds({3.0}, {0, 1}, 3.5), 1);
+}
+
+TEST(Thresholds, NoThresholdsAlwaysLastOutput) {
+  EXPECT_EQ(map_through_thresholds({}, {7}, -100.0), 7);
+  EXPECT_EQ(map_through_thresholds({}, {7}, 100.0), 7);
+}
+
+TEST(WeightedOutcome, LinearCombination) {
+  EXPECT_DOUBLE_EQ(weighted_outcome({{1.0, 2.0}, {3.0, 0.5}, {-5.0, 1.0}}),
+                   -1.5);
+  EXPECT_DOUBLE_EQ(weighted_outcome({}), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// State transitions (delta)
+
+StateDef state_with_transitions() {
+  StateDef state;
+  state.name = "b";
+  state.thresholds = {3.0, 4.0};
+  state.transitions = {"g", "c", "d"};  // <=3, (3,4], >4 (Figure 2, state b)
+  return state;
+}
+
+TEST(Delta, Figure2StateB) {
+  const StateDef state = state_with_transitions();
+  EXPECT_EQ(next_state_name(state, 2.0), "g");   // rollback
+  EXPECT_EQ(next_state_name(state, 3.0), "g");
+  EXPECT_EQ(next_state_name(state, 4.0), "c");   // slow increase
+  EXPECT_EQ(next_state_name(state, 4.5), "d");   // fast path
+}
+
+TEST(Delta, SingleUnconditionalTransition) {
+  StateDef state;
+  state.transitions = {"next"};
+  EXPECT_EQ(next_state_name(state, -10.0), "next");
+  EXPECT_EQ(next_state_name(state, 10.0), "next");
+}
+
+// ---------------------------------------------------------------------------
+// Durations
+
+TEST(StateDuration, MaxOfChecksAndDwell) {
+  StateDef state;
+  state.min_duration = 30s;
+  CheckDef check;
+  check.interval = 12s;
+  check.executions = 5;
+  state.checks.push_back(check);
+  EXPECT_EQ(state.duration(), 60s);
+  state.min_duration = 90s;
+  EXPECT_EQ(state.duration(), 90s);
+}
+
+TEST(CheckDuration, IntervalTimesExecutions) {
+  CheckDef check;
+  check.interval = 5s;
+  check.executions = 12;
+  EXPECT_EQ(check.total_duration(), 60s);
+}
+
+// ---------------------------------------------------------------------------
+// Strategy fixtures + validation
+
+StrategyDef valid_strategy() {
+  StrategyDef strategy;
+  strategy.name = "fastsearch";
+  strategy.initial_state = "canary";
+  strategy.providers["prometheus"] = ProviderConfig{"127.0.0.1", 9090};
+
+  ServiceDef search;
+  search.name = "search";
+  search.versions = {VersionDef{"stable", "127.0.0.1", 8001},
+                     VersionDef{"fast", "127.0.0.1", 8002}};
+  search.proxy_admin_host = "127.0.0.1";
+  search.proxy_admin_port = 8101;
+  strategy.services.push_back(search);
+
+  StateDef canary;
+  canary.name = "canary";
+  CheckDef errors;
+  errors.name = "errors";
+  errors.conditions.push_back(MetricCondition{
+      "prometheus", "err", R"(request_errors{instance="search:80"})",
+      Validator::parse("<5").value(), true});
+  errors.interval = 5s;
+  errors.executions = 12;
+  errors.thresholds = {11.5};
+  errors.outputs = {0, 1};
+  canary.checks.push_back(errors);
+  canary.thresholds = {0.5};
+  canary.transitions = {"rollback", "done"};
+  ServiceRouting routing;
+  routing.service = "search";
+  routing.splits = {VersionSplit{"stable", 95.0, "", ""},
+                    VersionSplit{"fast", 5.0, "", ""}};
+  canary.routing.push_back(routing);
+  strategy.states.push_back(canary);
+
+  StateDef done;
+  done.name = "done";
+  done.final_kind = FinalKind::kSuccess;
+  strategy.states.push_back(done);
+
+  StateDef rollback;
+  rollback.name = "rollback";
+  rollback.final_kind = FinalKind::kRollback;
+  strategy.states.push_back(rollback);
+  return strategy;
+}
+
+TEST(Validate, AcceptsWellFormedStrategy) {
+  const auto r = validate(valid_strategy());
+  EXPECT_TRUE(r.ok()) << r.error_message();
+}
+
+TEST(Validate, RejectsEmptyStrategy) {
+  StrategyDef strategy;
+  EXPECT_FALSE(validate(strategy).ok());
+}
+
+TEST(Validate, RejectsMissingInitialState) {
+  auto strategy = valid_strategy();
+  strategy.initial_state = "ghost";
+  EXPECT_FALSE(validate(strategy).ok());
+}
+
+TEST(Validate, RejectsDuplicateStateNames) {
+  auto strategy = valid_strategy();
+  strategy.states.push_back(strategy.states[1]);
+  EXPECT_FALSE(validate(strategy).ok());
+}
+
+TEST(Validate, RejectsUnknownTransitionTarget) {
+  auto strategy = valid_strategy();
+  strategy.states[0].transitions[1] = "nowhere";
+  EXPECT_FALSE(validate(strategy).ok());
+}
+
+TEST(Validate, RejectsTransitionCountMismatch) {
+  auto strategy = valid_strategy();
+  strategy.states[0].transitions.push_back("done");
+  EXPECT_FALSE(validate(strategy).ok());
+}
+
+TEST(Validate, RejectsUnsortedStateThresholds) {
+  auto strategy = valid_strategy();
+  strategy.states[0].thresholds = {5.0, 5.0};
+  strategy.states[0].transitions = {"rollback", "done", "done"};
+  EXPECT_FALSE(validate(strategy).ok());
+}
+
+TEST(Validate, RejectsFinalStateWithTransitions) {
+  auto strategy = valid_strategy();
+  strategy.states[1].transitions = {"canary"};
+  EXPECT_FALSE(validate(strategy).ok());
+}
+
+TEST(Validate, RejectsCheckOutputMappingMismatch) {
+  auto strategy = valid_strategy();
+  strategy.states[0].checks[0].outputs = {0};
+  EXPECT_FALSE(validate(strategy).ok());
+}
+
+TEST(Validate, RejectsUnknownProvider) {
+  auto strategy = valid_strategy();
+  strategy.states[0].checks[0].conditions[0].provider = "graphite";
+  EXPECT_FALSE(validate(strategy).ok());
+}
+
+TEST(Validate, RejectsCheckWithoutConditionsOrCustom) {
+  auto strategy = valid_strategy();
+  strategy.states[0].checks[0].conditions.clear();
+  EXPECT_FALSE(validate(strategy).ok());
+}
+
+TEST(Validate, AcceptsCustomOnlyCheck) {
+  auto strategy = valid_strategy();
+  strategy.states[0].checks[0].conditions.clear();
+  strategy.states[0].checks[0].custom = [](EvalContext&) { return true; };
+  const auto r = validate(strategy);
+  EXPECT_TRUE(r.ok()) << r.error_message();
+}
+
+TEST(Validate, RejectsExceptionCheckWithoutFallback) {
+  auto strategy = valid_strategy();
+  auto& check = strategy.states[0].checks[0];
+  check.kind = CheckKind::kException;
+  check.thresholds.clear();
+  check.outputs.clear();
+  EXPECT_FALSE(validate(strategy).ok());
+}
+
+TEST(Validate, AcceptsExceptionCheckWithFallback) {
+  auto strategy = valid_strategy();
+  auto& check = strategy.states[0].checks[0];
+  check.kind = CheckKind::kException;
+  check.thresholds.clear();
+  check.outputs.clear();
+  check.fallback_state = "rollback";
+  const auto r = validate(strategy);
+  EXPECT_TRUE(r.ok()) << r.error_message();
+}
+
+TEST(Validate, RejectsExceptionFallbackToGhostState) {
+  auto strategy = valid_strategy();
+  auto& check = strategy.states[0].checks[0];
+  check.kind = CheckKind::kException;
+  check.thresholds.clear();
+  check.outputs.clear();
+  check.fallback_state = "ghost";
+  EXPECT_FALSE(validate(strategy).ok());
+}
+
+TEST(Validate, RejectsRoutingToUnknownService) {
+  auto strategy = valid_strategy();
+  strategy.states[0].routing[0].service = "payments";
+  EXPECT_FALSE(validate(strategy).ok());
+}
+
+TEST(Validate, RejectsRoutingToUnknownVersion) {
+  auto strategy = valid_strategy();
+  strategy.states[0].routing[0].splits[1].version = "v9";
+  EXPECT_FALSE(validate(strategy).ok());
+}
+
+TEST(Validate, RejectsSplitNotSummingTo100) {
+  auto strategy = valid_strategy();
+  strategy.states[0].routing[0].splits[1].percent = 10.0;  // 95 + 10
+  EXPECT_FALSE(validate(strategy).ok());
+}
+
+TEST(Validate, RejectsBadShadowPercent) {
+  auto strategy = valid_strategy();
+  strategy.states[0].routing[0].shadows.push_back(
+      ShadowRule{"stable", "fast", 0.0});
+  EXPECT_FALSE(validate(strategy).ok());
+}
+
+TEST(Validate, RejectsUnreachableState) {
+  auto strategy = valid_strategy();
+  StateDef island;
+  island.name = "island";
+  island.transitions = {"done"};
+  strategy.states.push_back(island);
+  const auto r = validate(strategy);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error_message().find("unreachable"), std::string::npos);
+}
+
+TEST(Validate, RejectsMissingFinalState) {
+  auto strategy = valid_strategy();
+  // Replace finals with a 2-state loop.
+  strategy.states.resize(1);
+  strategy.states[0].thresholds.clear();
+  strategy.states[0].transitions = {"canary"};
+  EXPECT_FALSE(validate(strategy).ok());
+}
+
+TEST(Validate, RejectsDuplicateServiceVersions) {
+  auto strategy = valid_strategy();
+  strategy.services[0].versions.push_back(
+      VersionDef{"stable", "127.0.0.1", 9999});
+  EXPECT_FALSE(validate(strategy).ok());
+}
+
+TEST(Validate, ExceptionFallbackCountsForReachability) {
+  // "rollback" reachable only through the exception path.
+  auto strategy = valid_strategy();
+  auto& state = strategy.states[0];
+  state.thresholds.clear();
+  state.transitions = {"done"};
+  CheckDef guard;
+  guard.name = "guard";
+  guard.kind = CheckKind::kException;
+  guard.fallback_state = "rollback";
+  guard.conditions.push_back(state.checks[0].conditions[0]);
+  state.checks.push_back(guard);
+  const auto r = validate(strategy);
+  EXPECT_TRUE(r.ok()) << r.error_message();
+}
+
+// ---------------------------------------------------------------------------
+// Lookups & misc
+
+TEST(StrategyDef, FindHelpers) {
+  const auto strategy = valid_strategy();
+  EXPECT_NE(strategy.find_state("canary"), nullptr);
+  EXPECT_EQ(strategy.find_state("ghost"), nullptr);
+  EXPECT_NE(strategy.find_service("search"), nullptr);
+  EXPECT_EQ(strategy.find_service("ghost"), nullptr);
+  EXPECT_NE(strategy.services[0].find_version("fast"), nullptr);
+  EXPECT_EQ(strategy.services[0].find_version("ghost"), nullptr);
+  EXPECT_EQ(strategy.services[0].versions[0].endpoint(), "127.0.0.1:8001");
+}
+
+TEST(StrategyDef, ExpectedDurationFollowsOptimisticPath) {
+  const auto strategy = valid_strategy();
+  EXPECT_EQ(strategy.expected_duration(), 60s);  // canary only; done is final
+}
+
+TEST(Dot, RendersStatesAndEdges) {
+  const std::string dot = to_dot(valid_strategy());
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("\"canary\" -> \"rollback\""), std::string::npos);
+  EXPECT_NE(dot.find("\"canary\" -> \"done\""), std::string::npos);
+  EXPECT_NE(dot.find("search/stable 95%"), std::string::npos);
+  EXPECT_NE(dot.find("doubleoctagon"), std::string::npos);
+}
+
+TEST(Dot, ExceptionEdgesAreDashed) {
+  auto strategy = valid_strategy();
+  CheckDef guard;
+  guard.name = "guard";
+  guard.kind = CheckKind::kException;
+  guard.fallback_state = "rollback";
+  guard.conditions.push_back(strategy.states[0].checks[0].conditions[0]);
+  strategy.states[0].checks.push_back(guard);
+  const std::string dot = to_dot(strategy);
+  EXPECT_NE(dot.find("style=dashed"), std::string::npos);
+}
+
+// Sweep: mapping ranges are exhaustive and ordered for many threshold
+// counts — every value lands in exactly one range.
+class ThresholdSweep : public testing::TestWithParam<int> {};
+
+TEST_P(ThresholdSweep, MappingIsMonotoneAndExhaustive) {
+  std::vector<double> thresholds;
+  std::vector<int> outputs;
+  for (int i = 0; i < GetParam(); ++i) {
+    thresholds.push_back(10.0 * (i + 1));
+  }
+  for (int i = 0; i <= GetParam(); ++i) outputs.push_back(i);
+  int last = -1;
+  for (double e = -5.0; e < 10.0 * (GetParam() + 2); e += 0.5) {
+    const int mapped = map_through_thresholds(thresholds, outputs, e);
+    EXPECT_GE(mapped, 0);
+    EXPECT_LE(mapped, GetParam());
+    EXPECT_GE(mapped, last);  // non-decreasing in e
+    last = mapped;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Counts, ThresholdSweep,
+                         testing::Values(0, 1, 2, 3, 7, 20));
+
+}  // namespace
+}  // namespace bifrost::core

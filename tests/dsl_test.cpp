@@ -1,0 +1,647 @@
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "dsl/dsl.hpp"
+
+namespace bifrost::dsl {
+namespace {
+
+using namespace std::chrono_literals;
+using core::CheckKind;
+using core::FinalKind;
+using core::RoutingMode;
+
+const char* kDeployment = R"(
+deployment:
+  providers:
+    prometheus:
+      host: 127.0.0.1
+      port: 9090
+  services:
+    - service:
+        name: search
+        proxy:
+          adminHost: 127.0.0.1
+          adminPort: 8101
+        versions:
+          - version:
+              name: stable
+              host: 127.0.0.1
+              port: 8001
+          - version:
+              name: fast
+              host: 127.0.0.1
+              port: 8002
+)";
+
+core::StrategyDef must_compile(const std::string& text) {
+  auto r = compile(text);
+  EXPECT_TRUE(r.ok()) << r.error_message();
+  return std::move(r).value();
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end compilation of a full strategy
+
+TEST(DslCompile, CanaryStrategyWithPaperMetricShape) {
+  const std::string text = std::string(R"(
+strategy:
+  name: fastsearch-canary
+  initial: canary
+  states:
+    - state:
+        name: canary
+        onSuccess: done
+        onFailure: rollback
+        checks:
+          - metric:
+              providers:
+                - prometheus:
+                    name: search_error
+                    query: request_errors{instance="search:80"}
+              intervalTime: 5
+              intervalLimit: 12
+              threshold: 12
+              validator: "<5"
+        routes:
+          - route:
+              service: search
+              split:
+                - version: stable
+                  percent: 95
+                - version: fast
+                  percent: 5
+    - state:
+        name: done
+        final: success
+    - state:
+        name: rollback
+        final: rollback
+)") + kDeployment;
+
+  const auto strategy = must_compile(text);
+  EXPECT_EQ(strategy.name, "fastsearch-canary");
+  EXPECT_EQ(strategy.initial_state, "canary");
+  ASSERT_EQ(strategy.states.size(), 3u);
+  EXPECT_EQ(strategy.providers.at("prometheus").port, 9090);
+
+  const core::StateDef& canary = strategy.states[0];
+  ASSERT_EQ(canary.checks.size(), 1u);
+  const core::CheckDef& check = canary.checks[0];
+  EXPECT_EQ(check.kind, CheckKind::kBasic);
+  EXPECT_EQ(check.interval, 5s);
+  EXPECT_EQ(check.executions, 12);
+  ASSERT_EQ(check.conditions.size(), 1u);
+  EXPECT_EQ(check.conditions[0].provider, "prometheus");
+  EXPECT_EQ(check.conditions[0].query,
+            R"(request_errors{instance="search:80"})");
+  EXPECT_EQ(check.conditions[0].validator.to_string(), "<5");
+  // threshold 12 -> boolean mapping at 11.5.
+  ASSERT_EQ(check.thresholds.size(), 1u);
+  EXPECT_DOUBLE_EQ(check.thresholds[0], 11.5);
+  EXPECT_EQ(check.outputs, (std::vector<int>{0, 1}));
+
+  // onSuccess/onFailure sugar with one basic check.
+  EXPECT_EQ(canary.thresholds, (std::vector<double>{0.5}));
+  EXPECT_EQ(canary.transitions,
+            (std::vector<std::string>{"rollback", "done"}));
+
+  ASSERT_EQ(canary.routing.size(), 1u);
+  EXPECT_EQ(canary.routing[0].service, "search");
+  ASSERT_EQ(canary.routing[0].splits.size(), 2u);
+  EXPECT_DOUBLE_EQ(canary.routing[0].splits[1].percent, 5.0);
+
+  EXPECT_EQ(strategy.states[1].final_kind, FinalKind::kSuccess);
+  EXPECT_EQ(strategy.states[2].final_kind, FinalKind::kRollback);
+}
+
+TEST(DslCompile, Listing2DarkLaunchFilters) {
+  const std::string text = std::string(R"(
+strategy:
+  name: darklaunch
+  initial: dark
+  states:
+    - state:
+        name: dark
+        next: done
+        routes:
+          - route:
+              service: search
+              from: stable
+              to: fast
+              filters:
+                - traffic:
+                    percentage: 100
+                    shadow: true
+                    intervalTime: 60
+    - state:
+        name: done
+        final: success
+)") + kDeployment;
+
+  const auto strategy = must_compile(text);
+  const core::StateDef& dark = strategy.states[0];
+  EXPECT_EQ(dark.min_duration, 60s);
+  ASSERT_EQ(dark.routing.size(), 1u);
+  const core::ServiceRouting& routing = dark.routing[0];
+  ASSERT_EQ(routing.splits.size(), 1u);
+  EXPECT_EQ(routing.splits[0].version, "stable");
+  EXPECT_DOUBLE_EQ(routing.splits[0].percent, 100.0);
+  ASSERT_EQ(routing.shadows.size(), 1u);
+  EXPECT_EQ(routing.shadows[0].source_version, "stable");
+  EXPECT_EQ(routing.shadows[0].target_version, "fast");
+  EXPECT_DOUBLE_EQ(routing.shadows[0].percent, 100.0);
+  // Timer-only state: unconditional transition.
+  EXPECT_EQ(dark.transitions, (std::vector<std::string>{"done"}));
+}
+
+TEST(DslCompile, NonShadowTrafficFilterSplits) {
+  const std::string text = std::string(R"(
+strategy:
+  name: canary-filter
+  initial: c
+  states:
+    - state:
+        name: c
+        next: done
+        duration: 30
+        routes:
+          - route:
+              service: search
+              from: stable
+              to: fast
+              filters:
+                - traffic:
+                    percentage: 5
+    - state:
+        name: done
+        final: success
+)") + kDeployment;
+  const auto strategy = must_compile(text);
+  const core::ServiceRouting& routing = strategy.states[0].routing[0];
+  ASSERT_EQ(routing.splits.size(), 2u);
+  EXPECT_DOUBLE_EQ(routing.splits[0].percent, 95.0);
+  EXPECT_DOUBLE_EQ(routing.splits[1].percent, 5.0);
+  EXPECT_TRUE(routing.shadows.empty());
+  EXPECT_EQ(strategy.states[0].min_duration, 30s);
+}
+
+TEST(DslCompile, ExceptionChecksAndWeights) {
+  const std::string text = std::string(R"(
+strategy:
+  name: with-exception
+  initial: s
+  states:
+    - state:
+        name: s
+        onSuccess: done
+        onFailure: rollback
+        checks:
+          - check:
+              name: guard
+              type: exception
+              fallback: rollback
+              intervalTime: 2
+              intervalLimit: 30
+              metrics:
+                - metric:
+                    query: request_errors
+                    validator: "<100"
+          - check:
+              name: rt
+              weight: 2.5
+              intervalTime: 5
+              intervalLimit: 6
+              threshold: 5
+              metrics:
+                - metric:
+                    provider: prometheus
+                    query: response_time
+                    validator: "<150"
+    - state:
+        name: done
+        final: success
+    - state:
+        name: rollback
+        final: rollback
+)") + kDeployment;
+
+  const auto strategy = must_compile(text);
+  const auto& checks = strategy.states[0].checks;
+  ASSERT_EQ(checks.size(), 2u);
+  EXPECT_EQ(checks[0].kind, CheckKind::kException);
+  EXPECT_EQ(checks[0].fallback_state, "rollback");
+  EXPECT_DOUBLE_EQ(checks[0].weight, 0.0);  // excluded from outcome sugar
+  EXPECT_EQ(checks[1].kind, CheckKind::kBasic);
+  EXPECT_DOUBLE_EQ(checks[1].weight, 2.5);
+  EXPECT_DOUBLE_EQ(checks[1].thresholds[0], 4.5);
+  // Sugar counts only the basic check.
+  EXPECT_EQ(strategy.states[0].thresholds, (std::vector<double>{0.5}));
+}
+
+TEST(DslCompile, ExplicitThresholdsAndTransitions) {
+  const std::string text = std::string(R"(
+strategy:
+  name: multiway
+  initial: b
+  states:
+    - state:
+        name: b
+        thresholds: [3, 4]
+        transitions: [rollback, b, done]
+        checks:
+          - check:
+              intervalTime: 10
+              intervalLimit: 100
+              thresholds: [75, 95]
+              outputs: [-5, 4, 5]
+              metrics:
+                - metric:
+                    query: response_time
+                    validator: "<150"
+    - state:
+        name: done
+        final: success
+    - state:
+        name: rollback
+        final: rollback
+)") + kDeployment;
+
+  const auto strategy = must_compile(text);
+  const core::StateDef& b = strategy.states[0];
+  EXPECT_EQ(b.thresholds, (std::vector<double>{3.0, 4.0}));
+  EXPECT_EQ(b.transitions,
+            (std::vector<std::string>{"rollback", "b", "done"}));
+  EXPECT_EQ(b.checks[0].thresholds, (std::vector<double>{75.0, 95.0}));
+  EXPECT_EQ(b.checks[0].outputs, (std::vector<int>{-5, 4, 5}));
+}
+
+TEST(DslCompile, RolloutMacroExpandsChain) {
+  const std::string text = std::string(R"(
+strategy:
+  name: gradual
+  initial: rollout-5
+  states:
+    - rollout:
+        name: rollout
+        service: search
+        from: stable
+        to: fast
+        startPercent: 5
+        stepPercent: 5
+        endPercent: 100
+        stepDuration: 10
+        onComplete: done
+    - state:
+        name: done
+        final: success
+)") + kDeployment;
+
+  const auto strategy = must_compile(text);
+  // 5..100 in 5% steps = 20 states (matches the paper's phase-4 count).
+  ASSERT_EQ(strategy.states.size(), 21u);
+  const core::StateDef& first = strategy.states[0];
+  EXPECT_EQ(first.name, "rollout-5");
+  EXPECT_EQ(first.min_duration, 10s);
+  ASSERT_EQ(first.routing[0].splits.size(), 2u);
+  EXPECT_DOUBLE_EQ(first.routing[0].splits[0].percent, 95.0);
+  EXPECT_EQ(first.transitions, (std::vector<std::string>{"rollout-10"}));
+  const core::StateDef& last = strategy.states[19];
+  EXPECT_EQ(last.name, "rollout-100");
+  ASSERT_EQ(last.routing[0].splits.size(), 1u);
+  EXPECT_EQ(last.routing[0].splits[0].version, "fast");
+  EXPECT_EQ(last.transitions, (std::vector<std::string>{"done"}));
+}
+
+TEST(DslCompile, RolloutMacroWithChecksAndFailure) {
+  const std::string text = std::string(R"(
+strategy:
+  name: gradual-guarded
+  initial: r-25
+  states:
+    - rollout:
+        name: r
+        service: search
+        from: stable
+        to: fast
+        startPercent: 25
+        stepPercent: 25
+        endPercent: 100
+        stepDuration: 10
+        onComplete: done
+        onFailure: rollback
+        checks:
+          - metric:
+              query: request_errors
+              validator: "<5"
+              intervalTime: 5
+              intervalLimit: 2
+    - state:
+        name: done
+        final: success
+    - state:
+        name: rollback
+        final: rollback
+)") + kDeployment;
+
+  const auto strategy = must_compile(text);
+  ASSERT_EQ(strategy.states.size(), 6u);  // 4 steps + 2 finals
+  const core::StateDef& step = strategy.states[0];
+  ASSERT_EQ(step.checks.size(), 1u);
+  EXPECT_EQ(step.transitions,
+            (std::vector<std::string>{"rollback", "r-50"}));
+}
+
+TEST(DslCompile, HeaderModeAndSticky) {
+  const std::string text = std::string(R"(
+strategy:
+  name: ab
+  initial: ab
+  states:
+    - state:
+        name: ab
+        duration: 60
+        next: done
+        routes:
+          - route:
+              service: search
+              mode: header
+              sticky: true
+              split:
+                - version: stable
+                  matchHeader: X-Group
+                  matchValue: A
+                - version: fast
+                  matchHeader: X-Group
+                  matchValue: B
+    - state:
+        name: done
+        final: success
+)") + kDeployment;
+  const auto strategy = must_compile(text);
+  const core::ServiceRouting& routing = strategy.states[0].routing[0];
+  EXPECT_EQ(routing.mode, RoutingMode::kHeader);
+  EXPECT_TRUE(routing.sticky);
+  EXPECT_EQ(routing.splits[0].match_header, "X-Group");
+  EXPECT_EQ(routing.splits[1].match_value, "B");
+}
+
+TEST(DslCompile, ExperimentFilterParsed) {
+  const std::string text = std::string(R"(
+strategy:
+  name: us-canary
+  initial: c
+  states:
+    - state:
+        name: c
+        duration: 10
+        next: done
+        routes:
+          - route:
+              service: search
+              filter:
+                header: X-Country
+                value: US
+                default: stable
+              split:
+                - version: stable
+                  percent: 95
+                - version: fast
+                  percent: 5
+    - state:
+        name: done
+        final: success
+)") + kDeployment;
+  const auto strategy = must_compile(text);
+  const core::ServiceRouting& routing = strategy.states[0].routing[0];
+  ASSERT_TRUE(routing.filter.active());
+  EXPECT_EQ(routing.filter.header, "X-Country");
+  EXPECT_EQ(routing.filter.value, "US");
+  EXPECT_EQ(routing.filter.default_version, "stable");
+}
+
+TEST(DslCompile, ExperimentFilterBadDefaultRejected) {
+  const std::string text = std::string(R"(
+strategy:
+  name: us-canary
+  initial: c
+  states:
+    - state:
+        name: c
+        duration: 10
+        next: done
+        routes:
+          - route:
+              service: search
+              filter:
+                header: X-Country
+                value: US
+                default: ghost
+              split:
+                - version: stable
+                  percent: 95
+                - version: fast
+                  percent: 5
+    - state:
+        name: done
+        final: success
+)") + kDeployment;
+  EXPECT_FALSE(compile(text).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Error reporting
+
+TEST(DslErrors, MissingStrategySection) {
+  const auto r = compile("deployment:\n  services: []\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error_message().find("strategy"), std::string::npos);
+}
+
+TEST(DslErrors, MissingInitial) {
+  EXPECT_FALSE(compile("strategy:\n  name: x\n  states:\n    - state:\n"
+                       "        name: a\n        final: success\n")
+                   .ok());
+}
+
+TEST(DslErrors, InvalidValidator) {
+  const std::string text = std::string(R"(
+strategy:
+  name: x
+  initial: s
+  states:
+    - state:
+        name: s
+        next: done
+        checks:
+          - metric:
+              query: m
+              validator: "approx 5"
+    - state:
+        name: done
+        final: success
+)") + kDeployment;
+  const auto r = compile(text);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error_message().find("validator"), std::string::npos);
+}
+
+TEST(DslErrors, UnknownCheckType) {
+  const std::string text = std::string(R"(
+strategy:
+  name: x
+  initial: s
+  states:
+    - state:
+        name: s
+        next: done
+        checks:
+          - check:
+              type: fancy
+              metrics:
+                - metric:
+                    query: m
+                    validator: "<1"
+    - state:
+        name: done
+        final: success
+)") + kDeployment;
+  EXPECT_FALSE(compile(text).ok());
+}
+
+TEST(DslErrors, StateWithoutTransitionSugar) {
+  const std::string text = std::string(R"(
+strategy:
+  name: x
+  initial: s
+  states:
+    - state:
+        name: s
+        duration: 5
+    - state:
+        name: done
+        final: success
+)") + kDeployment;
+  const auto r = compile(text);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error_message().find("onSuccess"), std::string::npos);
+}
+
+TEST(DslErrors, FinalStateWithTransitions) {
+  const std::string text = std::string(R"(
+strategy:
+  name: x
+  initial: done
+  states:
+    - state:
+        name: done
+        final: success
+        next: done
+)") + kDeployment;
+  EXPECT_FALSE(compile(text).ok());
+}
+
+TEST(DslErrors, ValidationFailurePropagates) {
+  // Compiles syntactically but references an unknown service.
+  const std::string text = R"(
+strategy:
+  name: x
+  initial: s
+  providers:
+    prometheus:
+      host: h
+      port: 1
+  states:
+    - state:
+        name: s
+        next: done
+        routes:
+          - route:
+              service: ghost
+              split:
+                - version: v
+                  percent: 100
+    - state:
+        name: done
+        final: success
+)";
+  const auto r = compile(text);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error_message().find("ghost"), std::string::npos);
+}
+
+TEST(DslErrors, RolloutBadPercents) {
+  const std::string text = std::string(R"(
+strategy:
+  name: x
+  initial: r-50
+  states:
+    - rollout:
+        name: r
+        service: search
+        from: stable
+        to: fast
+        startPercent: 50
+        endPercent: 10
+        stepDuration: 5
+        onComplete: done
+    - state:
+        name: done
+        final: success
+)") + kDeployment;
+  EXPECT_FALSE(compile(text).ok());
+}
+
+TEST(DslErrors, YamlSyntaxErrorSurfaces) {
+  const auto r = compile("strategy:\n\tbad-tab: 1\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error_message().find("yaml"), std::string::npos);
+}
+
+TEST(DslErrors, CompileFileMissing) {
+  EXPECT_FALSE(compile_file("/nonexistent/strategy.yaml").ok());
+}
+
+TEST(DslCompile, ProvidersInlineInStrategy) {
+  const std::string text = R"(
+strategy:
+  name: inline-providers
+  initial: done
+  providers:
+    prometheus:
+      host: 10.0.0.1
+      port: 9999
+  states:
+    - state:
+        name: done
+        final: success
+)";
+  const auto strategy = must_compile(text);
+  EXPECT_EQ(strategy.providers.at("prometheus").host, "10.0.0.1");
+}
+
+TEST(DslCompile, FailOnNoDataFlag) {
+  const std::string text = std::string(R"(
+strategy:
+  name: nodata
+  initial: s
+  states:
+    - state:
+        name: s
+        next: done
+        checks:
+          - metric:
+              query: sparse_metric
+              validator: "<5"
+              failOnNoData: false
+    - state:
+        name: done
+        final: success
+)") + kDeployment;
+  const auto strategy = must_compile(text);
+  EXPECT_FALSE(strategy.states[0].checks[0].conditions[0].fail_on_no_data);
+}
+
+}  // namespace
+}  // namespace bifrost::dsl

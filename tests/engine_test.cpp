@@ -1,0 +1,613 @@
+// StrategyExecution + Engine semantics on a deterministic ManualClock
+// with scripted metrics — the automaton interpreter is exercised without
+// sockets or real time.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <functional>
+#include <map>
+
+#include "engine/engine.hpp"
+#include "engine/execution.hpp"
+#include "runtime/manual_clock.hpp"
+
+namespace bifrost::engine {
+namespace {
+
+using namespace std::chrono_literals;
+using core::CheckDef;
+using core::CheckKind;
+using core::FinalKind;
+using core::MetricCondition;
+using core::StateDef;
+using core::StrategyDef;
+using core::Validator;
+
+/// Scripted metrics: value per query, optionally time-dependent.
+class FakeMetrics final : public MetricsClient {
+ public:
+  using Fn = std::function<std::optional<double>(const std::string&)>;
+
+  void set(const std::string& query, double value) { values_[query] = value; }
+  void remove(const std::string& query) { values_.erase(query); }
+  void set_fn(Fn fn) { fn_ = std::move(fn); }
+  void fail_all(bool on) { fail_all_ = on; }
+
+  util::Result<std::optional<double>> query(const core::ProviderConfig&,
+                                            const std::string& query) override {
+    ++queries_;
+    if (fail_all_) {
+      return util::Result<std::optional<double>>::error("provider down");
+    }
+    if (fn_) return fn_(query);
+    const auto it = values_.find(query);
+    if (it == values_.end()) return std::optional<double>{};
+    return std::optional<double>{it->second};
+  }
+
+  int queries_ = 0;
+
+ private:
+  std::map<std::string, double> values_;
+  Fn fn_;
+  bool fail_all_ = false;
+};
+
+/// Records every proxy reconfiguration.
+class FakeProxies final : public ProxyController {
+ public:
+  util::Result<void> apply(const core::ServiceDef& service,
+                           const proxy::ProxyConfig& config) override {
+    if (fail_) return util::Result<void>::error("proxy unreachable");
+    applied.emplace_back(service.name, config);
+    return {};
+  }
+
+  std::vector<std::pair<std::string, proxy::ProxyConfig>> applied;
+  bool fail_ = false;
+};
+
+CheckDef basic_check(const std::string& name, const std::string& query,
+                     const std::string& validator, int executions = 3,
+                     runtime::Duration interval = 10s) {
+  CheckDef check;
+  check.name = name;
+  check.conditions.push_back(MetricCondition{
+      "prometheus", name, query, Validator::parse(validator).value(), true});
+  check.interval = interval;
+  check.executions = executions;
+  check.thresholds = {executions - 0.5};  // all executions must pass
+  check.outputs = {0, 1};
+  return check;
+}
+
+/// canary -> (done | rollback) strategy skeleton.
+StrategyDef canary_strategy() {
+  StrategyDef strategy;
+  strategy.name = "canary";
+  strategy.initial_state = "canary";
+  strategy.providers["prometheus"] = core::ProviderConfig{"127.0.0.1", 9090};
+
+  core::ServiceDef search;
+  search.name = "search";
+  search.versions = {core::VersionDef{"stable", "127.0.0.1", 8001},
+                     core::VersionDef{"fast", "127.0.0.1", 8002}};
+  search.proxy_admin_host = "127.0.0.1";
+  search.proxy_admin_port = 8101;
+  strategy.services.push_back(search);
+
+  StateDef canary;
+  canary.name = "canary";
+  canary.checks.push_back(basic_check("errors", "request_errors", "<5"));
+  canary.thresholds = {0.5};
+  canary.transitions = {"rollback", "done"};
+  core::ServiceRouting routing;
+  routing.service = "search";
+  routing.splits = {core::VersionSplit{"stable", 95.0, "", ""},
+                    core::VersionSplit{"fast", 5.0, "", ""}};
+  canary.routing.push_back(routing);
+  strategy.states.push_back(canary);
+
+  StateDef done;
+  done.name = "done";
+  done.final_kind = FinalKind::kSuccess;
+  core::ServiceRouting full;
+  full.service = "search";
+  full.splits = {core::VersionSplit{"fast", 100.0, "", ""}};
+  done.routing.push_back(full);
+  strategy.states.push_back(done);
+
+  StateDef rollback;
+  rollback.name = "rollback";
+  rollback.final_kind = FinalKind::kRollback;
+  strategy.states.push_back(rollback);
+  return strategy;
+}
+
+class ExecutionTest : public testing::Test {
+ protected:
+  std::unique_ptr<StrategyExecution> make(StrategyDef def) {
+    EXPECT_TRUE(core::validate(def).ok());
+    return std::make_unique<StrategyExecution>(
+        "s-1", clock_, metrics_, proxies_, std::move(def),
+        [this](const StatusEvent& event) { events_.push_back(event); });
+  }
+
+  [[nodiscard]] int count(StatusEvent::Type type) const {
+    int n = 0;
+    for (const StatusEvent& e : events_) {
+      if (e.type == type) ++n;
+    }
+    return n;
+  }
+
+  runtime::ManualClock clock_;
+  FakeMetrics metrics_;
+  FakeProxies proxies_;
+  std::vector<StatusEvent> events_;
+};
+
+TEST_F(ExecutionTest, HealthyMetricsReachSuccess) {
+  metrics_.set("request_errors", 0.0);
+  auto execution = make(canary_strategy());
+  execution->start();
+  EXPECT_EQ(execution->status(), ExecutionStatus::kRunning);
+  EXPECT_EQ(execution->current_state(), "canary");
+
+  clock_.advance_to(runtime::Time(35s));  // 3 executions at 10,20,30
+  EXPECT_EQ(execution->status(), ExecutionStatus::kSucceeded);
+  ASSERT_EQ(execution->history().size(), 2u);
+  EXPECT_EQ(execution->history()[0].state, "canary");
+  EXPECT_EQ(execution->history()[0].outcome, 1.0);
+  EXPECT_EQ(execution->history()[1].state, "done");
+}
+
+TEST_F(ExecutionTest, RoutingPushedOnEveryStateEntry) {
+  metrics_.set("request_errors", 0.0);
+  auto execution = make(canary_strategy());
+  execution->start();
+  ASSERT_EQ(proxies_.applied.size(), 1u);  // canary split
+  EXPECT_EQ(proxies_.applied[0].first, "search");
+  EXPECT_DOUBLE_EQ(proxies_.applied[0].second.backends[1].percent, 5.0);
+  EXPECT_EQ(proxies_.applied[0].second.backends[1].host, "127.0.0.1");
+  EXPECT_EQ(proxies_.applied[0].second.backends[1].port, 8002);
+
+  clock_.advance_to(runtime::Time(35s));
+  ASSERT_EQ(proxies_.applied.size(), 2u);  // final state: fast 100%
+  EXPECT_DOUBLE_EQ(proxies_.applied[1].second.backends[0].percent, 100.0);
+}
+
+TEST_F(ExecutionTest, BadMetricsRollBack) {
+  metrics_.set("request_errors", 50.0);  // validator "<5" fails
+  auto execution = make(canary_strategy());
+  execution->start();
+  clock_.advance_to(runtime::Time(35s));
+  EXPECT_EQ(execution->status(), ExecutionStatus::kRolledBack);
+  EXPECT_EQ(execution->history().back().state, "rollback");
+  EXPECT_EQ(execution->history()[0].outcome, 0.0);
+}
+
+TEST_F(ExecutionTest, CheckExecutionsFollowTimer) {
+  metrics_.set("request_errors", 0.0);
+  auto execution = make(canary_strategy());
+  execution->start();
+  EXPECT_EQ(metrics_.queries_, 0);  // first execution waits one interval
+  clock_.advance_to(runtime::Time(10s));
+  EXPECT_EQ(metrics_.queries_, 1);
+  clock_.advance_to(runtime::Time(20s));
+  EXPECT_EQ(metrics_.queries_, 2);
+  clock_.advance_to(runtime::Time(29s));
+  EXPECT_EQ(metrics_.queries_, 2);
+  clock_.advance_to(runtime::Time(30s));
+  EXPECT_EQ(metrics_.queries_, 3);
+  EXPECT_EQ(execution->status(), ExecutionStatus::kSucceeded);
+}
+
+TEST_F(ExecutionTest, PartialFailureBelowThresholdFailsCheck) {
+  // Fail exactly one of three executions: aggregated 2 of 3 -> below the
+  // all-must-pass threshold -> outcome 0 -> rollback.
+  int call = 0;
+  metrics_.set_fn([&call](const std::string&) -> std::optional<double> {
+    ++call;
+    return call == 2 ? 100.0 : 0.0;
+  });
+  auto execution = make(canary_strategy());
+  execution->start();
+  clock_.advance_to(runtime::Time(35s));
+  EXPECT_EQ(execution->status(), ExecutionStatus::kRolledBack);
+}
+
+TEST_F(ExecutionTest, ExceptionCheckRollsBackImmediately) {
+  auto strategy = canary_strategy();
+  CheckDef guard;
+  guard.name = "guard";
+  guard.kind = CheckKind::kException;
+  guard.fallback_state = "rollback";
+  guard.conditions.push_back(MetricCondition{
+      "prometheus", "g", "error_rate", Validator::parse("<100").value(),
+      true});
+  guard.interval = 5s;
+  guard.executions = 6;
+  strategy.states[0].checks.push_back(guard);
+
+  metrics_.set("request_errors", 0.0);
+  metrics_.set("error_rate", 20.0);
+  auto execution = make(std::move(strategy));
+  execution->start();
+
+  clock_.advance_to(runtime::Time(7s));  // one guard execution: healthy
+  EXPECT_EQ(execution->status(), ExecutionStatus::kRunning);
+
+  metrics_.set("error_rate", 500.0);  // disaster
+  clock_.advance_to(runtime::Time(12s));
+  EXPECT_EQ(execution->status(), ExecutionStatus::kRolledBack);
+  EXPECT_EQ(count(StatusEvent::Type::kExceptionTriggered), 1);
+  // Rolled back mid-state: well before the canary state's 30 s end.
+  EXPECT_LT(execution->finished_at(), runtime::Time(15s));
+  EXPECT_TRUE(execution->history()[0].via_exception);
+}
+
+TEST_F(ExecutionTest, ExceptionPassingContributesItsSuccessCount) {
+  // One basic check (weight 1) + exception check with weight 1 (model
+  // semantics: aggregated outcome of a passing exception check is n).
+  auto strategy = canary_strategy();
+  CheckDef guard;
+  guard.name = "guard";
+  guard.kind = CheckKind::kException;
+  guard.fallback_state = "rollback";
+  guard.weight = 1.0;
+  guard.conditions.push_back(MetricCondition{
+      "prometheus", "g", "error_rate", Validator::parse("<100").value(),
+      true});
+  guard.interval = 10s;
+  guard.executions = 3;
+  strategy.states[0].checks.push_back(guard);
+  // Outcome = basic 1 + exception 3 = 4; route >3.5 to done.
+  strategy.states[0].thresholds = {3.5};
+
+  metrics_.set("request_errors", 0.0);
+  metrics_.set("error_rate", 0.0);
+  auto execution = make(std::move(strategy));
+  execution->start();
+  clock_.advance_to(runtime::Time(40s));
+  EXPECT_EQ(execution->status(), ExecutionStatus::kSucceeded);
+  EXPECT_DOUBLE_EQ(execution->history()[0].outcome, 4.0);
+}
+
+TEST_F(ExecutionTest, WeightedOutcomeSelectsMiddlePath) {
+  // Two checks with weights 1 and 2; thresholds <0.5, 1.5> route to
+  // rollback / canary (re-run) / done.
+  auto strategy = canary_strategy();
+  auto& state = strategy.states[0];
+  state.checks.clear();
+  state.checks.push_back(basic_check("c1", "m1", ">0", 1));
+  state.checks.push_back(basic_check("c2", "m2", ">0", 1));
+  state.checks[1].weight = 2.0;
+  state.thresholds = {0.5, 1.5};
+  state.transitions = {"rollback", "canary", "done"};
+
+  // First pass: only c1 passes -> outcome 1 -> re-run canary.
+  metrics_.set("m1", 1.0);
+  metrics_.set("m2", -1.0);
+  auto execution = make(std::move(strategy));
+  execution->start();
+  clock_.advance_to(runtime::Time(11s));
+  EXPECT_EQ(execution->status(), ExecutionStatus::kRunning);
+  EXPECT_EQ(execution->current_state(), "canary");
+  EXPECT_EQ(execution->history().size(), 2u);  // re-entered
+
+  // Second pass: both pass -> outcome 3 -> done.
+  metrics_.set("m2", 1.0);
+  clock_.advance_to(runtime::Time(25s));
+  EXPECT_EQ(execution->status(), ExecutionStatus::kSucceeded);
+  EXPECT_DOUBLE_EQ(execution->history()[1].outcome, 3.0);
+}
+
+TEST_F(ExecutionTest, ReEntryResetsTimers) {
+  auto strategy = canary_strategy();
+  strategy.states.pop_back();  // drop rollback: unreachable below
+  auto& state = strategy.states[0];
+  state.checks.clear();
+  state.checks.push_back(basic_check("c", "m", ">0", 2, 10s));
+  state.thresholds = {0.5};
+  state.transitions = {"canary", "done"};  // fail -> re-run
+
+  metrics_.set("m", -1.0);
+  auto execution = make(std::move(strategy));
+  execution->start();
+  clock_.advance_to(runtime::Time(20s));  // first pass fails, re-enters
+  EXPECT_EQ(execution->history().size(), 2u);
+  metrics_.set("m", 1.0);
+  // Second pass needs its own 2 executions: 20+10, 20+20.
+  clock_.advance_to(runtime::Time(39s));
+  EXPECT_EQ(execution->status(), ExecutionStatus::kRunning);
+  clock_.advance_to(runtime::Time(41s));
+  EXPECT_EQ(execution->status(), ExecutionStatus::kSucceeded);
+}
+
+TEST_F(ExecutionTest, MinDurationDelaysCompletion) {
+  auto strategy = canary_strategy();
+  strategy.states[0].min_duration = 60s;  // longer than checks (30 s)
+  metrics_.set("request_errors", 0.0);
+  auto execution = make(std::move(strategy));
+  execution->start();
+  clock_.advance_to(runtime::Time(35s));
+  EXPECT_EQ(execution->status(), ExecutionStatus::kRunning);
+  clock_.advance_to(runtime::Time(61s));
+  EXPECT_EQ(execution->status(), ExecutionStatus::kSucceeded);
+}
+
+TEST_F(ExecutionTest, TimerOnlyStateDwellsThenTransitions) {
+  auto strategy = canary_strategy();
+  StateDef dark;
+  dark.name = "dark";
+  dark.min_duration = 42s;
+  dark.transitions = {"canary"};
+  strategy.states.push_back(dark);
+  strategy.initial_state = "dark";
+
+  metrics_.set("request_errors", 0.0);
+  auto execution = make(std::move(strategy));
+  execution->start();
+  clock_.advance_to(runtime::Time(41s));
+  EXPECT_EQ(execution->current_state(), "dark");
+  clock_.advance_to(runtime::Time(43s));
+  EXPECT_EQ(execution->current_state(), "canary");
+}
+
+TEST_F(ExecutionTest, NoDataSemantics) {
+  auto strategy = canary_strategy();
+  // Query never answered by FakeMetrics -> no data.
+  strategy.states[0].checks[0].conditions[0].query = "absent_metric";
+  metrics_.set("request_errors", 0.0);
+
+  // fail_on_no_data = true (default): rollback.
+  auto execution = make(strategy);
+  execution->start();
+  clock_.advance_to(runtime::Time(35s));
+  EXPECT_EQ(execution->status(), ExecutionStatus::kRolledBack);
+
+  // fail_on_no_data = false: optimistic pass.
+  strategy.states[0].checks[0].conditions[0].fail_on_no_data = false;
+  clock_ = runtime::ManualClock{};
+  auto lenient = make(std::move(strategy));
+  lenient->start();
+  clock_.advance_to(runtime::Time(35s));
+  EXPECT_EQ(lenient->status(), ExecutionStatus::kSucceeded);
+}
+
+TEST_F(ExecutionTest, ProviderOutageFailsChecks) {
+  metrics_.fail_all(true);
+  auto execution = make(canary_strategy());
+  execution->start();
+  clock_.advance_to(runtime::Time(35s));
+  EXPECT_EQ(execution->status(), ExecutionStatus::kRolledBack);
+}
+
+TEST_F(ExecutionTest, CustomEvalFunction) {
+  auto strategy = canary_strategy();
+  auto& check = strategy.states[0].checks[0];
+  check.conditions.clear();
+  bool flag = true;
+  check.custom = [&flag](core::EvalContext&) { return flag; };
+  check.executions = 1;
+  check.thresholds = {0.5};
+
+  auto execution = make(std::move(strategy));
+  execution->start();
+  clock_.advance_to(runtime::Time(11s));
+  EXPECT_EQ(execution->status(), ExecutionStatus::kSucceeded);
+}
+
+TEST_F(ExecutionTest, AbortStopsTimersAndEmitsEvent) {
+  metrics_.set("request_errors", 0.0);
+  auto execution = make(canary_strategy());
+  execution->start();
+  clock_.advance_to(runtime::Time(15s));
+  execution->abort("test abort");
+  EXPECT_EQ(execution->status(), ExecutionStatus::kAborted);
+  const int queries_at_abort = metrics_.queries_;
+  clock_.advance_to(runtime::Time(100s));
+  EXPECT_EQ(metrics_.queries_, queries_at_abort);  // no further executions
+  EXPECT_EQ(count(StatusEvent::Type::kAborted), 1);
+  EXPECT_NE(execution->finished_at(), runtime::Time{0});
+}
+
+TEST_F(ExecutionTest, TransitionLoopGuardFails) {
+  StrategyDef strategy;
+  strategy.name = "loop";
+  strategy.initial_state = "a";
+  StateDef a;
+  a.name = "a";
+  a.transitions = {"a"};  // zero-duration self-loop
+  strategy.states.push_back(a);
+  StateDef done;
+  done.name = "done";
+  done.final_kind = FinalKind::kSuccess;
+  strategy.states.push_back(done);
+  // Keep it valid: make done reachable via a's threshold transition.
+  strategy.states[0].thresholds = {1e9};
+  strategy.states[0].transitions = {"a", "done"};
+
+  StrategyExecution::Options options;
+  options.max_transitions = 50;
+  auto execution = std::make_unique<StrategyExecution>(
+      "loop-1", clock_, metrics_, proxies_, std::move(strategy),
+      [this](const StatusEvent& event) { events_.push_back(event); },
+      options);
+  execution->start();
+  clock_.advance_to(runtime::Time(1s));
+  EXPECT_EQ(execution->status(), ExecutionStatus::kFailed);
+  EXPECT_EQ(count(StatusEvent::Type::kError), 1);
+}
+
+TEST_F(ExecutionTest, ProxyFailureEmitsErrorButContinues) {
+  proxies_.fail_ = true;
+  metrics_.set("request_errors", 0.0);
+  auto execution = make(canary_strategy());
+  execution->start();
+  EXPECT_GE(count(StatusEvent::Type::kError), 1);
+  clock_.advance_to(runtime::Time(35s));
+  EXPECT_EQ(execution->status(), ExecutionStatus::kSucceeded);
+}
+
+TEST_F(ExecutionTest, EnactmentDelayNearZeroOnIdealClock) {
+  metrics_.set("request_errors", 0.0);
+  auto execution = make(canary_strategy());
+  execution->start();
+  clock_.advance_to(runtime::Time(100s));
+  ASSERT_EQ(execution->status(), ExecutionStatus::kSucceeded);
+  EXPECT_LE(std::chrono::abs(execution->enactment_delay()), 1ms);
+}
+
+TEST_F(ExecutionTest, EventStreamShape) {
+  metrics_.set("request_errors", 0.0);
+  auto execution = make(canary_strategy());
+  execution->start();
+  clock_.advance_to(runtime::Time(35s));
+  EXPECT_EQ(count(StatusEvent::Type::kStarted), 1);
+  EXPECT_EQ(count(StatusEvent::Type::kStateEntered), 2);
+  EXPECT_EQ(count(StatusEvent::Type::kCheckExecuted), 3);
+  EXPECT_EQ(count(StatusEvent::Type::kCheckCompleted), 1);
+  EXPECT_EQ(count(StatusEvent::Type::kStateCompleted), 1);
+  EXPECT_EQ(count(StatusEvent::Type::kFinished), 1);
+  EXPECT_EQ(events_.front().type, StatusEvent::Type::kStarted);
+  EXPECT_EQ(events_.back().type, StatusEvent::Type::kFinished);
+  for (const StatusEvent& event : events_) {
+    EXPECT_EQ(event.strategy_id, "s-1");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Engine
+
+class EngineTest : public testing::Test {
+ protected:
+  EngineTest() : engine_(clock_, metrics_, proxies_) {}
+
+  runtime::ManualClock clock_;
+  FakeMetrics metrics_;
+  FakeProxies proxies_;
+  Engine engine_;
+};
+
+TEST_F(EngineTest, SubmitRunsToCompletion) {
+  metrics_.set("request_errors", 0.0);
+  auto id = engine_.submit(canary_strategy());
+  ASSERT_TRUE(id.ok()) << id.error_message();
+  EXPECT_EQ(engine_.running_count(), 1u);
+
+  clock_.advance_to(runtime::Time(35s));
+  const auto snapshot = engine_.status(id.value());
+  ASSERT_TRUE(snapshot.has_value());
+  EXPECT_EQ(snapshot->status, ExecutionStatus::kSucceeded);
+  EXPECT_EQ(snapshot->current_state, "done");
+  EXPECT_EQ(snapshot->checks_executed, 3u);
+  EXPECT_EQ(snapshot->transitions, 1u);
+  ASSERT_EQ(snapshot->history.size(), 2u);
+  EXPECT_EQ(engine_.running_count(), 0u);
+}
+
+TEST_F(EngineTest, SubmitRejectsInvalidStrategy) {
+  StrategyDef bad;
+  bad.name = "bad";
+  EXPECT_FALSE(engine_.submit(std::move(bad)).ok());
+  EXPECT_TRUE(engine_.list().empty());
+}
+
+TEST_F(EngineTest, IdsAreUniqueAndListed) {
+  metrics_.set("request_errors", 0.0);
+  const auto id1 = engine_.submit(canary_strategy());
+  const auto id2 = engine_.submit(canary_strategy());
+  ASSERT_TRUE(id1.ok());
+  ASSERT_TRUE(id2.ok());
+  EXPECT_NE(id1.value(), id2.value());
+  EXPECT_EQ(engine_.list().size(), 2u);
+}
+
+TEST_F(EngineTest, AbortViaEngine) {
+  metrics_.set("request_errors", 0.0);
+  const auto id = engine_.submit(canary_strategy());
+  ASSERT_TRUE(id.ok());
+  clock_.advance_to(runtime::Time(5s));
+  EXPECT_TRUE(engine_.abort(id.value()));
+  clock_.advance_to(runtime::Time(6s));
+  EXPECT_EQ(engine_.status(id.value())->status, ExecutionStatus::kAborted);
+  EXPECT_FALSE(engine_.abort("s-999"));
+}
+
+TEST_F(EngineTest, EventLogSequencesMonotonically) {
+  metrics_.set("request_errors", 0.0);
+  const auto id = engine_.submit(canary_strategy());
+  ASSERT_TRUE(id.ok());
+  clock_.advance_to(runtime::Time(35s));
+  const auto events = engine_.events_since(0, 1000, 0ms);
+  ASSERT_FALSE(events.empty());
+  for (size_t i = 1; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].sequence, events[i - 1].sequence + 1);
+  }
+  EXPECT_EQ(engine_.last_event_sequence(), events.back().sequence);
+
+  // since-filtering.
+  const auto tail = engine_.events_since(events[2].sequence, 1000, 0ms);
+  EXPECT_EQ(tail.size(), events.size() - 3);
+}
+
+TEST_F(EngineTest, EventsSinceHonorsMax) {
+  metrics_.set("request_errors", 0.0);
+  const auto id = engine_.submit(canary_strategy());
+  ASSERT_TRUE(id.ok());
+  clock_.advance_to(runtime::Time(35s));
+  EXPECT_EQ(engine_.events_since(0, 2, 0ms).size(), 2u);
+}
+
+TEST_F(EngineTest, ExtraListenerReceivesEvents) {
+  metrics_.set("request_errors", 0.0);
+  int received = 0;
+  const auto id = engine_.submit(canary_strategy(),
+                                 [&](const StatusEvent&) { ++received; });
+  ASSERT_TRUE(id.ok());
+  clock_.advance_to(runtime::Time(35s));
+  EXPECT_GT(received, 5);
+}
+
+TEST_F(EngineTest, DotRenderingAvailable) {
+  metrics_.set("request_errors", 0.0);
+  const auto id = engine_.submit(canary_strategy());
+  ASSERT_TRUE(id.ok());
+  const auto dot = engine_.dot(id.value());
+  ASSERT_TRUE(dot.has_value());
+  EXPECT_NE(dot->find("digraph"), std::string::npos);
+  EXPECT_FALSE(engine_.dot("s-404").has_value());
+}
+
+TEST_F(EngineTest, StatusOfUnknownIdIsEmpty) {
+  EXPECT_FALSE(engine_.status("nope").has_value());
+}
+
+// Sweep: N parallel strategies all complete on one clock.
+class ParallelStrategies : public testing::TestWithParam<int> {};
+
+TEST_P(ParallelStrategies, AllComplete) {
+  runtime::ManualClock clock;
+  FakeMetrics metrics;
+  metrics.set("request_errors", 0.0);
+  FakeProxies proxies;
+  Engine engine(clock, metrics, proxies);
+  std::vector<std::string> ids;
+  for (int i = 0; i < GetParam(); ++i) {
+    auto id = engine.submit(canary_strategy());
+    ASSERT_TRUE(id.ok());
+    ids.push_back(id.value());
+  }
+  clock.advance_to(runtime::Time(35s));
+  for (const std::string& id : ids) {
+    EXPECT_EQ(engine.status(id)->status, ExecutionStatus::kSucceeded);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Counts, ParallelStrategies,
+                         testing::Values(1, 5, 20, 100));
+
+}  // namespace
+}  // namespace bifrost::engine

@@ -1,0 +1,279 @@
+// Failure injection across the full stack: dying backends, vanishing
+// metrics providers, unreachable proxies, and aborts under load. The
+// headline scenario is the paper's safety argument: a broken release is
+// rolled back automatically, mid-state, via an exception check fed by
+// live error metrics.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "casestudy/app.hpp"
+#include "engine/engine.hpp"
+#include "engine/http_clients.hpp"
+#include "http/client.hpp"
+#include "loadgen/loadgen.hpp"
+#include "loadgen/workload.hpp"
+#include "runtime/event_loop.hpp"
+#include "runtime/manual_clock.hpp"
+
+namespace bifrost {
+namespace {
+
+using namespace std::chrono_literals;
+
+core::StrategyDef guarded_canary(const casestudy::CaseStudyApp& app,
+                                 runtime::Duration guard_interval,
+                                 int guard_executions) {
+  core::StrategyDef strategy;
+  strategy.name = "guarded-canary";
+  strategy.initial_state = "canary";
+  strategy.providers["prometheus"] = app.prometheus_provider();
+  strategy.services.push_back(app.product_service_def());
+
+  core::StateDef canary;
+  canary.name = "canary";
+  // Long-running basic check; the exception check is the fast path out.
+  core::CheckDef slow;
+  slow.name = "slow-health";
+  slow.conditions.push_back(core::MetricCondition{
+      "prometheus", "rc", R"(request_count{service="product"})",
+      core::Validator::parse(">=0").value(), false});
+  slow.interval = 5s;
+  slow.executions = 6;
+  slow.thresholds = {5.5};
+  slow.outputs = {0, 1};
+  canary.checks.push_back(slow);
+
+  core::CheckDef guard;
+  guard.name = "error-guard";
+  guard.kind = core::CheckKind::kException;
+  guard.fallback_state = "rollback";
+  guard.conditions.push_back(core::MetricCondition{
+      "prometheus", "errors",
+      R"(request_errors{service="product",version="a"})",
+      core::Validator::parse("<5").value(), /*fail_on_no_data=*/false});
+  guard.interval = guard_interval;
+  guard.executions = guard_executions;
+  guard.weight = 0.0;  // guard only via its fallback, not the outcome
+  canary.checks.push_back(guard);
+
+  canary.thresholds = {0.5};
+  canary.transitions = {"rollback", "promote"};
+  core::ServiceRouting split;
+  split.service = "product";
+  split.splits = {core::VersionSplit{"stable", 50.0, "", ""},
+                  core::VersionSplit{"a", 50.0, "", ""}};
+  canary.routing.push_back(split);
+  strategy.states.push_back(canary);
+
+  core::StateDef promote;
+  promote.name = "promote";
+  promote.final_kind = core::FinalKind::kSuccess;
+  strategy.states.push_back(promote);
+
+  core::StateDef rollback;
+  rollback.name = "rollback";
+  rollback.final_kind = core::FinalKind::kRollback;
+  core::ServiceRouting revert;
+  revert.service = "product";
+  revert.splits = {core::VersionSplit{"stable", 100.0, "", ""}};
+  rollback.routing.push_back(revert);
+  strategy.states.push_back(rollback);
+  return strategy;
+}
+
+class FailureInjectionTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    casestudy::AppOptions options;
+    options.product_delay = 500us;
+    options.search_delay = 300us;
+    options.fast_search_delay = 200us;
+    options.auth_delay = 100us;
+    options.db_delay = 0us;
+    options.scrape_interval = 100ms;
+    app_ = std::make_unique<casestudy::CaseStudyApp>(options);
+    app_->start();
+    loop_.start();
+    engine_ = std::make_unique<engine::Engine>(loop_, metrics_client_,
+                                               proxy_controller_);
+  }
+
+  engine::ExecutionStatus wait_for_finish(const std::string& id,
+                                          std::chrono::seconds timeout) {
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    while (std::chrono::steady_clock::now() < deadline) {
+      const auto snapshot = engine_->status(id);
+      if (snapshot && snapshot->status != engine::ExecutionStatus::kRunning &&
+          snapshot->status != engine::ExecutionStatus::kPending) {
+        return snapshot->status;
+      }
+      std::this_thread::sleep_for(50ms);
+    }
+    return engine::ExecutionStatus::kRunning;
+  }
+
+  std::unique_ptr<casestudy::CaseStudyApp> app_;
+  runtime::EventLoop loop_;
+  engine::HttpMetricsClient metrics_client_;
+  engine::HttpProxyController proxy_controller_;
+  std::unique_ptr<engine::Engine> engine_;
+};
+
+TEST_F(FailureInjectionTest, BackendFailureTriggersExceptionRollback) {
+  // Version "a" starts failing *after* the canary is live; the exception
+  // check sees the climbing error metric and rolls back mid-state,
+  // before the 30 s basic check would have completed.
+  loadgen::LoadGenerator::Options gen_options;
+  gen_options.requests_per_second = 60.0;
+  loadgen::LoadGenerator generator(
+      gen_options, app_->product_entry().host, app_->product_entry().port,
+      loadgen::paper_request_mix(app_->auth_token(), 12));
+  generator.start();
+
+  const auto id =
+      engine_->submit(guarded_canary(*app_, 500ms, 60));
+  ASSERT_TRUE(id.ok());
+  std::this_thread::sleep_for(700ms);  // canary live and healthy
+  ASSERT_EQ(engine_->status(id.value())->status,
+            engine::ExecutionStatus::kRunning);
+
+  app_->product_a().set_error_rate(1.0);  // the release breaks
+
+  const auto status = wait_for_finish(id.value(), 15s);
+  generator.stop();
+  EXPECT_EQ(status, engine::ExecutionStatus::kRolledBack);
+
+  // Routing reverted to stable.
+  const auto config = app_->product_proxy()->current_config();
+  ASSERT_EQ(config.backends.size(), 1u);
+  EXPECT_EQ(config.backends[0].version, "stable");
+
+  // The rollback came from the exception path, not state completion.
+  bool exception_seen = false;
+  for (const auto& event : engine_->events_since(0, 100000, 0ms)) {
+    exception_seen |=
+        event.type == engine::StatusEvent::Type::kExceptionTriggered;
+  }
+  EXPECT_TRUE(exception_seen);
+}
+
+TEST_F(FailureInjectionTest, MetricsProviderOutageFailsStrictChecks) {
+  auto strategy = guarded_canary(*app_, 500ms, 4);
+  // Make the basic check strict and fast, pointing at a provider that
+  // is about to disappear.
+  strategy.states[0].checks[0].interval = 300ms;
+  strategy.states[0].checks[0].executions = 4;
+  strategy.states[0].checks[0].thresholds = {3.5};
+  strategy.states[0].checks[0].conditions[0].fail_on_no_data = true;
+  // Provider endpoint nobody listens on (simulates Prometheus dying).
+  strategy.providers["prometheus"] = core::ProviderConfig{"127.0.0.1", 1};
+
+  const auto id = engine_->submit(std::move(strategy));
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(wait_for_finish(id.value(), 15s),
+            engine::ExecutionStatus::kRolledBack);
+}
+
+TEST_F(FailureInjectionTest, LenientChecksSurviveProviderOutage) {
+  auto strategy = guarded_canary(*app_, 500ms, 2);
+  strategy.states[0].checks[0].interval = 300ms;
+  strategy.states[0].checks[0].executions = 2;
+  strategy.states[0].checks[0].thresholds = {1.5};
+  strategy.states[0].checks[0].conditions[0].fail_on_no_data = false;
+  strategy.states[0].checks[1].interval = 300ms;
+  strategy.states[0].checks[1].executions = 2;
+  strategy.providers["prometheus"] = core::ProviderConfig{"127.0.0.1", 1};
+
+  const auto id = engine_->submit(std::move(strategy));
+  ASSERT_TRUE(id.ok());
+  // fail_on_no_data=false on every condition: the outage is tolerated.
+  EXPECT_EQ(wait_for_finish(id.value(), 15s),
+            engine::ExecutionStatus::kSucceeded);
+}
+
+TEST_F(FailureInjectionTest, UnreachableProxyEmitsErrorsButProceeds) {
+  auto strategy = guarded_canary(*app_, 300ms, 2);
+  strategy.states[0].checks[0].interval = 300ms;
+  strategy.states[0].checks[0].executions = 2;
+  strategy.states[0].checks[0].thresholds = {1.5};
+  strategy.services[0].proxy_admin_port = 1;  // nobody listens
+
+  const auto id = engine_->submit(std::move(strategy));
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(wait_for_finish(id.value(), 15s),
+            engine::ExecutionStatus::kSucceeded);
+  bool proxy_error = false;
+  for (const auto& event : engine_->events_since(0, 100000, 0ms)) {
+    proxy_error |= event.type == engine::StatusEvent::Type::kError &&
+                   event.detail.find("proxy update failed") !=
+                       std::string::npos;
+  }
+  EXPECT_TRUE(proxy_error);
+}
+
+TEST_F(FailureInjectionTest, AbortUnderLoadLeavesLastAppliedRouting) {
+  loadgen::LoadGenerator::Options gen_options;
+  gen_options.requests_per_second = 40.0;
+  loadgen::LoadGenerator generator(
+      gen_options, app_->product_entry().host, app_->product_entry().port,
+      loadgen::paper_request_mix(app_->auth_token(), 12));
+  generator.start();
+
+  const auto id = engine_->submit(guarded_canary(*app_, 5s, 6));
+  ASSERT_TRUE(id.ok());
+  std::this_thread::sleep_for(500ms);
+  ASSERT_TRUE(engine_->abort(id.value(), "operator abort"));
+  EXPECT_EQ(wait_for_finish(id.value(), 5s),
+            engine::ExecutionStatus::kAborted);
+  generator.stop();
+
+  // Abort freezes routing at the last applied state (the canary split);
+  // reverting is the operator's explicit decision, as in the paper.
+  const auto config = app_->product_proxy()->current_config();
+  EXPECT_EQ(config.backends.size(), 2u);
+}
+
+TEST_F(FailureInjectionTest, ProxySwapUnderConcurrentTraffic) {
+  // Hammer the proxy while flipping its routing table: no request may
+  // fail, and every response must come from one of the configured
+  // versions at that moment.
+  loadgen::LoadGenerator::Options gen_options;
+  gen_options.requests_per_second = 150.0;
+  gen_options.workers = 24;
+  loadgen::LoadGenerator generator(
+      gen_options, app_->product_entry().host, app_->product_entry().port,
+      loadgen::paper_request_mix(app_->auth_token(), 12));
+  generator.start();
+
+  http::HttpClient client;
+  const auto product = app_->product_service_def();
+  for (int flip = 0; flip < 10; ++flip) {
+    proxy::ProxyConfig config;
+    config.service = "product";
+    const std::string version = flip % 2 == 0 ? "a" : "stable";
+    const core::VersionDef* v = product.find_version(version);
+    config.backends = {proxy::BackendTarget{version, v->host, v->port, 100.0,
+                                            "", ""}};
+    auto response = client.put(
+        "http://127.0.0.1:" + std::to_string(product.proxy_admin_port) +
+            "/admin/config",
+        config.to_json().dump(), "application/json");
+    ASSERT_TRUE(response.ok());
+    ASSERT_EQ(response.value().status, 200);
+    std::this_thread::sleep_for(100ms);
+  }
+  generator.stop();
+
+  EXPECT_EQ(generator.errors(), 0u);
+  for (const auto& result : generator.results()) {
+    if (!result.served_by.empty()) {
+      EXPECT_TRUE(result.served_by == "stable" || result.served_by == "a")
+          << result.served_by;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bifrost

@@ -1,0 +1,290 @@
+#include <gtest/gtest.h>
+
+#include "http/message.hpp"
+#include "http/parser.hpp"
+#include "http/router.hpp"
+#include "http/url.hpp"
+
+namespace bifrost::http {
+namespace {
+
+// ---------------------------------------------------------------------------
+// HeaderMap
+
+TEST(HeaderMap, CaseInsensitiveLookup) {
+  HeaderMap headers;
+  headers.set("Content-Type", "text/plain");
+  EXPECT_EQ(headers.get("content-type"), "text/plain");
+  EXPECT_TRUE(headers.has("CONTENT-TYPE"));
+  EXPECT_FALSE(headers.has("X-Missing"));
+}
+
+TEST(HeaderMap, SetOverwritesAppendDuplicates) {
+  HeaderMap headers;
+  headers.set("X-A", "1");
+  headers.set("x-a", "2");
+  EXPECT_EQ(headers.size(), 1u);
+  EXPECT_EQ(headers.get("X-A"), "2");
+  headers.append("Set-Cookie", "a=1");
+  headers.append("Set-Cookie", "b=2");
+  EXPECT_EQ(headers.size(), 3u);
+}
+
+TEST(HeaderMap, RemoveErasesAllMatches) {
+  HeaderMap headers;
+  headers.append("X-Dup", "1");
+  headers.append("x-dup", "2");
+  headers.remove("X-DUP");
+  EXPECT_EQ(headers.size(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Request/Response helpers
+
+TEST(Request, PathStripsQuery) {
+  Request req;
+  req.target = "/search?q=laptop&page=2";
+  EXPECT_EQ(req.path(), "/search");
+  EXPECT_EQ(req.query_param("q"), "laptop");
+  EXPECT_EQ(req.query_param("page"), "2");
+  EXPECT_FALSE(req.query_param("missing").has_value());
+}
+
+TEST(Request, CookiesParsed) {
+  Request req;
+  req.headers.set("Cookie", "bifrost.sid=abc-123; theme=dark");
+  const auto cookies = req.cookies();
+  EXPECT_EQ(cookies.at("bifrost.sid"), "abc-123");
+  EXPECT_EQ(cookies.at("theme"), "dark");
+  EXPECT_EQ(req.cookie("bifrost.sid"), "abc-123");
+  EXPECT_FALSE(req.cookie("none").has_value());
+}
+
+TEST(Request, SerializeSetsContentLength) {
+  Request req;
+  req.method = "POST";
+  req.target = "/buy";
+  req.body = "hello";
+  const std::string wire = req.serialize();
+  EXPECT_NE(wire.find("POST /buy HTTP/1.1\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("Content-Length: 5\r\n"), std::string::npos);
+  EXPECT_TRUE(wire.ends_with("hello"));
+}
+
+TEST(Response, SerializeStatusLine) {
+  Response res = Response::text(404, "gone");
+  const std::string wire = res.serialize();
+  EXPECT_TRUE(wire.starts_with("HTTP/1.1 404 Not Found\r\n"));
+}
+
+TEST(Response, SetCookieAppends) {
+  Response res;
+  res.set_cookie("bifrost.sid", "u-1");
+  res.set_cookie("other", "x", "");
+  int count = 0;
+  for (const auto& [name, value] : res.headers.all()) {
+    if (name == "Set-Cookie") ++count;
+  }
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(res.headers.get("Set-Cookie"), "bifrost.sid=u-1; Path=/");
+}
+
+TEST(Response, ReasonPhrases) {
+  EXPECT_EQ(reason_phrase(200), "OK");
+  EXPECT_EQ(reason_phrase(502), "Bad Gateway");
+  EXPECT_EQ(reason_phrase(299), "Unknown");
+}
+
+// ---------------------------------------------------------------------------
+// URL
+
+TEST(Url, DecodeEncode) {
+  EXPECT_EQ(url_decode("a%20b+c"), "a b c");
+  EXPECT_EQ(url_decode("a+b", false), "a+b");
+  EXPECT_EQ(url_decode("%41%62"), "Ab");
+  EXPECT_EQ(url_decode("%zz"), "%zz");  // invalid escape passes through
+  EXPECT_EQ(url_encode("a b/c"), "a%20b%2Fc");
+  EXPECT_EQ(url_encode("safe-._~123"), "safe-._~123");
+}
+
+TEST(Url, ParseQueryPairs) {
+  const auto pairs = parse_query("a=1&b=two%20words&flag&=empty");
+  ASSERT_EQ(pairs.size(), 4u);
+  EXPECT_EQ(pairs[0], (std::pair<std::string, std::string>{"a", "1"}));
+  EXPECT_EQ(pairs[1].second, "two words");
+  EXPECT_EQ(pairs[2], (std::pair<std::string, std::string>{"flag", ""}));
+}
+
+TEST(Url, ParseAbsolute) {
+  const auto url = parse_url("http://host.example:8080/path?x=1");
+  ASSERT_TRUE(url.ok());
+  EXPECT_EQ(url.value().host, "host.example");
+  EXPECT_EQ(url.value().port, 8080);
+  EXPECT_EQ(url.value().target, "/path?x=1");
+}
+
+TEST(Url, ParseDefaults) {
+  const auto url = parse_url("http://h");
+  ASSERT_TRUE(url.ok());
+  EXPECT_EQ(url.value().port, 80);
+  EXPECT_EQ(url.value().target, "/");
+}
+
+TEST(Url, ParseRejectsBadInput) {
+  EXPECT_FALSE(parse_url("https://secure").ok());
+  EXPECT_FALSE(parse_url("ftp://x").ok());
+  EXPECT_FALSE(parse_url("http://host:notaport/").ok());
+  EXPECT_FALSE(parse_url("http://host:70000/").ok());
+  EXPECT_FALSE(parse_url("http:///nohost").ok());
+}
+
+// ---------------------------------------------------------------------------
+// Head parsing
+
+TEST(ParseRequestHead, Basic) {
+  const auto req = parse_request_head(
+      "GET /products?id=1 HTTP/1.1\r\nHost: x\r\nX-Custom: v\r\n\r\n");
+  ASSERT_TRUE(req.ok()) << req.error_message();
+  EXPECT_EQ(req.value().method, "GET");
+  EXPECT_EQ(req.value().target, "/products?id=1");
+  EXPECT_EQ(req.value().version, "HTTP/1.1");
+  EXPECT_EQ(req.value().headers.get("host"), "x");
+  EXPECT_EQ(req.value().headers.get("X-Custom"), "v");
+}
+
+TEST(ParseRequestHead, TrimsHeaderWhitespace) {
+  const auto req =
+      parse_request_head("GET / HTTP/1.1\r\nName:   padded value  \r\n\r\n");
+  ASSERT_TRUE(req.ok());
+  EXPECT_EQ(req.value().headers.get("Name"), "padded value");
+}
+
+TEST(ParseRequestHead, RejectsMalformed) {
+  EXPECT_FALSE(parse_request_head("GET /\r\n\r\n").ok());          // no version
+  EXPECT_FALSE(parse_request_head("GET / HTTP/2.0\r\n\r\n").ok()); // version
+  EXPECT_FALSE(parse_request_head("G@T / HTTP/1.1\r\n\r\n").ok()); // method
+  EXPECT_FALSE(
+      parse_request_head("GET / HTTP/1.1\r\nNoColonHere\r\n\r\n").ok());
+  EXPECT_FALSE(
+      parse_request_head("GET / HTTP/1.1\r\n: novalue\r\n\r\n").ok());
+  EXPECT_FALSE(parse_request_head("GET  HTTP/1.1\r\n\r\n").ok());
+}
+
+TEST(ParseResponseHead, Basic) {
+  const auto res = parse_response_head(
+      "HTTP/1.1 503 Service Unavailable\r\nRetry-After: 1\r\n\r\n");
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res.value().status, 503);
+  EXPECT_EQ(res.value().headers.get("Retry-After"), "1");
+}
+
+TEST(ParseResponseHead, StatusWithoutReason) {
+  const auto res = parse_response_head("HTTP/1.1 204\r\n\r\n");
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res.value().status, 204);
+}
+
+TEST(ParseResponseHead, RejectsBadStatus) {
+  EXPECT_FALSE(parse_response_head("HTTP/1.1 99 Low\r\n\r\n").ok());
+  EXPECT_FALSE(parse_response_head("HTTP/1.1 abc Bad\r\n\r\n").ok());
+  EXPECT_FALSE(parse_response_head("SPDY/1 200 OK\r\n\r\n").ok());
+}
+
+// Round-trip property: serialize then parse yields the same head.
+class RequestRoundTrip : public testing::TestWithParam<const char*> {};
+
+TEST_P(RequestRoundTrip, SerializeParseIdentity) {
+  Request req;
+  req.method = "POST";
+  req.target = GetParam();
+  req.headers.set("Host", "h");
+  req.headers.set("X-Bifrost-Version", "canary");
+  req.body = "payload";
+  const std::string wire = req.serialize();
+  const size_t head_end = wire.find("\r\n\r\n") + 4;
+  const auto parsed = parse_request_head(wire.substr(0, head_end));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().method, req.method);
+  EXPECT_EQ(parsed.value().target, req.target);
+  EXPECT_EQ(parsed.value().headers.get("X-Bifrost-Version"), "canary");
+  EXPECT_EQ(parsed.value().headers.get("Content-Length"), "7");
+}
+
+INSTANTIATE_TEST_SUITE_P(Targets, RequestRoundTrip,
+                         testing::Values("/", "/a/b/c", "/q?x=1&y=2",
+                                         "/pct%20encoded", "/trailing/"));
+
+// ---------------------------------------------------------------------------
+// Router
+
+Response ok_with(const std::string& tag) {
+  return Response::text(200, tag);
+}
+
+TEST(Router, DispatchesByMethodAndPath) {
+  Router router;
+  router.add("GET", "/products",
+             [](const Request&, const PathParams&) { return ok_with("list"); });
+  router.add("POST", "/products",
+             [](const Request&, const PathParams&) { return ok_with("new"); });
+  Request get;
+  get.method = "GET";
+  get.target = "/products";
+  EXPECT_EQ(router.dispatch(get).body, "list");
+  get.method = "POST";
+  EXPECT_EQ(router.dispatch(get).body, "new");
+}
+
+TEST(Router, CapturesParams) {
+  Router router;
+  router.add("GET", "/products/:id/reviews/:rid",
+             [](const Request&, const PathParams& params) {
+               return ok_with(params.at("id") + "/" + params.at("rid"));
+             });
+  Request req;
+  req.target = "/products/p7/reviews/r2?x=1";
+  EXPECT_EQ(router.dispatch(req).body, "p7/r2");
+}
+
+TEST(Router, WildcardTail) {
+  Router router;
+  router.add("GET", "/static/*",
+             [](const Request&, const PathParams&) { return ok_with("s"); });
+  Request req;
+  req.target = "/static/css/site.css";
+  EXPECT_EQ(router.dispatch(req).status, 200);
+  req.target = "/static";
+  EXPECT_EQ(router.dispatch(req).status, 404);
+}
+
+TEST(Router, NotFoundAndMethodNotAllowed) {
+  Router router;
+  router.add("GET", "/only-get",
+             [](const Request&, const PathParams&) { return ok_with("g"); });
+  Request req;
+  req.target = "/missing";
+  EXPECT_EQ(router.dispatch(req).status, 404);
+  req.target = "/only-get";
+  req.method = "DELETE";
+  EXPECT_EQ(router.dispatch(req).status, 405);
+}
+
+TEST(Router, DecodesPathSegments) {
+  Router router;
+  router.add("GET", "/items/:name",
+             [](const Request&, const PathParams& params) {
+               return ok_with(params.at("name"));
+             });
+  Request req;
+  req.target = "/items/a%20b";
+  EXPECT_EQ(router.dispatch(req).body, "a b");
+}
+
+TEST(SplitPath, NormalizesSlashes) {
+  EXPECT_EQ(split_path("/a/b/"), (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(split_path("///x"), (std::vector<std::string>{"x"}));
+  EXPECT_TRUE(split_path("/").empty());
+}
+
+}  // namespace
+}  // namespace bifrost::http

@@ -1,0 +1,649 @@
+// Full-stack integration: case-study services + Bifrost proxies +
+// metrics provider + engine + REST API, all over real loopback sockets.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "casestudy/app.hpp"
+#include "dsl/dsl.hpp"
+#include "engine/engine.hpp"
+#include "engine/http_clients.hpp"
+#include "engine/server.hpp"
+#include "http/client.hpp"
+#include "loadgen/loadgen.hpp"
+#include "loadgen/workload.hpp"
+#include "runtime/event_loop.hpp"
+
+namespace bifrost {
+namespace {
+
+using namespace std::chrono_literals;
+
+core::CheckDef quick_check(const std::string& name, const std::string& query,
+                           const std::string& validator, bool fail_on_no_data,
+                           int executions = 2,
+                           runtime::Duration interval = 400ms) {
+  core::CheckDef check;
+  check.name = name;
+  check.conditions.push_back(core::MetricCondition{
+      "prometheus", name, query,
+      core::Validator::parse(validator).value(), fail_on_no_data});
+  check.interval = interval;
+  check.executions = executions;
+  check.thresholds = {executions - 0.5};
+  check.outputs = {0, 1};
+  return check;
+}
+
+class IntegrationTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    app_ = std::make_unique<casestudy::CaseStudyApp>(
+        CaseStudyAppTestOptions());
+    app_->start();
+    loop_.start();
+    engine_ = std::make_unique<engine::Engine>(loop_, metrics_client_,
+                                               proxy_controller_);
+  }
+
+  static casestudy::AppOptions CaseStudyAppTestOptions();
+
+  /// canary (stable 50 / a 50) -> promote-a | rollback-stable.
+  core::StrategyDef canary_strategy(bool healthy_check) {
+    core::StrategyDef strategy;
+    strategy.name = "product-canary";
+    strategy.initial_state = "canary";
+    strategy.providers["prometheus"] = app_->prometheus_provider();
+    strategy.services.push_back(app_->product_service_def());
+
+    core::StateDef canary;
+    canary.name = "canary";
+    if (healthy_check) {
+      // Pass as long as version a reports < 5 errors (no data = fine).
+      canary.checks.push_back(quick_check(
+          "a-errors", R"(request_errors{service="product",version="a"})",
+          "<5", /*fail_on_no_data=*/false));
+    } else {
+      // Strict: fails when errors accumulate.
+      canary.checks.push_back(quick_check(
+          "a-errors", R"(request_errors{service="product",version="a"})",
+          "<5", /*fail_on_no_data=*/false, 3));
+    }
+    canary.thresholds = {0.5};
+    canary.transitions = {"rollback", "promote"};
+    core::ServiceRouting split;
+    split.service = "product";
+    split.splits = {core::VersionSplit{"stable", 50.0, "", ""},
+                    core::VersionSplit{"a", 50.0, "", ""}};
+    canary.routing.push_back(split);
+    strategy.states.push_back(canary);
+
+    core::StateDef promote;
+    promote.name = "promote";
+    promote.final_kind = core::FinalKind::kSuccess;
+    core::ServiceRouting all_a;
+    all_a.service = "product";
+    all_a.splits = {core::VersionSplit{"a", 100.0, "", ""}};
+    promote.routing.push_back(all_a);
+    strategy.states.push_back(promote);
+
+    core::StateDef rollback;
+    rollback.name = "rollback";
+    rollback.final_kind = core::FinalKind::kRollback;
+    core::ServiceRouting all_stable;
+    all_stable.service = "product";
+    all_stable.splits = {core::VersionSplit{"stable", 100.0, "", ""}};
+    rollback.routing.push_back(all_stable);
+    strategy.states.push_back(rollback);
+    return strategy;
+  }
+
+  engine::ExecutionStatus wait_for_finish(const std::string& id,
+                                          std::chrono::seconds timeout) {
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    while (std::chrono::steady_clock::now() < deadline) {
+      const auto snapshot = engine_->status(id);
+      if (snapshot && snapshot->status != engine::ExecutionStatus::kRunning &&
+          snapshot->status != engine::ExecutionStatus::kPending) {
+        return snapshot->status;
+      }
+      std::this_thread::sleep_for(50ms);
+    }
+    return engine::ExecutionStatus::kRunning;
+  }
+
+  std::unique_ptr<casestudy::CaseStudyApp> app_;
+  runtime::EventLoop loop_;
+  engine::HttpMetricsClient metrics_client_;
+  engine::HttpProxyController proxy_controller_;
+  std::unique_ptr<engine::Engine> engine_;
+};
+
+casestudy::AppOptions IntegrationTest::CaseStudyAppTestOptions() {
+  casestudy::AppOptions options;
+  options.product_delay = 500us;
+  options.search_delay = 300us;
+  options.fast_search_delay = 200us;
+  options.auth_delay = 100us;
+  options.db_delay = 0us;
+  options.scrape_interval = 100ms;
+  return options;
+}
+
+TEST_F(IntegrationTest, HealthyCanaryPromotesNewVersion) {
+  const auto id = engine_->submit(canary_strategy(/*healthy_check=*/true));
+  ASSERT_TRUE(id.ok()) << id.error_message();
+
+  // Canary split becomes visible at the product proxy.
+  std::this_thread::sleep_for(200ms);
+  auto config = app_->product_proxy()->current_config();
+  ASSERT_EQ(config.backends.size(), 2u);
+
+  EXPECT_EQ(wait_for_finish(id.value(), 10s),
+            engine::ExecutionStatus::kSucceeded);
+
+  // Final state promoted version a to 100%.
+  config = app_->product_proxy()->current_config();
+  ASSERT_EQ(config.backends.size(), 1u);
+  EXPECT_EQ(config.backends[0].version, "a");
+  EXPECT_DOUBLE_EQ(config.backends[0].percent, 100.0);
+
+  // And the new version actually serves traffic end to end.
+  http::HttpClient client;
+  http::Request req;
+  req.method = "GET";
+  req.target = "/products/p1";
+  req.headers.set("Authorization", "Bearer " + app_->auth_token());
+  auto res = client.request(std::move(req), app_->gateway_endpoint().host,
+                            app_->gateway_endpoint().port);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res.value().headers.get(proxy::kVersionHeader), "a");
+}
+
+TEST_F(IntegrationTest, BrokenCanaryRollsBack) {
+  // Version a fails every request; live traffic drives the error metric.
+  app_->product_a().set_error_rate(1.0);
+
+  loadgen::LoadGenerator::Options gen_options;
+  gen_options.requests_per_second = 80.0;
+  gen_options.workers = 16;
+  loadgen::LoadGenerator generator(
+      gen_options, app_->product_entry().host, app_->product_entry().port,
+      loadgen::paper_request_mix(app_->auth_token(), 12));
+  generator.start();
+
+  const auto id = engine_->submit(canary_strategy(/*healthy_check=*/false));
+  ASSERT_TRUE(id.ok());
+  const auto status = wait_for_finish(id.value(), 15s);
+  generator.stop();
+
+  EXPECT_EQ(status, engine::ExecutionStatus::kRolledBack);
+  const auto config = app_->product_proxy()->current_config();
+  ASSERT_EQ(config.backends.size(), 1u);
+  EXPECT_EQ(config.backends[0].version, "stable");
+}
+
+TEST_F(IntegrationTest, DarkLaunchDuplicatesLiveTraffic) {
+  core::StrategyDef strategy;
+  strategy.name = "dark";
+  strategy.initial_state = "dark";
+  strategy.providers["prometheus"] = app_->prometheus_provider();
+  strategy.services.push_back(app_->product_service_def());
+
+  core::StateDef dark;
+  dark.name = "dark";
+  dark.min_duration = 1500ms;
+  dark.transitions = {"done"};
+  core::ServiceRouting routing;
+  routing.service = "product";
+  routing.splits = {core::VersionSplit{"stable", 100.0, "", ""}};
+  routing.shadows = {core::ShadowRule{"stable", "a", 100.0}};
+  dark.routing.push_back(routing);
+  strategy.states.push_back(dark);
+
+  core::StateDef done;
+  done.name = "done";
+  done.final_kind = core::FinalKind::kSuccess;
+  core::ServiceRouting reset;
+  reset.service = "product";
+  reset.splits = {core::VersionSplit{"stable", 100.0, "", ""}};
+  done.routing.push_back(reset);
+  strategy.states.push_back(done);
+
+  loadgen::LoadGenerator::Options gen_options;
+  gen_options.requests_per_second = 60.0;
+  loadgen::LoadGenerator generator(
+      gen_options, app_->product_entry().host, app_->product_entry().port,
+      loadgen::paper_request_mix(app_->auth_token(), 12));
+  generator.start();
+
+  const auto id = engine_->submit(strategy);
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(wait_for_finish(id.value(), 10s),
+            engine::ExecutionStatus::kSucceeded);
+  generator.stop();
+
+  EXPECT_GT(app_->product_proxy()->shadow_requests(), 10u);
+  // Users only ever saw the stable version.
+  for (const auto& result : generator.results()) {
+    if (!result.served_by.empty()) {
+      EXPECT_EQ(result.served_by, "stable");
+    }
+  }
+}
+
+TEST_F(IntegrationTest, HeaderBasedABGroupsAreHonored) {
+  // An upstream component (here: the client itself, as the paper allows)
+  // injects X-Group at login time; the proxy only matches it. Users in
+  // group B must always land on version b, everyone else on stable.
+  core::StrategyDef strategy;
+  strategy.name = "header-ab";
+  strategy.initial_state = "ab";
+  strategy.providers["prometheus"] = app_->prometheus_provider();
+  strategy.services.push_back(app_->product_service_def());
+
+  core::StateDef ab;
+  ab.name = "ab";
+  ab.min_duration = 1500ms;
+  ab.transitions = {"done"};
+  core::ServiceRouting routing;
+  routing.service = "product";
+  routing.mode = core::RoutingMode::kHeader;
+  routing.splits = {
+      core::VersionSplit{"stable", 0.0, "X-Group", ""},  // default
+      core::VersionSplit{"b", 0.0, "X-Group", "B"},
+  };
+  ab.routing.push_back(routing);
+  strategy.states.push_back(ab);
+
+  core::StateDef done;
+  done.name = "done";
+  done.final_kind = core::FinalKind::kSuccess;
+  core::ServiceRouting reset;
+  reset.service = "product";
+  reset.splits = {core::VersionSplit{"stable", 100.0, "", ""}};
+  done.routing.push_back(reset);
+  strategy.states.push_back(done);
+
+  loadgen::LoadGenerator::Options gen_options;
+  gen_options.requests_per_second = 80.0;
+  gen_options.virtual_users = 10;
+  // Even user indices are cohort B.
+  gen_options.user_headers = [](std::size_t user)
+      -> std::vector<std::pair<std::string, std::string>> {
+    return {{"X-Group", user % 2 == 0 ? "B" : "A"},
+            {"X-User-Index", std::to_string(user)}};
+  };
+  loadgen::LoadGenerator generator(
+      gen_options, app_->product_entry().host, app_->product_entry().port,
+      loadgen::paper_request_mix(app_->auth_token(), 12));
+
+  const auto id = engine_->submit(std::move(strategy));
+  ASSERT_TRUE(id.ok());
+  std::this_thread::sleep_for(200ms);  // header routing live
+  generator.start();
+  std::this_thread::sleep_for(1s);
+  generator.stop();
+  EXPECT_EQ(wait_for_finish(id.value(), 10s),
+            engine::ExecutionStatus::kSucceeded);
+
+  int b_count = 0;
+  int stable_count = 0;
+  for (const auto& result : generator.results()) {
+    if (result.served_by.empty()) continue;  // transport error, if any
+    // Cohort integrity: group B (even user index) must always see
+    // version b, everyone else always stable.
+    const char* expected = result.user % 2 == 0 ? "b" : "stable";
+    EXPECT_EQ(result.served_by, expected) << "user " << result.user;
+    if (result.served_by == "b") ++b_count;
+    if (result.served_by == "stable") ++stable_count;
+  }
+  EXPECT_GT(b_count, 5);
+  EXPECT_GT(stable_count, 5);
+}
+
+TEST_F(IntegrationTest, EngineServerRestApi) {
+  engine::EngineServer server(*engine_);
+  server.start();
+  http::HttpClient client;
+  const std::string base = "http://127.0.0.1:" + std::to_string(server.port());
+
+  // Submit a DSL strategy against the live deployment.
+  const auto product = app_->product_service_def();
+  const auto provider = app_->prometheus_provider();
+  char yaml[4096];
+  std::snprintf(yaml, sizeof yaml, R"(
+strategy:
+  name: rest-canary
+  initial: canary
+  states:
+    - state:
+        name: canary
+        duration: 1
+        next: promote
+        routes:
+          - route:
+              service: product
+              split:
+                - version: stable
+                  percent: 90
+                - version: a
+                  percent: 10
+    - state:
+        name: promote
+        final: success
+deployment:
+  providers:
+    prometheus:
+      host: 127.0.0.1
+      port: %u
+  services:
+    - service:
+        name: product
+        proxy:
+          adminHost: 127.0.0.1
+          adminPort: %u
+        versions:
+          - version:
+              name: stable
+              host: 127.0.0.1
+              port: %u
+          - version:
+              name: a
+              host: 127.0.0.1
+              port: %u
+)",
+                provider.port, product.proxy_admin_port,
+                product.versions[0].port, product.versions[1].port);
+
+  auto post = client.post(base + "/strategies", yaml, "application/x-yaml");
+  ASSERT_TRUE(post.ok()) << post.error_message();
+  ASSERT_EQ(post.value().status, 201) << post.value().body;
+  auto doc = json::parse(post.value().body);
+  const std::string id = doc.value().get_string("id");
+  ASSERT_FALSE(id.empty());
+
+  // List + status + dot.
+  EXPECT_EQ(client.get(base + "/strategies").value().status, 200);
+  auto status = client.get(base + "/strategies/" + id);
+  ASSERT_EQ(status.value().status, 200);
+  EXPECT_NE(status.value().body.find("rest-canary"), std::string::npos);
+  auto dot = client.get(base + "/strategies/" + id + "/dot");
+  EXPECT_EQ(dot.value().status, 200);
+  EXPECT_NE(dot.value().body.find("digraph"), std::string::npos);
+
+  // Events long-poll returns promptly when events already exist.
+  auto events = client.get(base + "/events?since=0&wait=2000");
+  ASSERT_EQ(events.value().status, 200);
+  auto events_doc = json::parse(events.value().body);
+  ASSERT_TRUE(events_doc.ok());
+  EXPECT_GT(events_doc.value().as_array().size(), 0u);
+
+  // Wait for success.
+  const auto finished = wait_for_finish(id, 10s);
+  EXPECT_EQ(finished, engine::ExecutionStatus::kSucceeded);
+
+  // Unknown routes.
+  EXPECT_EQ(client.get(base + "/strategies/s-404").value().status, 404);
+  EXPECT_EQ(client.get(base + "/nope").value().status, 404);
+
+  // Rejects bad strategies.
+  EXPECT_EQ(
+      client.post(base + "/strategies", "not: yaml", "application/x-yaml")
+          .value()
+          .status,
+      400);
+
+  // Dry run validates without executing.
+  auto dry = client.post(base + "/strategies?dryRun=1", yaml,
+                         "application/x-yaml");
+  ASSERT_TRUE(dry.ok());
+  EXPECT_EQ(dry.value().status, 200);
+  EXPECT_NE(dry.value().body.find("\"status\":\"valid\""),
+            std::string::npos);
+  const std::size_t before = engine_->list().size();
+  EXPECT_EQ(engine_->list().size(), before);  // nothing new submitted
+
+  // Per-strategy event filtering.
+  auto filtered = client.get(base + "/events?since=0&strategy=" + id);
+  ASSERT_TRUE(filtered.ok());
+  auto filtered_doc = json::parse(filtered.value().body);
+  ASSERT_TRUE(filtered_doc.ok());
+  for (const auto& event : filtered_doc.value().as_array()) {
+    EXPECT_EQ(event.get_string("strategy"), id);
+  }
+  auto none = client.get(base + "/events?since=0&strategy=ghost");
+  EXPECT_TRUE(json::parse(none.value().body).value().as_array().empty());
+  server.stop();
+}
+
+TEST_F(IntegrationTest, TargetedCanaryOnlyAffectsFilteredUsers) {
+  // The paper's eta example: "assign 5% of US users to the fastSearch
+  // canary" — here 50% of US users to product a, everyone else pinned
+  // to stable.
+  core::StrategyDef strategy;
+  strategy.name = "us-canary";
+  strategy.initial_state = "canary";
+  strategy.providers["prometheus"] = app_->prometheus_provider();
+  strategy.services.push_back(app_->product_service_def());
+
+  core::StateDef canary;
+  canary.name = "canary";
+  canary.min_duration = 1500ms;
+  canary.transitions = {"done"};
+  core::ServiceRouting routing;
+  routing.service = "product";
+  routing.filter = core::ExperimentFilter{"X-Country", "US", "stable"};
+  routing.splits = {core::VersionSplit{"stable", 50.0, "", ""},
+                    core::VersionSplit{"a", 50.0, "", ""}};
+  canary.routing.push_back(routing);
+  strategy.states.push_back(canary);
+
+  core::StateDef done;
+  done.name = "done";
+  done.final_kind = core::FinalKind::kSuccess;
+  core::ServiceRouting reset;
+  reset.service = "product";
+  reset.splits = {core::VersionSplit{"stable", 100.0, "", ""}};
+  done.routing.push_back(reset);
+  strategy.states.push_back(done);
+
+  loadgen::LoadGenerator::Options gen_options;
+  gen_options.requests_per_second = 80.0;
+  gen_options.virtual_users = 10;
+  gen_options.user_headers = [](std::size_t user)
+      -> std::vector<std::pair<std::string, std::string>> {
+    return {{"X-Country", user % 2 == 0 ? "US" : "CH"}};
+  };
+  loadgen::LoadGenerator generator(
+      gen_options, app_->product_entry().host, app_->product_entry().port,
+      loadgen::paper_request_mix(app_->auth_token(), 12));
+
+  const auto id = engine_->submit(std::move(strategy));
+  ASSERT_TRUE(id.ok());
+  std::this_thread::sleep_for(200ms);
+  generator.start();
+  std::this_thread::sleep_for(1s);
+  generator.stop();
+  EXPECT_EQ(wait_for_finish(id.value(), 10s),
+            engine::ExecutionStatus::kSucceeded);
+
+  int us_on_a = 0;
+  int us_total = 0;
+  for (const auto& result : generator.results()) {
+    if (result.served_by.empty()) continue;
+    if (result.user % 2 == 0) {  // US cohort
+      ++us_total;
+      us_on_a += result.served_by == "a" ? 1 : 0;
+    } else {
+      // Non-US users never see the canary.
+      EXPECT_EQ(result.served_by, "stable") << "user " << result.user;
+    }
+  }
+  EXPECT_GT(us_total, 10);
+  EXPECT_GT(us_on_a, 0);  // some US traffic reached the canary
+}
+
+TEST_F(IntegrationTest, MultiServiceStrategyReconfiguresBothProxies) {
+  // Phi with two dynamic routing configurations: one state reconfigures
+  // the product AND search proxies together.
+  core::StrategyDef strategy;
+  strategy.name = "multi-service";
+  strategy.initial_state = "both";
+  strategy.providers["prometheus"] = app_->prometheus_provider();
+  strategy.services.push_back(app_->product_service_def());
+  strategy.services.push_back(app_->search_service_def());
+
+  core::StateDef both;
+  both.name = "both";
+  both.min_duration = 500ms;
+  both.transitions = {"done"};
+  core::ServiceRouting product;
+  product.service = "product";
+  product.splits = {core::VersionSplit{"a", 100.0, "", ""}};
+  both.routing.push_back(product);
+  core::ServiceRouting search;
+  search.service = "search";
+  search.splits = {core::VersionSplit{"fast", 100.0, "", ""}};
+  both.routing.push_back(search);
+  strategy.states.push_back(both);
+
+  core::StateDef done;
+  done.name = "done";
+  done.final_kind = core::FinalKind::kSuccess;
+  strategy.states.push_back(done);
+
+  const auto id = engine_->submit(std::move(strategy));
+  ASSERT_TRUE(id.ok());
+  std::this_thread::sleep_for(300ms);
+  EXPECT_EQ(app_->product_proxy()->current_config().backends[0].version, "a");
+  EXPECT_EQ(app_->search_proxy()->current_config().backends[0].version,
+            "fast");
+  EXPECT_EQ(wait_for_finish(id.value(), 10s),
+            engine::ExecutionStatus::kSucceeded);
+}
+
+TEST_F(IntegrationTest, ABWinnerChosenBySalesExpression) {
+  // The full A/B decision loop of the paper's running example, driven by
+  // a real business metric: product B converts better (sales per buy are
+  // scaled by 1.25 in the case study), traffic is split 50/50 sticky,
+  // and the check compares the two sales counters with a query
+  // *expression* — B must win and be promoted.
+  core::StrategyDef strategy;
+  strategy.name = "ab-winner";
+  strategy.initial_state = "ab";
+  strategy.providers["prometheus"] = app_->prometheus_provider();
+  strategy.services.push_back(app_->product_service_def());
+
+  core::StateDef ab;
+  ab.name = "ab";
+  core::CheckDef sales;
+  sales.name = "b-beats-a";
+  sales.conditions.push_back(core::MetricCondition{
+      "prometheus", "uplift",
+      R"(sales_total{service="product",version="b"} - )"
+      R"(sales_total{service="product",version="a"})",
+      core::Validator::parse(">0").value(), /*fail_on_no_data=*/true});
+  sales.interval = 2500ms;  // evaluated once, near the end of the test
+  sales.executions = 1;
+  sales.thresholds = {0.5};
+  sales.outputs = {0, 1};
+  ab.checks.push_back(sales);
+  ab.thresholds = {0.5};
+  ab.transitions = {"promote-a", "promote-b"};
+  core::ServiceRouting split;
+  split.service = "product";
+  split.sticky = true;
+  split.splits = {core::VersionSplit{"a", 50.0, "", ""},
+                  core::VersionSplit{"b", 50.0, "", ""}};
+  ab.routing.push_back(split);
+  strategy.states.push_back(ab);
+
+  for (const char* winner : {"a", "b"}) {
+    core::StateDef promote;
+    promote.name = std::string("promote-") + winner;
+    promote.final_kind = core::FinalKind::kSuccess;
+    core::ServiceRouting all;
+    all.service = "product";
+    all.splits = {core::VersionSplit{winner, 100.0, "", ""}};
+    promote.routing.push_back(all);
+    strategy.states.push_back(promote);
+  }
+
+  // Buy-heavy traffic so the sales counters move quickly.
+  loadgen::LoadGenerator::Options gen_options;
+  gen_options.requests_per_second = 80.0;
+  loadgen::LoadGenerator generator(
+      gen_options, app_->product_entry().host, app_->product_entry().port,
+      {loadgen::paper_request_mix(app_->auth_token(), 12)[0]});  // buys only
+  const auto id = engine_->submit(std::move(strategy));
+  ASSERT_TRUE(id.ok());
+  generator.start();
+  const auto status = wait_for_finish(id.value(), 15s);
+  generator.stop();
+
+  ASSERT_EQ(status, engine::ExecutionStatus::kSucceeded);
+  EXPECT_EQ(engine_->status(id.value())->current_state, "promote-b");
+  const auto config = app_->product_proxy()->current_config();
+  ASSERT_EQ(config.backends.size(), 1u);
+  EXPECT_EQ(config.backends[0].version, "b");
+}
+
+TEST_F(IntegrationTest, DashboardServed) {
+  engine::EngineServer server(*engine_);
+  server.start();
+  http::HttpClient client;
+  auto res = client.get("http://127.0.0.1:" + std::to_string(server.port()) +
+                        "/");
+  ASSERT_TRUE(res.ok());
+  ASSERT_EQ(res.value().status, 200);
+  EXPECT_NE(res.value().headers.get("Content-Type")->find("text/html"),
+            std::string::npos);
+  EXPECT_NE(res.value().body.find("Bifrost dashboard"), std::string::npos);
+  EXPECT_NE(res.value().body.find("/events?since="), std::string::npos);
+  server.stop();
+}
+
+TEST_F(IntegrationTest, EngineMetricsExposition) {
+  engine::EngineServer server(*engine_);
+  server.start();
+  const auto id = engine_->submit(canary_strategy(true));
+  ASSERT_TRUE(id.ok());
+  std::this_thread::sleep_for(100ms);
+  http::HttpClient client;
+  auto res = client.get("http://127.0.0.1:" + std::to_string(server.port()) +
+                        "/metrics");
+  ASSERT_TRUE(res.ok());
+  ASSERT_EQ(res.value().status, 200);
+  EXPECT_NE(res.value().body.find("bifrost_engine_strategies_running 1"),
+            std::string::npos);
+  EXPECT_NE(res.value().body.find("bifrost_engine_events_total"),
+            std::string::npos);
+  server.stop();
+}
+
+TEST_F(IntegrationTest, AbortViaRestApi) {
+  engine::EngineServer server(*engine_);
+  server.start();
+  http::HttpClient client;
+  const std::string base = "http://127.0.0.1:" + std::to_string(server.port());
+
+  auto strategy = canary_strategy(true);
+  strategy.states[0].min_duration = 60s;  // long-running
+  const auto id = engine_->submit(std::move(strategy));
+  ASSERT_TRUE(id.ok());
+
+  http::Request del;
+  del.method = "DELETE";
+  del.target = "/strategies/" + id.value();
+  auto res = client.request(std::move(del), "127.0.0.1", server.port());
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res.value().status, 200);
+  EXPECT_EQ(wait_for_finish(id.value(), 5s),
+            engine::ExecutionStatus::kAborted);
+  server.stop();
+}
+
+}  // namespace
+}  // namespace bifrost

@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "http/server.hpp"
+#include "loadgen/loadgen.hpp"
+#include "loadgen/workload.hpp"
+
+namespace bifrost::loadgen {
+namespace {
+
+using namespace std::chrono_literals;
+
+RequestTemplate simple_get(const std::string& name, const std::string& path) {
+  return RequestTemplate{name, 1.0, [path](util::Rng&) {
+                           http::Request req;
+                           req.method = "GET";
+                           req.target = path;
+                           return req;
+                         }};
+}
+
+class LoadGenTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    http::HttpServer::Options options;
+    options.worker_threads = 8;
+    server_ = std::make_unique<http::HttpServer>(
+        options, [this](const http::Request& req) {
+          hits_.fetch_add(1);
+          http::Response res = http::Response::text(200, "ok");
+          res.headers.set("X-Bifrost-Version", "stable");
+          if (!req.cookie("bifrost.sid")) {
+            res.set_cookie("bifrost.sid", "fixed-session");
+          }
+          return res;
+        });
+    server_->start();
+  }
+
+  std::unique_ptr<http::HttpServer> server_;
+  std::atomic<int> hits_{0};
+};
+
+TEST_F(LoadGenTest, GeneratesApproximatelyTargetRate) {
+  LoadGenerator::Options options;
+  options.requests_per_second = 200.0;
+  options.workers = 8;
+  LoadGenerator gen(options, "127.0.0.1", server_->port(),
+                    {simple_get("ping", "/")});
+  gen.run_for(1000ms);
+  // Open loop at 200 rps for ~1 s: allow generous tolerance.
+  EXPECT_GT(gen.sent(), 120u);
+  EXPECT_LT(gen.sent(), 260u);
+  EXPECT_EQ(gen.errors(), 0u);
+  EXPECT_EQ(static_cast<int>(gen.sent()), hits_.load());
+}
+
+TEST_F(LoadGenTest, RecordsLatenciesAndTypes) {
+  LoadGenerator::Options options;
+  options.requests_per_second = 100.0;
+  LoadGenerator gen(options, "127.0.0.1", server_->port(),
+                    {simple_get("a", "/a"), simple_get("b", "/b")});
+  gen.run_for(500ms);
+  const auto results = gen.results();
+  ASSERT_FALSE(results.empty());
+  bool saw_a = false, saw_b = false;
+  for (const CompletedRequest& r : results) {
+    EXPECT_EQ(r.status, 200);
+    EXPECT_GT(r.latency_ms, 0.0);
+    EXPECT_EQ(r.served_by, "stable");
+    saw_a |= r.type == "a";
+    saw_b |= r.type == "b";
+  }
+  EXPECT_TRUE(saw_a);
+  EXPECT_TRUE(saw_b);
+  const auto summary = gen.latency_summary(0.0, 10.0);
+  EXPECT_GT(summary.count, 0u);
+  EXPECT_GT(summary.mean, 0.0);
+  EXPECT_LE(summary.min, summary.median);
+}
+
+TEST_F(LoadGenTest, VirtualUsersKeepCookies) {
+  LoadGenerator::Options options;
+  options.requests_per_second = 100.0;
+  options.virtual_users = 2;
+  LoadGenerator gen(options, "127.0.0.1", server_->port(),
+                    {simple_get("x", "/")});
+  gen.run_for(600ms);
+  // Server only sets the cookie when absent; with 2 users and many
+  // requests, nearly all requests after warmup carry a cookie.
+  EXPECT_GT(gen.sent(), 10u);
+}
+
+TEST_F(LoadGenTest, TransportErrorsCounted) {
+  LoadGenerator::Options options;
+  options.requests_per_second = 50.0;
+  LoadGenerator gen(options, "127.0.0.1", 1 /* nothing listens */,
+                    {simple_get("x", "/")});
+  gen.run_for(300ms);
+  EXPECT_GT(gen.errors(), 0u);
+  EXPECT_EQ(gen.errors(), gen.sent());
+  const auto summary = gen.latency_summary(0.0, 10.0);
+  EXPECT_EQ(summary.count, 0u);  // failed requests excluded
+}
+
+TEST_F(LoadGenTest, StopIsIdempotentAndJoins) {
+  LoadGenerator::Options options;
+  options.requests_per_second = 50.0;
+  LoadGenerator gen(options, "127.0.0.1", server_->port(),
+                    {simple_get("x", "/")});
+  gen.start();
+  std::this_thread::sleep_for(100ms);
+  gen.stop();
+  const auto sent = gen.sent();
+  gen.stop();
+  std::this_thread::sleep_for(100ms);
+  EXPECT_EQ(gen.sent(), sent);  // nothing after stop
+}
+
+TEST(LoadGenOptions, RejectsBadConfiguration) {
+  LoadGenerator::Options options;
+  EXPECT_THROW(LoadGenerator(options, "h", 1, {}), std::invalid_argument);
+  options.requests_per_second = 0.0;
+  EXPECT_THROW(
+      LoadGenerator(options, "h", 1, {simple_get("x", "/")}),
+      std::invalid_argument);
+}
+
+TEST(PaperMix, HasAllFourRequestTypes) {
+  const auto mix = paper_request_mix("token-1", 12);
+  ASSERT_EQ(mix.size(), 4u);
+  util::Rng rng(5);
+  std::map<std::string, http::Request> by_name;
+  for (const RequestTemplate& tmpl : mix) {
+    by_name[tmpl.name] = tmpl.make(rng);
+  }
+  EXPECT_EQ(by_name.at("buy").method, "POST");
+  EXPECT_EQ(by_name.at("buy").target, "/buy");
+  EXPECT_FALSE(by_name.at("buy").body.empty());
+  EXPECT_EQ(by_name.at("products").target, "/products");
+  EXPECT_TRUE(by_name.at("details").target.starts_with("/products/p"));
+  EXPECT_TRUE(by_name.at("search").target.starts_with("/search?q="));
+  for (const auto& [name, req] : by_name) {
+    EXPECT_EQ(req.headers.get("Authorization"), "Bearer token-1") << name;
+  }
+}
+
+TEST(PaperMix, DetailsIdsStayInRange) {
+  const auto mix = paper_request_mix("t", 5);
+  util::Rng rng(9);
+  for (int i = 0; i < 100; ++i) {
+    const auto req = mix[1].make(rng);
+    const int id = std::stoi(req.target.substr(std::string("/products/p").size()));
+    EXPECT_GE(id, 1);
+    EXPECT_LE(id, 5);
+  }
+}
+
+}  // namespace
+}  // namespace bifrost::loadgen

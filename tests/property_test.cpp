@@ -1,0 +1,349 @@
+// Property-style tests over randomly generated strategies and inputs:
+//  * every randomly generated valid strategy, enacted with healthy
+//    metrics on a manual clock, terminates in a final state, and its
+//    recorded history is consistent with the transition function;
+//  * delta (next_state_name) is total and monotone in the outcome;
+//  * proxy percentage splits converge to their nominal distribution for
+//    random split vectors;
+//  * the analysis module's absorption probabilities agree with
+//    Monte-Carlo enactment frequencies on random two-way strategies.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <map>
+
+#include "core/analysis.hpp"
+#include "core/model.hpp"
+#include "engine/execution.hpp"
+#include "proxy/proxy.hpp"
+#include "runtime/manual_clock.hpp"
+#include "util/rng.hpp"
+
+namespace bifrost {
+namespace {
+
+using namespace std::chrono_literals;
+
+// ---------------------------------------------------------------------------
+// Random strategy generation
+
+struct GeneratedStrategy {
+  core::StrategyDef def;
+  /// Outcome each non-final state will produce under healthy metrics
+  /// (every check passes).
+  std::map<std::string, double> healthy_outcome;
+};
+
+/// Builds a random strategy DAG of `n_states` transient states (indexed
+/// chain with random forward/backward edges) plus success/rollback
+/// finals. All checks pass under healthy metrics; thresholds are
+/// randomized around the passing outcome so different runs take
+/// different edges.
+GeneratedStrategy random_strategy(util::Rng& rng, int n_states) {
+  GeneratedStrategy out;
+  core::StrategyDef& strategy = out.def;
+  strategy.name = "generated";
+  strategy.initial_state = "s0";
+  strategy.providers["prometheus"] = core::ProviderConfig{"h", 1};
+
+  core::ServiceDef service;
+  service.name = "svc";
+  service.versions = {core::VersionDef{"v1", "h", 1},
+                      core::VersionDef{"v2", "h", 2}};
+  strategy.services.push_back(service);
+
+  for (int i = 0; i < n_states; ++i) {
+    core::StateDef state;
+    state.name = "s" + std::to_string(i);
+
+    // 0-3 basic checks, each passing under healthy metrics.
+    const int n_checks = static_cast<int>(rng.uniform_int(0, 3));
+    double outcome = 0.0;
+    for (int c = 0; c < n_checks; ++c) {
+      core::CheckDef check;
+      check.name = "c" + std::to_string(c);
+      check.conditions.push_back(core::MetricCondition{
+          "prometheus", check.name, "healthy_metric",
+          core::Validator::parse("<5").value(), true});
+      check.interval =
+          std::chrono::seconds(rng.uniform_int(1, 5));
+      check.executions = static_cast<int>(rng.uniform_int(1, 4));
+      check.thresholds = {check.executions - 0.5};
+      check.outputs = {0, 1};
+      check.weight = static_cast<double>(rng.uniform_int(1, 3));
+      outcome += check.weight;  // all executions pass
+      state.checks.push_back(std::move(check));
+    }
+    if (n_checks == 0) {
+      state.min_duration = std::chrono::seconds(rng.uniform_int(1, 5));
+    }
+    out.healthy_outcome[state.name] = outcome;
+
+    // Random split routing that always sums to 100.
+    const double p = static_cast<double>(rng.uniform_int(0, 100));
+    core::ServiceRouting routing;
+    routing.service = "svc";
+    if (p <= 0.0) {
+      routing.splits = {core::VersionSplit{"v2", 100.0, "", ""}};
+    } else if (p >= 100.0) {
+      routing.splits = {core::VersionSplit{"v1", 100.0, "", ""}};
+    } else {
+      routing.splits = {core::VersionSplit{"v1", p, "", ""},
+                        core::VersionSplit{"v2", 100.0 - p, "", ""}};
+    }
+    state.routing.push_back(std::move(routing));
+
+    // Transitions: the healthy outcome goes strictly forward (to the
+    // next state or a final), lower ranges may go anywhere.
+    const std::string forward =
+        i + 1 < n_states ? "s" + std::to_string(i + 1) : "success";
+    if (rng.bernoulli(0.5)) {
+      state.thresholds = {outcome - 0.5};
+      const std::string lower =
+          rng.bernoulli(0.5) ? "rollback" : "s" + std::to_string(
+              rng.uniform_int(0, i));  // backward edge or self
+      state.transitions = {lower, forward};
+    } else {
+      state.transitions = {forward};
+    }
+    strategy.states.push_back(std::move(state));
+  }
+
+  core::StateDef success;
+  success.name = "success";
+  success.final_kind = core::FinalKind::kSuccess;
+  strategy.states.push_back(success);
+  core::StateDef rollback;
+  rollback.name = "rollback";
+  rollback.final_kind = core::FinalKind::kRollback;
+  strategy.states.push_back(rollback);
+
+  // "rollback" may be unreachable; give s0 an exception path to it so
+  // validation always passes.
+  core::CheckDef guard;
+  guard.name = "guard";
+  guard.kind = core::CheckKind::kException;
+  guard.fallback_state = "rollback";
+  guard.conditions.push_back(core::MetricCondition{
+      "prometheus", "g", "healthy_metric",
+      core::Validator::parse("<5").value(), true});
+  guard.interval = 1s;
+  guard.executions = 1;
+  guard.weight = 0.0;  // keep s0's outcome equal to its basic checks
+  strategy.states[0].checks.push_back(guard);
+  return out;
+}
+
+class HealthyMetrics final : public engine::MetricsClient {
+ public:
+  util::Result<std::optional<double>> query(const core::ProviderConfig&,
+                                            const std::string&) override {
+    return std::optional<double>{0.0};  // "<5" always passes
+  }
+};
+
+class NullProxies final : public engine::ProxyController {
+ public:
+  util::Result<void> apply(const core::ServiceDef&,
+                           const proxy::ProxyConfig&) override {
+    return {};
+  }
+};
+
+class RandomStrategySweep : public testing::TestWithParam<int> {};
+
+TEST_P(RandomStrategySweep, HealthyEnactmentTerminatesConsistently) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  for (int round = 0; round < 20; ++round) {
+    const int n_states = static_cast<int>(rng.uniform_int(1, 8));
+    GeneratedStrategy generated = random_strategy(rng, n_states);
+    const auto valid = core::validate(generated.def);
+    ASSERT_TRUE(valid.ok()) << valid.error_message();
+
+    runtime::ManualClock clock;
+    HealthyMetrics metrics;
+    NullProxies proxies;
+    std::vector<engine::StatusEvent> events;
+    engine::StrategyExecution execution(
+        "gen", clock, metrics, proxies, generated.def,
+        [&events](const engine::StatusEvent& e) { events.push_back(e); });
+    execution.start();
+    clock.advance_by(std::chrono::hours(3));
+
+    // Terminates (healthy outcomes always move forward eventually; the
+    // loop guard would mark kFailed otherwise).
+    ASSERT_TRUE(execution.status() == engine::ExecutionStatus::kSucceeded ||
+                execution.status() == engine::ExecutionStatus::kRolledBack)
+        << "round " << round;
+
+    // History consistency: each recorded outcome maps through delta to
+    // the next visited state.
+    const auto& history = execution.history();
+    ASSERT_FALSE(history.empty());
+    EXPECT_EQ(history.front().state, "s0");
+    for (size_t i = 0; i + 1 < history.size(); ++i) {
+      if (history[i].via_exception) continue;
+      const core::StateDef* state =
+          generated.def.find_state(history[i].state);
+      ASSERT_NE(state, nullptr);
+      ASSERT_FALSE(state->is_final());
+      EXPECT_EQ(core::next_state_name(*state, history[i].outcome),
+                history[i + 1].state);
+      // The outcome under healthy metrics is the precomputed one.
+      EXPECT_DOUBLE_EQ(history[i].outcome,
+                       generated.healthy_outcome.at(history[i].state));
+      // Visits never overlap and times are monotone.
+      EXPECT_LE(history[i].entered, history[i].exited);
+      EXPECT_LE(history[i].exited, history[i + 1].entered);
+    }
+    const core::StateDef* last =
+        generated.def.find_state(history.back().state);
+    ASSERT_NE(last, nullptr);
+    EXPECT_TRUE(last->is_final());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomStrategySweep,
+                         testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+// ---------------------------------------------------------------------------
+// delta is total and monotone for random threshold vectors
+
+TEST(DeltaProperty, TotalAndMonotone) {
+  util::Rng rng(99);
+  for (int round = 0; round < 200; ++round) {
+    core::StateDef state;
+    const int n = static_cast<int>(rng.uniform_int(0, 6));
+    double t = rng.uniform() * 10.0 - 5.0;
+    for (int i = 0; i < n; ++i) {
+      state.thresholds.push_back(t);
+      t += 0.1 + rng.uniform() * 5.0;
+    }
+    for (int i = 0; i <= n; ++i) {
+      state.transitions.push_back("t" + std::to_string(i));
+    }
+    int last_index = -1;
+    for (double e = -10.0; e <= t + 10.0; e += 0.25) {
+      const std::string& next = core::next_state_name(state, e);
+      const int index = std::stoi(next.substr(1));
+      EXPECT_GE(index, 0);
+      EXPECT_LE(index, n);
+      EXPECT_GE(index, last_index);  // monotone in e
+      last_index = index;
+    }
+    EXPECT_EQ(last_index, n);  // the top range is reached
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Proxy split distribution for random percentage vectors
+
+TEST(ProxySplitProperty, RandomSplitsConverge) {
+  util::Rng rng(7);
+  for (int round = 0; round < 10; ++round) {
+    const int n_backends = static_cast<int>(rng.uniform_int(2, 5));
+    std::vector<double> weights;
+    double total = 0.0;
+    for (int i = 0; i < n_backends; ++i) {
+      weights.push_back(rng.uniform() + 0.05);
+      total += weights.back();
+    }
+    proxy::ProxyConfig config;
+    config.service = "svc";
+    for (int i = 0; i < n_backends; ++i) {
+      config.backends.push_back(proxy::BackendTarget{
+          "v" + std::to_string(i), "h", static_cast<std::uint16_t>(i + 1),
+          weights[static_cast<size_t>(i)] / total * 100.0, "", ""});
+    }
+    http::Request request;
+    std::vector<int> hits(static_cast<size_t>(n_backends), 0);
+    constexpr int kTrials = 30000;
+    for (int i = 0; i < kTrials; ++i) {
+      ++hits[proxy::BifrostProxy::decide_backend(config, request, "", {},
+                                                 rng)];
+    }
+    for (int i = 0; i < n_backends; ++i) {
+      const double expected =
+          config.backends[static_cast<size_t>(i)].percent / 100.0;
+      const double observed =
+          hits[static_cast<size_t>(i)] / static_cast<double>(kTrials);
+      EXPECT_NEAR(observed, expected, 0.02)
+          << "round " << round << " backend " << i;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Analysis agrees with Monte-Carlo enactment
+
+TEST(AnalysisProperty, AbsorptionMatchesMonteCarlo) {
+  // canary retries itself with probability p_loop, rolls back with
+  // p_roll, succeeds otherwise — drive the real engine with metrics
+  // that realize those probabilities and compare frequencies.
+  util::Rng rng(21);
+  const double p_roll = 0.3;
+  const double p_success = 0.7;
+
+  core::StrategyDef strategy;
+  strategy.name = "mc";
+  strategy.initial_state = "canary";
+  strategy.providers["prometheus"] = core::ProviderConfig{"h", 1};
+  core::StateDef canary;
+  canary.name = "canary";
+  core::CheckDef check;
+  check.name = "c";
+  check.conditions.push_back(core::MetricCondition{
+      "prometheus", "c", "coin", core::Validator::parse("<1").value(), true});
+  check.interval = 1s;
+  check.executions = 1;
+  check.thresholds = {0.5};
+  check.outputs = {0, 1};
+  canary.checks.push_back(check);
+  canary.thresholds = {0.5};
+  canary.transitions = {"rollback", "done"};
+  strategy.states.push_back(canary);
+  core::StateDef done;
+  done.name = "done";
+  done.final_kind = core::FinalKind::kSuccess;
+  strategy.states.push_back(done);
+  core::StateDef rollback;
+  rollback.name = "rollback";
+  rollback.final_kind = core::FinalKind::kRollback;
+  strategy.states.push_back(rollback);
+
+  core::TransitionModel model;
+  model["canary"].transition_probability = {p_roll, p_success};
+  const auto analysis = core::analyze(strategy, model);
+  ASSERT_TRUE(analysis.ok());
+
+  class CoinMetrics final : public engine::MetricsClient {
+   public:
+    explicit CoinMetrics(util::Rng& rng, double p_pass)
+        : rng_(rng), p_pass_(p_pass) {}
+    util::Result<std::optional<double>> query(const core::ProviderConfig&,
+                                              const std::string&) override {
+      return std::optional<double>{rng_.bernoulli(p_pass_) ? 0.0 : 10.0};
+    }
+    util::Rng& rng_;
+    double p_pass_;
+  };
+
+  int successes = 0;
+  constexpr int kRuns = 2000;
+  NullProxies proxies;
+  CoinMetrics metrics(rng, p_success);
+  for (int run = 0; run < kRuns; ++run) {
+    runtime::ManualClock clock;
+    engine::StrategyExecution execution("mc", clock, metrics, proxies,
+                                        strategy, nullptr);
+    execution.start();
+    clock.advance_by(10s);
+    successes +=
+        execution.status() == engine::ExecutionStatus::kSucceeded ? 1 : 0;
+  }
+  EXPECT_NEAR(successes / static_cast<double>(kRuns),
+              analysis.value().success_probability, 0.03);
+}
+
+}  // namespace
+}  // namespace bifrost

@@ -1,0 +1,506 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "http/client.hpp"
+#include "http/server.hpp"
+#include "json/json.hpp"
+#include "proxy/proxy.hpp"
+
+namespace bifrost::proxy {
+namespace {
+
+using namespace std::chrono_literals;
+
+// ---------------------------------------------------------------------------
+// ProxyConfig
+
+ProxyConfig two_way_config(double stable_percent = 50.0) {
+  ProxyConfig config;
+  config.service = "search";
+  config.backends = {
+      BackendTarget{"stable", "127.0.0.1", 8001, stable_percent, "", ""},
+      BackendTarget{"canary", "127.0.0.1", 8002, 100.0 - stable_percent, "",
+                    ""},
+  };
+  return config;
+}
+
+TEST(ProxyConfig, JsonRoundTrip) {
+  ProxyConfig config = two_way_config(95.0);
+  config.sticky = true;
+  config.shadows = {ShadowTarget{"stable", "dark", "127.0.0.1", 8003, 40.0}};
+  const auto parsed = ProxyConfig::from_json(config.to_json());
+  ASSERT_TRUE(parsed.ok()) << parsed.error_message();
+  const ProxyConfig& again = parsed.value();
+  EXPECT_EQ(again.service, "search");
+  EXPECT_TRUE(again.sticky);
+  ASSERT_EQ(again.backends.size(), 2u);
+  EXPECT_EQ(again.backends[0].version, "stable");
+  EXPECT_DOUBLE_EQ(again.backends[0].percent, 95.0);
+  ASSERT_EQ(again.shadows.size(), 1u);
+  EXPECT_EQ(again.shadows[0].target_version, "dark");
+  EXPECT_DOUBLE_EQ(again.shadows[0].percent, 40.0);
+}
+
+TEST(ProxyConfig, HeaderModeRoundTrip) {
+  ProxyConfig config;
+  config.service = "product";
+  config.mode = core::RoutingMode::kHeader;
+  config.backends = {
+      BackendTarget{"a", "127.0.0.1", 1001, 0.0, "X-Group", "A"},
+      BackendTarget{"b", "127.0.0.1", 1002, 0.0, "X-Group", "B"},
+  };
+  const auto parsed = ProxyConfig::from_json(config.to_json());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().mode, core::RoutingMode::kHeader);
+  EXPECT_EQ(parsed.value().backends[1].match_value, "B");
+}
+
+TEST(ProxyConfig, ValidateRejectsBadConfigs) {
+  ProxyConfig empty;
+  empty.service = "s";
+  EXPECT_FALSE(empty.validate().ok());
+
+  ProxyConfig bad_sum = two_way_config(80.0);
+  bad_sum.backends[1].percent = 30.0;
+  EXPECT_FALSE(bad_sum.validate().ok());
+
+  ProxyConfig no_endpoint = two_way_config();
+  no_endpoint.backends[0].port = 0;
+  EXPECT_FALSE(no_endpoint.validate().ok());
+
+  ProxyConfig bad_shadow = two_way_config();
+  bad_shadow.shadows = {ShadowTarget{"stable", "x", "127.0.0.1", 1, 150.0}};
+  EXPECT_FALSE(bad_shadow.validate().ok());
+}
+
+TEST(ProxyConfig, FromJsonRejectsUnknownMode) {
+  auto doc = two_way_config().to_json();
+  doc.as_object()["mode"] = "telepathy";
+  EXPECT_FALSE(ProxyConfig::from_json(doc).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Routing decision (pure function)
+
+TEST(DecideBackend, SingleBackendShortCircuit) {
+  ProxyConfig config;
+  config.service = "s";
+  config.backends = {BackendTarget{"only", "h", 1, 100.0, "", ""}};
+  http::Request req;
+  util::Rng rng(1);
+  EXPECT_EQ(BifrostProxy::decide_backend(config, req, "", {}, rng), 0u);
+}
+
+TEST(DecideBackend, PercentageSplitConverges) {
+  const ProxyConfig config = two_way_config(80.0);
+  http::Request req;
+  util::Rng rng(42);
+  int stable = 0;
+  constexpr int kTrials = 20000;
+  for (int i = 0; i < kTrials; ++i) {
+    if (BifrostProxy::decide_backend(config, req, "", {}, rng) == 0) ++stable;
+  }
+  EXPECT_NEAR(stable / static_cast<double>(kTrials), 0.8, 0.02);
+}
+
+TEST(DecideBackend, ZeroPercentNeverChosen) {
+  const ProxyConfig config = two_way_config(100.0);
+  http::Request req;
+  util::Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(BifrostProxy::decide_backend(config, req, "", {}, rng), 0u);
+  }
+}
+
+TEST(DecideBackend, StickyHitOverridesRandom) {
+  ProxyConfig config = two_way_config(100.0);  // random would pick stable
+  config.sticky = true;
+  http::Request req;
+  util::Rng rng(1);
+  const std::unordered_map<std::string, std::string> sticky{
+      {"session-1", "canary"}};
+  EXPECT_EQ(
+      BifrostProxy::decide_backend(config, req, "session-1", sticky, rng),
+      1u);
+}
+
+TEST(DecideBackend, StickyMissFallsThrough) {
+  ProxyConfig config = two_way_config(100.0);
+  config.sticky = true;
+  http::Request req;
+  util::Rng rng(1);
+  // Assigned version no longer among backends -> fresh decision.
+  const std::unordered_map<std::string, std::string> sticky{
+      {"session-1", "retired-version"}};
+  EXPECT_EQ(
+      BifrostProxy::decide_backend(config, req, "session-1", sticky, rng),
+      0u);
+}
+
+TEST(DecideBackend, HeaderMatchSelectsBackend) {
+  ProxyConfig config;
+  config.service = "product";
+  config.mode = core::RoutingMode::kHeader;
+  config.backends = {
+      BackendTarget{"default", "h", 1, 0.0, "", ""},
+      BackendTarget{"b", "h", 2, 0.0, "X-Group", "B"},
+  };
+  util::Rng rng(1);
+  http::Request req;
+  req.headers.set("X-Group", "B");
+  EXPECT_EQ(BifrostProxy::decide_backend(config, req, "", {}, rng), 1u);
+  req.headers.set("X-Group", "C");
+  EXPECT_EQ(BifrostProxy::decide_backend(config, req, "", {}, rng), 0u);
+  http::Request no_header;
+  EXPECT_EQ(BifrostProxy::decide_backend(config, no_header, "", {}, rng), 0u);
+}
+
+TEST(DecideBackend, ExperimentFilterScopesPopulation) {
+  // Only X-Country: US requests join the 50/50 split; everyone else is
+  // routed to the stable default.
+  ProxyConfig config = two_way_config(50.0);
+  config.filter_header = "X-Country";
+  config.filter_value = "US";
+  config.default_version = "stable";
+  ASSERT_TRUE(config.validate().ok());
+  util::Rng rng(11);
+
+  http::Request non_us;
+  non_us.headers.set("X-Country", "CH");
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(BifrostProxy::decide_backend(config, non_us, "", {}, rng), 0u);
+  }
+  http::Request no_header;
+  EXPECT_EQ(BifrostProxy::decide_backend(config, no_header, "", {}, rng), 0u);
+
+  http::Request us;
+  us.headers.set("X-Country", "US");
+  int canary = 0;
+  for (int i = 0; i < 2000; ++i) {
+    canary +=
+        BifrostProxy::decide_backend(config, us, "", {}, rng) == 1 ? 1 : 0;
+  }
+  EXPECT_NEAR(canary / 2000.0, 0.5, 0.05);
+}
+
+TEST(ProxyConfig, FilterRequiresKnownDefault) {
+  ProxyConfig config = two_way_config(50.0);
+  config.filter_header = "X-Country";
+  config.filter_value = "US";
+  config.default_version = "ghost";
+  EXPECT_FALSE(config.validate().ok());
+  config.default_version = "stable";
+  EXPECT_TRUE(config.validate().ok());
+}
+
+TEST(ProxyConfig, FilterJsonRoundTrip) {
+  ProxyConfig config = two_way_config(50.0);
+  config.filter_header = "X-Country";
+  config.filter_value = "US";
+  config.default_version = "stable";
+  const auto parsed = ProxyConfig::from_json(config.to_json());
+  ASSERT_TRUE(parsed.ok()) << parsed.error_message();
+  EXPECT_EQ(parsed.value().filter_header, "X-Country");
+  EXPECT_EQ(parsed.value().filter_value, "US");
+  EXPECT_EQ(parsed.value().default_version, "stable");
+}
+
+// ---------------------------------------------------------------------------
+// Live proxy over sockets
+
+class LiveProxyTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    for (int i = 0; i < 2; ++i) {
+      http::HttpServer::Options options;
+      options.worker_threads = 4;
+      const std::string tag = i == 0 ? "stable" : "canary";
+      backends_.push_back(std::make_unique<http::HttpServer>(
+          options, [this, tag, i](const http::Request& req) {
+            counts_[i].fetch_add(1);
+            if (req.headers.has(kShadowHeader)) shadowed_[i].fetch_add(1);
+            return http::Response::text(200, tag);
+          }));
+      backends_.back()->start();
+    }
+  }
+
+  ProxyConfig config_with(double stable_percent, bool sticky = false) {
+    ProxyConfig config;
+    config.service = "search";
+    config.sticky = sticky;
+    config.backends = {
+        BackendTarget{"stable", "127.0.0.1", backends_[0]->port(),
+                      stable_percent, "", ""},
+        BackendTarget{"canary", "127.0.0.1", backends_[1]->port(),
+                      100.0 - stable_percent, "", ""},
+    };
+    return config;
+  }
+
+  std::unique_ptr<BifrostProxy> make_proxy(ProxyConfig config) {
+    BifrostProxy::Options options;
+    options.rng_seed = 99;
+    auto proxy = std::make_unique<BifrostProxy>(options, std::move(config));
+    proxy->start();
+    return proxy;
+  }
+
+  std::vector<std::unique_ptr<http::HttpServer>> backends_;
+  std::atomic<int> counts_[2] = {{0}, {0}};
+  std::atomic<int> shadowed_[2] = {{0}, {0}};
+  http::HttpClient client_;
+};
+
+TEST_F(LiveProxyTest, ForwardsAndTagsVersionHeader) {
+  auto proxy = make_proxy(config_with(100.0));
+  auto res = client_.get("http://127.0.0.1:" +
+                         std::to_string(proxy->data_port()) + "/x");
+  ASSERT_TRUE(res.ok()) << res.error_message();
+  EXPECT_EQ(res.value().status, 200);
+  EXPECT_EQ(res.value().body, "stable");
+  EXPECT_EQ(res.value().headers.get(kVersionHeader), "stable");
+  EXPECT_EQ(proxy->requests_for("stable"), 1u);
+}
+
+TEST_F(LiveProxyTest, SplitsTrafficRoughlyByPercent) {
+  auto proxy = make_proxy(config_with(50.0));
+  const std::string url =
+      "http://127.0.0.1:" + std::to_string(proxy->data_port()) + "/";
+  for (int i = 0; i < 200; ++i) ASSERT_TRUE(client_.get(url).ok());
+  EXPECT_GT(counts_[0].load(), 50);
+  EXPECT_GT(counts_[1].load(), 50);
+  EXPECT_EQ(counts_[0].load() + counts_[1].load(), 200);
+}
+
+TEST_F(LiveProxyTest, StickySessionPinsClient) {
+  auto proxy = make_proxy(config_with(50.0, /*sticky=*/true));
+  const std::string url =
+      "http://127.0.0.1:" + std::to_string(proxy->data_port()) + "/";
+  auto first = client_.get(url);
+  ASSERT_TRUE(first.ok());
+  const auto set_cookie = first.value().headers.get("Set-Cookie");
+  ASSERT_TRUE(set_cookie.has_value());
+  const std::string pinned = first.value().body;
+
+  // Replay the cookie: every subsequent request lands on the same
+  // version (paper: sticky sessions for A/B tests).
+  const std::string cookie = set_cookie->substr(0, set_cookie->find(';'));
+  for (int i = 0; i < 30; ++i) {
+    http::Request req;
+    req.target = "/";
+    req.headers.set("Cookie", cookie);
+    auto res = client_.request(std::move(req), "127.0.0.1",
+                               proxy->data_port());
+    ASSERT_TRUE(res.ok());
+    EXPECT_EQ(res.value().body, pinned);
+    EXPECT_FALSE(res.value().headers.has("Set-Cookie"));  // no re-issue
+  }
+  EXPECT_EQ(proxy->sticky_sessions(), 1u);
+}
+
+TEST_F(LiveProxyTest, NonStickyIssuesNoCookie) {
+  auto proxy = make_proxy(config_with(50.0, /*sticky=*/false));
+  auto res = client_.get("http://127.0.0.1:" +
+                         std::to_string(proxy->data_port()) + "/");
+  ASSERT_TRUE(res.ok());
+  EXPECT_FALSE(res.value().headers.has("Set-Cookie"));
+}
+
+TEST_F(LiveProxyTest, ShadowDuplicatesTraffic) {
+  ProxyConfig config = config_with(100.0);
+  config.shadows = {ShadowTarget{"stable", "canary", "127.0.0.1",
+                                 backends_[1]->port(), 100.0}};
+  auto proxy = make_proxy(std::move(config));
+  const std::string url =
+      "http://127.0.0.1:" + std::to_string(proxy->data_port()) + "/";
+  for (int i = 0; i < 20; ++i) ASSERT_TRUE(client_.get(url).ok());
+  // Shadow fire-and-forget: wait briefly for the async duplicates.
+  for (int i = 0; i < 100 && shadowed_[1].load() < 20; ++i) {
+    std::this_thread::sleep_for(10ms);
+  }
+  EXPECT_EQ(counts_[0].load(), 20);
+  EXPECT_EQ(shadowed_[1].load(), 20);  // all duplicates marked
+  EXPECT_EQ(proxy->shadow_requests(), 20u);
+}
+
+TEST_F(LiveProxyTest, PartialShadowSamplesRoughlyPercent) {
+  ProxyConfig config = config_with(100.0);
+  config.shadows = {ShadowTarget{"stable", "canary", "127.0.0.1",
+                                 backends_[1]->port(), 30.0}};
+  auto proxy = make_proxy(std::move(config));
+  const std::string url =
+      "http://127.0.0.1:" + std::to_string(proxy->data_port()) + "/";
+  constexpr int kRequests = 400;
+  for (int i = 0; i < kRequests; ++i) ASSERT_TRUE(client_.get(url).ok());
+  // Allow async duplicates to drain.
+  std::this_thread::sleep_for(300ms);
+  const double ratio =
+      static_cast<double>(proxy->shadow_requests()) / kRequests;
+  EXPECT_NEAR(ratio, 0.30, 0.08);
+}
+
+TEST_F(LiveProxyTest, ShadowResponsesNeverReachClient) {
+  ProxyConfig config = config_with(100.0);
+  config.shadows = {ShadowTarget{"stable", "canary", "127.0.0.1",
+                                 backends_[1]->port(), 100.0}};
+  auto proxy = make_proxy(std::move(config));
+  auto res = client_.get("http://127.0.0.1:" +
+                         std::to_string(proxy->data_port()) + "/");
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res.value().body, "stable");  // never the shadow's response
+}
+
+TEST_F(LiveProxyTest, DeadBackendYields502) {
+  ProxyConfig config;
+  config.service = "search";
+  config.backends = {BackendTarget{"gone", "127.0.0.1", 1, 100.0, "", ""}};
+  auto proxy = make_proxy(std::move(config));
+  auto res = client_.get("http://127.0.0.1:" +
+                         std::to_string(proxy->data_port()) + "/");
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res.value().status, 502);
+  EXPECT_EQ(proxy->backend_errors(), 1u);
+}
+
+TEST_F(LiveProxyTest, AdminConfigGetAndPut) {
+  auto proxy = make_proxy(config_with(100.0));
+  const std::string admin =
+      "http://127.0.0.1:" + std::to_string(proxy->admin_port());
+
+  auto get = client_.get(admin + "/admin/config");
+  ASSERT_TRUE(get.ok());
+  EXPECT_EQ(get.value().status, 200);
+  EXPECT_NE(get.value().body.find("stable"), std::string::npos);
+
+  auto put = client_.put(admin + "/admin/config",
+                         config_with(0.0).to_json().dump(),
+                         "application/json");
+  ASSERT_TRUE(put.ok());
+  EXPECT_EQ(put.value().status, 200);
+
+  // All traffic now goes to canary.
+  auto res = client_.get("http://127.0.0.1:" +
+                         std::to_string(proxy->data_port()) + "/");
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res.value().body, "canary");
+}
+
+TEST_F(LiveProxyTest, AdminRejectsInvalidConfig) {
+  auto proxy = make_proxy(config_with(100.0));
+  const std::string admin =
+      "http://127.0.0.1:" + std::to_string(proxy->admin_port());
+  EXPECT_EQ(client_.put(admin + "/admin/config", "not json", "text/plain")
+                .value()
+                .status,
+            400);
+  EXPECT_EQ(client_.put(admin + "/admin/config", R"({"backends":[]})",
+                        "application/json")
+                .value()
+                .status,
+            400);
+  // Old config still active.
+  auto res = client_.get("http://127.0.0.1:" +
+                         std::to_string(proxy->data_port()) + "/");
+  EXPECT_EQ(res.value().body, "stable");
+}
+
+TEST_F(LiveProxyTest, AdminStatsAndMetrics) {
+  auto proxy = make_proxy(config_with(100.0));
+  const std::string admin =
+      "http://127.0.0.1:" + std::to_string(proxy->admin_port());
+  ASSERT_TRUE(client_
+                  .get("http://127.0.0.1:" +
+                       std::to_string(proxy->data_port()) + "/")
+                  .ok());
+  auto stats = client_.get(admin + "/admin/stats");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_NE(stats.value().body.find("\"configUpdates\""), std::string::npos);
+  auto metrics = client_.get(admin + "/metrics");
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_NE(metrics.value().body.find(
+                "bifrost_proxy_requests_total{version=\"stable\"} 1"),
+            std::string::npos);
+  EXPECT_EQ(client_.get(admin + "/healthz").value().status, 200);
+}
+
+TEST_F(LiveProxyTest, AdminSessionsExposeUserMappings) {
+  auto proxy = make_proxy(config_with(50.0, /*sticky=*/true));
+  const std::string url =
+      "http://127.0.0.1:" + std::to_string(proxy->data_port()) + "/";
+  // Three distinct clients (no cookie replay) -> three mappings.
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(client_.get(url).ok());
+  auto res = client_.get("http://127.0.0.1:" +
+                         std::to_string(proxy->admin_port()) +
+                         "/admin/sessions");
+  ASSERT_TRUE(res.ok());
+  ASSERT_EQ(res.value().status, 200);
+  auto doc = json::parse(res.value().body);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_DOUBLE_EQ(doc.value().get_number("total"), 3.0);
+  const json::Value* mappings = doc.value().find("mappings");
+  ASSERT_NE(mappings, nullptr);
+  ASSERT_EQ(mappings->as_array().size(), 3u);
+  for (const auto& mapping : mappings->as_array()) {
+    EXPECT_TRUE(mapping.get_bool("sticky"));
+    const std::string version = mapping.get_string("version");
+    EXPECT_TRUE(version == "stable" || version == "canary");
+    EXPECT_FALSE(mapping.get_string("user").empty());
+  }
+}
+
+TEST_F(LiveProxyTest, LatencyStatsTrackRequests) {
+  auto proxy = make_proxy(config_with(100.0));
+  const std::string url =
+      "http://127.0.0.1:" + std::to_string(proxy->data_port()) + "/";
+  for (int i = 0; i < 25; ++i) ASSERT_TRUE(client_.get(url).ok());
+  const auto stats = proxy->latency_for("stable");
+  EXPECT_EQ(stats.count, 25u);
+  EXPECT_GT(stats.p50, 0.0);
+  EXPECT_LE(stats.p50, stats.p95);
+  EXPECT_LE(stats.p95, stats.p99);
+  EXPECT_EQ(proxy->latency_for("ghost").count, 0u);
+
+  // And the admin endpoint reports them.
+  auto res = client_.get("http://127.0.0.1:" +
+                         std::to_string(proxy->admin_port()) +
+                         "/admin/stats");
+  ASSERT_TRUE(res.ok());
+  EXPECT_NE(res.value().body.find("\"p95_ms\""), std::string::npos);
+  EXPECT_NE(res.value().body.find("\"stable\""), std::string::npos);
+}
+
+TEST_F(LiveProxyTest, ApplyRejectsInvalidSwapsAtomically) {
+  auto proxy = make_proxy(config_with(100.0));
+  ProxyConfig bad;
+  bad.service = "search";
+  EXPECT_FALSE(proxy->apply(bad).ok());
+  EXPECT_EQ(proxy->current_config().backends.size(), 2u);
+}
+
+TEST_F(LiveProxyTest, EmulationCostAddsLatency) {
+  BifrostProxy::Options options;
+  options.emulation_cost = 30ms;
+  options.rng_seed = 1;
+  BifrostProxy proxy(options, config_with(100.0));
+  proxy.start();
+  const auto start = std::chrono::steady_clock::now();
+  auto res = client_.get("http://127.0.0.1:" +
+                         std::to_string(proxy.data_port()) + "/");
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  ASSERT_TRUE(res.ok());
+  EXPECT_GE(elapsed, 30ms);
+}
+
+TEST(ProxyLifecycle, RejectsInvalidInitialConfig) {
+  ProxyConfig invalid;
+  invalid.service = "s";
+  EXPECT_THROW(BifrostProxy(BifrostProxy::Options{}, invalid),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bifrost::proxy

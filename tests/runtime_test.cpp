@@ -1,0 +1,204 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+
+#include "runtime/event_loop.hpp"
+#include "runtime/manual_clock.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace bifrost::runtime {
+namespace {
+
+using namespace std::chrono_literals;
+
+// ---------------------------------------------------------------------------
+// ManualClock
+
+TEST(ManualClock, FiresDueTimersInOrder) {
+  ManualClock clock;
+  std::vector<int> order;
+  clock.schedule_at(Time(10ms), [&] { order.push_back(2); });
+  clock.schedule_at(Time(5ms), [&] { order.push_back(1); });
+  clock.schedule_at(Time(20ms), [&] { order.push_back(3); });
+  clock.advance_to(Time(15ms));
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  clock.advance_to(Time(25ms));
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(ManualClock, AdvancesTimeWhileFiring) {
+  ManualClock clock;
+  Time seen{0};
+  clock.schedule_at(Time(7ms), [&] { seen = clock.now(); });
+  clock.advance_to(Time(100ms));
+  EXPECT_EQ(seen, Time(7ms));
+  EXPECT_EQ(clock.now(), Time(100ms));
+}
+
+TEST(ManualClock, ChainedTimersFireWithinOneAdvance) {
+  ManualClock clock;
+  int fired = 0;
+  std::function<void()> rearm = [&] {
+    ++fired;
+    if (fired < 5) clock.schedule_after(Duration(10ms), rearm);
+  };
+  clock.schedule_after(Duration(10ms), rearm);
+  clock.advance_to(Time(1s));
+  EXPECT_EQ(fired, 5);
+}
+
+TEST(ManualClock, CancelPreventsDelivery) {
+  ManualClock clock;
+  bool fired = false;
+  const TimerId id = clock.schedule_at(Time(5ms), [&] { fired = true; });
+  clock.cancel(id);
+  clock.advance_to(Time(10ms));
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(clock.pending(), 0u);
+}
+
+TEST(ManualClock, PastSchedulesClampToNow) {
+  ManualClock clock;
+  clock.advance_to(Time(100ms));
+  bool fired = false;
+  clock.schedule_at(Time(1ms), [&] { fired = true; });
+  clock.advance_by(Duration(0ms));
+  EXPECT_TRUE(fired);
+}
+
+TEST(ManualClock, StepFiresExactlyOne) {
+  ManualClock clock;
+  int fired = 0;
+  clock.schedule_at(Time(1ms), [&] { ++fired; });
+  clock.schedule_at(Time(2ms), [&] { ++fired; });
+  EXPECT_TRUE(clock.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(clock.step());
+  EXPECT_EQ(fired, 2);
+  EXPECT_FALSE(clock.step());
+}
+
+// ---------------------------------------------------------------------------
+// EventLoop (real time; keep delays tiny)
+
+TEST(EventLoop, RunsScheduledTask) {
+  EventLoop loop;
+  loop.start();
+  std::atomic<bool> fired{false};
+  loop.schedule_after(Duration(5ms), [&] { fired = true; });
+  for (int i = 0; i < 200 && !fired; ++i) {
+    std::this_thread::sleep_for(5ms);
+  }
+  EXPECT_TRUE(fired);
+  loop.stop();
+}
+
+TEST(EventLoop, TasksRunInDueOrder) {
+  EventLoop loop;
+  loop.start();
+  std::mutex mutex;
+  std::vector<int> order;
+  std::atomic<int> done{0};
+  loop.schedule_after(Duration(30ms), [&] {
+    const std::lock_guard<std::mutex> lock(mutex);
+    order.push_back(2);
+    ++done;
+  });
+  loop.schedule_after(Duration(5ms), [&] {
+    const std::lock_guard<std::mutex> lock(mutex);
+    order.push_back(1);
+    ++done;
+  });
+  for (int i = 0; i < 200 && done < 2; ++i) std::this_thread::sleep_for(5ms);
+  loop.stop();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(EventLoop, CancelDropsTask) {
+  EventLoop loop;
+  loop.start();
+  std::atomic<bool> fired{false};
+  const TimerId id = loop.schedule_after(Duration(50ms), [&] { fired = true; });
+  loop.cancel(id);
+  std::this_thread::sleep_for(120ms);
+  EXPECT_FALSE(fired);
+  loop.stop();
+}
+
+TEST(EventLoop, StopIsIdempotentAndDropsPending) {
+  EventLoop loop;
+  loop.start();
+  loop.schedule_after(Duration(10s), [] {});
+  loop.stop();
+  loop.stop();
+  EXPECT_EQ(loop.pending(), 0u);
+}
+
+TEST(EventLoop, SurvivesThrowingTask) {
+  EventLoop loop;
+  loop.start();
+  std::atomic<bool> second{false};
+  loop.schedule_after(Duration(1ms),
+                      [] { throw std::runtime_error("task boom"); });
+  loop.schedule_after(Duration(10ms), [&] { second = true; });
+  for (int i = 0; i < 200 && !second; ++i) std::this_thread::sleep_for(5ms);
+  EXPECT_TRUE(second);
+  loop.stop();
+}
+
+TEST(EventLoop, NowIsMonotonic) {
+  EventLoop loop;
+  const Time a = loop.now();
+  std::this_thread::sleep_for(2ms);
+  const Time b = loop.now();
+  EXPECT_GT(b, a);
+}
+
+// ---------------------------------------------------------------------------
+// ThreadPool
+
+TEST(ThreadPool, ExecutesAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(pool.submit([&] { count.fetch_add(1); }));
+  }
+  pool.shutdown();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, RejectsAfterShutdown) {
+  ThreadPool pool(2);
+  pool.shutdown();
+  EXPECT_FALSE(pool.submit([] {}));
+}
+
+TEST(ThreadPool, RejectsZeroThreads) {
+  EXPECT_THROW(ThreadPool(0), std::invalid_argument);
+}
+
+TEST(ThreadPool, DrainsQueueOnShutdown) {
+  ThreadPool pool(1);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 20; ++i) {
+    pool.submit([&] {
+      std::this_thread::sleep_for(1ms);
+      count.fetch_add(1);
+    });
+  }
+  pool.shutdown();
+  EXPECT_EQ(count.load(), 20);
+}
+
+TEST(ThreadPool, SurvivesThrowingTask) {
+  ThreadPool pool(2);
+  std::atomic<bool> later{false};
+  pool.submit([] { throw std::runtime_error("pool boom"); });
+  pool.submit([&] { later = true; });
+  pool.shutdown();
+  EXPECT_TRUE(later);
+}
+
+}  // namespace
+}  // namespace bifrost::runtime

@@ -1,0 +1,280 @@
+// Discrete-event simulation semantics: virtual time, single-core
+// serialization, utilization accounting — the mechanism behind the
+// paper's Figures 7-10 reproduction.
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "sim/sim_env.hpp"
+#include "sim/simulation.hpp"
+
+namespace bifrost::sim {
+namespace {
+
+using namespace std::chrono_literals;
+
+Simulation::Options no_overhead() {
+  Simulation::Options options;
+  options.dispatch_overhead = 0ns;
+  return options;
+}
+
+TEST(Simulation, RunsEventsInVirtualTime) {
+  Simulation sim(no_overhead());
+  std::vector<int> order;
+  sim.schedule_at(runtime::Time(20ms), [&] { order.push_back(2); });
+  sim.schedule_at(runtime::Time(10ms), [&] { order.push_back(1); });
+  EXPECT_EQ(sim.run_all(), 2u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(sim.now(), runtime::Time(20ms));
+}
+
+TEST(Simulation, ConsumeAdvancesClockAndBusy) {
+  Simulation sim(no_overhead());
+  sim.schedule_at(runtime::Time(0ms), [&] { sim.consume(50ms); });
+  sim.run_all();
+  EXPECT_EQ(sim.now(), runtime::Time(50ms));
+  EXPECT_EQ(sim.busy_time(), 50ms);
+}
+
+TEST(Simulation, BusyCoreDelaysNextCallback) {
+  // Two tasks due at t=0; the second starts only when the core frees.
+  Simulation sim(no_overhead());
+  runtime::Time second_started{0};
+  sim.schedule_at(runtime::Time(0ms), [&] { sim.consume(30ms); });
+  sim.schedule_at(runtime::Time(0ms), [&] { second_started = sim.now(); });
+  sim.run_all();
+  EXPECT_EQ(second_started, runtime::Time(30ms));
+}
+
+TEST(Simulation, IdleGapsSkipInstantly) {
+  Simulation sim(no_overhead());
+  sim.schedule_at(runtime::Time(std::chrono::hours(10)), [] {});
+  sim.run_all();
+  EXPECT_EQ(sim.now(), runtime::Time(std::chrono::hours(10)));
+  EXPECT_EQ(sim.busy_time(), 0ns);
+}
+
+TEST(Simulation, TwoCoresRunSideBySide) {
+  Simulation::Options options = no_overhead();
+  options.cores = 2;
+  Simulation sim(options);
+  runtime::Time a_started{0}, b_started{0};
+  sim.schedule_at(runtime::Time(0ms), [&] {
+    a_started = sim.now();
+    sim.consume(30ms);
+  });
+  sim.schedule_at(runtime::Time(0ms), [&] {
+    b_started = sim.now();
+    sim.consume(30ms);
+  });
+  sim.run_all();
+  EXPECT_EQ(a_started, runtime::Time(0ms));
+  EXPECT_EQ(b_started, runtime::Time(0ms));  // second core picked it up
+}
+
+TEST(Simulation, CancelSkipsCallback) {
+  Simulation sim(no_overhead());
+  bool fired = false;
+  const auto id = sim.schedule_at(runtime::Time(5ms), [&] { fired = true; });
+  sim.cancel(id);
+  sim.run_all();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulation, RunUntilStopsAtHorizon) {
+  Simulation sim(no_overhead());
+  int fired = 0;
+  sim.schedule_at(runtime::Time(10ms), [&] { ++fired; });
+  sim.schedule_at(runtime::Time(30ms), [&] { ++fired; });
+  EXPECT_EQ(sim.run_until(runtime::Time(20ms)), 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.pending(), 1u);
+  EXPECT_EQ(sim.now(), runtime::Time(20ms));
+  sim.run_all();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulation, ChainedTimersAccumulateProcessingDelay) {
+  // Node-style re-arm after completion: with 10 ms work per tick and a
+  // 100 ms interval, the k-th tick fires at k*(100+10) ms.
+  Simulation sim(no_overhead());
+  std::vector<runtime::Time> fire_times;
+  std::function<void()> tick = [&] {
+    fire_times.push_back(sim.now());
+    sim.consume(10ms);
+    if (fire_times.size() < 3) sim.schedule_after(100ms, tick);
+  };
+  sim.schedule_after(100ms, tick);
+  sim.run_all();
+  ASSERT_EQ(fire_times.size(), 3u);
+  EXPECT_EQ(fire_times[0], runtime::Time(100ms));
+  EXPECT_EQ(fire_times[1], runtime::Time(210ms));
+  EXPECT_EQ(fire_times[2], runtime::Time(320ms));
+}
+
+TEST(Simulation, DispatchOverheadCharged) {
+  Simulation::Options options;
+  options.dispatch_overhead = 2ms;
+  Simulation sim(options);
+  sim.schedule_at(runtime::Time(0ms), [] {});
+  sim.schedule_at(runtime::Time(0ms), [] {});
+  sim.run_all();
+  EXPECT_EQ(sim.busy_time(), 4ms);
+  EXPECT_EQ(sim.callbacks_run(), 2u);
+}
+
+TEST(Simulation, UtilizationSamplesPerWindow) {
+  Simulation::Options options = no_overhead();
+  options.sample_window = 1s;
+  Simulation sim(options);
+  // 500 ms of work in window 0, idle window 1, 250 ms in window 2.
+  sim.schedule_at(runtime::Time(0ms), [&] { sim.consume(500ms); });
+  sim.schedule_at(runtime::Time(2s), [&] { sim.consume(250ms); });
+  sim.run_all();
+  sim.run_until(runtime::Time(3s));
+  const auto samples = sim.utilization_samples();
+  ASSERT_EQ(samples.size(), 3u);
+  EXPECT_NEAR(samples[0], 0.5, 1e-9);
+  EXPECT_NEAR(samples[1], 0.0, 1e-9);
+  EXPECT_NEAR(samples[2], 0.25, 1e-9);
+}
+
+TEST(Simulation, BusySplitAcrossWindowBoundary) {
+  Simulation::Options options = no_overhead();
+  options.sample_window = 1s;
+  Simulation sim(options);
+  sim.schedule_at(runtime::Time(800ms), [&] { sim.consume(400ms); });
+  sim.run_all();
+  sim.run_until(runtime::Time(2s));
+  const auto samples = sim.utilization_samples();
+  ASSERT_GE(samples.size(), 2u);
+  EXPECT_NEAR(samples[0], 0.2, 1e-9);
+  EXPECT_NEAR(samples[1], 0.2, 1e-9);
+}
+
+TEST(Simulation, UtilizationWindowedSubrange) {
+  Simulation::Options options = no_overhead();
+  options.sample_window = 1s;
+  Simulation sim(options);
+  sim.schedule_at(runtime::Time(0s), [&] { sim.consume(1s); });
+  sim.run_all();
+  sim.run_until(runtime::Time(5s));
+  const auto subrange =
+      sim.utilization_samples(runtime::Time(1s), runtime::Time(4s));
+  ASSERT_EQ(subrange.size(), 3u);
+  EXPECT_NEAR(subrange[0], 0.0, 1e-9);
+}
+
+TEST(Simulation, RejectsZeroCores) {
+  Simulation::Options options;
+  options.cores = 0;
+  EXPECT_THROW(Simulation sim(options), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Simulated engine environment
+
+TEST(Simulation, WaitExternalAdvancesTimeWithoutBusy) {
+  Simulation sim(no_overhead());
+  runtime::Time second_started{0};
+  sim.schedule_at(runtime::Time(0ms), [&] {
+    sim.consume(10ms);
+    sim.wait_external(90ms);  // blocked on a provider
+  });
+  sim.schedule_at(runtime::Time(0ms), [&] { second_started = sim.now(); });
+  sim.run_all();
+  // The wait delays the next callback (run-to-completion engine)...
+  EXPECT_EQ(second_started, runtime::Time(100ms));
+  // ...but only the CPU work counts as busy.
+  EXPECT_EQ(sim.busy_time(), 10ms);
+}
+
+TEST(SimEnv, MetricsClientChargesCpu) {
+  Simulation sim(no_overhead());
+  SimMetricsClient::Costs costs;
+  costs.default_query = {7ms, 0ms};
+  SimMetricsClient client(sim, always_healthy(42.0), costs);
+  core::ProviderConfig provider{"sim", 0};
+  sim.schedule_at(runtime::Time(0ms), [&] {
+    auto healthy = client.query(provider, "response_time");
+    ASSERT_TRUE(healthy.ok());
+    EXPECT_DOUBLE_EQ(healthy.value().value(), 42.0);
+    auto errors = client.query(provider, "request_errors");
+    ASSERT_TRUE(errors.ok());
+    EXPECT_DOUBLE_EQ(errors.value().value(), 0.0);
+  });
+  sim.run_all();
+  EXPECT_EQ(sim.busy_time(), 14ms);
+  EXPECT_EQ(client.queries(), 2u);
+}
+
+TEST(SimEnv, MetricFnSeesVirtualTime) {
+  Simulation sim(no_overhead());
+  double seen = -1.0;
+  SimMetricsClient client(
+      sim,
+      [&seen](const std::string&, double t) -> std::optional<double> {
+        seen = t;
+        return 0.0;
+      });
+  core::ProviderConfig provider{"sim", 0};
+  sim.schedule_at(runtime::Time(30s),
+                  [&] { (void)client.query(provider, "m"); });
+  sim.run_all();
+  EXPECT_NEAR(seen, 30.0, 0.1);
+}
+
+TEST(SimEnv, PerProviderCostsApply) {
+  Simulation sim(no_overhead());
+  SimMetricsClient::Costs costs;
+  costs.default_query = {1ms, 0ms};
+  costs.per_provider["availability"] = {5ms, 20ms};
+  SimMetricsClient client(sim, always_healthy(0.0), costs);
+  sim.schedule_at(runtime::Time(0ms), [&] {
+    (void)client.query(core::ProviderConfig{"availability", 0}, "up");
+    (void)client.query(core::ProviderConfig{"prometheus", 0}, "m");
+  });
+  sim.run_all();
+  EXPECT_EQ(sim.busy_time(), 6ms);
+  EXPECT_EQ(sim.now(), runtime::Time(26ms));
+}
+
+TEST(SimEnv, ProxyControllerChargesAndRecords) {
+  Simulation sim(no_overhead());
+  SimProxyController::Costs costs;
+  costs.per_update = 3ms;
+  costs.update_wait = 0ms;
+  SimProxyController controller(sim, costs);
+  core::ServiceDef service;
+  service.name = "search";
+  proxy::ProxyConfig config;
+  config.service = "search";
+  config.backends.push_back(
+      proxy::BackendTarget{"stable", "h", 1, 100.0, "", ""});
+  sim.schedule_at(runtime::Time(0ms), [&] {
+    ASSERT_TRUE(controller.apply(service, config).ok());
+  });
+  sim.run_all();
+  EXPECT_EQ(sim.busy_time(), 3ms);
+  EXPECT_EQ(controller.updates(), 1u);
+  EXPECT_EQ(controller.last_config().service, "search");
+}
+
+TEST(SimEnv, ChargedListenerConsumesPerEvent) {
+  Simulation sim(no_overhead());
+  int forwarded = 0;
+  auto listener = charged_listener(
+      sim, 1ms, [&forwarded](const engine::StatusEvent&) { ++forwarded; });
+  sim.schedule_at(runtime::Time(0ms), [&] {
+    engine::StatusEvent event;
+    listener(event);
+    listener(event);
+  });
+  sim.run_all();
+  EXPECT_EQ(sim.busy_time(), 2ms);
+  EXPECT_EQ(forwarded, 2);
+}
+
+}  // namespace
+}  // namespace bifrost::sim

@@ -1,0 +1,284 @@
+#include <gtest/gtest.h>
+
+#include "yaml/yaml.hpp"
+
+namespace bifrost::yaml {
+namespace {
+
+Node must_parse(const std::string& text) {
+  auto r = parse(text);
+  EXPECT_TRUE(r.ok()) << r.error_message();
+  return std::move(r).value();
+}
+
+TEST(YamlScalars, PlainTypedAccessors) {
+  const Node root = must_parse("key: 42");
+  ASSERT_TRUE(root.find("key")->is_scalar());
+  const Node n = *root.find("key");
+  EXPECT_EQ(n.as_string(), "42");
+  EXPECT_EQ(n.as_int(), 42);
+  EXPECT_DOUBLE_EQ(n.as_double().value(), 42.0);
+  EXPECT_FALSE(n.as_bool().has_value());
+}
+
+TEST(YamlScalars, Booleans) {
+  const Node root = must_parse("a: true\nb: no\nc: ON\nd: x");
+  EXPECT_EQ(root.find("a")->as_bool(), true);
+  EXPECT_EQ(root.find("b")->as_bool(), false);
+  EXPECT_EQ(root.find("c")->as_bool(), true);
+  EXPECT_FALSE(root.find("d")->as_bool().has_value());
+}
+
+TEST(YamlScalars, QuotedStrings) {
+  const Node root = must_parse(
+      "single: 'has: colon and ''quote'''\n"
+      "double: \"tab\\there\"\n"
+      "hash: 'value # not comment'\n");
+  EXPECT_EQ(root.get_string("single"), "has: colon and 'quote'");
+  EXPECT_EQ(root.get_string("double"), "tab\there");
+  EXPECT_EQ(root.get_string("hash"), "value # not comment");
+}
+
+TEST(YamlScalars, NullValues) {
+  const Node root = must_parse("a: ~\nb: null\nc:");
+  EXPECT_TRUE(root.find("a")->is_null());
+  EXPECT_TRUE(root.find("b")->is_null());
+  EXPECT_TRUE(root.find("c")->is_null());
+}
+
+TEST(YamlComments, StrippedOutsideQuotes) {
+  const Node root = must_parse(
+      "# full line comment\n"
+      "key: value # trailing comment\n"
+      "other: 7\n");
+  EXPECT_EQ(root.get_string("key"), "value");
+  EXPECT_EQ(root.get_int("other", 0), 7);
+}
+
+TEST(YamlMapping, NestedBlocks) {
+  const Node root = must_parse(
+      "outer:\n"
+      "  inner:\n"
+      "    leaf: 1\n"
+      "  sibling: 2\n"
+      "after: 3\n");
+  const Node* outer = root.find("outer");
+  ASSERT_NE(outer, nullptr);
+  EXPECT_EQ(outer->find("inner")->get_int("leaf", 0), 1);
+  EXPECT_EQ(outer->get_int("sibling", 0), 2);
+  EXPECT_EQ(root.get_int("after", 0), 3);
+}
+
+TEST(YamlMapping, PreservesEntryOrder) {
+  const Node root = must_parse("z: 1\na: 2\nm: 3");
+  ASSERT_EQ(root.entries().size(), 3u);
+  EXPECT_EQ(root.entries()[0].first, "z");
+  EXPECT_EQ(root.entries()[1].first, "a");
+  EXPECT_EQ(root.entries()[2].first, "m");
+}
+
+TEST(YamlSequence, ScalarItems) {
+  const Node root = must_parse("list:\n  - a\n  - b\n  - c\n");
+  const Node* list = root.find("list");
+  ASSERT_NE(list, nullptr);
+  ASSERT_TRUE(list->is_sequence());
+  ASSERT_EQ(list->items().size(), 3u);
+  EXPECT_EQ(list->items()[1].as_string(), "b");
+}
+
+TEST(YamlSequence, AtSameIndentAsKey) {
+  const Node root = must_parse("list:\n- 1\n- 2\n");
+  ASSERT_TRUE(root.find("list")->is_sequence());
+  EXPECT_EQ(root.find("list")->items().size(), 2u);
+}
+
+TEST(YamlSequence, DashWithMappingOnSameLine) {
+  const Node root = must_parse(
+      "routes:\n"
+      "  - route:\n"
+      "      from: search\n"
+      "      to: fastSearch\n"
+      "  - route:\n"
+      "      from: product\n");
+  const Node* routes = root.find("routes");
+  ASSERT_EQ(routes->items().size(), 2u);
+  const Node& first = routes->items()[0];
+  ASSERT_TRUE(first.is_mapping());
+  EXPECT_EQ(first.find("route")->get_string("from"), "search");
+  EXPECT_EQ(first.find("route")->get_string("to"), "fastSearch");
+}
+
+TEST(YamlSequence, InlineKeyValueItem) {
+  const Node root = must_parse(
+      "people:\n"
+      "  - name: ada\n"
+      "    age: 36\n"
+      "  - name: grace\n"
+      "    age: 85\n");
+  const Node* people = root.find("people");
+  ASSERT_EQ(people->items().size(), 2u);
+  EXPECT_EQ(people->items()[0].get_string("name"), "ada");
+  EXPECT_EQ(people->items()[0].get_int("age", 0), 36);
+  EXPECT_EQ(people->items()[1].get_string("name"), "grace");
+}
+
+TEST(YamlSequence, NestedSequences) {
+  const Node root = must_parse(
+      "matrix:\n"
+      "  -\n"
+      "    - 1\n"
+      "    - 2\n"
+      "  -\n"
+      "    - 3\n");
+  const Node* matrix = root.find("matrix");
+  ASSERT_EQ(matrix->items().size(), 2u);
+  EXPECT_EQ(matrix->items()[0].items().size(), 2u);
+  EXPECT_EQ(matrix->items()[1].items()[0].as_int(), 3);
+}
+
+TEST(YamlFlow, SequencesAndMappings) {
+  const Node root = must_parse(
+      "nums: [1, 2, 3]\n"
+      "empty: []\n"
+      "map: {a: 1, b: x}\n"
+      "nested: [{k: v}, [2]]\n");
+  EXPECT_EQ(root.find("nums")->items().size(), 3u);
+  EXPECT_TRUE(root.find("empty")->items().empty());
+  EXPECT_EQ(root.find("map")->get_int("a", 0), 1);
+  EXPECT_EQ(root.find("nested")->items()[0].get_string("k"), "v");
+  EXPECT_EQ(root.find("nested")->items()[1].items()[0].as_int(), 2);
+}
+
+TEST(YamlDocument, DocumentStartMarker) {
+  const Node root = must_parse("---\nkey: value\n");
+  EXPECT_EQ(root.get_string("key"), "value");
+}
+
+TEST(YamlDocument, EmptyInput) {
+  EXPECT_TRUE(must_parse("").is_null());
+  EXPECT_TRUE(must_parse("\n\n# only comments\n").is_null());
+}
+
+TEST(YamlErrors, TabIndentRejected) {
+  const auto r = parse("a:\n\tb: 1\n");
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.error_message().find("tab"), std::string::npos);
+}
+
+TEST(YamlErrors, ErrorsCarryLineNumbers) {
+  const auto r = parse("ok: 1\nbadline\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error_message().find("line 2"), std::string::npos);
+}
+
+TEST(YamlErrors, UnterminatedFlow) {
+  EXPECT_FALSE(parse("x: [1, 2").ok());
+  EXPECT_FALSE(parse("x: {a: 1").ok());
+}
+
+TEST(YamlErrors, InconsistentIndent) {
+  EXPECT_FALSE(parse("a: 1\n   b: 2\n").ok());
+}
+
+TEST(YamlPaperListings, Listing1Metric) {
+  // Listing 1 of the paper, verbatim structure.
+  const Node root = must_parse(
+      "- metric:\n"
+      "    providers:\n"
+      "      - prometheus:\n"
+      "          name: search_error\n"
+      "          query: request_errors{instance=\"search:80\"}\n"
+      "    intervalTime: 5\n"
+      "    intervalLimit: 12\n"
+      "    threshold: 12\n"
+      "    validator: \"<5\"\n");
+  ASSERT_TRUE(root.is_sequence());
+  const Node& metric = *root.items()[0].find("metric");
+  EXPECT_EQ(metric.get_int("intervalTime", 0), 5);
+  EXPECT_EQ(metric.get_int("intervalLimit", 0), 12);
+  EXPECT_EQ(metric.get_int("threshold", 0), 12);
+  EXPECT_EQ(metric.get_string("validator"), "<5");
+  const Node& provider = root.items()[0]
+                             .find("metric")
+                             ->find("providers")
+                             ->items()[0];
+  EXPECT_EQ(provider.find("prometheus")->get_string("name"), "search_error");
+  EXPECT_EQ(provider.find("prometheus")->get_string("query"),
+            "request_errors{instance=\"search:80\"}");
+}
+
+TEST(YamlPaperListings, Listing2DarkLaunch) {
+  const Node root = must_parse(
+      "- route:\n"
+      "    from: search\n"
+      "    to: fastSearch\n"
+      "    filters:\n"
+      "      - traffic:\n"
+      "          percentage: 100\n"
+      "          shadow: true\n"
+      "          intervalTime: 60\n");
+  const Node& route = *root.items()[0].find("route");
+  EXPECT_EQ(route.get_string("from"), "search");
+  const Node& traffic = *route.find("filters")->items()[0].find("traffic");
+  EXPECT_EQ(traffic.get_int("percentage", 0), 100);
+  EXPECT_EQ(traffic.get_bool("shadow", false), true);
+  EXPECT_EQ(traffic.get_int("intervalTime", 0), 60);
+}
+
+TEST(YamlDump, RoundTripsStructure) {
+  const std::string text =
+      "strategy:\n"
+      "  name: demo\n"
+      "  states:\n"
+      "    - state:\n"
+      "        name: a\n"
+      "        checks: [1, 2]\n";
+  const Node first = must_parse(text);
+  const Node second = must_parse(first.dump());
+  EXPECT_EQ(second.find("strategy")->get_string("name"), "demo");
+  EXPECT_EQ(second.find("strategy")
+                ->find("states")
+                ->items()[0]
+                .find("state")
+                ->find("checks")
+                ->items()
+                .size(),
+            2u);
+}
+
+TEST(YamlNode, LookupFallbacks) {
+  const Node root = must_parse("a: 1\nb: text\n");
+  EXPECT_EQ(root.get_int("a", -1), 1);
+  EXPECT_EQ(root.get_int("b", -1), -1);   // unparseable as int
+  EXPECT_EQ(root.get_int("z", -1), -1);   // missing
+  EXPECT_DOUBLE_EQ(root.get_double("a", 0.0), 1.0);
+  EXPECT_EQ(root.get_string("z", "dflt"), "dflt");
+  EXPECT_FALSE(root.has("z"));
+  EXPECT_TRUE(root.has("a"));
+}
+
+// Indentation sweep: the same document at different nesting depths.
+class YamlDepthSweep : public testing::TestWithParam<int> {};
+
+TEST_P(YamlDepthSweep, DeepNestingParses) {
+  std::string text;
+  std::string indent;
+  for (int i = 0; i < GetParam(); ++i) {
+    text += indent + "level" + std::to_string(i) + ":\n";
+    indent += "  ";
+  }
+  text += indent + "leaf: done\n";
+  const Node root = must_parse(text);
+  const Node* cursor = &root;
+  for (int i = 0; i < GetParam(); ++i) {
+    cursor = cursor->find("level" + std::to_string(i));
+    ASSERT_NE(cursor, nullptr);
+  }
+  EXPECT_EQ(cursor->get_string("leaf"), "done");
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, YamlDepthSweep,
+                         testing::Values(1, 2, 5, 10, 30));
+
+}  // namespace
+}  // namespace bifrost::yaml
