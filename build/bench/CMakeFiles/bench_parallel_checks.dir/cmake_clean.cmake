@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_parallel_checks.dir/bench_parallel_checks.cpp.o"
+  "CMakeFiles/bench_parallel_checks.dir/bench_parallel_checks.cpp.o.d"
+  "bench_parallel_checks"
+  "bench_parallel_checks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_parallel_checks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

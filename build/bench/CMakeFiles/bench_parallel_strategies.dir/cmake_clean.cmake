@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_parallel_strategies.dir/bench_parallel_strategies.cpp.o"
+  "CMakeFiles/bench_parallel_strategies.dir/bench_parallel_strategies.cpp.o.d"
+  "bench_parallel_strategies"
+  "bench_parallel_strategies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_parallel_strategies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analyze_strategy.dir/analyze_strategy.cpp.o"
+  "CMakeFiles/analyze_strategy.dir/analyze_strategy.cpp.o.d"
+  "analyze_strategy"
+  "analyze_strategy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analyze_strategy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/canary_rollout.dir/canary_rollout.cpp.o"
+  "CMakeFiles/canary_rollout.dir/canary_rollout.cpp.o.d"
+  "canary_rollout"
+  "canary_rollout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/canary_rollout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/live_middleware.dir/live_middleware.cpp.o"
+  "CMakeFiles/live_middleware.dir/live_middleware.cpp.o.d"
+  "live_middleware"
+  "live_middleware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/live_middleware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("json")
+subdirs("yaml")
+subdirs("runtime")
+subdirs("net")
+subdirs("http")
+subdirs("metrics")
+subdirs("core")
+subdirs("dsl")
+subdirs("proxy")
+subdirs("engine")
+subdirs("sim")
+subdirs("casestudy")
+subdirs("loadgen")
+subdirs("cli")

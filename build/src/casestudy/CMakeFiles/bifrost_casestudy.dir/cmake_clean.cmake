@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bifrost_casestudy.dir/app.cpp.o"
+  "CMakeFiles/bifrost_casestudy.dir/app.cpp.o.d"
+  "CMakeFiles/bifrost_casestudy.dir/docstore.cpp.o"
+  "CMakeFiles/bifrost_casestudy.dir/docstore.cpp.o.d"
+  "CMakeFiles/bifrost_casestudy.dir/services.cpp.o"
+  "CMakeFiles/bifrost_casestudy.dir/services.cpp.o.d"
+  "libbifrost_casestudy.a"
+  "libbifrost_casestudy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bifrost_casestudy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bifrost.dir/main.cpp.o"
+  "CMakeFiles/bifrost.dir/main.cpp.o.d"
+  "bifrost"
+  "bifrost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bifrost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

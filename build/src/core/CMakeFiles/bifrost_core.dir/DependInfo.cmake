@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/analysis.cpp" "src/core/CMakeFiles/bifrost_core.dir/analysis.cpp.o" "gcc" "src/core/CMakeFiles/bifrost_core.dir/analysis.cpp.o.d"
+  "/root/repo/src/core/dot.cpp" "src/core/CMakeFiles/bifrost_core.dir/dot.cpp.o" "gcc" "src/core/CMakeFiles/bifrost_core.dir/dot.cpp.o.d"
+  "/root/repo/src/core/model.cpp" "src/core/CMakeFiles/bifrost_core.dir/model.cpp.o" "gcc" "src/core/CMakeFiles/bifrost_core.dir/model.cpp.o.d"
+  "/root/repo/src/core/validate.cpp" "src/core/CMakeFiles/bifrost_core.dir/validate.cpp.o" "gcc" "src/core/CMakeFiles/bifrost_core.dir/validate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/bifrost_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/bifrost_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bifrost_core.dir/analysis.cpp.o"
+  "CMakeFiles/bifrost_core.dir/analysis.cpp.o.d"
+  "CMakeFiles/bifrost_core.dir/dot.cpp.o"
+  "CMakeFiles/bifrost_core.dir/dot.cpp.o.d"
+  "CMakeFiles/bifrost_core.dir/model.cpp.o"
+  "CMakeFiles/bifrost_core.dir/model.cpp.o.d"
+  "CMakeFiles/bifrost_core.dir/validate.cpp.o"
+  "CMakeFiles/bifrost_core.dir/validate.cpp.o.d"
+  "libbifrost_core.a"
+  "libbifrost_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bifrost_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

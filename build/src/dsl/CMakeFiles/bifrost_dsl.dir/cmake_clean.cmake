@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bifrost_dsl.dir/compiler.cpp.o"
+  "CMakeFiles/bifrost_dsl.dir/compiler.cpp.o.d"
+  "libbifrost_dsl.a"
+  "libbifrost_dsl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bifrost_dsl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bifrost_engine.dir/engine.cpp.o"
+  "CMakeFiles/bifrost_engine.dir/engine.cpp.o.d"
+  "CMakeFiles/bifrost_engine.dir/execution.cpp.o"
+  "CMakeFiles/bifrost_engine.dir/execution.cpp.o.d"
+  "CMakeFiles/bifrost_engine.dir/http_clients.cpp.o"
+  "CMakeFiles/bifrost_engine.dir/http_clients.cpp.o.d"
+  "CMakeFiles/bifrost_engine.dir/interfaces.cpp.o"
+  "CMakeFiles/bifrost_engine.dir/interfaces.cpp.o.d"
+  "CMakeFiles/bifrost_engine.dir/server.cpp.o"
+  "CMakeFiles/bifrost_engine.dir/server.cpp.o.d"
+  "libbifrost_engine.a"
+  "libbifrost_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bifrost_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bifrost_http.dir/client.cpp.o"
+  "CMakeFiles/bifrost_http.dir/client.cpp.o.d"
+  "CMakeFiles/bifrost_http.dir/message.cpp.o"
+  "CMakeFiles/bifrost_http.dir/message.cpp.o.d"
+  "CMakeFiles/bifrost_http.dir/parser.cpp.o"
+  "CMakeFiles/bifrost_http.dir/parser.cpp.o.d"
+  "CMakeFiles/bifrost_http.dir/router.cpp.o"
+  "CMakeFiles/bifrost_http.dir/router.cpp.o.d"
+  "CMakeFiles/bifrost_http.dir/server.cpp.o"
+  "CMakeFiles/bifrost_http.dir/server.cpp.o.d"
+  "CMakeFiles/bifrost_http.dir/url.cpp.o"
+  "CMakeFiles/bifrost_http.dir/url.cpp.o.d"
+  "libbifrost_http.a"
+  "libbifrost_http.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bifrost_http.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bifrost_json.dir/json.cpp.o"
+  "CMakeFiles/bifrost_json.dir/json.cpp.o.d"
+  "libbifrost_json.a"
+  "libbifrost_json.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bifrost_json.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

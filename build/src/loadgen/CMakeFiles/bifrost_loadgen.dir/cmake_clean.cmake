@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bifrost_loadgen.dir/loadgen.cpp.o"
+  "CMakeFiles/bifrost_loadgen.dir/loadgen.cpp.o.d"
+  "CMakeFiles/bifrost_loadgen.dir/workload.cpp.o"
+  "CMakeFiles/bifrost_loadgen.dir/workload.cpp.o.d"
+  "libbifrost_loadgen.a"
+  "libbifrost_loadgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bifrost_loadgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

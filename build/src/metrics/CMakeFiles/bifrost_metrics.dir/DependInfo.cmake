@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metrics/query.cpp" "src/metrics/CMakeFiles/bifrost_metrics.dir/query.cpp.o" "gcc" "src/metrics/CMakeFiles/bifrost_metrics.dir/query.cpp.o.d"
+  "/root/repo/src/metrics/registry.cpp" "src/metrics/CMakeFiles/bifrost_metrics.dir/registry.cpp.o" "gcc" "src/metrics/CMakeFiles/bifrost_metrics.dir/registry.cpp.o.d"
+  "/root/repo/src/metrics/scraper.cpp" "src/metrics/CMakeFiles/bifrost_metrics.dir/scraper.cpp.o" "gcc" "src/metrics/CMakeFiles/bifrost_metrics.dir/scraper.cpp.o.d"
+  "/root/repo/src/metrics/server.cpp" "src/metrics/CMakeFiles/bifrost_metrics.dir/server.cpp.o" "gcc" "src/metrics/CMakeFiles/bifrost_metrics.dir/server.cpp.o.d"
+  "/root/repo/src/metrics/timeseries.cpp" "src/metrics/CMakeFiles/bifrost_metrics.dir/timeseries.cpp.o" "gcc" "src/metrics/CMakeFiles/bifrost_metrics.dir/timeseries.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/bifrost_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/bifrost_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/bifrost_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/bifrost_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/bifrost_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bifrost_metrics.dir/query.cpp.o"
+  "CMakeFiles/bifrost_metrics.dir/query.cpp.o.d"
+  "CMakeFiles/bifrost_metrics.dir/registry.cpp.o"
+  "CMakeFiles/bifrost_metrics.dir/registry.cpp.o.d"
+  "CMakeFiles/bifrost_metrics.dir/scraper.cpp.o"
+  "CMakeFiles/bifrost_metrics.dir/scraper.cpp.o.d"
+  "CMakeFiles/bifrost_metrics.dir/server.cpp.o"
+  "CMakeFiles/bifrost_metrics.dir/server.cpp.o.d"
+  "CMakeFiles/bifrost_metrics.dir/timeseries.cpp.o"
+  "CMakeFiles/bifrost_metrics.dir/timeseries.cpp.o.d"
+  "libbifrost_metrics.a"
+  "libbifrost_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bifrost_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bifrost_net.dir/tcp.cpp.o"
+  "CMakeFiles/bifrost_net.dir/tcp.cpp.o.d"
+  "libbifrost_net.a"
+  "libbifrost_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bifrost_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/proxy/config.cpp" "src/proxy/CMakeFiles/bifrost_proxy.dir/config.cpp.o" "gcc" "src/proxy/CMakeFiles/bifrost_proxy.dir/config.cpp.o.d"
+  "/root/repo/src/proxy/proxy.cpp" "src/proxy/CMakeFiles/bifrost_proxy.dir/proxy.cpp.o" "gcc" "src/proxy/CMakeFiles/bifrost_proxy.dir/proxy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/bifrost_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/bifrost_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/bifrost_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/bifrost_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bifrost_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/bifrost_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/bifrost_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bifrost_proxy.dir/config.cpp.o"
+  "CMakeFiles/bifrost_proxy.dir/config.cpp.o.d"
+  "CMakeFiles/bifrost_proxy.dir/proxy.cpp.o"
+  "CMakeFiles/bifrost_proxy.dir/proxy.cpp.o.d"
+  "libbifrost_proxy.a"
+  "libbifrost_proxy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bifrost_proxy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bifrost_runtime.dir/event_loop.cpp.o"
+  "CMakeFiles/bifrost_runtime.dir/event_loop.cpp.o.d"
+  "CMakeFiles/bifrost_runtime.dir/thread_pool.cpp.o"
+  "CMakeFiles/bifrost_runtime.dir/thread_pool.cpp.o.d"
+  "libbifrost_runtime.a"
+  "libbifrost_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bifrost_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bifrost_sim.dir/sim_env.cpp.o"
+  "CMakeFiles/bifrost_sim.dir/sim_env.cpp.o.d"
+  "CMakeFiles/bifrost_sim.dir/simulation.cpp.o"
+  "CMakeFiles/bifrost_sim.dir/simulation.cpp.o.d"
+  "libbifrost_sim.a"
+  "libbifrost_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bifrost_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbifrost_sim.a"
+)

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bifrost_util.dir/csv.cpp.o"
+  "CMakeFiles/bifrost_util.dir/csv.cpp.o.d"
+  "CMakeFiles/bifrost_util.dir/log.cpp.o"
+  "CMakeFiles/bifrost_util.dir/log.cpp.o.d"
+  "CMakeFiles/bifrost_util.dir/stats.cpp.o"
+  "CMakeFiles/bifrost_util.dir/stats.cpp.o.d"
+  "CMakeFiles/bifrost_util.dir/strings.cpp.o"
+  "CMakeFiles/bifrost_util.dir/strings.cpp.o.d"
+  "CMakeFiles/bifrost_util.dir/uuid.cpp.o"
+  "CMakeFiles/bifrost_util.dir/uuid.cpp.o.d"
+  "libbifrost_util.a"
+  "libbifrost_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bifrost_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bifrost_yaml.dir/yaml.cpp.o"
+  "CMakeFiles/bifrost_yaml.dir/yaml.cpp.o.d"
+  "libbifrost_yaml.a"
+  "libbifrost_yaml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bifrost_yaml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

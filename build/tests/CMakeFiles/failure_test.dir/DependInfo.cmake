@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/failure_test.cpp" "tests/CMakeFiles/failure_test.dir/failure_test.cpp.o" "gcc" "tests/CMakeFiles/failure_test.dir/failure_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/engine/CMakeFiles/bifrost_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/casestudy/CMakeFiles/bifrost_casestudy.dir/DependInfo.cmake"
+  "/root/repo/build/src/loadgen/CMakeFiles/bifrost_loadgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsl/CMakeFiles/bifrost_dsl.dir/DependInfo.cmake"
+  "/root/repo/build/src/yaml/CMakeFiles/bifrost_yaml.dir/DependInfo.cmake"
+  "/root/repo/build/src/proxy/CMakeFiles/bifrost_proxy.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/bifrost_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/bifrost_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/bifrost_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/bifrost_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/bifrost_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/bifrost_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bifrost_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
