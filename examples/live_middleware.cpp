@@ -14,6 +14,7 @@
 #include "casestudy/app.hpp"
 #include "engine/engine.hpp"
 #include "engine/http_clients.hpp"
+#include "engine/resilience.hpp"
 #include "engine/server.hpp"
 #include "http/client.hpp"
 #include "json/json.hpp"
@@ -39,12 +40,21 @@ int main() {
               app.gateway_endpoint().port, app.product_entry().port,
               app.metrics_endpoint().port);
 
-  // 2. The Bifrost engine and its REST API.
+  // 2. The Bifrost engine and its REST API. The HTTP clients are
+  // wrapped in the resilience decorators so per-provider/per-service
+  // retry and circuit-breaker policies from the DSL take effect, with
+  // degradation events flowing into the engine's event stream.
   runtime::EventLoop loop;
   loop.start();
-  engine::HttpMetricsClient metrics_client;
-  engine::HttpProxyController proxy_controller;
+  engine::HttpMetricsClient raw_metrics_client;
+  engine::HttpProxyController raw_proxy_controller;
+  engine::ResilientMetricsClient metrics_client(raw_metrics_client, loop,
+                                                engine::thread_sleeper());
+  engine::ResilientProxyController proxy_controller(raw_proxy_controller, loop,
+                                                    engine::thread_sleeper());
   engine::Engine engine(loop, metrics_client, proxy_controller);
+  metrics_client.set_listener(engine.event_logger());
+  proxy_controller.set_listener(engine.event_logger());
   engine::EngineServer api(engine);
   api.start();
   std::printf("engine API on 127.0.0.1:%u "

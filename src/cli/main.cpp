@@ -98,6 +98,27 @@ int cmd_validate(const Cli& cli) {
             << std::chrono::duration<double>(strategy.expected_duration())
                    .count()
             << "s (optimistic path)\n";
+  // Surface the fault-tolerance posture of the outside-world edges.
+  const auto describe = [](const bifrost::core::RetryPolicy& retry,
+                           const bifrost::core::CircuitBreakerPolicy& breaker) {
+    std::string out;
+    if (retry.enabled()) {
+      out += "retry x" + std::to_string(retry.max_attempts);
+    }
+    if (breaker.enabled) {
+      if (!out.empty()) out += ", ";
+      out += "breaker @" + std::to_string(breaker.failure_threshold);
+    }
+    return out.empty() ? std::string("none") : out;
+  };
+  for (const auto& [name, provider] : strategy.providers) {
+    std::cout << "  provider '" << name << "' resilience: "
+              << describe(provider.retry, provider.circuit_breaker) << "\n";
+  }
+  for (const auto& service : strategy.services) {
+    std::cout << "  service '" << service.name << "' proxy resilience: "
+              << describe(service.retry, service.circuit_breaker) << "\n";
+  }
   return 0;
 }
 

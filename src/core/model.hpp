@@ -32,6 +32,40 @@
 namespace bifrost::core {
 
 // ---------------------------------------------------------------------------
+// Fault tolerance at the engine's outside-world edges (providers and
+// proxies). Both policies are plain data here; the enforcement lives in
+// engine/resilience.hpp so the model stays declarative.
+
+/// Retry budget for one call to an external dependency. The default is
+/// a single attempt (no retries); `max_attempts > 1` enables
+/// exponential backoff between attempts.
+struct RetryPolicy {
+  int max_attempts = 1;  ///< total attempts, including the first
+  runtime::Duration initial_backoff = std::chrono::milliseconds(200);
+  double multiplier = 2.0;  ///< backoff growth factor per attempt (>= 1)
+  runtime::Duration max_backoff = std::chrono::seconds(30);  ///< backoff cap
+  /// Fraction in [0,1] of extra, deterministically seeded jitter added
+  /// on top of the base backoff (delay in [base, base * (1 + jitter)]).
+  double jitter = 0.0;
+  /// An attempt that takes longer than this counts as failed even if it
+  /// eventually returns a value. Zero disables the timeout.
+  runtime::Duration attempt_timeout = std::chrono::seconds(0);
+
+  [[nodiscard]] bool enabled() const { return max_attempts > 1; }
+};
+
+/// Per-target circuit breaker (closed -> open -> half-open). After
+/// `failure_threshold` consecutive failures the target is "open": calls
+/// fail fast without touching the dependency for `open_duration`, after
+/// which `half_open_probes` successful probe calls close it again.
+struct CircuitBreakerPolicy {
+  bool enabled = false;
+  int failure_threshold = 5;
+  runtime::Duration open_duration = std::chrono::seconds(30);
+  int half_open_probes = 1;
+};
+
+// ---------------------------------------------------------------------------
 // Services (B) and static configuration (sc)
 
 /// One deployed version of a service with its endpoint (static config).
@@ -54,6 +88,9 @@ struct ServiceDef {
   /// of any live test).
   std::string proxy_admin_host;
   std::uint16_t proxy_admin_port = 0;
+  /// Fault tolerance for routing updates pushed to this service's proxy.
+  RetryPolicy retry{};
+  CircuitBreakerPolicy circuit_breaker{};
 
   [[nodiscard]] const VersionDef* find_version(const std::string& v) const;
 };
@@ -232,6 +269,9 @@ struct StateDef {
 struct ProviderConfig {
   std::string host;
   std::uint16_t port = 0;
+  /// Fault tolerance for queries against this provider.
+  RetryPolicy retry{};
+  CircuitBreakerPolicy circuit_breaker{};
 };
 
 struct StrategyDef {

@@ -18,6 +18,11 @@
 //  (V11) at least one final state; all states reachable from the initial
 //        state; a final state is reachable
 //  (V12) service names unique; version names unique per service
+//  (V13) resilience policies (providers and services): max_attempts >= 1;
+//        with retries enabled, initial_backoff > 0, multiplier >= 1,
+//        max_backoff >= initial_backoff, jitter in [0,1], and a
+//        non-negative attempt timeout; enabled circuit breakers need
+//        failure_threshold >= 1, open_duration > 0, half_open_probes >= 1
 #include <cmath>
 #include <queue>
 #include <set>
@@ -150,6 +155,43 @@ Result<void> validate_routing(const StrategyDef& strategy,
   return {};
 }
 
+Result<void> validate_resilience(const std::string& where,
+                                 const RetryPolicy& retry,
+                                 const CircuitBreakerPolicy& breaker) {
+  if (retry.max_attempts < 1) {
+    return fail(where + ": retry max attempts must be >= 1");
+  }
+  if (retry.enabled()) {
+    if (retry.initial_backoff <= runtime::Duration::zero()) {
+      return fail(where + ": retry initial backoff must be positive");
+    }
+    if (retry.multiplier < 1.0) {
+      return fail(where + ": retry multiplier must be >= 1");
+    }
+    if (retry.max_backoff < retry.initial_backoff) {
+      return fail(where + ": retry max backoff below initial backoff");
+    }
+    if (retry.jitter < 0.0 || retry.jitter > 1.0) {
+      return fail(where + ": retry jitter must be within [0,1]");
+    }
+  }
+  if (retry.attempt_timeout < runtime::Duration::zero()) {
+    return fail(where + ": retry attempt timeout must be non-negative");
+  }
+  if (breaker.enabled) {
+    if (breaker.failure_threshold < 1) {
+      return fail(where + ": circuit breaker failure threshold must be >= 1");
+    }
+    if (breaker.open_duration <= runtime::Duration::zero()) {
+      return fail(where + ": circuit breaker open duration must be positive");
+    }
+    if (breaker.half_open_probes < 1) {
+      return fail(where + ": circuit breaker half-open probes must be >= 1");
+    }
+  }
+  return {};
+}
+
 }  // namespace
 
 util::Result<void> validate(const StrategyDef& strategy) {
@@ -173,6 +215,11 @@ util::Result<void> validate(const StrategyDef& strategy) {
       if (!services.insert(service.name).second) {
         return fail("duplicate service name '" + service.name + "'");
       }
+      if (auto r = validate_resilience("service '" + service.name + "'",  // V13
+                                       service.retry, service.circuit_breaker);
+          !r) {
+        return r;
+      }
       std::set<std::string> versions;
       for (const VersionDef& version : service.versions) {
         if (!versions.insert(version.version).second) {
@@ -180,6 +227,14 @@ util::Result<void> validate(const StrategyDef& strategy) {
                       version.version + "'");
         }
       }
+    }
+  }
+
+  for (const auto& [name, provider] : strategy.providers) {  // V13
+    if (auto r = validate_resilience("provider '" + name + "'",
+                                     provider.retry, provider.circuit_breaker);
+        !r) {
+      return r;
     }
   }
 

@@ -522,6 +522,59 @@ std::vector<StateDef> expand_rollout(const yaml::Node& body) {
 }
 
 // ---------------------------------------------------------------------------
+// Resilience: `retry:` / `circuitBreaker:` blocks on providers and
+// services (see docs/RESILIENCE.md). A present block opts in; field
+// defaults are chosen so the smallest useful block (`retry: {}`)
+// behaves sensibly.
+
+core::RetryPolicy parse_retry(const yaml::Node& node, const std::string& where) {
+  if (!node.is_mapping()) fail(where + ": 'retry' must be a mapping");
+  core::RetryPolicy retry;
+  retry.max_attempts = static_cast<int>(node.get_int("maxAttempts", 3));
+  retry.initial_backoff = seconds(node.get_double("initialBackoff", 0.2));
+  retry.multiplier = node.get_double("multiplier", 2.0);
+  retry.max_backoff = seconds(node.get_double("maxBackoff", 30.0));
+  retry.jitter = node.get_double("jitter", 0.0);
+  retry.attempt_timeout = seconds(node.get_double("attemptTimeout", 0.0));
+  return retry;
+}
+
+core::CircuitBreakerPolicy parse_circuit_breaker(const yaml::Node& node,
+                                                 const std::string& where) {
+  if (!node.is_mapping()) fail(where + ": 'circuitBreaker' must be a mapping");
+  core::CircuitBreakerPolicy breaker;
+  breaker.enabled = true;
+  breaker.failure_threshold =
+      static_cast<int>(node.get_int("failureThreshold", 5));
+  breaker.open_duration = seconds(node.get_double("openDuration", 30.0));
+  breaker.half_open_probes = static_cast<int>(node.get_int("halfOpenProbes", 1));
+  return breaker;
+}
+
+template <typename ConfigT>
+void parse_resilience(const yaml::Node& body, const std::string& where,
+                      ConfigT& config) {
+  if (const yaml::Node* retry = body.find("retry"); retry != nullptr) {
+    config.retry = parse_retry(*retry, where);
+  }
+  const yaml::Node* breaker = body.find("circuitBreaker");
+  if (breaker == nullptr) breaker = body.find("circuit_breaker");
+  if (breaker != nullptr) {
+    config.circuit_breaker = parse_circuit_breaker(*breaker, where);
+  }
+}
+
+core::ProviderConfig parse_provider(const std::string& name,
+                                    const yaml::Node& body) {
+  const std::string where = "provider '" + name + "'";
+  core::ProviderConfig provider;
+  provider.host = require_string(body, "host", where);
+  provider.port = static_cast<std::uint16_t>(require_number(body, "port", where));
+  parse_resilience(body, where, provider);
+  return provider;
+}
+
+// ---------------------------------------------------------------------------
 // Deployment
 
 void parse_deployment(const yaml::Node& deployment, StrategyDef& strategy) {
@@ -529,11 +582,7 @@ void parse_deployment(const yaml::Node& deployment, StrategyDef& strategy) {
       providers != nullptr) {
     if (!providers->is_mapping()) fail("deployment: 'providers' must map");
     for (const auto& [name, body] : providers->entries()) {
-      core::ProviderConfig provider;
-      provider.host = require_string(body, "host", "provider '" + name + "'");
-      provider.port = static_cast<std::uint16_t>(
-          require_number(body, "port", "provider '" + name + "'"));
-      strategy.providers[name] = provider;
+      strategy.providers[name] = parse_provider(name, body);
     }
   }
   if (const yaml::Node* services = deployment.find("services");
@@ -550,6 +599,7 @@ void parse_deployment(const yaml::Node& deployment, StrategyDef& strategy) {
         service.proxy_admin_port = static_cast<std::uint16_t>(
             proxy->get_int("adminPort", proxy->get_int("port", 0)));
       }
+      parse_resilience(body, where, service);
       const yaml::Node* versions = body.find("versions");
       if (versions == nullptr || !versions->is_sequence()) {
         fail(where + ": needs a 'versions' list");
@@ -583,11 +633,7 @@ StrategyDef compile_document(const yaml::Node& root) {
   if (const yaml::Node* providers = strategy_node->find("providers");
       providers != nullptr && providers->is_mapping()) {
     for (const auto& [name, body] : providers->entries()) {
-      core::ProviderConfig provider;
-      provider.host = require_string(body, "host", "provider '" + name + "'");
-      provider.port = static_cast<std::uint16_t>(
-          require_number(body, "port", "provider '" + name + "'"));
-      strategy.providers[name] = provider;
+      strategy.providers[name] = parse_provider(name, body);
     }
   }
 

@@ -27,6 +27,10 @@ inline constexpr const char* kDashboardHtml = R"HTML(<!doctype html>
             font-size: .8rem; background: #0d1117; padding: .8rem;
             border-radius: 6px; }
   .muted { color: #8b949e; }
+  /* resilience events: degradation must stand out in the stream */
+  .ev-retried { color: #d29922; }
+  .ev-degraded, .ev-circuit_opened, .ev-error { color: #f85149; }
+  .ev-circuit_closed { color: #3fb950; }
 </style>
 </head>
 <body>
@@ -75,6 +79,7 @@ async function pollEvents() {
           `${ev.detail || ''}`;
         const div = document.createElement('div');
         div.textContent = line;
+        div.className = 'ev-' + ev.type;
         eventsBox.appendChild(div);
         eventsBox.scrollTop = eventsBox.scrollHeight;
       }

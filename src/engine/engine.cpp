@@ -55,6 +55,16 @@ bool Engine::abort(const std::string& id, const std::string& reason) {
   return true;
 }
 
+void Engine::log_event(StatusEvent event) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    event.sequence = next_sequence_++;
+    events_.push_back(std::move(event));
+    if (events_.size() > options_.event_log_capacity) events_.pop_front();
+  }
+  event_cv_.notify_all();
+}
+
 void Engine::on_event(StatusEvent event, const StatusListener& extra) {
   {
     const std::lock_guard<std::mutex> lock(mutex_);

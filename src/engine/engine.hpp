@@ -60,6 +60,18 @@ class Engine {
   /// Requests an abort (delivered on the scheduler thread).
   bool abort(const std::string& id, const std::string& reason = "user abort");
 
+  /// Appends an externally produced event (e.g. from the resilience
+  /// decorators wrapping the metrics/proxy clients) to the engine event
+  /// log; the sequence number is assigned here. Strategy bookkeeping is
+  /// untouched — these events carry no (or a foreign) strategy id.
+  void log_event(StatusEvent event);
+
+  /// Listener adapter for log_event, for wiring decorators:
+  /// `resilient_metrics.set_listener(engine.event_logger())`.
+  [[nodiscard]] StatusListener event_logger() {
+    return [this](const StatusEvent& event) { log_event(event); };
+  }
+
   [[nodiscard]] std::optional<StrategySnapshot> status(
       const std::string& id) const;
   [[nodiscard]] std::vector<StrategySnapshot> list() const;

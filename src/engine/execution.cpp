@@ -107,7 +107,7 @@ void StrategyExecution::enter_state(const std::string& name) {
                                 false});
   emit(StatusEvent::Type::kStateEntered, name);
 
-  apply_routing(*state);
+  if (!apply_routing(*state)) return;  // diverted into the rollback path
 
   if (state->is_final()) {
     history_.back().exited = scheduler_.now();
@@ -141,7 +141,7 @@ void StrategyExecution::enter_state(const std::string& name) {
   }
 }
 
-void StrategyExecution::apply_routing(const core::StateDef& state) {
+bool StrategyExecution::apply_routing(const core::StateDef& state) {
   for (const core::ServiceRouting& routing : state.routing) {
     const core::ServiceDef* service = def_.find_service(routing.service);
     if (service == nullptr) continue;  // validated earlier
@@ -153,12 +153,41 @@ void StrategyExecution::apply_routing(const core::StateDef& state) {
     }
     auto applied = proxies_.apply(*service, config.value());
     if (!applied.ok()) {
-      emit(StatusEvent::Type::kError, state.name, "", 0.0,
+      // Routing is the engine's hold on live traffic: a state whose
+      // split cannot be installed (past the retry budget of the
+      // resilience layer, if configured) must not run its checks
+      // against the wrong traffic mix. Divert to the rollback path —
+      // unless this state IS a final state, where the execution is
+      // ending anyway and the failure is only reported.
+      emit(StatusEvent::Type::kError, state.name, routing.service, 0.0,
            "proxy update failed: " + applied.error_message());
+      if (!state.is_final()) {
+        rollback_or_abort("proxy update for service '" + routing.service +
+                          "' failed: " + applied.error_message());
+        return false;
+      }
       continue;
     }
     emit(StatusEvent::Type::kRoutingApplied, state.name, routing.service);
   }
+  return true;
+}
+
+void StrategyExecution::rollback_or_abort(const std::string& reason) {
+  const core::StateDef* rollback = nullptr;
+  for (const core::StateDef& state : def_.states) {
+    if (state.final_kind == core::FinalKind::kRollback) {
+      rollback = &state;
+      break;
+    }
+  }
+  if (rollback == nullptr || rollback->name == current_state_) {
+    abort(reason);
+    return;
+  }
+  emit(StatusEvent::Type::kDegraded, current_state_, "", 0.0,
+       reason + "; rolling back");
+  transition_to(rollback->name, /*via_exception=*/true);
 }
 
 void StrategyExecution::schedule_check(std::size_t check_index) {
@@ -177,10 +206,20 @@ void StrategyExecution::run_check_execution(std::size_t check_index) {
   CheckRuntime& runtime = checks_[check_index];
   const core::CheckDef& check = *runtime.def;
 
-  const bool success = evaluate_check_once(check);
+  std::string degraded_detail;
+  const bool success = evaluate_check_once(check, degraded_detail);
   ++runtime.executed;
   ++checks_executed_;
   if (success) ++runtime.successes;
+  if (!degraded_detail.empty()) {
+    // A provider failed past its budget during this execution; the
+    // check outcome degrades to whatever the remaining conditions say,
+    // but the outage must be visible on the event stream (not only in
+    // debug logs) so dashboards and operators can tell "metrics said
+    // no" apart from "metrics were unreachable".
+    emit(StatusEvent::Type::kDegraded, current_state_, check.name,
+         success ? 1.0 : 0.0, degraded_detail);
+  }
   emit(StatusEvent::Type::kCheckExecuted, current_state_, check.name,
        success ? 1.0 : 0.0);
 
@@ -211,13 +250,17 @@ void StrategyExecution::run_check_execution(std::size_t check_index) {
   schedule_check(check_index);
 }
 
-bool StrategyExecution::evaluate_check_once(const core::CheckDef& check) {
+bool StrategyExecution::evaluate_check_once(const core::CheckDef& check,
+                                            std::string& degraded_detail) {
   ClientEvalContext context(metrics_, def_, now_seconds());
   for (const core::MetricCondition& condition : check.conditions) {
     auto value = context.query(condition.provider, condition.query);
     if (!value.ok()) {
       util::log_debug("execution", id_, ": provider error for '",
                       condition.query, "': ", value.error_message());
+      if (!degraded_detail.empty()) degraded_detail += "; ";
+      degraded_detail +=
+          "provider '" + condition.provider + "': " + value.error_message();
       if (condition.fail_on_no_data) return false;
       continue;
     }

@@ -95,10 +95,21 @@ class StrategyExecution {
   };
 
   void enter_state(const std::string& name);
-  void apply_routing(const core::StateDef& state);
+  /// Pushes the state's routing tables. Returns false when a proxy
+  /// update failed past its retry budget and the execution was diverted
+  /// into its rollback path (or aborted) — the caller must stop
+  /// processing the state it was entering.
+  bool apply_routing(const core::StateDef& state);
+  /// Aborts into the strategy's first rollback-final state (or aborts
+  /// outright when none exists) after an unrecoverable proxy failure.
+  void rollback_or_abort(const std::string& reason);
   void schedule_check(std::size_t check_index);
   void run_check_execution(std::size_t check_index);
-  bool evaluate_check_once(const core::CheckDef& check);
+  /// One execution of the check's evaluation function. Provider errors
+  /// encountered along the way are appended to `degraded_detail` so the
+  /// caller can surface them on the event stream.
+  bool evaluate_check_once(const core::CheckDef& check,
+                           std::string& degraded_detail);
   void maybe_complete_state();
   void complete_state();
   void transition_to(const std::string& next, bool via_exception);

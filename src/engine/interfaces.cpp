@@ -24,6 +24,14 @@ std::string StatusEvent::type_name() const {
       return "aborted";
     case Type::kError:
       return "error";
+    case Type::kRetried:
+      return "retried";
+    case Type::kCircuitOpened:
+      return "circuit_opened";
+    case Type::kCircuitClosed:
+      return "circuit_closed";
+    case Type::kDegraded:
+      return "degraded";
   }
   return "?";
 }

@@ -46,6 +46,10 @@ struct StatusEvent {
     kFinished,
     kAborted,
     kError,
+    kRetried,        ///< one failed attempt against a provider/proxy retried
+    kCircuitOpened,  ///< a target's circuit breaker tripped open
+    kCircuitClosed,  ///< a target's circuit breaker recovered (closed)
+    kDegraded,       ///< running degraded: a dependency failed past its budget
   };
 
   std::uint64_t sequence = 0;  ///< assigned by the engine event log

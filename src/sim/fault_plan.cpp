@@ -1,0 +1,42 @@
+#include "sim/fault_plan.hpp"
+
+#include <chrono>
+
+namespace bifrost::sim {
+
+FaultPlan::Outcome FaultPlan::decide(Target target, const std::string& name,
+                                     runtime::Time now) {
+  Outcome outcome;
+  for (const Window& window : windows_) {
+    if (window.target != target) continue;
+    if (!window.name.empty() && window.name != name) continue;
+    if (now < window.from || now >= window.to) continue;
+    ++injected_errors_;
+    outcome.error = true;
+    outcome.reason =
+        "injected outage of '" + name + "' (window " +
+        std::to_string(std::chrono::duration<double>(window.from).count()) +
+        "s.." +
+        (window.to == runtime::Time::max()
+             ? std::string("inf")
+             : std::to_string(
+                   std::chrono::duration<double>(window.to).count()) + "s") +
+        ")";
+    return outcome;
+  }
+
+  const Spec& spec = target == Target::kMetrics ? metrics_ : proxy_;
+  if (spec.latency_spike_probability > 0.0 &&
+      rng_.bernoulli(spec.latency_spike_probability)) {
+    ++injected_spikes_;
+    outcome.extra_latency = spec.latency_spike;
+  }
+  if (spec.error_probability > 0.0 && rng_.bernoulli(spec.error_probability)) {
+    ++injected_errors_;
+    outcome.error = true;
+    outcome.reason = "injected fault calling '" + name + "'";
+  }
+  return outcome;
+}
+
+}  // namespace bifrost::sim

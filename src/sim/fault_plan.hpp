@@ -1,0 +1,78 @@
+// Deterministic fault injection for the simulated engine environment.
+// A FaultPlan describes when the outside world misbehaves — hard-down
+// error windows in virtual time, a per-call error probability, and
+// latency spikes — and SimMetricsClient / SimProxyController consult it
+// on every call. All randomness comes from one seeded RNG, so a given
+// (plan, strategy, costs) triple replays the exact same failure
+// sequence on every run: the failure-matrix tests in
+// tests/resilience_test.cpp assert event streams down to exact virtual
+// timestamps.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runtime/scheduler.hpp"
+#include "util/rng.hpp"
+
+namespace bifrost::sim {
+
+class FaultPlan {
+ public:
+  enum class Target { kMetrics, kProxy };
+
+  /// Probabilistic faults for one edge, evaluated per call.
+  struct Spec {
+    double error_probability = 0.0;          ///< call fails outright
+    double latency_spike_probability = 0.0;  ///< call takes extra time
+    runtime::Duration latency_spike{0};      ///< extra external wait
+  };
+
+  /// Hard-down window in virtual time: every matching call within
+  /// [from, to) fails deterministically (no RNG draw consumed).
+  struct Window {
+    Target target = Target::kMetrics;
+    runtime::Time from{0};
+    runtime::Time to = runtime::Time::max();
+    /// Provider host (metrics) or service name (proxy) the window
+    /// applies to; empty matches every target of the edge.
+    std::string name;
+  };
+
+  /// What the plan decided for one call.
+  struct Outcome {
+    bool error = false;
+    runtime::Duration extra_latency{0};
+    std::string reason;
+  };
+
+  explicit FaultPlan(std::uint64_t seed = 0) : rng_(seed) {}
+
+  Spec& metrics() { return metrics_; }
+  Spec& proxy() { return proxy_; }
+  void add_window(Window window) { windows_.push_back(std::move(window)); }
+
+  /// Decides the fate of one call against `name` at virtual time `now`.
+  /// Windows are checked first (deterministic, no RNG); otherwise the
+  /// edge's probabilistic spec draws from the plan's RNG in a fixed
+  /// order (latency spike, then error), keeping replays bit-identical.
+  Outcome decide(Target target, const std::string& name, runtime::Time now);
+
+  [[nodiscard]] std::uint64_t injected_errors() const {
+    return injected_errors_;
+  }
+  [[nodiscard]] std::uint64_t injected_spikes() const {
+    return injected_spikes_;
+  }
+
+ private:
+  util::Rng rng_;
+  Spec metrics_;
+  Spec proxy_;
+  std::vector<Window> windows_;
+  std::uint64_t injected_errors_ = 0;
+  std::uint64_t injected_spikes_ = 0;
+};
+
+}  // namespace bifrost::sim

@@ -18,6 +18,16 @@ util::Result<std::optional<double>> SimMetricsClient::query(
   sim_.consume(cost.engine);
   sim_.wait_external(cost.wait);
   ++queries_;
+  if (fault_plan_) {
+    auto outcome = fault_plan_->decide(FaultPlan::Target::kMetrics,
+                                       provider.host, sim_.now());
+    if (outcome.extra_latency > runtime::Duration::zero()) {
+      sim_.wait_external(outcome.extra_latency);
+    }
+    if (outcome.error) {
+      return util::Result<std::optional<double>>::error(outcome.reason);
+    }
+  }
   const double now_seconds =
       std::chrono::duration<double>(sim_.now()).count();
   if (!source_) return std::optional<double>{};
@@ -29,12 +39,25 @@ SimProxyController::SimProxyController(Simulation& sim, Costs costs)
 
 util::Result<void> SimProxyController::apply(const core::ServiceDef& service,
                                              const proxy::ProxyConfig& config) {
-  (void)service;
   sim_.consume(costs_.per_update);
   sim_.wait_external(costs_.update_wait);
   ++updates_;
+  if (fault_plan_) {
+    auto outcome = fault_plan_->decide(FaultPlan::Target::kProxy, service.name,
+                                       sim_.now());
+    if (outcome.extra_latency > runtime::Duration::zero()) {
+      sim_.wait_external(outcome.extra_latency);
+    }
+    // A failed update never reaches the proxy: last_config_ keeps the
+    // previous routing so tests can assert what production still sees.
+    if (outcome.error) return util::Result<void>::error(outcome.reason);
+  }
   last_config_ = config;
   return {};
+}
+
+engine::SleepFn external_sleeper(Simulation& sim) {
+  return [&sim](runtime::Duration d) { sim.wait_external(d); };
 }
 
 engine::StatusListener charged_listener(Simulation& sim,

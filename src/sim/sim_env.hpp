@@ -10,6 +10,8 @@
 #include <string>
 
 #include "engine/interfaces.hpp"
+#include "engine/resilience.hpp"
+#include "sim/fault_plan.hpp"
 #include "sim/simulation.hpp"
 
 namespace bifrost::sim {
@@ -43,12 +45,18 @@ class SimMetricsClient final : public engine::MetricsClient {
   util::Result<std::optional<double>> query(
       const core::ProviderConfig& provider, const std::string& query) override;
 
+  /// Non-owning: faults from `plan` (Target::kMetrics, keyed by the
+  /// provider's host) are injected into every query. Pass nullptr to
+  /// disable.
+  void set_fault_plan(FaultPlan* plan) { fault_plan_ = plan; }
+
   [[nodiscard]] std::uint64_t queries() const { return queries_; }
 
  private:
   Simulation& sim_;
   MetricFn source_;
   Costs costs_;
+  FaultPlan* fault_plan_ = nullptr;
   std::uint64_t queries_ = 0;
 };
 
@@ -68,6 +76,10 @@ class SimProxyController final : public engine::ProxyController {
   util::Result<void> apply(const core::ServiceDef& service,
                            const proxy::ProxyConfig& config) override;
 
+  /// Non-owning: faults from `plan` (Target::kProxy, keyed by the
+  /// service name) are injected into every update.
+  void set_fault_plan(FaultPlan* plan) { fault_plan_ = plan; }
+
   [[nodiscard]] std::uint64_t updates() const { return updates_; }
   [[nodiscard]] const proxy::ProxyConfig& last_config() const {
     return last_config_;
@@ -76,9 +88,15 @@ class SimProxyController final : public engine::ProxyController {
  private:
   Simulation& sim_;
   Costs costs_;
+  FaultPlan* fault_plan_ = nullptr;
   std::uint64_t updates_ = 0;
   proxy::ProxyConfig last_config_;
 };
+
+/// SleepFn for the resilience decorators under simulation: backoff
+/// blocks the run-to-completion engine as an external wait (virtual
+/// time advances, the engine core stays idle).
+engine::SleepFn external_sleeper(Simulation& sim);
 
 /// Status listener that charges a small CPU cost per emitted event
 /// (status propagation to dashboard/CLI in the modeled prototype) and

@@ -352,6 +352,77 @@ TEST(Validate, ExceptionFallbackCountsForReachability) {
 }
 
 // ---------------------------------------------------------------------------
+// Resilience policy validation (V13)
+
+TEST(Validate, AcceptsResiliencePoliciesOnProviderAndService) {
+  auto strategy = valid_strategy();
+  auto& provider = strategy.providers["prometheus"];
+  provider.retry.max_attempts = 4;
+  provider.retry.jitter = 1.0;  // boundary: jitter may reach 1
+  provider.circuit_breaker.enabled = true;
+  auto& service = strategy.services[0];
+  service.retry.max_attempts = 2;
+  service.circuit_breaker.enabled = true;
+  const auto r = validate(strategy);
+  EXPECT_TRUE(r.ok()) << r.error_message();
+}
+
+TEST(Validate, RejectsNonPositiveRetryAttempts) {
+  auto strategy = valid_strategy();
+  strategy.providers["prometheus"].retry.max_attempts = -2;
+  EXPECT_FALSE(validate(strategy).ok());
+  strategy.providers["prometheus"].retry.max_attempts = 0;
+  EXPECT_FALSE(validate(strategy).ok());
+}
+
+TEST(Validate, RejectsJitterOutsideUnitInterval) {
+  auto strategy = valid_strategy();
+  strategy.services[0].retry.max_attempts = 3;
+  strategy.services[0].retry.jitter = 1.5;
+  EXPECT_FALSE(validate(strategy).ok());
+  strategy.services[0].retry.jitter = -0.1;
+  EXPECT_FALSE(validate(strategy).ok());
+}
+
+TEST(Validate, RejectsDegenerateBackoffShape) {
+  auto strategy = valid_strategy();
+  auto& retry = strategy.providers["prometheus"].retry;
+  retry.max_attempts = 3;
+  retry.initial_backoff = 0s;
+  EXPECT_FALSE(validate(strategy).ok());
+  retry.initial_backoff = 10s;
+  retry.max_backoff = 1s;  // cap below the starting point
+  EXPECT_FALSE(validate(strategy).ok());
+  retry.max_backoff = 30s;
+  retry.multiplier = 0.5;  // shrinking "backoff"
+  EXPECT_FALSE(validate(strategy).ok());
+}
+
+TEST(Validate, RejectsZeroOpenDurationBreaker) {
+  auto strategy = valid_strategy();
+  auto& breaker = strategy.services[0].circuit_breaker;
+  breaker.enabled = true;
+  breaker.open_duration = 0s;
+  EXPECT_FALSE(validate(strategy).ok());
+  breaker.open_duration = 30s;
+  breaker.failure_threshold = 0;
+  EXPECT_FALSE(validate(strategy).ok());
+  breaker.failure_threshold = 5;
+  breaker.half_open_probes = 0;
+  EXPECT_FALSE(validate(strategy).ok());
+}
+
+TEST(Validate, DisabledPoliciesAreNotValidated) {
+  // A disabled breaker / single-attempt retry may carry nonsense knobs;
+  // they are inert and must not fail validation.
+  auto strategy = valid_strategy();
+  strategy.providers["prometheus"].retry.multiplier = 0.0;
+  strategy.providers["prometheus"].circuit_breaker.open_duration = 0s;
+  const auto r = validate(strategy);
+  EXPECT_TRUE(r.ok()) << r.error_message();
+}
+
+// ---------------------------------------------------------------------------
 // Lookups & misc
 
 TEST(StrategyDef, FindHelpers) {

@@ -643,5 +643,157 @@ strategy:
   EXPECT_FALSE(strategy.states[0].checks[0].conditions[0].fail_on_no_data);
 }
 
+// ---------------------------------------------------------------------------
+// Resilience blocks (retry / circuitBreaker)
+
+const char* kMinimalStates = R"(
+strategy:
+  name: resilient
+  initial: done
+  states:
+    - state:
+        name: done
+        final: success
+)";
+
+TEST(DslResilience, ProviderRetryAndBreakerParsed) {
+  const std::string text = std::string(kMinimalStates) + R"(
+deployment:
+  providers:
+    prometheus:
+      host: 127.0.0.1
+      port: 9090
+      retry:
+        maxAttempts: 4
+        initialBackoff: 0.5
+        multiplier: 3
+        maxBackoff: 20
+        jitter: 0.25
+        attemptTimeout: 2
+      circuitBreaker:
+        failureThreshold: 7
+        openDuration: 45
+        halfOpenProbes: 2
+)";
+  const auto strategy = must_compile(text);
+  const auto& provider = strategy.providers.at("prometheus");
+  EXPECT_EQ(provider.retry.max_attempts, 4);
+  EXPECT_EQ(provider.retry.initial_backoff, 500ms);
+  EXPECT_EQ(provider.retry.multiplier, 3.0);
+  EXPECT_EQ(provider.retry.max_backoff, 20s);
+  EXPECT_EQ(provider.retry.jitter, 0.25);
+  EXPECT_EQ(provider.retry.attempt_timeout, 2s);
+  EXPECT_TRUE(provider.retry.enabled());
+  EXPECT_TRUE(provider.circuit_breaker.enabled);
+  EXPECT_EQ(provider.circuit_breaker.failure_threshold, 7);
+  EXPECT_EQ(provider.circuit_breaker.open_duration, 45s);
+  EXPECT_EQ(provider.circuit_breaker.half_open_probes, 2);
+}
+
+TEST(DslResilience, ServiceBlocksAndPresenceDefaults) {
+  // `retry: {}` opts into retrying with sensible defaults; a bare
+  // `circuit_breaker:` (snake_case accepted) enables the breaker with
+  // its defaults. Absent blocks leave both disabled.
+  const std::string text = std::string(kMinimalStates) + R"(
+deployment:
+  providers:
+    prometheus: { host: 127.0.0.1, port: 9090 }
+  services:
+    - service:
+        name: search
+        retry: {}
+        circuit_breaker: {}
+        proxy: { adminHost: 127.0.0.1, adminPort: 8101 }
+        versions:
+          - version: { name: stable, host: 127.0.0.1, port: 8001 }
+)";
+  const auto strategy = must_compile(text);
+  const auto& service = strategy.services[0];
+  EXPECT_EQ(service.retry.max_attempts, 3);
+  EXPECT_EQ(service.retry.initial_backoff, 200ms);
+  EXPECT_EQ(service.retry.multiplier, 2.0);
+  EXPECT_TRUE(service.retry.enabled());
+  EXPECT_TRUE(service.circuit_breaker.enabled);
+  EXPECT_EQ(service.circuit_breaker.failure_threshold, 5);
+  EXPECT_EQ(service.circuit_breaker.open_duration, 30s);
+
+  const auto& provider = strategy.providers.at("prometheus");
+  EXPECT_FALSE(provider.retry.enabled());
+  EXPECT_FALSE(provider.circuit_breaker.enabled);
+}
+
+TEST(DslResilience, InlineProviderCarriesPolicies) {
+  const std::string text = R"(
+strategy:
+  name: inline-resilient
+  initial: done
+  providers:
+    prometheus:
+      host: 10.0.0.1
+      port: 9999
+      retry: { maxAttempts: 2 }
+  states:
+    - state:
+        name: done
+        final: success
+)";
+  const auto strategy = must_compile(text);
+  EXPECT_EQ(strategy.providers.at("prometheus").retry.max_attempts, 2);
+}
+
+TEST(DslResilience, RejectsNegativeAttempts) {
+  const std::string text = std::string(kMinimalStates) + R"(
+deployment:
+  providers:
+    prometheus:
+      host: 127.0.0.1
+      port: 9090
+      retry: { maxAttempts: -2 }
+)";
+  const auto r = compile(text);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error_message().find("max attempts"), std::string::npos);
+}
+
+TEST(DslResilience, RejectsZeroOpenDuration) {
+  const std::string text = std::string(kMinimalStates) + R"(
+deployment:
+  providers:
+    prometheus:
+      host: 127.0.0.1
+      port: 9090
+      circuitBreaker: { openDuration: 0 }
+)";
+  const auto r = compile(text);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error_message().find("open duration"), std::string::npos);
+}
+
+TEST(DslResilience, RejectsJitterAboveOne) {
+  const std::string text = std::string(kMinimalStates) + R"(
+deployment:
+  providers:
+    prometheus:
+      host: 127.0.0.1
+      port: 9090
+      retry: { maxAttempts: 3, jitter: 1.5 }
+)";
+  const auto r = compile(text);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error_message().find("jitter"), std::string::npos);
+}
+
+TEST(DslResilience, RejectsNonMappingRetry) {
+  const std::string text = std::string(kMinimalStates) + R"(
+deployment:
+  providers:
+    prometheus:
+      host: 127.0.0.1
+      port: 9090
+      retry: 3
+)";
+  EXPECT_FALSE(compile(text).ok());
+}
+
 }  // namespace
 }  // namespace bifrost::dsl

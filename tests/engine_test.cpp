@@ -384,6 +384,26 @@ TEST_F(ExecutionTest, ProviderOutageFailsChecks) {
   EXPECT_EQ(execution->status(), ExecutionStatus::kRolledBack);
 }
 
+TEST_F(ExecutionTest, ProviderOutageEmitsDegradedEvents) {
+  // Regression: a provider error during a basic check used to be
+  // swallowed silently — the execution counted a 0 outcome but nothing
+  // on the event stream said why. Each failed query must now surface a
+  // kDegraded event naming the provider.
+  metrics_.fail_all(true);
+  auto execution = make(canary_strategy());
+  execution->start();
+  clock_.advance_to(runtime::Time(35s));
+  EXPECT_EQ(count(StatusEvent::Type::kDegraded), 3);  // one per execution
+  for (const StatusEvent& event : events_) {
+    if (event.type != StatusEvent::Type::kDegraded) continue;
+    EXPECT_EQ(event.check, "errors");
+    EXPECT_EQ(event.value, 0.0);  // degraded execution counted as failed
+    EXPECT_NE(event.detail.find("provider 'prometheus'"), std::string::npos)
+        << event.detail;
+  }
+  EXPECT_EQ(execution->status(), ExecutionStatus::kRolledBack);
+}
+
 TEST_F(ExecutionTest, CustomEvalFunction) {
   auto strategy = canary_strategy();
   auto& check = strategy.states[0].checks[0];
@@ -441,14 +461,33 @@ TEST_F(ExecutionTest, TransitionLoopGuardFails) {
   EXPECT_EQ(count(StatusEvent::Type::kError), 1);
 }
 
-TEST_F(ExecutionTest, ProxyFailureEmitsErrorButContinues) {
+TEST_F(ExecutionTest, ProxyFailureRollsBack) {
+  // An unreachable proxy means the state's routing was never enacted:
+  // continuing to evaluate checks against traffic that is not flowing
+  // would be meaningless, so the strategy diverts into its rollback
+  // state (the rollback state's own routing failure is logged but does
+  // not recurse — it is final).
   proxies_.fail_ = true;
   metrics_.set("request_errors", 0.0);
   auto execution = make(canary_strategy());
   execution->start();
   EXPECT_GE(count(StatusEvent::Type::kError), 1);
-  clock_.advance_to(runtime::Time(35s));
-  EXPECT_EQ(execution->status(), ExecutionStatus::kSucceeded);
+  EXPECT_GE(count(StatusEvent::Type::kDegraded), 1);
+  EXPECT_EQ(execution->status(), ExecutionStatus::kRolledBack);
+  EXPECT_EQ(execution->current_state(), "rollback");
+}
+
+TEST_F(ExecutionTest, ProxyFailureWithoutRollbackStateAborts) {
+  proxies_.fail_ = true;
+  metrics_.set("request_errors", 0.0);
+  auto strategy = canary_strategy();
+  // Strip the rollback state; repoint transitions so it stays valid.
+  strategy.states.erase(strategy.states.begin() + 2);
+  strategy.states[0].transitions = {"done", "done"};
+  auto execution = make(std::move(strategy));
+  execution->start();
+  EXPECT_EQ(execution->status(), ExecutionStatus::kAborted);
+  EXPECT_EQ(count(StatusEvent::Type::kAborted), 1);
 }
 
 TEST_F(ExecutionTest, EnactmentDelayNearZeroOnIdealClock) {

@@ -193,7 +193,10 @@ TEST_F(FailureInjectionTest, LenientChecksSurviveProviderOutage) {
             engine::ExecutionStatus::kSucceeded);
 }
 
-TEST_F(FailureInjectionTest, UnreachableProxyEmitsErrorsButProceeds) {
+TEST_F(FailureInjectionTest, UnreachableProxyRollsBack) {
+  // With the proxy admin endpoint unreachable the canary split is never
+  // enacted, so the strategy must not pretend to evaluate it: it
+  // diverts into its rollback state and finishes kRolledBack.
   auto strategy = guarded_canary(*app_, 300ms, 2);
   strategy.states[0].checks[0].interval = 300ms;
   strategy.states[0].checks[0].executions = 2;
@@ -203,14 +206,17 @@ TEST_F(FailureInjectionTest, UnreachableProxyEmitsErrorsButProceeds) {
   const auto id = engine_->submit(std::move(strategy));
   ASSERT_TRUE(id.ok());
   EXPECT_EQ(wait_for_finish(id.value(), 15s),
-            engine::ExecutionStatus::kSucceeded);
+            engine::ExecutionStatus::kRolledBack);
   bool proxy_error = false;
+  bool degraded = false;
   for (const auto& event : engine_->events_since(0, 100000, 0ms)) {
     proxy_error |= event.type == engine::StatusEvent::Type::kError &&
                    event.detail.find("proxy update failed") !=
                        std::string::npos;
+    degraded |= event.type == engine::StatusEvent::Type::kDegraded;
   }
   EXPECT_TRUE(proxy_error);
+  EXPECT_TRUE(degraded);
 }
 
 TEST_F(FailureInjectionTest, AbortUnderLoadLeavesLastAppliedRouting) {

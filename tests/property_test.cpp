@@ -15,8 +15,12 @@
 #include "core/analysis.hpp"
 #include "core/model.hpp"
 #include "engine/execution.hpp"
+#include "engine/resilience.hpp"
 #include "proxy/proxy.hpp"
 #include "runtime/manual_clock.hpp"
+#include "sim/fault_plan.hpp"
+#include "sim/sim_env.hpp"
+#include "sim/simulation.hpp"
 #include "util/rng.hpp"
 
 namespace bifrost {
@@ -343,6 +347,143 @@ TEST(AnalysisProperty, AbsorptionMatchesMonteCarlo) {
   }
   EXPECT_NEAR(successes / static_cast<double>(kRuns),
               analysis.value().success_probability, 0.03);
+}
+
+// ---------------------------------------------------------------------------
+// Resilience properties: backoff shape, attempt budgets, termination
+
+TEST(ResilienceProperty, BackoffBaseMonotoneNonDecreasingUpToCap) {
+  util::Rng rng(31);
+  for (int round = 0; round < 300; ++round) {
+    core::RetryPolicy policy;
+    policy.initial_backoff =
+        std::chrono::milliseconds(rng.uniform_int(1, 5000));
+    policy.multiplier = 1.0 + rng.uniform() * 3.0;
+    policy.max_backoff =
+        policy.initial_backoff * rng.uniform_int(1, 64);
+    policy.jitter = rng.uniform();
+
+    runtime::Duration previous{0};
+    for (int attempt = 1; attempt <= 30; ++attempt) {
+      const auto base = engine::backoff_base(policy, attempt);
+      EXPECT_GE(base, previous) << "round " << round;
+      EXPECT_LE(base, policy.max_backoff);
+      previous = base;
+
+      // Jitter only ever adds, bounded by the jitter fraction (one
+      // microsecond of slack for the double <-> ns round trips).
+      const auto delay = engine::backoff_delay(policy, attempt, rng);
+      EXPECT_GE(delay, base - 1us);
+      EXPECT_LE(delay, base + std::chrono::duration_cast<runtime::Duration>(
+                                  base * policy.jitter) + 1us);
+    }
+  }
+}
+
+TEST(ResilienceProperty, InnerAttemptsNeverExceedBudget) {
+  // Against random failure patterns and random policies, one decorated
+  // call never issues more than max_attempts inner calls (a breaker may
+  // issue fewer), and every kRetried event numbers an attempt below the
+  // budget.
+  util::Rng rng(57);
+  for (int round = 0; round < 40; ++round) {
+    sim::Simulation sim;
+    sim::FaultPlan plan(rng.uniform_int(0, 1'000'000));
+    plan.metrics().error_probability = rng.uniform() * 0.8;
+    plan.metrics().latency_spike_probability = rng.uniform() * 0.3;
+    plan.metrics().latency_spike =
+        std::chrono::milliseconds(rng.uniform_int(1, 2000));
+
+    core::ProviderConfig provider{"prometheus", 9090};
+    provider.retry.max_attempts = static_cast<int>(rng.uniform_int(1, 6));
+    provider.retry.initial_backoff =
+        std::chrono::milliseconds(rng.uniform_int(1, 500));
+    provider.retry.multiplier = 1.0 + rng.uniform() * 2.0;
+    provider.retry.max_backoff = 10s;
+    provider.retry.jitter = rng.uniform();
+    if (rng.bernoulli(0.5)) {
+      provider.circuit_breaker.enabled = true;
+      provider.circuit_breaker.failure_threshold =
+          static_cast<int>(rng.uniform_int(1, 5));
+      provider.circuit_breaker.open_duration =
+          std::chrono::seconds(rng.uniform_int(1, 30));
+    }
+
+    sim::SimMetricsClient inner(sim, sim::always_healthy(0.0));
+    inner.set_fault_plan(&plan);
+    engine::ResilientMetricsClient client(
+        inner, sim, sim::external_sleeper(sim), rng.uniform_int(0, 1 << 20));
+    const int budget = std::max(1, provider.retry.max_attempts);
+    client.set_listener([&](const engine::StatusEvent& event) {
+      if (event.type == engine::StatusEvent::Type::kRetried) {
+        EXPECT_GE(event.value, 1.0);
+        EXPECT_LT(event.value, budget);
+      }
+    });
+
+    for (int call = 0; call < 25; ++call) {
+      const std::uint64_t before = inner.queries();
+      (void)client.query(provider, "request_errors");
+      const std::uint64_t issued = inner.queries() - before;
+      EXPECT_LE(issued, static_cast<std::uint64_t>(budget))
+          << "round " << round << " call " << call;
+    }
+  }
+}
+
+TEST(ResilienceProperty, FaultyEnactmentAlwaysTerminatesInAFinalStatus) {
+  // Random strategies from the generator above, enacted under the
+  // simulator with random fault plans and retry/breaker policies, must
+  // always end in kSucceeded, kRolledBack, or kAborted — never hang,
+  // and never leak a bare error state.
+  util::Rng rng(83);
+  for (int round = 0; round < 25; ++round) {
+    const int n_states = static_cast<int>(rng.uniform_int(1, 6));
+    GeneratedStrategy generated = random_strategy(rng, n_states);
+    auto& provider = generated.def.providers["prometheus"];
+    provider.retry.max_attempts = static_cast<int>(rng.uniform_int(2, 5));
+    provider.retry.initial_backoff = 50ms;
+    provider.retry.multiplier = 2.0;
+    provider.retry.max_backoff = 2s;
+    auto& service = generated.def.services[0];
+    service.retry.max_attempts = 3;
+    service.retry.initial_backoff = 50ms;
+    if (rng.bernoulli(0.5)) {
+      provider.circuit_breaker.enabled = true;
+      provider.circuit_breaker.failure_threshold = 5;
+      provider.circuit_breaker.open_duration = 5s;
+    }
+    const auto valid = core::validate(generated.def);
+    ASSERT_TRUE(valid.ok()) << valid.error_message();
+
+    sim::Simulation sim;
+    sim::FaultPlan plan(rng.uniform_int(0, 1'000'000));
+    plan.metrics().error_probability = rng.uniform() * 0.2;
+    plan.metrics().latency_spike_probability = rng.uniform() * 0.2;
+    plan.metrics().latency_spike = 200ms;
+    plan.proxy().error_probability = rng.uniform() * 0.1;
+
+    sim::SimMetricsClient inner_metrics(sim, sim::always_healthy(0.0));
+    inner_metrics.set_fault_plan(&plan);
+    sim::SimProxyController inner_proxies(sim);
+    inner_proxies.set_fault_plan(&plan);
+    engine::ResilientMetricsClient metrics(inner_metrics, sim,
+                                           sim::external_sleeper(sim));
+    engine::ResilientProxyController proxies(inner_proxies, sim,
+                                             sim::external_sleeper(sim));
+
+    engine::StrategyExecution execution("gen", sim, metrics, proxies,
+                                        generated.def, nullptr);
+    sim.schedule_at(runtime::Time{0}, [&] { execution.start(); });
+    sim.run_all();
+
+    const auto status = execution.status();
+    EXPECT_TRUE(status == engine::ExecutionStatus::kSucceeded ||
+                status == engine::ExecutionStatus::kRolledBack ||
+                status == engine::ExecutionStatus::kAborted)
+        << "round " << round << " ended in status "
+        << static_cast<int>(status);
+  }
 }
 
 }  // namespace
