@@ -15,9 +15,14 @@
 //
 // Default phase durations are compressed (8/8/8/10 s vs the paper's
 // 60/60/60/200 s); BIFROST_BENCH_FULL=1 selects paper durations.
+#include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <mutex>
 #include <thread>
+#include <unordered_map>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "casestudy/app.hpp"
@@ -25,13 +30,229 @@
 #include "engine/http_clients.hpp"
 #include "loadgen/loadgen.hpp"
 #include "loadgen/workload.hpp"
+#include "metrics/registry.hpp"
+#include "proxy/proxy.hpp"
+#include "proxy/session_table.hpp"
 #include "runtime/event_loop.hpp"
 #include "util/csv.hpp"
+#include "util/rng.hpp"
 
 namespace {
 
 using namespace std::chrono_literals;
 using namespace bifrost;
+
+// ---------------------------------------------------------------------------
+// Routing-decision scaling sweep: closed-loop client threads performing
+// the proxy's per-request data-plane work (sticky lookup, routing
+// decision, sticky bookkeeping, counters, latency recording) without
+// the socket layer, so the locking structure is what is measured.
+//
+// "legacy" reproduces the pre-sharding data plane: one global mutex
+// pair around a shared session map + RNG, another around counters, and
+// a third around per-version latency ring buffers — every request
+// serialized three times. "sharded" is the current data plane: sharded
+// LRU SessionTable, thread-local RNG, lock-free counters, and lock-free
+// log-bucket latency histograms.
+
+proxy::ProxyConfig sweep_config() {
+  proxy::ProxyConfig config;
+  config.service = "sweep";
+  config.sticky = true;
+  config.backends = {
+      proxy::BackendTarget{"stable", "127.0.0.1", 8001, 50.0, "", ""},
+      proxy::BackendTarget{"canary", "127.0.0.1", 8002, 50.0, "", ""},
+  };
+  return config;
+}
+
+struct LegacyPath {
+  std::mutex session_mutex;
+  std::unordered_map<std::string, std::string> sticky;
+  std::vector<std::string> sticky_order;
+  std::mutex rng_mutex;
+  util::Rng rng{1};
+  std::mutex counter_mutex;
+  double requests[2] = {0.0, 0.0};
+  double request_time_ms[2] = {0.0, 0.0};
+  std::mutex latency_mutex;
+  std::unordered_map<std::string, std::vector<double>> latencies;
+  std::unordered_map<std::string, std::size_t> latency_cursor;
+  static constexpr std::size_t kLatencyWindow = 4096;
+  static constexpr std::size_t kMaxSessions = 1 << 20;
+
+  std::size_t handle(const proxy::ProxyConfig& config,
+                     const http::Request& request, const std::string& id,
+                     util::Rng& /*thread_rng*/) {
+    std::size_t index;
+    {
+      const std::lock_guard<std::mutex> session_lock(session_mutex);
+      const std::lock_guard<std::mutex> rng_lock(rng_mutex);
+      index = proxy::BifrostProxy::decide_backend(config, request, id,
+                                                  sticky, rng);
+    }
+    const proxy::BackendTarget& backend = config.backends[index];
+    {
+      const std::lock_guard<std::mutex> lock(session_mutex);
+      auto [it, inserted] = sticky.try_emplace(id, backend.version);
+      if (!inserted) {
+        it->second = backend.version;
+      } else {
+        sticky_order.push_back(id);
+        if (sticky_order.size() > kMaxSessions) {
+          sticky.erase(sticky_order.front());
+          sticky_order.erase(sticky_order.begin());
+        }
+      }
+    }
+    {
+      const std::lock_guard<std::mutex> lock(counter_mutex);
+      requests[index] += 1.0;
+      request_time_ms[index] += 0.5;
+    }
+    {
+      const std::lock_guard<std::mutex> lock(latency_mutex);
+      auto& window = latencies[backend.version];
+      if (window.size() < kLatencyWindow) {
+        window.push_back(0.5);
+      } else {
+        auto& cursor = latency_cursor[backend.version];
+        window[cursor] = 0.5;
+        cursor = (cursor + 1) % kLatencyWindow;
+      }
+    }
+    return index;
+  }
+};
+
+struct ShardedPath {
+  proxy::SessionTable sessions{16, 1 << 20};
+  metrics::Registry registry;
+  struct PerVersion {
+    metrics::Counter* requests;
+    metrics::Counter* request_time_ms;
+    std::shared_ptr<metrics::Histogram> latency;
+  };
+  std::vector<PerVersion> per_version;
+
+  explicit ShardedPath(const proxy::ProxyConfig& config) {
+    for (const proxy::BackendTarget& backend : config.backends) {
+      per_version.push_back(PerVersion{
+          &registry.counter("requests_total", {{"version", backend.version}}),
+          &registry.counter("request_time_ms_total",
+                            {{"version", backend.version}}),
+          registry.histogram("request_latency_ms",
+                             {{"version", backend.version}})});
+    }
+  }
+
+  std::size_t handle(const proxy::ProxyConfig& config,
+                     const http::Request& request, const std::string& id,
+                     util::Rng& thread_rng) {
+    const auto pinned = sessions.touch(id);
+    const std::size_t index =
+        proxy::BifrostProxy::decide_backend(config, request, pinned,
+                                            thread_rng);
+    const proxy::BackendTarget& backend = config.backends[index];
+    if (!pinned || *pinned != backend.version) {
+      sessions.assign(id, backend.version);
+    }
+    per_version[index].requests->increment();
+    per_version[index].request_time_ms->increment(0.5);
+    per_version[index].latency->observe(0.5);
+    return index;
+  }
+};
+
+struct SweepPoint {
+  double ops_per_second = 0.0;
+  double p99_us = 0.0;
+};
+
+template <typename Path>
+SweepPoint run_sweep_point(Path& path, const proxy::ProxyConfig& config,
+                           int threads, double seconds) {
+  std::atomic<bool> go{false};
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> total_ops{0};
+  constexpr std::size_t kMaxSamples = 1 << 16;
+  std::vector<std::vector<double>> samples(
+      static_cast<std::size_t>(threads));
+  std::vector<std::thread> workers;
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      util::Rng thread_rng(util::derive_seed(42, static_cast<std::uint64_t>(t)));
+      std::vector<std::string> ids;
+      for (int i = 0; i < 256; ++i) {
+        ids.push_back("s-" + std::to_string(t) + "-" + std::to_string(i));
+      }
+      auto& my_samples = samples[static_cast<std::size_t>(t)];
+      my_samples.reserve(kMaxSamples);
+      http::Request request;
+      request.target = "/";
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      std::uint64_t ops = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const std::string& id = ids[ops & 255];
+        const auto op_start = std::chrono::steady_clock::now();
+        path.handle(config, request, id, thread_rng);
+        const auto op_end = std::chrono::steady_clock::now();
+        if (my_samples.size() < kMaxSamples) {
+          my_samples.push_back(
+              std::chrono::duration<double, std::micro>(op_end - op_start)
+                  .count());
+        }
+        ++ops;
+      }
+      total_ops.fetch_add(ops);
+    });
+  }
+  const auto bench_start = std::chrono::steady_clock::now();
+  go.store(true, std::memory_order_release);
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  stop.store(true);
+  for (auto& worker : workers) worker.join();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    bench_start)
+          .count();
+  std::vector<double> merged;
+  for (auto& chunk : samples) {
+    merged.insert(merged.end(), chunk.begin(), chunk.end());
+  }
+  SweepPoint point;
+  point.ops_per_second = static_cast<double>(total_ops.load()) / elapsed;
+  point.p99_us = merged.empty() ? 0.0 : util::percentile(merged, 99.0);
+  return point;
+}
+
+void run_scaling_sweep() {
+  const proxy::ProxyConfig config = sweep_config();
+  const double seconds = bifrost::bench::full_mode() ? 2.0 : 0.4;
+  bifrost::bench::print_header(
+      "Routing-decision scaling sweep (closed loop, sticky 50/50 split)");
+  std::printf(
+      "per-request data-plane work without sockets; 'legacy' = global\n"
+      "session/RNG/counter/latency mutexes (pre-sharding), 'sharded' =\n"
+      "sharded sessions + thread-local RNG + lock-free histograms.\n"
+      "%.1f s per point, %u hardware threads.\n\n",
+      seconds, std::thread::hardware_concurrency());
+  std::printf("threads | %14s %9s | %14s %9s | speedup\n", "legacy ops/s",
+              "p99 us", "sharded ops/s", "p99 us");
+  for (const int threads : {1, 2, 4, 8}) {
+    LegacyPath legacy;
+    const SweepPoint before =
+        run_sweep_point(legacy, config, threads, seconds);
+    ShardedPath sharded(config);
+    const SweepPoint after =
+        run_sweep_point(sharded, config, threads, seconds);
+    std::printf("%7d | %14.0f %9.2f | %14.0f %9.2f | %6.2fx\n", threads,
+                before.ops_per_second, before.p99_us, after.ops_per_second,
+                after.p99_us,
+                after.ops_per_second / before.ops_per_second);
+  }
+  std::printf("\n(record new numbers in bench/TRAJECTORY.md)\n");
+}
 
 struct Timeline {
   double ramp = 8.0;     // warm-up before the strategy starts
@@ -300,6 +521,14 @@ VariantResult run_variant(Variant variant, const Timeline& t) {
 }  // namespace
 
 int main() {
+  // Part 1: data-plane scaling sweep (legacy vs sharded routing path).
+  // BIFROST_BENCH_SWEEP_ONLY=1 exits after it, for quick re-measurement.
+  run_scaling_sweep();
+  if (const char* only = std::getenv("BIFROST_BENCH_SWEEP_ONLY");
+      only != nullptr && only[0] == '1') {
+    return 0;
+  }
+
   Timeline t;
   if (bifrost::bench::full_mode()) {
     t.ramp = 30.0 + 60.0;  // paper: 30 s ramp + 60 s health checking

@@ -1,34 +1,109 @@
 #include "metrics/registry.hpp"
 
+#include <algorithm>
+#include <cmath>
+#include <limits>
 #include <sstream>
 
 #include "util/strings.hpp"
 
 namespace bifrost::metrics {
 
-void Counter::increment(double delta) {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  value_ += delta;
+namespace {
+
+// fetch_add for atomic<double> via CAS (libstdc++'s floating fetch_add
+// is the same loop; spelled out so relaxed ordering is explicit).
+void atomic_add(std::atomic<double>& target, double delta) {
+  double current = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(current, current + delta,
+                                       std::memory_order_relaxed)) {
+  }
 }
 
+}  // namespace
+
+void Counter::increment(double delta) { atomic_add(value_, delta); }
+
 double Counter::value() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  return value_;
+  return value_.load(std::memory_order_relaxed);
 }
 
 void Gauge::set(double value) {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  value_ = value;
+  value_.store(value, std::memory_order_relaxed);
 }
 
-void Gauge::add(double delta) {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  value_ += delta;
-}
+void Gauge::add(double delta) { atomic_add(value_, delta); }
 
 double Gauge::value() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  return value_;
+  return value_.load(std::memory_order_relaxed);
+}
+
+void Histogram::observe(double value) {
+  int index = 0;
+  if (value >= kMinValue) {
+    const double position =
+        std::log2(value / kMinValue) * kBucketsPerOctave;
+    index = position >= kBuckets ? kBuckets + 1
+                                 : 1 + static_cast<int>(position);
+  }
+  buckets_[static_cast<std::size_t>(index)].fetch_add(
+      1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_add(sum_, value);
+}
+
+std::uint64_t Histogram::count() const {
+  return count_.load(std::memory_order_relaxed);
+}
+
+double Histogram::sum() const {
+  return sum_.load(std::memory_order_relaxed);
+}
+
+double Histogram::bucket_upper(int index) {
+  if (index <= 0) return kMinValue;
+  if (index > kBuckets) return std::numeric_limits<double>::infinity();
+  return kMinValue * std::exp2(static_cast<double>(index) /
+                               kBucketsPerOctave);
+}
+
+std::array<std::uint64_t, Histogram::kBuckets + 2> Histogram::snapshot()
+    const {
+  std::array<std::uint64_t, kBuckets + 2> out{};
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+double Histogram::percentile(double p) const {
+  const auto counts = snapshot();
+  std::uint64_t total = 0;
+  for (const std::uint64_t n : counts) total += n;
+  if (total == 0) return 0.0;
+
+  const double clamped = std::clamp(p, 0.0, 100.0);
+  const double target =
+      std::max(1.0, clamped / 100.0 * static_cast<double>(total));
+  std::uint64_t cumulative = 0;
+  for (int i = 0; i < static_cast<int>(counts.size()); ++i) {
+    const std::uint64_t in_bucket = counts[static_cast<std::size_t>(i)];
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(cumulative + in_bucket) < target) {
+      cumulative += in_bucket;
+      continue;
+    }
+    const double fraction = std::clamp(
+        (target - static_cast<double>(cumulative)) /
+            static_cast<double>(in_bucket),
+        0.0, 1.0);
+    if (i == 0) return kMinValue * fraction;  // underflow: [0, kMinValue)
+    if (i > kBuckets) return bucket_upper(kBuckets);  // overflow floor
+    const double hi = bucket_upper(i);
+    const double lo = bucket_upper(i - 1);
+    return lo * std::pow(hi / lo, fraction);  // geometric interpolation
+  }
+  return bucket_upper(kBuckets);
 }
 
 Counter& Registry::counter(const std::string& name, const Labels& labels) {
@@ -45,6 +120,20 @@ Gauge& Registry::gauge(const std::string& name, const Labels& labels) {
   return *slot;
 }
 
+std::shared_ptr<Histogram> Registry::histogram(const std::string& name,
+                                               const Labels& labels) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[SeriesKey{name, labels}];
+  if (!slot) slot = std::make_shared<Histogram>();
+  return slot;
+}
+
+bool Registry::remove_histogram(const std::string& name,
+                                const Labels& labels) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return histograms_.erase(SeriesKey{name, labels}) > 0;
+}
+
 std::string Registry::expose() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   std::ostringstream out;
@@ -53,6 +142,27 @@ std::string Registry::expose() const {
   }
   for (const auto& [key, gauge] : gauges_) {
     out << key.to_string() << ' ' << gauge->value() << '\n';
+  }
+  for (const auto& [key, histogram] : histograms_) {
+    const auto counts = histogram->snapshot();
+    std::uint64_t cumulative = 0;
+    // Sparse cumulative buckets: only slots that hold samples, plus the
+    // mandatory +Inf bucket.
+    for (int i = 0; i < static_cast<int>(counts.size()); ++i) {
+      if (counts[static_cast<std::size_t>(i)] == 0) continue;
+      cumulative += counts[static_cast<std::size_t>(i)];
+      if (i > Histogram::kBuckets) break;  // folded into +Inf below
+      SeriesKey bucket_key{key.name + "_bucket", key.labels};
+      bucket_key.labels["le"] = std::to_string(Histogram::bucket_upper(i));
+      out << bucket_key.to_string() << ' ' << cumulative << '\n';
+    }
+    SeriesKey inf_key{key.name + "_bucket", key.labels};
+    inf_key.labels["le"] = "+Inf";
+    out << inf_key.to_string() << ' ' << cumulative << '\n';
+    SeriesKey sum_key{key.name + "_sum", key.labels};
+    out << sum_key.to_string() << ' ' << histogram->sum() << '\n';
+    SeriesKey count_key{key.name + "_count", key.labels};
+    out << count_key.to_string() << ' ' << histogram->count() << '\n';
   }
   return out.str();
 }

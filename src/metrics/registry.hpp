@@ -1,10 +1,16 @@
-// Instrumentation registry for services: counters and gauges exposed in
-// the Prometheus text format (the case-study services expose business
-// and performance metrics this way; cAdvisor-style resource gauges are
-// recorded by the simulator).
+// Instrumentation registry for services: counters, gauges, and
+// histograms exposed in the Prometheus text format (the case-study
+// services expose business and performance metrics this way;
+// cAdvisor-style resource gauges are recorded by the simulator).
+//
+// Counters/gauges/histogram buckets are plain atomics so data-plane
+// callers (the proxy hot path) never take a lock to record; the
+// registry mutex only guards series creation/removal and exposition.
 #pragma once
 
+#include <array>
 #include <atomic>
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -16,18 +22,17 @@
 
 namespace bifrost::metrics {
 
-/// Monotonically increasing counter.
+/// Monotonically increasing counter (lock-free).
 class Counter {
  public:
   void increment(double delta = 1.0);
   [[nodiscard]] double value() const;
 
  private:
-  mutable std::mutex mutex_;
-  double value_ = 0.0;
+  std::atomic<double> value_{0.0};
 };
 
-/// Arbitrary settable gauge.
+/// Arbitrary settable gauge (lock-free).
 class Gauge {
  public:
   void set(double value);
@@ -35,24 +40,77 @@ class Gauge {
   [[nodiscard]] double value() const;
 
  private:
-  mutable std::mutex mutex_;
-  double value_ = 0.0;
+  std::atomic<double> value_{0.0};
 };
 
-/// Named collection of counters/gauges; renders the exposition format.
+/// Fixed log-scaled-bucket histogram with atomic counters: recording is
+/// lock-free and wait-free on the bucket increment, so many threads can
+/// observe() concurrently without contending (the proxy records one
+/// latency sample per request through this).
+///
+/// Buckets are geometric with kBucketsPerOctave sub-buckets per power of
+/// two, spanning [kMinValue, kMinValue * 2^kOctaves) plus an underflow
+/// and an overflow bucket. Percentiles are estimated by interpolating
+/// inside the bucket that holds the requested rank; the relative error
+/// is bounded by the bucket width (2^(1/kBucketsPerOctave) ~ 9%).
+class Histogram {
+ public:
+  static constexpr int kBucketsPerOctave = 8;
+  static constexpr int kOctaves = 27;
+  static constexpr int kBuckets = kBucketsPerOctave * kOctaves;
+  /// Smallest resolvable value; with ms units this is 1 microsecond and
+  /// the top bound is ~134 s.
+  static constexpr double kMinValue = 1e-3;
+
+  void observe(double value);
+
+  [[nodiscard]] std::uint64_t count() const;
+  [[nodiscard]] double sum() const;
+  /// Estimated percentile, p in [0, 100]; 0 when empty. Monotone in p.
+  [[nodiscard]] double percentile(double p) const;
+
+  /// Upper bound of bucket slot `index` in [0, kBuckets + 1]; the last
+  /// slot is the overflow bucket (+infinity).
+  [[nodiscard]] static double bucket_upper(int index);
+
+  /// Per-slot counts, index layout as bucket_upper (exposition and
+  /// percentile estimation share this snapshot).
+  [[nodiscard]] std::array<std::uint64_t, kBuckets + 2> snapshot() const;
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets + 2> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Named collection of counters/gauges/histograms; renders the
+/// exposition format.
 class Registry {
  public:
   /// Returns the counter for (name, labels), creating it on first use.
+  /// The reference stays valid for the registry's lifetime.
   Counter& counter(const std::string& name, const Labels& labels = {});
   Gauge& gauge(const std::string& name, const Labels& labels = {});
 
-  /// Prometheus text exposition ("name{l=\"v\"} value" lines).
+  /// Returns the histogram for (name, labels), creating it on first
+  /// use. Shared ownership: holders may keep observing after
+  /// remove_histogram() drops the series from exposition.
+  std::shared_ptr<Histogram> histogram(const std::string& name,
+                                       const Labels& labels = {});
+
+  /// Drops a histogram series from the registry (e.g. when a version
+  /// leaves the routing table). Returns true if it existed.
+  bool remove_histogram(const std::string& name, const Labels& labels = {});
+
+  /// Prometheus text exposition ("name{l=\"v\"} value" lines;
+  /// histograms render cumulative _bucket{le=…}, _sum, and _count).
   [[nodiscard]] std::string expose() const;
 
  private:
   mutable std::mutex mutex_;
   std::map<SeriesKey, std::unique_ptr<Counter>> counters_;
   std::map<SeriesKey, std::unique_ptr<Gauge>> gauges_;
+  std::map<SeriesKey, std::shared_ptr<Histogram>> histograms_;
 };
 
 /// One parsed exposition line.

@@ -22,10 +22,8 @@ std::string errno_message(const std::string& what) {
 }  // namespace
 
 void FdHandle::reset() {
-  if (fd_ >= 0) {
-    ::close(fd_);
-    fd_ = -1;
-  }
+  const int fd = fd_.exchange(-1, std::memory_order_relaxed);
+  if (fd >= 0) ::close(fd);
 }
 
 util::Result<TcpStream> TcpStream::connect(const std::string& host,

@@ -2,6 +2,7 @@
 // timeouts; higher layers (HTTP server/client) provide concurrency.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
@@ -22,24 +23,23 @@ class FdHandle {
   FdHandle& operator=(FdHandle&& other) noexcept {
     if (this != &other) {
       reset();
-      fd_ = other.release();
+      fd_.store(other.release(), std::memory_order_relaxed);
     }
     return *this;
   }
   FdHandle(const FdHandle&) = delete;
   FdHandle& operator=(const FdHandle&) = delete;
 
-  [[nodiscard]] int get() const { return fd_; }
-  [[nodiscard]] bool valid() const { return fd_ >= 0; }
-  int release() {
-    const int fd = fd_;
-    fd_ = -1;
-    return fd;
-  }
+  [[nodiscard]] int get() const { return fd_.load(std::memory_order_relaxed); }
+  [[nodiscard]] bool valid() const { return get() >= 0; }
+  int release() { return fd_.exchange(-1, std::memory_order_relaxed); }
   void reset();
 
  private:
-  int fd_ = -1;
+  // Atomic so a server's stop() can close the listener while the dispatch
+  // loop concurrently checks valid(); close/poll interleaving is handled by
+  // the wake pipe, this only removes the word-level race on the descriptor.
+  std::atomic<int> fd_{-1};
 };
 
 /// A connected TCP stream (blocking, with optional I/O timeouts).

@@ -103,14 +103,17 @@ util::Result<void> ProxyConfig::validate() const {
     return R::error("backend percentages sum to " + std::to_string(total) +
                     ", expected 100");
   }
-  if (!filter_header.empty()) {
+  // default_version is mandatory with an experiment filter and must
+  // always name a configured backend when set (header mode routes
+  // unmatched traffic to it).
+  if (!filter_header.empty() || !default_version.empty()) {
     bool default_known = false;
     for (const BackendTarget& b : backends) {
       default_known |= b.version == default_version;
     }
     if (!default_known) {
-      return R::error("experiment filter default version '" +
-                      default_version + "' is not a configured backend");
+      return R::error("default version '" + default_version +
+                      "' is not a configured backend");
     }
   }
   for (const ShadowTarget& s : shadows) {

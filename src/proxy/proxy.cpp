@@ -2,20 +2,31 @@
 
 #include <stdexcept>
 #include <thread>
+#include <utility>
 
 #include "util/log.hpp"
 #include "util/stats.hpp"
 #include "util/uuid.hpp"
 
 namespace bifrost::proxy {
+namespace {
+
+std::uint64_t next_instance_id() {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+}  // namespace
 
 BifrostProxy::BifrostProxy(Options options, ProxyConfig initial)
     : options_(options),
-      rng_(options.rng_seed == 0 ? util::Rng() : util::Rng(options.rng_seed)) {
+      instance_id_(next_instance_id()),
+      sessions_(options.session_shards, options.max_sticky_sessions) {
   if (auto v = initial.validate(); !v) {
     throw std::invalid_argument("proxy initial config: " + v.error_message());
   }
-  config_ = std::make_shared<const ProxyConfig>(std::move(initial));
+  state_ = build_state(std::move(initial));
+  state_version_.store(1, std::memory_order_release);
 
   http::HttpServer::Options data_options;
   data_options.port = options_.data_port;
@@ -50,20 +61,74 @@ void BifrostProxy::stop() {
 std::uint16_t BifrostProxy::data_port() const { return data_server_->port(); }
 std::uint16_t BifrostProxy::admin_port() const { return admin_server_->port(); }
 
+std::shared_ptr<const BifrostProxy::RouteState> BifrostProxy::build_state(
+    ProxyConfig config) {
+  auto state = std::make_shared<RouteState>();
+  state->config = std::move(config);
+  for (const BackendTarget& backend : state->config.backends) {
+    if (state->by_version.count(backend.version) > 0) continue;
+    PerVersion per_version;
+    per_version.requests = &registry_.counter("bifrost_proxy_requests_total",
+                                              {{"version", backend.version}});
+    per_version.request_time_ms =
+        &registry_.counter("bifrost_proxy_request_time_ms_total",
+                           {{"version", backend.version}});
+    per_version.latency =
+        registry_.histogram(kLatencyMetric, {{"version", backend.version}});
+    state->by_version.emplace(backend.version, std::move(per_version));
+  }
+  return state;
+}
+
 util::Result<void> BifrostProxy::apply(ProxyConfig config) {
   if (auto v = config.validate(); !v) return v;
-  auto next = std::make_shared<const ProxyConfig>(std::move(config));
+  const std::shared_ptr<const RouteState> next =
+      build_state(std::move(config));
+  std::shared_ptr<const RouteState> previous;
   {
-    const std::lock_guard<std::mutex> lock(config_mutex_);
-    config_ = std::move(next);
+    const std::lock_guard<std::mutex> lock(state_mutex_);
+    previous = std::exchange(state_, next);
+    state_version_.fetch_add(1, std::memory_order_release);
+  }
+  // Prune latency histograms of versions that left the routing table so
+  // long multi-phase runs don't accumulate state for retired versions.
+  // In-flight requests still holding `previous` keep their shared_ptr.
+  for (const auto& [version, per_version] : previous->by_version) {
+    if (next->by_version.count(version) == 0) {
+      registry_.remove_histogram(kLatencyMetric, {{"version", version}});
+    }
   }
   config_updates_.fetch_add(1);
   return {};
 }
 
+std::shared_ptr<const BifrostProxy::RouteState> BifrostProxy::route_state()
+    const {
+  // Revalidate this thread's cached snapshot against the version
+  // counter. In steady state that is a single uncontended atomic load;
+  // state_mutex_ is touched once per thread per apply(). (libstdc++'s
+  // atomic<shared_ptr>::load is a CAS on a shared cache line and opaque
+  // to ThreadSanitizer — this is both cheaper and instrumentable.)
+  struct Cache {
+    std::uint64_t owner = 0;
+    std::uint64_t version = 0;
+    std::shared_ptr<const RouteState> state;
+  };
+  thread_local Cache cache;
+  const std::uint64_t version = state_version_.load(std::memory_order_acquire);
+  if (cache.owner != instance_id_ || cache.version != version) {
+    const std::lock_guard<std::mutex> lock(state_mutex_);
+    cache.state = state_;
+    // Re-read under the lock: apply() bumps the counter while holding
+    // it, so this pairs the cached pointer with its exact version.
+    cache.version = state_version_.load(std::memory_order_relaxed);
+    cache.owner = instance_id_;
+  }
+  return cache.state;
+}
+
 ProxyConfig BifrostProxy::current_config() const {
-  const std::lock_guard<std::mutex> lock(config_mutex_);
-  return *config_;
+  return route_state()->config;
 }
 
 std::uint64_t BifrostProxy::requests_for(const std::string& version) const {
@@ -74,31 +139,47 @@ std::uint64_t BifrostProxy::requests_for(const std::string& version) const {
 
 BifrostProxy::LatencyStats BifrostProxy::latency_for(
     const std::string& version) const {
-  std::vector<double> window;
-  {
-    const std::lock_guard<std::mutex> lock(latency_mutex_);
-    const auto it = latencies_.find(version);
-    if (it == latencies_.end() || it->second.empty()) return {};
-    window = it->second;
-  }
+  const std::shared_ptr<const RouteState> state = route_state();
+  const auto it = state->by_version.find(version);
+  if (it == state->by_version.end()) return {};
+  const metrics::Histogram& histogram = *it->second.latency;
   LatencyStats stats;
-  stats.count = window.size();
-  stats.p50 = util::percentile(window, 50.0);
-  stats.p95 = util::percentile(window, 95.0);
-  stats.p99 = util::percentile(window, 99.0);
+  stats.count = histogram.count();
+  if (stats.count == 0) return stats;
+  stats.mean = histogram.sum() / static_cast<double>(stats.count);
+  stats.p50 = histogram.percentile(50.0);
+  stats.p95 = histogram.percentile(95.0);
+  stats.p99 = histogram.percentile(99.0);
   return stats;
 }
 
-std::size_t BifrostProxy::sticky_sessions() const {
-  const std::lock_guard<std::mutex> lock(session_mutex_);
-  return sticky_.size();
+std::size_t BifrostProxy::sticky_sessions() const { return sessions_.size(); }
+
+util::Rng& BifrostProxy::thread_rng() const {
+  // One slot per thread; re-seeded when the thread first serves a
+  // different proxy instance (worker threads are per-server, so this
+  // happens at most once per instance in practice).
+  struct Slot {
+    std::uint64_t owner = 0;
+    std::optional<util::Rng> rng;
+  };
+  thread_local Slot slot;
+  if (slot.owner != instance_id_) {
+    slot.owner = instance_id_;
+    const std::uint64_t stream =
+        rng_streams_.fetch_add(1, std::memory_order_relaxed);
+    if (options_.rng_seed == 0) {
+      slot.rng.emplace();
+    } else {
+      slot.rng.emplace(util::derive_seed(options_.rng_seed, stream));
+    }
+  }
+  return *slot.rng;
 }
 
 std::size_t BifrostProxy::decide_backend(
     const ProxyConfig& config, const http::Request& request,
-    const std::string& session_id,
-    const std::unordered_map<std::string, std::string>& sticky,
-    util::Rng& rng) {
+    const std::optional<std::string>& sticky_version, util::Rng& rng) {
   if (config.backends.size() == 1) return 0;
 
   // Experiment scoping: requests outside the filtered population go
@@ -114,29 +195,32 @@ std::size_t BifrostProxy::decide_backend(
   }
 
   if (config.mode == core::RoutingMode::kHeader) {
-    std::size_t fallback = 0;
+    std::optional<std::size_t> catch_all;
     for (std::size_t i = 0; i < config.backends.size(); ++i) {
       const BackendTarget& backend = config.backends[i];
       if (backend.match_value.empty()) {
-        fallback = i;
+        if (!catch_all) catch_all = i;
         continue;
       }
       const auto value = request.headers.get(backend.match_header);
       if (value && *value == backend.match_value) return i;
     }
-    return fallback;
+    if (catch_all) return *catch_all;
+    // No catch-all backend: unmatched traffic goes to the default
+    // version, consistent with the filter-header scoping above.
+    for (std::size_t i = 0; i < config.backends.size(); ++i) {
+      if (config.backends[i].version == config.default_version) return i;
+    }
+    return 0;
   }
 
   // Cookie mode: sticky hit first.
-  if (config.sticky && !session_id.empty()) {
-    const auto it = sticky.find(session_id);
-    if (it != sticky.end()) {
-      for (std::size_t i = 0; i < config.backends.size(); ++i) {
-        if (config.backends[i].version == it->second) return i;
-      }
-      // Assigned version no longer a backend (state changed): fall
-      // through to a fresh decision.
+  if (config.sticky && sticky_version) {
+    for (std::size_t i = 0; i < config.backends.size(); ++i) {
+      if (config.backends[i].version == *sticky_version) return i;
     }
+    // Assigned version no longer a backend (state changed): fall
+    // through to a fresh decision.
   }
 
   // Weighted random pick over percentages.
@@ -149,13 +233,24 @@ std::size_t BifrostProxy::decide_backend(
   return config.backends.size() - 1;
 }
 
+std::size_t BifrostProxy::decide_backend(
+    const ProxyConfig& config, const http::Request& request,
+    const std::string& session_id,
+    const std::unordered_map<std::string, std::string>& sticky,
+    util::Rng& rng) {
+  std::optional<std::string> sticky_version;
+  if (!session_id.empty()) {
+    if (const auto it = sticky.find(session_id); it != sticky.end()) {
+      sticky_version = it->second;
+    }
+  }
+  return decide_backend(config, request, sticky_version, rng);
+}
+
 http::Response BifrostProxy::handle_data(const http::Request& request) {
   const auto started = std::chrono::steady_clock::now();
-  std::shared_ptr<const ProxyConfig> config;
-  {
-    const std::lock_guard<std::mutex> lock(config_mutex_);
-    config = config_;
-  }
+  const std::shared_ptr<const RouteState> state = route_state();
+  const ProxyConfig& config = state->config;
 
   if (options_.emulation_cost.count() > 0) {
     // Emulates the per-request processing cost of the paper's Node.js
@@ -166,7 +261,7 @@ http::Response BifrostProxy::handle_data(const http::Request& request) {
   // Session identification (cookie mode).
   std::string session_id;
   bool new_session = false;
-  if (config->mode == core::RoutingMode::kCookie && config->sticky) {
+  if (config.mode == core::RoutingMode::kCookie && config.sticky) {
     if (const auto cookie = request.cookie(kStickyCookie)) {
       session_id = *cookie;
     } else {
@@ -175,15 +270,18 @@ http::Response BifrostProxy::handle_data(const http::Request& request) {
     }
   }
 
-  std::size_t index;
-  {
-    const std::lock_guard<std::mutex> session_lock(session_mutex_);
-    const std::lock_guard<std::mutex> rng_lock(rng_mutex_);
-    index = decide_backend(*config, request, session_id, sticky_, rng_);
+  // Sticky lookup touches only the session's shard; the decision itself
+  // runs on thread-local state.
+  std::optional<std::string> pinned;
+  if (config.sticky && !session_id.empty() && !new_session) {
+    pinned = sessions_.touch(session_id);
   }
-  const BackendTarget& backend = config->backends[index];
-  if (config->sticky && !session_id.empty()) {
-    record_sticky(session_id, backend.version);
+  const std::size_t index =
+      decide_backend(config, request, pinned, thread_rng());
+  const BackendTarget& backend = config.backends[index];
+  if (config.sticky && !session_id.empty() &&
+      (!pinned || *pinned != backend.version)) {
+    sessions_.assign(session_id, backend.version);
   }
 
   // Forward to the chosen backend.
@@ -195,27 +293,17 @@ http::Response BifrostProxy::handle_data(const http::Request& request) {
 
   fire_shadows(config, backend.version, request);
 
-  registry_
-      .counter("bifrost_proxy_requests_total", {{"version", backend.version}})
-      .increment();
   const double elapsed_ms =
       std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
                                                 started)
           .count();
-  registry_
-      .counter("bifrost_proxy_request_time_ms_total",
-               {{"version", backend.version}})
-      .increment(elapsed_ms);
-  {
-    const std::lock_guard<std::mutex> lock(latency_mutex_);
-    auto& window = latencies_[backend.version];
-    if (window.size() < kLatencyWindow) {
-      window.push_back(elapsed_ms);
-    } else {
-      auto& cursor = latency_cursor_[backend.version];
-      window[cursor] = elapsed_ms;
-      cursor = (cursor + 1) % kLatencyWindow;
-    }
+  // Hot-path instrumentation: pointers were resolved at apply() time,
+  // the sinks themselves are lock-free.
+  const auto it = state->by_version.find(backend.version);
+  if (it != state->by_version.end()) {
+    it->second.requests->increment();
+    it->second.request_time_ms->increment(elapsed_ms);
+    it->second.latency->observe(elapsed_ms);
   }
 
   if (!response.ok()) {
@@ -233,15 +321,14 @@ http::Response BifrostProxy::handle_data(const http::Request& request) {
   return out;
 }
 
-void BifrostProxy::fire_shadows(
-    const std::shared_ptr<const ProxyConfig>& config,
-    const std::string& version, const http::Request& request) {
-  for (const ShadowTarget& shadow : config->shadows) {
+void BifrostProxy::fire_shadows(const ProxyConfig& config,
+                                const std::string& version,
+                                const http::Request& request) {
+  for (const ShadowTarget& shadow : config.shadows) {
     if (shadow.source_version != version) continue;
     bool fire = true;
     if (shadow.percent < 100.0) {
-      const std::lock_guard<std::mutex> lock(rng_mutex_);
-      fire = rng_.bernoulli(shadow.percent / 100.0);
+      fire = thread_rng().bernoulli(shadow.percent / 100.0);
     }
     if (!fire) continue;
     http::Request duplicate = request;
@@ -266,21 +353,6 @@ void BifrostProxy::fire_shadows(
   }
 }
 
-void BifrostProxy::record_sticky(const std::string& session_id,
-                                 const std::string& version) {
-  const std::lock_guard<std::mutex> lock(session_mutex_);
-  auto [it, inserted] = sticky_.try_emplace(session_id, version);
-  if (!inserted) {
-    it->second = version;
-    return;
-  }
-  sticky_order_.push_back(session_id);
-  if (sticky_order_.size() > options_.max_sticky_sessions) {
-    sticky_.erase(sticky_order_.front());
-    sticky_order_.erase(sticky_order_.begin());
-  }
-}
-
 http::Response BifrostProxy::handle_admin(const http::Request& request) {
   const std::string path = request.path();
   if (path == "/healthz") return http::Response::text(200, "ok\n");
@@ -301,22 +373,25 @@ http::Response BifrostProxy::handle_admin(const http::Request& request) {
     return http::Response::json(200, R"({"status":"ok"})");
   }
   if (path == "/admin/stats" && request.method == "GET") {
+    const std::shared_ptr<const RouteState> state = route_state();
     json::Object latency_json;
-    for (const BackendTarget& backend : current_config().backends) {
+    for (const BackendTarget& backend : state->config.backends) {
       const LatencyStats stats = latency_for(backend.version);
       if (stats.count == 0) continue;
       latency_json[backend.version] =
           json::Object{{"count", stats.count},
+                       {"mean_ms", stats.mean},
                        {"p50_ms", stats.p50},
                        {"p95_ms", stats.p95},
                        {"p99_ms", stats.p99}};
     }
     json::Object stats{
-        {"service", current_config().service},
+        {"service", state->config.service},
         {"shadowRequests", shadow_requests_.load()},
         {"backendErrors", backend_errors_.load()},
         {"configUpdates", config_updates_.load()},
         {"stickySessions", sticky_sessions()},
+        {"sessionShards", sessions_.shard_count()},
         {"latency", std::move(latency_json)},
     };
     return http::Response::json(200, json::Value(std::move(stats)).dump());
@@ -326,16 +401,11 @@ http::Response BifrostProxy::handle_admin(const http::Request& request) {
     // <user, version, sticky> (paper §3.2). Capped sample for large
     // tables; `total` always reports the full size.
     constexpr std::size_t kMaxListed = 1000;
+    const auto [mappings, total] = sessions_.snapshot(kMaxListed);
     json::Array sessions;
-    std::size_t total = 0;
-    {
-      const std::lock_guard<std::mutex> lock(session_mutex_);
-      total = sticky_.size();
-      for (const auto& [user, version] : sticky_) {
-        if (sessions.size() >= kMaxListed) break;
-        sessions.push_back(json::Object{
-            {"user", user}, {"version", version}, {"sticky", true}});
-      }
+    for (const auto& [user, version] : mappings) {
+      sessions.push_back(json::Object{
+          {"user", user}, {"version", version}, {"sticky", true}});
     }
     return http::Response::json(
         200, json::Value(json::Object{{"total", total},

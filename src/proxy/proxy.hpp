@@ -7,6 +7,12 @@
 //  * dark-launch traffic duplication (shadow requests are fired
 //    asynchronously; their responses are discarded),
 // and exposes an admin API plus Prometheus-style /metrics.
+//
+// The data plane is built to scale with cores: the routing table is a
+// versioned immutable snapshot (readers revalidate a thread-local cache
+// against an atomic version counter), sticky sessions live in a sharded
+// LRU table, every worker thread owns its RNG, and latency is recorded
+// into lock-free histograms — no global mutex on the request path.
 #pragma once
 
 #include <atomic>
@@ -14,6 +20,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <unordered_map>
 
@@ -21,6 +28,7 @@
 #include "http/server.hpp"
 #include "metrics/registry.hpp"
 #include "proxy/config.hpp"
+#include "proxy/session_table.hpp"
 #include "runtime/thread_pool.hpp"
 #include "util/rng.hpp"
 
@@ -34,6 +42,10 @@ inline constexpr const char* kStickyCookie = "bifrost.sid";
 inline constexpr const char* kVersionHeader = "X-Bifrost-Version";
 /// Header stamped onto duplicated (shadow) requests.
 inline constexpr const char* kShadowHeader = "X-Bifrost-Shadow";
+/// Per-version data-path latency histogram (ms); exposed on /metrics as
+/// _bucket/_sum/_count series and summarized in /admin/stats.
+inline constexpr const char* kLatencyMetric =
+    "bifrost_proxy_request_latency_ms";
 
 class BifrostProxy {
  public:
@@ -48,8 +60,11 @@ class BifrostProxy {
     /// per hop); 0 for the raw C++ data path.
     std::chrono::microseconds emulation_cost{0};
     std::uint64_t rng_seed = 0;  ///< 0 = nondeterministic
-    /// Maximum sticky-session table entries (oldest-insertion eviction).
+    /// Maximum sticky-session table entries (per-shard LRU eviction).
     std::size_t max_sticky_sessions = 1 << 20;
+    /// Sticky-session table shards (rounded up to a power of two).
+    /// More shards = less lock contention between worker threads.
+    std::size_t session_shards = 16;
   };
 
   /// `initial` must pass ProxyConfig::validate(); it is typically a
@@ -67,7 +82,8 @@ class BifrostProxy {
   [[nodiscard]] std::uint16_t admin_port() const;
 
   /// Atomically replaces the routing table (also reachable via
-  /// PUT /admin/config on the admin server).
+  /// PUT /admin/config on the admin server). Latency histograms of
+  /// versions that left the table are pruned.
   util::Result<void> apply(ProxyConfig config);
 
   [[nodiscard]] ProxyConfig current_config() const;
@@ -83,9 +99,11 @@ class BifrostProxy {
   [[nodiscard]] std::size_t sticky_sessions() const;
 
   /// Recent per-version latency summary (ms) from the proxy's own
-  /// vantage point — what /admin/stats reports.
+  /// vantage point — what /admin/stats reports. Percentiles are
+  /// histogram estimates (log-scaled buckets, ~9% relative error).
   struct LatencyStats {
     std::size_t count = 0;
+    double mean = 0.0;
     double p50 = 0.0;
     double p95 = 0.0;
     double p99 = 0.0;
@@ -93,38 +111,59 @@ class BifrostProxy {
   [[nodiscard]] LatencyStats latency_for(const std::string& version) const;
 
   /// Routing decision as a pure function (exposed for tests/benches):
-  /// which backend serves a request with the given cookie/header state.
-  /// Returns the index into config.backends.
-  static std::size_t decide_backend(const ProxyConfig& config,
-                                    const http::Request& request,
-                                    const std::string& session_id,
-                                    const std::unordered_map<std::string, std::string>& sticky,
-                                    util::Rng& rng);
+  /// which backend serves a request given the session's pinned version
+  /// (nullopt when the session is unknown). Returns the index into
+  /// config.backends.
+  static std::size_t decide_backend(
+      const ProxyConfig& config, const http::Request& request,
+      const std::optional<std::string>& sticky_version, util::Rng& rng);
+
+  /// Map-based convenience overload (legacy signature): looks
+  /// session_id up in `sticky` and delegates.
+  static std::size_t decide_backend(
+      const ProxyConfig& config, const http::Request& request,
+      const std::string& session_id,
+      const std::unordered_map<std::string, std::string>& sticky,
+      util::Rng& rng);
 
  private:
+  /// Per-backend-version hot-path instrumentation, resolved once per
+  /// apply() so handle_data never takes the registry lock.
+  struct PerVersion {
+    metrics::Counter* requests = nullptr;
+    metrics::Counter* request_time_ms = nullptr;
+    std::shared_ptr<metrics::Histogram> latency;
+  };
+  /// Immutable routing snapshot; swapped by apply() under state_mutex_
+  /// and published through state_version_.
+  struct RouteState {
+    ProxyConfig config;
+    std::unordered_map<std::string, PerVersion> by_version;
+  };
+
   http::Response handle_data(const http::Request& request);
   http::Response handle_admin(const http::Request& request);
-  void fire_shadows(const std::shared_ptr<const ProxyConfig>& config,
-                    const std::string& version, const http::Request& request);
-  void record_sticky(const std::string& session_id, const std::string& version);
+  void fire_shadows(const ProxyConfig& config, const std::string& version,
+                    const http::Request& request);
+
+  /// Current snapshot. Steady-state cost is one uncontended atomic load
+  /// (a thread-local cache is revalidated against state_version_);
+  /// state_mutex_ is only taken on the first call after an apply().
+  [[nodiscard]] std::shared_ptr<const RouteState> route_state() const;
+  std::shared_ptr<const RouteState> build_state(ProxyConfig config);
+  /// This worker thread's RNG, seeded from rng_seed + a per-thread
+  /// stream index on first use.
+  util::Rng& thread_rng() const;
 
   Options options_;
-  std::shared_ptr<const ProxyConfig> config_;
-  mutable std::mutex config_mutex_;
-
-  mutable std::mutex session_mutex_;
-  std::unordered_map<std::string, std::string> sticky_;  // uuid -> version
-  std::vector<std::string> sticky_order_;                // for eviction
-
-  // Sliding window of recent per-version latencies (ms) for the admin
-  // stats; bounded ring buffers.
-  static constexpr std::size_t kLatencyWindow = 4096;
-  mutable std::mutex latency_mutex_;
-  std::unordered_map<std::string, std::vector<double>> latencies_;
-  std::unordered_map<std::string, std::size_t> latency_cursor_;
-
-  mutable std::mutex rng_mutex_;
-  util::Rng rng_;
+  /// Process-unique id keying thread-local caches (never reused, unlike
+  /// `this`, so a recycled address cannot alias a stale cache entry).
+  const std::uint64_t instance_id_;
+  mutable std::mutex state_mutex_;  ///< guards state_
+  std::shared_ptr<const RouteState> state_;
+  std::atomic<std::uint64_t> state_version_{0};
+  SessionTable sessions_;
+  mutable std::atomic<std::uint64_t> rng_streams_{0};
 
   http::HttpClient backend_client_;
   http::HttpClient shadow_client_;

@@ -45,4 +45,15 @@ class Rng {
   std::mt19937_64 engine_;
 };
 
+/// Deterministically derives a decorrelated per-stream seed from a base
+/// seed (splitmix64 finalizer over golden-ratio-spaced increments).
+/// Used to give each worker thread its own Rng from one configured
+/// seed: stream = thread index.
+inline std::uint64_t derive_seed(std::uint64_t seed, std::uint64_t stream) {
+  std::uint64_t z = seed + 0x9E3779B97F4A7C15ULL * (stream + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
 }  // namespace bifrost::util

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <thread>
+#include <vector>
+
 #include "http/client.hpp"
 #include "http/url.hpp"
 #include "metrics/query.hpp"
@@ -8,6 +11,8 @@
 #include "metrics/server.hpp"
 #include "metrics/timeseries.hpp"
 #include "runtime/manual_clock.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
 
 namespace bifrost::metrics {
 namespace {
@@ -236,6 +241,120 @@ TEST(Registry, ExposeFormat) {
   const std::string text = registry.expose();
   EXPECT_NE(text.find("a_total{k=\"v\"} 5"), std::string::npos);
   EXPECT_NE(text.find("g 1.5"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+
+TEST(Histogram, CountsAndSum) {
+  Histogram histogram;
+  EXPECT_EQ(histogram.count(), 0u);
+  EXPECT_DOUBLE_EQ(histogram.percentile(50.0), 0.0);
+  histogram.observe(1.0);
+  histogram.observe(2.0);
+  histogram.observe(4.0);
+  EXPECT_EQ(histogram.count(), 3u);
+  EXPECT_DOUBLE_EQ(histogram.sum(), 7.0);
+}
+
+TEST(Histogram, HandlesUnderflowAndOverflow) {
+  Histogram histogram;
+  histogram.observe(0.0);                           // underflow bucket
+  histogram.observe(Histogram::kMinValue / 10.0);   // underflow bucket
+  histogram.observe(1e9);                           // overflow bucket
+  EXPECT_EQ(histogram.count(), 3u);
+  EXPECT_LE(histogram.percentile(10.0), Histogram::kMinValue);
+  EXPECT_GE(histogram.percentile(99.0),
+            Histogram::bucket_upper(Histogram::kBuckets) * 0.99);
+}
+
+TEST(Histogram, PercentilesMonotoneInP) {
+  Histogram histogram;
+  util::Rng rng(7);
+  for (int i = 0; i < 5000; ++i) histogram.observe(rng.exponential(20.0));
+  double previous = 0.0;
+  for (const double p : {1.0, 10.0, 50.0, 90.0, 95.0, 99.0, 99.9}) {
+    const double value = histogram.percentile(p);
+    EXPECT_GE(value, previous) << "p=" << p;
+    previous = value;
+  }
+}
+
+// Percentile estimates must track util::percentile on known samples
+// within the log-bucket resolution (2^(1/8) ~ 9% relative error).
+TEST(Histogram, PercentileAccuracyAgainstExact) {
+  Histogram histogram;
+  util::Rng rng(42);
+  std::vector<double> samples;
+  for (int i = 0; i < 20000; ++i) {
+    // Latency-shaped mixture: a fast mode with a slow tail.
+    const double value = rng.bernoulli(0.9) ? rng.exponential(8.0)
+                                            : 100.0 + rng.exponential(50.0);
+    samples.push_back(value);
+    histogram.observe(value);
+  }
+  for (const double p : {50.0, 90.0, 95.0, 99.0}) {
+    const double exact = util::percentile(samples, p);
+    const double estimate = histogram.percentile(p);
+    EXPECT_NEAR(estimate, exact, exact * 0.12)
+        << "p" << p << ": exact " << exact << " vs estimate " << estimate;
+  }
+}
+
+TEST(Histogram, ConcurrentObserversLoseNothing) {
+  Histogram histogram;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&histogram, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        histogram.observe(0.5 + t + i % 10);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(histogram.count(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(Registry, HistogramExposition) {
+  Registry registry;
+  auto histogram = registry.histogram("rt_ms", {{"version", "stable"}});
+  histogram->observe(1.0);
+  histogram->observe(1.0);
+  histogram->observe(50.0);
+  const std::string text = registry.expose();
+  EXPECT_NE(text.find("rt_ms_bucket{"), std::string::npos);
+  EXPECT_NE(text.find("le=\"+Inf\""), std::string::npos);
+  EXPECT_NE(text.find("version=\"stable\""), std::string::npos);
+  EXPECT_NE(text.find("rt_ms_sum{version=\"stable\"} 52"), std::string::npos);
+  EXPECT_NE(text.find("rt_ms_count{version=\"stable\"} 3"),
+            std::string::npos);
+  // The exposition stays machine-parseable.
+  auto samples = parse_exposition(text);
+  ASSERT_TRUE(samples.ok()) << samples.error_message();
+  double inf_bucket = -1.0;
+  for (const auto& sample : samples.value()) {
+    if (sample.key.name == "rt_ms_bucket" &&
+        sample.key.labels.at("le") == "+Inf") {
+      inf_bucket = sample.value;
+    }
+  }
+  EXPECT_DOUBLE_EQ(inf_bucket, 3.0);
+}
+
+TEST(Registry, RemoveHistogramDropsSeriesButKeepsHolders) {
+  Registry registry;
+  auto histogram = registry.histogram("rt_ms", {{"version", "old"}});
+  histogram->observe(1.0);
+  EXPECT_TRUE(registry.remove_histogram("rt_ms", {{"version", "old"}}));
+  EXPECT_FALSE(registry.remove_histogram("rt_ms", {{"version", "old"}}));
+  EXPECT_EQ(registry.expose().find("rt_ms"), std::string::npos);
+  histogram->observe(2.0);  // holders may keep recording safely
+  EXPECT_EQ(histogram->count(), 2u);
+  // Re-creating the series starts fresh.
+  EXPECT_EQ(registry.histogram("rt_ms", {{"version", "old"}})->count(), 0u);
 }
 
 TEST(Exposition, ParseRoundTrip) {

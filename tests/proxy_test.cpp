@@ -1,12 +1,15 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <optional>
 #include <thread>
+#include <vector>
 
 #include "http/client.hpp"
 #include "http/server.hpp"
 #include "json/json.hpp"
 #include "proxy/proxy.hpp"
+#include "proxy/session_table.hpp"
 
 namespace bifrost::proxy {
 namespace {
@@ -184,6 +187,126 @@ TEST(DecideBackend, ExperimentFilterScopesPopulation) {
         BifrostProxy::decide_backend(config, us, "", {}, rng) == 1 ? 1 : 0;
   }
   EXPECT_NEAR(canary / 2000.0, 0.5, 0.05);
+}
+
+// Regression: header-mode routing used to dump unmatched traffic on
+// backend index 0 even when default_version named another backend.
+TEST(DecideBackend, HeaderNoMatchRoutesToDefaultVersion) {
+  ProxyConfig config;
+  config.service = "product";
+  config.mode = core::RoutingMode::kHeader;
+  config.default_version = "b";
+  config.backends = {
+      BackendTarget{"a", "h", 1, 0.0, "X-Group", "A"},
+      BackendTarget{"b", "h", 2, 0.0, "X-Group", "B"},
+  };
+  ASSERT_TRUE(config.validate().ok());
+  util::Rng rng(1);
+  http::Request unmatched;
+  unmatched.headers.set("X-Group", "C");
+  EXPECT_EQ(BifrostProxy::decide_backend(config, unmatched, std::nullopt, rng),
+            1u);
+  http::Request no_header;
+  EXPECT_EQ(BifrostProxy::decide_backend(config, no_header, std::nullopt, rng),
+            1u);
+  // A matching header still wins over the default.
+  http::Request matched;
+  matched.headers.set("X-Group", "A");
+  EXPECT_EQ(BifrostProxy::decide_backend(config, matched, std::nullopt, rng),
+            0u);
+  // A catch-all backend (empty match_value) takes precedence over the
+  // default_version fallback.
+  config.backends.push_back(BackendTarget{"fallback", "h", 3, 0.0, "", ""});
+  EXPECT_EQ(BifrostProxy::decide_backend(config, unmatched, std::nullopt, rng),
+            2u);
+}
+
+TEST(ProxyConfig, DefaultVersionMustBeABackendWheneverSet) {
+  ProxyConfig config;
+  config.service = "product";
+  config.mode = core::RoutingMode::kHeader;
+  config.default_version = "ghost";
+  config.backends = {BackendTarget{"a", "h", 1, 0.0, "X-Group", "A"}};
+  EXPECT_FALSE(config.validate().ok());
+  config.default_version = "a";
+  EXPECT_TRUE(config.validate().ok());
+}
+
+// ---------------------------------------------------------------------------
+// Sharded sticky-session table
+
+// Regression: re-assigning an active session used to leave its eviction
+// slot at the original insertion position, so hot sessions were evicted
+// as if oldest.
+TEST(SessionTable, ReassignRefreshesLruRecency) {
+  SessionTable table(1, 2);
+  table.assign("s1", "a");
+  table.assign("s2", "a");
+  table.assign("s1", "b");  // refresh: s2 is now the oldest
+  table.assign("s3", "a");  // evicts s2, not s1
+  EXPECT_EQ(table.touch("s1"), "b");
+  EXPECT_EQ(table.touch("s2"), std::nullopt);
+  EXPECT_EQ(table.touch("s3"), "a");
+  EXPECT_EQ(table.size(), 2u);
+}
+
+TEST(SessionTable, TouchRefreshesLruRecency) {
+  SessionTable table(1, 2);
+  table.assign("s1", "a");
+  table.assign("s2", "a");
+  EXPECT_EQ(table.touch("s1"), "a");  // s2 becomes the eviction victim
+  table.assign("s3", "a");
+  EXPECT_EQ(table.touch("s1"), "a");
+  EXPECT_EQ(table.touch("s2"), std::nullopt);
+}
+
+TEST(SessionTable, ShardCountRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(SessionTable(0, 10).shard_count(), 1u);
+  EXPECT_EQ(SessionTable(3, 10).shard_count(), 4u);
+  EXPECT_EQ(SessionTable(16, 10).shard_count(), 16u);
+}
+
+TEST(SessionTable, CapacityIsBoundedAcrossShards) {
+  SessionTable table(4, 64);
+  for (int i = 0; i < 1000; ++i) {
+    table.assign("session-" + std::to_string(i), "v");
+  }
+  // Per-shard LRU caps: never more than max (+ rounding slack), and the
+  // table keeps serving lookups for retained entries.
+  EXPECT_LE(table.size(), 64u + 4u);
+  EXPECT_GT(table.size(), 0u);
+}
+
+TEST(SessionTable, SnapshotReportsMappingsAndTotal) {
+  SessionTable table(2, 100);
+  table.assign("u1", "stable");
+  table.assign("u2", "canary");
+  const auto [mappings, total] = table.snapshot(10);
+  EXPECT_EQ(total, 2u);
+  ASSERT_EQ(mappings.size(), 2u);
+}
+
+TEST(SessionTable, ConcurrentAssignTouchKeepsInvariants) {
+  SessionTable table(8, 512);
+  constexpr int kThreads = 8;
+  constexpr int kOps = 4000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&table, t] {
+      for (int i = 0; i < kOps; ++i) {
+        const std::string session = "s-" + std::to_string((t * 7 + i) % 700);
+        if (i % 3 == 0) {
+          table.touch(session);
+        } else {
+          table.assign(session, i % 2 == 0 ? "stable" : "canary");
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_LE(table.size(), 512u + 8u);
+  const auto [mappings, total] = table.snapshot(1000);
+  EXPECT_EQ(mappings.size(), total);
 }
 
 TEST(ProxyConfig, FilterRequiresKnownDefault) {
@@ -471,6 +594,100 @@ TEST_F(LiveProxyTest, LatencyStatsTrackRequests) {
   ASSERT_TRUE(res.ok());
   EXPECT_NE(res.value().body.find("\"p95_ms\""), std::string::npos);
   EXPECT_NE(res.value().body.find("\"stable\""), std::string::npos);
+}
+
+// Regression: latency state for versions that left the routing table
+// used to accumulate forever, growing memory across multi-phase runs.
+TEST_F(LiveProxyTest, ApplyPrunesRetiredVersionLatency) {
+  auto proxy = make_proxy(config_with(100.0));
+  const std::string url =
+      "http://127.0.0.1:" + std::to_string(proxy->data_port()) + "/";
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(client_.get(url).ok());
+  ASSERT_EQ(proxy->latency_for("stable").count, 10u);
+
+  // New table without 'stable': its latency series must be pruned.
+  ProxyConfig canary_only;
+  canary_only.service = "search";
+  canary_only.backends = {BackendTarget{
+      "canary", "127.0.0.1", backends_[1]->port(), 100.0, "", ""}};
+  ASSERT_TRUE(proxy->apply(canary_only).ok());
+  EXPECT_EQ(proxy->latency_for("stable").count, 0u);
+  auto metrics = client_.get("http://127.0.0.1:" +
+                             std::to_string(proxy->admin_port()) + "/metrics");
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_EQ(metrics.value().body.find(
+                std::string(kLatencyMetric) + "_count{version=\"stable\"}"),
+            std::string::npos);
+
+  // Re-introducing the version starts a fresh histogram.
+  ASSERT_TRUE(proxy->apply(config_with(100.0)).ok());
+  EXPECT_EQ(proxy->latency_for("stable").count, 0u);
+  ASSERT_TRUE(client_.get(url).ok());
+  EXPECT_EQ(proxy->latency_for("stable").count, 1u);
+}
+
+// Many client threads hammer the data path while another thread flips
+// the routing table; nothing may be lost, double-counted, or unpinned.
+TEST_F(LiveProxyTest, ConcurrentTrafficWhileApplyFlips) {
+  auto proxy = make_proxy(config_with(50.0, /*sticky=*/true));
+  const std::uint16_t port = proxy->data_port();
+  constexpr int kClients = 4;
+  constexpr int kPerClient = 50;
+
+  std::atomic<bool> stop_flipping{false};
+  std::thread flipper([&] {
+    // Both configs keep both versions so pinned sessions stay valid.
+    for (int i = 0; !stop_flipping.load(); ++i) {
+      EXPECT_TRUE(
+          proxy->apply(config_with(i % 2 == 0 ? 70.0 : 30.0, true)).ok());
+      std::this_thread::sleep_for(2ms);
+    }
+  });
+
+  std::atomic<int> successes{0};
+  std::atomic<int> sticky_violations{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      http::HttpClient client;
+      std::string cookie;
+      std::string pinned;
+      for (int i = 0; i < kPerClient; ++i) {
+        http::Request request;
+        request.target = "/c" + std::to_string(c);
+        if (!cookie.empty()) request.headers.set("Cookie", cookie);
+        auto response = client.request(std::move(request), "127.0.0.1", port);
+        if (!response.ok() || response.value().status != 200) continue;
+        successes.fetch_add(1);
+        const std::string version = response.value().body;
+        if (pinned.empty()) {
+          pinned = version;
+          if (const auto set = response.value().headers.get("Set-Cookie")) {
+            cookie = set->substr(0, set->find(';'));
+          }
+        } else if (version != pinned) {
+          sticky_violations.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& client : clients) client.join();
+  stop_flipping.store(true);
+  flipper.join();
+
+  const int total = successes.load();
+  EXPECT_EQ(total, kClients * kPerClient);
+  EXPECT_EQ(sticky_violations.load(), 0);
+  // No lost or double-counted requests: backend receipts and per-version
+  // counters both add up to the client-observed total.
+  EXPECT_EQ(counts_[0].load() + counts_[1].load(), total);
+  EXPECT_EQ(proxy->requests_for("stable") + proxy->requests_for("canary"),
+            static_cast<std::uint64_t>(total));
+  EXPECT_EQ(proxy->latency_for("stable").count +
+                proxy->latency_for("canary").count,
+            static_cast<std::size_t>(total));
+  // One session per client thread survived the config flips.
+  EXPECT_EQ(proxy->sticky_sessions(), static_cast<std::size_t>(kClients));
 }
 
 TEST_F(LiveProxyTest, ApplyRejectsInvalidSwapsAtomically) {
