@@ -2,7 +2,9 @@
 // files locally and drives a running engine remotely (submit / list /
 // status / abort / watch / dashboard). `watch` consumes the engine's
 // long-poll event stream — the prototype's Socket.IO channel substitute.
+#include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -14,8 +16,13 @@
 #include "core/analysis.hpp"
 #include "core/model.hpp"
 #include "dsl/dsl.hpp"
+#include "engine/engine.hpp"
+#include "engine/http_clients.hpp"
+#include "engine/journal.hpp"
+#include "engine/server.hpp"
 #include "http/client.hpp"
 #include "json/json.hpp"
+#include "runtime/event_loop.hpp"
 #include "util/strings.hpp"
 
 namespace {
@@ -38,6 +45,14 @@ Usage:
   bifrost abort <id> [--engine HOST:PORT]
   bifrost watch [--engine HOST:PORT] [--since N]
   bifrost dashboard [--engine HOST:PORT]
+  bifrost run [--port N] [--journal FILE]   host an engine (durable when
+                                            --journal is set: every
+                                            transition is logged before it
+                                            is acted on)
+  bifrost resume --journal FILE [--port N]  restart a crashed engine:
+                                            replay the journal, resume
+                                            in-flight strategies,
+                                            reconcile proxy state
 
 The default engine endpoint is 127.0.0.1:4000 (override with --engine or
 the BIFROST_ENGINE environment variable).
@@ -50,6 +65,8 @@ struct Cli {
   std::vector<std::string> positional;
   std::string engine = "127.0.0.1:4000";
   long long since = 0;
+  std::string journal;
+  long long port = 4000;
 };
 
 Cli parse_args(int argc, char** argv) {
@@ -64,6 +81,10 @@ Cli parse_args(int argc, char** argv) {
       cli.engine = argv[++i];
     } else if (arg == "--since" && i + 1 < argc) {
       cli.since = bifrost::util::parse_int(argv[++i]).value_or(0);
+    } else if (arg == "--journal" && i + 1 < argc) {
+      cli.journal = argv[++i];
+    } else if (arg == "--port" && i + 1 < argc) {
+      cli.port = bifrost::util::parse_int(argv[++i]).value_or(4000);
     } else {
       cli.positional.push_back(arg);
     }
@@ -309,6 +330,102 @@ int cmd_dashboard(const Cli& cli) {
   return 0;
 }
 
+std::atomic<bool> g_stop{false};
+
+void handle_signal(int) { g_stop.store(true); }
+
+int cmd_run(const Cli& cli, bool resume) {
+  using namespace bifrost;
+  if (resume && cli.journal.empty()) {
+    std::cerr << "resume requires --journal FILE (the journal of the "
+                 "crashed engine)\n";
+    return 2;
+  }
+
+  // Replay an existing journal before opening it for append: `resume`
+  // requires the file to exist; `run --journal` starts fresh when it
+  // does not (and recovers when it does, so run/resume converge).
+  std::vector<engine::JournalRecord> history;
+  bool have_history = false;
+  if (!cli.journal.empty()) {
+    auto read = engine::read_journal_file(cli.journal);
+    if (read.ok()) {
+      auto scan = std::move(read).value();
+      if (scan.truncated_tail) {
+        std::cerr << "journal tail invalid (" << scan.truncation_reason
+                  << "); truncating to last valid record at byte "
+                  << scan.valid_bytes << "\n";
+        if (auto cut =
+                engine::truncate_journal_file(cli.journal, scan.valid_bytes);
+            !cut.ok()) {
+          std::cerr << "cannot truncate journal: " << cut.error_message()
+                    << "\n";
+          return 1;
+        }
+      }
+      history = std::move(scan.records);
+      have_history = true;
+    } else if (resume) {
+      std::cerr << "cannot read journal '" << cli.journal
+                << "': " << read.error_message() << "\n";
+      return 1;
+    }
+  }
+
+  std::unique_ptr<engine::FileJournal> journal;
+  if (!cli.journal.empty()) {
+    auto opened = engine::FileJournal::open(cli.journal);
+    if (!opened.ok()) {
+      std::cerr << "cannot open journal '" << cli.journal
+                << "': " << opened.error_message() << "\n";
+      return 1;
+    }
+    journal = std::move(opened).value();
+  }
+
+  runtime::EventLoop loop;
+  engine::HttpMetricsClient metrics;
+  engine::HttpProxyController proxies;
+  engine::Engine::Options options;
+  options.journal = journal.get();
+  engine::Engine eng(loop, metrics, proxies, options);
+
+  // A journaled engine reports /readyz only after recover() +
+  // reconcile(), so run both even on a fresh journal (empty history):
+  // a brand-new `run --journal` must come up ready.
+  if (journal) {
+    if (auto recovered = eng.recover(history); !recovered.ok()) {
+      std::cerr << "recovery failed: " << recovered.error_message() << "\n";
+      return 1;
+    }
+    if (auto reconciled = eng.reconcile(); !reconciled.ok()) {
+      std::cerr << "reconciliation failed: " << reconciled.error_message()
+                << "\n";
+      return 1;
+    }
+    if (have_history) {
+      std::cerr << "recovered " << history.size() << " journal record"
+                << (history.size() == 1 ? "" : "s") << " from '" << cli.journal
+                << "'\n";
+    }
+  }
+
+  loop.start();
+  engine::EngineServer server(eng, static_cast<std::uint16_t>(cli.port));
+  server.start();
+  std::cout << "bifrost engine listening on 127.0.0.1:" << server.port()
+            << (journal ? " (journal: " + cli.journal + ")" : "") << "\n";
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
+  while (!g_stop.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  std::cout << "shutting down\n";
+  server.stop();
+  loop.stop();
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -335,6 +452,8 @@ int main(int argc, char** argv) {
     }
     if (cli.command == "watch") return cmd_watch(cli);
     if (cli.command == "dashboard") return cmd_dashboard(cli);
+    if (cli.command == "run") return cmd_run(cli, /*resume=*/false);
+    if (cli.command == "resume") return cmd_run(cli, /*resume=*/true);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

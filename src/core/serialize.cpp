@@ -1,0 +1,447 @@
+#include "core/serialize.hpp"
+
+#include <chrono>
+#include <cstdint>
+#include <utility>
+
+namespace bifrost::core {
+namespace {
+
+using util::Result;
+
+// Durations are stored as nanosecond counts. json doubles hold integers
+// exactly up to 2^53 ns (~104 days), far beyond any strategy timer.
+json::Value duration_to_json(runtime::Duration d) {
+  return json::Value(static_cast<std::int64_t>(d.count()));
+}
+
+runtime::Duration duration_from_json(const json::Value& obj,
+                                     const std::string& key,
+                                     runtime::Duration fallback) {
+  const json::Value* v = obj.find(key);
+  if (v == nullptr || !v->is_number()) return fallback;
+  return runtime::Duration(static_cast<std::int64_t>(v->as_number()));
+}
+
+json::Value retry_to_json(const RetryPolicy& p) {
+  json::Object o;
+  o["maxAttempts"] = p.max_attempts;
+  o["initialBackoffNs"] = duration_to_json(p.initial_backoff);
+  o["multiplier"] = p.multiplier;
+  o["maxBackoffNs"] = duration_to_json(p.max_backoff);
+  o["jitter"] = p.jitter;
+  o["attemptTimeoutNs"] = duration_to_json(p.attempt_timeout);
+  return json::Value(std::move(o));
+}
+
+RetryPolicy retry_from_json(const json::Value& v) {
+  RetryPolicy p;
+  p.max_attempts = static_cast<int>(v.get_number("maxAttempts", 1));
+  p.initial_backoff = duration_from_json(v, "initialBackoffNs",
+                                         RetryPolicy{}.initial_backoff);
+  p.multiplier = v.get_number("multiplier", 2.0);
+  p.max_backoff = duration_from_json(v, "maxBackoffNs",
+                                     RetryPolicy{}.max_backoff);
+  p.jitter = v.get_number("jitter", 0.0);
+  p.attempt_timeout = duration_from_json(v, "attemptTimeoutNs",
+                                         RetryPolicy{}.attempt_timeout);
+  return p;
+}
+
+json::Value breaker_to_json(const CircuitBreakerPolicy& p) {
+  json::Object o;
+  o["enabled"] = p.enabled;
+  o["failureThreshold"] = p.failure_threshold;
+  o["openDurationNs"] = duration_to_json(p.open_duration);
+  o["halfOpenProbes"] = p.half_open_probes;
+  return json::Value(std::move(o));
+}
+
+CircuitBreakerPolicy breaker_from_json(const json::Value& v) {
+  CircuitBreakerPolicy p;
+  p.enabled = v.get_bool("enabled", false);
+  p.failure_threshold = static_cast<int>(v.get_number("failureThreshold", 5));
+  p.open_duration = duration_from_json(v, "openDurationNs",
+                                       CircuitBreakerPolicy{}.open_duration);
+  p.half_open_probes = static_cast<int>(v.get_number("halfOpenProbes", 1));
+  return p;
+}
+
+json::Value service_to_json(const ServiceDef& s) {
+  json::Object o;
+  o["name"] = s.name;
+  json::Array versions;
+  for (const VersionDef& v : s.versions) {
+    json::Object vo;
+    vo["version"] = v.version;
+    vo["host"] = v.host;
+    vo["port"] = static_cast<int>(v.port);
+    versions.emplace_back(std::move(vo));
+  }
+  o["versions"] = std::move(versions);
+  o["proxyAdminHost"] = s.proxy_admin_host;
+  o["proxyAdminPort"] = static_cast<int>(s.proxy_admin_port);
+  o["retry"] = retry_to_json(s.retry);
+  o["circuitBreaker"] = breaker_to_json(s.circuit_breaker);
+  return json::Value(std::move(o));
+}
+
+ServiceDef service_from_json(const json::Value& v) {
+  ServiceDef s;
+  s.name = v.get_string("name");
+  if (const json::Value* versions = v.find("versions");
+      versions != nullptr && versions->is_array()) {
+    for (const json::Value& vv : versions->as_array()) {
+      VersionDef ver;
+      ver.version = vv.get_string("version");
+      ver.host = vv.get_string("host");
+      ver.port = static_cast<std::uint16_t>(vv.get_number("port"));
+      s.versions.push_back(std::move(ver));
+    }
+  }
+  s.proxy_admin_host = v.get_string("proxyAdminHost");
+  s.proxy_admin_port =
+      static_cast<std::uint16_t>(v.get_number("proxyAdminPort"));
+  if (const json::Value* r = v.find("retry")) s.retry = retry_from_json(*r);
+  if (const json::Value* b = v.find("circuitBreaker")) {
+    s.circuit_breaker = breaker_from_json(*b);
+  }
+  return s;
+}
+
+json::Value validator_to_json(const Validator& v) {
+  return json::Value(v.to_string());
+}
+
+Result<Validator> validator_from_json(const json::Value& v) {
+  if (!v.is_string()) {
+    return Result<Validator>::error("validator must be a string");
+  }
+  return Validator::parse(v.as_string());
+}
+
+json::Value condition_to_json(const MetricCondition& c) {
+  json::Object o;
+  o["provider"] = c.provider;
+  o["alias"] = c.alias;
+  o["query"] = c.query;
+  o["validator"] = validator_to_json(c.validator);
+  o["failOnNoData"] = c.fail_on_no_data;
+  return json::Value(std::move(o));
+}
+
+Result<MetricCondition> condition_from_json(const json::Value& v) {
+  MetricCondition c;
+  c.provider = v.get_string("provider", "prometheus");
+  c.alias = v.get_string("alias");
+  c.query = v.get_string("query");
+  const json::Value* val = v.find("validator");
+  if (val == nullptr) {
+    return Result<MetricCondition>::error("condition is missing validator");
+  }
+  auto parsed = validator_from_json(*val);
+  if (!parsed.ok()) return Result<MetricCondition>::error(parsed.error_message());
+  c.validator = parsed.value();
+  c.fail_on_no_data = v.get_bool("failOnNoData", true);
+  return Result<MetricCondition>(std::move(c));
+}
+
+json::Value doubles_to_json(const std::vector<double>& values) {
+  json::Array a;
+  for (double d : values) a.emplace_back(d);
+  return json::Value(std::move(a));
+}
+
+std::vector<double> doubles_from_json(const json::Value& obj,
+                                      const std::string& key) {
+  std::vector<double> out;
+  if (const json::Value* v = obj.find(key); v != nullptr && v->is_array()) {
+    for (const json::Value& e : v->as_array()) {
+      if (e.is_number()) out.push_back(e.as_number());
+    }
+  }
+  return out;
+}
+
+json::Value check_to_json(const CheckDef& c) {
+  json::Object o;
+  o["name"] = c.name;
+  o["kind"] = c.kind == CheckKind::kBasic ? "basic" : "exception";
+  json::Array conditions;
+  for (const MetricCondition& mc : c.conditions) {
+    conditions.push_back(condition_to_json(mc));
+  }
+  o["conditions"] = std::move(conditions);
+  o["intervalNs"] = duration_to_json(c.interval);
+  o["executions"] = c.executions;
+  // Weight matters for BOTH kinds: exception checks usually carry
+  // weight 0 so they don't skew the state outcome, and losing that in
+  // the round trip would change transition decisions after recovery.
+  o["weight"] = c.weight;
+  if (c.kind == CheckKind::kBasic) {
+    o["thresholds"] = doubles_to_json(c.thresholds);
+    json::Array outputs;
+    for (int out : c.outputs) outputs.emplace_back(out);
+    o["outputs"] = std::move(outputs);
+  } else {
+    o["fallbackState"] = c.fallback_state;
+  }
+  return json::Value(std::move(o));
+}
+
+Result<CheckDef> check_from_json(const json::Value& v) {
+  CheckDef c;
+  c.name = v.get_string("name");
+  c.kind = v.get_string("kind", "basic") == "exception" ? CheckKind::kException
+                                                        : CheckKind::kBasic;
+  if (const json::Value* conds = v.find("conditions");
+      conds != nullptr && conds->is_array()) {
+    for (const json::Value& cv : conds->as_array()) {
+      auto parsed = condition_from_json(cv);
+      if (!parsed.ok()) {
+        return Result<CheckDef>::error("check '" + c.name +
+                                       "': " + parsed.error_message());
+      }
+      c.conditions.push_back(parsed.value());
+    }
+  }
+  c.interval = duration_from_json(v, "intervalNs", CheckDef{}.interval);
+  c.executions = static_cast<int>(v.get_number("executions", 1));
+  c.thresholds = doubles_from_json(v, "thresholds");
+  if (const json::Value* outs = v.find("outputs");
+      outs != nullptr && outs->is_array()) {
+    for (const json::Value& e : outs->as_array()) {
+      if (e.is_number()) c.outputs.push_back(static_cast<int>(e.as_number()));
+    }
+  }
+  c.weight = v.get_number("weight", 1.0);
+  c.fallback_state = v.get_string("fallbackState");
+  return Result<CheckDef>(std::move(c));
+}
+
+json::Value split_to_json(const VersionSplit& s) {
+  json::Object o;
+  o["version"] = s.version;
+  o["percent"] = s.percent;
+  if (!s.match_header.empty()) {
+    o["matchHeader"] = s.match_header;
+    o["matchValue"] = s.match_value;
+  }
+  return json::Value(std::move(o));
+}
+
+json::Value shadow_to_json(const ShadowRule& s) {
+  json::Object o;
+  o["sourceVersion"] = s.source_version;
+  o["targetVersion"] = s.target_version;
+  o["percent"] = s.percent;
+  return json::Value(std::move(o));
+}
+
+json::Value state_to_json(const StateDef& s) {
+  json::Object o;
+  o["name"] = s.name;
+  json::Array checks;
+  for (const CheckDef& c : s.checks) checks.push_back(check_to_json(c));
+  o["checks"] = std::move(checks);
+  o["thresholds"] = doubles_to_json(s.thresholds);
+  json::Array transitions;
+  for (const std::string& t : s.transitions) transitions.emplace_back(t);
+  o["transitions"] = std::move(transitions);
+  json::Array routing;
+  for (const ServiceRouting& r : s.routing) routing.push_back(routing_to_json(r));
+  o["routing"] = std::move(routing);
+  o["minDurationNs"] = duration_to_json(s.min_duration);
+  switch (s.final_kind) {
+    case FinalKind::kNone:
+      o["final"] = "none";
+      break;
+    case FinalKind::kSuccess:
+      o["final"] = "success";
+      break;
+    case FinalKind::kRollback:
+      o["final"] = "rollback";
+      break;
+  }
+  return json::Value(std::move(o));
+}
+
+Result<StateDef> state_from_json(const json::Value& v) {
+  StateDef s;
+  s.name = v.get_string("name");
+  if (const json::Value* checks = v.find("checks");
+      checks != nullptr && checks->is_array()) {
+    for (const json::Value& cv : checks->as_array()) {
+      auto parsed = check_from_json(cv);
+      if (!parsed.ok()) {
+        return Result<StateDef>::error("state '" + s.name +
+                                       "': " + parsed.error_message());
+      }
+      s.checks.push_back(parsed.value());
+    }
+  }
+  s.thresholds = doubles_from_json(v, "thresholds");
+  if (const json::Value* trans = v.find("transitions");
+      trans != nullptr && trans->is_array()) {
+    for (const json::Value& t : trans->as_array()) {
+      if (t.is_string()) s.transitions.push_back(t.as_string());
+    }
+  }
+  if (const json::Value* routing = v.find("routing");
+      routing != nullptr && routing->is_array()) {
+    for (const json::Value& rv : routing->as_array()) {
+      auto parsed = routing_from_json(rv);
+      if (!parsed.ok()) {
+        return Result<StateDef>::error("state '" + s.name +
+                                       "': " + parsed.error_message());
+      }
+      s.routing.push_back(parsed.value());
+    }
+  }
+  s.min_duration = duration_from_json(v, "minDurationNs", {});
+  const std::string final_kind = v.get_string("final", "none");
+  if (final_kind == "success") {
+    s.final_kind = FinalKind::kSuccess;
+  } else if (final_kind == "rollback") {
+    s.final_kind = FinalKind::kRollback;
+  } else {
+    s.final_kind = FinalKind::kNone;
+  }
+  return Result<StateDef>(std::move(s));
+}
+
+}  // namespace
+
+json::Value routing_to_json(const ServiceRouting& r) {
+  json::Object o;
+  o["service"] = r.service;
+  o["mode"] = r.mode == RoutingMode::kCookie ? "cookie" : "header";
+  o["sticky"] = r.sticky;
+  if (r.filter.active()) {
+    json::Object filter;
+    filter["header"] = r.filter.header;
+    filter["value"] = r.filter.value;
+    filter["defaultVersion"] = r.filter.default_version;
+    o["filter"] = std::move(filter);
+  }
+  json::Array splits;
+  for (const VersionSplit& s : r.splits) splits.push_back(split_to_json(s));
+  o["splits"] = std::move(splits);
+  if (!r.shadows.empty()) {
+    json::Array shadows;
+    for (const ShadowRule& s : r.shadows) shadows.push_back(shadow_to_json(s));
+    o["shadows"] = std::move(shadows);
+  }
+  return json::Value(std::move(o));
+}
+
+util::Result<ServiceRouting> routing_from_json(const json::Value& v) {
+  if (!v.is_object()) {
+    return Result<ServiceRouting>::error("routing must be an object");
+  }
+  ServiceRouting r;
+  r.service = v.get_string("service");
+  r.mode = v.get_string("mode", "cookie") == "header" ? RoutingMode::kHeader
+                                                      : RoutingMode::kCookie;
+  r.sticky = v.get_bool("sticky", false);
+  if (const json::Value* filter = v.find("filter")) {
+    r.filter.header = filter->get_string("header");
+    r.filter.value = filter->get_string("value");
+    r.filter.default_version = filter->get_string("defaultVersion");
+  }
+  if (const json::Value* splits = v.find("splits");
+      splits != nullptr && splits->is_array()) {
+    for (const json::Value& sv : splits->as_array()) {
+      VersionSplit split;
+      split.version = sv.get_string("version");
+      split.percent = sv.get_number("percent");
+      split.match_header = sv.get_string("matchHeader");
+      split.match_value = sv.get_string("matchValue");
+      r.splits.push_back(std::move(split));
+    }
+  }
+  if (const json::Value* shadows = v.find("shadows");
+      shadows != nullptr && shadows->is_array()) {
+    for (const json::Value& sv : shadows->as_array()) {
+      ShadowRule shadow;
+      shadow.source_version = sv.get_string("sourceVersion");
+      shadow.target_version = sv.get_string("targetVersion");
+      shadow.percent = sv.get_number("percent", 100.0);
+      r.shadows.push_back(std::move(shadow));
+    }
+  }
+  return Result<ServiceRouting>(std::move(r));
+}
+
+json::Value strategy_to_json(const StrategyDef& def) {
+  json::Object o;
+  o["name"] = def.name;
+  json::Array services;
+  for (const ServiceDef& s : def.services) services.push_back(service_to_json(s));
+  o["services"] = std::move(services);
+  json::Array states;
+  for (const StateDef& s : def.states) states.push_back(state_to_json(s));
+  o["states"] = std::move(states);
+  o["initialState"] = def.initial_state;
+  json::Object providers;
+  for (const auto& [name, provider] : def.providers) {
+    json::Object p;
+    p["host"] = provider.host;
+    p["port"] = static_cast<int>(provider.port);
+    p["retry"] = retry_to_json(provider.retry);
+    p["circuitBreaker"] = breaker_to_json(provider.circuit_breaker);
+    providers[name] = std::move(p);
+  }
+  o["providers"] = std::move(providers);
+  return json::Value(std::move(o));
+}
+
+util::Result<StrategyDef> strategy_from_json(const json::Value& v) {
+  if (!v.is_object()) {
+    return Result<StrategyDef>::error("strategy must be a JSON object");
+  }
+  StrategyDef def;
+  def.name = v.get_string("name");
+  if (const json::Value* services = v.find("services");
+      services != nullptr && services->is_array()) {
+    for (const json::Value& sv : services->as_array()) {
+      def.services.push_back(service_from_json(sv));
+    }
+  }
+  if (const json::Value* states = v.find("states");
+      states != nullptr && states->is_array()) {
+    for (const json::Value& sv : states->as_array()) {
+      auto parsed = state_from_json(sv);
+      if (!parsed.ok()) {
+        return Result<StrategyDef>::error(parsed.error_message());
+      }
+      def.states.push_back(parsed.value());
+    }
+  }
+  def.initial_state = v.get_string("initialState");
+  if (const json::Value* providers = v.find("providers");
+      providers != nullptr && providers->is_object()) {
+    for (const auto& [name, pv] : providers->as_object()) {
+      ProviderConfig p;
+      p.host = pv.get_string("host");
+      p.port = static_cast<std::uint16_t>(pv.get_number("port"));
+      if (const json::Value* r = pv.find("retry")) p.retry = retry_from_json(*r);
+      if (const json::Value* b = pv.find("circuitBreaker")) {
+        p.circuit_breaker = breaker_from_json(*b);
+      }
+      def.providers[name] = std::move(p);
+    }
+  }
+  return Result<StrategyDef>(std::move(def));
+}
+
+bool has_custom_eval(const StrategyDef& def) {
+  for (const StateDef& state : def.states) {
+    for (const CheckDef& check : state.checks) {
+      if (check.custom) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace bifrost::core

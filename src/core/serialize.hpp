@@ -1,0 +1,29 @@
+// JSON serialization of the strategy model, used by the enactment
+// journal: a submitted StrategyDef is written into the journal's submit
+// record so recovery can reconstruct the execution without re-reading
+// (possibly changed) DSL files. Round-trips every declarative field of
+// model.hpp. CheckDef::custom is a std::function and intentionally NOT
+// serializable — strategies using programmatic evaluation cannot be
+// journaled, and Engine::submit rejects them when a journal is attached.
+#pragma once
+
+#include "core/model.hpp"
+#include "json/json.hpp"
+#include "util/result.hpp"
+
+namespace bifrost::core {
+
+[[nodiscard]] json::Value strategy_to_json(const StrategyDef& def);
+[[nodiscard]] util::Result<StrategyDef> strategy_from_json(
+    const json::Value& value);
+
+/// True when the strategy contains a programmatic CustomEval and
+/// therefore cannot round-trip through the journal.
+[[nodiscard]] bool has_custom_eval(const StrategyDef& def);
+
+// Exposed for the routing records the journal stores with apply intents.
+[[nodiscard]] json::Value routing_to_json(const ServiceRouting& routing);
+[[nodiscard]] util::Result<ServiceRouting> routing_from_json(
+    const json::Value& value);
+
+}  // namespace bifrost::core

@@ -31,6 +31,8 @@ inline constexpr const char* kDashboardHtml = R"HTML(<!doctype html>
   .ev-retried { color: #d29922; }
   .ev-degraded, .ev-circuit_opened, .ev-error { color: #f85149; }
   .ev-circuit_closed { color: #3fb950; }
+  /* durability events: recovery/reconciliation after an engine restart */
+  .ev-recovered, .ev-reconciled { color: #a371f7; }
 </style>
 </head>
 <body>

@@ -1,24 +1,61 @@
 #include "engine/engine.hpp"
 
 #include <chrono>
+#include <utility>
+
+#include "core/serialize.hpp"
 
 namespace bifrost::engine {
+namespace {
+
+double to_seconds(runtime::Time t) {
+  return std::chrono::duration<double>(t).count();
+}
+
+}  // namespace
 
 Engine::Engine(runtime::Scheduler& scheduler, MetricsClient& metrics,
                ProxyController& proxies, Options options)
     : scheduler_(scheduler),
       metrics_(metrics),
       proxies_(proxies),
-      options_(options) {}
+      options_(options) {
+  // A journal-less engine has nothing to recover; one with a journal
+  // becomes ready after recover() + reconcile().
+  ready_.store(options_.journal == nullptr);
+}
 
 Engine::~Engine() = default;
+
+StrategyExecution::Options Engine::execution_options() {
+  StrategyExecution::Options options;
+  if (options_.journal != nullptr) {
+    options.durability = this;
+    options.epoch_allocator = [this](const std::string& service) {
+      const std::lock_guard<std::mutex> lock(journal_mutex_);
+      return ++epochs_[service];
+    };
+  }
+  return options;
+}
 
 util::Result<std::string> Engine::submit(core::StrategyDef def,
                                          StatusListener extra_listener) {
   if (auto v = core::validate(def); !v) {
     return util::Result<std::string>::error(v.error_message());
   }
+  json::Value def_json;
+  if (options_.journal != nullptr) {
+    if (core::has_custom_eval(def)) {
+      return util::Result<std::string>::error(
+          "strategy uses a custom in-process check evaluator, which "
+          "cannot be reconstructed from the journal; submit it to an "
+          "engine without --journal or express the check in the DSL");
+    }
+    def_json = core::strategy_to_json(def);
+  }
   std::string id;
+  std::string name = def.name;
   StrategyExecution* execution = nullptr;
   {
     const std::lock_guard<std::mutex> lock(mutex_);
@@ -35,11 +72,19 @@ util::Result<std::string> Engine::submit(core::StrategyDef def,
     };
     auto owned = std::make_unique<StrategyExecution>(
         id, scheduler_, metrics_, proxies_, std::move(def),
-        std::move(listener));
+        std::move(listener), execution_options());
     execution = owned.get();
     executions_[id] = std::move(owned);
   }
-  scheduler_.post([execution] { execution->start(); });
+  if (options_.journal != nullptr) {
+    // Write-ahead: the submit record must be durable before the
+    // execution can produce any successor records.
+    append_record(RecordType::kSubmit,
+                  json::Object{{"id", id},
+                               {"name", std::move(name)},
+                               {"def", std::move(def_json)}});
+  }
+  execution->request_start();
   return id;
 }
 
@@ -51,8 +96,176 @@ bool Engine::abort(const std::string& id, const std::string& reason) {
     if (it == executions_.end()) return false;
     execution = it->second.get();
   }
-  scheduler_.post([execution, reason] { execution->abort(reason); });
+  execution->request_abort(reason);
   return true;
+}
+
+void Engine::record(RecordType type, json::Value data) {
+  append_record(type, std::move(data));
+}
+
+void Engine::append_record(RecordType type, json::Value data) {
+  std::string append_error;
+  {
+    const std::lock_guard<std::mutex> lock(journal_mutex_);
+    if (options_.journal == nullptr) return;
+    JournalRecord record{type, std::move(data)};
+    auto appended = options_.journal->append(record.type, record.data);
+    if (!appended.ok()) append_error = appended.error_message();
+    // The live tracker mirrors what a replay of the journal would
+    // produce; feeding it here is what makes snapshots compacted state
+    // rather than a second log. Tracker errors are impossible for
+    // records the engine itself produced, so they are not fatal.
+    (void)tracker_.apply(record);
+    ++records_appended_;
+    if (options_.snapshot_every > 0 &&
+        records_appended_ % options_.snapshot_every == 0) {
+      (void)options_.journal->append(RecordType::kSnapshot,
+                                     tracker_.to_snapshot());
+    }
+  }
+  if (!append_error.empty()) {
+    StatusEvent event;
+    event.time_seconds = to_seconds(scheduler_.now());
+    event.type = StatusEvent::Type::kError;
+    event.detail = "journal append failed: " + append_error;
+    log_event(std::move(event));
+  }
+}
+
+StrategySnapshot Engine::snapshot_from_resume(
+    const std::string& id, const StateTracker::Strategy& strategy) {
+  const ResumeState& rs = strategy.resume;
+  StrategySnapshot snapshot;
+  snapshot.id = id;
+  snapshot.name = strategy.name.empty() ? strategy.def.name : strategy.name;
+  snapshot.status = rs.status;
+  snapshot.current_state = rs.current_state;
+  snapshot.started_seconds = to_seconds(rs.started_at);
+  snapshot.finished_seconds = to_seconds(rs.finished_at);
+  snapshot.transitions = rs.transitions;
+  snapshot.checks_executed = rs.checks_executed;
+  snapshot.history = rs.history;
+  if (strategy.terminal) {
+    runtime::Duration specified{0};
+    for (const StateVisit& visit : rs.history) {
+      const core::StateDef* state = strategy.def.find_state(visit.state);
+      if (state != nullptr && !state->is_final()) {
+        specified += state->duration();
+      }
+    }
+    snapshot.enactment_delay_seconds =
+        to_seconds(rs.finished_at) - to_seconds(rs.started_at) -
+        std::chrono::duration<double>(specified).count();
+  }
+  return snapshot;
+}
+
+util::Result<void> Engine::recover(const std::vector<JournalRecord>& records) {
+  if (options_.journal == nullptr) {
+    return util::Result<void>::error("engine has no journal to recover from");
+  }
+  std::map<std::string, StateTracker::Strategy> strategies;
+  std::uint64_t next_id = 1;
+  {
+    const std::lock_guard<std::mutex> lock(journal_mutex_);
+    if (auto r = tracker_.replay(records); !r) return r;
+    strategies = tracker_.strategies();
+    epochs_ = tracker_.epochs();
+    next_id = tracker_.next_numeric_id();
+    records_appended_ = tracker_.records_seen();
+  }
+  const runtime::Time now = scheduler_.now();
+  for (auto& [id, strategy] : strategies) {
+    StrategyExecution* execution = nullptr;
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      next_id_ = std::max(next_id_, next_id);
+      records_[id] = snapshot_from_resume(id, strategy);
+      if (!strategy.terminal) {
+        auto listener = [this](const StatusEvent& event) {
+          on_event(event, nullptr);
+        };
+        auto owned = std::make_unique<StrategyExecution>(
+            id, scheduler_, metrics_, proxies_, strategy.def,
+            std::move(listener), execution_options());
+        execution = owned.get();
+        executions_[id] = std::move(owned);
+      }
+    }
+    if (execution == nullptr) continue;
+    // Marker first: if we crash between the marker and the resume, the
+    // next recovery replays to the identical state (markers are ignored
+    // by the tracker).
+    append_record(RecordType::kRecovered,
+                  json::Object{{"id", id},
+                               {"state", strategy.resume.current_state},
+                               {"tNs", now.count()}});
+    StatusEvent event;
+    event.time_seconds = to_seconds(now);
+    event.strategy_id = id;
+    event.type = StatusEvent::Type::kRecovered;
+    event.state = strategy.resume.current_state;
+    event.detail = "resumed from journal";
+    log_event(std::move(event));
+    execution->resume(strategy.resume);
+  }
+  return {};
+}
+
+util::Result<void> Engine::reconcile() {
+  if (options_.journal == nullptr) {
+    ready_.store(true);
+    return {};
+  }
+  std::map<std::string, StateTracker::Intent> intents;
+  std::map<std::string, StateTracker::Strategy> strategies;
+  {
+    const std::lock_guard<std::mutex> lock(journal_mutex_);
+    intents = tracker_.intents();
+    strategies = tracker_.strategies();
+  }
+  const runtime::Time now = scheduler_.now();
+  for (const auto& [service_name, intent] : intents) {
+    const core::ServiceDef* service = nullptr;
+    if (const auto it = strategies.find(intent.strategy_id);
+        it != strategies.end()) {
+      service = it->second.def.find_service(service_name);
+    }
+    std::string action;
+    if (service == nullptr) {
+      action = "skipped: service not in journaled strategy definition";
+    } else {
+      auto fetched = proxies_.fetch(*service);
+      if (fetched.ok() && fetched.value().epoch >= intent.epoch) {
+        action = "in_sync";
+      } else {
+        // Proxy is behind (or unreadable): re-issue the journaled
+        // intent with its original epoch — the proxy applies it at
+        // most once.
+        proxy::ProxyConfig config = intent.config;
+        config.epoch = intent.epoch;
+        auto applied = proxies_.apply(*service, config);
+        action = applied.ok()
+                     ? "reapplied"
+                     : "reapply_failed: " + applied.error_message();
+      }
+    }
+    append_record(
+        RecordType::kReconciled,
+        json::Object{{"service", service_name},
+                     {"epoch", static_cast<std::int64_t>(intent.epoch)},
+                     {"action", action},
+                     {"tNs", now.count()}});
+    StatusEvent event;
+    event.time_seconds = to_seconds(now);
+    event.strategy_id = intent.strategy_id;
+    event.type = StatusEvent::Type::kReconciled;
+    event.detail = service_name + ": " + action;
+    log_event(std::move(event));
+  }
+  ready_.store(true);
+  return {};
 }
 
 void Engine::log_event(StatusEvent event) {

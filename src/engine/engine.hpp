@@ -2,8 +2,15 @@
 // thread-safe status records (snapshots are served from the engine's own
 // bookkeeping, never by poking execution internals across threads), and
 // maintains the status event log that feeds the CLI/dashboard stream.
+//
+// Durability: with Options::journal set, the engine is the journal's
+// single writer — every execution's transition records funnel through
+// it (DurabilitySink), it interleaves compacted snapshots, and after a
+// restart recover() + reconcile() rebuild the executions from the
+// journal and re-align the proxies with the journaled intents.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -17,6 +24,8 @@
 #include "core/model.hpp"
 #include "engine/execution.hpp"
 #include "engine/interfaces.hpp"
+#include "engine/journal.hpp"
+#include "engine/recovery.hpp"
 #include "runtime/scheduler.hpp"
 
 namespace bifrost::engine {
@@ -35,10 +44,15 @@ struct StrategySnapshot {
   double enactment_delay_seconds = 0.0;  ///< valid once finished
 };
 
-class Engine {
+class Engine : private DurabilitySink {
  public:
   struct Options {
     std::size_t event_log_capacity = 100000;
+    /// Write-ahead journal (not owned; may be null = no durability).
+    Journal* journal = nullptr;
+    /// A compacted kSnapshot record is interleaved after every this
+    /// many appended records, so replay is O(recent). 0 disables.
+    std::size_t snapshot_every = 256;
   };
 
   Engine(runtime::Scheduler& scheduler, MetricsClient& metrics,
@@ -46,19 +60,38 @@ class Engine {
   Engine(runtime::Scheduler& scheduler, MetricsClient& metrics,
          ProxyController& proxies)
       : Engine(scheduler, metrics, proxies, Options{}) {}
-  ~Engine();
+  ~Engine() override;
 
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
   /// Validates and schedules a strategy; returns its id or the
   /// validation error. `extra_listener` (optional) receives every event
-  /// of this strategy in addition to the engine log.
+  /// of this strategy in addition to the engine log. With a journal
+  /// attached, strategies using custom in-process check evaluators are
+  /// rejected (they cannot be reconstructed from the journal).
   util::Result<std::string> submit(core::StrategyDef def,
                                    StatusListener extra_listener = nullptr);
 
   /// Requests an abort (delivered on the scheduler thread).
   bool abort(const std::string& id, const std::string& reason = "user abort");
+
+  /// Rebuilds bookkeeping and live executions from a freshly read
+  /// journal (call before the scheduler delivers timers). Non-terminal
+  /// strategies are resumed exactly where their last record left off;
+  /// a kRecovered marker is journaled and emitted for each.
+  util::Result<void> recover(const std::vector<JournalRecord>& records);
+
+  /// Re-aligns every proxy with the newest journaled apply intent:
+  /// fetches the proxy's installed epoch, re-applies the journaled
+  /// config (same epoch — the proxy dedupes) when the proxy is behind
+  /// or unreadable, and journals/emits a kReconciled marker per
+  /// service. Marks the engine ready.
+  util::Result<void> reconcile();
+
+  /// True once the engine serves traffic safely: immediately for
+  /// journal-less engines, after recover()+reconcile() otherwise.
+  [[nodiscard]] bool ready() const { return ready_.load(); }
 
   /// Appends an externally produced event (e.g. from the resilience
   /// decorators wrapping the metrics/proxy clients) to the engine event
@@ -93,6 +126,18 @@ class Engine {
  private:
   void on_event(StatusEvent event, const StatusListener& extra);
 
+  /// DurabilitySink: executions deliver their transition records here.
+  void record(RecordType type, json::Value data) override;
+
+  /// Single choke point for journal writes: appends, feeds the live
+  /// tracker (snapshot source), interleaves snapshots. Propagates
+  /// whatever Journal::append throws (sim::CrashInjected in tests).
+  void append_record(RecordType type, json::Value data);
+
+  [[nodiscard]] StrategyExecution::Options execution_options();
+  [[nodiscard]] static StrategySnapshot snapshot_from_resume(
+      const std::string& id, const StateTracker::Strategy& strategy);
+
   runtime::Scheduler& scheduler_;
   MetricsClient& metrics_;
   ProxyController& proxies_;
@@ -105,6 +150,15 @@ class Engine {
   std::deque<StatusEvent> events_;
   std::uint64_t next_sequence_ = 1;
   std::uint64_t next_id_ = 1;
+
+  /// Journal + live tracker + epoch counters share one mutex because
+  /// submit() journals from API threads while executions journal from
+  /// the scheduler thread. Never held together with mutex_.
+  std::mutex journal_mutex_;
+  StateTracker tracker_;
+  std::map<std::string, std::uint64_t> epochs_;
+  std::uint64_t records_appended_ = 0;
+  std::atomic<bool> ready_{false};
 };
 
 }  // namespace bifrost::engine

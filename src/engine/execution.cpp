@@ -1,6 +1,9 @@
 #include "engine/execution.hpp"
 
+#include <algorithm>
+
 #include <chrono>
+#include <utility>
 
 #include "util/log.hpp"
 
@@ -35,6 +38,37 @@ class ClientEvalContext final : public core::EvalContext {
 
 }  // namespace
 
+const char* execution_status_name(ExecutionStatus status) {
+  switch (status) {
+    case ExecutionStatus::kPending:
+      return "pending";
+    case ExecutionStatus::kRunning:
+      return "running";
+    case ExecutionStatus::kSucceeded:
+      return "succeeded";
+    case ExecutionStatus::kRolledBack:
+      return "rolled_back";
+    case ExecutionStatus::kAborted:
+      return "aborted";
+    case ExecutionStatus::kFailed:
+      return "failed";
+  }
+  return "?";
+}
+
+std::optional<ExecutionStatus> execution_status_from_name(
+    std::string_view name) {
+  static constexpr ExecutionStatus kAll[] = {
+      ExecutionStatus::kPending,    ExecutionStatus::kRunning,
+      ExecutionStatus::kSucceeded,  ExecutionStatus::kRolledBack,
+      ExecutionStatus::kAborted,    ExecutionStatus::kFailed,
+  };
+  for (ExecutionStatus s : kAll) {
+    if (name == execution_status_name(s)) return s;
+  }
+  return std::nullopt;
+}
+
 StrategyExecution::StrategyExecution(std::string id,
                                      runtime::Scheduler& scheduler,
                                      MetricsClient& metrics,
@@ -47,10 +81,39 @@ StrategyExecution::StrategyExecution(std::string id,
       proxies_(proxies),
       def_(std::move(def)),
       listener_(std::move(listener)),
-      options_(options) {}
+      options_(std::move(options)) {}
+
+StrategyExecution::~StrategyExecution() {
+  const std::lock_guard<std::mutex> lock(timers_mutex_);
+  for (const runtime::TimerId id : live_timers_) scheduler_.cancel(id);
+}
 
 double StrategyExecution::now_seconds() const {
   return std::chrono::duration<double>(scheduler_.now()).count();
+}
+
+std::int64_t StrategyExecution::now_ns() const {
+  return scheduler_.now().count();
+}
+
+void StrategyExecution::arm_at(runtime::Time when,
+                               std::function<void()> body) {
+  // The callback needs its own id to deregister itself, but the id only
+  // exists after schedule_at returns — hand it over through a token.
+  auto token = std::make_shared<runtime::TimerId>(runtime::kInvalidTimer);
+  const runtime::TimerId id = scheduler_.schedule_at(
+      when, [this, token, body = std::move(body)] {
+        {
+          const std::lock_guard<std::mutex> lock(timers_mutex_);
+          live_timers_.erase(*token);
+        }
+        body();
+      });
+  {
+    const std::lock_guard<std::mutex> lock(timers_mutex_);
+    *token = id;
+    live_timers_.insert(id);
+  }
 }
 
 void StrategyExecution::emit(StatusEvent::Type type, const std::string& state,
@@ -68,10 +131,26 @@ void StrategyExecution::emit(StatusEvent::Type type, const std::string& state,
   listener_(event);
 }
 
+void StrategyExecution::journal(RecordType type, json::Object data) {
+  if (options_.durability == nullptr) return;
+  data["id"] = id_;
+  options_.durability->record(type, json::Value(std::move(data)));
+}
+
+void StrategyExecution::request_start() {
+  arm_at(scheduler_.now(), [this] { start(); });
+}
+
+void StrategyExecution::request_abort(std::string reason) {
+  arm_at(scheduler_.now(),
+         [this, reason = std::move(reason)] { abort(reason); });
+}
+
 void StrategyExecution::start() {
   if (status_ != ExecutionStatus::kPending) return;
   status_ = ExecutionStatus::kRunning;
   started_at_ = scheduler_.now();
+  journal(RecordType::kStarted, json::Object{{"tNs", now_ns()}});
   emit(StatusEvent::Type::kStarted, def_.initial_state);
   enter_state(def_.initial_state);
 }
@@ -87,6 +166,10 @@ void StrategyExecution::abort(const std::string& reason) {
   }
   finished_at_ = scheduler_.now();
   status_ = ExecutionStatus::kAborted;
+  journal(RecordType::kAborted,
+          json::Object{{"state", current_state_},
+                       {"reason", reason},
+                       {"tNs", now_ns()}});
   // Emit after the status flip so listeners observe the final state.
   emit(StatusEvent::Type::kAborted, current_state_, "", 0.0, reason);
 }
@@ -105,6 +188,8 @@ void StrategyExecution::enter_state(const std::string& name) {
   dwell_elapsed_ = state->min_duration <= runtime::Duration::zero();
   history_.push_back(StateVisit{name, scheduler_.now(), runtime::Time{0}, 0.0,
                                 false});
+  journal(RecordType::kStateEntered,
+          json::Object{{"state", name}, {"tNs", now_ns()}});
   emit(StatusEvent::Type::kStateEntered, name);
 
   if (!apply_routing(*state)) return;  // diverted into the rollback path
@@ -125,7 +210,7 @@ void StrategyExecution::enter_state(const std::string& name) {
   for (std::size_t i = 0; i < checks_.size(); ++i) schedule_check(i);
 
   if (!dwell_elapsed_) {
-    scheduler_.schedule_after(state->min_duration, [this, gen] {
+    arm_at(scheduler_.now() + state->min_duration, [this, gen] {
       if (gen != generation_ || status_ != ExecutionStatus::kRunning) return;
       dwell_elapsed_ = true;
       maybe_complete_state();
@@ -134,7 +219,7 @@ void StrategyExecution::enter_state(const std::string& name) {
   // A state with no checks and no dwell completes immediately (but via
   // the scheduler so re-entrant transitions unwind).
   if (checks_.empty() && dwell_elapsed_) {
-    scheduler_.post([this, gen] {
+    arm_at(scheduler_.now(), [this, gen] {
       if (gen != generation_ || status_ != ExecutionStatus::kRunning) return;
       maybe_complete_state();
     });
@@ -142,35 +227,69 @@ void StrategyExecution::enter_state(const std::string& name) {
 }
 
 bool StrategyExecution::apply_routing(const core::StateDef& state) {
-  for (const core::ServiceRouting& routing : state.routing) {
-    const core::ServiceDef* service = def_.find_service(routing.service);
-    if (service == nullptr) continue;  // validated earlier
-    auto config = build_proxy_config(*service, routing);
-    if (!config.ok()) {
-      emit(StatusEvent::Type::kError, state.name, "", 0.0,
-           config.error_message());
-      continue;
+  for (std::size_t i = 0; i < state.routing.size(); ++i) {
+    if (apply_one_routing(state, i, std::nullopt, false) ==
+        ApplyOutcome::kDiverted) {
+      return false;
     }
-    auto applied = proxies_.apply(*service, config.value());
-    if (!applied.ok()) {
-      // Routing is the engine's hold on live traffic: a state whose
-      // split cannot be installed (past the retry budget of the
-      // resilience layer, if configured) must not run its checks
-      // against the wrong traffic mix. Divert to the rollback path —
-      // unless this state IS a final state, where the execution is
-      // ending anyway and the failure is only reported.
-      emit(StatusEvent::Type::kError, state.name, routing.service, 0.0,
-           "proxy update failed: " + applied.error_message());
-      if (!state.is_final()) {
-        rollback_or_abort("proxy update for service '" + routing.service +
-                          "' failed: " + applied.error_message());
-        return false;
-      }
-      continue;
-    }
-    emit(StatusEvent::Type::kRoutingApplied, state.name, routing.service);
   }
   return true;
+}
+
+StrategyExecution::ApplyOutcome StrategyExecution::apply_one_routing(
+    const core::StateDef& state, std::size_t index,
+    std::optional<std::uint64_t> forced_epoch, bool intent_already_journaled) {
+  const core::ServiceRouting& routing = state.routing[index];
+  const core::ServiceDef* service = def_.find_service(routing.service);
+  if (service == nullptr) return ApplyOutcome::kContinue;  // validated earlier
+  auto config = build_proxy_config(*service, routing);
+  if (!config.ok()) {
+    emit(StatusEvent::Type::kError, state.name, "", 0.0,
+         config.error_message());
+    return ApplyOutcome::kContinue;
+  }
+  std::uint64_t epoch = 0;
+  if (forced_epoch.has_value()) {
+    epoch = *forced_epoch;
+  } else if (options_.epoch_allocator) {
+    epoch = options_.epoch_allocator(routing.service);
+  }
+  config.value().epoch = epoch;
+  if (!intent_already_journaled) {
+    journal(RecordType::kApplyIntent,
+            json::Object{{"service", routing.service},
+                         {"routingIndex", index},
+                         {"epoch", static_cast<std::int64_t>(epoch)},
+                         {"state", state.name},
+                         {"config", config.value().to_json()},
+                         {"tNs", now_ns()}});
+  }
+  auto applied = proxies_.apply(*service, config.value());
+  journal(RecordType::kApplyAck,
+          json::Object{{"service", routing.service},
+                       {"routingIndex", index},
+                       {"epoch", static_cast<std::int64_t>(epoch)},
+                       {"ok", applied.ok()},
+                       {"error", applied.ok() ? "" : applied.error_message()},
+                       {"tNs", now_ns()}});
+  if (!applied.ok()) {
+    // Routing is the engine's hold on live traffic: a state whose
+    // split cannot be installed (past the retry budget of the
+    // resilience layer, if configured) must not run its checks
+    // against the wrong traffic mix. Divert to the rollback path —
+    // unless this state IS a final state, where the execution is
+    // ending anyway and the failure is only reported.
+    emit(StatusEvent::Type::kError, state.name, routing.service, 0.0,
+         "proxy update failed: " + applied.error_message());
+    if (!state.is_final()) {
+      rollback_or_abort("proxy update for service '" + routing.service +
+                        "' failed: " + applied.error_message());
+      return ApplyOutcome::kDiverted;
+    }
+    return ApplyOutcome::kContinue;
+  }
+  emit(StatusEvent::Type::kRoutingApplied, state.name, routing.service);
+  return ApplyOutcome::kContinue;
 }
 
 void StrategyExecution::rollback_or_abort(const std::string& reason) {
@@ -191,12 +310,17 @@ void StrategyExecution::rollback_or_abort(const std::string& reason) {
 }
 
 void StrategyExecution::schedule_check(std::size_t check_index) {
-  const std::uint64_t gen = generation_;
-  const core::CheckDef& check = *checks_[check_index].def;
   // Node-style chained timer: the next execution is armed `interval`
   // after the previous one *completes*, so engine-side processing delay
   // accumulates — the effect measured in the paper's Figures 8/10.
-  scheduler_.schedule_after(check.interval, [this, gen, check_index] {
+  arm_check_at(check_index,
+               scheduler_.now() + checks_[check_index].def->interval);
+}
+
+void StrategyExecution::arm_check_at(std::size_t check_index,
+                                     runtime::Time deadline) {
+  const std::uint64_t gen = generation_;
+  arm_at(deadline, [this, gen, check_index] {
     if (gen != generation_ || status_ != ExecutionStatus::kRunning) return;
     run_check_execution(check_index);
   });
@@ -223,15 +347,48 @@ void StrategyExecution::run_check_execution(std::size_t check_index) {
   emit(StatusEvent::Type::kCheckExecuted, current_state_, check.name,
        success ? 1.0 : 0.0);
 
-  if (check.kind == core::CheckKind::kException && !success) {
+  const bool exception_fired =
+      check.kind == core::CheckKind::kException && !success;
+  if (!exception_fired && runtime.executed >= check.executions) {
+    runtime.done = true;
+  }
+  // The deadline of the follow-up execution is fixed (and journaled)
+  // here, after the result events, so virtual time charged by listeners
+  // is part of the chained-timer delay exactly as before.
+  runtime::Time next_deadline{0};
+  if (!exception_fired && !runtime.done) {
+    next_deadline = scheduler_.now() + check.interval;
+  }
+  if (options_.durability != nullptr) {
+    json::Object data{{"state", current_state_},
+                      {"check", check.name},
+                      {"checkIndex", check_index},
+                      {"success", success},
+                      {"executed", runtime.executed},
+                      {"successes", runtime.successes},
+                      {"done", runtime.done},
+                      {"tNs", now_ns()}};
+    if (exception_fired) data["exceptionFallback"] = check.fallback_state;
+    if (next_deadline != runtime::Time{0}) {
+      data["nextDeadlineNs"] =
+          static_cast<std::int64_t>(next_deadline.count());
+    }
+    journal(RecordType::kCheckExecuted, std::move(data));
+  }
+
+  if (exception_fired) {
     // A failing exception check rolls back immediately (paper §3.2).
     emit(StatusEvent::Type::kExceptionTriggered, current_state_, check.name);
+    journal(RecordType::kExceptionTriggered,
+            json::Object{{"state", current_state_},
+                         {"check", check.name},
+                         {"fallback", check.fallback_state},
+                         {"tNs", now_ns()}});
     transition_to(check.fallback_state, /*via_exception=*/true);
     return;
   }
 
-  if (runtime.executed >= check.executions) {
-    runtime.done = true;
+  if (runtime.done) {
     double contribution;
     if (check.kind == core::CheckKind::kBasic) {
       contribution = core::map_through_thresholds(
@@ -247,7 +404,7 @@ void StrategyExecution::run_check_execution(std::size_t check_index) {
     maybe_complete_state();
     return;
   }
-  schedule_check(check_index);
+  arm_check_at(check_index, next_deadline);
 }
 
 bool StrategyExecution::evaluate_check_once(const core::CheckDef& check,
@@ -300,6 +457,10 @@ void StrategyExecution::complete_state() {
   const double outcome = core::weighted_outcome(contributions);
   history_.back().outcome = outcome;
   emit(StatusEvent::Type::kStateCompleted, current_state_, "", outcome);
+  journal(RecordType::kStateCompleted,
+          json::Object{{"state", current_state_},
+                       {"outcome", outcome},
+                       {"tNs", now_ns()}});
 
   const std::string& next =
       state_->transitions.empty()
@@ -325,11 +486,191 @@ void StrategyExecution::finish(ExecutionStatus status) {
   ++generation_;
   status_ = status;
   finished_at_ = scheduler_.now();
+  journal(RecordType::kFinished,
+          json::Object{{"state", current_state_},
+                       {"status", execution_status_name(status)},
+                       {"tNs", now_ns()}});
   emit(StatusEvent::Type::kFinished, current_state_, "",
        status == ExecutionStatus::kSucceeded ? 1.0 : 0.0,
        status == ExecutionStatus::kSucceeded    ? "success"
        : status == ExecutionStatus::kRolledBack ? "rollback"
                                                 : "failed");
+}
+
+// ---------------------------------------------------------------------------
+// Resume after a restart
+
+void StrategyExecution::resume(ResumeState state) {
+  current_state_ = state.current_state;
+  started_at_ = state.started_at;
+  finished_at_ = state.finished_at;
+  history_ = std::move(state.history);
+  transitions_ = state.transitions;
+  checks_executed_ = state.checks_executed;
+  state_ = current_state_.empty() ? nullptr
+                                  : def_.find_state(current_state_);
+
+  using Pending = ResumeState::Pending;
+  switch (state.pending) {
+    case Pending::kStart:
+      // Submitted but never started: run the normal start path (which
+      // journals kStarted itself).
+      status_ = ExecutionStatus::kPending;
+      request_start();
+      return;
+    case Pending::kEnterState:
+      status_ = ExecutionStatus::kRunning;
+      arm_at(scheduler_.now(),
+             [this, target = state.target] { enter_state(target); });
+      return;
+    case Pending::kTransition:
+      status_ = ExecutionStatus::kRunning;
+      arm_at(scheduler_.now(), [this, target = state.target] {
+        transition_to(target, /*via_exception=*/false);
+      });
+      return;
+    case Pending::kException:
+      status_ = ExecutionStatus::kRunning;
+      arm_at(scheduler_.now(), [this, target = state.target,
+                                check = state.pending_check,
+                                journaled = state.exception_journaled] {
+        if (!journaled) {
+          emit(StatusEvent::Type::kExceptionTriggered, current_state_, check);
+          journal(RecordType::kExceptionTriggered,
+                  json::Object{{"state", current_state_},
+                               {"check", check},
+                               {"fallback", target},
+                               {"tNs", now_ns()}});
+        }
+        transition_to(target, /*via_exception=*/true);
+      });
+      return;
+    case Pending::kRollback:
+      status_ = ExecutionStatus::kRunning;
+      arm_at(scheduler_.now(), [this, reason = state.pending_reason] {
+        rollback_or_abort(reason);
+      });
+      return;
+    case Pending::kNone:
+      status_ = ExecutionStatus::kRunning;
+      arm_at(scheduler_.now(), [this, rs = std::move(state)] {
+        resume_in_state(rs);
+      });
+      return;
+  }
+}
+
+void StrategyExecution::resume_in_state(const ResumeState& rs) {
+  if (state_ == nullptr) {  // unreachable: replay validated the journal
+    emit(StatusEvent::Type::kError, current_state_, "", 0.0,
+         "resume: state not found");
+    finish(ExecutionStatus::kFailed);
+    return;
+  }
+  const core::StateDef& state = *state_;
+  ++generation_;
+  const std::uint64_t gen = generation_;
+
+  // 1. Finish the routing application of the current visit: entries
+  // whose ack is journaled already reached (or deliberately skipped)
+  // the proxy; an intent without ack is re-issued with its journaled
+  // epoch (the proxy dedupes); entries past the crash point run fresh.
+  for (std::size_t i = 0; i < state.routing.size(); ++i) {
+    const ResumeState::ApplyProgress progress =
+        i < rs.applies.size() ? rs.applies[i] : ResumeState::ApplyProgress{};
+    if (progress.acked) {
+      if (!progress.ok && !state.is_final()) {
+        rollback_or_abort("proxy update for service '" +
+                          state.routing[i].service +
+                          "' failed before restart");
+        return;
+      }
+      continue;
+    }
+    const std::optional<std::uint64_t> epoch =
+        progress.intent_journaled ? std::optional<std::uint64_t>(progress.epoch)
+                                  : std::nullopt;
+    if (apply_one_routing(state, i, epoch, progress.intent_journaled) ==
+        ApplyOutcome::kDiverted) {
+      return;
+    }
+  }
+
+  if (state.is_final()) {
+    history_.back().exited = scheduler_.now();
+    finish(state.final_kind == core::FinalKind::kSuccess
+               ? ExecutionStatus::kSucceeded
+               : ExecutionStatus::kRolledBack);
+    return;
+  }
+
+  // 2. Rebuild check aggregates and re-arm their timers at the
+  // journaled absolute deadlines. A check that never executed this
+  // visit is due `interval` after state entry — in a live run the
+  // original timer was armed after the routing pushes, so this resumes
+  // it no later (and in the zero-cost simulation, exactly) on time.
+  //
+  // Arming ORDER matters for exact replay: schedulers break same-time
+  // ties by insertion order, and the original timers were inserted when
+  // they were (re-)armed — at `deadline - interval` — checks before the
+  // dwell timer at state entry. Re-arming in that order makes a resumed
+  // deterministic run fire same-instant timers exactly like the
+  // uninterrupted one would have.
+  const runtime::Time entered = history_.back().entered;
+  checks_.clear();
+  checks_.reserve(state.checks.size());
+  struct PendingArm {
+    runtime::Time armed;     ///< when the original timer was inserted
+    int rank;                ///< at equal times: checks (0) before dwell (1)
+    std::size_t index;       ///< check index (stable tiebreak)
+    runtime::Time deadline;
+  };
+  std::vector<PendingArm> arms;
+  for (std::size_t i = 0; i < state.checks.size(); ++i) {
+    const ResumeState::CheckProgress progress =
+        i < rs.checks.size() ? rs.checks[i] : ResumeState::CheckProgress{};
+    checks_.push_back(CheckRuntime{&state.checks[i], progress.executed,
+                                   progress.successes, progress.done});
+    if (progress.done) continue;
+    const runtime::Time deadline =
+        progress.next_deadline != runtime::Time{0}
+            ? progress.next_deadline
+            : entered + state.checks[i].interval;
+    arms.push_back(PendingArm{deadline - state.checks[i].interval, 0, i,
+                              deadline});
+  }
+
+  // 3. Dwell: re-arm against the absolute entry time.
+  const runtime::Time dwell_deadline = entered + state.min_duration;
+  dwell_elapsed_ = dwell_deadline <= scheduler_.now();
+  if (!dwell_elapsed_) {
+    arms.push_back(PendingArm{entered, 1, 0, dwell_deadline});
+  }
+
+  std::stable_sort(arms.begin(), arms.end(),
+                   [](const PendingArm& a, const PendingArm& b) {
+                     if (a.armed != b.armed) return a.armed < b.armed;
+                     if (a.rank != b.rank) return a.rank < b.rank;
+                     return a.index < b.index;
+                   });
+  for (const PendingArm& arm : arms) {
+    if (arm.rank == 0) {
+      arm_check_at(arm.index, arm.deadline);
+    } else {
+      arm_at(arm.deadline, [this, gen] {
+        if (gen != generation_ || status_ != ExecutionStatus::kRunning) return;
+        dwell_elapsed_ = true;
+        maybe_complete_state();
+      });
+    }
+  }
+
+  // 4. Completion sweep: covers "all checks finished before the crash
+  // but the state-completed record was never written" and empty states.
+  arm_at(scheduler_.now(), [this, gen] {
+    if (gen != generation_ || status_ != ExecutionStatus::kRunning) return;
+    maybe_complete_state();
+  });
 }
 
 runtime::Duration StrategyExecution::enactment_delay() const {

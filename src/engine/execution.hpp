@@ -2,17 +2,27 @@
 // formal model's automaton. Single-threaded: all methods and timer
 // callbacks run on the owning Scheduler's thread (run-to-completion, as
 // in the paper's Node.js engine).
+//
+// Durability: when Options::durability is set, every externally visible
+// transition is journaled through it *at the moment it happens*, and a
+// crashed engine can rebuild the execution from the journal (see
+// engine/recovery.hpp) and call resume() to continue exactly where the
+// last record left off.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "core/model.hpp"
 #include "engine/interfaces.hpp"
+#include "engine/journal.hpp"
 #include "runtime/scheduler.hpp"
 
 namespace bifrost::engine {
@@ -36,11 +46,74 @@ enum class ExecutionStatus {
   kFailed,  ///< internal error (e.g. transition-loop guard)
 };
 
+[[nodiscard]] const char* execution_status_name(ExecutionStatus status);
+[[nodiscard]] std::optional<ExecutionStatus> execution_status_from_name(
+    std::string_view name);
+
+/// Reconstructed execution context, built by journal replay (see
+/// engine/recovery.hpp) and handed to StrategyExecution::resume().
+/// Mirrors the in-memory progress the execution had when its last
+/// journal record was written, plus the continuation ("pending") that
+/// the record implies but that was not itself journaled yet.
+struct ResumeState {
+  ExecutionStatus status = ExecutionStatus::kRunning;
+  std::string current_state;
+  runtime::Time started_at{0};
+  runtime::Time finished_at{0};
+  std::vector<StateVisit> history;  ///< includes the current (open) visit
+  std::uint64_t transitions = 0;
+  std::uint64_t checks_executed = 0;
+
+  /// Routing-application progress of the current state visit, indexed
+  /// like StateDef::routing of the current state.
+  struct ApplyProgress {
+    bool intent_journaled = false;
+    std::uint64_t epoch = 0;  ///< valid when intent_journaled
+    bool acked = false;
+    bool ok = false;  ///< ack verdict when acked
+  };
+  std::vector<ApplyProgress> applies;
+
+  /// Check aggregates of the current state visit, indexed like
+  /// StateDef::checks of the current state.
+  struct CheckProgress {
+    int executed = 0;
+    int successes = 0;
+    bool done = false;
+    /// Absolute deadline of the next execution; Time{0} means no
+    /// execution happened yet this visit (first deadline is then
+    /// entered + interval).
+    runtime::Time next_deadline{0};
+  };
+  std::vector<CheckProgress> checks;
+
+  /// The work between the last journal record and the next one — what
+  /// the engine was about to do when it died.
+  enum class Pending {
+    kNone,        ///< mid-state: finish applies, re-arm timers, keep going
+    kStart,       ///< submitted but never started
+    kEnterState,  ///< enter `target` fresh (after kStarted; no exit bookkeeping)
+    kTransition,  ///< leave the current state for `target` (after completion)
+    kException,   ///< exception fired: transition to `target` via exception
+    kRollback,    ///< unrecoverable proxy failure: divert to rollback path
+  };
+  Pending pending = Pending::kNone;
+  std::string target;         ///< successor state (kEnterState/kTransition/kException)
+  std::string pending_check;  ///< check that fired (kException)
+  bool exception_journaled = false;  ///< kExceptionTriggered already journaled
+  std::string pending_reason;        ///< failure reason (kRollback)
+};
+
 class StrategyExecution {
  public:
   struct Options {
     /// Abort guard against zero-duration transition cycles.
     std::uint64_t max_transitions = 100000;
+    /// Optional write-ahead journal sink (owned by the Engine).
+    DurabilitySink* durability = nullptr;
+    /// Allocates the config epoch for an apply intent against a
+    /// service's proxy. Null means unversioned applies (epoch 0).
+    std::function<std::uint64_t(const std::string& service)> epoch_allocator;
   };
 
   /// `def` must already pass core::validate(). The listener receives
@@ -54,6 +127,10 @@ class StrategyExecution {
                     core::StrategyDef def, StatusListener listener)
       : StrategyExecution(std::move(id), scheduler, metrics, proxies,
                           std::move(def), std::move(listener), Options{}) {}
+  /// Cancels every timer this execution still has pending, so the
+  /// scheduler never fires into a destroyed object (the engine may be
+  /// torn down mid-run — deliberately so in the crash-recovery tests).
+  ~StrategyExecution();
 
   StrategyExecution(const StrategyExecution&) = delete;
   StrategyExecution& operator=(const StrategyExecution&) = delete;
@@ -64,6 +141,18 @@ class StrategyExecution {
 
   /// Stops all timers and marks the execution aborted.
   void abort(const std::string& reason);
+
+  /// Thread-safe: schedules start()/abort() onto the scheduler thread
+  /// through a tracked (cancellable) timer.
+  void request_start();
+  void request_abort(std::string reason);
+
+  /// Continues an execution reconstructed from the journal: re-installs
+  /// aggregates and history, finishes any half-applied routing, re-arms
+  /// timers at their journaled absolute deadlines, and runs the pending
+  /// continuation. Call instead of start(), from the scheduler thread
+  /// or before the scheduler delivers timers.
+  void resume(ResumeState state);
 
   [[nodiscard]] const std::string& id() const { return id_; }
   [[nodiscard]] ExecutionStatus status() const { return status_; }
@@ -94,16 +183,26 @@ class StrategyExecution {
     bool done = false;
   };
 
+  enum class ApplyOutcome { kContinue, kDiverted };
+
   void enter_state(const std::string& name);
   /// Pushes the state's routing tables. Returns false when a proxy
   /// update failed past its retry budget and the execution was diverted
   /// into its rollback path (or aborted) — the caller must stop
   /// processing the state it was entering.
   bool apply_routing(const core::StateDef& state);
+  /// Applies routing entry `index` of `state`: journals the intent
+  /// (unless already journaled pre-crash), calls the proxy, journals
+  /// the ack. `forced_epoch` re-uses a journaled epoch during resume.
+  ApplyOutcome apply_one_routing(const core::StateDef& state,
+                                 std::size_t index,
+                                 std::optional<std::uint64_t> forced_epoch,
+                                 bool intent_already_journaled);
   /// Aborts into the strategy's first rollback-final state (or aborts
   /// outright when none exists) after an unrecoverable proxy failure.
   void rollback_or_abort(const std::string& reason);
   void schedule_check(std::size_t check_index);
+  void arm_check_at(std::size_t check_index, runtime::Time deadline);
   void run_check_execution(std::size_t check_index);
   /// One execution of the check's evaluation function. Provider errors
   /// encountered along the way are appended to `degraded_detail` so the
@@ -114,10 +213,18 @@ class StrategyExecution {
   void complete_state();
   void transition_to(const std::string& next, bool via_exception);
   void finish(ExecutionStatus status);
+  /// Continues in the middle of a state after a restart (the
+  /// Pending::kNone arm of resume()).
+  void resume_in_state(const ResumeState& state);
   void emit(StatusEvent::Type type, const std::string& state,
             const std::string& check = "", double value = 0.0,
             const std::string& detail = "");
+  void journal(RecordType type, json::Object data);
   [[nodiscard]] double now_seconds() const;
+  [[nodiscard]] std::int64_t now_ns() const;
+  /// Schedules `body` at `when` through a timer tracked for destructor
+  /// cancellation. All internal scheduling goes through this.
+  void arm_at(runtime::Time when, std::function<void()> body);
 
   std::string id_;
   runtime::Scheduler& scheduler_;
@@ -138,6 +245,11 @@ class StrategyExecution {
   runtime::Time finished_at_{0};
   std::uint64_t transitions_ = 0;
   std::uint64_t checks_executed_ = 0;
+
+  /// Timers armed but not yet fired; guarded by timers_mutex_ because
+  /// request_start()/request_abort() arm from foreign threads.
+  std::mutex timers_mutex_;
+  std::unordered_set<runtime::TimerId> live_timers_;
 };
 
 }  // namespace bifrost::engine

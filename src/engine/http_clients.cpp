@@ -49,4 +49,31 @@ util::Result<void> HttpProxyController::apply(const core::ServiceDef& service,
   return {};
 }
 
+util::Result<ProxyStateView> HttpProxyController::fetch(
+    const core::ServiceDef& service) {
+  using R = util::Result<ProxyStateView>;
+  if (service.proxy_admin_host.empty() || service.proxy_admin_port == 0) {
+    return R::error("service '" + service.name +
+                    "' has no proxy admin endpoint");
+  }
+  const std::string url = "http://" + service.proxy_admin_host + ":" +
+                          std::to_string(service.proxy_admin_port) +
+                          "/admin/config";
+  auto response = client_.get(url);
+  if (!response.ok()) return R::error(response.error_message());
+  if (response.value().status != 200) {
+    return R::error("proxy admin returned HTTP " +
+                    std::to_string(response.value().status) + ": " +
+                    response.value().body);
+  }
+  auto doc = json::parse(response.value().body);
+  if (!doc.ok()) return R::error("proxy config JSON: " + doc.error_message());
+  auto config = proxy::ProxyConfig::from_json(doc.value());
+  if (!config.ok()) return R::error("proxy config: " + config.error_message());
+  ProxyStateView view;
+  view.config = std::move(config).value();
+  view.epoch = view.config.epoch;
+  return view;
+}
+
 }  // namespace bifrost::engine

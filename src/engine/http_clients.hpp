@@ -20,13 +20,16 @@ class HttpMetricsClient final : public MetricsClient {
   http::HttpClient client_;
 };
 
-/// Pushes routing tables via PUT /admin/config on each proxy.
+/// Pushes routing tables via PUT /admin/config on each proxy; reads
+/// them (plus the persisted config epoch) back via GET /admin/config
+/// for crash-recovery reconciliation.
 class HttpProxyController final : public ProxyController {
  public:
   HttpProxyController() = default;
 
   util::Result<void> apply(const core::ServiceDef& service,
                            const proxy::ProxyConfig& config) override;
+  util::Result<ProxyStateView> fetch(const core::ServiceDef& service) override;
 
  private:
   http::HttpClient client_;

@@ -32,6 +32,10 @@ std::string StatusEvent::type_name() const {
       return "circuit_closed";
     case Type::kDegraded:
       return "degraded";
+    case Type::kRecovered:
+      return "recovered";
+    case Type::kReconciled:
+      return "reconciled";
   }
   return "?";
 }

@@ -25,12 +25,28 @@ class MetricsClient {
       const core::ProviderConfig& provider, const std::string& query) = 0;
 };
 
+/// What a proxy reports about its currently installed configuration —
+/// the view the engine's recovery reconciles against its journaled
+/// apply intents.
+struct ProxyStateView {
+  std::uint64_t epoch = 0;     ///< config epoch the proxy last persisted
+  proxy::ProxyConfig config;   ///< the routing table it is enacting
+};
+
 /// Pushes a routing table to a service's Bifrost proxy.
 class ProxyController {
  public:
   virtual ~ProxyController() = default;
   virtual util::Result<void> apply(const core::ServiceDef& service,
                                    const proxy::ProxyConfig& config) = 0;
+
+  /// Reads back the proxy's installed config + epoch (for recovery
+  /// reconciliation). Controllers that cannot read back report an
+  /// error; reconciliation then re-applies unconditionally.
+  virtual util::Result<ProxyStateView> fetch(const core::ServiceDef& service) {
+    (void)service;
+    return util::Result<ProxyStateView>::error("fetch not supported");
+  }
 };
 
 /// Execution status events (fed to the dashboard/CLI event stream).
@@ -50,6 +66,8 @@ struct StatusEvent {
     kCircuitOpened,  ///< a target's circuit breaker tripped open
     kCircuitClosed,  ///< a target's circuit breaker recovered (closed)
     kDegraded,       ///< running degraded: a dependency failed past its budget
+    kRecovered,      ///< execution resumed from the journal after a restart
+    kReconciled,     ///< proxy state reconciled against the journaled intent
   };
 
   std::uint64_t sequence = 0;  ///< assigned by the engine event log

@@ -1,0 +1,455 @@
+#include "engine/recovery.hpp"
+
+#include <algorithm>
+#include <string_view>
+#include <utility>
+
+#include "core/serialize.hpp"
+
+namespace bifrost::engine {
+namespace {
+
+using util::Result;
+
+runtime::Time time_from(const json::Value& data, const std::string& key) {
+  return runtime::Time(static_cast<std::int64_t>(data.get_number(key)));
+}
+
+/// Numeric suffix of an "s-N" strategy id, 0 if foreign.
+std::uint64_t id_suffix(const std::string& id) {
+  if (id.rfind("s-", 0) != 0) return 0;
+  std::uint64_t n = 0;
+  for (std::size_t i = 2; i < id.size(); ++i) {
+    if (id[i] < '0' || id[i] > '9') return 0;
+    n = n * 10 + static_cast<std::uint64_t>(id[i] - '0');
+  }
+  return n;
+}
+
+const char* pending_name(ResumeState::Pending pending) {
+  switch (pending) {
+    case ResumeState::Pending::kNone:
+      return "none";
+    case ResumeState::Pending::kStart:
+      return "start";
+    case ResumeState::Pending::kEnterState:
+      return "enter_state";
+    case ResumeState::Pending::kTransition:
+      return "transition";
+    case ResumeState::Pending::kException:
+      return "exception";
+    case ResumeState::Pending::kRollback:
+      return "rollback";
+  }
+  return "none";
+}
+
+ResumeState::Pending pending_from_name(std::string_view name) {
+  if (name == "start") return ResumeState::Pending::kStart;
+  if (name == "enter_state") return ResumeState::Pending::kEnterState;
+  if (name == "transition") return ResumeState::Pending::kTransition;
+  if (name == "exception") return ResumeState::Pending::kException;
+  if (name == "rollback") return ResumeState::Pending::kRollback;
+  return ResumeState::Pending::kNone;
+}
+
+}  // namespace
+
+Result<void> StateTracker::replay(const std::vector<JournalRecord>& records) {
+  // Snapshots carry the complete tracker state, so replay only needs
+  // the suffix that follows the newest one.
+  std::size_t start = 0;
+  for (std::size_t i = records.size(); i > 0; --i) {
+    if (records[i - 1].type == RecordType::kSnapshot) {
+      start = i - 1;
+      break;
+    }
+  }
+  for (std::size_t i = start; i < records.size(); ++i) {
+    if (auto r = apply(records[i]); !r) {
+      return Result<void>::error("journal record " + std::to_string(i) + " (" +
+                                 record_type_name(records[i].type) +
+                                 "): " + r.error_message());
+    }
+  }
+  return {};
+}
+
+Result<void> StateTracker::apply(const JournalRecord& record) {
+  ++records_seen_;
+  return apply_impl(record);
+}
+
+Result<void> StateTracker::apply_impl(const JournalRecord& record) {
+  const json::Value& data = record.data;
+
+  if (record.type == RecordType::kSnapshot) return load_snapshot(data);
+  if (record.type == RecordType::kRecovered ||
+      record.type == RecordType::kReconciled) {
+    return {};  // informational markers
+  }
+
+  if (record.type == RecordType::kSubmit) {
+    const std::string id = data.get_string("id");
+    if (id.empty()) return Result<void>::error("submit record without id");
+    const json::Value* def_json = data.find("def");
+    if (def_json == nullptr) {
+      return Result<void>::error("submit record without def");
+    }
+    auto def = core::strategy_from_json(*def_json);
+    if (!def.ok()) return Result<void>::error(def.error_message());
+    Strategy strategy;
+    strategy.def = std::move(def).value();
+    strategy.name = data.get_string("name", strategy.def.name);
+    strategy.resume.pending = ResumeState::Pending::kStart;
+    strategy.resume.status = ExecutionStatus::kPending;
+    strategies_[id] = std::move(strategy);
+    next_id_ = std::max(next_id_, id_suffix(id) + 1);
+    return {};
+  }
+
+  const std::string id = data.get_string("id");
+  const auto it = strategies_.find(id);
+  if (it == strategies_.end()) {
+    return Result<void>::error("record for unknown strategy '" + id + "'");
+  }
+  Strategy& strategy = it->second;
+  ResumeState& rs = strategy.resume;
+
+  switch (record.type) {
+    case RecordType::kStarted: {
+      rs.status = ExecutionStatus::kRunning;
+      rs.started_at = time_from(data, "tNs");
+      rs.pending = ResumeState::Pending::kEnterState;
+      rs.target = strategy.def.initial_state;
+      return {};
+    }
+
+    case RecordType::kStateEntered: {
+      const runtime::Time entered = time_from(data, "tNs");
+      if (!rs.history.empty() &&
+          rs.history.back().exited == runtime::Time{0}) {
+        rs.history.back().exited = entered;
+        rs.history.back().via_exception =
+            rs.pending == ResumeState::Pending::kException ||
+            rs.pending == ResumeState::Pending::kRollback;
+      }
+      rs.current_state = data.get_string("state");
+      rs.history.push_back(
+          StateVisit{rs.current_state, entered, runtime::Time{0}, 0.0, false});
+      rs.transitions = rs.history.size() - 1;
+      rs.applies.clear();
+      rs.checks.clear();
+      rs.pending = ResumeState::Pending::kNone;
+      rs.target.clear();
+      rs.pending_check.clear();
+      rs.pending_reason.clear();
+      rs.exception_journaled = false;
+      return {};
+    }
+
+    case RecordType::kApplyIntent: {
+      const auto index = static_cast<std::size_t>(
+          data.get_number("routingIndex"));
+      if (rs.applies.size() <= index) rs.applies.resize(index + 1);
+      const auto epoch =
+          static_cast<std::uint64_t>(data.get_number("epoch"));
+      rs.applies[index].intent_journaled = true;
+      rs.applies[index].epoch = epoch;
+
+      const std::string service = data.get_string("service");
+      epochs_[service] = std::max(epochs_[service], epoch);
+      if (const json::Value* config_json = data.find("config")) {
+        auto config = proxy::ProxyConfig::from_json(*config_json);
+        if (!config.ok()) {
+          return Result<void>::error("apply intent config: " +
+                                     config.error_message());
+        }
+        // Later intents supersede earlier ones; epochs are per-service
+        // monotone so ">=" keeps the newest.
+        Intent& intent = intents_[service];
+        if (epoch >= intent.epoch) {
+          intent.epoch = epoch;
+          intent.config = std::move(config).value();
+          intent.strategy_id = id;
+        }
+      }
+      return {};
+    }
+
+    case RecordType::kApplyAck: {
+      const auto index = static_cast<std::size_t>(
+          data.get_number("routingIndex"));
+      if (rs.applies.size() <= index) rs.applies.resize(index + 1);
+      rs.applies[index].acked = true;
+      rs.applies[index].ok = data.get_bool("ok");
+      if (!rs.applies[index].ok) {
+        const core::StateDef* state = strategy.def.find_state(rs.current_state);
+        if (state != nullptr && !state->is_final()) {
+          rs.pending = ResumeState::Pending::kRollback;
+          rs.pending_reason = "proxy update for service '" +
+                              data.get_string("service") +
+                              "' failed: " + data.get_string("error");
+        }
+      }
+      return {};
+    }
+
+    case RecordType::kCheckExecuted: {
+      const auto index =
+          static_cast<std::size_t>(data.get_number("checkIndex"));
+      if (rs.checks.size() <= index) rs.checks.resize(index + 1);
+      ResumeState::CheckProgress& check = rs.checks[index];
+      check.executed = static_cast<int>(data.get_number("executed"));
+      check.successes = static_cast<int>(data.get_number("successes"));
+      check.done = data.get_bool("done");
+      check.next_deadline =
+          runtime::Time(static_cast<std::int64_t>(
+              data.get_number("nextDeadlineNs", 0.0)));
+      ++rs.checks_executed;
+      if (const json::Value* fallback = data.find("exceptionFallback")) {
+        rs.pending = ResumeState::Pending::kException;
+        rs.target = fallback->is_string() ? fallback->as_string() : "";
+        rs.pending_check = data.get_string("check");
+        rs.exception_journaled = false;
+      }
+      return {};
+    }
+
+    case RecordType::kExceptionTriggered: {
+      rs.pending = ResumeState::Pending::kException;
+      rs.target = data.get_string("fallback");
+      rs.pending_check = data.get_string("check");
+      rs.exception_journaled = true;
+      return {};
+    }
+
+    case RecordType::kStateCompleted: {
+      const double outcome = data.get_number("outcome");
+      if (!rs.history.empty()) rs.history.back().outcome = outcome;
+      const core::StateDef* state = strategy.def.find_state(rs.current_state);
+      if (state == nullptr || state->transitions.empty()) {
+        return Result<void>::error("state completed in unknown state '" +
+                                   rs.current_state + "'");
+      }
+      rs.pending = ResumeState::Pending::kTransition;
+      rs.target = core::next_state_name(*state, outcome);
+      return {};
+    }
+
+    case RecordType::kFinished: {
+      const auto status =
+          execution_status_from_name(data.get_string("status"));
+      rs.status = status.value_or(ExecutionStatus::kSucceeded);
+      rs.finished_at = time_from(data, "tNs");
+      if (!rs.history.empty() &&
+          rs.history.back().exited == runtime::Time{0}) {
+        rs.history.back().exited = rs.finished_at;
+      }
+      rs.pending = ResumeState::Pending::kNone;
+      strategy.terminal = true;
+      return {};
+    }
+
+    case RecordType::kAborted: {
+      rs.status = ExecutionStatus::kAborted;
+      rs.finished_at = time_from(data, "tNs");
+      if (!rs.history.empty() &&
+          rs.history.back().exited == runtime::Time{0}) {
+        rs.history.back().exited = rs.finished_at;
+      }
+      rs.pending = ResumeState::Pending::kNone;
+      strategy.terminal = true;
+      return {};
+    }
+
+    case RecordType::kSubmit:
+    case RecordType::kSnapshot:
+    case RecordType::kRecovered:
+    case RecordType::kReconciled:
+      return {};  // handled above
+  }
+  return {};
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot round-trip
+
+json::Value StateTracker::to_snapshot() const {
+  json::Array strategies;
+  for (const auto& [id, strategy] : strategies_) {
+    const ResumeState& rs = strategy.resume;
+    json::Array history;
+    for (const StateVisit& visit : rs.history) {
+      history.push_back(json::Object{
+          {"state", visit.state},
+          {"enteredNs", static_cast<std::int64_t>(visit.entered.count())},
+          {"exitedNs", static_cast<std::int64_t>(visit.exited.count())},
+          {"outcome", visit.outcome},
+          {"viaException", visit.via_exception},
+      });
+    }
+    json::Array applies;
+    for (const ResumeState::ApplyProgress& apply : rs.applies) {
+      applies.push_back(json::Object{
+          {"intent", apply.intent_journaled},
+          {"epoch", static_cast<std::int64_t>(apply.epoch)},
+          {"acked", apply.acked},
+          {"ok", apply.ok},
+      });
+    }
+    json::Array checks;
+    for (const ResumeState::CheckProgress& check : rs.checks) {
+      checks.push_back(json::Object{
+          {"executed", check.executed},
+          {"successes", check.successes},
+          {"done", check.done},
+          {"nextDeadlineNs",
+           static_cast<std::int64_t>(check.next_deadline.count())},
+      });
+    }
+    strategies.push_back(json::Object{
+        {"id", id},
+        {"def", core::strategy_to_json(strategy.def)},
+        {"name", strategy.name},
+        {"terminal", strategy.terminal},
+        {"status", execution_status_name(rs.status)},
+        {"currentState", rs.current_state},
+        {"startedNs", static_cast<std::int64_t>(rs.started_at.count())},
+        {"finishedNs", static_cast<std::int64_t>(rs.finished_at.count())},
+        {"transitions", rs.transitions},
+        {"checksExecuted", rs.checks_executed},
+        {"history", std::move(history)},
+        {"applies", std::move(applies)},
+        {"checks", std::move(checks)},
+        {"pending", pending_name(rs.pending)},
+        {"target", rs.target},
+        {"pendingCheck", rs.pending_check},
+        {"exceptionJournaled", rs.exception_journaled},
+        {"pendingReason", rs.pending_reason},
+    });
+  }
+  json::Object epochs;
+  for (const auto& [service, epoch] : epochs_) {
+    epochs[service] = static_cast<std::int64_t>(epoch);
+  }
+  json::Object intents;
+  for (const auto& [service, intent] : intents_) {
+    intents[service] = json::Object{
+        {"epoch", static_cast<std::int64_t>(intent.epoch)},
+        {"config", intent.config.to_json()},
+        {"strategyId", intent.strategy_id},
+    };
+  }
+  return json::Object{
+      {"nextId", next_id_},
+      {"epochs", std::move(epochs)},
+      {"intents", std::move(intents)},
+      {"strategies", std::move(strategies)},
+  };
+}
+
+Result<void> StateTracker::load_snapshot(const json::Value& snapshot) {
+  if (!snapshot.is_object()) {
+    return Result<void>::error("snapshot must be an object");
+  }
+  strategies_.clear();
+  epochs_.clear();
+  intents_.clear();
+  next_id_ = static_cast<std::uint64_t>(snapshot.get_number("nextId", 1.0));
+
+  if (const json::Value* epochs = snapshot.find("epochs");
+      epochs != nullptr && epochs->is_object()) {
+    for (const auto& [service, epoch] : epochs->as_object()) {
+      if (epoch.is_number()) {
+        epochs_[service] = static_cast<std::uint64_t>(epoch.as_number());
+      }
+    }
+  }
+  if (const json::Value* intents = snapshot.find("intents");
+      intents != nullptr && intents->is_object()) {
+    for (const auto& [service, value] : intents->as_object()) {
+      Intent intent;
+      intent.epoch = static_cast<std::uint64_t>(value.get_number("epoch"));
+      intent.strategy_id = value.get_string("strategyId");
+      if (const json::Value* config = value.find("config")) {
+        auto parsed = proxy::ProxyConfig::from_json(*config);
+        if (!parsed.ok()) {
+          return Result<void>::error("snapshot intent config: " +
+                                     parsed.error_message());
+        }
+        intent.config = std::move(parsed).value();
+      }
+      intents_[service] = std::move(intent);
+    }
+  }
+
+  const json::Value* strategies = snapshot.find("strategies");
+  if (strategies == nullptr || !strategies->is_array()) return {};
+  for (const json::Value& entry : strategies->as_array()) {
+    const std::string id = entry.get_string("id");
+    const json::Value* def_json = entry.find("def");
+    if (id.empty() || def_json == nullptr) {
+      return Result<void>::error("snapshot strategy missing id/def");
+    }
+    auto def = core::strategy_from_json(*def_json);
+    if (!def.ok()) return Result<void>::error(def.error_message());
+    Strategy strategy;
+    strategy.def = std::move(def).value();
+    strategy.name = entry.get_string("name", strategy.def.name);
+    strategy.terminal = entry.get_bool("terminal");
+    ResumeState& rs = strategy.resume;
+    rs.status = execution_status_from_name(entry.get_string("status"))
+                    .value_or(ExecutionStatus::kRunning);
+    rs.current_state = entry.get_string("currentState");
+    rs.started_at = time_from(entry, "startedNs");
+    rs.finished_at = time_from(entry, "finishedNs");
+    rs.transitions = static_cast<std::uint64_t>(entry.get_number("transitions"));
+    rs.checks_executed =
+        static_cast<std::uint64_t>(entry.get_number("checksExecuted"));
+    if (const json::Value* history = entry.find("history");
+        history != nullptr && history->is_array()) {
+      for (const json::Value& visit : history->as_array()) {
+        rs.history.push_back(StateVisit{
+            visit.get_string("state"),
+            time_from(visit, "enteredNs"),
+            time_from(visit, "exitedNs"),
+            visit.get_number("outcome"),
+            visit.get_bool("viaException"),
+        });
+      }
+    }
+    if (const json::Value* applies = entry.find("applies");
+        applies != nullptr && applies->is_array()) {
+      for (const json::Value& apply : applies->as_array()) {
+        rs.applies.push_back(ResumeState::ApplyProgress{
+            apply.get_bool("intent"),
+            static_cast<std::uint64_t>(apply.get_number("epoch")),
+            apply.get_bool("acked"),
+            apply.get_bool("ok"),
+        });
+      }
+    }
+    if (const json::Value* checks = entry.find("checks");
+        checks != nullptr && checks->is_array()) {
+      for (const json::Value& check : checks->as_array()) {
+        rs.checks.push_back(ResumeState::CheckProgress{
+            static_cast<int>(check.get_number("executed")),
+            static_cast<int>(check.get_number("successes")),
+            check.get_bool("done"),
+            runtime::Time(static_cast<std::int64_t>(
+                check.get_number("nextDeadlineNs"))),
+        });
+      }
+    }
+    rs.pending = pending_from_name(entry.get_string("pending", "none"));
+    rs.target = entry.get_string("target");
+    rs.pending_check = entry.get_string("pendingCheck");
+    rs.exception_journaled = entry.get_bool("exceptionJournaled");
+    rs.pending_reason = entry.get_string("pendingReason");
+    strategies_[id] = std::move(strategy);
+  }
+  return {};
+}
+
+}  // namespace bifrost::engine

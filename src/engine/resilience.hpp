@@ -114,6 +114,13 @@ class ResilientProxyController final : public ProxyController {
   util::Result<void> apply(const core::ServiceDef& service,
                            const proxy::ProxyConfig& config) override;
 
+  /// Read-back passes straight through: reconciliation does its own
+  /// fallback (re-apply) when the proxy cannot be read, so wrapping it
+  /// in retries would only delay startup.
+  util::Result<ProxyStateView> fetch(const core::ServiceDef& service) override {
+    return inner_.fetch(service);
+  }
+
   [[nodiscard]] std::uint64_t attempts() const { return attempts_; }
   [[nodiscard]] const CircuitBreaker* breaker(const std::string& key) const;
 

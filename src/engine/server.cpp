@@ -86,6 +86,15 @@ http::Response EngineServer::handle(const http::Request& request) {
 
   if (path == "/healthz") return http::Response::text(200, "ok\n");
 
+  // Readiness is distinct from liveness: a recovering engine answers
+  // /healthz (the process is up) but refuses /readyz until journal
+  // replay and proxy reconciliation are complete, so load balancers
+  // don't route work to an engine whose proxies may still be stale.
+  if (path == "/readyz") {
+    return engine_.ready() ? http::Response::text(200, "ready\n")
+                           : http::Response::text(503, "recovering\n");
+  }
+
   if (path == "/" && request.method == "GET") {
     http::Response page;
     page.headers.set("Content-Type", "text/html; charset=utf-8");

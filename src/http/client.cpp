@@ -1,5 +1,7 @@
 #include "http/client.hpp"
 
+#include <algorithm>
+
 #include "http/url.hpp"
 #include "util/strings.hpp"
 
@@ -86,6 +88,15 @@ void HttpClient::clear_pool() {
   pool_.clear();
 }
 
+void HttpClient::abort_inflight() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  aborted_ = true;
+  // shutdown() (not close()) so a thread blocked in recv on the same
+  // socket wakes with an error instead of reading a reused fd.
+  for (net::TcpStream* stream : inflight_) stream->shutdown_both();
+  pool_.clear();
+}
+
 std::size_t HttpClient::idle_connections() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   std::size_t n = 0;
@@ -95,6 +106,27 @@ std::size_t HttpClient::idle_connections() const {
 
 util::Result<Response> HttpClient::send_once(const std::string& wire,
                                              PooledConnection& conn) {
+  // Register the stream so abort_inflight() can cut this exchange loose
+  // while we are blocked in write/read below. The guard also blocks the
+  // stale-connection retry from re-connecting after an abort.
+  struct InflightGuard {
+    HttpClient& client;
+    net::TcpStream* stream;
+    ~InflightGuard() {
+      const std::lock_guard<std::mutex> lock(client.mutex_);
+      auto& inflight = client.inflight_;
+      inflight.erase(std::remove(inflight.begin(), inflight.end(), stream),
+                     inflight.end());
+    }
+  };
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (aborted_) {
+      return util::Result<Response>::error("http client: aborted");
+    }
+    inflight_.push_back(&conn.stream);
+  }
+  const InflightGuard guard{*this, &conn.stream};
   if (auto w = conn.stream.write_all(wire); !w) {
     return util::Result<Response>::error(w.error_message());
   }

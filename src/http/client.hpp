@@ -43,6 +43,12 @@ class HttpClient {
   /// Drops all idle pooled connections.
   void clear_pool();
 
+  /// Shuts down every connection with a request currently in flight,
+  /// unblocking threads stuck in request(), and puts the client into a
+  /// terminal aborted state where new requests fail immediately. Used
+  /// to bound graceful-drain time when this client's owner shuts down.
+  void abort_inflight();
+
   [[nodiscard]] std::size_t idle_connections() const;
 
  private:
@@ -61,6 +67,8 @@ class HttpClient {
   Options options_;
   mutable std::mutex mutex_;
   std::map<std::string, std::vector<PooledConnection>> pool_;
+  std::vector<net::TcpStream*> inflight_;
+  bool aborted_ = false;
 };
 
 }  // namespace bifrost::http

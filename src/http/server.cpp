@@ -42,11 +42,36 @@ void HttpServer::stop() {
   listener_.close();
   wake_dispatcher();
   if (dispatch_thread_.joinable()) dispatch_thread_.join();
+
+  // Graceful drain: idle connections carry no request, close them now;
+  // busy connections get up to drain_timeout to finish their in-flight
+  // request (workers stop serving follow-up requests once running_ is
+  // false), then are force-closed.
+  bool stragglers = false;
   {
-    // Unblock workers mid-read so the pool drains promptly.
-    const std::lock_guard<std::mutex> lock(mutex_);
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (auto& [id, conn] : connections_) {
+      const auto it = idle_.find(id);
+      if (it != idle_.end() && it->second) conn->stream.shutdown_both();
+    }
+    const auto busy = [this] {
+      for (const auto& [id, is_idle] : idle_) {
+        if (!is_idle) return true;
+      }
+      return false;
+    };
+    if (options_.drain_timeout.count() > 0 && busy()) {
+      drain_cv_.wait_for(lock, options_.drain_timeout,
+                         [&] { return !busy(); });
+    }
+    stragglers = busy();
+    // Unblock any straggling workers mid-read so the pool drains.
     for (auto& [id, conn] : connections_) conn->stream.shutdown_both();
   }
+  // A straggler may be blocked inside its handler rather than on the
+  // connection we just shut down; without this the pool join below
+  // waits for the handler's own (possibly much longer) timeout.
+  if (stragglers && options_.on_drain_expired) options_.on_drain_expired();
   if (pool_) pool_->shutdown();
   {
     const std::lock_guard<std::mutex> lock(mutex_);
@@ -172,7 +197,7 @@ void HttpServer::serve_connection(std::uint64_t id) {
 
   // Serve requests until the connection has no more buffered or
   // immediately-readable data, then hand it back to the dispatcher.
-  while (running_.load()) {
+  while (true) {
     auto request = read_request(conn->stream, conn->buffer);
     if (!request.ok()) {
       if (request.error_message() != "connection closed") {
@@ -214,6 +239,11 @@ void HttpServer::serve_connection(std::uint64_t id) {
       return_to_idle(id);
       return;
     }
+    // Draining: the in-flight request was answered; drop the rest.
+    if (!running_.load()) {
+      close_connection(id);
+      return;
+    }
   }
 }
 
@@ -223,13 +253,17 @@ void HttpServer::return_to_idle(std::uint64_t id) {
     if (!connections_.contains(id)) return;
     idle_[id] = true;
   }
+  drain_cv_.notify_all();
   wake_dispatcher();
 }
 
 void HttpServer::close_connection(std::uint64_t id) {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  connections_.erase(id);
-  idle_.erase(id);
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    connections_.erase(id);
+    idle_.erase(id);
+  }
+  drain_cv_.notify_all();
 }
 
 }  // namespace bifrost::http

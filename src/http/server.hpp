@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -36,6 +37,15 @@ class HttpServer {
     std::chrono::milliseconds io_timeout{10000};
     /// Idle keep-alive connections are closed after this long.
     std::chrono::milliseconds idle_timeout{60000};
+    /// How long stop() waits for in-flight requests to finish before
+    /// force-closing their connections (graceful drain). 0 = immediate.
+    std::chrono::milliseconds drain_timeout{5000};
+    /// Called by stop() when the drain deadline passes with requests
+    /// still in flight. Closing the inbound connection does not unblock
+    /// a handler that is itself waiting on a slow dependency (e.g. a
+    /// proxy's upstream call); this hook lets the owner cut those
+    /// dependencies loose so the worker pool can join.
+    std::function<void()> on_drain_expired;
   };
 
   HttpServer(Options options, Handler handler);
@@ -47,7 +57,10 @@ class HttpServer {
   /// Binds and starts accepting. Throws std::runtime_error on bind error.
   void start();
 
-  /// Stops accepting and joins all threads. Idempotent.
+  /// Stops accepting, waits up to Options::drain_timeout for in-flight
+  /// requests to complete (idle keep-alive connections are closed
+  /// immediately), force-closes stragglers, joins all threads.
+  /// Idempotent.
   void stop();
 
   /// Bound port (valid after start()).
@@ -88,6 +101,9 @@ class HttpServer {
   // dispatcher (watched by poll); busy connections are owned by a
   // worker. Guarded by mutex_.
   mutable std::mutex mutex_;
+  /// Signalled whenever a connection leaves the busy state (request
+  /// finished or connection closed); stop() waits on it while draining.
+  std::condition_variable drain_cv_;
   std::map<std::uint64_t, std::shared_ptr<Connection>> connections_;
   std::map<std::uint64_t, bool> idle_;
   std::uint64_t next_id_ = 1;

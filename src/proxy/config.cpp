@@ -28,6 +28,7 @@ json::Value ProxyConfig::to_json() const {
   }
   return json::Object{
       {"service", service},
+      {"epoch", static_cast<std::int64_t>(epoch)},
       {"mode", mode == core::RoutingMode::kCookie ? "cookie" : "header"},
       {"sticky", sticky},
       {"filterHeader", filter_header},
@@ -43,6 +44,7 @@ util::Result<ProxyConfig> ProxyConfig::from_json(const json::Value& doc) {
   if (!doc.is_object()) return R::error("proxy config must be an object");
   ProxyConfig config;
   config.service = doc.get_string("service");
+  config.epoch = static_cast<std::uint64_t>(doc.get_number("epoch", 0.0));
   const std::string mode = doc.get_string("mode", "cookie");
   if (mode == "cookie") {
     config.mode = core::RoutingMode::kCookie;

@@ -41,6 +41,12 @@ struct ShadowTarget {
 
 struct ProxyConfig {
   std::string service;
+  /// Monotonically increasing config version assigned by the engine.
+  /// The proxy persists the highest epoch it applied and treats a
+  /// config with epoch <= persisted as an idempotent duplicate (no-op
+  /// success), which makes the engine's crash-recovery re-applies safe.
+  /// Epoch 0 is "unversioned" (legacy callers) and is always applied.
+  std::uint64_t epoch = 0;
   core::RoutingMode mode = core::RoutingMode::kCookie;
   bool sticky = false;
   /// Optional experiment scoping: only requests with

@@ -1,5 +1,7 @@
 #include "proxy/proxy.hpp"
 
+#include <cstdio>
+#include <fstream>
 #include <stdexcept>
 #include <thread>
 #include <utility>
@@ -25,12 +27,26 @@ BifrostProxy::BifrostProxy(Options options, ProxyConfig initial)
   if (auto v = initial.validate(); !v) {
     throw std::invalid_argument("proxy initial config: " + v.error_message());
   }
+  if (!options_.epoch_file.empty()) {
+    applied_epoch_.store(load_epoch(options_.epoch_file));
+  }
+  if (initial.epoch > applied_epoch_.load()) {
+    applied_epoch_.store(initial.epoch);
+  }
   state_ = build_state(std::move(initial));
   state_version_.store(1, std::memory_order_release);
 
   http::HttpServer::Options data_options;
   data_options.port = options_.data_port;
   data_options.worker_threads = options_.worker_threads;
+  data_options.drain_timeout = options_.drain_timeout;
+  // If the drain deadline passes with requests still in flight, the
+  // blocked workers are usually waiting on a backend, not on the client
+  // connection — cut the upstream calls so stop() stays bounded.
+  data_options.on_drain_expired = [this] {
+    backend_client_.abort_inflight();
+    shadow_client_.abort_inflight();
+  };
   data_server_ = std::make_unique<http::HttpServer>(
       data_options,
       [this](const http::Request& req) { return handle_data(req); });
@@ -53,6 +69,10 @@ void BifrostProxy::start() {
 }
 
 void BifrostProxy::stop() {
+  draining_.store(true);
+  // Data plane first: its stop() drains in-flight user requests up to
+  // Options::drain_timeout. The admin plane stays reachable meanwhile
+  // so /admin/health can report the drain.
   data_server_->stop();
   admin_server_->stop();
   if (shadow_pool_) shadow_pool_->shutdown();
@@ -81,15 +101,32 @@ std::shared_ptr<const BifrostProxy::RouteState> BifrostProxy::build_state(
 }
 
 util::Result<void> BifrostProxy::apply(ProxyConfig config) {
-  if (auto v = config.validate(); !v) return v;
+  auto applied = apply_versioned(std::move(config));
+  if (!applied.ok()) return util::Result<void>::error(applied.error_message());
+  return {};
+}
+
+util::Result<bool> BifrostProxy::apply_versioned(ProxyConfig config) {
+  using R = util::Result<bool>;
+  if (auto v = config.validate(); !v) return R::error(v.error_message());
+  const std::uint64_t epoch = config.epoch;
   const std::shared_ptr<const RouteState> next =
       build_state(std::move(config));
   std::shared_ptr<const RouteState> previous;
   {
     const std::lock_guard<std::mutex> lock(state_mutex_);
+    // Duplicate-epoch guard: the engine re-issues journaled apply
+    // intents after a crash; a config whose epoch the proxy has already
+    // applied (or surpassed) is acknowledged without being installed.
+    if (epoch != 0 && epoch <= applied_epoch_.load()) {
+      duplicate_epochs_.fetch_add(1);
+      return false;
+    }
+    if (epoch != 0) applied_epoch_.store(epoch);
     previous = std::exchange(state_, next);
     state_version_.fetch_add(1, std::memory_order_release);
   }
+  if (epoch != 0) persist_epoch(epoch);
   // Prune latency histograms of versions that left the routing table so
   // long multi-phase runs don't accumulate state for retired versions.
   // In-flight requests still holding `previous` keep their shared_ptr.
@@ -99,7 +136,28 @@ util::Result<void> BifrostProxy::apply(ProxyConfig config) {
     }
   }
   config_updates_.fetch_add(1);
-  return {};
+  return true;
+}
+
+void BifrostProxy::persist_epoch(std::uint64_t epoch) const {
+  if (options_.epoch_file.empty()) return;
+  // Write-then-rename so a crash mid-write can't leave a garbled epoch
+  // (a missing or stale file only weakens the guard to "in-memory").
+  const std::string tmp = options_.epoch_file + ".tmp";
+  std::ofstream out(tmp, std::ios::trunc);
+  if (!out) return;
+  out << epoch << '\n';
+  out.flush();
+  if (!out) return;
+  out.close();
+  (void)std::rename(tmp.c_str(), options_.epoch_file.c_str());
+}
+
+std::uint64_t BifrostProxy::load_epoch(const std::string& path) {
+  std::ifstream in(path);
+  std::uint64_t epoch = 0;
+  if (in && (in >> epoch)) return epoch;
+  return 0;
 }
 
 std::shared_ptr<const BifrostProxy::RouteState> BifrostProxy::route_state()
@@ -357,8 +415,29 @@ http::Response BifrostProxy::handle_admin(const http::Request& request) {
   const std::string path = request.path();
   if (path == "/healthz") return http::Response::text(200, "ok\n");
 
+  if (path == "/admin/health" && request.method == "GET") {
+    // Machine-readable liveness + the durability handshake state: the
+    // engine's reconciliation reads configEpoch to decide whether this
+    // proxy already enacts its journaled intent.
+    const std::shared_ptr<const RouteState> state = route_state();
+    return http::Response::json(
+        200, json::Value(json::Object{
+                 {"status", draining_.load() ? "draining" : "ok"},
+                 {"service", state->config.service},
+                 {"configEpoch",
+                  static_cast<std::int64_t>(applied_epoch_.load())},
+                 {"configUpdates", config_updates_.load()},
+                 {"duplicateEpochs", duplicate_epochs_.load()},
+             })
+                 .dump());
+  }
   if (path == "/admin/config" && request.method == "GET") {
-    return http::Response::json(200, current_config().to_json().dump());
+    // Echo the authoritative persisted epoch, not the (possibly 0)
+    // epoch field of the last installed config, so readers always see
+    // the deduplication floor.
+    ProxyConfig config = current_config();
+    config.epoch = applied_epoch_.load();
+    return http::Response::json(200, config.to_json().dump());
   }
   if (path == "/admin/config" && request.method == "PUT") {
     auto doc = json::parse(request.body);
@@ -367,10 +446,18 @@ http::Response BifrostProxy::handle_admin(const http::Request& request) {
     if (!config.ok()) {
       return http::Response::bad_request(config.error_message());
     }
-    if (auto applied = apply(std::move(config).value()); !applied) {
+    auto applied = apply_versioned(std::move(config).value());
+    if (!applied.ok()) {
       return http::Response::bad_request(applied.error_message());
     }
-    return http::Response::json(200, R"({"status":"ok"})");
+    return http::Response::json(
+        200, json::Value(json::Object{
+                 {"status", "ok"},
+                 {"applied", applied.value()},
+                 {"epoch",
+                  static_cast<std::int64_t>(applied_epoch_.load())},
+             })
+                 .dump());
   }
   if (path == "/admin/stats" && request.method == "GET") {
     const std::shared_ptr<const RouteState> state = route_state();
@@ -390,6 +477,8 @@ http::Response BifrostProxy::handle_admin(const http::Request& request) {
         {"shadowRequests", shadow_requests_.load()},
         {"backendErrors", backend_errors_.load()},
         {"configUpdates", config_updates_.load()},
+        {"configEpoch", static_cast<std::int64_t>(applied_epoch_.load())},
+        {"duplicateEpochs", duplicate_epochs_.load()},
         {"stickySessions", sticky_sessions()},
         {"sessionShards", sessions_.shard_count()},
         {"latency", std::move(latency_json)},

@@ -65,6 +65,13 @@ class BifrostProxy {
     /// Sticky-session table shards (rounded up to a power of two).
     /// More shards = less lock contention between worker threads.
     std::size_t session_shards = 16;
+    /// How long stop() lets in-flight data-plane requests finish before
+    /// force-closing their connections. 0 = immediate.
+    std::chrono::milliseconds drain_timeout{5000};
+    /// Path where the highest applied config epoch is persisted (and
+    /// reloaded on construction), so the duplicate-epoch guard survives
+    /// proxy restarts. Empty = in-memory only.
+    std::string epoch_file;
   };
 
   /// `initial` must pass ProxyConfig::validate(); it is typically a
@@ -86,7 +93,23 @@ class BifrostProxy {
   /// versions that left the table are pruned.
   util::Result<void> apply(ProxyConfig config);
 
+  /// Like apply(), but reports whether the config was installed:
+  /// `false` means its epoch was <= the highest epoch already applied,
+  /// so the call was deduplicated into a no-op success (the engine
+  /// re-issues journaled intents after a crash; this is what makes
+  /// those re-issues idempotent). Epoch 0 configs are always installed.
+  util::Result<bool> apply_versioned(ProxyConfig config);
+
   [[nodiscard]] ProxyConfig current_config() const;
+
+  /// Highest non-zero config epoch ever applied (survives restarts when
+  /// Options::epoch_file is set).
+  [[nodiscard]] std::uint64_t applied_epoch() const {
+    return applied_epoch_.load();
+  }
+  [[nodiscard]] std::uint64_t duplicate_epochs() const {
+    return duplicate_epochs_.load();
+  }
 
   /// Per-version request counts (forwarded, not shadow).
   [[nodiscard]] std::uint64_t requests_for(const std::string& version) const;
@@ -143,6 +166,10 @@ class BifrostProxy {
 
   http::Response handle_data(const http::Request& request);
   http::Response handle_admin(const http::Request& request);
+  /// Epoch-file round trip (best-effort: a proxy that cannot persist
+  /// still enforces the guard in memory for its lifetime).
+  void persist_epoch(std::uint64_t epoch) const;
+  [[nodiscard]] static std::uint64_t load_epoch(const std::string& path);
   void fire_shadows(const ProxyConfig& config, const std::string& version,
                     const http::Request& request);
 
@@ -175,6 +202,9 @@ class BifrostProxy {
   std::atomic<std::uint64_t> shadow_requests_{0};
   std::atomic<std::uint64_t> backend_errors_{0};
   std::atomic<std::uint64_t> config_updates_{0};
+  std::atomic<std::uint64_t> applied_epoch_{0};
+  std::atomic<std::uint64_t> duplicate_epochs_{0};
+  std::atomic<bool> draining_{false};
 };
 
 }  // namespace bifrost::proxy

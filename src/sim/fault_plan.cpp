@@ -7,6 +7,15 @@ namespace bifrost::sim {
 FaultPlan::Outcome FaultPlan::decide(Target target, const std::string& name,
                                      runtime::Time now) {
   Outcome outcome;
+  if (target == Target::kProxy) {
+    ++proxy_calls_;
+    if (crash_on_apply_ != 0 && proxy_calls_ >= crash_on_apply_) {
+      crash_on_apply_ = 0;
+      outcome.crash = true;
+      outcome.reason = "crash injected during proxy apply to '" + name + "'";
+      return outcome;
+    }
+  }
   for (const Window& window : windows_) {
     if (window.target != target) continue;
     if (!window.name.empty() && window.name != name) continue;
@@ -37,6 +46,46 @@ FaultPlan::Outcome FaultPlan::decide(Target target, const std::string& name,
     outcome.reason = "injected fault calling '" + name + "'";
   }
   return outcome;
+}
+
+util::Result<void> FaultPlan::validate_against(
+    const core::StrategyDef& def) const {
+  using R = util::Result<void>;
+  for (const Window& window : windows_) {
+    if (window.name.empty()) continue;  // wildcard: matches any target
+    if (window.target == Target::kProxy) {
+      if (def.find_service(window.name) == nullptr) {
+        std::string known;
+        for (const core::ServiceDef& service : def.services) {
+          if (!known.empty()) known += ", ";
+          known += "'" + service.name + "'";
+        }
+        return R::error(
+            "fault window targets unknown service '" + window.name +
+            "': strategy '" + def.name + "' has " +
+            (known.empty() ? std::string("no services") : known) +
+            " (a misspelled name would never fire)");
+      }
+    } else {
+      bool found = false;
+      for (const auto& [provider_name, provider] : def.providers) {
+        found |= provider.host == window.name;
+      }
+      if (!found) {
+        std::string known;
+        for (const auto& [provider_name, provider] : def.providers) {
+          if (!known.empty()) known += ", ";
+          known += "'" + provider.host + "'";
+        }
+        return R::error(
+            "fault window targets unknown provider host '" + window.name +
+            "': strategy '" + def.name + "' queries " +
+            (known.empty() ? std::string("no providers") : known) +
+            " (a misspelled name would never fire)");
+      }
+    }
+  }
+  return {};
 }
 
 }  // namespace bifrost::sim

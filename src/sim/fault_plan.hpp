@@ -7,16 +7,36 @@
 // sequence on every run: the failure-matrix tests in
 // tests/resilience_test.cpp assert event streams down to exact virtual
 // timestamps.
+// Crash injection: crash_after_record(n) arms a simulated engine crash
+// at a journal record boundary (thrown as CrashInjected by a
+// CrashableJournal wrapping the engine's journal), and crash_on_apply(n)
+// kills the engine mid-proxy-update — after the proxy installed the
+// config but before the engine could journal the ack. The recovery
+// crash-matrix tests drive both through every boundary of a strategy.
 #pragma once
 
 #include <cstdint>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "core/model.hpp"
+#include "engine/journal.hpp"
 #include "runtime/scheduler.hpp"
+#include "util/result.hpp"
 #include "util/rng.hpp"
 
 namespace bifrost::sim {
+
+/// Thrown to simulate the engine process dying at a fault-plan-chosen
+/// point. Propagates out of Simulation::run_until (which stays
+/// re-usable); the harness then destroys the engine object — the moral
+/// equivalent of SIGKILL — and constructs a fresh one that recovers
+/// from the journal.
+struct CrashInjected : std::runtime_error {
+  explicit CrashInjected(const std::string& what)
+      : std::runtime_error(what) {}
+};
 
 class FaultPlan {
  public:
@@ -43,6 +63,9 @@ class FaultPlan {
   /// What the plan decided for one call.
   struct Outcome {
     bool error = false;
+    /// The engine dies during this call: the callee completes its side
+    /// effect, then throws CrashInjected instead of acking.
+    bool crash = false;
     runtime::Duration extra_latency{0};
     std::string reason;
   };
@@ -52,6 +75,32 @@ class FaultPlan {
   Spec& metrics() { return metrics_; }
   Spec& proxy() { return proxy_; }
   void add_window(Window window) { windows_.push_back(std::move(window)); }
+  [[nodiscard]] const std::vector<Window>& windows() const { return windows_; }
+
+  /// Arms a one-shot crash at the moment the journal's cumulative
+  /// record count reaches `n` (1-based): record n is durably written,
+  /// nothing after it. Consumed by CrashableJournal::append.
+  void crash_after_record(std::uint64_t n) { crash_at_record_ = n; }
+  /// One-shot: true exactly when `written` has reached the armed
+  /// boundary; disarms so the restarted engine doesn't crash again.
+  bool take_crash_at_record(std::uint64_t written) {
+    if (crash_at_record_ == 0 || written < crash_at_record_) return false;
+    crash_at_record_ = 0;
+    return true;
+  }
+
+  /// Arms a one-shot crash during the `nth` proxy apply from now
+  /// (1-based, counted across decide() calls with Target::kProxy).
+  void crash_on_apply(std::uint64_t nth = 1) {
+    crash_on_apply_ = proxy_calls_ + nth;
+  }
+
+  /// Validates the plan against the strategy it will be injected into:
+  /// every named window must reference a service (proxy faults) or a
+  /// provider host (metrics faults) that the strategy actually uses —
+  /// a misspelled name would otherwise silently never fire.
+  [[nodiscard]] util::Result<void> validate_against(
+      const core::StrategyDef& def) const;
 
   /// Decides the fate of one call against `name` at virtual time `now`.
   /// Windows are checked first (deterministic, no RNG); otherwise the
@@ -73,6 +122,38 @@ class FaultPlan {
   std::vector<Window> windows_;
   std::uint64_t injected_errors_ = 0;
   std::uint64_t injected_spikes_ = 0;
+  std::uint64_t crash_at_record_ = 0;  ///< 0 = disarmed
+  std::uint64_t crash_on_apply_ = 0;   ///< absolute proxy-call index, 0 = off
+  std::uint64_t proxy_calls_ = 0;
+};
+
+/// Journal decorator that injects CrashInjected at the record boundary
+/// armed via FaultPlan::crash_after_record. Wraps the journal that
+/// plays "the disk" (usually a MemoryJournal that outlives simulated
+/// engine incarnations); the boundary is counted against the inner
+/// journal's cumulative record count, so it is stable across restarts.
+class CrashableJournal final : public engine::Journal {
+ public:
+  CrashableJournal(engine::Journal& inner, FaultPlan& plan)
+      : inner_(inner), plan_(plan) {}
+
+  util::Result<void> append(engine::RecordType type,
+                            json::Value data) override {
+    auto result = inner_.append(type, std::move(data));
+    if (plan_.take_crash_at_record(inner_.records_written())) {
+      throw CrashInjected("crash injected after journal record " +
+                          std::to_string(inner_.records_written()));
+    }
+    return result;
+  }
+  util::Result<void> sync() override { return inner_.sync(); }
+  [[nodiscard]] std::uint64_t records_written() const override {
+    return inner_.records_written();
+  }
+
+ private:
+  engine::Journal& inner_;
+  FaultPlan& plan_;
 };
 
 }  // namespace bifrost::sim

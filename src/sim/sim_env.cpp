@@ -51,9 +51,38 @@ util::Result<void> SimProxyController::apply(const core::ServiceDef& service,
     // A failed update never reaches the proxy: last_config_ keeps the
     // previous routing so tests can assert what production still sees.
     if (outcome.error) return util::Result<void>::error(outcome.reason);
+    if (outcome.crash) {
+      // The update reached the proxy; the engine dies before the ack.
+      install(service.name, config);
+      throw CrashInjected(outcome.reason);
+    }
   }
-  last_config_ = config;
+  install(service.name, config);
   return {};
+}
+
+void SimProxyController::install(const std::string& service,
+                                 const proxy::ProxyConfig& config) {
+  engine::ProxyStateView& state = states_[service];
+  // Same duplicate-epoch guard as the real proxy: a re-issued intent
+  // with an already-applied (or older) epoch is an idempotent no-op.
+  if (config.epoch != 0 && config.epoch <= state.epoch) {
+    ++duplicate_epochs_;
+    return;
+  }
+  if (config.epoch != 0) state.epoch = config.epoch;
+  state.config = config;
+  last_config_ = config;
+}
+
+util::Result<engine::ProxyStateView> SimProxyController::fetch(
+    const core::ServiceDef& service) {
+  const auto it = states_.find(service.name);
+  if (it == states_.end()) {
+    return util::Result<engine::ProxyStateView>::error(
+        "no config applied for service '" + service.name + "'");
+  }
+  return it->second;
 }
 
 engine::SleepFn external_sleeper(Simulation& sim) {

@@ -76,21 +76,45 @@ class SimProxyController final : public engine::ProxyController {
   util::Result<void> apply(const core::ServiceDef& service,
                            const proxy::ProxyConfig& config) override;
 
+  /// Reads back the per-service installed config + epoch, like a real
+  /// proxy's GET /admin/config. Charges no simulation cost (recovery
+  /// reconciliation runs outside the simulated engine's callbacks).
+  /// Errors when no config was ever applied for the service.
+  util::Result<engine::ProxyStateView> fetch(
+      const core::ServiceDef& service) override;
+
   /// Non-owning: faults from `plan` (Target::kProxy, keyed by the
-  /// service name) are injected into every update.
+  /// service name) are injected into every update. A crash outcome
+  /// installs the config and then throws CrashInjected — the proxy got
+  /// the update, the engine died before seeing the ack.
   void set_fault_plan(FaultPlan* plan) { fault_plan_ = plan; }
 
   [[nodiscard]] std::uint64_t updates() const { return updates_; }
   [[nodiscard]] const proxy::ProxyConfig& last_config() const {
     return last_config_;
   }
+  /// Duplicate-epoch applies deduplicated by the per-service guard.
+  [[nodiscard]] std::uint64_t duplicate_epochs() const {
+    return duplicate_epochs_;
+  }
+  /// Installed per-service state, keyed by service name (what a fleet
+  /// of real proxies would each persist).
+  [[nodiscard]] const std::map<std::string, engine::ProxyStateView>& states()
+      const {
+    return states_;
+  }
 
  private:
+  /// Installs `config` for `service` honoring the epoch guard.
+  void install(const std::string& service, const proxy::ProxyConfig& config);
+
   Simulation& sim_;
   Costs costs_;
   FaultPlan* fault_plan_ = nullptr;
   std::uint64_t updates_ = 0;
+  std::uint64_t duplicate_epochs_ = 0;
   proxy::ProxyConfig last_config_;
+  std::map<std::string, engine::ProxyStateView> states_;
 };
 
 /// SleepFn for the resilience decorators under simulation: backoff

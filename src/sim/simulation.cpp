@@ -73,7 +73,17 @@ std::size_t Simulation::run_until(runtime::Time until) {
     now_ = start;
     in_callback_ = true;
     consume(options_.dispatch_overhead);
-    task();
+    try {
+      task();
+    } catch (...) {
+      // Leave the simulation re-usable after a throwing callback (the
+      // crash harness injects sim::CrashInjected mid-run and then keeps
+      // driving the same Simulation with a fresh engine).
+      in_callback_ = false;
+      *free_core = now_;
+      ++callbacks_run_;
+      throw;
+    }
     in_callback_ = false;
     *free_core = now_;
     ++callbacks_run_;

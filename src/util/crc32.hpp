@@ -1,0 +1,23 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the checksum
+// guarding journal record frames against torn or corrupted tails.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace bifrost::util {
+
+/// Incremental CRC-32: feed `crc32_update` the running value (start from
+/// crc32_init()) and finish with crc32_final().
+[[nodiscard]] constexpr std::uint32_t crc32_init() { return 0xFFFFFFFFu; }
+[[nodiscard]] std::uint32_t crc32_update(std::uint32_t crc, const void* data,
+                                         std::size_t size);
+[[nodiscard]] constexpr std::uint32_t crc32_final(std::uint32_t crc) {
+  return crc ^ 0xFFFFFFFFu;
+}
+
+/// One-shot CRC-32 of a buffer.
+[[nodiscard]] std::uint32_t crc32(std::string_view data);
+
+}  // namespace bifrost::util

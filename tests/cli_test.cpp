@@ -197,6 +197,17 @@ TEST(CliTest, UnreachableEngineFailsGracefully) {
   EXPECT_NE(result.output.find("unreachable"), std::string::npos);
 }
 
+TEST(CliTest, ResumeRequiresAJournal) {
+  const auto result = run_cli("resume");
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.output.find("--journal"), std::string::npos);
+}
+
+TEST(CliTest, ResumeFailsOnMissingJournalFile) {
+  const auto result = run_cli("resume --journal /nonexistent/bifrost.wal");
+  EXPECT_NE(result.exit_code, 0);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {

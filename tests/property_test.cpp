@@ -14,7 +14,9 @@
 
 #include "core/analysis.hpp"
 #include "core/model.hpp"
+#include "engine/engine.hpp"
 #include "engine/execution.hpp"
+#include "engine/journal.hpp"
 #include "engine/resilience.hpp"
 #include "proxy/proxy.hpp"
 #include "runtime/manual_clock.hpp"
@@ -483,6 +485,181 @@ TEST(ResilienceProperty, FaultyEnactmentAlwaysTerminatesInAFinalStatus) {
                 status == engine::ExecutionStatus::kAborted)
         << "round " << round << " ended in status "
         << static_cast<int>(status);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Journal replay determinism: for random strategies and random crash
+// points, killing the engine at a journal record boundary and recovering
+// from the journal yields the exact transition trace and final status of
+// an uninterrupted run — and recovering a second time changes nothing.
+
+namespace journal_property {
+
+/// Filtered (type, payload) trace: markers, snapshots and acks are
+/// excluded (a resumed run legitimately adds/omits them; see
+/// tests/recovery_test.cpp for the rationale).
+using Trace = std::vector<std::pair<engine::RecordType, std::string>>;
+
+Trace trace_of(const engine::MemoryJournal& disk) {
+  using RT = engine::RecordType;
+  Trace trace;
+  for (const engine::JournalRecord& record : disk.records()) {
+    if (record.type == RT::kSnapshot || record.type == RT::kRecovered ||
+        record.type == RT::kReconciled || record.type == RT::kApplyAck) {
+      continue;
+    }
+    trace.emplace_back(record.type, record.data.dump());
+  }
+  return trace;
+}
+
+struct Outcome {
+  Trace trace;
+  engine::ExecutionStatus status = engine::ExecutionStatus::kPending;
+  std::string final_state;
+  std::size_t records = 0;
+};
+
+sim::Simulation::Options quiet() {
+  sim::Simulation::Options options;
+  options.dispatch_overhead = 0ns;
+  return options;
+}
+
+/// Runs `def` to completion; with crash_record != 0 the engine dies
+/// right after that journal record and a fresh engine recovers.
+Outcome enact(const core::StrategyDef& def, std::uint64_t crash_record) {
+  sim::Simulation sim(quiet());
+  sim::SimMetricsClient::Costs costs;
+  costs.default_query = {0ns, 0ns};
+  sim::SimMetricsClient metrics(sim, sim::always_healthy(0.0), costs);
+  sim::SimProxyController proxies(sim, {0ns, 0ns});
+  engine::MemoryJournal disk;
+  sim::FaultPlan plan;
+  if (crash_record != 0) plan.crash_after_record(crash_record);
+  sim::CrashableJournal crashable(disk, plan);
+
+  Outcome out;
+  bool crashed = false;
+  std::string id;
+  {
+    engine::Engine::Options options;
+    options.journal = &crashable;
+    options.snapshot_every = 16;
+    engine::Engine eng(sim, metrics, proxies, options);
+    try {
+      auto submitted = eng.submit(def);
+      EXPECT_TRUE(submitted.ok()) << submitted.error_message();
+      if (submitted.ok()) id = submitted.value();
+      sim.run_all();
+    } catch (const sim::CrashInjected&) {
+      crashed = true;
+    }
+    if (!crashed) {
+      const auto snapshot = eng.status(id);
+      if (snapshot.has_value()) {
+        out.status = snapshot->status;
+        out.final_state = snapshot->current_state;
+      }
+    }
+  }
+  if (crashed) {
+    const std::vector<engine::JournalRecord> history = disk.records();
+    engine::Engine::Options options;
+    options.journal = &disk;
+    options.snapshot_every = 16;
+    engine::Engine eng(sim, metrics, proxies, options);
+    auto recovered = eng.recover(history);
+    EXPECT_TRUE(recovered.ok()) << recovered.error_message();
+    auto reconciled = eng.reconcile();
+    EXPECT_TRUE(reconciled.ok()) << reconciled.error_message();
+    sim.run_all();
+    const auto snapshot = eng.status(id.empty() ? "s-1" : id);
+    if (snapshot.has_value()) {
+      out.status = snapshot->status;
+      out.final_state = snapshot->current_state;
+    }
+  }
+  out.trace = trace_of(disk);
+  out.records = disk.records().size();
+  return out;
+}
+
+}  // namespace journal_property
+
+TEST(JournalProperty, RandomCrashPointsReplayDeterministically) {
+  using journal_property::enact;
+  util::Rng rng(2026);
+  for (int round = 0; round < 6; ++round) {
+    GeneratedStrategy generated =
+        random_strategy(rng, 1 + static_cast<int>(rng.uniform_int(1, 4)));
+    const auto valid = core::validate(generated.def);
+    ASSERT_TRUE(valid.ok()) << valid.error_message();
+
+    const journal_property::Outcome baseline = enact(generated.def, 0);
+    ASSERT_EQ(baseline.status, engine::ExecutionStatus::kSucceeded)
+        << "round " << round;
+    ASSERT_GT(baseline.records, 2u);
+
+    for (int k = 0; k < 4; ++k) {
+      const std::uint64_t boundary = rng.uniform_int(
+          1, static_cast<std::uint64_t>(baseline.records));
+      SCOPED_TRACE("round " + std::to_string(round) + ", crash after record " +
+                   std::to_string(boundary));
+      const journal_property::Outcome resumed =
+          enact(generated.def, boundary);
+      EXPECT_EQ(resumed.status, baseline.status);
+      EXPECT_EQ(resumed.final_state, baseline.final_state);
+      ASSERT_EQ(resumed.trace.size(), baseline.trace.size());
+      EXPECT_EQ(resumed.trace, baseline.trace);
+      if (testing::Test::HasFailure()) return;
+    }
+  }
+}
+
+TEST(JournalProperty, RecoveringTwiceIsANoOp) {
+  util::Rng rng(7);
+  GeneratedStrategy generated = random_strategy(rng, 3);
+  ASSERT_TRUE(core::validate(generated.def).ok());
+
+  sim::Simulation sim(journal_property::quiet());
+  sim::SimMetricsClient::Costs costs;
+  costs.default_query = {0ns, 0ns};
+  sim::SimMetricsClient metrics(sim, sim::always_healthy(0.0), costs);
+  sim::SimProxyController proxies(sim, {0ns, 0ns});
+  engine::MemoryJournal disk;
+  engine::Engine::Options options;
+  options.journal = &disk;
+
+  {
+    engine::Engine eng(sim, metrics, proxies, options);
+    auto submitted = eng.submit(generated.def);
+    ASSERT_TRUE(submitted.ok()) << submitted.error_message();
+    sim.run_all();
+  }
+  const std::uint64_t updates = proxies.updates();
+
+  std::vector<engine::StrategySnapshot> first;
+  for (int pass = 0; pass < 2; ++pass) {
+    const std::vector<engine::JournalRecord> history = disk.records();
+    engine::Engine eng(sim, metrics, proxies, options);
+    ASSERT_TRUE(eng.recover(history).ok());
+    ASSERT_TRUE(eng.reconcile().ok());
+    sim.run_all();
+    EXPECT_EQ(eng.running_count(), 0u);
+    const auto list = eng.list();
+    ASSERT_EQ(list.size(), 1u);
+    if (pass == 0) {
+      first = list;
+    } else {
+      EXPECT_EQ(list[0].status, first[0].status);
+      EXPECT_EQ(list[0].current_state, first[0].current_state);
+      EXPECT_EQ(list[0].transitions, first[0].transitions);
+      EXPECT_DOUBLE_EQ(list[0].finished_seconds, first[0].finished_seconds);
+    }
+    // Reconciliation found every proxy in sync: nothing re-applied.
+    EXPECT_EQ(proxies.updates(), updates);
   }
 }
 

@@ -719,5 +719,211 @@ TEST(ProxyLifecycle, RejectsInvalidInitialConfig) {
                std::invalid_argument);
 }
 
+// ---------------------------------------------------------------------------
+// Config epochs: duplicate/stale applies are idempotent no-ops, and the
+// highest applied epoch survives a proxy restart via epoch_file.
+
+TEST(ConfigEpoch, DuplicateAndStaleEpochsAreDeduplicated) {
+  BifrostProxy proxy(BifrostProxy::Options{}, two_way_config());
+
+  ProxyConfig fresh = two_way_config(80.0);
+  fresh.epoch = 5;
+  auto applied = proxy.apply_versioned(fresh);
+  ASSERT_TRUE(applied.ok()) << applied.error_message();
+  EXPECT_TRUE(applied.value());
+  EXPECT_EQ(proxy.applied_epoch(), 5u);
+
+  // Same epoch again (a recovering engine re-issuing its journaled
+  // intent): no-op, even though the payload differs.
+  ProxyConfig duplicate = two_way_config(10.0);
+  duplicate.epoch = 5;
+  applied = proxy.apply_versioned(duplicate);
+  ASSERT_TRUE(applied.ok());
+  EXPECT_FALSE(applied.value());
+  EXPECT_DOUBLE_EQ(proxy.current_config().backends[0].percent, 80.0);
+
+  ProxyConfig stale = two_way_config(20.0);
+  stale.epoch = 3;
+  applied = proxy.apply_versioned(stale);
+  ASSERT_TRUE(applied.ok());
+  EXPECT_FALSE(applied.value());
+  EXPECT_EQ(proxy.duplicate_epochs(), 2u);
+  EXPECT_EQ(proxy.applied_epoch(), 5u);
+
+  ProxyConfig newer = two_way_config(30.0);
+  newer.epoch = 6;
+  applied = proxy.apply_versioned(newer);
+  ASSERT_TRUE(applied.ok());
+  EXPECT_TRUE(applied.value());
+  EXPECT_EQ(proxy.applied_epoch(), 6u);
+
+  // Epoch 0 = legacy unversioned config: always applied, floor kept.
+  ProxyConfig legacy = two_way_config(40.0);
+  applied = proxy.apply_versioned(legacy);
+  ASSERT_TRUE(applied.ok());
+  EXPECT_TRUE(applied.value());
+  EXPECT_EQ(proxy.applied_epoch(), 6u);
+}
+
+TEST(ConfigEpoch, PersistedEpochSurvivesRestart) {
+  const std::string file = testing::TempDir() + "proxy_epoch_" +
+                           std::to_string(::getpid());
+  std::remove(file.c_str());
+  BifrostProxy::Options options;
+  options.epoch_file = file;
+  {
+    BifrostProxy proxy(options, two_way_config());
+    ProxyConfig config = two_way_config(70.0);
+    config.epoch = 7;
+    auto applied = proxy.apply_versioned(config);
+    ASSERT_TRUE(applied.ok());
+    EXPECT_TRUE(applied.value());
+  }
+  {
+    // A restarted proxy (fresh process, same epoch file) still rejects
+    // the epochs it already applied before dying.
+    BifrostProxy proxy(options, two_way_config());
+    EXPECT_EQ(proxy.applied_epoch(), 7u);
+    ProxyConfig replayed = two_way_config(10.0);
+    replayed.epoch = 7;
+    auto applied = proxy.apply_versioned(replayed);
+    ASSERT_TRUE(applied.ok());
+    EXPECT_FALSE(applied.value());
+    ProxyConfig next = two_way_config(60.0);
+    next.epoch = 8;
+    applied = proxy.apply_versioned(next);
+    ASSERT_TRUE(applied.ok());
+    EXPECT_TRUE(applied.value());
+  }
+  std::remove(file.c_str());
+}
+
+TEST_F(LiveProxyTest, AdminHealthAndEpochOverHttp) {
+  auto proxy = make_proxy(config_with(100.0));
+  const std::string admin =
+      "http://127.0.0.1:" + std::to_string(proxy->admin_port());
+
+  auto health = client_.get(admin + "/admin/health");
+  ASSERT_TRUE(health.ok()) << health.error_message();
+  ASSERT_EQ(health.value().status, 200);
+  auto doc = json::parse(health.value().body);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc.value().get_string("status"), "ok");
+  EXPECT_EQ(doc.value().get_string("service"), "search");
+  EXPECT_EQ(doc.value().get_number("configEpoch", -1), 0.0);
+
+  ProxyConfig update = config_with(50.0);
+  update.epoch = 3;
+  auto put = client_.put(admin + "/admin/config", update.to_json().dump(),
+                         "application/json");
+  ASSERT_TRUE(put.ok()) << put.error_message();
+  ASSERT_EQ(put.value().status, 200);
+  auto put_doc = json::parse(put.value().body);
+  ASSERT_TRUE(put_doc.ok());
+  EXPECT_TRUE(put_doc.value().get_bool("applied", false));
+
+  // Re-issuing the same epoch over the admin API is acknowledged as a
+  // success but NOT applied (idempotent recovery semantics).
+  ProxyConfig replay = config_with(10.0);
+  replay.epoch = 3;
+  put = client_.put(admin + "/admin/config", replay.to_json().dump(),
+                    "application/json");
+  ASSERT_TRUE(put.ok());
+  ASSERT_EQ(put.value().status, 200);
+  put_doc = json::parse(put.value().body);
+  ASSERT_TRUE(put_doc.ok());
+  EXPECT_FALSE(put_doc.value().get_bool("applied", true));
+
+  // GET /admin/config echoes the authoritative applied epoch.
+  auto got = client_.get(admin + "/admin/config");
+  ASSERT_TRUE(got.ok());
+  auto got_doc = json::parse(got.value().body);
+  ASSERT_TRUE(got_doc.ok());
+  EXPECT_EQ(got_doc.value().get_number("epoch", -1), 3.0);
+
+  health = client_.get(admin + "/admin/health");
+  ASSERT_TRUE(health.ok());
+  doc = json::parse(health.value().body);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc.value().get_number("configEpoch", -1), 3.0);
+  EXPECT_EQ(doc.value().get_number("duplicateEpochs", -1), 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Graceful drain
+
+TEST_F(LiveProxyTest, StopDrainsInFlightRequests) {
+  // A slow backend: the proxy is stopped while a request is still being
+  // served; the drain deadline must let it finish.
+  http::HttpServer::Options backend_options;
+  backend_options.worker_threads = 2;
+  http::HttpServer slow(backend_options, [](const http::Request&) {
+    std::this_thread::sleep_for(250ms);
+    return http::Response::text(200, "slow-ok");
+  });
+  slow.start();
+
+  ProxyConfig config;
+  config.service = "search";
+  config.backends = {
+      BackendTarget{"v1", "127.0.0.1", slow.port(), 100.0, "", ""}};
+  BifrostProxy::Options options;
+  options.drain_timeout = 2000ms;
+  BifrostProxy proxy(options, std::move(config));
+  proxy.start();
+  const std::string url =
+      "http://127.0.0.1:" + std::to_string(proxy.data_port()) + "/";
+
+  util::Result<http::Response> response =
+      util::Result<http::Response>::error("not sent");
+  std::thread requester([&] {
+    http::HttpClient client;
+    response = client.get(url);
+  });
+  std::this_thread::sleep_for(50ms);  // request is now in flight
+  proxy.stop();                       // must wait for it, then close
+  requester.join();
+
+  ASSERT_TRUE(response.ok()) << response.error_message();
+  EXPECT_EQ(response.value().status, 200);
+  EXPECT_EQ(response.value().body, "slow-ok");
+  slow.stop();
+}
+
+TEST_F(LiveProxyTest, DrainDeadlineBoundsStopLatency) {
+  // With a tiny drain deadline and a very slow backend, stop() gives up
+  // waiting and force-closes instead of hanging for the full response.
+  http::HttpServer::Options backend_options;
+  backend_options.worker_threads = 2;
+  http::HttpServer glacial(backend_options, [](const http::Request&) {
+    std::this_thread::sleep_for(1500ms);
+    return http::Response::text(200, "late");
+  });
+  glacial.start();
+
+  ProxyConfig config;
+  config.service = "search";
+  config.backends = {
+      BackendTarget{"v1", "127.0.0.1", glacial.port(), 100.0, "", ""}};
+  BifrostProxy::Options options;
+  options.drain_timeout = 100ms;
+  BifrostProxy proxy(options, std::move(config));
+  proxy.start();
+  const std::string url =
+      "http://127.0.0.1:" + std::to_string(proxy.data_port()) + "/";
+
+  std::thread requester([&] {
+    http::HttpClient client;
+    (void)client.get(url);  // will be cut off; outcome irrelevant
+  });
+  std::this_thread::sleep_for(50ms);
+  const auto begin = std::chrono::steady_clock::now();
+  proxy.stop();
+  const auto elapsed = std::chrono::steady_clock::now() - begin;
+  EXPECT_LT(elapsed, 1000ms) << "stop() should respect the drain deadline";
+  requester.join();
+  glacial.stop();
+}
+
 }  // namespace
 }  // namespace bifrost::proxy

@@ -1,0 +1,445 @@
+// Crash-recovery matrix: a simulated engine journaling to an in-memory
+// "disk" is killed at EVERY journal record boundary of the repo's two
+// example strategies (and mid-proxy-apply), restarted, recovered from
+// the journal, and reconciled against the proxies. The resumed run must
+// be indistinguishable from an uninterrupted one: identical
+// state-transition trace (journal records minus recovery markers and
+// acks, which legitimately differ at intent/ack crash boundaries) and
+// identical final proxy routing, down to config epochs.
+//
+// Determinism relies on zero simulated costs: timers fire at the exact
+// absolute times the journal recorded, so a resumed execution re-arms
+// and re-emits byte-identical records.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/model.hpp"
+#include "core/serialize.hpp"
+#include "dsl/dsl.hpp"
+#include "engine/engine.hpp"
+#include "engine/journal.hpp"
+#include "sim/fault_plan.hpp"
+#include "sim/sim_env.hpp"
+#include "sim/simulation.hpp"
+
+namespace bifrost {
+namespace {
+
+using namespace std::chrono_literals;
+using engine::RecordType;
+
+sim::Simulation::Options no_overhead() {
+  sim::Simulation::Options options;
+  options.dispatch_overhead = 0ns;
+  return options;
+}
+
+sim::SimMetricsClient::Costs zero_metric_costs() {
+  sim::SimMetricsClient::Costs costs;
+  costs.default_query = {0ns, 0ns};
+  return costs;
+}
+
+sim::SimProxyController::Costs zero_proxy_costs() { return {0ns, 0ns}; }
+
+/// Metric values that drive both example strategies to their success
+/// path: response times under the 150ms gate, zero errors, enough
+/// sales uplift for the A/B state.
+sim::MetricFn example_metrics() {
+  return [](const std::string& query, double) -> std::optional<double> {
+    if (query.find("request_errors") != std::string::npos) return 0.0;
+    if (query.find("sales_total") != std::string::npos) return 150.0;
+    return 100.0;
+  };
+}
+
+core::StrategyDef load_example(const std::string& file) {
+  const std::string path = std::string(BIFROST_STRATEGY_DIR) + "/" + file;
+  auto compiled = dsl::compile_file(path);
+  EXPECT_TRUE(compiled.ok()) << path << ": " << compiled.error_message();
+  return compiled.ok() ? std::move(compiled).value() : core::StrategyDef{};
+}
+
+// ---------------------------------------------------------------------------
+// Trace capture
+
+/// (type, payload) sequence of the externally visible transitions.
+/// Markers and snapshots are filtered: a resumed run legitimately adds
+/// kRecovered/kReconciled/kSnapshot records, and a kApplyAck can be
+/// missing when the crash hit between intent and ack (the resumed run
+/// re-acks after re-applying).
+using Trace = std::vector<std::pair<RecordType, std::string>>;
+
+bool filtered_from_trace(RecordType type) {
+  return type == RecordType::kSnapshot || type == RecordType::kRecovered ||
+         type == RecordType::kReconciled || type == RecordType::kApplyAck;
+}
+
+Trace trace_of(const std::vector<engine::JournalRecord>& records) {
+  Trace trace;
+  for (const engine::JournalRecord& record : records) {
+    if (filtered_from_trace(record.type)) continue;
+    trace.emplace_back(record.type, record.data.dump());
+  }
+  return trace;
+}
+
+void expect_same_trace(const Trace& resumed, const Trace& baseline) {
+  ASSERT_EQ(resumed.size(), baseline.size());
+  for (std::size_t i = 0; i < resumed.size(); ++i) {
+    if (resumed[i] == baseline[i]) continue;
+    ADD_FAILURE() << "trace diverges at filtered record " << i << ":\n  got "
+                  << engine::record_type_name(resumed[i].first) << " "
+                  << resumed[i].second << "\n  want "
+                  << engine::record_type_name(baseline[i].first) << " "
+                  << baseline[i].second;
+    return;
+  }
+}
+
+/// What a run leaves behind: the transition trace, the final per-service
+/// proxy routing (epoch + full config), and the execution's end state.
+struct RunOutcome {
+  Trace trace;
+  std::map<std::string, std::string> routing;
+  engine::ExecutionStatus status = engine::ExecutionStatus::kPending;
+  std::string final_state;
+  std::uint64_t transitions = 0;
+  std::uint64_t checks_executed = 0;
+  double finished_seconds = 0.0;
+  std::size_t journal_records = 0;
+  std::uint64_t deduplicated_applies = 0;
+};
+
+std::map<std::string, std::string> routing_of(
+    const sim::SimProxyController& proxies) {
+  std::map<std::string, std::string> routing;
+  for (const auto& [service, view] : proxies.states()) {
+    routing[service] =
+        "epoch=" + std::to_string(view.epoch) + " " + view.config.to_json().dump();
+  }
+  return routing;
+}
+
+void fill_outcome(RunOutcome& out, engine::Engine& eng, const std::string& id,
+                  const sim::SimProxyController& proxies,
+                  const engine::MemoryJournal& disk) {
+  const auto snapshot = eng.status(id);
+  ASSERT_TRUE(snapshot.has_value()) << "no snapshot for " << id;
+  out.status = snapshot->status;
+  out.final_state = snapshot->current_state;
+  out.transitions = snapshot->transitions;
+  out.checks_executed = snapshot->checks_executed;
+  out.finished_seconds = snapshot->finished_seconds;
+  out.trace = trace_of(disk.records());
+  out.routing = routing_of(proxies);
+  out.journal_records = disk.records().size();
+  out.deduplicated_applies = proxies.duplicate_epochs();
+}
+
+void expect_same_outcome(const RunOutcome& resumed, const RunOutcome& baseline) {
+  expect_same_trace(resumed.trace, baseline.trace);
+  EXPECT_EQ(resumed.routing, baseline.routing);
+  EXPECT_EQ(resumed.status, baseline.status);
+  EXPECT_EQ(resumed.final_state, baseline.final_state);
+  EXPECT_EQ(resumed.transitions, baseline.transitions);
+  EXPECT_EQ(resumed.checks_executed, baseline.checks_executed);
+  EXPECT_DOUBLE_EQ(resumed.finished_seconds, baseline.finished_seconds);
+}
+
+// ---------------------------------------------------------------------------
+// Run harnesses
+
+constexpr std::size_t kSnapshotEvery = 64;
+
+RunOutcome run_uninterrupted(const core::StrategyDef& def) {
+  sim::Simulation sim(no_overhead());
+  sim::SimMetricsClient metrics(sim, example_metrics(), zero_metric_costs());
+  sim::SimProxyController proxies(sim, zero_proxy_costs());
+  engine::MemoryJournal disk;
+  RunOutcome out;
+  engine::Engine::Options options;
+  options.journal = &disk;
+  options.snapshot_every = kSnapshotEvery;
+  engine::Engine eng(sim, metrics, proxies, options);
+  auto submitted = eng.submit(def);
+  EXPECT_TRUE(submitted.ok()) << submitted.error_message();
+  if (!submitted.ok()) return out;
+  sim.run_all();
+  fill_outcome(out, eng, submitted.value(), proxies, disk);
+  return out;
+}
+
+/// Runs the strategy with a crash armed (either after journal record
+/// `crash_record`, or during the `crash_apply`-th proxy apply), then
+/// restarts a fresh engine on the same disk/simulation/proxies,
+/// recovers, reconciles, and runs to completion.
+RunOutcome run_crash_and_recover(const core::StrategyDef& def,
+                                 std::uint64_t crash_record,
+                                 std::uint64_t crash_apply = 0,
+                                 bool* crashed_out = nullptr) {
+  sim::Simulation sim(no_overhead());
+  sim::SimMetricsClient metrics(sim, example_metrics(), zero_metric_costs());
+  sim::SimProxyController proxies(sim, zero_proxy_costs());
+  engine::MemoryJournal disk;
+  sim::FaultPlan plan;
+  if (crash_record != 0) plan.crash_after_record(crash_record);
+  if (crash_apply != 0) {
+    plan.crash_on_apply(crash_apply);
+    proxies.set_fault_plan(&plan);
+  }
+  sim::CrashableJournal crashable(disk, plan);
+
+  RunOutcome out;
+  bool crashed = false;
+  std::string id;
+  {
+    engine::Engine::Options options;
+    options.journal = &crashable;
+    options.snapshot_every = kSnapshotEvery;
+    engine::Engine eng(sim, metrics, proxies, options);
+    try {
+      auto submitted = eng.submit(def);
+      if (submitted.ok()) id = submitted.value();
+      sim.run_all();
+    } catch (const sim::CrashInjected&) {
+      crashed = true;
+    }
+    if (!crashed) {
+      // The armed boundary was past the end of the run; nothing to
+      // recover. Report the uninterrupted outcome.
+      fill_outcome(out, eng, id, proxies, disk);
+    }
+  }  // ~Engine: the "killed" incarnation's timers are cancelled
+  if (crashed_out != nullptr) *crashed_out = crashed;
+  if (!crashed) return out;
+
+  // Restart: fresh engine, same disk, same proxies. Copy the records
+  // first — recover() appends markers to the same journal it replays.
+  proxies.set_fault_plan(nullptr);
+  const std::vector<engine::JournalRecord> history = disk.records();
+  engine::Engine::Options options;
+  options.journal = &disk;
+  options.snapshot_every = kSnapshotEvery;
+  engine::Engine eng(sim, metrics, proxies, options);
+  EXPECT_FALSE(eng.ready());
+  auto recovered = eng.recover(history);
+  EXPECT_TRUE(recovered.ok()) << recovered.error_message();
+  auto reconciled = eng.reconcile();
+  EXPECT_TRUE(reconciled.ok()) << reconciled.error_message();
+  EXPECT_TRUE(eng.ready());
+  sim.run_all();
+  fill_outcome(out, eng, id.empty() ? "s-1" : id, proxies, disk);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// The crash matrix (ISSUE acceptance: every record boundary of both
+// example strategies)
+
+void crash_matrix(const std::string& file) {
+  const core::StrategyDef def = load_example(file);
+  ASSERT_FALSE(def.states.empty());
+  const RunOutcome baseline = run_uninterrupted(def);
+  ASSERT_EQ(baseline.status, engine::ExecutionStatus::kSucceeded);
+  ASSERT_GT(baseline.journal_records, 2u);
+  for (std::uint64_t n = 1; n <= baseline.journal_records; ++n) {
+    SCOPED_TRACE(file + ": crash after journal record " + std::to_string(n));
+    const RunOutcome resumed = run_crash_and_recover(def, n);
+    expect_same_outcome(resumed, baseline);
+    if (testing::Test::HasFailure()) return;  // one boundary is enough noise
+  }
+}
+
+TEST(CrashMatrix, DarklaunchEveryRecordBoundary) {
+  crash_matrix("darklaunch.yaml");
+}
+
+TEST(CrashMatrix, FastsearchRolloutEveryRecordBoundary) {
+  crash_matrix("fastsearch_rollout.yaml");
+}
+
+// ---------------------------------------------------------------------------
+// Crash mid-proxy-apply: the update reached the proxy, the ack did not.
+// Recovery re-issues the journaled intent with the journaled epoch and
+// the proxy deduplicates it.
+
+TEST(CrashOnApply, FirstApplyOfDarklaunch) {
+  const core::StrategyDef def = load_example("darklaunch.yaml");
+  const RunOutcome baseline = run_uninterrupted(def);
+  bool crashed = false;
+  const RunOutcome resumed =
+      run_crash_and_recover(def, /*crash_record=*/0, /*crash_apply=*/1,
+                            &crashed);
+  ASSERT_TRUE(crashed);
+  expect_same_outcome(resumed, baseline);
+  EXPECT_GE(resumed.deduplicated_applies, 1u)
+      << "the re-issued intent should have been deduplicated by epoch";
+}
+
+TEST(CrashOnApply, EveryApplyOfFastsearch) {
+  const core::StrategyDef def = load_example("fastsearch_rollout.yaml");
+  const RunOutcome baseline = run_uninterrupted(def);
+  // fastsearch pushes one routing change per visited state; crash on
+  // each of the first few (canary, ramp steps, ab-test).
+  for (std::uint64_t nth = 1; nth <= 4; ++nth) {
+    SCOPED_TRACE("crash during proxy apply #" + std::to_string(nth));
+    bool crashed = false;
+    const RunOutcome resumed =
+        run_crash_and_recover(def, /*crash_record=*/0, nth, &crashed);
+    ASSERT_TRUE(crashed);
+    expect_same_outcome(resumed, baseline);
+    EXPECT_GE(resumed.deduplicated_applies, 1u);
+    if (testing::Test::HasFailure()) return;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Recovering twice is a no-op
+
+TEST(Recovery, RecoverTwiceIsANoOp) {
+  const core::StrategyDef def = load_example("darklaunch.yaml");
+  sim::Simulation sim(no_overhead());
+  sim::SimMetricsClient metrics(sim, example_metrics(), zero_metric_costs());
+  sim::SimProxyController proxies(sim, zero_proxy_costs());
+  engine::MemoryJournal disk;
+  engine::Engine::Options options;
+  options.journal = &disk;
+
+  {
+    engine::Engine eng(sim, metrics, proxies, options);
+    auto submitted = eng.submit(def);
+    ASSERT_TRUE(submitted.ok()) << submitted.error_message();
+    sim.run_all();
+    ASSERT_EQ(eng.status(submitted.value())->status,
+              engine::ExecutionStatus::kSucceeded);
+  }
+  const std::uint64_t updates_after_run = proxies.updates();
+
+  auto snapshot_fields = [](const engine::StrategySnapshot& s) {
+    return s.id + "|" + s.current_state + "|" +
+           std::to_string(static_cast<int>(s.status)) + "|" +
+           std::to_string(s.transitions) + "|" +
+           std::to_string(s.finished_seconds);
+  };
+
+  std::string first_view;
+  {
+    const std::vector<engine::JournalRecord> history = disk.records();
+    engine::Engine eng(sim, metrics, proxies, options);
+    ASSERT_TRUE(eng.recover(history).ok());
+    ASSERT_TRUE(eng.reconcile().ok());
+    sim.run_all();
+    ASSERT_EQ(eng.list().size(), 1u);
+    EXPECT_EQ(eng.running_count(), 0u);  // terminal: nothing resumed
+    first_view = snapshot_fields(eng.list()[0]);
+  }
+  const auto routing_after_first = routing_of(proxies);
+  // Reconciliation found the proxies in sync: no new apply was issued.
+  EXPECT_EQ(proxies.updates(), updates_after_run);
+
+  {
+    const std::vector<engine::JournalRecord> history = disk.records();
+    engine::Engine eng(sim, metrics, proxies, options);
+    ASSERT_TRUE(eng.recover(history).ok());
+    ASSERT_TRUE(eng.reconcile().ok());
+    sim.run_all();
+    ASSERT_EQ(eng.list().size(), 1u);
+    EXPECT_EQ(eng.running_count(), 0u);
+    EXPECT_EQ(snapshot_fields(eng.list()[0]), first_view);
+  }
+  EXPECT_EQ(routing_of(proxies), routing_after_first);
+  EXPECT_EQ(proxies.updates(), updates_after_run);
+}
+
+// ---------------------------------------------------------------------------
+// Guard rails
+
+TEST(Recovery, ReadyLifecycle) {
+  sim::Simulation sim(no_overhead());
+  sim::SimMetricsClient metrics(sim, example_metrics(), zero_metric_costs());
+  sim::SimProxyController proxies(sim, zero_proxy_costs());
+  // Journal-less engines are ready immediately.
+  engine::Engine plain(sim, metrics, proxies);
+  EXPECT_TRUE(plain.ready());
+
+  engine::MemoryJournal disk;
+  engine::Engine::Options options;
+  options.journal = &disk;
+  engine::Engine durable(sim, metrics, proxies, options);
+  EXPECT_FALSE(durable.ready());
+  ASSERT_TRUE(durable.recover({}).ok());
+  EXPECT_FALSE(durable.ready());  // not ready until reconciled
+  ASSERT_TRUE(durable.reconcile().ok());
+  EXPECT_TRUE(durable.ready());
+}
+
+TEST(Recovery, JournaledEngineRejectsCustomEvaluators) {
+  core::StrategyDef def = load_example("darklaunch.yaml");
+  def.states[0].checks.emplace_back();
+  core::CheckDef& check = def.states[0].checks.back();
+  check.name = "custom";
+  check.custom = [](core::EvalContext&) { return true; };
+  check.interval = 10s;
+  check.executions = 1;
+  ASSERT_TRUE(core::has_custom_eval(def));
+
+  sim::Simulation sim(no_overhead());
+  sim::SimMetricsClient metrics(sim, example_metrics(), zero_metric_costs());
+  sim::SimProxyController proxies(sim, zero_proxy_costs());
+  engine::MemoryJournal disk;
+  engine::Engine::Options options;
+  options.journal = &disk;
+  engine::Engine eng(sim, metrics, proxies, options);
+  auto submitted = eng.submit(def);
+  ASSERT_FALSE(submitted.ok());
+  EXPECT_NE(submitted.error_message().find("custom"), std::string::npos);
+  EXPECT_EQ(disk.records_written(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// FaultPlan validation (a misspelled target name would never fire)
+
+TEST(FaultPlanValidation, UnknownProxyServiceIsRejected) {
+  const core::StrategyDef def = load_example("darklaunch.yaml");
+  sim::FaultPlan plan;
+  plan.add_window({sim::FaultPlan::Target::kProxy, runtime::Time{0s},
+                   runtime::Time::max(), "serch"});
+  const auto result = plan.validate_against(def);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error_message().find("unknown service 'serch'"),
+            std::string::npos);
+  EXPECT_NE(result.error_message().find("'search'"), std::string::npos);
+}
+
+TEST(FaultPlanValidation, UnknownProviderHostIsRejected) {
+  const core::StrategyDef def = load_example("darklaunch.yaml");
+  sim::FaultPlan plan;
+  // Provider windows are keyed by HOST, not by the provider's name.
+  plan.add_window({sim::FaultPlan::Target::kMetrics, runtime::Time{0s},
+                   runtime::Time::max(), "prometheus"});
+  const auto result = plan.validate_against(def);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error_message().find("unknown provider host 'prometheus'"),
+            std::string::npos);
+}
+
+TEST(FaultPlanValidation, KnownNamesAndWildcardsPass) {
+  const core::StrategyDef def = load_example("darklaunch.yaml");
+  sim::FaultPlan plan;
+  plan.add_window({sim::FaultPlan::Target::kProxy, runtime::Time{0s},
+                   runtime::Time::max(), "search"});
+  plan.add_window({sim::FaultPlan::Target::kMetrics, runtime::Time{0s},
+                   runtime::Time::max(), "127.0.0.1"});
+  plan.add_window({sim::FaultPlan::Target::kMetrics, runtime::Time{0s},
+                   runtime::Time::max(), ""});  // wildcard
+  EXPECT_TRUE(plan.validate_against(def).ok());
+}
+
+}  // namespace
+}  // namespace bifrost
