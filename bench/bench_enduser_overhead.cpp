@@ -28,6 +28,8 @@
 #include "casestudy/app.hpp"
 #include "engine/engine.hpp"
 #include "engine/http_clients.hpp"
+#include "http/client.hpp"
+#include "http/server.hpp"
 #include "loadgen/loadgen.hpp"
 #include "loadgen/workload.hpp"
 #include "metrics/registry.hpp"
@@ -251,6 +253,120 @@ void run_scaling_sweep() {
                 after.p99_us,
                 after.ops_per_second / before.ops_per_second);
   }
+  std::printf("\n(record new numbers in bench/TRAJECTORY.md)\n");
+}
+
+// ---------------------------------------------------------------------------
+// Shed vs saturate: what overload protection buys when a dark launch
+// duplicates 100% of traffic onto capacity the live version shares (the
+// paper's §5.1 dark-launch degradation, taken to the point of
+// saturation). Both arms run the same 2-worker backend and the same
+// closed-loop live load; the shadow rule doubles the backend's work.
+// 'saturate' has overload protection off, so every duplicate queues
+// behind live requests; 'shed' enables the admission gate with an
+// aggressive shed threshold, so duplicates are dropped whenever live
+// requests are in flight and live latency stays near the no-shadow
+// floor.
+
+struct ShedArm {
+  std::size_t requests = 0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  std::uint64_t shadow_copies = 0;
+  std::uint64_t shadows_shed = 0;
+};
+
+ShedArm run_shed_arm(bool protect, double seconds) {
+  http::HttpServer::Options backend_options;
+  backend_options.worker_threads = 2;  // the contended shared capacity
+  http::HttpServer backend(backend_options, [](const http::Request&) {
+    std::this_thread::sleep_for(5ms);
+    return http::Response::text(200, "ok");
+  });
+  backend.start();
+
+  proxy::ProxyConfig config;
+  config.service = "product";
+  config.backends = {proxy::BackendTarget{"stable", "127.0.0.1",
+                                          backend.port(), 100.0, "", ""}};
+  config.shadows = {proxy::ShadowTarget{"stable", "dark", "127.0.0.1",
+                                        backend.port(), 100.0}};
+  if (protect) {
+    config.overload.enabled = true;
+    // Limit well above the 4 live clients (never a 503), but low enough
+    // that concurrent live traffic registers as utilization and trips
+    // the shadow shed threshold.
+    config.overload.max_concurrency = 8;
+    config.overload.shed_utilization = 0.1;
+  }
+  proxy::BifrostProxy::Options options;
+  options.rng_seed = 7;
+  proxy::BifrostProxy proxy(options, std::move(config));
+  proxy.start();
+
+  constexpr int kClients = 4;
+  std::atomic<bool> stop{false};
+  std::vector<std::vector<double>> samples(kClients);
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      http::HttpClient client;
+      const std::string url =
+          "http://127.0.0.1:" + std::to_string(proxy.data_port()) + "/";
+      while (!stop.load(std::memory_order_relaxed)) {
+        const auto op_start = std::chrono::steady_clock::now();
+        auto response = client.get(url);
+        const auto op_end = std::chrono::steady_clock::now();
+        if (response.ok() && response.value().status == 200) {
+          samples[static_cast<std::size_t>(c)].push_back(
+              std::chrono::duration<double, std::milli>(op_end - op_start)
+                  .count());
+        }
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  stop.store(true);
+  for (auto& client : clients) client.join();
+
+  std::vector<double> merged;
+  for (auto& chunk : samples) {
+    merged.insert(merged.end(), chunk.begin(), chunk.end());
+  }
+  ShedArm arm;
+  arm.requests = merged.size();
+  arm.p50_ms = merged.empty() ? 0.0 : util::percentile(merged, 50.0);
+  arm.p99_ms = merged.empty() ? 0.0 : util::percentile(merged, 99.0);
+  arm.shadow_copies = proxy.shadow_copies();
+  arm.shadows_shed = proxy.shadows_shed();
+  proxy.stop();
+  backend.stop();
+  return arm;
+}
+
+void run_shed_vs_saturate() {
+  const double seconds = bifrost::bench::full_mode() ? 3.0 : 0.8;
+  bifrost::bench::print_header(
+      "Shed vs saturate: dark-launch duplication onto shared capacity");
+  std::printf(
+      "4 closed-loop clients, 5 ms backend with 2 workers, 100%% shadow\n"
+      "duplication to the same backend. 'saturate' = overload protection\n"
+      "off (every duplicate queues behind live traffic); 'shed' =\n"
+      "admission gate on with shedUtilization 0.1 (duplicates dropped\n"
+      "while live requests are in flight). %.1f s per arm.\n\n",
+      seconds);
+  const ShedArm saturate = run_shed_arm(/*protect=*/false, seconds);
+  const ShedArm shed = run_shed_arm(/*protect=*/true, seconds);
+  std::printf("%-9s | %9s | %8s | %8s | %13s | %9s\n", "arm", "live reqs",
+              "p50 ms", "p99 ms", "shadow copies", "shed");
+  std::printf("%-9s | %9zu | %8.2f | %8.2f | %13llu | %9llu\n", "saturate",
+              saturate.requests, saturate.p50_ms, saturate.p99_ms,
+              static_cast<unsigned long long>(saturate.shadow_copies),
+              static_cast<unsigned long long>(saturate.shadows_shed));
+  std::printf("%-9s | %9zu | %8.2f | %8.2f | %13llu | %9llu\n", "shed",
+              shed.requests, shed.p50_ms, shed.p99_ms,
+              static_cast<unsigned long long>(shed.shadow_copies),
+              static_cast<unsigned long long>(shed.shadows_shed));
   std::printf("\n(record new numbers in bench/TRAJECTORY.md)\n");
 }
 
@@ -521,6 +637,13 @@ VariantResult run_variant(Variant variant, const Timeline& t) {
 }  // namespace
 
 int main() {
+  // BIFROST_BENCH_SHED_ONLY=1 runs just the shed-vs-saturate comparison.
+  if (const char* only = std::getenv("BIFROST_BENCH_SHED_ONLY");
+      only != nullptr && only[0] == '1') {
+    run_shed_vs_saturate();
+    return 0;
+  }
+
   // Part 1: data-plane scaling sweep (legacy vs sharded routing path).
   // BIFROST_BENCH_SWEEP_ONLY=1 exits after it, for quick re-measurement.
   run_scaling_sweep();
@@ -528,6 +651,9 @@ int main() {
       only != nullptr && only[0] == '1') {
     return 0;
   }
+
+  // Part 2: overload protection — shadow shedding vs saturation.
+  run_shed_vs_saturate();
 
   Timeline t;
   if (bifrost::bench::full_mode()) {

@@ -139,6 +139,16 @@ int cmd_validate(const Cli& cli) {
   for (const auto& service : strategy.services) {
     std::cout << "  service '" << service.name << "' proxy resilience: "
               << describe(service.retry, service.circuit_breaker) << "\n";
+    const auto& overload = service.overload;
+    if (!overload.enabled) {
+      std::cout << "  service '" << service.name << "' overload: none\n";
+      continue;
+    }
+    std::cout << "  service '" << service.name << "' overload: max_concurrency "
+              << overload.max_concurrency
+              << (overload.adaptive ? " (adaptive)" : "") << ", eject @"
+              << overload.eject_threshold << " failure rate, shadow queue "
+              << overload.shadow_queue << "\n";
   }
   return 0;
 }

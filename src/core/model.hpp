@@ -65,6 +65,51 @@ struct CircuitBreakerPolicy {
   int half_open_probes = 1;
 };
 
+/// Overload protection and backend health for a service's data plane,
+/// enacted by the service's Bifrost proxy (declared in the strategy's
+/// `overload:` block; the engine copies it into every ProxyConfig it
+/// pushes). Three mechanisms, all off unless `enabled`:
+///  * admission control — per-version bounded concurrency; excess live
+///    requests get 503 + Retry-After instead of queueing. With
+///    `adaptive`, the limit shrinks multiplicatively when the recent
+///    window p50 inflates past `latency_inflation` x a rolling baseline
+///    and grows additively (+1 per healthy window) back to
+///    `max_concurrency`.
+///  * priority shedding — shadow duplicates run through a bounded queue
+///    (capacity `shadow_queue`, drop-oldest) and are shed outright when
+///    any live gate's utilization reaches `shed_utilization`, so dark
+///    traffic never displaces live traffic.
+///  * outlier ejection — a per-backend EWMA (weight `ewma_alpha`) of
+///    errors/timeouts at or above `eject_threshold` (after
+///    `eject_min_samples` samples) ejects the version for an
+///    exponentially growing backoff window starting at `base_ejection`
+///    (capped at `max_ejection`); its traffic reroutes to
+///    default_version. Re-admission is gated by an active probe
+///    (`GET probe_path` every `probe_interval`).
+struct OverloadPolicy {
+  bool enabled = false;
+
+  // Admission control (per-version bounded concurrency).
+  int max_concurrency = 0;  ///< live requests per version; 0 = unlimited
+  bool adaptive = false;
+  int min_concurrency = 2;         ///< adaptive floor
+  double latency_inflation = 2.0;  ///< window p50 / baseline p50 trigger
+  int adapt_window = 32;           ///< latency samples per adaptation step
+
+  // Shadow-traffic shedding.
+  int shadow_queue = 64;          ///< bounded shadow queue (drop-oldest)
+  double shed_utilization = 0.9;  ///< shed shadows at this gate utilization
+
+  // Outlier ejection.
+  double eject_threshold = 0.5;  ///< EWMA failure rate that ejects
+  int eject_min_samples = 8;     ///< samples before EWMA is trusted
+  double ewma_alpha = 0.2;       ///< EWMA weight of the newest sample
+  runtime::Duration base_ejection = std::chrono::seconds(5);
+  runtime::Duration max_ejection = std::chrono::seconds(60);
+  std::string probe_path = "/health";
+  runtime::Duration probe_interval = std::chrono::milliseconds(250);
+};
+
 // ---------------------------------------------------------------------------
 // Services (B) and static configuration (sc)
 
@@ -73,6 +118,12 @@ struct VersionDef {
   std::string version;  ///< e.g. "stable", "canary", "a", "b"
   std::string host;
   std::uint16_t port = 0;
+  /// Per-version backend deadline at the proxy, ms (a canary can get a
+  /// tighter deadline than stable). 0 = the proxy's default timeout.
+  std::uint32_t timeout_ms = 0;
+  /// Per-version concurrency cap, overriding
+  /// OverloadPolicy::max_concurrency. 0 = inherit the policy's cap.
+  int max_concurrency = 0;
 
   [[nodiscard]] std::string endpoint() const {
     return host + ":" + std::to_string(port);
@@ -91,6 +142,8 @@ struct ServiceDef {
   /// Fault tolerance for routing updates pushed to this service's proxy.
   RetryPolicy retry{};
   CircuitBreakerPolicy circuit_breaker{};
+  /// Data-plane overload protection enacted by this service's proxy.
+  OverloadPolicy overload{};
 
   [[nodiscard]] const VersionDef* find_version(const std::string& v) const;
 };

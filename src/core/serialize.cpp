@@ -67,6 +67,49 @@ CircuitBreakerPolicy breaker_from_json(const json::Value& v) {
   return p;
 }
 
+json::Value overload_to_json(const OverloadPolicy& p) {
+  json::Object o;
+  o["enabled"] = p.enabled;
+  o["maxConcurrency"] = p.max_concurrency;
+  o["adaptive"] = p.adaptive;
+  o["minConcurrency"] = p.min_concurrency;
+  o["latencyInflation"] = p.latency_inflation;
+  o["adaptWindow"] = p.adapt_window;
+  o["shadowQueue"] = p.shadow_queue;
+  o["shedUtilization"] = p.shed_utilization;
+  o["ejectThreshold"] = p.eject_threshold;
+  o["ejectMinSamples"] = p.eject_min_samples;
+  o["ewmaAlpha"] = p.ewma_alpha;
+  o["baseEjectionNs"] = duration_to_json(p.base_ejection);
+  o["maxEjectionNs"] = duration_to_json(p.max_ejection);
+  o["probePath"] = p.probe_path;
+  o["probeIntervalNs"] = duration_to_json(p.probe_interval);
+  return json::Value(std::move(o));
+}
+
+OverloadPolicy overload_from_json(const json::Value& v) {
+  OverloadPolicy p;
+  p.enabled = v.get_bool("enabled", false);
+  p.max_concurrency = static_cast<int>(v.get_number("maxConcurrency", 0));
+  p.adaptive = v.get_bool("adaptive", false);
+  p.min_concurrency = static_cast<int>(v.get_number("minConcurrency", 2));
+  p.latency_inflation = v.get_number("latencyInflation", 2.0);
+  p.adapt_window = static_cast<int>(v.get_number("adaptWindow", 32));
+  p.shadow_queue = static_cast<int>(v.get_number("shadowQueue", 64));
+  p.shed_utilization = v.get_number("shedUtilization", 0.9);
+  p.eject_threshold = v.get_number("ejectThreshold", 0.5);
+  p.eject_min_samples = static_cast<int>(v.get_number("ejectMinSamples", 8));
+  p.ewma_alpha = v.get_number("ewmaAlpha", 0.2);
+  p.base_ejection =
+      duration_from_json(v, "baseEjectionNs", OverloadPolicy{}.base_ejection);
+  p.max_ejection =
+      duration_from_json(v, "maxEjectionNs", OverloadPolicy{}.max_ejection);
+  p.probe_path = v.get_string("probePath", OverloadPolicy{}.probe_path);
+  p.probe_interval = duration_from_json(v, "probeIntervalNs",
+                                        OverloadPolicy{}.probe_interval);
+  return p;
+}
+
 json::Value service_to_json(const ServiceDef& s) {
   json::Object o;
   o["name"] = s.name;
@@ -76,6 +119,8 @@ json::Value service_to_json(const ServiceDef& s) {
     vo["version"] = v.version;
     vo["host"] = v.host;
     vo["port"] = static_cast<int>(v.port);
+    if (v.timeout_ms != 0) vo["timeoutMs"] = static_cast<int>(v.timeout_ms);
+    if (v.max_concurrency != 0) vo["maxConcurrency"] = v.max_concurrency;
     versions.emplace_back(std::move(vo));
   }
   o["versions"] = std::move(versions);
@@ -83,6 +128,7 @@ json::Value service_to_json(const ServiceDef& s) {
   o["proxyAdminPort"] = static_cast<int>(s.proxy_admin_port);
   o["retry"] = retry_to_json(s.retry);
   o["circuitBreaker"] = breaker_to_json(s.circuit_breaker);
+  o["overload"] = overload_to_json(s.overload);
   return json::Value(std::move(o));
 }
 
@@ -96,6 +142,10 @@ ServiceDef service_from_json(const json::Value& v) {
       ver.version = vv.get_string("version");
       ver.host = vv.get_string("host");
       ver.port = static_cast<std::uint16_t>(vv.get_number("port"));
+      ver.timeout_ms =
+          static_cast<std::uint32_t>(vv.get_number("timeoutMs", 0));
+      ver.max_concurrency =
+          static_cast<int>(vv.get_number("maxConcurrency", 0));
       s.versions.push_back(std::move(ver));
     }
   }
@@ -105,6 +155,9 @@ ServiceDef service_from_json(const json::Value& v) {
   if (const json::Value* r = v.find("retry")) s.retry = retry_from_json(*r);
   if (const json::Value* b = v.find("circuitBreaker")) {
     s.circuit_breaker = breaker_from_json(*b);
+  }
+  if (const json::Value* ov = v.find("overload")) {
+    s.overload = overload_from_json(*ov);
   }
   return s;
 }

@@ -23,6 +23,14 @@
 //        max_backoff >= initial_backoff, jitter in [0,1], and a
 //        non-negative attempt timeout; enabled circuit breakers need
 //        failure_threshold >= 1, open_duration > 0, half_open_probes >= 1
+//  (V14) enabled overload policies: concurrency caps non-negative
+//        (adaptive needs max_concurrency >= min_concurrency >= 1,
+//        latency_inflation > 1, adapt_window >= 2), shadow_queue >= 1,
+//        shed_utilization in (0,1], eject_threshold in (0,1],
+//        eject_min_samples >= 1, ewma_alpha in (0,1],
+//        0 < base_ejection <= max_ejection, probe interval > 0 and a
+//        probe path starting with '/'; per-version max_concurrency
+//        overrides non-negative
 #include <cmath>
 #include <queue>
 #include <set>
@@ -192,6 +200,64 @@ Result<void> validate_resilience(const std::string& where,
   return {};
 }
 
+Result<void> validate_overload(const ServiceDef& service) {
+  const std::string where = "service '" + service.name + "' overload";
+  const OverloadPolicy& p = service.overload;
+  for (const VersionDef& v : service.versions) {
+    if (v.max_concurrency < 0) {
+      return fail(where + ": version '" + v.version +
+                  "' max concurrency must be non-negative");
+    }
+  }
+  if (!p.enabled) return {};
+  if (p.max_concurrency < 0) {
+    return fail(where + ": max concurrency must be non-negative");
+  }
+  if (p.adaptive) {
+    if (p.max_concurrency < 1) {
+      return fail(where + ": adaptive limits need max concurrency >= 1");
+    }
+    if (p.min_concurrency < 1 || p.min_concurrency > p.max_concurrency) {
+      return fail(where +
+                  ": adaptive limits need 1 <= min concurrency <= max");
+    }
+    if (p.latency_inflation <= 1.0) {
+      return fail(where + ": latency inflation must be > 1");
+    }
+    if (p.adapt_window < 2) {
+      return fail(where + ": adapt window must be >= 2 samples");
+    }
+  }
+  if (p.shadow_queue < 1) {
+    return fail(where + ": shadow queue capacity must be >= 1");
+  }
+  if (p.shed_utilization <= 0.0 || p.shed_utilization > 1.0) {
+    return fail(where + ": shed utilization must be in (0,1]");
+  }
+  if (p.eject_threshold <= 0.0 || p.eject_threshold > 1.0) {
+    return fail(where + ": eject threshold must be in (0,1]");
+  }
+  if (p.eject_min_samples < 1) {
+    return fail(where + ": eject min samples must be >= 1");
+  }
+  if (p.ewma_alpha <= 0.0 || p.ewma_alpha > 1.0) {
+    return fail(where + ": ewma alpha must be in (0,1]");
+  }
+  if (p.base_ejection <= runtime::Duration::zero()) {
+    return fail(where + ": base ejection must be positive");
+  }
+  if (p.max_ejection < p.base_ejection) {
+    return fail(where + ": max ejection must be >= base ejection");
+  }
+  if (p.probe_path.empty() || p.probe_path.front() != '/') {
+    return fail(where + ": probe path must start with '/'");
+  }
+  if (p.probe_interval <= runtime::Duration::zero()) {
+    return fail(where + ": probe interval must be positive");
+  }
+  return {};
+}
+
 }  // namespace
 
 util::Result<void> validate(const StrategyDef& strategy) {
@@ -220,6 +286,7 @@ util::Result<void> validate(const StrategyDef& strategy) {
           !r) {
         return r;
       }
+      if (auto r = validate_overload(service); !r) return r;  // V14
       std::set<std::string> versions;
       for (const VersionDef& version : service.versions) {
         if (!versions.insert(version.version).second) {

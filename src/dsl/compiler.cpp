@@ -564,6 +564,46 @@ void parse_resilience(const yaml::Node& body, const std::string& where,
   }
 }
 
+/// `overload:` block on a service (see docs/DSL.md): admission control,
+/// shadow shedding, and outlier ejection knobs for the service's proxy.
+/// A present block opts in; every field defaults to the OverloadPolicy
+/// default so `overload: { maxConcurrency: 64 }` is a complete config.
+core::OverloadPolicy parse_overload(const yaml::Node& node,
+                                    const std::string& where) {
+  if (!node.is_mapping()) fail(where + ": 'overload' must be a mapping");
+  core::OverloadPolicy overload;
+  overload.enabled = true;
+  overload.max_concurrency = static_cast<int>(
+      node.get_int("maxConcurrency", overload.max_concurrency));
+  overload.adaptive = node.get_bool("adaptive", overload.adaptive);
+  overload.min_concurrency = static_cast<int>(
+      node.get_int("minConcurrency", overload.min_concurrency));
+  overload.latency_inflation =
+      node.get_double("latencyInflation", overload.latency_inflation);
+  overload.adapt_window =
+      static_cast<int>(node.get_int("adaptWindow", overload.adapt_window));
+  overload.shadow_queue =
+      static_cast<int>(node.get_int("shadowQueue", overload.shadow_queue));
+  overload.shed_utilization =
+      node.get_double("shedUtilization", overload.shed_utilization);
+  overload.eject_threshold =
+      node.get_double("ejectThreshold", overload.eject_threshold);
+  overload.eject_min_samples = static_cast<int>(
+      node.get_int("ejectMinSamples", overload.eject_min_samples));
+  overload.ewma_alpha = node.get_double("ewmaAlpha", overload.ewma_alpha);
+  overload.base_ejection = seconds(node.get_double(
+      "baseEjection",
+      std::chrono::duration<double>(overload.base_ejection).count()));
+  overload.max_ejection = seconds(node.get_double(
+      "maxEjection",
+      std::chrono::duration<double>(overload.max_ejection).count()));
+  overload.probe_path = node.get_string("probePath", overload.probe_path);
+  overload.probe_interval = seconds(node.get_double(
+      "probeInterval",
+      std::chrono::duration<double>(overload.probe_interval).count()));
+  return overload;
+}
+
 core::ProviderConfig parse_provider(const std::string& name,
                                     const yaml::Node& body) {
   const std::string where = "provider '" + name + "'";
@@ -600,6 +640,10 @@ void parse_deployment(const yaml::Node& deployment, StrategyDef& strategy) {
             proxy->get_int("adminPort", proxy->get_int("port", 0)));
       }
       parse_resilience(body, where, service);
+      if (const yaml::Node* overload = body.find("overload");
+          overload != nullptr) {
+        service.overload = parse_overload(*overload, where);
+      }
       const yaml::Node* versions = body.find("versions");
       if (versions == nullptr || !versions->is_sequence()) {
         fail(where + ": needs a 'versions' list");
@@ -613,6 +657,11 @@ void parse_deployment(const yaml::Node& deployment, StrategyDef& strategy) {
         version.host = require_string(version_body, "host", where);
         version.port = static_cast<std::uint16_t>(
             require_number(version_body, "port", where));
+        // Per-version overrides of the service-level overload knobs.
+        version.timeout_ms = static_cast<std::uint32_t>(
+            version_body.get_int("timeoutMs", 0));
+        version.max_concurrency = static_cast<int>(
+            version_body.get_int("maxConcurrency", 0));
         service.versions.push_back(std::move(version));
       }
       strategy.services.push_back(std::move(service));

@@ -30,7 +30,9 @@ inline constexpr const char* kDashboardHtml = R"HTML(<!doctype html>
   /* resilience events: degradation must stand out in the stream */
   .ev-retried { color: #d29922; }
   .ev-degraded, .ev-circuit_opened, .ev-error { color: #f85149; }
-  .ev-circuit_closed { color: #3fb950; }
+  .ev-backend_ejected { color: #f85149; }
+  .ev-circuit_closed, .ev-backend_recovered { color: #3fb950; }
+  .ev-load_shed { color: #d29922; }
   /* durability events: recovery/reconciliation after an engine restart */
   .ev-recovered, .ev-reconciled { color: #a371f7; }
 </style>

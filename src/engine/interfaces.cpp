@@ -36,6 +36,12 @@ std::string StatusEvent::type_name() const {
       return "recovered";
     case Type::kReconciled:
       return "reconciled";
+    case Type::kBackendEjected:
+      return "backend_ejected";
+    case Type::kBackendRecovered:
+      return "backend_recovered";
+    case Type::kLoadShed:
+      return "load_shed";
   }
   return "?";
 }
@@ -58,10 +64,20 @@ util::Result<proxy::ProxyConfig> build_proxy_config(
       return R::error("service '" + service.name + "' has no version '" +
                       split.version + "'");
     }
-    config.backends.push_back(proxy::BackendTarget{
-        split.version, version->host, version->port, split.percent,
-        split.match_header, split.match_value});
+    proxy::BackendTarget backend;
+    backend.version = split.version;
+    backend.host = version->host;
+    backend.port = version->port;
+    backend.percent = split.percent;
+    backend.match_header = split.match_header;
+    backend.match_value = split.match_value;
+    // Per-version overload overrides travel from the static service
+    // config into every routing table the engine pushes.
+    backend.timeout_ms = version->timeout_ms;
+    backend.max_concurrency = version->max_concurrency;
+    config.backends.push_back(std::move(backend));
   }
+  config.overload = service.overload;
   for (const core::ShadowRule& shadow : routing.shadows) {
     const core::VersionDef* target = service.find_version(shadow.target_version);
     if (target == nullptr) {
@@ -81,10 +97,17 @@ proxy::ProxyConfig passthrough_config(const core::ServiceDef& service,
                                       const std::string& version) {
   proxy::ProxyConfig config;
   config.service = service.name;
+  config.overload = service.overload;
   const core::VersionDef* v = service.find_version(version);
   if (v != nullptr) {
-    config.backends.push_back(
-        proxy::BackendTarget{v->version, v->host, v->port, 100.0, "", ""});
+    proxy::BackendTarget backend;
+    backend.version = v->version;
+    backend.host = v->host;
+    backend.port = v->port;
+    backend.percent = 100.0;
+    backend.timeout_ms = v->timeout_ms;
+    backend.max_concurrency = v->max_concurrency;
+    config.backends.push_back(std::move(backend));
   }
   return config;
 }

@@ -68,6 +68,9 @@ struct StatusEvent {
     kDegraded,       ///< running degraded: a dependency failed past its budget
     kRecovered,      ///< execution resumed from the journal after a restart
     kReconciled,     ///< proxy state reconciled against the journaled intent
+    kBackendEjected,    ///< proxy ejected a sick backend version
+    kBackendRecovered,  ///< ejected version passed its probe, re-admitted
+    kLoadShed,          ///< proxy shed shadow traffic under load
   };
 
   std::uint64_t sequence = 0;  ///< assigned by the engine event log

@@ -1,0 +1,140 @@
+#include "engine/proxy_events.hpp"
+
+#include <utility>
+
+#include "json/json.hpp"
+
+namespace bifrost::engine {
+
+namespace {
+
+/// Maps the proxy's event kind string onto the engine's event type.
+/// The names match HealthEvent::kind_name() exactly; an unknown kind
+/// (newer proxy than engine) degrades to kError rather than dropping
+/// the event.
+StatusEvent::Type type_of(const std::string& kind) {
+  if (kind == "backend_ejected") return StatusEvent::Type::kBackendEjected;
+  if (kind == "backend_recovered") return StatusEvent::Type::kBackendRecovered;
+  if (kind == "load_shed") return StatusEvent::Type::kLoadShed;
+  return StatusEvent::Type::kError;
+}
+
+}  // namespace
+
+ProxyEventPump::ProxyEventPump(StatusListener listener, Options options)
+    : listener_(std::move(listener)), options_(options) {}
+
+ProxyEventPump::~ProxyEventPump() { stop(); }
+
+void ProxyEventPump::watch(const core::ServiceDef& service) {
+  if (service.proxy_admin_host.empty() || service.proxy_admin_port == 0) return;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (Watched& watched : watched_) {
+    if (watched.service == service.name) {
+      watched.host = service.proxy_admin_host;
+      watched.port = service.proxy_admin_port;
+      return;
+    }
+  }
+  watched_.push_back(
+      Watched{service.name, service.proxy_admin_host, service.proxy_admin_port,
+              /*cursor=*/0});
+}
+
+std::size_t ProxyEventPump::poll_once() {
+  // Snapshot the watch list so the HTTP round trips run without the
+  // lock; cursors are written back per service afterwards.
+  std::vector<Watched> snapshot;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    snapshot = watched_;
+  }
+  std::size_t total = 0;
+  for (Watched& watched : snapshot) {
+    const std::size_t n = drain(watched);
+    total += n;
+    const std::lock_guard<std::mutex> lock(mutex_);
+    forwarded_ += n;
+    for (Watched& live : watched_) {
+      if (live.service == watched.service && watched.cursor > live.cursor) {
+        live.cursor = watched.cursor;
+      }
+    }
+  }
+  return total;
+}
+
+std::size_t ProxyEventPump::drain(Watched& watched) {
+  const std::string url = "http://" + watched.host + ":" +
+                          std::to_string(watched.port) +
+                          "/admin/events?since=" + std::to_string(watched.cursor);
+  auto response = client_.get(url);
+  if (!response.ok() || response.value().status != 200) return 0;
+  auto doc = json::parse(response.value().body);
+  if (!doc.ok()) return 0;
+  const json::Value* events = doc.value().find("events");
+  if (events == nullptr || !events->is_array()) return 0;
+
+  std::size_t forwarded = 0;
+  for (const json::Value& entry : events->as_array()) {
+    if (!entry.is_object()) continue;
+    const auto sequence =
+        static_cast<std::uint64_t>(entry.get_number("sequence", 0.0));
+    if (sequence <= watched.cursor && sequence != 0) continue;
+    StatusEvent event;
+    event.type = type_of(entry.get_string("kind", ""));
+    event.time_seconds = entry.get_number("timeSeconds", 0.0);
+    event.state = entry.get_string("service", watched.service);
+    event.check = entry.get_string("version", "");
+    event.detail = entry.get_string("detail", "");
+    if (listener_) listener_(event);
+    if (sequence > watched.cursor) watched.cursor = sequence;
+    ++forwarded;
+  }
+  return forwarded;
+}
+
+void ProxyEventPump::start() {
+  {
+    const std::lock_guard<std::mutex> lock(stop_mutex_);
+    if (running_) return;
+    running_ = true;
+    stop_ = false;
+  }
+  thread_ = std::thread([this] { pump_loop(); });
+}
+
+void ProxyEventPump::stop() {
+  {
+    const std::lock_guard<std::mutex> lock(stop_mutex_);
+    if (!running_) return;
+    stop_ = true;
+  }
+  stop_cv_.notify_all();
+  client_.abort_inflight();
+  if (thread_.joinable()) thread_.join();
+  {
+    const std::lock_guard<std::mutex> lock(stop_mutex_);
+    running_ = false;
+  }
+}
+
+void ProxyEventPump::pump_loop() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(stop_mutex_);
+      if (stop_cv_.wait_for(lock, options_.poll_interval,
+                            [this] { return stop_; })) {
+        return;
+      }
+    }
+    (void)poll_once();
+  }
+}
+
+std::uint64_t ProxyEventPump::events_forwarded() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return forwarded_;
+}
+
+}  // namespace bifrost::engine

@@ -1,0 +1,84 @@
+// Bridges proxy-side overload/health events into the engine's status
+// event stream. Each Bifrost proxy keeps a bounded ring of
+// backend_ejected / backend_recovered / load_shed occurrences served on
+// GET /admin/events?since=N; the pump polls every watched service's
+// admin endpoint with a per-service cursor and forwards fresh events to
+// a StatusListener (typically Engine::event_logger()), so ejections and
+// sheds show up in the CLI stream and on the dashboard next to the
+// strategy's own transitions.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/model.hpp"
+#include "engine/interfaces.hpp"
+#include "http/client.hpp"
+
+namespace bifrost::engine {
+
+class ProxyEventPump {
+ public:
+  struct Options {
+    std::chrono::milliseconds poll_interval{500};
+  };
+
+  ProxyEventPump(StatusListener listener, Options options);
+  explicit ProxyEventPump(StatusListener listener)
+      : ProxyEventPump(std::move(listener), Options{}) {}
+  ~ProxyEventPump();
+
+  ProxyEventPump(const ProxyEventPump&) = delete;
+  ProxyEventPump& operator=(const ProxyEventPump&) = delete;
+
+  /// Registers a service's proxy admin endpoint. Services without one
+  /// are ignored. Safe to call while the pump runs; re-registering a
+  /// service updates its endpoint but keeps the event cursor.
+  void watch(const core::ServiceDef& service);
+
+  /// One synchronous sweep over all watched proxies; returns how many
+  /// events were forwarded. Unreachable proxies are skipped (their
+  /// cursor is untouched, so nothing is lost) — the pump is an observer
+  /// and must never fail a strategy. Tests call this directly for
+  /// deterministic draining.
+  std::size_t poll_once();
+
+  /// Background polling at Options::poll_interval.
+  void start();
+  void stop();
+
+  [[nodiscard]] std::uint64_t events_forwarded() const;
+
+ private:
+  struct Watched {
+    std::string service;
+    std::string host;
+    std::uint16_t port = 0;
+    std::uint64_t cursor = 0;  ///< highest proxy event sequence seen
+  };
+
+  std::size_t drain(Watched& watched);
+  void pump_loop();
+
+  StatusListener listener_;
+  Options options_;
+  http::HttpClient client_;
+
+  mutable std::mutex mutex_;  ///< guards watched_ and forwarded_
+  std::vector<Watched> watched_;
+  std::uint64_t forwarded_ = 0;
+
+  std::thread thread_;
+  std::mutex stop_mutex_;
+  std::condition_variable stop_cv_;
+  bool stop_ = false;
+  bool running_ = false;
+};
+
+}  // namespace bifrost::engine

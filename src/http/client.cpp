@@ -9,6 +9,14 @@ namespace bifrost::http {
 
 util::Result<Response> HttpClient::request(Request req, const std::string& host,
                                            std::uint16_t port) {
+  return request(std::move(req), host, port, options_.io_timeout);
+}
+
+util::Result<Response> HttpClient::request(Request req, const std::string& host,
+                                           std::uint16_t port,
+                                           std::chrono::milliseconds io_timeout) {
+  if (io_timeout.count() <= 0) io_timeout = options_.io_timeout;
+  const bool custom_deadline = io_timeout != options_.io_timeout;
   if (!req.headers.has("Host")) {
     req.headers.set("Host", host + ":" + std::to_string(port));
   }
@@ -19,6 +27,9 @@ util::Result<Response> HttpClient::request(Request req, const std::string& host,
   if (!conn.ok()) {
     return util::Result<Response>::error(conn.error_message());
   }
+  if (custom_deadline) {
+    (void)conn.value().stream.set_io_timeout(io_timeout);
+  }
   auto response = send_once(wire, conn.value());
   if (!response.ok() && reused) {
     // Stale keep-alive connection; retry once on a fresh one.
@@ -27,6 +38,9 @@ util::Result<Response> HttpClient::request(Request req, const std::string& host,
       return util::Result<Response>::error(fresh.error_message());
     }
     conn = std::move(fresh);
+    if (custom_deadline) {
+      (void)conn.value().stream.set_io_timeout(io_timeout);
+    }
     response = send_once(wire, conn.value());
   }
   if (!response.ok()) return response;
@@ -36,8 +50,14 @@ util::Result<Response> HttpClient::request(Request req, const std::string& host,
       !(conn_header && util::iequals(*conn_header, "close")) &&
       response.value().version == "HTTP/1.1";
   if (keep_alive) {
-    return_connection(host + ":" + std::to_string(port),
-                      std::move(conn).value());
+    // Pooled connections carry the default deadline; a connection whose
+    // deadline can't be restored is dropped rather than poisoning the
+    // next exchange with a stale timeout.
+    if (!custom_deadline ||
+        conn.value().stream.set_io_timeout(options_.io_timeout)) {
+      return_connection(host + ":" + std::to_string(port),
+                        std::move(conn).value());
+    }
   }
   return response;
 }

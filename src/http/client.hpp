@@ -33,6 +33,14 @@ class HttpClient {
   util::Result<Response> request(Request req, const std::string& host,
                                  std::uint16_t port);
 
+  /// Like request(), but with a per-request I/O deadline overriding
+  /// Options::io_timeout (<= 0 = use the default). The proxy uses this
+  /// for per-version backend timeouts; the connection's default
+  /// deadline is restored before it re-enters the keep-alive pool.
+  util::Result<Response> request(Request req, const std::string& host,
+                                 std::uint16_t port,
+                                 std::chrono::milliseconds io_timeout);
+
   /// Convenience helpers against an absolute http:// URL.
   util::Result<Response> get(const std::string& url);
   util::Result<Response> post(const std::string& url, std::string body,

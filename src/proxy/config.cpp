@@ -1,8 +1,74 @@
 #include "proxy/config.hpp"
 
+#include <chrono>
 #include <cmath>
 
 namespace bifrost::proxy {
+
+namespace {
+
+double ms_of(runtime::Duration d) {
+  return std::chrono::duration<double, std::milli>(d).count();
+}
+
+runtime::Duration ms_to_duration(double ms) {
+  return std::chrono::duration_cast<runtime::Duration>(
+      std::chrono::duration<double, std::milli>(ms));
+}
+
+/// Admin-API JSON for the overload block (milliseconds on the wire,
+/// unlike the engine journal which stores nanosecond counts).
+json::Value overload_to_json(const core::OverloadPolicy& p) {
+  return json::Object{
+      {"enabled", p.enabled},
+      {"maxConcurrency", p.max_concurrency},
+      {"adaptive", p.adaptive},
+      {"minConcurrency", p.min_concurrency},
+      {"latencyInflation", p.latency_inflation},
+      {"adaptWindow", p.adapt_window},
+      {"shadowQueue", p.shadow_queue},
+      {"shedUtilization", p.shed_utilization},
+      {"ejectThreshold", p.eject_threshold},
+      {"ejectMinSamples", p.eject_min_samples},
+      {"ewmaAlpha", p.ewma_alpha},
+      {"baseEjectionMs", ms_of(p.base_ejection)},
+      {"maxEjectionMs", ms_of(p.max_ejection)},
+      {"probePath", p.probe_path},
+      {"probeIntervalMs", ms_of(p.probe_interval)},
+  };
+}
+
+core::OverloadPolicy overload_from_json(const json::Value& v) {
+  const core::OverloadPolicy defaults;
+  core::OverloadPolicy p;
+  p.enabled = v.get_bool("enabled", false);
+  p.max_concurrency = static_cast<int>(v.get_number("maxConcurrency", 0));
+  p.adaptive = v.get_bool("adaptive", false);
+  p.min_concurrency = static_cast<int>(
+      v.get_number("minConcurrency", defaults.min_concurrency));
+  p.latency_inflation =
+      v.get_number("latencyInflation", defaults.latency_inflation);
+  p.adapt_window =
+      static_cast<int>(v.get_number("adaptWindow", defaults.adapt_window));
+  p.shadow_queue =
+      static_cast<int>(v.get_number("shadowQueue", defaults.shadow_queue));
+  p.shed_utilization =
+      v.get_number("shedUtilization", defaults.shed_utilization);
+  p.eject_threshold = v.get_number("ejectThreshold", defaults.eject_threshold);
+  p.eject_min_samples = static_cast<int>(
+      v.get_number("ejectMinSamples", defaults.eject_min_samples));
+  p.ewma_alpha = v.get_number("ewmaAlpha", defaults.ewma_alpha);
+  p.base_ejection = ms_to_duration(
+      v.get_number("baseEjectionMs", ms_of(defaults.base_ejection)));
+  p.max_ejection = ms_to_duration(
+      v.get_number("maxEjectionMs", ms_of(defaults.max_ejection)));
+  p.probe_path = v.get_string("probePath", defaults.probe_path);
+  p.probe_interval = ms_to_duration(
+      v.get_number("probeIntervalMs", ms_of(defaults.probe_interval)));
+  return p;
+}
+
+}  // namespace
 
 json::Value ProxyConfig::to_json() const {
   json::Array backends_json;
@@ -14,6 +80,8 @@ json::Value ProxyConfig::to_json() const {
         {"percent", b.percent},
         {"matchHeader", b.match_header},
         {"matchValue", b.match_value},
+        {"timeoutMs", static_cast<double>(b.timeout_ms)},
+        {"maxConcurrency", b.max_concurrency},
     });
   }
   json::Array shadows_json;
@@ -36,6 +104,7 @@ json::Value ProxyConfig::to_json() const {
       {"defaultVersion", default_version},
       {"backends", std::move(backends_json)},
       {"shadows", std::move(shadows_json)},
+      {"overload", overload_to_json(overload)},
   };
 }
 
@@ -67,6 +136,10 @@ util::Result<ProxyConfig> ProxyConfig::from_json(const json::Value& doc) {
       target.percent = b.get_number("percent");
       target.match_header = b.get_string("matchHeader");
       target.match_value = b.get_string("matchValue");
+      target.timeout_ms =
+          static_cast<std::uint32_t>(b.get_number("timeoutMs", 0));
+      target.max_concurrency =
+          static_cast<int>(b.get_number("maxConcurrency", 0));
       config.backends.push_back(std::move(target));
     }
   }
@@ -81,6 +154,9 @@ util::Result<ProxyConfig> ProxyConfig::from_json(const json::Value& doc) {
       target.percent = s.get_number("percent", 100.0);
       config.shadows.push_back(std::move(target));
     }
+  }
+  if (const json::Value* ov = doc.find("overload")) {
+    config.overload = overload_from_json(*ov);
   }
   if (auto v = config.validate(); !v) return R::error(v.error_message());
   return config;
@@ -124,6 +200,53 @@ util::Result<void> ProxyConfig::validate() const {
     }
     if (s.percent <= 0.0 || s.percent > 100.0) {
       return R::error("shadow percent out of (0,100]");
+    }
+  }
+  for (const BackendTarget& b : backends) {
+    if (b.max_concurrency < 0) {
+      return R::error("backend '" + b.version +
+                      "' max concurrency must be non-negative");
+    }
+  }
+  if (overload.enabled) {
+    const core::OverloadPolicy& p = overload;
+    if (p.max_concurrency < 0) {
+      return R::error("overload max concurrency must be non-negative");
+    }
+    if (p.adaptive &&
+        (p.max_concurrency < 1 || p.min_concurrency < 1 ||
+         p.min_concurrency > p.max_concurrency)) {
+      return R::error("adaptive overload limits need 1 <= min <= max "
+                      "concurrency");
+    }
+    if (p.adaptive && (p.latency_inflation <= 1.0 || p.adapt_window < 2)) {
+      return R::error("adaptive overload needs latency inflation > 1 and "
+                      "an adapt window of >= 2 samples");
+    }
+    if (p.shadow_queue < 1) {
+      return R::error("overload shadow queue capacity must be >= 1");
+    }
+    if (p.shed_utilization <= 0.0 || p.shed_utilization > 1.0) {
+      return R::error("overload shed utilization out of (0,1]");
+    }
+    if (p.eject_threshold <= 0.0 || p.eject_threshold > 1.0) {
+      return R::error("overload eject threshold out of (0,1]");
+    }
+    if (p.eject_min_samples < 1) {
+      return R::error("overload eject min samples must be >= 1");
+    }
+    if (p.ewma_alpha <= 0.0 || p.ewma_alpha > 1.0) {
+      return R::error("overload ewma alpha out of (0,1]");
+    }
+    if (p.base_ejection <= runtime::Duration::zero() ||
+        p.max_ejection < p.base_ejection) {
+      return R::error("overload ejection windows need 0 < base <= max");
+    }
+    if (p.probe_path.empty() || p.probe_path.front() != '/') {
+      return R::error("overload probe path must start with '/'");
+    }
+    if (p.probe_interval <= runtime::Duration::zero()) {
+      return R::error("overload probe interval must be positive");
     }
   }
   return {};

@@ -26,6 +26,13 @@ struct BackendTarget {
   /// requests.
   std::string match_header;
   std::string match_value;
+  /// Per-version backend deadline, ms; overrides the proxy's
+  /// Options::backend_timeout (a canary can get a tighter deadline than
+  /// stable). 0 = use the proxy default.
+  std::uint32_t timeout_ms = 0;
+  /// Per-version concurrency cap, overriding
+  /// OverloadPolicy::max_concurrency. 0 = inherit the policy's cap.
+  int max_concurrency = 0;
 };
 
 /// A dark-launch duplication rule: requests served by `source_version`
@@ -57,6 +64,10 @@ struct ProxyConfig {
   std::string default_version;
   std::vector<BackendTarget> backends;
   std::vector<ShadowTarget> shadows;
+  /// Overload protection + backend health enacted by the proxy's data
+  /// plane (admission control, shadow shedding, outlier ejection). All
+  /// mechanisms are inert unless overload.enabled.
+  core::OverloadPolicy overload;
 
   [[nodiscard]] json::Value to_json() const;
   static util::Result<ProxyConfig> from_json(const json::Value& doc);

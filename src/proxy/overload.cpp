@@ -1,0 +1,398 @@
+#include "proxy/overload.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace bifrost::proxy {
+namespace {
+
+constexpr std::size_t kMaxEvents = 512;
+/// Minimum spacing between load_shed events (shed occurrences between
+/// two events are folded into the next event's detail).
+constexpr std::chrono::seconds kShedEventInterval{1};
+
+double window_p50(std::vector<double>& xs) {
+  const std::size_t mid = xs.size() / 2;
+  std::nth_element(xs.begin(), xs.begin() + static_cast<std::ptrdiff_t>(mid),
+                   xs.end());
+  return xs[mid];
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// HealthEvent
+
+const char* HealthEvent::kind_name() const {
+  switch (kind) {
+    case Kind::kBackendEjected:
+      return "backend_ejected";
+    case Kind::kBackendRecovered:
+      return "backend_recovered";
+    case Kind::kLoadShed:
+      return "load_shed";
+  }
+  return "unknown";
+}
+
+json::Value HealthEvent::to_json() const {
+  return json::Object{
+      {"sequence", static_cast<std::int64_t>(sequence)},
+      {"timeSeconds", time_seconds},
+      {"kind", kind_name()},
+      {"service", service},
+      {"version", version},
+      {"detail", detail},
+  };
+}
+
+// ---------------------------------------------------------------------------
+// VersionGate
+
+VersionGate::VersionGate(const core::OverloadPolicy& policy, int cap)
+    : limit_(0) {
+  reconfigure(policy, cap);
+}
+
+void VersionGate::reconfigure(const core::OverloadPolicy& policy, int cap) {
+  const std::lock_guard<std::mutex> lock(adapt_mutex_);
+  adaptive_.store(policy.adaptive && cap > 0, std::memory_order_relaxed);
+  cap_ = cap;
+  min_ = std::max(1, policy.min_concurrency);
+  inflation_ = policy.latency_inflation;
+  window_size_ = static_cast<std::size_t>(std::max(2, policy.adapt_window));
+  // A changed cap resets the adaptive limit; re-applying the same cap
+  // keeps whatever the controller has converged to.
+  if (cap_ != limit_hint_) {
+    limit_.store(cap_, std::memory_order_relaxed);
+    limit_hint_ = cap_;
+    baseline_ = 0.0;
+    window_.clear();
+  }
+}
+
+bool VersionGate::try_acquire() {
+  const int limit = limit_.load(std::memory_order_relaxed);
+  const std::size_t was = inflight_.fetch_add(1, std::memory_order_acq_rel);
+  if (limit <= 0 || was < static_cast<std::size_t>(limit)) return true;
+  inflight_.fetch_sub(1, std::memory_order_acq_rel);
+  rejected_.fetch_add(1, std::memory_order_relaxed);
+  return false;
+}
+
+void VersionGate::release() {
+  inflight_.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+void VersionGate::record_latency(double ms) {
+  if (!adaptive_.load(std::memory_order_relaxed)) return;
+  const std::lock_guard<std::mutex> lock(adapt_mutex_);
+  if (!adaptive_.load(std::memory_order_relaxed)) return;  // raced reconfigure
+  window_.push_back(ms);
+  if (window_.size() < window_size_) return;
+
+  const double p50 = window_p50(window_);
+  window_.clear();
+  const int limit = limit_.load(std::memory_order_relaxed);
+  if (baseline_ > 0.0 && p50 > inflation_ * baseline_) {
+    // Latency inflated past the healthy baseline: multiplicative
+    // decrease toward the floor. The baseline is left untouched so a
+    // degraded steady state cannot become the new "healthy".
+    limit_.store(std::max(min_, limit / 2), std::memory_order_relaxed);
+    return;
+  }
+  // Healthy window: additive increase back toward the cap, and fold the
+  // window into the rolling baseline.
+  limit_.store(std::min(cap_, limit + 1), std::memory_order_relaxed);
+  baseline_ = baseline_ == 0.0 ? p50 : 0.9 * baseline_ + 0.1 * p50;
+}
+
+double VersionGate::utilization() const {
+  const int limit = limit_.load(std::memory_order_relaxed);
+  if (limit <= 0) return 0.0;
+  const double u = static_cast<double>(inflight()) / limit;
+  return std::min(1.0, u);
+}
+
+double VersionGate::baseline_p50() const {
+  const std::lock_guard<std::mutex> lock(adapt_mutex_);
+  return baseline_;
+}
+
+// ---------------------------------------------------------------------------
+// HealthTracker
+
+HealthTracker::HealthTracker(const core::OverloadPolicy& policy) {
+  reconfigure(policy);
+}
+
+void HealthTracker::reconfigure(const core::OverloadPolicy& policy) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  alpha_ = policy.ewma_alpha;
+  threshold_ = policy.eject_threshold;
+  min_samples_ = static_cast<std::uint64_t>(
+      std::max(1, policy.eject_min_samples));
+  base_ejection_ =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          policy.base_ejection);
+  max_ejection_ = std::chrono::duration_cast<std::chrono::nanoseconds>(
+      policy.max_ejection);
+  probe_interval_ = std::chrono::duration_cast<std::chrono::nanoseconds>(
+      policy.probe_interval);
+}
+
+bool HealthTracker::record(bool failure, OverloadClock::time_point now) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (ejected_flag_) return false;  // no live traffic should land here
+  ewma_ = alpha_ * (failure ? 1.0 : 0.0) + (1.0 - alpha_) * ewma_;
+  ++samples_;
+  if (samples_ >= min_samples_ && ewma_ >= threshold_) {
+    eject_locked(now);
+    return true;
+  }
+  return false;
+}
+
+void HealthTracker::eject_locked(OverloadClock::time_point now) {
+  ++ejections_;
+  // Exponential backoff: base * 2^(n-1), capped. The shift is clamped
+  // so a long-lived flapping backend cannot overflow the arithmetic.
+  const std::uint64_t exponent = std::min<std::uint64_t>(ejections_ - 1, 16);
+  window_ = base_ejection_ * (std::uint64_t{1} << exponent);
+  window_ = std::min(window_, max_ejection_);
+  eject_until_ = now + window_;
+  last_probe_ = OverloadClock::time_point{};
+  ejected_flag_ = true;
+  ejected_fast_.store(true, std::memory_order_release);
+}
+
+bool HealthTracker::ejected() const {
+  return ejected_fast_.load(std::memory_order_acquire);
+}
+
+bool HealthTracker::take_probe_due(OverloadClock::time_point now) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (!ejected_flag_ || now < eject_until_) return false;
+  if (last_probe_ != OverloadClock::time_point{} &&
+      now - last_probe_ < probe_interval_) {
+    return false;
+  }
+  last_probe_ = now;
+  return true;
+}
+
+bool HealthTracker::on_probe(bool ok, OverloadClock::time_point now) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (!ejected_flag_) return false;
+  if (!ok) {
+    // Stay ejected; take_probe_due re-arms after probe_interval. The
+    // original backoff window has already passed, so probing cadence —
+    // not window growth — paces re-admission attempts.
+    (void)now;
+    return false;
+  }
+  ejected_flag_ = false;
+  ejected_fast_.store(false, std::memory_order_release);
+  // Fresh slate: the pre-ejection failure history must not insta-eject
+  // the recovered backend on its first post-recovery error.
+  ewma_ = 0.0;
+  samples_ = 0;
+  return true;
+}
+
+bool HealthTracker::force_eject(OverloadClock::time_point now) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (ejected_flag_) return false;
+  eject_locked(now);
+  return true;
+}
+
+bool HealthTracker::force_recover() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (!ejected_flag_) return false;
+  ejected_flag_ = false;
+  ejected_fast_.store(false, std::memory_order_release);
+  ewma_ = 0.0;
+  samples_ = 0;
+  return true;
+}
+
+double HealthTracker::failure_rate() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return ewma_;
+}
+
+std::uint64_t HealthTracker::ejections() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return ejections_;
+}
+
+std::chrono::milliseconds HealthTracker::last_window() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return std::chrono::duration_cast<std::chrono::milliseconds>(window_);
+}
+
+// ---------------------------------------------------------------------------
+// OverloadController
+
+OverloadController::OverloadController(Listener listener)
+    : origin_(OverloadClock::now()), listener_(std::move(listener)) {}
+
+std::shared_ptr<VersionControl> OverloadController::adopt(
+    const core::OverloadPolicy& policy, const std::string& service,
+    const std::string& version, int cap) {
+  {
+    const std::lock_guard<std::mutex> lock(events_mutex_);
+    service_ = service;
+  }
+  const std::lock_guard<std::mutex> lock(registry_mutex_);
+  auto it = registry_.find(version);
+  if (it != registry_.end()) {
+    // Same version across applies: keep gate/health state (an ejection
+    // must survive crash-recovery re-applies), refresh the knobs.
+    it->second->gate.reconfigure(policy, cap);
+    it->second->health.reconfigure(policy);
+    return it->second;
+  }
+  auto control = std::make_shared<VersionControl>(policy, cap);
+  registry_.emplace(version, control);
+  return control;
+}
+
+void OverloadController::prune(const std::vector<std::string>& keep) {
+  const std::lock_guard<std::mutex> lock(registry_mutex_);
+  for (auto it = registry_.begin(); it != registry_.end();) {
+    if (std::find(keep.begin(), keep.end(), it->first) == keep.end()) {
+      it = registry_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::shared_ptr<VersionControl> OverloadController::find(
+    const std::string& version) const {
+  const std::lock_guard<std::mutex> lock(registry_mutex_);
+  const auto it = registry_.find(version);
+  return it == registry_.end() ? nullptr : it->second;
+}
+
+void OverloadController::emit(HealthEvent::Kind kind,
+                              const std::string& version,
+                              std::string detail) {
+  HealthEvent event;
+  event.kind = kind;
+  event.sequence = next_sequence_.fetch_add(1, std::memory_order_relaxed) + 1;
+  event.time_seconds = elapsed_seconds();
+  event.version = version;
+  event.detail = std::move(detail);
+  {
+    const std::lock_guard<std::mutex> lock(events_mutex_);
+    event.service = service_;
+    events_.push_back(event);
+    if (events_.size() > kMaxEvents) events_.pop_front();
+  }
+  if (listener_) listener_(event);
+}
+
+void OverloadController::note_shed(const char* reason) {
+  shadows_shed_.fetch_add(1, std::memory_order_relaxed);
+  bool fire = false;
+  std::uint64_t folded = 0;
+  {
+    const std::lock_guard<std::mutex> lock(shed_mutex_);
+    ++sheds_since_event_;
+    const auto now = OverloadClock::now();
+    if (last_shed_event_ == OverloadClock::time_point{} ||
+        now - last_shed_event_ >= kShedEventInterval) {
+      last_shed_event_ = now;
+      folded = std::exchange(sheds_since_event_, 0);
+      fire = true;
+    }
+  }
+  if (fire) {
+    emit(HealthEvent::Kind::kLoadShed, "",
+         std::string(reason) + " (" + std::to_string(folded) +
+             " shadow(s) shed)");
+  }
+}
+
+std::vector<HealthEvent> OverloadController::events_since(
+    std::uint64_t since) const {
+  const std::lock_guard<std::mutex> lock(events_mutex_);
+  std::vector<HealthEvent> out;
+  for (const HealthEvent& event : events_) {
+    if (event.sequence > since) out.push_back(event);
+  }
+  return out;
+}
+
+double OverloadController::elapsed_seconds() const {
+  return std::chrono::duration<double>(OverloadClock::now() - origin_)
+      .count();
+}
+
+// ---------------------------------------------------------------------------
+// ShadowQueue
+
+ShadowQueue::ShadowQueue(std::size_t workers, std::size_t capacity)
+    : capacity_(std::max<std::size_t>(1, capacity)) {
+  workers_.reserve(std::max<std::size_t>(1, workers));
+  for (std::size_t i = 0; i < std::max<std::size_t>(1, workers); ++i) {
+    workers_.emplace_back([this] { worker_main(); });
+  }
+}
+
+ShadowQueue::~ShadowQueue() { shutdown(); }
+
+std::optional<std::size_t> ShadowQueue::submit(std::function<void()> task) {
+  std::size_t dropped = 0;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) return std::nullopt;
+    while (queue_.size() >= capacity_) {
+      queue_.pop_front();  // drop-oldest: freshest dark traffic wins
+      ++dropped;
+    }
+    queue_.push_back(std::move(task));
+  }
+  if (dropped > 0) dropped_.fetch_add(dropped, std::memory_order_relaxed);
+  cv_.notify_one();
+  return dropped;
+}
+
+void ShadowQueue::shutdown() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) return;
+    stopping_ = true;
+    // Pending shadows are dropped, not drained: dark launches are
+    // best-effort and stop() must stay bounded.
+    queue_.clear();
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+std::size_t ShadowQueue::queued() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+void ShadowQueue::worker_main() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (stopping_) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+}  // namespace bifrost::proxy

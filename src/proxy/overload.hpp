@@ -1,0 +1,301 @@
+// Overload protection and backend health for the proxy data plane.
+// Three mechanisms keep live traffic healthy while a strategy
+// deliberately routes users at possibly-broken versions (the paper's
+// "live testing must not degrade the user experience" risk):
+//
+//  * VersionGate — per-version bounded concurrency. Excess live
+//    requests are rejected with 503 + Retry-After instead of queueing
+//    behind a stuck backend. With OverloadPolicy::adaptive, the limit
+//    follows a gradient scheme: the p50 of a small trailing sample
+//    window is compared against a rolling (EWMA) p50 baseline; latency
+//    inflation shrinks the limit multiplicatively, a healthy window
+//    grows it additively (+1) back toward the configured cap.
+//
+//  * ShadowQueue — dark-launch duplicates run through a bounded
+//    drop-oldest queue with its own worker threads, and the proxy sheds
+//    new duplicates outright whenever a live gate is near its limit.
+//    Dark traffic can therefore never displace live traffic: shadows
+//    are always shed before a single live request is rejected.
+//
+//  * HealthTracker — passive per-backend health (EWMA of
+//    errors/timeouts) with outlier ejection: a version whose failure
+//    rate crosses the threshold is ejected for an exponentially growing
+//    backoff window and its traffic reroutes to default_version
+//    (sticky sessions are remapped only temporarily — the session table
+//    is not rewritten — so they snap back on recovery). Re-admission is
+//    gated by an active probe (GET probe_path) once the window expires.
+//
+// All time-dependent logic takes explicit time points so tests drive the
+// state machines deterministically with manual clocks. The controller
+// records ejected/recovered/shed occurrences in a bounded event log the
+// engine drains via GET /admin/events (and an optional in-process
+// listener), turning them into backend_ejected / backend_recovered /
+// load_shed status events.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/model.hpp"
+#include "json/json.hpp"
+
+namespace bifrost::proxy {
+
+using OverloadClock = std::chrono::steady_clock;
+
+/// A health/overload occurrence the proxy reports upward.
+struct HealthEvent {
+  enum class Kind { kBackendEjected, kBackendRecovered, kLoadShed };
+
+  Kind kind = Kind::kBackendEjected;
+  std::uint64_t sequence = 0;  ///< monotonic per proxy instance
+  double time_seconds = 0.0;   ///< since the controller was created
+  std::string service;
+  std::string version;  ///< empty for proxy-wide events (load_shed)
+  std::string detail;
+
+  /// "backend_ejected" / "backend_recovered" / "load_shed" — matches
+  /// engine::StatusEvent::type_name() so events translate 1:1.
+  [[nodiscard]] const char* kind_name() const;
+  [[nodiscard]] json::Value to_json() const;
+};
+
+/// Per-version admission gate: bounded concurrency with an optional
+/// adaptive limit. try_acquire()/release() are lock-free on the hot
+/// path; the adaptation step takes a small mutex once per
+/// `adapt_window` latency samples.
+class VersionGate {
+ public:
+  /// `cap` <= 0 disables the gate (unlimited).
+  VersionGate(const core::OverloadPolicy& policy, int cap);
+
+  /// Applies a new policy/cap without losing adaptation state: the
+  /// converged limit survives a re-apply of the same cap; a changed cap
+  /// resets the limit to it.
+  void reconfigure(const core::OverloadPolicy& policy, int cap);
+
+  /// Admits one live request; false = at the limit, reject with 503.
+  [[nodiscard]] bool try_acquire();
+  void release();
+
+  /// Feeds one end-to-end latency sample into the adaptive controller.
+  void record_latency(double ms);
+
+  [[nodiscard]] std::size_t inflight() const {
+    return inflight_.load(std::memory_order_relaxed);
+  }
+  /// Current limit; 0 = unlimited.
+  [[nodiscard]] std::size_t limit() const {
+    const int l = limit_.load(std::memory_order_relaxed);
+    return l <= 0 ? 0 : static_cast<std::size_t>(l);
+  }
+  [[nodiscard]] std::uint64_t rejected() const {
+    return rejected_.load(std::memory_order_relaxed);
+  }
+  /// inflight / limit in [0,1]; 0 when unlimited. Drives shadow
+  /// shedding ("near the limit").
+  [[nodiscard]] double utilization() const;
+  /// Rolling p50 baseline of the adaptive controller (tests/stats).
+  [[nodiscard]] double baseline_p50() const;
+
+ private:
+  /// Atomic: read on the hot path without the adapt mutex.
+  std::atomic<bool> adaptive_{false};
+  int cap_ = 0;  ///< configured ceiling (<= 0 = unlimited)
+  int min_ = 1;
+  double inflation_ = 2.0;
+  std::size_t window_size_ = 32;
+  int limit_hint_ = 0;  ///< cap the current limit was derived from
+
+  std::atomic<std::size_t> inflight_{0};
+  std::atomic<int> limit_;
+  std::atomic<std::uint64_t> rejected_{0};
+
+  mutable std::mutex adapt_mutex_;
+  std::vector<double> window_;  ///< pending samples, cleared per step
+  double baseline_ = 0.0;       ///< EWMA of healthy window p50s
+};
+
+/// Passive health + outlier ejection state machine for one backend
+/// version. Thread-safe; every transition takes an explicit `now`.
+class HealthTracker {
+ public:
+  explicit HealthTracker(const core::OverloadPolicy& policy);
+
+  /// Applies new thresholds/windows while keeping the health state
+  /// (EWMA, ejection) — config re-applies must not reset an ejection.
+  void reconfigure(const core::OverloadPolicy& policy);
+
+  /// Records one live request outcome. Returns true when this sample
+  /// tripped the ejection (caller emits backend_ejected).
+  [[nodiscard]] bool record(bool failure, OverloadClock::time_point now);
+
+  /// True while the version must not receive live traffic.
+  [[nodiscard]] bool ejected() const;
+
+  /// True when the backoff window has passed and an active probe is due
+  /// (also rate-limits probing to one per probe_interval).
+  [[nodiscard]] bool take_probe_due(OverloadClock::time_point now);
+
+  /// Outcome of an active probe. Returns true when the probe re-admitted
+  /// the version (caller emits backend_recovered).
+  [[nodiscard]] bool on_probe(bool ok, OverloadClock::time_point now);
+
+  /// Operator override: eject now / re-admit now. Return false when
+  /// already in the requested state.
+  [[nodiscard]] bool force_eject(OverloadClock::time_point now);
+  [[nodiscard]] bool force_recover();
+
+  [[nodiscard]] double failure_rate() const;
+  [[nodiscard]] std::uint64_t ejections() const;
+  /// Length of the current/most recent ejection backoff window.
+  [[nodiscard]] std::chrono::milliseconds last_window() const;
+
+ private:
+  void eject_locked(OverloadClock::time_point now);
+
+  double alpha_ = 0.2;
+  double threshold_ = 0.5;
+  std::uint64_t min_samples_ = 8;
+  std::chrono::nanoseconds base_ejection_{0};
+  std::chrono::nanoseconds max_ejection_{0};
+  std::chrono::nanoseconds probe_interval_{0};
+
+  mutable std::mutex mutex_;
+  double ewma_ = 0.0;
+  std::uint64_t samples_ = 0;
+  std::uint64_t ejections_ = 0;
+  bool ejected_flag_ = false;
+  std::atomic<bool> ejected_fast_{false};  ///< lock-free hot-path mirror
+  OverloadClock::time_point eject_until_{};
+  OverloadClock::time_point last_probe_{};
+  std::chrono::nanoseconds window_{0};
+};
+
+/// Everything the data plane tracks for one backend version. Instances
+/// are shared_ptr-owned by the OverloadController's registry and
+/// referenced from the proxy's immutable RouteState snapshots, so
+/// health/limit state survives config applies that keep the version.
+struct VersionControl {
+  VersionControl(const core::OverloadPolicy& policy, int cap)
+      : gate(policy, cap), health(policy) {}
+
+  VersionGate gate;
+  HealthTracker health;
+  std::atomic<std::uint64_t> timeouts{0};          ///< backend deadline hits
+  std::atomic<std::uint64_t> errors_5xx{0};        ///< upstream 5xx replies
+  std::atomic<std::uint64_t> transport_errors{0};  ///< connect/reset/...
+  std::atomic<std::uint64_t> rerouted{0};  ///< sent to default while ejected
+};
+
+/// Owns per-version control blocks + the bounded health event log.
+/// Config applies go through reconfigure(); the hot path only touches
+/// VersionControl pointers resolved at apply() time.
+class OverloadController {
+ public:
+  using Listener = std::function<void(const HealthEvent&)>;
+
+  explicit OverloadController(Listener listener = nullptr);
+
+  /// Installs the policy of a freshly applied config and returns the
+  /// control block for `version`, creating it on first sight. Existing
+  /// blocks (and their health/limit state) are preserved so an ejection
+  /// survives config re-applies — crash-recovery reconciliation must
+  /// not resurrect routing to a sick version.
+  std::shared_ptr<VersionControl> adopt(const core::OverloadPolicy& policy,
+                                        const std::string& service,
+                                        const std::string& version, int cap);
+  /// Drops control blocks for versions not in `keep` (retired by apply).
+  void prune(const std::vector<std::string>& keep);
+
+  [[nodiscard]] std::shared_ptr<VersionControl> find(
+      const std::string& version) const;
+
+  /// Emits kind/version/detail into the event ring (and the listener).
+  void emit(HealthEvent::Kind kind, const std::string& version,
+            std::string detail);
+
+  /// Records one shed shadow request. Shed occurrences are folded into
+  /// rate-limited load_shed events (at most one per second) so a
+  /// saturated proxy doesn't flood the engine's event stream.
+  void note_shed(const char* reason);
+
+  /// Events with sequence > since, oldest first (admin API long-poll).
+  [[nodiscard]] std::vector<HealthEvent> events_since(
+      std::uint64_t since) const;
+
+  [[nodiscard]] std::uint64_t shadows_shed() const {
+    return shadows_shed_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t events_emitted() const {
+    return next_sequence_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  [[nodiscard]] double elapsed_seconds() const;
+
+  const OverloadClock::time_point origin_;
+  Listener listener_;
+  std::string service_;
+
+  mutable std::mutex registry_mutex_;
+  std::unordered_map<std::string, std::shared_ptr<VersionControl>> registry_;
+
+  mutable std::mutex events_mutex_;
+  std::deque<HealthEvent> events_;  ///< bounded ring, newest at back
+  std::atomic<std::uint64_t> next_sequence_{0};
+
+  std::atomic<std::uint64_t> shadows_shed_{0};
+  std::mutex shed_mutex_;
+  OverloadClock::time_point last_shed_event_{};
+  std::uint64_t sheds_since_event_ = 0;
+};
+
+/// Bounded work queue for shadow (dark-launch) dispatch. Unlike
+/// runtime::ThreadPool, a full queue drops the *oldest* pending shadow
+/// (freshest dark traffic wins, and live traffic never blocks): the
+/// paper's dark launches are best-effort by design.
+class ShadowQueue {
+ public:
+  ShadowQueue(std::size_t workers, std::size_t capacity);
+  ~ShadowQueue();
+
+  ShadowQueue(const ShadowQueue&) = delete;
+  ShadowQueue& operator=(const ShadowQueue&) = delete;
+
+  /// Enqueues a shadow dispatch; never blocks. Returns the number of
+  /// older entries dropped to make room (0 = plain enqueue), or
+  /// std::nullopt when the queue is shut down (task not queued).
+  std::optional<std::size_t> submit(std::function<void()> task);
+
+  void shutdown();
+
+  [[nodiscard]] std::size_t queued() const;
+  [[nodiscard]] std::uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void worker_main();
+
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  std::atomic<std::uint64_t> dropped_{0};
+  bool stopping_ = false;
+};
+
+}  // namespace bifrost::proxy

@@ -1,10 +1,13 @@
 #include "proxy/proxy.hpp"
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <stdexcept>
 #include <thread>
 #include <utility>
+#include <vector>
 
 #include "util/log.hpp"
 #include "util/stats.hpp"
@@ -18,12 +21,38 @@ std::uint64_t next_instance_id() {
   return counter.fetch_add(1, std::memory_order_relaxed) + 1;
 }
 
+http::HttpClient::Options backend_client_options(
+    std::chrono::milliseconds io_timeout) {
+  http::HttpClient::Options options;
+  if (io_timeout.count() > 0) options.io_timeout = io_timeout;
+  return options;
+}
+
+http::HttpClient::Options probe_client_options() {
+  // Probes answer one question — is the backend reachable and healthy —
+  // so they get tight deadlines independent of the data-path timeout.
+  http::HttpClient::Options options;
+  options.connect_timeout = std::chrono::milliseconds(500);
+  options.io_timeout = std::chrono::milliseconds(1000);
+  return options;
+}
+
+/// The transport layer reports deadline hits as "connect timeout" /
+/// "read timeout" / "write timeout" (net/tcp.cpp); everything else is a
+/// refused/reset/parse-style transport failure.
+bool is_timeout_error(const std::string& message) {
+  return message.find("timeout") != std::string::npos;
+}
+
 }  // namespace
 
 BifrostProxy::BifrostProxy(Options options, ProxyConfig initial)
     : options_(options),
       instance_id_(next_instance_id()),
-      sessions_(options.session_shards, options.max_sticky_sessions) {
+      sessions_(options.session_shards, options.max_sticky_sessions),
+      backend_client_(backend_client_options(options.backend_timeout)),
+      probe_client_(probe_client_options()),
+      overload_(options.health_listener) {
   if (auto v = initial.validate(); !v) {
     throw std::invalid_argument("proxy initial config: " + v.error_message());
   }
@@ -33,6 +62,10 @@ BifrostProxy::BifrostProxy(Options options, ProxyConfig initial)
   if (initial.epoch > applied_epoch_.load()) {
     applied_epoch_.store(initial.epoch);
   }
+  // The shadow queue's capacity is fixed for the proxy's lifetime (the
+  // initial config's overload block, or the policy default).
+  const std::size_t shadow_capacity =
+      static_cast<std::size_t>(std::max(1, initial.overload.shadow_queue));
   state_ = build_state(std::move(initial));
   state_version_.store(1, std::memory_order_release);
 
@@ -58,7 +91,8 @@ BifrostProxy::BifrostProxy(Options options, ProxyConfig initial)
       admin_options,
       [this](const http::Request& req) { return handle_admin(req); });
 
-  shadow_pool_ = std::make_unique<runtime::ThreadPool>(options_.shadow_threads);
+  shadow_queue_ =
+      std::make_unique<ShadowQueue>(options_.shadow_threads, shadow_capacity);
 }
 
 BifrostProxy::~BifrostProxy() { stop(); }
@@ -66,16 +100,28 @@ BifrostProxy::~BifrostProxy() { stop(); }
 void BifrostProxy::start() {
   data_server_->start();
   admin_server_->start();
+  {
+    const std::lock_guard<std::mutex> lock(probe_mutex_);
+    probe_stop_ = false;
+  }
+  probe_thread_ = std::thread([this] { probe_loop(); });
 }
 
 void BifrostProxy::stop() {
   draining_.store(true);
+  {
+    const std::lock_guard<std::mutex> lock(probe_mutex_);
+    probe_stop_ = true;
+  }
+  probe_cv_.notify_all();
+  probe_client_.abort_inflight();
+  if (probe_thread_.joinable()) probe_thread_.join();
   // Data plane first: its stop() drains in-flight user requests up to
   // Options::drain_timeout. The admin plane stays reachable meanwhile
   // so /admin/health can report the drain.
   data_server_->stop();
   admin_server_->stop();
-  if (shadow_pool_) shadow_pool_->shutdown();
+  if (shadow_queue_) shadow_queue_->shutdown();
 }
 
 std::uint16_t BifrostProxy::data_port() const { return data_server_->port(); }
@@ -85,8 +131,10 @@ std::shared_ptr<const BifrostProxy::RouteState> BifrostProxy::build_state(
     ProxyConfig config) {
   auto state = std::make_shared<RouteState>();
   state->config = std::move(config);
+  std::vector<std::string> versions;
   for (const BackendTarget& backend : state->config.backends) {
     if (state->by_version.count(backend.version) > 0) continue;
+    versions.push_back(backend.version);
     PerVersion per_version;
     per_version.requests = &registry_.counter("bifrost_proxy_requests_total",
                                               {{"version", backend.version}});
@@ -95,8 +143,23 @@ std::shared_ptr<const BifrostProxy::RouteState> BifrostProxy::build_state(
                            {{"version", backend.version}});
     per_version.latency =
         registry_.histogram(kLatencyMetric, {{"version", backend.version}});
+    // Admission gates only bind when the overload block is enabled; the
+    // control block itself always exists so the error taxonomy
+    // (timeouts vs 5xx vs transport) is tracked regardless.
+    const core::OverloadPolicy& policy = state->config.overload;
+    const int cap = !policy.enabled ? 0
+                    : backend.max_concurrency != 0 ? backend.max_concurrency
+                                                   : policy.max_concurrency;
+    per_version.control = overload_.adopt(policy, state->config.service,
+                                          backend.version, cap);
+    per_version.timeout = backend.timeout_ms != 0
+                              ? std::chrono::milliseconds(backend.timeout_ms)
+                              : options_.backend_timeout;
     state->by_version.emplace(backend.version, std::move(per_version));
   }
+  // Retired versions lose their control blocks (a later re-introduction
+  // starts with a clean health slate).
+  overload_.prune(versions);
   return state;
 }
 
@@ -110,19 +173,22 @@ util::Result<bool> BifrostProxy::apply_versioned(ProxyConfig config) {
   using R = util::Result<bool>;
   if (auto v = config.validate(); !v) return R::error(v.error_message());
   const std::uint64_t epoch = config.epoch;
-  const std::shared_ptr<const RouteState> next =
-      build_state(std::move(config));
+  std::shared_ptr<const RouteState> next;
   std::shared_ptr<const RouteState> previous;
   {
     const std::lock_guard<std::mutex> lock(state_mutex_);
     // Duplicate-epoch guard: the engine re-issues journaled apply
     // intents after a crash; a config whose epoch the proxy has already
     // applied (or surpassed) is acknowledged without being installed.
+    // Checked before build_state so a deduplicated re-apply cannot
+    // touch the overload registry either — an active ejection survives
+    // recovery reconciliation untouched.
     if (epoch != 0 && epoch <= applied_epoch_.load()) {
       duplicate_epochs_.fetch_add(1);
       return false;
     }
     if (epoch != 0) applied_epoch_.store(epoch);
+    next = build_state(std::move(config));
     previous = std::exchange(state_, next);
     state_version_.fetch_add(1, std::memory_order_release);
   }
@@ -334,22 +400,77 @@ http::Response BifrostProxy::handle_data(const http::Request& request) {
   if (config.sticky && !session_id.empty() && !new_session) {
     pinned = sessions_.touch(session_id);
   }
-  const std::size_t index =
+  const std::size_t decided =
       decide_backend(config, request, pinned, thread_rng());
+
+  // Outlier ejection: an ejected version's share reroutes to
+  // default_version. The session table keeps the original pin — the
+  // remap is temporary and heals back the moment the version recovers.
+  // Fails open (keeps the decided version) when there is no distinct,
+  // healthy default to send the request to.
+  std::size_t index = decided;
+  {
+    const auto decided_it =
+        state->by_version.find(config.backends[decided].version);
+    if (decided_it != state->by_version.end() &&
+        decided_it->second.control->health.ejected() &&
+        !config.default_version.empty() &&
+        config.default_version != config.backends[decided].version) {
+      for (std::size_t i = 0; i < config.backends.size(); ++i) {
+        if (config.backends[i].version != config.default_version) continue;
+        const auto default_it =
+            state->by_version.find(config.default_version);
+        if (default_it != state->by_version.end() &&
+            !default_it->second.control->health.ejected()) {
+          index = i;
+          decided_it->second.control->rerouted.fetch_add(
+              1, std::memory_order_relaxed);
+        }
+        break;
+      }
+    }
+  }
   const BackendTarget& backend = config.backends[index];
-  if (config.sticky && !session_id.empty() &&
-      (!pinned || *pinned != backend.version)) {
-    sessions_.assign(session_id, backend.version);
+  if (config.sticky && !session_id.empty()) {
+    // Pin the *decided* version, not the reroute target, so the
+    // session returns to its experiment bucket after recovery.
+    const std::string& pin = config.backends[decided].version;
+    if (!pinned || *pinned != pin) sessions_.assign(session_id, pin);
   }
 
-  // Forward to the chosen backend.
+  const auto it = state->by_version.find(backend.version);
+  const PerVersion* per_version =
+      it != state->by_version.end() ? &it->second : nullptr;
+  VersionControl* control =
+      per_version != nullptr ? per_version->control.get() : nullptr;
+
+  // Admission control: bounded per-version concurrency. Excess live
+  // requests are rejected immediately instead of queueing behind a
+  // stuck backend and pinning worker threads for the full timeout.
+  if (control != nullptr && !control->gate.try_acquire()) {
+    registry_
+        .counter("bifrost_proxy_rejected_total",
+                 {{"version", backend.version}})
+        .increment();
+    http::Response busy =
+        http::Response::text(503, "overloaded: concurrency limit reached\n");
+    busy.headers.set("Retry-After", "1");
+    busy.headers.set(kVersionHeader, backend.version);
+    return busy;
+  }
+
+  // Forward to the chosen backend under its (possibly per-version)
+  // deadline.
   http::Request upstream = request;
   upstream.headers.set("Host",
                        backend.host + ":" + std::to_string(backend.port));
-  auto response = backend_client_.request(std::move(upstream), backend.host,
-                                          backend.port);
+  auto response = backend_client_.request(
+      std::move(upstream), backend.host, backend.port,
+      per_version != nullptr ? per_version->timeout
+                             : options_.backend_timeout);
+  if (control != nullptr) control->gate.release();
 
-  fire_shadows(config, backend.version, request);
+  fire_shadows(*state, backend.version, request);
 
   const double elapsed_ms =
       std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
@@ -357,11 +478,50 @@ http::Response BifrostProxy::handle_data(const http::Request& request) {
           .count();
   // Hot-path instrumentation: pointers were resolved at apply() time,
   // the sinks themselves are lock-free.
-  const auto it = state->by_version.find(backend.version);
-  if (it != state->by_version.end()) {
-    it->second.requests->increment();
-    it->second.request_time_ms->increment(elapsed_ms);
-    it->second.latency->observe(elapsed_ms);
+  if (per_version != nullptr) {
+    per_version->requests->increment();
+    per_version->request_time_ms->increment(elapsed_ms);
+    per_version->latency->observe(elapsed_ms);
+    control->gate.record_latency(elapsed_ms);
+  }
+
+  // Error taxonomy + passive health: deadline hits, upstream 5xx and
+  // other transport failures are tracked separately, and all of them
+  // feed the version's EWMA failure rate.
+  bool failure = false;
+  if (control != nullptr) {
+    if (!response.ok()) {
+      failure = true;
+      if (is_timeout_error(response.error_message())) {
+        control->timeouts.fetch_add(1, std::memory_order_relaxed);
+        registry_
+            .counter("bifrost_proxy_backend_timeouts_total",
+                     {{"version", backend.version}})
+            .increment();
+      } else {
+        control->transport_errors.fetch_add(1, std::memory_order_relaxed);
+      }
+    } else if (response.value().status >= 500) {
+      failure = true;
+      control->errors_5xx.fetch_add(1, std::memory_order_relaxed);
+      registry_
+          .counter("bifrost_proxy_backend_5xx_total",
+                   {{"version", backend.version}})
+          .increment();
+    }
+    if (config.overload.enabled &&
+        control->health.record(failure, OverloadClock::now())) {
+      registry_
+          .counter("bifrost_proxy_backend_ejections_total",
+                   {{"version", backend.version}})
+          .increment();
+      overload_.emit(
+          HealthEvent::Kind::kBackendEjected, backend.version,
+          "failure rate " + std::to_string(control->health.failure_rate()) +
+              " >= " + std::to_string(config.overload.eject_threshold) +
+              ", backoff " +
+              std::to_string(control->health.last_window().count()) + "ms");
+    }
   }
 
   if (!response.ok()) {
@@ -379,16 +539,42 @@ http::Response BifrostProxy::handle_data(const http::Request& request) {
   return out;
 }
 
-void BifrostProxy::fire_shadows(const ProxyConfig& config,
+void BifrostProxy::fire_shadows(const RouteState& state,
                                 const std::string& version,
                                 const http::Request& request) {
+  const ProxyConfig& config = state.config;
+  if (config.shadows.empty()) return;
+
+  // Priority shedding: when any live admission gate is near its limit,
+  // dark traffic is dropped before it can compete for resources —
+  // shadows are always shed before a single live request is rejected.
+  bool near_limit = false;
+  if (config.overload.enabled) {
+    for (const auto& [v, per_version] : state.by_version) {
+      if (per_version.control->gate.utilization() >=
+          config.overload.shed_utilization) {
+        near_limit = true;
+        break;
+      }
+    }
+  }
+
   for (const ShadowTarget& shadow : config.shadows) {
     if (shadow.source_version != version) continue;
+    // Decision order matters: bernoulli draw and shed verdict come
+    // first, the full-body request copy last — a skipped or shed shadow
+    // must cost neither an allocation nor a dispatch.
     bool fire = true;
     if (shadow.percent < 100.0) {
       fire = thread_rng().bernoulli(shadow.percent / 100.0);
     }
     if (!fire) continue;
+    if (near_limit) {
+      registry_.counter("bifrost_proxy_shadow_shed_total").increment();
+      overload_.note_shed("live traffic near concurrency limit");
+      continue;
+    }
+    shadow_copies_.fetch_add(1);
     http::Request duplicate = request;
     duplicate.headers.set(kShadowHeader, "1");
     duplicate.headers.set(
@@ -396,11 +582,7 @@ void BifrostProxy::fire_shadows(const ProxyConfig& config,
     const std::string host = shadow.host;
     const std::uint16_t port = shadow.port;
     const std::string target_version = shadow.target_version;
-    shadow_requests_.fetch_add(1);
-    registry_
-        .counter("bifrost_proxy_shadow_total", {{"version", target_version}})
-        .increment();
-    shadow_pool_->submit(
+    const auto submitted = shadow_queue_->submit(
         [this, duplicate = std::move(duplicate), host, port]() mutable {
           auto result = shadow_client_.request(std::move(duplicate), host, port);
           if (!result.ok()) {
@@ -408,7 +590,100 @@ void BifrostProxy::fire_shadows(const ProxyConfig& config,
           }
           // Shadow responses are discarded (dark launch semantics).
         });
+    if (!submitted.has_value()) {
+      // Queue shut down (proxy draining): nothing was dispatched, and
+      // the copy is charged back so copies == dispatches holds.
+      shadow_copies_.fetch_sub(1);
+      continue;
+    }
+    // A full queue dropped its oldest pending duplicates to admit this
+    // one; each drop is a shed (it was already counted as dispatched).
+    for (std::size_t i = 0; i < *submitted; ++i) {
+      registry_.counter("bifrost_proxy_shadow_shed_total").increment();
+      overload_.note_shed("shadow queue full, dropped oldest");
+    }
+    shadow_requests_.fetch_add(1);
+    registry_
+        .counter("bifrost_proxy_shadow_total", {{"version", target_version}})
+        .increment();
   }
+}
+
+void BifrostProxy::probe_loop() {
+  std::unique_lock<std::mutex> lock(probe_mutex_);
+  while (!probe_stop_) {
+    // Fixed 50ms tick; take_probe_due() paces actual probes to the
+    // configured probe_interval per version.
+    probe_cv_.wait_for(lock, std::chrono::milliseconds(50));
+    if (probe_stop_) return;
+    lock.unlock();
+    const std::shared_ptr<const RouteState> state = route_state();
+    const ProxyConfig& config = state->config;
+    if (config.overload.enabled) {
+      for (const BackendTarget& backend : config.backends) {
+        const auto it = state->by_version.find(backend.version);
+        if (it == state->by_version.end()) continue;
+        VersionControl& control = *it->second.control;
+        if (!control.health.take_probe_due(OverloadClock::now())) continue;
+        http::Request probe;
+        probe.method = "GET";
+        probe.target = config.overload.probe_path;
+        auto result =
+            probe_client_.request(std::move(probe), backend.host, backend.port);
+        const bool healthy = result.ok() && result.value().status < 500;
+        if (control.health.on_probe(healthy, OverloadClock::now())) {
+          registry_
+              .counter("bifrost_proxy_backend_recoveries_total",
+                       {{"version", backend.version}})
+              .increment();
+          overload_.emit(HealthEvent::Kind::kBackendRecovered, backend.version,
+                         "probe GET " + config.overload.probe_path +
+                             " succeeded, re-admitted");
+        }
+      }
+    }
+    lock.lock();
+  }
+}
+
+std::uint64_t BifrostProxy::rejected_for(const std::string& version) const {
+  const auto control = overload_.find(version);
+  return control ? control->gate.rejected() : 0;
+}
+
+std::uint64_t BifrostProxy::timeouts_for(const std::string& version) const {
+  const auto control = overload_.find(version);
+  return control ? control->timeouts.load() : 0;
+}
+
+bool BifrostProxy::ejected(const std::string& version) const {
+  const auto control = overload_.find(version);
+  return control != nullptr && control->health.ejected();
+}
+
+bool BifrostProxy::force_eject(const std::string& version) {
+  const auto control = overload_.find(version);
+  if (!control || !control->health.force_eject(OverloadClock::now())) {
+    return false;
+  }
+  registry_
+      .counter("bifrost_proxy_backend_ejections_total", {{"version", version}})
+      .increment();
+  overload_.emit(HealthEvent::Kind::kBackendEjected, version,
+                 "operator ejection");
+  return true;
+}
+
+bool BifrostProxy::force_recover(const std::string& version) {
+  const auto control = overload_.find(version);
+  if (!control || !control->health.force_recover()) return false;
+  registry_
+      .counter("bifrost_proxy_backend_recoveries_total",
+               {{"version", version}})
+      .increment();
+  overload_.emit(HealthEvent::Kind::kBackendRecovered, version,
+                 "operator re-admission");
+  return true;
 }
 
 http::Response BifrostProxy::handle_admin(const http::Request& request) {
@@ -462,28 +737,91 @@ http::Response BifrostProxy::handle_admin(const http::Request& request) {
   if (path == "/admin/stats" && request.method == "GET") {
     const std::shared_ptr<const RouteState> state = route_state();
     json::Object latency_json;
+    json::Object overload_json;
     for (const BackendTarget& backend : state->config.backends) {
       const LatencyStats stats = latency_for(backend.version);
-      if (stats.count == 0) continue;
-      latency_json[backend.version] =
-          json::Object{{"count", stats.count},
-                       {"mean_ms", stats.mean},
-                       {"p50_ms", stats.p50},
-                       {"p95_ms", stats.p95},
-                       {"p99_ms", stats.p99}};
+      if (stats.count != 0) {
+        latency_json[backend.version] =
+            json::Object{{"count", stats.count},
+                         {"mean_ms", stats.mean},
+                         {"p50_ms", stats.p50},
+                         {"p95_ms", stats.p95},
+                         {"p99_ms", stats.p99}};
+      }
+      const auto it = state->by_version.find(backend.version);
+      if (it == state->by_version.end()) continue;
+      const VersionControl& control = *it->second.control;
+      // Timeouts are reported distinctly from upstream 5xx and from
+      // other transport failures — "slow" and "broken" are different
+      // diagnoses for a live test.
+      overload_json[backend.version] = json::Object{
+          {"inflight", control.gate.inflight()},
+          {"limit", control.gate.limit()},
+          {"rejected", control.gate.rejected()},
+          {"timeouts", control.timeouts.load()},
+          {"errors5xx", control.errors_5xx.load()},
+          {"transportErrors", control.transport_errors.load()},
+          {"rerouted", control.rerouted.load()},
+          {"ejected", control.health.ejected()},
+          {"failureRate", control.health.failure_rate()},
+          {"ejections", control.health.ejections()},
+      };
     }
     json::Object stats{
         {"service", state->config.service},
         {"shadowRequests", shadow_requests_.load()},
+        {"shadowCopies", shadow_copies_.load()},
+        {"shadowsShed", overload_.shadows_shed()},
+        {"shadowQueueDropped", shadow_queue_->dropped()},
         {"backendErrors", backend_errors_.load()},
         {"configUpdates", config_updates_.load()},
         {"configEpoch", static_cast<std::int64_t>(applied_epoch_.load())},
         {"duplicateEpochs", duplicate_epochs_.load()},
         {"stickySessions", sticky_sessions()},
         {"sessionShards", sessions_.shard_count()},
+        {"overloadEnabled", state->config.overload.enabled},
         {"latency", std::move(latency_json)},
+        {"overload", std::move(overload_json)},
     };
     return http::Response::json(200, json::Value(std::move(stats)).dump());
+  }
+  if (path == "/admin/events" && request.method == "GET") {
+    // Health/overload events (backend_ejected, backend_recovered,
+    // load_shed) with sequence > since. The engine's event pump polls
+    // this and forwards new events into its status stream.
+    std::uint64_t since = 0;
+    if (const auto s = request.query_param("since")) {
+      since = static_cast<std::uint64_t>(std::strtoull(s->c_str(), nullptr, 10));
+    }
+    json::Array events;
+    for (const HealthEvent& event : overload_.events_since(since)) {
+      events.push_back(event.to_json());
+    }
+    return http::Response::json(
+        200, json::Value(json::Object{
+                 {"lastSequence",
+                  static_cast<std::int64_t>(overload_.events_emitted())},
+                 {"events", std::move(events)},
+             })
+                 .dump());
+  }
+  if ((path == "/admin/eject" || path == "/admin/recover") &&
+      request.method == "POST") {
+    const auto version = request.query_param("version");
+    if (!version || version->empty()) {
+      return http::Response::bad_request("missing ?version= parameter");
+    }
+    if (!overload_.find(*version)) {
+      return http::Response::not_found();
+    }
+    const bool changed = path == "/admin/eject" ? force_eject(*version)
+                                                : force_recover(*version);
+    return http::Response::json(
+        200, json::Value(json::Object{{"status", "ok"},
+                                      {"version", *version},
+                                      {"changed", changed},
+                                      {"ejected", ejected(*version)}})
+                 .dump());
   }
   if (path == "/admin/sessions" && request.method == "GET") {
     // The dynamic routing state's user mappings M: 3-tuples

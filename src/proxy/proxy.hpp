@@ -13,23 +13,35 @@
 // against an atomic version counter), sticky sessions live in a sharded
 // LRU table, every worker thread owns its RNG, and latency is recorded
 // into lock-free histograms — no global mutex on the request path.
+//
+// Overload protection (proxy/overload.hpp) keeps live traffic healthy
+// while a strategy routes users at possibly-broken versions: per-version
+// admission gates reject excess live requests with 503 + Retry-After,
+// shadow duplicates run through a bounded drop-oldest queue and are shed
+// first near the limit, and a passive EWMA health tracker ejects sick
+// backends (traffic reroutes to default_version; an active probe gates
+// re-admission). Ejections, recoveries and sheds surface on
+// GET /admin/events and flow into the engine's status event stream.
 #pragma once
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
+#include <thread>
 #include <unordered_map>
+#include <vector>
 
 #include "http/client.hpp"
 #include "http/server.hpp"
 #include "metrics/registry.hpp"
 #include "proxy/config.hpp"
+#include "proxy/overload.hpp"
 #include "proxy/session_table.hpp"
-#include "runtime/thread_pool.hpp"
 #include "util/rng.hpp"
 
 namespace bifrost::proxy {
@@ -72,6 +84,12 @@ class BifrostProxy {
     /// reloaded on construction), so the duplicate-epoch guard survives
     /// proxy restarts. Empty = in-memory only.
     std::string epoch_file;
+    /// In-process subscriber for overload/health events
+    /// (backend_ejected / backend_recovered / load_shed). The engine's
+    /// HTTP event pump uses GET /admin/events instead; this hook is for
+    /// embedded deployments and tests. Called from data-plane and probe
+    /// threads — must be cheap and thread-safe.
+    OverloadController::Listener health_listener;
   };
 
   /// `initial` must pass ProxyConfig::validate(); it is typically a
@@ -121,6 +139,38 @@ class BifrostProxy {
   }
   [[nodiscard]] std::size_t sticky_sessions() const;
 
+  // --- Overload protection / backend health ---------------------------
+
+  /// Full request copies made for shadow dispatch. The regression tests
+  /// assert copies == dispatches: a shadow skipped by the bernoulli
+  /// draw or shed by overload protection must never have paid the copy.
+  [[nodiscard]] std::uint64_t shadow_copies() const {
+    return shadow_copies_.load();
+  }
+  /// Shadow duplicates shed (near-limit or queue drop-oldest).
+  [[nodiscard]] std::uint64_t shadows_shed() const {
+    return overload_.shadows_shed();
+  }
+  /// Live requests rejected with 503 by the admission gate.
+  [[nodiscard]] std::uint64_t rejected_for(const std::string& version) const;
+  /// Backend calls that hit their deadline (reported distinctly from
+  /// 5xx and other transport errors in /admin/stats).
+  [[nodiscard]] std::uint64_t timeouts_for(const std::string& version) const;
+  [[nodiscard]] bool ejected(const std::string& version) const;
+
+  /// Operator/test override of the passive health verdict (also on the
+  /// admin API as POST /admin/eject and /admin/recover). Returns false
+  /// for unknown versions or when already in the requested state.
+  bool force_eject(const std::string& version);
+  bool force_recover(const std::string& version);
+
+  /// Health events with sequence > since, oldest first (what
+  /// GET /admin/events?since=N serves).
+  [[nodiscard]] std::vector<HealthEvent> health_events_since(
+      std::uint64_t since) const {
+    return overload_.events_since(since);
+  }
+
   /// Recent per-version latency summary (ms) from the proxy's own
   /// vantage point — what /admin/stats reports. Percentiles are
   /// histogram estimates (log-scaled buckets, ~9% relative error).
@@ -156,6 +206,12 @@ class BifrostProxy {
     metrics::Counter* requests = nullptr;
     metrics::Counter* request_time_ms = nullptr;
     std::shared_ptr<metrics::Histogram> latency;
+    /// Admission gate + health tracker + error taxonomy; owned by
+    /// overload_'s registry so state survives config applies.
+    std::shared_ptr<VersionControl> control;
+    /// Resolved backend deadline (per-version override or the proxy
+    /// default).
+    std::chrono::milliseconds timeout{0};
   };
   /// Immutable routing snapshot; swapped by apply() under state_mutex_
   /// and published through state_version_.
@@ -170,8 +226,11 @@ class BifrostProxy {
   /// still enforces the guard in memory for its lifetime).
   void persist_epoch(std::uint64_t epoch) const;
   [[nodiscard]] static std::uint64_t load_epoch(const std::string& path);
-  void fire_shadows(const ProxyConfig& config, const std::string& version,
+  void fire_shadows(const RouteState& state, const std::string& version,
                     const http::Request& request);
+  /// Active re-admission probes for ejected versions (GET probe_path
+  /// once the backoff window has passed, paced by probe_interval).
+  void probe_loop();
 
   /// Current snapshot. Steady-state cost is one uncontended atomic load
   /// (a thread-local cache is revalidated against state_version_);
@@ -194,12 +253,20 @@ class BifrostProxy {
 
   http::HttpClient backend_client_;
   http::HttpClient shadow_client_;
-  std::unique_ptr<runtime::ThreadPool> shadow_pool_;
+  http::HttpClient probe_client_;
+  std::unique_ptr<ShadowQueue> shadow_queue_;
   std::unique_ptr<http::HttpServer> data_server_;
   std::unique_ptr<http::HttpServer> admin_server_;
 
+  mutable OverloadController overload_;
+  std::thread probe_thread_;
+  std::mutex probe_mutex_;
+  std::condition_variable probe_cv_;
+  bool probe_stop_ = false;
+
   mutable metrics::Registry registry_;
   std::atomic<std::uint64_t> shadow_requests_{0};
+  std::atomic<std::uint64_t> shadow_copies_{0};
   std::atomic<std::uint64_t> backend_errors_{0};
   std::atomic<std::uint64_t> config_updates_{0};
   std::atomic<std::uint64_t> applied_epoch_{0};

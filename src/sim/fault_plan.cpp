@@ -34,7 +34,9 @@ FaultPlan::Outcome FaultPlan::decide(Target target, const std::string& name,
     return outcome;
   }
 
-  const Spec& spec = target == Target::kMetrics ? metrics_ : proxy_;
+  const Spec& spec = target == Target::kMetrics  ? metrics_
+                     : target == Target::kProxy ? proxy_
+                                                : backend_;
   if (spec.latency_spike_probability > 0.0 &&
       rng_.bernoulli(spec.latency_spike_probability)) {
     ++injected_spikes_;
@@ -53,6 +55,27 @@ util::Result<void> FaultPlan::validate_against(
   using R = util::Result<void>;
   for (const Window& window : windows_) {
     if (window.name.empty()) continue;  // wildcard: matches any target
+    if (window.target == Target::kBackend) {
+      bool found = false;
+      for (const core::ServiceDef& service : def.services) {
+        found |= service.find_version(window.name) != nullptr;
+      }
+      if (!found) {
+        std::string known;
+        for (const core::ServiceDef& service : def.services) {
+          for (const core::VersionDef& version : service.versions) {
+            if (!known.empty()) known += ", ";
+            known += "'" + version.version + "'";
+          }
+        }
+        return R::error(
+            "fault window targets unknown backend version '" + window.name +
+            "': strategy '" + def.name + "' deploys " +
+            (known.empty() ? std::string("no versions") : known) +
+            " (a misspelled name would never fire)");
+      }
+      continue;
+    }
     if (window.target == Target::kProxy) {
       if (def.find_service(window.name) == nullptr) {
         std::string known;

@@ -40,7 +40,11 @@ struct CrashInjected : std::runtime_error {
 
 class FaultPlan {
  public:
-  enum class Target { kMetrics, kProxy };
+  /// kMetrics/kProxy fault the engine's outbound edges; kBackend faults
+  /// a deployed service version itself (the test backends behind a real
+  /// proxy consult it per request), driving the proxy's outlier-ejection
+  /// machinery deterministically.
+  enum class Target { kMetrics, kProxy, kBackend };
 
   /// Probabilistic faults for one edge, evaluated per call.
   struct Spec {
@@ -55,8 +59,9 @@ class FaultPlan {
     Target target = Target::kMetrics;
     runtime::Time from{0};
     runtime::Time to = runtime::Time::max();
-    /// Provider host (metrics) or service name (proxy) the window
-    /// applies to; empty matches every target of the edge.
+    /// Provider host (metrics), service name (proxy), or version name
+    /// (backend) the window applies to; empty matches every target of
+    /// the edge.
     std::string name;
   };
 
@@ -74,6 +79,7 @@ class FaultPlan {
 
   Spec& metrics() { return metrics_; }
   Spec& proxy() { return proxy_; }
+  Spec& backend() { return backend_; }
   void add_window(Window window) { windows_.push_back(std::move(window)); }
   [[nodiscard]] const std::vector<Window>& windows() const { return windows_; }
 
@@ -119,6 +125,7 @@ class FaultPlan {
   util::Rng rng_;
   Spec metrics_;
   Spec proxy_;
+  Spec backend_;
   std::vector<Window> windows_;
   std::uint64_t injected_errors_ = 0;
   std::uint64_t injected_spikes_ = 0;

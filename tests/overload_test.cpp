@@ -1,0 +1,911 @@
+// Overload protection and backend health: admission control, shadow
+// shedding, outlier ejection, and the engine-facing event stream.
+// Unit tests drive the state machines with manual clocks; the live
+// tests run a real proxy over sockets with FaultPlan-driven backends.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/engine.hpp"
+#include "engine/http_clients.hpp"
+#include "engine/interfaces.hpp"
+#include "engine/proxy_events.hpp"
+#include "http/client.hpp"
+#include "http/server.hpp"
+#include "json/json.hpp"
+#include "proxy/overload.hpp"
+#include "proxy/proxy.hpp"
+#include "sim/fault_plan.hpp"
+#include "sim/simulation.hpp"
+
+namespace bifrost {
+namespace {
+
+using namespace std::chrono_literals;
+using proxy::BackendTarget;
+using proxy::BifrostProxy;
+using proxy::HealthEvent;
+using proxy::HealthTracker;
+using proxy::OverloadClock;
+using proxy::OverloadController;
+using proxy::ProxyConfig;
+using proxy::ShadowQueue;
+using proxy::ShadowTarget;
+using proxy::VersionGate;
+
+core::OverloadPolicy tracker_policy() {
+  core::OverloadPolicy policy;
+  policy.enabled = true;
+  policy.eject_threshold = 0.5;
+  policy.eject_min_samples = 4;
+  policy.ewma_alpha = 0.5;
+  policy.base_ejection = 200ms;
+  policy.max_ejection = 2s;
+  policy.probe_interval = 50ms;
+  return policy;
+}
+
+// ---------------------------------------------------------------------------
+// VersionGate
+
+TEST(VersionGate, BoundsConcurrencyAndCountsRejections) {
+  core::OverloadPolicy policy;
+  policy.enabled = true;
+  VersionGate gate(policy, 2);
+  EXPECT_TRUE(gate.try_acquire());
+  EXPECT_TRUE(gate.try_acquire());
+  EXPECT_FALSE(gate.try_acquire());
+  EXPECT_EQ(gate.rejected(), 1u);
+  EXPECT_DOUBLE_EQ(gate.utilization(), 1.0);
+  gate.release();
+  EXPECT_TRUE(gate.try_acquire());
+  gate.release();
+  gate.release();
+  EXPECT_EQ(gate.inflight(), 0u);
+}
+
+TEST(VersionGate, ZeroCapMeansUnlimited) {
+  core::OverloadPolicy policy;
+  VersionGate gate(policy, 0);
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(gate.try_acquire());
+  EXPECT_EQ(gate.limit(), 0u);
+  EXPECT_DOUBLE_EQ(gate.utilization(), 0.0);
+}
+
+TEST(VersionGate, AdaptiveLimitShrinksOnInflationGrowsWhenHealthy) {
+  core::OverloadPolicy policy;
+  policy.enabled = true;
+  policy.adaptive = true;
+  policy.max_concurrency = 8;
+  policy.min_concurrency = 2;
+  policy.latency_inflation = 2.0;
+  policy.adapt_window = 4;
+  VersionGate gate(policy, 8);
+  ASSERT_EQ(gate.limit(), 8u);
+
+  const auto feed_window = [&gate](double ms) {
+    for (int i = 0; i < 4; ++i) gate.record_latency(ms);
+  };
+
+  // First healthy window establishes the baseline; limit capped at 8.
+  feed_window(10.0);
+  EXPECT_EQ(gate.limit(), 8u);
+  EXPECT_DOUBLE_EQ(gate.baseline_p50(), 10.0);
+
+  // Inflated windows: multiplicative decrease, baseline untouched (a
+  // degraded steady state must not become the new "healthy").
+  feed_window(100.0);
+  EXPECT_EQ(gate.limit(), 4u);
+  feed_window(100.0);
+  EXPECT_EQ(gate.limit(), 2u);
+  feed_window(100.0);
+  EXPECT_EQ(gate.limit(), 2u);  // floor
+  EXPECT_DOUBLE_EQ(gate.baseline_p50(), 10.0);
+
+  // Healthy again: additive increase back toward the cap.
+  feed_window(10.0);
+  EXPECT_EQ(gate.limit(), 3u);
+  feed_window(10.0);
+  EXPECT_EQ(gate.limit(), 4u);
+}
+
+TEST(VersionGate, ReconfigureKeepsConvergedLimitForSameCap) {
+  core::OverloadPolicy policy;
+  policy.enabled = true;
+  policy.adaptive = true;
+  policy.max_concurrency = 8;
+  policy.min_concurrency = 2;
+  policy.latency_inflation = 2.0;
+  policy.adapt_window = 4;
+  VersionGate gate(policy, 8);
+  for (int i = 0; i < 4; ++i) gate.record_latency(10.0);
+  for (int i = 0; i < 4; ++i) gate.record_latency(100.0);
+  ASSERT_EQ(gate.limit(), 4u);
+
+  // Re-applying the same cap (config re-push, crash recovery) keeps the
+  // converged limit; a changed cap resets to it.
+  gate.reconfigure(policy, 8);
+  EXPECT_EQ(gate.limit(), 4u);
+  gate.reconfigure(policy, 16);
+  EXPECT_EQ(gate.limit(), 16u);
+}
+
+// ---------------------------------------------------------------------------
+// HealthTracker (manual clock)
+
+TEST(HealthTracker, EjectsAfterMinSamplesAndBacksOffExponentially) {
+  HealthTracker health(tracker_policy());
+  const auto t0 = OverloadClock::now();
+
+  // alpha 0.5: EWMA crosses 0.5 on the first failure, but min_samples
+  // guards against verdicts from a tiny sample.
+  EXPECT_FALSE(health.record(true, t0));
+  EXPECT_FALSE(health.record(true, t0));
+  EXPECT_FALSE(health.record(true, t0));
+  EXPECT_FALSE(health.ejected());
+  EXPECT_TRUE(health.record(true, t0));
+  EXPECT_TRUE(health.ejected());
+  EXPECT_EQ(health.ejections(), 1u);
+  EXPECT_EQ(health.last_window(), 200ms);
+
+  // While ejected, stray samples neither re-eject nor clear the state.
+  EXPECT_FALSE(health.record(false, t0));
+  EXPECT_TRUE(health.ejected());
+
+  // Probe is gated by the backoff window, then paced by probe_interval.
+  EXPECT_FALSE(health.take_probe_due(t0 + 100ms));
+  EXPECT_TRUE(health.take_probe_due(t0 + 200ms));
+  EXPECT_FALSE(health.take_probe_due(t0 + 210ms));  // within pace interval
+  EXPECT_FALSE(health.on_probe(false, t0 + 210ms)); // still sick
+  EXPECT_TRUE(health.ejected());
+  EXPECT_TRUE(health.take_probe_due(t0 + 260ms));
+  EXPECT_TRUE(health.on_probe(true, t0 + 260ms));
+  EXPECT_FALSE(health.ejected());
+  // Fresh slate after recovery: the pre-ejection EWMA history is gone.
+  EXPECT_DOUBLE_EQ(health.failure_rate(), 0.0);
+
+  // Second ejection doubles the backoff window.
+  for (int i = 0; i < 3; ++i) EXPECT_FALSE(health.record(true, t0 + 300ms));
+  EXPECT_TRUE(health.record(true, t0 + 300ms));
+  EXPECT_EQ(health.ejections(), 2u);
+  EXPECT_EQ(health.last_window(), 400ms);
+}
+
+TEST(HealthTracker, BackoffWindowIsCappedAtMaxEjection) {
+  core::OverloadPolicy policy = tracker_policy();
+  policy.base_ejection = 200ms;
+  policy.max_ejection = 500ms;
+  HealthTracker health(tracker_policy());
+  health.reconfigure(policy);
+  const auto t0 = OverloadClock::now();
+  for (int e = 0; e < 5; ++e) {
+    ASSERT_TRUE(health.force_eject(t0));
+    ASSERT_TRUE(health.force_recover());
+  }
+  ASSERT_TRUE(health.force_eject(t0));
+  EXPECT_EQ(health.last_window(), 500ms);
+}
+
+TEST(HealthTracker, SuccessesDecayTheFailureRate) {
+  HealthTracker health(tracker_policy());
+  const auto t0 = OverloadClock::now();
+  // Alternating outcomes never reach the 0.5 threshold at sample 4+.
+  EXPECT_FALSE(health.record(true, t0));
+  EXPECT_FALSE(health.record(false, t0));
+  EXPECT_FALSE(health.record(true, t0));
+  EXPECT_FALSE(health.record(false, t0));
+  EXPECT_FALSE(health.record(false, t0));
+  EXPECT_FALSE(health.ejected());
+  EXPECT_LT(health.failure_rate(), 0.5);
+}
+
+// ---------------------------------------------------------------------------
+// OverloadController + ShadowQueue
+
+TEST(OverloadController, AdoptPreservesStateAcrossAppliesAndPrunes) {
+  OverloadController controller;
+  const core::OverloadPolicy policy = tracker_policy();
+  auto control = controller.adopt(policy, "search", "canary", 4);
+  ASSERT_TRUE(control->health.force_eject(OverloadClock::now()));
+
+  // Re-adopting the same version (a config re-apply) returns the same
+  // block with the ejection intact.
+  auto again = controller.adopt(policy, "search", "canary", 4);
+  EXPECT_EQ(again.get(), control.get());
+  EXPECT_TRUE(again->health.ejected());
+
+  // Pruning a retired version drops its state; re-adoption starts clean.
+  controller.prune({"stable"});
+  EXPECT_EQ(controller.find("canary"), nullptr);
+  auto fresh = controller.adopt(policy, "search", "canary", 4);
+  EXPECT_NE(fresh.get(), control.get());
+  EXPECT_FALSE(fresh->health.ejected());
+}
+
+TEST(OverloadController, EventRingAssignsSequencesAndFiltersBySince) {
+  std::vector<HealthEvent> seen;
+  OverloadController controller([&seen](const HealthEvent& e) {
+    seen.push_back(e);
+  });
+  controller.adopt(tracker_policy(), "search", "canary", 0);
+  controller.emit(HealthEvent::Kind::kBackendEjected, "canary", "d1");
+  controller.emit(HealthEvent::Kind::kBackendRecovered, "canary", "d2");
+
+  const auto all = controller.events_since(0);
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0].sequence, 1u);
+  EXPECT_STREQ(all[0].kind_name(), "backend_ejected");
+  EXPECT_EQ(all[0].service, "search");
+  EXPECT_EQ(all[1].sequence, 2u);
+  EXPECT_STREQ(all[1].kind_name(), "backend_recovered");
+  EXPECT_EQ(controller.events_since(1).size(), 1u);
+  EXPECT_EQ(controller.events_since(2).size(), 0u);
+  ASSERT_EQ(seen.size(), 2u);  // in-process listener got both
+}
+
+TEST(OverloadController, ShedEventsAreRateLimitedButAllCounted) {
+  OverloadController controller;
+  for (int i = 0; i < 10; ++i) controller.note_shed("test");
+  EXPECT_EQ(controller.shadows_shed(), 10u);
+  // At most one load_shed event per interval; the rest fold into it.
+  const auto events = controller.events_since(0);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_STREQ(events[0].kind_name(), "load_shed");
+}
+
+TEST(ShadowQueue, DropsOldestWhenFullAndRejectsAfterShutdown) {
+  ShadowQueue queue(1, 2);
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool release = false;
+  std::atomic<bool> started{false};
+  std::vector<int> executed;
+
+  // Park the single worker so subsequent submissions queue up; wait for
+  // it to actually dequeue the blocker so capacity counts are exact.
+  ASSERT_TRUE(queue.submit([&] {
+    started.store(true);
+    std::unique_lock<std::mutex> lock(mutex);
+    cv.wait(lock, [&] { return release; });
+  }).has_value());
+  while (!started.load()) std::this_thread::yield();
+  const auto record = [&](int id) {
+    return [&executed, &mutex, id] {
+      const std::lock_guard<std::mutex> lock(mutex);
+      executed.push_back(id);
+    };
+  };
+  EXPECT_EQ(queue.submit(record(1)), std::optional<std::size_t>{0});
+  EXPECT_EQ(queue.submit(record(2)), std::optional<std::size_t>{0});
+  // Queue full (capacity 2): the oldest pending shadow is dropped.
+  EXPECT_EQ(queue.submit(record(3)), std::optional<std::size_t>{1});
+  EXPECT_EQ(queue.dropped(), 1u);
+
+  {
+    const std::lock_guard<std::mutex> lock(mutex);
+    release = true;
+  }
+  cv.notify_all();
+  for (int i = 0; i < 200; ++i) {
+    {
+      const std::lock_guard<std::mutex> lock(mutex);
+      if (executed.size() == 2) break;
+    }
+    std::this_thread::sleep_for(5ms);
+  }
+  {
+    const std::lock_guard<std::mutex> lock(mutex);
+    EXPECT_EQ(executed, (std::vector<int>{2, 3}));  // 1 was dropped
+  }
+  queue.shutdown();
+  EXPECT_EQ(queue.submit([] {}), std::nullopt);
+}
+
+// ---------------------------------------------------------------------------
+// FaultPlan backend windows
+
+TEST(FaultPlanBackend, ValidatesVersionNamesAgainstStrategy) {
+  core::StrategyDef def;
+  def.name = "s";
+  core::ServiceDef service;
+  service.name = "search";
+  service.versions = {core::VersionDef{"stable", "127.0.0.1", 8001},
+                      core::VersionDef{"canary", "127.0.0.1", 8002}};
+  def.services.push_back(service);
+
+  sim::FaultPlan plan(1);
+  sim::FaultPlan::Window window;
+  window.target = sim::FaultPlan::Target::kBackend;
+  window.name = "canary";
+  plan.add_window(window);
+  EXPECT_TRUE(plan.validate_against(def).ok());
+
+  sim::FaultPlan::Window typo = window;
+  typo.name = "canray";
+  plan.add_window(typo);
+  const auto result = plan.validate_against(def);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error_message().find("canray"), std::string::npos);
+}
+
+TEST(FaultPlanBackend, WindowFailsBackendCallsDeterministically) {
+  sim::FaultPlan plan(7);
+  sim::FaultPlan::Window window;
+  window.target = sim::FaultPlan::Target::kBackend;
+  window.name = "canary";
+  window.from = runtime::Time(0s);
+  window.to = runtime::Time(10s);
+  plan.add_window(window);
+
+  EXPECT_TRUE(
+      plan.decide(sim::FaultPlan::Target::kBackend, "canary", runtime::Time(1s))
+          .error);
+  EXPECT_FALSE(
+      plan.decide(sim::FaultPlan::Target::kBackend, "stable", runtime::Time(1s))
+          .error);
+  EXPECT_FALSE(plan.decide(sim::FaultPlan::Target::kBackend, "canary",
+                           runtime::Time(11s))
+                   .error);
+  EXPECT_EQ(plan.injected_errors(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Live proxy: admission, timeouts, ejection, shedding, event stream
+
+class OverloadProxyTest : public testing::Test {
+ protected:
+  using Handler = std::function<http::Response(const http::Request&)>;
+
+  std::uint16_t add_backend(Handler handler) {
+    http::HttpServer::Options options;
+    options.worker_threads = 8;
+    backends_.push_back(
+        std::make_unique<http::HttpServer>(options, std::move(handler)));
+    backends_.back()->start();
+    return backends_.back()->port();
+  }
+
+  std::unique_ptr<BifrostProxy> make_proxy(
+      ProxyConfig config, BifrostProxy::Options options = {}) {
+    options.rng_seed = options.rng_seed == 0 ? 4242 : options.rng_seed;
+    auto proxy = std::make_unique<BifrostProxy>(options, std::move(config));
+    proxy->start();
+    return proxy;
+  }
+
+  util::Result<http::Response> get(std::uint16_t port,
+                                   const std::string& target = "/") {
+    return client_.get("http://127.0.0.1:" + std::to_string(port) + target);
+  }
+
+  void TearDown() override {
+    for (auto& backend : backends_) backend->stop();
+  }
+
+  std::vector<std::unique_ptr<http::HttpServer>> backends_;
+  http::HttpClient client_;
+};
+
+TEST_F(OverloadProxyTest, AdmissionGateRejectsExcessLiveRequestsWith503) {
+  const std::uint16_t backend = add_backend([](const http::Request&) {
+    std::this_thread::sleep_for(250ms);
+    return http::Response::text(200, "slow");
+  });
+  ProxyConfig config;
+  config.service = "search";
+  config.backends = {BackendTarget{"v1", "127.0.0.1", backend, 100.0, "", ""}};
+  config.overload.enabled = true;
+  config.overload.max_concurrency = 2;
+  auto proxy = make_proxy(std::move(config));
+
+  constexpr int kClients = 6;
+  std::atomic<int> ok{0};
+  std::atomic<int> rejected{0};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kClients; ++i) {
+    threads.emplace_back([&] {
+      http::HttpClient client;
+      auto response = client.get("http://127.0.0.1:" +
+                                 std::to_string(proxy->data_port()) + "/");
+      ASSERT_TRUE(response.ok()) << response.error_message();
+      if (response.value().status == 200) {
+        ok.fetch_add(1);
+      } else if (response.value().status == 503) {
+        rejected.fetch_add(1);
+        EXPECT_EQ(response.value().headers.get("Retry-After"), "1");
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  EXPECT_EQ(ok.load() + rejected.load(), kClients);
+  EXPECT_GE(ok.load(), 2);
+  EXPECT_GE(rejected.load(), 1);
+  EXPECT_EQ(proxy->rejected_for("v1"), static_cast<std::uint64_t>(rejected));
+
+  // /admin/stats reports the admission state per version.
+  auto stats = get(proxy->admin_port(), "/admin/stats");
+  ASSERT_TRUE(stats.ok());
+  auto doc = json::parse(stats.value().body);
+  ASSERT_TRUE(doc.ok());
+  const json::Value* overload = doc.value().find("overload");
+  ASSERT_NE(overload, nullptr);
+  const json::Value* v1 = overload->find("v1");
+  ASSERT_NE(v1, nullptr);
+  EXPECT_DOUBLE_EQ(v1->get_number("limit"), 2.0);
+  EXPECT_DOUBLE_EQ(v1->get_number("rejected"),
+                   static_cast<double>(rejected.load()));
+}
+
+TEST_F(OverloadProxyTest, PerVersionTimeoutsReportedDistinctFrom5xx) {
+  const std::uint16_t sleepy = add_backend([](const http::Request&) {
+    std::this_thread::sleep_for(600ms);
+    return http::Response::text(200, "late");
+  });
+  const std::uint16_t broken = add_backend([](const http::Request&) {
+    return http::Response::text(500, "boom");
+  });
+  ProxyConfig config;
+  config.service = "search";
+  config.backends = {
+      BackendTarget{"sleepy", "127.0.0.1", sleepy, 50.0, "", ""},
+      BackendTarget{"broken", "127.0.0.1", broken, 50.0, "", ""},
+  };
+  // Per-version deadline override: only 'sleepy' gets the tight budget.
+  config.backends[0].timeout_ms = 100;
+  auto proxy = make_proxy(std::move(config));
+
+  // With a 50/50 split, issue requests until both versions have been
+  // exercised. The outcome identifies the version: 'sleepy' always
+  // blows its 100 ms deadline (502 from the proxy), 'broken' always
+  // answers 500 (upstream status passthrough).
+  int sleepy_seen = 0;
+  int broken_seen = 0;
+  for (int i = 0; i < 40 && (sleepy_seen == 0 || broken_seen == 0); ++i) {
+    auto response = get(proxy->data_port());
+    ASSERT_TRUE(response.ok());
+    if (response.value().status == 502) {
+      ++sleepy_seen;
+    } else {
+      ASSERT_EQ(response.value().status, 500);
+      ++broken_seen;
+    }
+  }
+  ASSERT_GT(sleepy_seen, 0);
+  ASSERT_GT(broken_seen, 0);
+
+  EXPECT_EQ(proxy->timeouts_for("sleepy"),
+            static_cast<std::uint64_t>(sleepy_seen));
+  EXPECT_EQ(proxy->timeouts_for("broken"), 0u);
+
+  auto stats = get(proxy->admin_port(), "/admin/stats");
+  ASSERT_TRUE(stats.ok());
+  auto doc = json::parse(stats.value().body);
+  ASSERT_TRUE(doc.ok());
+  const json::Value* overload = doc.value().find("overload");
+  ASSERT_NE(overload, nullptr);
+  EXPECT_DOUBLE_EQ(overload->find("sleepy")->get_number("timeouts"),
+                   static_cast<double>(sleepy_seen));
+  EXPECT_DOUBLE_EQ(overload->find("sleepy")->get_number("errors5xx"), 0.0);
+  EXPECT_DOUBLE_EQ(overload->find("broken")->get_number("errors5xx"),
+                   static_cast<double>(broken_seen));
+  EXPECT_DOUBLE_EQ(overload->find("broken")->get_number("timeouts"), 0.0);
+
+  auto metrics = get(proxy->admin_port(), "/metrics");
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_NE(metrics.value().body.find("bifrost_proxy_backend_timeouts_total"),
+            std::string::npos);
+}
+
+// The acceptance scenario: a FaultPlan-driven erroring backend is
+// ejected within the configured window, live traffic stays healthy on
+// the default version, and backend_ejected/backend_recovered flow into
+// the engine's status event stream in order.
+TEST_F(OverloadProxyTest, FaultPlanBackendIsEjectedThenRecoversThroughProbe) {
+  sim::FaultPlan plan(17);
+  sim::FaultPlan::Window window;
+  window.target = sim::FaultPlan::Target::kBackend;
+  window.name = "canary";
+  plan.add_window(window);  // [0, inf): fails while `faulting` is on
+
+  std::atomic<bool> faulting{true};
+  std::atomic<int> canary_live{0};
+  std::mutex plan_mutex;
+  const std::uint16_t stable = add_backend([](const http::Request&) {
+    return http::Response::text(200, "stable");
+  });
+  const std::uint16_t canary =
+      add_backend([&](const http::Request& request) {
+        if (request.path() == "/health") {
+          return http::Response::text(faulting.load() ? 500 : 200, "probe");
+        }
+        if (!request.headers.has(proxy::kShadowHeader)) {
+          canary_live.fetch_add(1);
+        }
+        if (faulting.load()) {
+          const std::lock_guard<std::mutex> lock(plan_mutex);
+          const auto outcome = plan.decide(sim::FaultPlan::Target::kBackend,
+                                           "canary", runtime::Time(0s));
+          if (outcome.error) return http::Response::text(500, outcome.reason);
+        }
+        return http::Response::text(200, "canary");
+      });
+
+  // Engine event stream: the proxy's health events are forwarded
+  // through Engine::log_event exactly like the resilience decorators.
+  sim::Simulation sched;
+  class NullMetrics final : public engine::MetricsClient {
+    util::Result<std::optional<double>> query(const core::ProviderConfig&,
+                                              const std::string&) override {
+      return std::optional<double>{};
+    }
+  } metrics;
+  class NullProxies final : public engine::ProxyController {
+    util::Result<void> apply(const core::ServiceDef&,
+                             const proxy::ProxyConfig&) override {
+      return {};
+    }
+  } proxies;
+  engine::Engine eng(sched, metrics, proxies);
+
+  ProxyConfig config;
+  config.service = "search";
+  config.default_version = "stable";
+  config.backends = {
+      BackendTarget{"stable", "127.0.0.1", stable, 50.0, "", ""},
+      BackendTarget{"canary", "127.0.0.1", canary, 50.0, "", ""},
+  };
+  config.overload.enabled = true;
+  config.overload.eject_threshold = 0.5;
+  config.overload.eject_min_samples = 4;
+  config.overload.ewma_alpha = 0.5;
+  config.overload.base_ejection = 300ms;
+  config.overload.max_ejection = 2s;
+  config.overload.probe_interval = 50ms;
+  BifrostProxy::Options options;
+  options.health_listener = [&eng](const HealthEvent& event) {
+    engine::StatusEvent status;
+    status.type = event.kind == HealthEvent::Kind::kBackendEjected
+                      ? engine::StatusEvent::Type::kBackendEjected
+                  : event.kind == HealthEvent::Kind::kBackendRecovered
+                      ? engine::StatusEvent::Type::kBackendRecovered
+                      : engine::StatusEvent::Type::kLoadShed;
+    status.state = event.service;
+    status.check = event.version;
+    status.detail = event.detail;
+    eng.log_event(status);
+  };
+  auto proxy = make_proxy(std::move(config), options);
+
+  // Drive live traffic. The canary 500s deterministically, so its EWMA
+  // crosses the threshold within the min-samples window and it is
+  // ejected; from then on its share reroutes to 'stable'.
+  int sent = 0;
+  while (!proxy->ejected("canary") && sent < 200) {
+    ASSERT_TRUE(get(proxy->data_port()).ok());
+    ++sent;
+  }
+  ASSERT_TRUE(proxy->ejected("canary")) << "not ejected after " << sent;
+  const int live_at_ejection = canary_live.load();
+  // Ejection must trip within a handful of canary-routed samples — the
+  // configured min-samples window, not an unbounded drift.
+  EXPECT_LE(live_at_ejection, 32);
+
+  // While ejected: every request lands on stable, canary sees nothing.
+  for (int i = 0; i < 40; ++i) {
+    auto response = get(proxy->data_port());
+    ASSERT_TRUE(response.ok());
+    EXPECT_EQ(response.value().status, 200);
+    EXPECT_EQ(response.value().body, "stable");
+  }
+  EXPECT_EQ(canary_live.load(), live_at_ejection);
+  const auto rerouted_stats = get(proxy->admin_port(), "/admin/stats");
+  ASSERT_TRUE(rerouted_stats.ok());
+  auto doc = json::parse(rerouted_stats.value().body);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_GT(doc.value().find("overload")->find("canary")->get_number(
+                "rerouted"),
+            0.0);
+
+  // Live latency stays bounded: the ejected backend cannot drag p99.
+  const auto stable_latency = proxy->latency_for("stable");
+  ASSERT_GT(stable_latency.count, 0u);
+  EXPECT_LT(stable_latency.p99, 250.0);
+
+  // Heal the backend; the active probe re-admits it after the backoff
+  // window (300ms) at the probe cadence.
+  faulting.store(false);
+  for (int i = 0; i < 400 && proxy->ejected("canary"); ++i) {
+    std::this_thread::sleep_for(10ms);
+  }
+  EXPECT_FALSE(proxy->ejected("canary"));
+
+  // Traffic flows back to the recovered version.
+  bool canary_serves = false;
+  for (int i = 0; i < 100 && !canary_serves; ++i) {
+    auto response = get(proxy->data_port());
+    ASSERT_TRUE(response.ok());
+    canary_serves = response.value().body == "canary";
+  }
+  EXPECT_TRUE(canary_serves);
+
+  // Ordered events on the proxy's admin stream...
+  const auto events = proxy->health_events_since(0);
+  ASSERT_GE(events.size(), 2u);
+  EXPECT_EQ(events[0].kind, HealthEvent::Kind::kBackendEjected);
+  EXPECT_EQ(events[0].version, "canary");
+  EXPECT_EQ(events.back().kind, HealthEvent::Kind::kBackendRecovered);
+  EXPECT_EQ(events.back().version, "canary");
+  EXPECT_LT(events[0].sequence, events.back().sequence);
+
+  // ...and in the engine's status event stream, in the same order.
+  const auto stream = eng.events_since(0, 100, 0ms);
+  std::vector<std::string> names;
+  for (const auto& event : stream) {
+    if (event.type == engine::StatusEvent::Type::kBackendEjected ||
+        event.type == engine::StatusEvent::Type::kBackendRecovered) {
+      names.push_back(event.type_name());
+    }
+  }
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "backend_ejected");
+  EXPECT_EQ(names[1], "backend_recovered");
+}
+
+TEST_F(OverloadProxyTest, ShadowsAreShedBeforeAnyLiveRequestIsRejected) {
+  const std::uint16_t live = add_backend([](const http::Request&) {
+    std::this_thread::sleep_for(120ms);
+    return http::Response::text(200, "live");
+  });
+  const std::uint16_t dark = add_backend([](const http::Request&) {
+    return http::Response::text(200, "dark");
+  });
+  ProxyConfig config;
+  config.service = "search";
+  config.backends = {BackendTarget{"v1", "127.0.0.1", live, 100.0, "", ""}};
+  config.shadows = {ShadowTarget{"v1", "dark", "127.0.0.1", dark, 100.0}};
+  config.overload.enabled = true;
+  config.overload.max_concurrency = 8;   // live never hits the limit...
+  config.overload.shed_utilization = 0.2;  // ...but shadows shed early
+  auto proxy = make_proxy(std::move(config));
+
+  constexpr int kClients = 4;
+  constexpr int kPerClient = 5;
+  std::vector<std::thread> threads;
+  std::atomic<int> ok{0};
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&] {
+      http::HttpClient client;
+      for (int i = 0; i < kPerClient; ++i) {
+        auto response = client.get("http://127.0.0.1:" +
+                                   std::to_string(proxy->data_port()) + "/");
+        if (response.ok() && response.value().status == 200) ok.fetch_add(1);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  EXPECT_EQ(ok.load(), kClients * kPerClient);
+  EXPECT_EQ(proxy->rejected_for("v1"), 0u);  // not a single live rejection
+  EXPECT_GT(proxy->shadows_shed(), 0u);      // but dark traffic was shed
+  // Shed shadows never paid the request copy.
+  EXPECT_EQ(proxy->shadow_copies(), proxy->shadow_requests());
+  EXPECT_EQ(proxy->shadow_copies() + proxy->shadows_shed(),
+            static_cast<std::uint64_t>(kClients * kPerClient));
+}
+
+TEST_F(OverloadProxyTest, StickySessionsRemapDuringEjectionAndSnapBack) {
+  const std::uint16_t stable = add_backend([](const http::Request&) {
+    return http::Response::text(200, "stable");
+  });
+  const std::uint16_t canary = add_backend([](const http::Request&) {
+    return http::Response::text(200, "canary");
+  });
+  ProxyConfig config;
+  config.service = "search";
+  config.sticky = true;
+  config.default_version = "stable";
+  config.backends = {
+      BackendTarget{"stable", "127.0.0.1", stable, 50.0, "", ""},
+      BackendTarget{"canary", "127.0.0.1", canary, 50.0, "", ""},
+  };
+  config.overload.enabled = true;
+  auto proxy = make_proxy(std::move(config));
+  const std::string url =
+      "http://127.0.0.1:" + std::to_string(proxy->data_port()) + "/";
+
+  // Find a session pinned to canary.
+  std::string cookie;
+  for (int i = 0; i < 100 && cookie.empty(); ++i) {
+    auto response = client_.get(url);
+    ASSERT_TRUE(response.ok());
+    if (response.value().body == "canary") {
+      const auto set = response.value().headers.get("Set-Cookie");
+      ASSERT_TRUE(set.has_value());
+      cookie = set->substr(0, set->find(';'));
+    }
+  }
+  ASSERT_FALSE(cookie.empty());
+
+  const auto pinned_get = [&] {
+    http::Request request;
+    request.target = "/";
+    request.headers.set("Cookie", cookie);
+    return client_.request(std::move(request), "127.0.0.1",
+                           proxy->data_port());
+  };
+
+  // Ejected: the pinned session is temporarily served by the default.
+  ASSERT_TRUE(proxy->force_eject("canary"));
+  for (int i = 0; i < 10; ++i) {
+    auto response = pinned_get();
+    ASSERT_TRUE(response.ok());
+    EXPECT_EQ(response.value().body, "stable");
+  }
+  // The pin itself was not rewritten: recovery snaps the session back.
+  ASSERT_TRUE(proxy->force_recover("canary"));
+  auto response = pinned_get();
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response.value().body, "canary");
+}
+
+// Satellite: recovery interaction. The engine re-issues its journaled
+// apply intent after a crash (same epoch); the proxy dedups it and the
+// re-apply must NOT clear an active ejection — reconciliation cannot
+// resurrect routing to a version the data plane has judged sick.
+TEST_F(OverloadProxyTest, ReconcileReapplyDoesNotResurrectEjectedVersion) {
+  const std::uint16_t stable = add_backend([](const http::Request&) {
+    return http::Response::text(200, "stable");
+  });
+  const std::uint16_t canary = add_backend([](const http::Request&) {
+    return http::Response::text(200, "canary");
+  });
+  ProxyConfig config;
+  config.service = "search";
+  config.default_version = "stable";
+  config.backends = {
+      BackendTarget{"stable", "127.0.0.1", stable, 50.0, "", ""},
+      BackendTarget{"canary", "127.0.0.1", canary, 50.0, "", ""},
+  };
+  config.overload.enabled = true;
+  config.epoch = 1;
+  auto proxy = make_proxy(config);
+  ASSERT_TRUE(proxy->force_eject("canary"));
+
+  // The reconciliation path: HttpProxyController re-applies the
+  // journaled config through PUT /admin/config with the same epoch.
+  core::ServiceDef service;
+  service.name = "search";
+  service.proxy_admin_host = "127.0.0.1";
+  service.proxy_admin_port = proxy->admin_port();
+  engine::HttpProxyController controller;
+  ASSERT_TRUE(controller.apply(service, config).ok());
+  EXPECT_TRUE(proxy->ejected("canary"));  // dedup: registry untouched
+  EXPECT_EQ(proxy->duplicate_epochs(), 1u);
+
+  // Even a genuinely newer config that keeps the version must preserve
+  // its health state (adopt refreshes knobs, never the verdict).
+  ProxyConfig newer = config;
+  newer.epoch = 2;
+  ASSERT_TRUE(controller.apply(service, newer).ok());
+  EXPECT_TRUE(proxy->ejected("canary"));
+
+  // Live traffic still avoids the ejected version.
+  for (int i = 0; i < 20; ++i) {
+    auto response = get(proxy->data_port());
+    ASSERT_TRUE(response.ok());
+    EXPECT_EQ(response.value().body, "stable");
+  }
+}
+
+TEST_F(OverloadProxyTest, AdminEjectAndRecoverEndpoints) {
+  const std::uint16_t backend = add_backend([](const http::Request&) {
+    return http::Response::text(200, "ok");
+  });
+  ProxyConfig config;
+  config.service = "search";
+  config.backends = {BackendTarget{"v1", "127.0.0.1", backend, 100.0, "", ""}};
+  config.overload.enabled = true;
+  auto proxy = make_proxy(std::move(config));
+  const std::string admin =
+      "http://127.0.0.1:" + std::to_string(proxy->admin_port());
+
+  EXPECT_EQ(client_.post(admin + "/admin/eject", "", "text/plain")
+                .value().status,
+            400);  // missing ?version=
+  EXPECT_EQ(client_.post(admin + "/admin/eject?version=ghost", "",
+                         "text/plain")
+                .value().status,
+            404);
+
+  auto ejected = client_.post(admin + "/admin/eject?version=v1", "",
+                              "text/plain");
+  ASSERT_TRUE(ejected.ok());
+  ASSERT_EQ(ejected.value().status, 200);
+  auto doc = json::parse(ejected.value().body);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_TRUE(doc.value().get_bool("changed"));
+  EXPECT_TRUE(doc.value().get_bool("ejected"));
+  EXPECT_TRUE(proxy->ejected("v1"));
+
+  // Idempotence: a second eject changes nothing.
+  ejected = client_.post(admin + "/admin/eject?version=v1", "", "text/plain");
+  ASSERT_TRUE(ejected.ok());
+  doc = json::parse(ejected.value().body);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_FALSE(doc.value().get_bool("changed", true));
+
+  auto recovered = client_.post(admin + "/admin/recover?version=v1", "",
+                                "text/plain");
+  ASSERT_TRUE(recovered.ok());
+  ASSERT_EQ(recovered.value().status, 200);
+  doc = json::parse(recovered.value().body);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_TRUE(doc.value().get_bool("changed"));
+  EXPECT_FALSE(doc.value().get_bool("ejected", true));
+  EXPECT_FALSE(proxy->ejected("v1"));
+
+  // The forced transitions surfaced on GET /admin/events, in order.
+  auto events = client_.get(admin + "/admin/events?since=0");
+  ASSERT_TRUE(events.ok());
+  doc = json::parse(events.value().body);
+  ASSERT_TRUE(doc.ok());
+  const json::Value* list = doc.value().find("events");
+  ASSERT_NE(list, nullptr);
+  ASSERT_EQ(list->as_array().size(), 2u);
+  EXPECT_EQ(list->as_array()[0].get_string("kind"), "backend_ejected");
+  EXPECT_EQ(list->as_array()[1].get_string("kind"), "backend_recovered");
+  // Cursor semantics: since=<last> drains nothing.
+  events = client_.get(admin + "/admin/events?since=2");
+  ASSERT_TRUE(events.ok());
+  doc = json::parse(events.value().body);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_TRUE(doc.value().find("events")->as_array().empty());
+}
+
+TEST_F(OverloadProxyTest, ProxyEventPumpForwardsIntoEngineEventLog) {
+  const std::uint16_t backend = add_backend([](const http::Request&) {
+    return http::Response::text(200, "ok");
+  });
+  ProxyConfig config;
+  config.service = "search";
+  config.backends = {BackendTarget{"v1", "127.0.0.1", backend, 100.0, "", ""}};
+  config.overload.enabled = true;
+  auto proxy = make_proxy(std::move(config));
+
+  std::vector<engine::StatusEvent> forwarded;
+  engine::ProxyEventPump pump(
+      [&forwarded](const engine::StatusEvent& event) {
+        forwarded.push_back(event);
+      });
+  core::ServiceDef service;
+  service.name = "search";
+  service.proxy_admin_host = "127.0.0.1";
+  service.proxy_admin_port = proxy->admin_port();
+  pump.watch(service);
+
+  EXPECT_EQ(pump.poll_once(), 0u);  // nothing happened yet
+  ASSERT_TRUE(proxy->force_eject("v1"));
+  ASSERT_TRUE(proxy->force_recover("v1"));
+  EXPECT_EQ(pump.poll_once(), 2u);
+  // The cursor advanced: a second sweep forwards nothing new.
+  EXPECT_EQ(pump.poll_once(), 0u);
+  EXPECT_EQ(pump.events_forwarded(), 2u);
+
+  ASSERT_EQ(forwarded.size(), 2u);
+  EXPECT_EQ(forwarded[0].type, engine::StatusEvent::Type::kBackendEjected);
+  EXPECT_EQ(forwarded[0].type_name(), "backend_ejected");
+  EXPECT_EQ(forwarded[0].state, "search");
+  EXPECT_EQ(forwarded[0].check, "v1");
+  EXPECT_EQ(forwarded[1].type, engine::StatusEvent::Type::kBackendRecovered);
+}
+
+}  // namespace
+}  // namespace bifrost

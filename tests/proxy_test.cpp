@@ -690,6 +690,100 @@ TEST_F(LiveProxyTest, ConcurrentTrafficWhileApplyFlips) {
   EXPECT_EQ(proxy->sticky_sessions(), static_cast<std::size_t>(kClients));
 }
 
+// Regression for the fire_shadows ordering bug: the bernoulli sampling
+// draw must happen before the request copy is made, and only sampled
+// shadows may pay the copy. With a partial percentage, copies ==
+// dispatches == backend receipts; a draw-after-copy implementation
+// would copy on every request and fail the first assertion.
+TEST_F(LiveProxyTest, ShadowCopiesMatchDispatchesUnderPartialSampling) {
+  ProxyConfig config = config_with(100.0);
+  config.shadows = {ShadowTarget{"stable", "canary", "127.0.0.1",
+                                 backends_[1]->port(), 30.0}};
+  auto proxy = make_proxy(std::move(config));
+  const std::string url =
+      "http://127.0.0.1:" + std::to_string(proxy->data_port()) + "/";
+  constexpr int kRequests = 200;
+  for (int i = 0; i < kRequests; ++i) ASSERT_TRUE(client_.get(url).ok());
+
+  // Let the async duplicates drain before comparing counters.
+  for (int i = 0;
+       i < 200 && shadowed_[1].load() <
+                      static_cast<int>(proxy->shadow_requests());
+       ++i) {
+    std::this_thread::sleep_for(10ms);
+  }
+
+  EXPECT_EQ(proxy->shadow_copies(), proxy->shadow_requests());
+  EXPECT_EQ(static_cast<int>(proxy->shadow_requests()), shadowed_[1].load());
+  // ~30% sampled: strictly between "never copied" and "always copied".
+  EXPECT_GT(proxy->shadow_copies(), 0u);
+  EXPECT_LT(proxy->shadow_copies(), static_cast<std::uint64_t>(kRequests));
+  EXPECT_EQ(proxy->shadows_shed(), 0u);  // idle proxy: nothing shed
+}
+
+// TSan hammer: client threads drive traffic while one thread flips the
+// routing table and another flips ejection/recovery of the canary.
+// Exercises the gate/health/reroute paths against concurrent applies;
+// correctness claim is "no request lost and no data race", not any
+// particular version split.
+TEST_F(LiveProxyTest, ConcurrentTrafficWhileEjectionAndApplyFlip) {
+  ProxyConfig initial = config_with(50.0);
+  initial.default_version = "stable";
+  initial.overload.enabled = true;
+  auto proxy = make_proxy(std::move(initial));
+  const std::uint16_t port = proxy->data_port();
+  constexpr int kClients = 4;
+  constexpr int kPerClient = 50;
+
+  std::atomic<bool> stop{false};
+  std::thread flipper([&] {
+    for (int i = 0; !stop.load(); ++i) {
+      ProxyConfig config = config_with(i % 2 == 0 ? 70.0 : 30.0);
+      config.default_version = "stable";
+      config.overload.enabled = true;
+      EXPECT_TRUE(proxy->apply(std::move(config)).ok());
+      std::this_thread::sleep_for(2ms);
+    }
+  });
+  std::thread ejector([&] {
+    while (!stop.load()) {
+      proxy->force_eject("canary");
+      std::this_thread::sleep_for(3ms);
+      proxy->force_recover("canary");
+      std::this_thread::sleep_for(3ms);
+    }
+  });
+
+  std::atomic<int> successes{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&] {
+      http::HttpClient client;
+      for (int i = 0; i < kPerClient; ++i) {
+        auto response = client.get("http://127.0.0.1:" +
+                                   std::to_string(port) + "/");
+        if (response.ok() && response.value().status == 200) {
+          successes.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& client : clients) client.join();
+  stop.store(true);
+  flipper.join();
+  ejector.join();
+
+  const int total = successes.load();
+  // Ejection only reroutes — it must never fail a live request.
+  EXPECT_EQ(total, kClients * kPerClient);
+  EXPECT_EQ(counts_[0].load() + counts_[1].load(), total);
+  EXPECT_EQ(proxy->requests_for("stable") + proxy->requests_for("canary"),
+            static_cast<std::uint64_t>(total));
+  // The flip threads really exercised both transitions.
+  const auto events = proxy->health_events_since(0);
+  EXPECT_GE(events.size(), 2u);
+}
+
 TEST_F(LiveProxyTest, ApplyRejectsInvalidSwapsAtomically) {
   auto proxy = make_proxy(config_with(100.0));
   ProxyConfig bad;
