@@ -3,6 +3,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <string>
 #include <vector>
 
@@ -14,6 +15,12 @@ namespace bifrost::bench {
 inline bool full_mode() {
   const char* env = std::getenv("BIFROST_BENCH_FULL");
   return env != nullptr && std::string(env) == "1";
+}
+
+/// All bench CSVs land in bench/out/ (git-ignored), never the repo root.
+inline std::string out_path(const std::string& filename) {
+  std::filesystem::create_directories("bench/out");
+  return "bench/out/" + filename;
 }
 
 inline void print_header(const std::string& title) {

@@ -736,7 +736,7 @@ int main() {
 
   // Figure 6: 3 s moving average series, one CSV column per variant.
   bifrost::util::CsvWriter csv(
-      "bench_enduser_overhead.csv",
+      bifrost::bench::out_path("bench_enduser_overhead.csv"),
       {"time_s", "baseline_ms", "inactive_ms", "active_ms"});
   const size_t points = results[0].series.size();
   for (size_t i = 0; i < points; ++i) {

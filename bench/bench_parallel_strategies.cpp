@@ -241,7 +241,7 @@ int main() {
               bifrost::util::sparkline(delay_means).c_str());
 
   bifrost::util::CsvWriter csv(
-      "bench_parallel_strategies.csv",
+      bifrost::bench::out_path("bench_parallel_strategies.csv"),
       {"strategies", "util_q1", "util_median", "util_q3", "util_whisker_lo",
        "util_whisker_hi", "delay_mean_s", "delay_sd_s"});
   for (const StepResult& r : results) {

@@ -26,6 +26,7 @@
 #include "engine/interfaces.hpp"
 #include "engine/journal.hpp"
 #include "engine/recovery.hpp"
+#include "runtime/executor.hpp"
 #include "runtime/scheduler.hpp"
 
 namespace bifrost::engine {
@@ -53,6 +54,12 @@ class Engine : private DurabilitySink {
     /// A compacted kSnapshot record is interleaved after every this
     /// many appended records, so replay is O(recent). 0 disables.
     std::size_t snapshot_every = 256;
+    /// Parallel check scheduler (not owned; must outlive the engine):
+    /// check evaluations of every execution run as jobs on this
+    /// executor — typically a runtime::WorkStealingPool — instead of
+    /// inline on the scheduler thread. The MetricsClient must be
+    /// thread-safe when set. Null = inline evaluation (paper behavior).
+    runtime::Executor* check_executor = nullptr;
   };
 
   Engine(runtime::Scheduler& scheduler, MetricsClient& metrics,

@@ -84,6 +84,16 @@ StrategyExecution::StrategyExecution(std::string id,
       options_(std::move(options)) {}
 
 StrategyExecution::~StrategyExecution() {
+  // Quiesce off-thread check evaluations first: the exclusive lock
+  // waits out any job currently reading `this` (each such job has
+  // already armed its tracked marshalling timer by the time it releases
+  // its shared lock), and marks later-starting jobs dead so they return
+  // without touching the destroyed execution. Only then cancel the
+  // tracked timers — including marshalling timers the jobs just armed.
+  {
+    const std::unique_lock<std::shared_mutex> lock(async_guard_->mutex);
+    async_guard_->dead = true;
+  }
   const std::lock_guard<std::mutex> lock(timers_mutex_);
   for (const runtime::TimerId id : live_timers_) scheduler_.cancel(id);
 }
@@ -327,11 +337,52 @@ void StrategyExecution::arm_check_at(std::size_t check_index,
 }
 
 void StrategyExecution::run_check_execution(std::size_t check_index) {
+  runtime::Executor* executor = options_.check_executor;
+  if (executor != nullptr) {
+    // Parallel path: evaluate on the pool, mutate on the scheduler. The
+    // job reads only the immutable check definition and the (thread-
+    // safe) MetricsClient; everything else happens in the marshalled
+    // continuation below, on the scheduler thread, exactly as inline.
+    const core::CheckDef* check = checks_[check_index].def;
+    const std::uint64_t gen = generation_;
+    const bool submitted = executor->submit(
+        [this, guard = async_guard_, gen, check_index, check] {
+          const std::shared_lock<std::shared_mutex> lock(guard->mutex);
+          if (guard->dead) return;
+          std::string degraded_detail;
+          const bool success = evaluate_check_once(*check, degraded_detail);
+          // Marshal the result back onto the owning scheduler through a
+          // tracked timer; the guard is held until it is armed, so the
+          // destructor can still cancel it.
+          arm_at(scheduler_.now(),
+                 [this, gen, check_index, success,
+                  degraded_detail = std::move(degraded_detail)] {
+                   if (gen != generation_ ||
+                       status_ != ExecutionStatus::kRunning) {
+                     return;
+                   }
+                   finish_check_execution(check_index, success,
+                                          degraded_detail);
+                 });
+        });
+    if (submitted) return;
+    // Executor refused (shutting down): fall through to the inline path
+    // rather than losing the execution — the drain contract says a
+    // refused job never runs.
+    util::log_debug("execution", id_,
+                    ": check executor refused job, evaluating inline");
+  }
+  std::string degraded_detail;
+  const bool success =
+      evaluate_check_once(*checks_[check_index].def, degraded_detail);
+  finish_check_execution(check_index, success, degraded_detail);
+}
+
+void StrategyExecution::finish_check_execution(
+    std::size_t check_index, const bool success,
+    const std::string& degraded_detail) {
   CheckRuntime& runtime = checks_[check_index];
   const core::CheckDef& check = *runtime.def;
-
-  std::string degraded_detail;
-  const bool success = evaluate_check_once(check, degraded_detail);
   ++runtime.executed;
   ++checks_executed_;
   if (success) ++runtime.successes;
@@ -407,8 +458,8 @@ void StrategyExecution::run_check_execution(std::size_t check_index) {
   arm_check_at(check_index, next_deadline);
 }
 
-bool StrategyExecution::evaluate_check_once(const core::CheckDef& check,
-                                            std::string& degraded_detail) {
+bool StrategyExecution::evaluate_check_once(
+    const core::CheckDef& check, std::string& degraded_detail) const {
   ClientEvalContext context(metrics_, def_, now_seconds());
   for (const core::MetricCondition& condition : check.conditions) {
     auto value = context.query(condition.provider, condition.query);

@@ -1,7 +1,18 @@
 // Enactment of a single strategy: the engine-side interpreter of the
-// formal model's automaton. Single-threaded: all methods and timer
-// callbacks run on the owning Scheduler's thread (run-to-completion, as
-// in the paper's Node.js engine).
+// formal model's automaton. The automaton step is single-threaded: all
+// state mutation, journaling, and event emission run on the owning
+// Scheduler's thread (run-to-completion, as in the paper's Node.js
+// engine).
+//
+// Parallel check scheduling: with Options::check_executor set, the
+// *evaluation* of a check (metric fetches + condition checks — the
+// paper's engine bottleneck, Figures 9-10) runs as a job on that
+// executor, off the scheduler thread. The job touches only immutable
+// strategy definition data and the MetricsClient (which must then be
+// thread-safe); its result is marshalled back onto the owning Scheduler
+// via a posted timer, so CheckRuntime aggregates, checks_executed_, the
+// journal, and the status stream are still touched single-threaded and
+// records stay in a deterministic order under deterministic schedulers.
 //
 // Durability: when Options::durability is set, every externally visible
 // transition is journaled through it *at the moment it happens*, and a
@@ -16,6 +27,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <unordered_set>
 #include <vector>
@@ -23,6 +35,7 @@
 #include "core/model.hpp"
 #include "engine/interfaces.hpp"
 #include "engine/journal.hpp"
+#include "runtime/executor.hpp"
 #include "runtime/scheduler.hpp"
 
 namespace bifrost::engine {
@@ -114,6 +127,12 @@ class StrategyExecution {
     /// Allocates the config epoch for an apply intent against a
     /// service's proxy. Null means unversioned applies (epoch 0).
     std::function<std::uint64_t(const std::string& service)> epoch_allocator;
+    /// Runs check evaluations (metric fetches + condition checks) as
+    /// jobs instead of inline on the scheduler thread. Not owned; must
+    /// outlive the execution. The MetricsClient must be thread-safe
+    /// when this is set (jobs may query it concurrently). Null = the
+    /// classic inline, run-to-completion engine.
+    runtime::Executor* check_executor = nullptr;
   };
 
   /// `def` must already pass core::validate(). The listener receives
@@ -203,12 +222,22 @@ class StrategyExecution {
   void rollback_or_abort(const std::string& reason);
   void schedule_check(std::size_t check_index);
   void arm_check_at(std::size_t check_index, runtime::Time deadline);
+  /// One due execution of check `check_index`: evaluates inline (no
+  /// executor) or submits the evaluation as a pool job whose result is
+  /// marshalled back onto the scheduler thread.
   void run_check_execution(std::size_t check_index);
+  /// Scheduler-thread half of a check execution: applies `success` /
+  /// `degraded_detail` to the aggregates, emits + journals, and either
+  /// re-arms, fires the exception fallback, or completes the state.
+  void finish_check_execution(std::size_t check_index, bool success,
+                              const std::string& degraded_detail);
   /// One execution of the check's evaluation function. Provider errors
   /// encountered along the way are appended to `degraded_detail` so the
-  /// caller can surface them on the event stream.
+  /// caller can surface them on the event stream. Const and touching
+  /// only immutable definition data + the MetricsClient, so it is safe
+  /// to run off-thread as a check_executor job.
   bool evaluate_check_once(const core::CheckDef& check,
-                           std::string& degraded_detail);
+                           std::string& degraded_detail) const;
   void maybe_complete_state();
   void complete_state();
   void transition_to(const std::string& next, bool via_exception);
@@ -247,9 +276,22 @@ class StrategyExecution {
   std::uint64_t checks_executed_ = 0;
 
   /// Timers armed but not yet fired; guarded by timers_mutex_ because
-  /// request_start()/request_abort() arm from foreign threads.
+  /// request_start()/request_abort() arm from foreign threads (and
+  /// check-evaluation jobs arm their marshalling timers from workers).
   std::mutex timers_mutex_;
   std::unordered_set<runtime::TimerId> live_timers_;
+
+  /// Lifetime guard shared with in-flight check-evaluation jobs: a job
+  /// holds the lock shared while it reads `this`; the destructor takes
+  /// it exclusive, flips `dead`, and thereby waits out running jobs —
+  /// a queued job that starts later sees `dead` and returns without
+  /// touching the (destroyed) execution.
+  struct AsyncGuard {
+    std::shared_mutex mutex;
+    bool dead = false;  ///< write under exclusive, read under shared lock
+  };
+  std::shared_ptr<AsyncGuard> async_guard_ =
+      std::make_shared<AsyncGuard>();
 };
 
 }  // namespace bifrost::engine

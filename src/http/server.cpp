@@ -162,7 +162,18 @@ void HttpServer::dispatch_loop() {
           it->second = false;
           connections_[id]->last_active = now;
         }
-        pool_->submit([this, id] { serve_connection(id); });
+        if (!pool_->submit([this, id] { serve_connection(id); })) {
+          // Pool refused (server shutting down): the connection was
+          // marked busy above but no worker will ever serve it — drop
+          // it outright so the idle sweep cannot resurrect a socket
+          // nobody owns.
+          util::log_debug("http_server",
+                          "worker pool refused connection ", id,
+                          " (shutting down)");
+          const std::lock_guard<std::mutex> lock(mutex_);
+          connections_.erase(id);
+          idle_.erase(id);
+        }
       }
     }
 

@@ -38,7 +38,8 @@ TimerId EventLoop::schedule_at(Time when, Task task) {
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     id = next_id_++;
-    queue_.emplace(when, std::make_pair(id, std::move(task)));
+    const auto it = queue_.emplace(when, std::make_pair(id, std::move(task)));
+    by_id_.emplace(id, it);
   }
   cv_.notify_all();
   return id;
@@ -46,7 +47,12 @@ TimerId EventLoop::schedule_at(Time when, Task task) {
 
 void EventLoop::cancel(TimerId id) {
   const std::lock_guard<std::mutex> lock(mutex_);
-  cancelled_.insert(id);
+  const auto it = by_id_.find(id);
+  // Already fired, currently executing, or unknown: nothing pending to
+  // cancel, and nothing to remember — a running task cannot be stopped.
+  if (it == by_id_.end()) return;
+  queue_.erase(it->second);
+  by_id_.erase(it);
 }
 
 std::size_t EventLoop::pending() const {
@@ -69,7 +75,7 @@ void EventLoop::run() {
     }
     auto node = queue_.extract(queue_.begin());
     auto [id, task] = std::move(node.mapped());
-    if (cancelled_.erase(id) > 0) continue;
+    by_id_.erase(id);
     lock.unlock();
     try {
       task();
@@ -81,7 +87,7 @@ void EventLoop::run() {
     lock.lock();
   }
   queue_.clear();
-  cancelled_.clear();
+  by_id_.clear();
 }
 
 }  // namespace bifrost::runtime

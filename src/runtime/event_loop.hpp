@@ -5,7 +5,7 @@
 #include <map>
 #include <mutex>
 #include <thread>
-#include <unordered_set>
+#include <unordered_map>
 
 #include "runtime/scheduler.hpp"
 
@@ -31,19 +31,28 @@ class EventLoop final : public Scheduler {
 
   [[nodiscard]] Time now() const override;
   TimerId schedule_at(Time when, Task task) override;
+  /// Erases the pending timer (its closure is freed immediately and it
+  /// no longer counts toward pending()). Cancelling a fired, currently
+  /// executing, or unknown id is a no-op and holds no memory.
   void cancel(TimerId id) override;
 
-  /// Number of timers not yet fired (for tests/diagnostics).
+  /// Number of timers not yet fired (for tests/diagnostics). Cancelled
+  /// timers leave this count at cancel time, not at their due time.
   [[nodiscard]] std::size_t pending() const;
 
  private:
+  using Queue = std::multimap<Time, std::pair<TimerId, Task>>;
+
   void run();
 
   std::chrono::steady_clock::time_point epoch_;
   mutable std::mutex mutex_;
   std::condition_variable cv_;
-  std::multimap<Time, std::pair<TimerId, Task>> queue_;
-  std::unordered_set<TimerId> cancelled_;
+  Queue queue_;
+  /// id -> queue entry, so cancel() erases in O(1) instead of
+  /// tombstoning ids forever (a cancelled-but-pending task used to keep
+  /// its closure alive and fired/unknown ids leaked a set entry each).
+  std::unordered_map<TimerId, Queue::iterator> by_id_;
   TimerId next_id_ = 1;
   std::thread thread_;
   std::atomic<bool> running_{false};

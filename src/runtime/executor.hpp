@@ -1,0 +1,28 @@
+// Fire-and-forget job execution, decoupled from *where* jobs run. The
+// engine's check scheduler submits metric-evaluation jobs through this
+// interface so the identical enactment code runs against the real
+// work-stealing thread pool (WorkStealingPool) and against the
+// discrete-event simulator's modeled worker cores (sim::Simulation
+// implements Executor too). Results are never returned through the
+// executor: jobs marshal their outcome back onto the owning Scheduler
+// via Scheduler::post(), which keeps all shared state single-threaded.
+#pragma once
+
+#include <functional>
+
+namespace bifrost::runtime {
+
+class Executor {
+ public:
+  using Job = std::function<void()>;
+
+  virtual ~Executor() = default;
+
+  /// Enqueues `job` to run as soon as a worker is available. May run on
+  /// any thread (or inline, for degenerate executors). Returns false
+  /// when the executor refuses work (shutting down) — the caller must
+  /// then run or drop the job itself; it will never be executed.
+  virtual bool submit(Job job) = 0;
+};
+
+}  // namespace bifrost::runtime

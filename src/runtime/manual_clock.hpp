@@ -1,7 +1,7 @@
 #pragma once
 
 #include <map>
-#include <unordered_set>
+#include <unordered_map>
 #include <utility>
 
 #include "runtime/scheduler.hpp"
@@ -17,11 +17,20 @@ class ManualClock final : public Scheduler {
 
   TimerId schedule_at(Time when, Task task) override {
     const TimerId id = next_id_++;
-    queue_.emplace(when < now_ ? now_ : when, std::make_pair(id, std::move(task)));
+    const auto it = queue_.emplace(when < now_ ? now_ : when,
+                                   std::make_pair(id, std::move(task)));
+    by_id_.emplace(id, it);
     return id;
   }
 
-  void cancel(TimerId id) override { cancelled_.insert(id); }
+  /// Erases the pending entry immediately; fired/unknown ids are a
+  /// no-op and hold no memory (same contract as EventLoop::cancel).
+  void cancel(TimerId id) override {
+    const auto it = by_id_.find(id);
+    if (it == by_id_.end()) return;
+    queue_.erase(it->second);
+    by_id_.erase(it);
+  }
 
   /// Advances to `target`, firing every due timer (including ones that
   /// newly-scheduled tasks add, as long as they are due before target).
@@ -30,7 +39,7 @@ class ManualClock final : public Scheduler {
       auto node = queue_.extract(queue_.begin());
       now_ = std::max(now_, node.key());
       auto [id, task] = std::move(node.mapped());
-      if (cancelled_.erase(id) > 0) continue;
+      by_id_.erase(id);
       task();
     }
     now_ = std::max(now_, target);
@@ -44,7 +53,7 @@ class ManualClock final : public Scheduler {
     auto node = queue_.extract(queue_.begin());
     now_ = std::max(now_, node.key());
     auto [id, task] = std::move(node.mapped());
-    if (cancelled_.erase(id) > 0) return step();
+    by_id_.erase(id);
     task();
     return true;
   }
@@ -52,9 +61,11 @@ class ManualClock final : public Scheduler {
   [[nodiscard]] std::size_t pending() const { return queue_.size(); }
 
  private:
+  using Queue = std::multimap<Time, std::pair<TimerId, Task>>;
+
   Time now_{0};
-  std::multimap<Time, std::pair<TimerId, Task>> queue_;
-  std::unordered_set<TimerId> cancelled_;
+  Queue queue_;
+  std::unordered_map<TimerId, Queue::iterator> by_id_;
   TimerId next_id_ = 1;
 };
 

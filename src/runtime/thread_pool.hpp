@@ -10,7 +10,16 @@
 namespace bifrost::runtime {
 
 /// Fixed-size worker pool. Used by the HTTP server to bound concurrent
-/// connection handlers and by the load generator for request workers.
+/// connection handlers and as the thread substrate of the engine's
+/// WorkStealingPool (see work_stealing_pool.hpp).
+///
+/// Shutdown contract: shutdown() flips the pool into a refusing state
+/// and then DRAINS — every task accepted before the flip still runs
+/// exactly once before the workers join. An accepted task is therefore
+/// never silently dropped. The flip is the only lossy edge: submit()
+/// called during or after shutdown() returns false and the task will
+/// NEVER run, so callers must check the return value and either run the
+/// task inline, reschedule it, or deliberately drop it (logging why).
 class ThreadPool {
  public:
   explicit ThreadPool(std::size_t threads);
@@ -19,10 +28,13 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues a task; returns false if the pool is shutting down.
-  bool submit(std::function<void()> task);
+  /// Enqueues a task; returns false if the pool is shutting down, in
+  /// which case the task is dropped and will never execute — handle the
+  /// refusal (see the class contract above).
+  [[nodiscard]] bool submit(std::function<void()> task);
 
-  /// Stops accepting tasks, drains the queue, joins all workers.
+  /// Stops accepting tasks, drains every already-accepted task, joins
+  /// all workers. Idempotent.
   void shutdown();
 
   [[nodiscard]] std::size_t size() const { return workers_.size(); }

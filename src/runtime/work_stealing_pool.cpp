@@ -1,0 +1,152 @@
+#include "runtime/work_stealing_pool.hpp"
+
+#include <stdexcept>
+
+#include "util/log.hpp"
+
+namespace bifrost::runtime {
+
+WorkStealingPool::WorkStealingPool(std::size_t workers) : threads_(workers) {
+  // workers == 0 already rejected by the ThreadPool constructor.
+  deques_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    deques_.push_back(std::make_unique<WorkerDeque>());
+  }
+  // The deques exist before any loop starts; the loops are pinned tasks
+  // on the underlying ThreadPool, one per thread.
+  for (std::size_t i = 0; i < workers; ++i) {
+    if (!threads_.submit([this, i] { worker_loop(i); })) {
+      throw std::runtime_error("thread pool refused worker loop");
+    }
+  }
+}
+
+WorkStealingPool::~WorkStealingPool() { shutdown(); }
+
+bool WorkStealingPool::submit(Job job) {
+  if (stopping_.load(std::memory_order_acquire)) return false;
+  // Count before publishing the job: a worker that pops it immediately
+  // must never observe queued_ < 0 as "nothing left".
+  outstanding_.fetch_add(1, std::memory_order_relaxed);
+  queued_.fetch_add(1, std::memory_order_release);
+  const std::size_t slot =
+      next_deque_.fetch_add(1, std::memory_order_relaxed) % deques_.size();
+  {
+    WorkerDeque& deque = *deques_[slot];
+    const std::lock_guard<std::mutex> lock(deque.mutex);
+    if (stopping_.load(std::memory_order_acquire)) {
+      // Lost the race with shutdown(): un-count and refuse, so shutdown
+      // never strands an accepted-but-never-run job.
+      queued_.fetch_sub(1, std::memory_order_relaxed);
+      finish_job();
+      return false;
+    }
+    deque.jobs.push_back(std::move(job));
+  }
+  {
+    // Fence against a worker that evaluated the wait predicate just
+    // before queued_ was incremented (classic lost-wakeup guard).
+    const std::lock_guard<std::mutex> lock(sleep_mutex_);
+  }
+  work_cv_.notify_one();
+  return true;
+}
+
+void WorkStealingPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(sleep_mutex_);
+  idle_cv_.wait(lock, [this] {
+    return outstanding_.load(std::memory_order_acquire) == 0;
+  });
+}
+
+void WorkStealingPool::shutdown() {
+  if (stopping_.exchange(true, std::memory_order_acq_rel)) {
+    // Second caller: ThreadPool::shutdown below is idempotent too, but
+    // only join once the first call finished draining.
+    threads_.shutdown();
+    return;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(sleep_mutex_);
+  }
+  work_cv_.notify_all();
+  // Worker loops drain every accepted job, then return; joining the
+  // underlying pool is what waits for them.
+  threads_.shutdown();
+}
+
+std::size_t WorkStealingPool::queued() const {
+  const std::int64_t n = queued_.load(std::memory_order_acquire);
+  return n > 0 ? static_cast<std::size_t>(n) : 0;
+}
+
+bool WorkStealingPool::try_pop_local(std::size_t self, Job& out) {
+  WorkerDeque& deque = *deques_[self];
+  const std::lock_guard<std::mutex> lock(deque.mutex);
+  if (deque.jobs.empty()) return false;
+  // LIFO on the local deque: the most recently submitted job is the
+  // cache-warmest; thieves take the opposite end.
+  out = std::move(deque.jobs.back());
+  deque.jobs.pop_back();
+  queued_.fetch_sub(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool WorkStealingPool::try_steal(std::size_t self, Job& out) {
+  const std::size_t n = deques_.size();
+  for (std::size_t offset = 1; offset < n; ++offset) {
+    WorkerDeque& victim = *deques_[(self + offset) % n];
+    // try_lock: a victim busy with its own deque is skipped this pass
+    // instead of convoying every thief behind one mutex.
+    const std::unique_lock<std::mutex> lock(victim.mutex, std::try_to_lock);
+    if (!lock.owns_lock() || victim.jobs.empty()) continue;
+    out = std::move(victim.jobs.front());  // FIFO: steal the oldest
+    victim.jobs.pop_front();
+    queued_.fetch_sub(1, std::memory_order_relaxed);
+    steals_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  return false;
+}
+
+void WorkStealingPool::run_job(Job& job) {
+  try {
+    job();
+  } catch (const std::exception& e) {
+    util::log_error("work_stealing_pool", "job threw: ", e.what());
+  } catch (...) {
+    util::log_error("work_stealing_pool", "job threw unknown exception");
+  }
+}
+
+void WorkStealingPool::finish_job() {
+  if (outstanding_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    {
+      const std::lock_guard<std::mutex> lock(sleep_mutex_);
+    }
+    idle_cv_.notify_all();
+  }
+}
+
+void WorkStealingPool::worker_loop(std::size_t self) {
+  for (;;) {
+    Job job;
+    if (try_pop_local(self, job) || try_steal(self, job)) {
+      run_job(job);
+      finish_job();
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(sleep_mutex_);
+    work_cv_.wait(lock, [this] {
+      return stopping_.load(std::memory_order_acquire) ||
+             queued_.load(std::memory_order_acquire) > 0;
+    });
+    // Drain-on-shutdown: keep working while accepted jobs remain (a
+    // try_lock miss above can leave queued_ > 0 with local+steal both
+    // failing — loop, don't exit).
+    if (queued_.load(std::memory_order_acquire) > 0) continue;
+    if (stopping_.load(std::memory_order_acquire)) return;
+  }
+}
+
+}  // namespace bifrost::runtime

@@ -1,0 +1,96 @@
+// Work-stealing job system for the engine's parallel check scheduler.
+//
+// Layered on the existing ThreadPool: the pool's threads each run one
+// long-lived worker loop; jobs live in per-worker deques so submission
+// and local pop contend on a different mutex per worker ("lock-free-ish"
+// — the critical sections are a few pointer moves, and thieves use
+// try_lock so a stalled victim never convoys the others). An idle
+// worker first drains its own deque (LIFO, cache-warm), then steals the
+// oldest job from another worker's deque (FIFO, fair for check bursts).
+//
+// Quiescence: wait_idle() blocks until every submitted job has finished
+// running — the barrier the engine uses before tearing executions down.
+//
+// Shutdown contract (same as ThreadPool): shutdown() refuses new
+// submissions but DRAINS every already-accepted job before joining, so
+// an accepted job always runs exactly once. submit() after shutdown
+// returns false and the job is never executed.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "runtime/executor.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace bifrost::runtime {
+
+class WorkStealingPool final : public Executor {
+ public:
+  /// Spawns `workers` >= 1 worker loops on a dedicated ThreadPool.
+  explicit WorkStealingPool(std::size_t workers);
+  ~WorkStealingPool() override;
+
+  WorkStealingPool(const WorkStealingPool&) = delete;
+  WorkStealingPool& operator=(const WorkStealingPool&) = delete;
+
+  /// Enqueues a job round-robin across the worker deques. Thread-safe;
+  /// returns false (job dropped, never run) once shutdown began.
+  bool submit(Job job) override;
+
+  /// Blocks until no submitted job is queued or running. Jobs submitted
+  /// while waiting extend the wait. Safe to call from any thread that
+  /// is not itself a pool worker.
+  void wait_idle();
+
+  /// Stops accepting jobs, drains every accepted job, joins all
+  /// workers. Idempotent.
+  void shutdown();
+
+  [[nodiscard]] std::size_t workers() const { return deques_.size(); }
+  /// Jobs accepted but not yet started (diagnostics).
+  [[nodiscard]] std::size_t queued() const;
+  /// Number of jobs executed by a worker other than the one whose deque
+  /// they were submitted to (diagnostics/tests).
+  [[nodiscard]] std::uint64_t steals() const {
+    return steals_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct WorkerDeque {
+    std::mutex mutex;
+    std::deque<Job> jobs;
+  };
+
+  void worker_loop(std::size_t self);
+  bool try_pop_local(std::size_t self, Job& out);
+  bool try_steal(std::size_t self, Job& out);
+  void run_job(Job& job);
+  void finish_job();
+
+  std::vector<std::unique_ptr<WorkerDeque>> deques_;
+  std::atomic<std::size_t> next_deque_{0};
+  /// Jobs accepted and not yet popped by a worker.
+  std::atomic<std::int64_t> queued_{0};
+  /// Jobs accepted and not yet finished running (queued + running).
+  std::atomic<std::int64_t> outstanding_{0};
+  std::atomic<std::uint64_t> steals_{0};
+  std::atomic<bool> stopping_{false};
+
+  /// Guards only the sleep/wake protocol (never held while running a
+  /// job or touching a deque).
+  std::mutex sleep_mutex_;
+  std::condition_variable work_cv_;  ///< workers sleep here when idle
+  std::condition_variable idle_cv_;  ///< wait_idle() sleeps here
+
+  /// Owns the worker threads; declared last so it is destroyed (joined)
+  /// before the deques it reads.
+  ThreadPool threads_;
+};
+
+}  // namespace bifrost::runtime

@@ -7,17 +7,41 @@ namespace bifrost::sim {
 
 Simulation::Simulation(Options options) : options_(options) {
   if (options_.cores < 1) throw std::invalid_argument("cores must be >= 1");
+  if (options_.workers < 0) {
+    throw std::invalid_argument("workers must be >= 0");
+  }
   core_free_.assign(static_cast<std::size_t>(options_.cores),
                     runtime::Time{0});
+  worker_free_.assign(static_cast<std::size_t>(options_.workers),
+                      runtime::Time{0});
 }
 
-runtime::TimerId Simulation::schedule_at(runtime::Time when, Task task) {
+runtime::TimerId Simulation::enqueue(runtime::Time when, Task task,
+                                     bool job) {
   const runtime::TimerId id = next_id_++;
-  queue_.emplace(std::max(when, now_), std::make_pair(id, std::move(task)));
+  const auto it = queue_.emplace(std::max(when, now_),
+                                 Event{id, std::move(task), job});
+  by_id_.emplace(id, it);
   return id;
 }
 
-void Simulation::cancel(runtime::TimerId id) { cancelled_.insert(id); }
+runtime::TimerId Simulation::schedule_at(runtime::Time when, Task task) {
+  return enqueue(when, std::move(task), /*job=*/false);
+}
+
+bool Simulation::submit(Job job) {
+  // With no modeled workers the job is an ordinary event on the loop
+  // core — the degenerate (inline) engine the single-core figures use.
+  enqueue(now_, std::move(job), /*job=*/options_.workers > 0);
+  return true;
+}
+
+void Simulation::cancel(runtime::TimerId id) {
+  const auto it = by_id_.find(id);
+  if (it == by_id_.end()) return;
+  queue_.erase(it->second);
+  by_id_.erase(it);
+}
 
 void Simulation::consume(runtime::Duration cost) {
   if (cost <= runtime::Duration::zero()) return;
@@ -57,24 +81,26 @@ std::size_t Simulation::run_until(runtime::Time until) {
     const runtime::Time due = queue_.begin()->first;
     if (due > until) break;
     auto node = queue_.extract(queue_.begin());
-    auto [id, task] = std::move(node.mapped());
-    if (cancelled_.erase(id) > 0) continue;
+    Event event = std::move(node.mapped());
+    by_id_.erase(event.id);
 
     // The callback starts when both its due time has passed and a core
-    // is free (FIFO dispatch over due events).
-    auto free_core =
-        std::min_element(core_free_.begin(), core_free_.end());
+    // of its lane is free (FIFO dispatch over due events): pool jobs go
+    // to the earliest free worker core, timers to a loop core.
+    auto& lane = event.job ? worker_free_ : core_free_;
+    auto free_core = std::min_element(lane.begin(), lane.end());
     const runtime::Time start = std::max(due, *free_core);
     if (start > until) {
       // Would start beyond the horizon; push it back and stop.
-      queue_.emplace(due, std::make_pair(id, std::move(task)));
+      const auto it = queue_.emplace(due, std::move(event));
+      by_id_.emplace(it->second.id, it);
       break;
     }
     now_ = start;
     in_callback_ = true;
     consume(options_.dispatch_overhead);
     try {
-      task();
+      event.task();
     } catch (...) {
       // Leave the simulation re-usable after a throwing callback (the
       // crash harness injects sim::CrashInjected mid-run and then keeps
@@ -82,11 +108,13 @@ std::size_t Simulation::run_until(runtime::Time until) {
       in_callback_ = false;
       *free_core = now_;
       ++callbacks_run_;
+      if (event.job) ++jobs_run_;
       throw;
     }
     in_callback_ = false;
     *free_core = now_;
     ++callbacks_run_;
+    if (event.job) ++jobs_run_;
     ++executed;
   }
   if (queue_.empty() || queue_.begin()->first > until) {
@@ -104,7 +132,8 @@ std::vector<double> Simulation::utilization_samples(runtime::Time from,
   std::vector<double> out;
   const auto window = options_.sample_window;
   const double window_seconds = std::chrono::duration<double>(window).count();
-  const double capacity = window_seconds * options_.cores;
+  const double capacity =
+      window_seconds * (options_.cores + options_.workers);
   if (to <= from || capacity <= 0.0) return out;
   const auto first = static_cast<std::size_t>(from / window);
   const auto last = static_cast<std::size_t>((to - runtime::Duration{1}) / window);

@@ -1,33 +1,50 @@
 // Discrete-event simulation with a CPU queue model. Substitutes the
-// single-core cloud VM of the paper's engine-scale experiments
-// (§5.2, Figures 7-10): the engine's own strategy-enactment code runs
-// unmodified against this Scheduler; the simulated quantities are
-// exactly the ones the paper measures — CPU utilization over time and
-// the delay introduced when timer callbacks queue up behind a busy core.
+// cloud VM of the paper's engine-scale experiments (§5.2, Figures 7-10):
+// the engine's own strategy-enactment code runs unmodified against this
+// Scheduler; the simulated quantities are exactly the ones the paper
+// measures — CPU utilization over time and the delay introduced when
+// timer callbacks queue up behind a busy core.
 //
 // Model: timers fire at their due time but their callbacks only *start*
-// when a core is free (FIFO over due events). While a callback runs,
-// consume() advances the virtual clock by the modeled CPU cost of the
-// work it performs (metric query evaluation, proxy updates, status
+// when a loop core is free (FIFO over due events). While a callback
+// runs, consume() advances the virtual clock by the modeled CPU cost of
+// the work it performs (metric query evaluation, proxy updates, status
 // bookkeeping). now() observed inside a callback therefore includes all
 // queueing + processing delay that accumulated — which is what produces
 // the enactment delays of Figures 8 and 10, since the engine re-arms
 // check timers relative to completion time.
+//
+// Worker cores (the parallel check scheduler's model): the Simulation
+// also implements runtime::Executor. Jobs submitted through it start
+// when the earliest of `workers` dedicated worker cores is free, while
+// plain timers stay serialized on the loop core(s) — mirroring the real
+// engine, where the automaton step runs single-threaded on the
+// EventLoop and check evaluations run on a WorkStealingPool. With
+// workers == 0 a submitted job degenerates to an ordinary event on the
+// loop core (the inline, pool-less engine). Everything stays
+// deterministic: one OS thread, dispatch ordered by due time then
+// insertion order.
 #pragma once
 
 #include <cstdint>
 #include <map>
-#include <unordered_set>
+#include <unordered_map>
 #include <vector>
 
+#include "runtime/executor.hpp"
 #include "runtime/scheduler.hpp"
 
 namespace bifrost::sim {
 
-class Simulation final : public runtime::Scheduler {
+class Simulation final : public runtime::Scheduler,
+                         public runtime::Executor {
  public:
   struct Options {
+    /// Loop cores running timer callbacks (the paper's engine VM).
     int cores = 1;
+    /// Worker cores running submitted jobs (the modeled check pool);
+    /// 0 = no pool, jobs run as ordinary events on the loop cores.
+    int workers = 0;
     /// Fixed dispatch overhead added to every callback (event-loop /
     /// libuv bookkeeping in the prototype being modeled).
     runtime::Duration dispatch_overhead = std::chrono::microseconds(50);
@@ -41,7 +58,15 @@ class Simulation final : public runtime::Scheduler {
   // Scheduler interface -----------------------------------------------------
   [[nodiscard]] runtime::Time now() const override { return now_; }
   runtime::TimerId schedule_at(runtime::Time when, Task task) override;
+  /// Erases the pending event immediately (fired/unknown ids no-op and
+  /// hold no memory — same contract as EventLoop::cancel).
   void cancel(runtime::TimerId id) override;
+
+  // Executor interface ------------------------------------------------------
+
+  /// Enqueues `job` to start now on the earliest free worker core.
+  /// Never refuses (the simulation has no shutdown edge).
+  bool submit(Job job) override;
 
   // CPU model ---------------------------------------------------------------
 
@@ -51,11 +76,11 @@ class Simulation final : public runtime::Scheduler {
 
   /// Called from inside a running callback: models blocking on an
   /// external resource (a metrics provider answering a query, a proxy
-  /// acking a config push). Virtual time advances and subsequent
-  /// callbacks are delayed — the run-to-completion engine cannot make
-  /// progress — but the engine core does NOT accrue busy time. This is
-  /// what lets the reproduction show large enactment delays at moderate
-  /// engine CPU utilization, as the paper observed.
+  /// acking a config push). Virtual time advances and the occupied core
+  /// cannot start other work — the run-to-completion engine (or the
+  /// blocked pool worker) cannot make progress — but no busy time is
+  /// accrued. This is what lets the reproduction show large enactment
+  /// delays at moderate engine CPU utilization, as the paper observed.
   void wait_external(runtime::Duration wait);
 
   // Execution ---------------------------------------------------------------
@@ -72,8 +97,9 @@ class Simulation final : public runtime::Scheduler {
 
   [[nodiscard]] runtime::Duration busy_time() const { return busy_; }
 
-  /// Utilization (0..1) per sample window from t=0 to now. Windows in
-  /// which the core was never busy report 0.
+  /// Utilization (0..1) per sample window from t=0 to now, over the
+  /// combined capacity of loop + worker cores. Windows in which no core
+  /// was ever busy report 0.
   [[nodiscard]] std::vector<double> utilization_samples() const;
 
   /// Utilization samples restricted to [from, to).
@@ -81,20 +107,33 @@ class Simulation final : public runtime::Scheduler {
       runtime::Time from, runtime::Time to) const;
 
   [[nodiscard]] std::uint64_t callbacks_run() const { return callbacks_run_; }
+  /// Callbacks that ran as pool jobs on a worker core.
+  [[nodiscard]] std::uint64_t jobs_run() const { return jobs_run_; }
 
  private:
+  struct Event {
+    runtime::TimerId id = runtime::kInvalidTimer;
+    Task task;
+    bool job = false;  ///< dispatch to a worker core instead of the loop
+  };
+  using Queue = std::multimap<runtime::Time, Event>;
+
+  runtime::TimerId enqueue(runtime::Time when, Task task, bool job);
   void accrue_busy(runtime::Time from, runtime::Duration amount);
 
   Options options_;
   runtime::Time now_{0};
-  /// Per-core time at which the core becomes free.
+  /// Per-core time at which each loop core becomes free.
   std::vector<runtime::Time> core_free_;
-  std::multimap<runtime::Time, std::pair<runtime::TimerId, Task>> queue_;
-  std::unordered_set<runtime::TimerId> cancelled_;
+  /// Per-core time at which each pool worker core becomes free.
+  std::vector<runtime::Time> worker_free_;
+  Queue queue_;
+  std::unordered_map<runtime::TimerId, Queue::iterator> by_id_;
   runtime::TimerId next_id_ = 1;
   runtime::Duration busy_{0};
   std::vector<double> window_busy_seconds_;  // indexed by window number
   std::uint64_t callbacks_run_ = 0;
+  std::uint64_t jobs_run_ = 0;
   bool in_callback_ = false;
 };
 

@@ -301,6 +301,80 @@ TEST(Histogram, PercentileAccuracyAgainstExact) {
   }
 }
 
+// Property test over random fills: for any mixture of in-range,
+// underflow, and overflow observations, percentile() must be monotone
+// in p across the whole [0, 100] grid, out-of-range p must clamp, and
+// the estimate must stay inside the observed value envelope (widened to
+// bucket resolution).
+TEST(Histogram, PercentilePropertiesOverRandomFills) {
+  const std::vector<double> grid{0.0,  0.1,  1.0,  5.0,  25.0, 50.0,
+                                 75.0, 90.0, 99.0, 99.9, 100.0};
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    Histogram histogram;
+    util::Rng rng(seed);
+    const int fills = static_cast<int>(rng.uniform_int(1, 2000));
+    for (int i = 0; i < fills; ++i) {
+      double value = 0.0;
+      switch (rng.uniform_int(0, 3)) {
+        case 0:  // underflow branch: below the smallest resolvable value
+          value = rng.uniform() * Histogram::kMinValue;
+          break;
+        case 1:  // overflow branch: beyond the last finite bucket
+          value = Histogram::bucket_upper(Histogram::kBuckets) *
+                  (1.0 + rng.uniform() * 10.0);
+          break;
+        default:  // latency-shaped in-range mass
+          value = rng.exponential(25.0);
+          break;
+      }
+      histogram.observe(value);
+    }
+
+    double previous = -1.0;
+    for (const double p : grid) {
+      const double value = histogram.percentile(p);
+      EXPECT_GE(value, previous) << "seed " << seed << " p " << p;
+      EXPECT_GE(value, 0.0) << "seed " << seed << " p " << p;
+      EXPECT_LE(value, Histogram::bucket_upper(Histogram::kBuckets))
+          << "seed " << seed << " p " << p;
+      previous = value;
+    }
+    // Out-of-range p clamps to the endpoints instead of extrapolating.
+    EXPECT_DOUBLE_EQ(histogram.percentile(-10.0), histogram.percentile(0.0))
+        << "seed " << seed;
+    EXPECT_DOUBLE_EQ(histogram.percentile(200.0), histogram.percentile(100.0))
+        << "seed " << seed;
+  }
+}
+
+TEST(Histogram, AllUnderflowFillStaysBelowMinValue) {
+  Histogram histogram;
+  util::Rng rng(3);
+  for (int i = 0; i < 500; ++i) {
+    histogram.observe(rng.uniform() * Histogram::kMinValue * 0.99);
+  }
+  // Every observation landed in the underflow bucket; estimates
+  // interpolate inside [0, kMinValue) and never invent in-range mass.
+  for (const double p : {0.0, 10.0, 50.0, 99.0, 100.0}) {
+    EXPECT_GE(histogram.percentile(p), 0.0) << "p " << p;
+    EXPECT_LE(histogram.percentile(p), Histogram::kMinValue) << "p " << p;
+  }
+}
+
+TEST(Histogram, AllOverflowFillReturnsTopBound) {
+  Histogram histogram;
+  util::Rng rng(4);
+  const double top = Histogram::bucket_upper(Histogram::kBuckets);
+  for (int i = 0; i < 500; ++i) {
+    histogram.observe(top * (1.5 + rng.uniform()));
+  }
+  // The overflow bucket has no finite upper edge, so the estimate is
+  // floored at the last finite bound for every p.
+  for (const double p : {0.0, 50.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(histogram.percentile(p), top) << "p " << p;
+  }
+}
+
 TEST(Histogram, ConcurrentObserversLoseNothing) {
   Histogram histogram;
   constexpr int kThreads = 8;

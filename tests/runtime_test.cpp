@@ -58,6 +58,44 @@ TEST(ManualClock, CancelPreventsDelivery) {
   EXPECT_EQ(clock.pending(), 0u);
 }
 
+TEST(ManualClock, CancelReleasesEntryImmediately) {
+  ManualClock clock;
+  const TimerId pending = clock.schedule_at(Time(5ms), [] {});
+  const TimerId kept = clock.schedule_at(Time(6ms), [] {});
+  EXPECT_EQ(clock.pending(), 2u);
+
+  // Cancelling a pending timer erases its queue entry at cancel time —
+  // pending() drops immediately, nothing is retained until the due time.
+  clock.cancel(pending);
+  EXPECT_EQ(clock.pending(), 1u);
+
+  // Unknown ids and double-cancels are no-ops and hold no memory.
+  clock.cancel(pending);
+  clock.cancel(TimerId{999999});
+  EXPECT_EQ(clock.pending(), 1u);
+
+  // A fired timer's id is forgotten: cancelling it is a no-op too.
+  bool fired = false;
+  const TimerId live = clock.schedule_at(Time(7ms), [&] { fired = true; });
+  clock.advance_to(Time(10ms));
+  EXPECT_TRUE(fired);
+  clock.cancel(live);
+  clock.cancel(kept);  // already fired as well
+  EXPECT_EQ(clock.pending(), 0u);
+}
+
+TEST(ManualClock, ManyCancelledTimersHoldNoMemory) {
+  // Regression: cancelled ids used to accumulate in a tombstone set
+  // until their due time arrived; with far-future deadlines that meant
+  // unbounded growth under arm/cancel churn (exactly what the engine's
+  // tracked marshalling timers produce).
+  ManualClock clock;
+  for (int i = 0; i < 10000; ++i) {
+    clock.cancel(clock.schedule_at(Time(1000s), [] {}));
+  }
+  EXPECT_EQ(clock.pending(), 0u);
+}
+
 TEST(ManualClock, PastSchedulesClampToNow) {
   ManualClock clock;
   clock.advance_to(Time(100ms));
@@ -126,6 +164,39 @@ TEST(EventLoop, CancelDropsTask) {
   loop.stop();
 }
 
+TEST(EventLoop, CancelReleasesEntryImmediately) {
+  EventLoop loop;
+  loop.start();
+  const TimerId far = loop.schedule_after(Duration(100s), [] {});
+  EXPECT_EQ(loop.pending(), 1u);
+  loop.cancel(far);
+  EXPECT_EQ(loop.pending(), 0u);  // erased at cancel time, not at due time
+
+  loop.cancel(far);               // double-cancel: no-op
+  loop.cancel(TimerId{999999});   // unknown id: no-op
+  EXPECT_EQ(loop.pending(), 0u);
+
+  std::atomic<bool> fired{false};
+  const TimerId quick = loop.schedule_after(Duration(1ms), [&] { fired = true; });
+  for (int i = 0; i < 200 && !fired; ++i) std::this_thread::sleep_for(5ms);
+  ASSERT_TRUE(fired);
+  loop.cancel(quick);  // fired id is forgotten: no-op
+  EXPECT_EQ(loop.pending(), 0u);
+  loop.stop();
+}
+
+TEST(EventLoop, CancelChurnLeavesNothingPending) {
+  // Regression for the tombstone-set leak: cancelled far-future timers
+  // must not be retained anywhere (pending() counts live queue entries).
+  EventLoop loop;
+  loop.start();
+  for (int i = 0; i < 5000; ++i) {
+    loop.cancel(loop.schedule_after(Duration(1000s), [] {}));
+  }
+  EXPECT_EQ(loop.pending(), 0u);
+  loop.stop();
+}
+
 TEST(EventLoop, StopIsIdempotentAndDropsPending) {
   EventLoop loop;
   loop.start();
@@ -182,10 +253,10 @@ TEST(ThreadPool, DrainsQueueOnShutdown) {
   ThreadPool pool(1);
   std::atomic<int> count{0};
   for (int i = 0; i < 20; ++i) {
-    pool.submit([&] {
+    EXPECT_TRUE(pool.submit([&] {
       std::this_thread::sleep_for(1ms);
       count.fetch_add(1);
-    });
+    }));
   }
   pool.shutdown();
   EXPECT_EQ(count.load(), 20);
@@ -194,8 +265,8 @@ TEST(ThreadPool, DrainsQueueOnShutdown) {
 TEST(ThreadPool, SurvivesThrowingTask) {
   ThreadPool pool(2);
   std::atomic<bool> later{false};
-  pool.submit([] { throw std::runtime_error("pool boom"); });
-  pool.submit([&] { later = true; });
+  EXPECT_TRUE(pool.submit([] { throw std::runtime_error("pool boom"); }));
+  EXPECT_TRUE(pool.submit([&] { later = true; }));
   pool.shutdown();
   EXPECT_TRUE(later);
 }
