@@ -17,6 +17,15 @@ inline bool full_mode() {
   return env != nullptr && std::string(env) == "1";
 }
 
+/// BIFROST_BENCH_SMOKE=1 selects seconds-scale durations: every bench
+/// binary must finish quickly while still driving its real code paths.
+/// The CI smoke job runs all benches this way; numbers are meaningless,
+/// only "it runs to completion" is checked. Smoke wins over full.
+inline bool smoke_mode() {
+  const char* env = std::getenv("BIFROST_BENCH_SMOKE");
+  return env != nullptr && std::string(env) == "1";
+}
+
 /// All bench CSVs land in bench/out/ (git-ignored), never the repo root.
 inline std::string out_path(const std::string& filename) {
   std::filesystem::create_directories("bench/out");

@@ -15,11 +15,16 @@
 //
 // Default phase durations are compressed (8/8/8/10 s vs the paper's
 // 60/60/60/200 s); BIFROST_BENCH_FULL=1 selects paper durations.
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
@@ -33,6 +38,7 @@
 #include "loadgen/loadgen.hpp"
 #include "loadgen/workload.hpp"
 #include "metrics/registry.hpp"
+#include "net/tcp.hpp"
 #include "proxy/proxy.hpp"
 #include "proxy/session_table.hpp"
 #include "runtime/event_loop.hpp"
@@ -183,7 +189,8 @@ SweepPoint run_sweep_point(Path& path, const proxy::ProxyConfig& config,
   std::vector<std::thread> workers;
   for (int t = 0; t < threads; ++t) {
     workers.emplace_back([&, t] {
-      util::Rng thread_rng(util::derive_seed(42, static_cast<std::uint64_t>(t)));
+      util::Rng thread_rng(
+          util::derive_seed(42, static_cast<std::uint64_t>(t)));
       std::vector<std::string> ids;
       for (int i = 0; i < 256; ++i) {
         ids.push_back("s-" + std::to_string(t) + "-" + std::to_string(i));
@@ -230,7 +237,9 @@ SweepPoint run_sweep_point(Path& path, const proxy::ProxyConfig& config,
 
 void run_scaling_sweep() {
   const proxy::ProxyConfig config = sweep_config();
-  const double seconds = bifrost::bench::full_mode() ? 2.0 : 0.4;
+  const double seconds = bifrost::bench::smoke_mode() ? 0.1
+                         : bifrost::bench::full_mode() ? 2.0
+                                                       : 0.4;
   bifrost::bench::print_header(
       "Routing-decision scaling sweep (closed loop, sticky 50/50 split)");
   std::printf(
@@ -345,7 +354,9 @@ ShedArm run_shed_arm(bool protect, double seconds) {
 }
 
 void run_shed_vs_saturate() {
-  const double seconds = bifrost::bench::full_mode() ? 3.0 : 0.8;
+  const double seconds = bifrost::bench::smoke_mode() ? 0.3
+                         : bifrost::bench::full_mode() ? 3.0
+                                                       : 0.8;
   bifrost::bench::print_header(
       "Shed vs saturate: dark-launch duplication onto shared capacity");
   std::printf(
@@ -367,6 +378,243 @@ void run_shed_vs_saturate() {
               shed.requests, shed.p50_ms, shed.p99_ms,
               static_cast<unsigned long long>(shed.shadow_copies),
               static_cast<unsigned long long>(shed.shadows_shed));
+  std::printf("\n(record new numbers in bench/TRAJECTORY.md)\n");
+}
+
+// ---------------------------------------------------------------------------
+// I/O-layer sweep: the reactor backend vs the legacy threaded backend
+// under many concurrent keep-alive connections. The flood client runs
+// in a separate process (fork + exec of this binary in client mode) so
+// the 10k-connection points fit under the per-process fd limit — server
+// and client each hold one fd per connection. exec immediately after
+// fork keeps the fork safe despite the parent's reactor threads.
+//
+// The client opens N keep-alive connections up front, then a small set
+// of driver threads round-robins GET requests across them, so every
+// connection stays open and periodically active while only a few
+// requests are in flight — the "mostly-idle fleet" shape that event
+//-driven I/O exists for. Per-request latency is measured around each
+// write+read pair.
+
+struct IoPoint {
+  std::size_t conns = 0;
+  std::uint64_t requests = 0;
+  double rps = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  std::uint64_t errors = 0;
+};
+
+/// Client-mode entry: dials, floods, prints one RESULT line on stdout.
+int io_client_main() {
+  const std::uint16_t port =
+      static_cast<std::uint16_t>(std::atoi(std::getenv("BIFROST_IO_PORT")));
+  const std::size_t conns = static_cast<std::size_t>(
+      std::atoll(std::getenv("BIFROST_IO_CONNS")));
+  const double seconds = std::atof(std::getenv("BIFROST_IO_SECONDS"));
+  constexpr int kDrivers = 4;
+
+  std::vector<net::TcpStream> sockets;
+  sockets.reserve(conns);
+  for (std::size_t i = 0; i < conns; ++i) {
+    auto stream = net::TcpStream::connect("127.0.0.1", port, 5000ms);
+    if (!stream.ok()) {
+      std::printf("RESULT error=connect:%s after=%zu\n",
+                  stream.error_message().c_str(), i);
+      return 1;
+    }
+    sockets.push_back(std::move(stream).value());
+  }
+
+  const std::string wire =
+      "GET /ping HTTP/1.1\r\nHost: bench\r\n\r\n";
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> total{0};
+  std::atomic<std::uint64_t> errors{0};
+  std::vector<std::vector<double>> samples(kDrivers);
+  std::vector<std::thread> drivers;
+  const std::size_t per_driver = (conns + kDrivers - 1) / kDrivers;
+  for (int d = 0; d < kDrivers; ++d) {
+    drivers.emplace_back([&, d] {
+      const std::size_t begin = static_cast<std::size_t>(d) * per_driver;
+      const std::size_t end = std::min(begin + per_driver, conns);
+      if (begin >= end) return;
+      auto& my_samples = samples[static_cast<std::size_t>(d)];
+      my_samples.reserve(1 << 16);
+      std::string response;
+      response.reserve(4096);
+      char buf[4096];
+      std::uint64_t ops = 0;
+      for (std::size_t i = begin; !stop.load(std::memory_order_relaxed);
+           i = (i + 1 < end) ? i + 1 : begin) {
+        const auto op_start = std::chrono::steady_clock::now();
+        if (!sockets[i].write_all(wire)) {
+          errors.fetch_add(1);
+          continue;
+        }
+        // Read until the 2-byte body ("ok") past the blank line.
+        response.clear();
+        bool done = false;
+        while (!done) {
+          const auto n = sockets[i].read_some(buf, sizeof buf);
+          if (!n.ok() || n.value() == 0) {
+            errors.fetch_add(1);
+            break;
+          }
+          response.append(buf, n.value());
+          const auto head_end = response.find("\r\n\r\n");
+          done = head_end != std::string::npos &&
+                 response.size() >= head_end + 4 + 2;
+        }
+        const auto op_end = std::chrono::steady_clock::now();
+        if (done) {
+          ++ops;
+          if (my_samples.size() < (1u << 16)) {
+            my_samples.push_back(
+                std::chrono::duration<double, std::micro>(op_end - op_start)
+                    .count());
+          }
+        }
+      }
+      total.fetch_add(ops);
+    });
+  }
+  const auto bench_start = std::chrono::steady_clock::now();
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  stop.store(true);
+  for (auto& driver : drivers) driver.join();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    bench_start)
+          .count();
+  std::vector<double> merged;
+  for (auto& chunk : samples) {
+    merged.insert(merged.end(), chunk.begin(), chunk.end());
+  }
+  std::printf("RESULT reqs=%llu rps=%.0f p50_us=%.1f p99_us=%.1f "
+              "errors=%llu\n",
+              static_cast<unsigned long long>(total.load()),
+              static_cast<double>(total.load()) / elapsed,
+              merged.empty() ? 0.0 : util::percentile(merged, 50.0),
+              merged.empty() ? 0.0 : util::percentile(merged, 99.0),
+              static_cast<unsigned long long>(errors.load()));
+  return 0;
+}
+
+/// Forks + execs this binary in client mode against `port`; parses the
+/// child's RESULT line.
+IoPoint run_io_client(std::uint16_t port, std::size_t conns,
+                      double seconds) {
+  IoPoint point;
+  point.conns = conns;
+  int out_pipe[2];
+  if (::pipe(out_pipe) != 0) return point;
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    // Child: async-signal-safe region — dup2 + execve only.
+    ::dup2(out_pipe[1], STDOUT_FILENO);
+    ::close(out_pipe[0]);
+    ::close(out_pipe[1]);
+    char port_env[64];
+    char conns_env[64];
+    char secs_env[64];
+    std::snprintf(port_env, sizeof port_env, "BIFROST_IO_PORT=%u", port);
+    std::snprintf(conns_env, sizeof conns_env, "BIFROST_IO_CONNS=%zu",
+                  conns);
+    std::snprintf(secs_env, sizeof secs_env, "BIFROST_IO_SECONDS=%.3f",
+                  seconds);
+    char mode_env[] = "BIFROST_IO_CLIENT=1";
+    char* envp[] = {mode_env, port_env, conns_env, secs_env, nullptr};
+    char exe[] = "/proc/self/exe";
+    char* argv[] = {exe, nullptr};
+    ::execve(exe, argv, envp);
+    ::_exit(127);
+  }
+  ::close(out_pipe[1]);
+  std::string output;
+  char buf[512];
+  ssize_t n = 0;
+  while ((n = ::read(out_pipe[0], buf, sizeof buf)) > 0) {
+    output.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(out_pipe[0]);
+  int status = 0;
+  ::waitpid(pid, &status, 0);
+  unsigned long long reqs = 0;
+  unsigned long long errors = 0;
+  const auto result_at = output.find("RESULT reqs=");
+  if (result_at != std::string::npos &&
+      std::sscanf(output.c_str() + result_at,
+                  "RESULT reqs=%llu rps=%lf p50_us=%lf p99_us=%lf "
+                  "errors=%llu",
+                  &reqs, &point.rps, &point.p50_us, &point.p99_us,
+                  &errors) == 5) {
+    point.requests = reqs;
+    point.errors = errors;
+  } else {
+    std::fprintf(stderr, "io client failed: %s\n", output.c_str());
+  }
+  return point;
+}
+
+void run_io_sweep() {
+  const double seconds =
+      bifrost::bench::smoke_mode() ? 0.3
+      : bifrost::bench::full_mode() ? 5.0
+                                    : 2.0;
+  bifrost::bench::print_header(
+      "I/O-layer sweep: reactor vs threaded HttpServer backend, "
+      "keep-alive fleets");
+  std::printf(
+      "flood client in a forked process, 4 driver threads round-robin\n"
+      "GETs over N open keep-alive connections; trivial handler. The\n"
+      "legacy backend is capped at 1k conns: its dispatcher rebuilds an\n"
+      "O(n) poll set per request and accepts one connection per poll\n"
+      "round, so larger fleets take minutes just to dial. %.1f s per\n"
+      "point, %u hardware threads.\n\n",
+      seconds, std::thread::hardware_concurrency());
+
+  struct Arm {
+    const char* name;
+    http::HttpServer::Backend backend;
+    std::size_t reactor_workers;
+    std::vector<std::size_t> conns;
+  };
+  std::vector<std::size_t> reactor_conns{100, 1000, 5000, 10000};
+  std::vector<std::size_t> thread_conns{100, 1000};
+  if (bifrost::bench::smoke_mode()) {
+    reactor_conns = {50};
+    thread_conns = {50};
+  }
+  const std::vector<Arm> arms = {
+      {"threads", http::HttpServer::Backend::kThreads, 0, thread_conns},
+      {"reactor-1w", http::HttpServer::Backend::kReactor, 1, reactor_conns},
+      {"reactor-2w", http::HttpServer::Backend::kReactor, 2, reactor_conns},
+      {"reactor-4w", http::HttpServer::Backend::kReactor, 4, reactor_conns},
+  };
+
+  std::printf("%-10s | %6s | %8s | %9s | %9s | %9s | %6s\n", "backend",
+              "conns", "reqs", "req/s", "p50 us", "p99 us", "errors");
+  for (const Arm& arm : arms) {
+    for (const std::size_t conns : arm.conns) {
+      http::HttpServer::Options options;
+      options.backend = arm.backend;
+      options.reactor_workers = arm.reactor_workers;
+      options.worker_threads = 4;
+      http::HttpServer server(options, [](const http::Request&) {
+        return http::Response::text(200, "ok");
+      });
+      server.start();
+      const IoPoint point = run_io_client(server.port(), conns, seconds);
+      std::printf("%-10s | %6zu | %8llu | %9.0f | %9.1f | %9.1f | %6llu\n",
+                  arm.name, point.conns,
+                  static_cast<unsigned long long>(point.requests), point.rps,
+                  point.p50_us, point.p99_us,
+                  static_cast<unsigned long long>(point.errors));
+      std::fflush(stdout);
+      server.stop();
+    }
+  }
   std::printf("\n(record new numbers in bench/TRAJECTORY.md)\n");
 }
 
@@ -637,10 +885,31 @@ VariantResult run_variant(Variant variant, const Timeline& t) {
 }  // namespace
 
 int main() {
+  // Re-exec'd child flood process for the I/O sweep (see run_io_client).
+  if (std::getenv("BIFROST_IO_CLIENT") != nullptr) {
+    return io_client_main();
+  }
+
+  // BIFROST_BENCH_IO_ONLY=1 runs just the reactor-vs-threads I/O sweep.
+  if (const char* only = std::getenv("BIFROST_BENCH_IO_ONLY");
+      only != nullptr && only[0] == '1') {
+    run_io_sweep();
+    return 0;
+  }
+
   // BIFROST_BENCH_SHED_ONLY=1 runs just the shed-vs-saturate comparison.
   if (const char* only = std::getenv("BIFROST_BENCH_SHED_ONLY");
       only != nullptr && only[0] == '1') {
     run_shed_vs_saturate();
+    return 0;
+  }
+
+  // Smoke mode: touch every arm briefly, skip the multi-minute Table 1
+  // reproduction (its timeline cannot compress to seconds meaningfully).
+  if (bifrost::bench::smoke_mode()) {
+    run_scaling_sweep();
+    run_shed_vs_saturate();
+    run_io_sweep();
     return 0;
   }
 
@@ -654,6 +923,9 @@ int main() {
 
   // Part 2: overload protection — shadow shedding vs saturation.
   run_shed_vs_saturate();
+
+  // Part 3: the I/O layer itself — reactor vs threaded backend.
+  run_io_sweep();
 
   Timeline t;
   if (bifrost::bench::full_mode()) {

@@ -11,7 +11,9 @@
 #include <benchmark/benchmark.h>
 
 #include <sstream>
+#include <vector>
 
+#include "bench_common.hpp"
 #include "core/analysis.hpp"
 #include "core/model.hpp"
 #include "dsl/dsl.hpp"
@@ -70,7 +72,10 @@ void BM_RoutingDecision_CookieSticky(benchmark::State& state) {
         config, request, ids[next++ % ids.size()], sticky, rng));
   }
 }
-BENCHMARK(BM_RoutingDecision_CookieSticky)->Range(100, 1000000);
+// Setup cost (building the sticky table) dominates the big range
+// points, so smoke mode stops at 1k entries.
+BENCHMARK(BM_RoutingDecision_CookieSticky)
+    ->Range(100, bifrost::bench::smoke_mode() ? 1000 : 1000000);
 
 void BM_RoutingDecision_Header(benchmark::State& state) {
   proxy::ProxyConfig config;
@@ -320,4 +325,19 @@ BENCHMARK(BM_JsonParseStatusEvent);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Hand-rolled BENCHMARK_MAIN so BIFROST_BENCH_SMOKE=1 can clamp every
+// benchmark to a minimal measuring window (CI runs all benches this way
+// to prove they still execute; the numbers are discarded).
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  char min_time[] = "--benchmark_min_time=0.01";
+  if (bifrost::bench::smoke_mode()) args.push_back(min_time);
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -244,10 +244,16 @@ double sim_delay_seconds(int n_groups, int workers) {
 }  // namespace
 
 int main() {
-  const int repetitions = bifrost::bench::full_mode() ? 5 : 3;
+  const int repetitions = bifrost::bench::smoke_mode() ? 1
+                          : bifrost::bench::full_mode() ? 5
+                                                        : 3;
   // Paper: step size 10 groups (80 checks), 8..1600.
   std::vector<int> groups{1};
-  for (int g = 10; g <= 200; g += 10) groups.push_back(g);
+  if (bifrost::bench::smoke_mode()) {
+    groups.push_back(10);
+  } else {
+    for (int g = 10; g <= 200; g += 10) groups.push_back(g);
+  }
 
   std::printf("Reproduction of paper Figures 9 and 10 (single strategy,\n"
               "two 60 s phases, 8n parallel checks re-executed every 12 s,\n"
@@ -307,6 +313,7 @@ int main() {
   bifrost::bench::print_header(
       "Multicore: enactment delay (s), 1 loop core + W pool workers");
   std::vector<int> sweep_groups{10, 50, 100, 200};
+  if (bifrost::bench::smoke_mode()) sweep_groups = {10};
   const std::vector<int> worker_counts{0, 1, 2, 4, 8};
   std::printf("checks |");
   for (const int w : worker_counts)
@@ -334,6 +341,9 @@ int main() {
   // run slightly above the model (OS sleep granularity inflates the
   // scaled 40-100 us query costs); the scaling behavior is what must
   // agree for the multicore table above to be trustworthy.
+  // Skipped in smoke mode: the real-EventLoop arm runs in wall time
+  // (seconds per worker count) by construction.
+  if (bifrost::bench::smoke_mode()) return 0;
   bifrost::bench::print_header(
       "Sim vs real (400 checks, costs and intervals / 100)");
   const int agreement_groups = 50;

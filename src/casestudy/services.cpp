@@ -92,8 +92,8 @@ http::Response AuthService::serve(const http::Request& request) {
     if (email.empty()) return http::Response::bad_request("missing email");
 
     // Validate credentials against the user collection in the DB.
-    auto users = client_.get(
-        docstore_.url("/db/users?field=email&value=" + http::url_encode(email)));
+    auto users = client_.get(docstore_.url("/db/users?field=email&value=" +
+                                           http::url_encode(email)));
     if (!users.ok() || users.value().status != 200) {
       return http::Response::bad_gateway("user store unavailable");
     }

@@ -193,7 +193,9 @@ Result<MetricCondition> condition_from_json(const json::Value& v) {
     return Result<MetricCondition>::error("condition is missing validator");
   }
   auto parsed = validator_from_json(*val);
-  if (!parsed.ok()) return Result<MetricCondition>::error(parsed.error_message());
+  if (!parsed.ok()) {
+    return Result<MetricCondition>::error(parsed.error_message());
+  }
   c.validator = parsed.value();
   c.fail_on_no_data = v.get_bool("failOnNoData", true);
   return Result<MetricCondition>(std::move(c));
@@ -302,7 +304,9 @@ json::Value state_to_json(const StateDef& s) {
   for (const std::string& t : s.transitions) transitions.emplace_back(t);
   o["transitions"] = std::move(transitions);
   json::Array routing;
-  for (const ServiceRouting& r : s.routing) routing.push_back(routing_to_json(r));
+  for (const ServiceRouting& r : s.routing) {
+    routing.push_back(routing_to_json(r));
+  }
   o["routing"] = std::move(routing);
   o["minDurationNs"] = duration_to_json(s.min_duration);
   switch (s.final_kind) {
@@ -430,7 +434,9 @@ json::Value strategy_to_json(const StrategyDef& def) {
   json::Object o;
   o["name"] = def.name;
   json::Array services;
-  for (const ServiceDef& s : def.services) services.push_back(service_to_json(s));
+  for (const ServiceDef& s : def.services) {
+    services.push_back(service_to_json(s));
+  }
   o["services"] = std::move(services);
   json::Array states;
   for (const StateDef& s : def.states) states.push_back(state_to_json(s));
@@ -478,7 +484,9 @@ util::Result<StrategyDef> strategy_from_json(const json::Value& v) {
       ProviderConfig p;
       p.host = pv.get_string("host");
       p.port = static_cast<std::uint16_t>(pv.get_number("port"));
-      if (const json::Value* r = pv.find("retry")) p.retry = retry_from_json(*r);
+      if (const json::Value* r = pv.find("retry")) {
+        p.retry = retry_from_json(*r);
+      }
       if (const json::Value* b = pv.find("circuitBreaker")) {
         p.circuit_breaker = breaker_from_json(*b);
       }

@@ -57,7 +57,9 @@ Result<void> validate_check(const StrategyDef& strategy, const StateDef& state,
                             const CheckDef& check) {
   const std::string where =
       "state '" + state.name + "' check '" + check.name + "': ";
-  if (check.name.empty()) return fail("state '" + state.name + "': unnamed check");
+  if (check.name.empty()) {
+    return fail("state '" + state.name + "': unnamed check");
+  }
   if (check.executions < 1) return fail(where + "executions must be >= 1");
   if (check.interval <= runtime::Duration::zero()) {
     return fail(where + "interval must be positive");

@@ -312,7 +312,8 @@ ServiceRouting parse_route(const yaml::Node& item, StateDef& state,
     }
     // Shadow filters push the full-traffic source split; drop zero-
     // percent leftovers from mixed forms.
-    std::erase_if(merged, [](const VersionSplit& s) { return s.percent <= 0.0; });
+    std::erase_if(merged,
+                  [](const VersionSplit& s) { return s.percent <= 0.0; });
     routing.splits = std::move(merged);
     return routing;
   }
@@ -322,9 +323,9 @@ ServiceRouting parse_route(const yaml::Node& item, StateDef& state,
     for (const yaml::Node& entry : split->items()) {
       const yaml::Node& split_body = unwrap(entry, "version");
       VersionSplit version_split;
-      version_split.version = split_body.is_scalar()
-                                  ? split_body.as_string()
-                                  : require_string(split_body, "version", where);
+      version_split.version =
+          split_body.is_scalar() ? split_body.as_string()
+                                 : require_string(split_body, "version", where);
       version_split.percent = split_body.is_mapping()
                                   ? split_body.get_double("percent", 0.0)
                                   : 0.0;
@@ -362,7 +363,8 @@ StateDef parse_state(const yaml::Node& body) {
   state.name = require_string(body, "name", "state");
   const std::string where = "state '" + state.name + "'";
 
-  if (const yaml::Node* final_node = body.find("final"); final_node != nullptr) {
+  if (const yaml::Node* final_node = body.find("final");
+      final_node != nullptr) {
     const std::string kind = final_node->as_string();
     if (kind == "success") {
       state.final_kind = FinalKind::kSuccess;
@@ -527,7 +529,8 @@ std::vector<StateDef> expand_rollout(const yaml::Node& body) {
 // defaults are chosen so the smallest useful block (`retry: {}`)
 // behaves sensibly.
 
-core::RetryPolicy parse_retry(const yaml::Node& node, const std::string& where) {
+core::RetryPolicy parse_retry(const yaml::Node& node,
+                              const std::string& where) {
   if (!node.is_mapping()) fail(where + ": 'retry' must be a mapping");
   core::RetryPolicy retry;
   retry.max_attempts = static_cast<int>(node.get_int("maxAttempts", 3));
@@ -547,7 +550,8 @@ core::CircuitBreakerPolicy parse_circuit_breaker(const yaml::Node& node,
   breaker.failure_threshold =
       static_cast<int>(node.get_int("failureThreshold", 5));
   breaker.open_duration = seconds(node.get_double("openDuration", 30.0));
-  breaker.half_open_probes = static_cast<int>(node.get_int("halfOpenProbes", 1));
+  breaker.half_open_probes =
+      static_cast<int>(node.get_int("halfOpenProbes", 1));
   return breaker;
 }
 
@@ -609,7 +613,8 @@ core::ProviderConfig parse_provider(const std::string& name,
   const std::string where = "provider '" + name + "'";
   core::ProviderConfig provider;
   provider.host = require_string(body, "host", where);
-  provider.port = static_cast<std::uint16_t>(require_number(body, "port", where));
+  provider.port =
+      static_cast<std::uint16_t>(require_number(body, "port", where));
   parse_resilience(body, where, provider);
   return provider;
 }
@@ -676,7 +681,8 @@ StrategyDef compile_document(const yaml::Node& root) {
 
   StrategyDef strategy;
   strategy.name = strategy_node->get_string("name", "unnamed");
-  strategy.initial_state = require_string(*strategy_node, "initial", "strategy");
+  strategy.initial_state =
+      require_string(*strategy_node, "initial", "strategy");
 
   // Providers may be declared inline in the strategy part too.
   if (const yaml::Node* providers = strategy_node->find("providers");

@@ -105,13 +105,13 @@ struct ResumeState {
   enum class Pending {
     kNone,        ///< mid-state: finish applies, re-arm timers, keep going
     kStart,       ///< submitted but never started
-    kEnterState,  ///< enter `target` fresh (after kStarted; no exit bookkeeping)
+    kEnterState,  ///< enter `target` fresh (after kStarted; no exit work)
     kTransition,  ///< leave the current state for `target` (after completion)
     kException,   ///< exception fired: transition to `target` via exception
     kRollback,    ///< unrecoverable proxy failure: divert to rollback path
   };
   Pending pending = Pending::kNone;
-  std::string target;         ///< successor state (kEnterState/kTransition/kException)
+  std::string target;  ///< successor (kEnterState/kTransition/kException)
   std::string pending_check;  ///< check that fired (kException)
   bool exception_journaled = false;  ///< kExceptionTriggered already journaled
   std::string pending_reason;        ///< failure reason (kRollback)

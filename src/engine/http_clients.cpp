@@ -29,11 +29,12 @@ util::Result<std::optional<double>> HttpMetricsClient::query(
   return std::optional<double>{data->get_number("value", 0.0)};
 }
 
-util::Result<void> HttpProxyController::apply(const core::ServiceDef& service,
-                                              const proxy::ProxyConfig& config) {
+util::Result<void> HttpProxyController::apply(
+    const core::ServiceDef& service, const proxy::ProxyConfig& config) {
   using R = util::Result<void>;
   if (service.proxy_admin_host.empty() || service.proxy_admin_port == 0) {
-    return R::error("service '" + service.name + "' has no proxy admin endpoint");
+    return R::error("service '" + service.name +
+                    "' has no proxy admin endpoint");
   }
   const std::string url = "http://" + service.proxy_admin_host + ":" +
                           std::to_string(service.proxy_admin_port) +

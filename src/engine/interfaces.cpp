@@ -79,7 +79,8 @@ util::Result<proxy::ProxyConfig> build_proxy_config(
   }
   config.overload = service.overload;
   for (const core::ShadowRule& shadow : routing.shadows) {
-    const core::VersionDef* target = service.find_version(shadow.target_version);
+    const core::VersionDef* target =
+        service.find_version(shadow.target_version);
     if (target == nullptr) {
       return R::error("service '" + service.name + "' has no version '" +
                       shadow.target_version + "'");

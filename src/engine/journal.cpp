@@ -132,7 +132,8 @@ JournalReadResult parse_journal_bytes(std::string_view bytes) {
                                  std::to_string(offset);
       break;
     }
-    const std::string_view payload = bytes.substr(offset + kFrameHeader, length);
+    const std::string_view payload =
+        bytes.substr(offset + kFrameHeader, length);
     if (util::crc32(payload) != crc) {
       result.truncated_tail = true;
       result.truncation_reason =
@@ -245,7 +246,8 @@ Result<JournalReadResult> read_journal_file(const std::string& path) {
 Result<void> truncate_journal_file(const std::string& path,
                                    std::uint64_t valid_bytes) {
   if (::truncate(path.c_str(), static_cast<off_t>(valid_bytes)) != 0) {
-    return Result<void>::error(errno_message("truncate journal '" + path + "'"));
+    return Result<void>::error(
+        errno_message("truncate journal '" + path + "'"));
   }
   return {};
 }

@@ -65,9 +65,9 @@ std::size_t ProxyEventPump::poll_once() {
 }
 
 std::size_t ProxyEventPump::drain(Watched& watched) {
-  const std::string url = "http://" + watched.host + ":" +
-                          std::to_string(watched.port) +
-                          "/admin/events?since=" + std::to_string(watched.cursor);
+  const std::string url =
+      "http://" + watched.host + ":" + std::to_string(watched.port) +
+      "/admin/events?since=" + std::to_string(watched.cursor);
   auto response = client_.get(url);
   if (!response.ok() || response.value().status != 200) return 0;
   auto doc = json::parse(response.value().body);

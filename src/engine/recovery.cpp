@@ -404,7 +404,8 @@ Result<void> StateTracker::load_snapshot(const json::Value& snapshot) {
     rs.current_state = entry.get_string("currentState");
     rs.started_at = time_from(entry, "startedNs");
     rs.finished_at = time_from(entry, "finishedNs");
-    rs.transitions = static_cast<std::uint64_t>(entry.get_number("transitions"));
+    rs.transitions =
+        static_cast<std::uint64_t>(entry.get_number("transitions"));
     rs.checks_executed =
         static_cast<std::uint64_t>(entry.get_number("checksExecuted"));
     if (const json::Value* history = entry.find("history");

@@ -1,20 +1,36 @@
 #include "http/client.hpp"
 
+#include <poll.h>
+
 #include <algorithm>
 
 #include "http/url.hpp"
 #include "util/strings.hpp"
 
 namespace bifrost::http {
+namespace {
+
+/// An idle keep-alive socket should be silent. Readable means the
+/// backend already sent something (a FIN shows as readable-with-EOF;
+/// stray bytes would desynchronize the next exchange); POLLERR/POLLHUP
+/// mean it is dead. Zero timeout: this never blocks.
+bool idle_socket_healthy(int fd) {
+  pollfd pfd{fd, POLLIN, 0};
+  const int rc = ::poll(&pfd, 1, /*timeout_ms=*/0);
+  if (rc < 0) return false;
+  return rc == 0 || (pfd.revents & (POLLIN | POLLERR | POLLHUP)) == 0;
+}
+
+}  // namespace
 
 util::Result<Response> HttpClient::request(Request req, const std::string& host,
                                            std::uint16_t port) {
   return request(std::move(req), host, port, options_.io_timeout);
 }
 
-util::Result<Response> HttpClient::request(Request req, const std::string& host,
-                                           std::uint16_t port,
-                                           std::chrono::milliseconds io_timeout) {
+util::Result<Response> HttpClient::request(
+    Request req, const std::string& host, std::uint16_t port,
+    std::chrono::milliseconds io_timeout) {
   if (io_timeout.count() <= 0) io_timeout = options_.io_timeout;
   const bool custom_deadline = io_timeout != options_.io_timeout;
   if (!req.headers.has("Host")) {
@@ -106,6 +122,7 @@ util::Result<Response> HttpClient::put(const std::string& url,
 void HttpClient::clear_pool() {
   const std::lock_guard<std::mutex> lock(mutex_);
   pool_.clear();
+  pool_size_ = 0;
 }
 
 void HttpClient::abort_inflight() {
@@ -115,13 +132,17 @@ void HttpClient::abort_inflight() {
   // socket wakes with an error instead of reading a reused fd.
   for (net::TcpStream* stream : inflight_) stream->shutdown_both();
   pool_.clear();
+  pool_size_ = 0;
 }
 
 std::size_t HttpClient::idle_connections() const {
   const std::lock_guard<std::mutex> lock(mutex_);
-  std::size_t n = 0;
-  for (const auto& [key, conns] : pool_) n += conns.size();
-  return n;
+  return pool_size_;
+}
+
+HttpClient::PoolStats HttpClient::pool_stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
 }
 
 util::Result<Response> HttpClient::send_once(const std::string& wire,
@@ -156,22 +177,39 @@ util::Result<Response> HttpClient::send_once(const std::string& wire,
 util::Result<HttpClient::PooledConnection> HttpClient::take_connection(
     const std::string& host, std::uint16_t port, bool& reused) {
   const std::string key = host + ":" + std::to_string(port);
+  const auto now = std::chrono::steady_clock::now();
   {
     const std::lock_guard<std::mutex> lock(mutex_);
-    auto it = pool_.find(key);
-    if (it != pool_.end() && !it->second.empty()) {
-      PooledConnection conn = std::move(it->second.back());
-      it->second.pop_back();
-      reused = true;
-      return conn;
+    const auto it = pool_.find(key);
+    if (it != pool_.end()) {
+      // Most-recently-used first; drop candidates that aged out or died
+      // idle. Destroying them outside the lock is not worth the churn —
+      // close(2) on an idle socket does not block.
+      while (!it->second.empty()) {
+        PooledConnection conn = std::move(it->second.back());
+        it->second.pop_back();
+        --pool_size_;
+        if (now - conn.idle_since > options_.idle_ttl) {
+          ++stats_.expired;
+          continue;
+        }
+        if (!idle_socket_healthy(conn.stream.fd())) {
+          ++stats_.unhealthy;
+          continue;
+        }
+        ++stats_.hits;
+        reused = true;
+        return conn;
+      }
     }
+    ++stats_.misses;
   }
   reused = false;
   auto stream = net::TcpStream::connect(host, port, options_.connect_timeout);
   if (!stream.ok()) {
     return util::Result<PooledConnection>::error(stream.error_message());
   }
-  PooledConnection conn{std::move(stream).value(), {}};
+  PooledConnection conn{std::move(stream).value(), {}, now};
   if (auto t = conn.stream.set_io_timeout(options_.io_timeout); !t) {
     return util::Result<PooledConnection>::error(t.error_message());
   }
@@ -183,11 +221,27 @@ void HttpClient::return_connection(const std::string& key,
   // Only pool connections with no unconsumed bytes; leftover data would
   // desynchronize the next request/response exchange.
   if (!conn.buffer.data.empty()) return;
+  conn.idle_since = std::chrono::steady_clock::now();
   const std::lock_guard<std::mutex> lock(mutex_);
   auto& conns = pool_[key];
-  if (conns.size() < options_.max_idle_per_endpoint) {
-    conns.push_back(std::move(conn));
+  if (conns.size() >= options_.max_idle_per_endpoint) return;
+  if (pool_size_ >= options_.max_idle_total) {
+    // Global bound: evict the idlest connection across all endpoints.
+    auto* oldest = &conns;
+    auto oldest_at = std::chrono::steady_clock::time_point::max();
+    for (auto& [k, v] : pool_) {
+      if (!v.empty() && v.front().idle_since < oldest_at) {
+        oldest_at = v.front().idle_since;
+        oldest = &v;
+      }
+    }
+    if (oldest->empty()) return;  // bound is 0: nothing to evict, drop
+    oldest->erase(oldest->begin());
+    --pool_size_;
+    ++stats_.evicted;
   }
+  conns.push_back(std::move(conn));
+  ++pool_size_;
 }
 
 }  // namespace bifrost::http

@@ -17,12 +17,36 @@ namespace bifrost::http {
 /// HTTP/1.1 client with a keep-alive connection pool per endpoint.
 /// Thread-safe; concurrent requests to the same endpoint use separate
 /// pooled connections.
+///
+/// Pool policy: connections are taken most-recently-used first (a warm
+/// socket the backend just served is least likely to hit its idle
+/// timeout mid-flight). Before reuse every candidate is health-checked
+/// with a zero-timeout poll — a closed or desynchronized idle socket
+/// (readable, error, or hang-up) is dropped instead of burning the
+/// request's stale-retry on it. Idle connections older than
+/// Options::idle_ttl are evicted on the take path; when the global
+/// Options::max_idle_total bound is hit on return, the idlest
+/// connection across all endpoints is evicted to make room.
 class HttpClient {
  public:
   struct Options {
     std::chrono::milliseconds connect_timeout{2000};
     std::chrono::milliseconds io_timeout{10000};
+    /// Idle connections older than this are not reused (backends close
+    /// idle keep-alive sockets; reusing one races its FIN).
+    std::chrono::milliseconds idle_ttl{30000};
     std::size_t max_idle_per_endpoint = 16;
+    /// Bound on idle connections across every endpoint combined.
+    std::size_t max_idle_total = 128;
+  };
+
+  /// Cumulative pool counters, for diagnostics and tests.
+  struct PoolStats {
+    std::uint64_t hits = 0;          ///< requests served on a reused conn
+    std::uint64_t misses = 0;        ///< requests that dialed fresh
+    std::uint64_t expired = 0;       ///< idle conns dropped past idle_ttl
+    std::uint64_t unhealthy = 0;     ///< idle conns dropped by health check
+    std::uint64_t evicted = 0;       ///< idle conns dropped for capacity
   };
 
   HttpClient() = default;
@@ -58,11 +82,13 @@ class HttpClient {
   void abort_inflight();
 
   [[nodiscard]] std::size_t idle_connections() const;
+  [[nodiscard]] PoolStats pool_stats() const;
 
  private:
   struct PooledConnection {
     net::TcpStream stream;
     ReadBuffer buffer;
+    std::chrono::steady_clock::time_point idle_since;
   };
 
   util::Result<Response> send_once(const std::string& wire,
@@ -74,7 +100,10 @@ class HttpClient {
 
   Options options_;
   mutable std::mutex mutex_;
+  /// Per-endpoint stacks, most-recently-returned at the back.
   std::map<std::string, std::vector<PooledConnection>> pool_;
+  std::size_t pool_size_ = 0;  ///< sum of pool_ vector sizes
+  PoolStats stats_;
   std::vector<net::TcpStream*> inflight_;
   bool aborted_ = false;
 };

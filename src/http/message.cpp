@@ -97,11 +97,16 @@ std::string Request::serialize() const {
 }
 
 std::string Response::serialize() const {
+  std::string out = serialize_head();
+  out += body;
+  return out;
+}
+
+std::string Response::serialize_head() const {
   std::string out =
       version + " " + std::to_string(status) + " " + reason_phrase(status) +
       "\r\n";
   serialize_headers(out, headers, body.size());
-  out += body;
   return out;
 }
 

@@ -59,6 +59,11 @@ struct Response {
 
   [[nodiscard]] std::string serialize() const;
 
+  /// Status line + headers + blank line only (Content-Length still set
+  /// from body.size()). The reactor server writes head and body as
+  /// separate iovecs (writev) instead of concatenating.
+  [[nodiscard]] std::string serialize_head() const;
+
   /// Appends a Set-Cookie header.
   void set_cookie(const std::string& name, const std::string& value,
                   const std::string& attributes = "Path=/");

@@ -106,6 +106,97 @@ util::Result<Response> parse_response_head(std::string_view head) {
 
 namespace {
 
+util::Result<std::size_t> parse_chunk_size(std::string_view size_line) {
+  const std::string_view hex =
+      size_line.substr(0, size_line.find(';'));  // ignore extensions
+  if (hex.empty()) {
+    return util::Result<std::size_t>::error("empty chunk size");
+  }
+  std::size_t value = 0;
+  for (const char c : hex) {
+    const auto u = static_cast<unsigned char>(c);
+    if (std::isxdigit(u) == 0) {
+      return util::Result<std::size_t>::error("invalid chunk size");
+    }
+    value = value * 16 +
+            static_cast<std::size_t>(std::isdigit(u) != 0
+                                         ? c - '0'
+                                         : std::tolower(u) - 'a' + 10);
+  }
+  return value;
+}
+
+}  // namespace
+
+IncrementalParse try_parse_request(std::string_view input) {
+  IncrementalParse result;
+  const auto fail = [&result](std::string why) {
+    result.status = IncrementalParse::Status::kError;
+    result.error = std::move(why);
+    return result;
+  };
+
+  const std::size_t head_end = input.find("\r\n\r\n");
+  if (head_end == std::string_view::npos) {
+    if (input.size() > kMaxHeaderBytes) return fail("header too large");
+    return result;  // kNeedMore
+  }
+  if (head_end + 4 > kMaxHeaderBytes) return fail("header too large");
+  auto head = parse_request_head(input.substr(0, head_end + 4));
+  if (!head.ok()) return fail(head.error_message());
+  Request request = std::move(head).value();
+  std::size_t pos = head_end + 4;
+
+  const auto transfer = request.headers.get("Transfer-Encoding");
+  if (transfer && util::iequals(*transfer, "chunked")) {
+    std::string body;
+    while (true) {
+      const std::size_t eol = input.find("\r\n", pos);
+      if (eol == std::string_view::npos) {
+        if (input.size() - pos > 32) return fail("invalid chunk size");
+        return result;  // kNeedMore: chunk-size line still arriving
+      }
+      auto chunk_len = parse_chunk_size(input.substr(pos, eol - pos));
+      if (!chunk_len.ok()) return fail(chunk_len.error_message());
+      const std::size_t len = chunk_len.value();
+      if (body.size() + len > kMaxBodyBytes) return fail("body too large");
+      const std::size_t data_start = eol + 2;
+      // Chunk data plus its trailing CRLF must be fully buffered.
+      if (input.size() < data_start + len + 2) return result;
+      if (input.substr(data_start + len, 2) != "\r\n") {
+        return fail("missing chunk terminator");
+      }
+      if (len == 0) {
+        pos = data_start + 2;  // no trailers (our peers never send them)
+        break;
+      }
+      body.append(input.substr(data_start, len));
+      pos = data_start + len + 2;
+    }
+    request.body = std::move(body);
+    result.status = IncrementalParse::Status::kDone;
+    result.request = std::move(request);
+    result.consumed = pos;
+    return result;
+  }
+
+  if (const auto length_header = request.headers.get("Content-Length")) {
+    const auto length = util::parse_int(*length_header);
+    if (!length || *length < 0) return fail("invalid Content-Length");
+    const auto len = static_cast<std::size_t>(*length);
+    if (len > kMaxBodyBytes) return fail("body too large");
+    if (input.size() - pos < len) return result;  // kNeedMore
+    request.body = std::string(input.substr(pos, len));
+    pos += len;
+  }
+  result.status = IncrementalParse::Status::kDone;
+  result.request = std::move(request);
+  result.consumed = pos;
+  return result;
+}
+
+namespace {
+
 /// Reads more bytes into buf; false + error on failure, false + empty
 /// error message on orderly EOF.
 util::Result<bool> fill(net::TcpStream& stream, ReadBuffer& buf) {
@@ -135,7 +226,9 @@ util::Result<std::string> read_head(net::TcpStream& stream, ReadBuffer& buf) {
       return util::Result<std::string>::error("header too large");
     }
     auto more = fill(stream, buf);
-    if (!more.ok()) return util::Result<std::string>::error(more.error_message());
+    if (!more.ok()) {
+      return util::Result<std::string>::error(more.error_message());
+    }
     if (!more.value()) {
       return util::Result<std::string>::error(
           buf.data.empty() ? "connection closed" : "truncated head");

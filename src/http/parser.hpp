@@ -27,6 +27,25 @@ struct ReadBuffer {
   std::string data;
 };
 
+/// Non-blocking incremental request extraction for event-driven servers:
+/// given whatever bytes have arrived so far, either a complete request
+/// (head + body) is available, more bytes are needed, or the prefix is
+/// malformed. Pure — never reads from a socket.
+struct IncrementalParse {
+  enum class Status { kNeedMore, kDone, kError };
+  Status status = Status::kNeedMore;
+  Request request;           ///< valid when kDone
+  std::size_t consumed = 0;  ///< bytes of input to erase when kDone
+  std::string error;         ///< set when kError
+};
+
+/// Attempts to extract one full request from the front of `input`.
+/// Handles Content-Length and chunked bodies and enforces the same
+/// header/body limits as the blocking readers. Torn inputs (head or
+/// body split at any byte boundary) return kNeedMore until the missing
+/// bytes arrive.
+IncrementalParse try_parse_request(std::string_view input);
+
 /// Reads one full request (head + body) from the stream.
 /// An empty Result error of "connection closed" means orderly EOF
 /// between requests (normal for keep-alive).

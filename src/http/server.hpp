@@ -13,27 +13,54 @@
 
 #include "http/message.hpp"
 #include "http/parser.hpp"
+#include "net/reactor.hpp"
 #include "net/tcp.hpp"
 #include "runtime/thread_pool.hpp"
 
 namespace bifrost::http {
 
-/// HTTP/1.1 server. A poll-based dispatcher thread watches the listener
-/// and all idle keep-alive connections; when a connection becomes
-/// readable it is handed to a bounded worker pool which reads and
-/// serves requests until the connection goes idle again, then returns
-/// it to the dispatcher. Workers are therefore only occupied while a
-/// request is actually in flight — thousands of idle keep-alive
-/// connections can be multiplexed over a few workers (the worker count
-/// bounds request concurrency, not connection count). Handlers run
-/// concurrently; they must be thread-safe.
+/// HTTP/1.1 server with two interchangeable I/O backends (same handler
+/// contract, same drain semantics — Options::backend selects one, the
+/// BIFROST_HTTP_BACKEND env var overrides for A/B comparison):
+///
+///  * kReactor (default): an epoll reactor with SO_REUSEPORT
+///    worker-per-core accept loops (net::Reactor). Each reactor thread
+///    owns its connections outright; request bytes are parsed
+///    incrementally on the reactor thread and complete requests are
+///    offloaded to the bounded handler pool, whose responses marshal
+///    back to the owning reactor for writev assembly. Tens of thousands
+///    of idle keep-alive connections cost two buffers each, no thread.
+///  * kThreads (legacy): a poll-based dispatcher thread watches the
+///    listener and all idle keep-alive connections and hands readable
+///    ones to the worker pool, which does blocking reads/writes until
+///    the connection goes idle again.
+///
+/// In both backends the worker pool bounds request concurrency, not
+/// connection count. Handlers run concurrently; they must be
+/// thread-safe, and they may block.
 class HttpServer {
  public:
   using Handler = std::function<Response(const Request&)>;
 
+  enum class Backend { kThreads, kReactor };
+
   struct Options {
     std::uint16_t port = 0;  ///< 0 = ephemeral
+    /// I/O backend (see class comment). BIFROST_HTTP_BACKEND=threads|
+    /// reactor overrides at start() for A/B benchmarking.
+    Backend backend = Backend::kReactor;
+    /// Handler pool size (both backends): bounds concurrently running
+    /// handlers, not connections.
     std::size_t worker_threads = 8;
+    /// Reactor threads, each owning one epoll set, one SO_REUSEPORT
+    /// accept socket and every connection it accepted. Sized to cores;
+    /// connection capacity does not depend on it.
+    std::size_t reactor_workers = 2;
+    /// Reactor only: run handlers inline on the reactor thread instead
+    /// of the pool. Strictly for handlers that never block (microbench
+    /// ceilings, trivial static responses) — a blocking inline handler
+    /// stalls every connection owned by that reactor worker.
+    bool inline_handlers = false;
     std::chrono::milliseconds io_timeout{10000};
     /// Idle keep-alive connections are closed after this long.
     std::chrono::milliseconds idle_timeout{60000};
@@ -82,20 +109,33 @@ class HttpServer {
         std::chrono::steady_clock::now();
   };
 
+  // Legacy (kThreads) backend.
   void dispatch_loop();
   void serve_connection(std::uint64_t id);
   void return_to_idle(std::uint64_t id);
   void close_connection(std::uint64_t id);
   void wake_dispatcher();
 
+  // Reactor (kReactor) backend.
+  void start_reactor();
+  void stop_reactor();
+  net::Reactor::Verdict reactor_data(net::Reactor::ConnId id,
+                                     std::string& input);
+  [[nodiscard]] Response run_handler(const Request& request);
+
   Options options_;
   Handler handler_;
+  Backend backend_ = Backend::kReactor;
   net::TcpListener listener_;
   std::uint16_t port_ = 0;
   std::thread dispatch_thread_;
   std::unique_ptr<runtime::ThreadPool> pool_;
+  std::unique_ptr<net::Reactor> reactor_;
   std::atomic<bool> running_{false};
   std::atomic<std::uint64_t> requests_served_{0};
+  /// Requests offloaded to the handler pool and not yet marshalled
+  /// back; stop() drains on this.
+  std::atomic<std::size_t> inflight_{0};
 
   // Connection registry. `idle` marks connections owned by the
   // dispatcher (watched by poll); busy connections are owned by a

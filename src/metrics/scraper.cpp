@@ -13,7 +13,9 @@ Scraper::Scraper(runtime::Scheduler& scheduler, TimeSeriesStore& store,
 
 Scraper::~Scraper() { stop(); }
 
-void Scraper::add_target(Target target) { targets_.push_back(std::move(target)); }
+void Scraper::add_target(Target target) {
+  targets_.push_back(std::move(target));
+}
 
 void Scraper::start() {
   if (running_.exchange(true)) return;

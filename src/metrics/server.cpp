@@ -77,7 +77,8 @@ http::Response MetricsServer::handle(const http::Request& request) {
       return http::Response::bad_request("ingest needs a metric name");
     }
     Labels labels;
-    if (const json::Value* l = doc.find("labels"); l != nullptr && l->is_object()) {
+    if (const json::Value* l = doc.find("labels");
+        l != nullptr && l->is_object()) {
       for (const auto& [k, v] : l->as_object()) {
         if (v.is_string()) labels[k] = v.as_string();
       }

@@ -1,0 +1,128 @@
+// Event-driven multicore I/O: an epoll reactor with SO_REUSEPORT
+// worker-per-core accept loops. Each worker thread owns one epoll
+// instance, one listening socket sharing the server port, and every
+// connection it ever accepted — connections never migrate between
+// workers, so per-connection state needs no locking. Protocol logic
+// lives above (http::HttpServer): the reactor hands buffered bytes to a
+// callback on the owning worker thread and assembles responses with
+// writev from queued scatter-gather parts.
+//
+// Ownership/threading contract:
+//  * DataFn runs on the worker that owns the connection. It may consume
+//    bytes from the input buffer and queue output via send().
+//  * A protocol layer that wants to run a (possibly blocking) handler
+//    elsewhere returns Verdict::kSuspend; the connection stays parked
+//    (its input still accumulates, bounded) until complete() marshals
+//    the response back onto the owning worker from any thread.
+//  * Bounded buffers give backpressure both ways: a connection whose
+//    input buffer fills stops being read until bytes are consumed; one
+//    whose output queue exceeds the bound is closed as a slow reader.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/result.hpp"
+
+namespace bifrost::net {
+
+class Reactor {
+ public:
+  /// Stable connection identity. Encodes the owning worker; ids are
+  /// never reused, so a completion racing a close is a safe no-op.
+  using ConnId = std::uint64_t;
+
+  enum class Verdict {
+    kContinue,  ///< consumed what it could; resume reading
+    kSuspend,   ///< a handler owns the connection until complete()
+    kClose,     ///< flush queued output, then close
+  };
+
+  /// Invoked on the owning worker whenever a connection has new input
+  /// (and is not suspended). The callback erases the bytes it consumed
+  /// from `input` and may queue responses with send().
+  using DataFn = std::function<Verdict(ConnId id, std::string& input)>;
+
+  struct Options {
+    std::uint16_t port = 0;  ///< 0 = ephemeral
+    std::size_t workers = 1;
+    int backlog = 1024;
+    /// Idle (non-suspended) connections are closed after this long
+    /// without traffic.
+    std::chrono::milliseconds idle_timeout{60000};
+    /// Per-connection input bound; reading pauses (backpressure) while
+    /// the protocol layer has this much unconsumed data buffered.
+    std::size_t max_read_buffer = 1 << 20;
+    /// Per-connection output bound; a peer that won't drain this much
+    /// queued response data is closed.
+    std::size_t max_write_buffer = 4u << 20;
+  };
+
+  Reactor(Options options, DataFn on_data);
+  ~Reactor();
+
+  Reactor(const Reactor&) = delete;
+  Reactor& operator=(const Reactor&) = delete;
+
+  /// Binds one SO_REUSEPORT listener per worker and starts the worker
+  /// threads.
+  util::Result<void> start();
+
+  /// Stops accepting and closes idle connections. Suspended connections
+  /// survive until their complete(); their responses are flushed and
+  /// the connection is then closed regardless of keep-alive.
+  void drain();
+
+  /// Force-closes everything and joins the workers. Idempotent.
+  void stop();
+
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+  [[nodiscard]] std::size_t open_connections() const;
+  /// Connections currently parked under Verdict::kSuspend.
+  [[nodiscard]] std::size_t suspended_connections() const;
+
+  /// Queues response bytes on the connection (scatter-gather: parts are
+  /// written with writev, never concatenated). Worker-thread only —
+  /// call from inside DataFn.
+  void send(ConnId id, std::vector<std::string> parts, bool close_after);
+
+  /// Thread-safe: marshals a response for a suspended connection back
+  /// to its owning worker, resumes reading (or closes, if close_after /
+  /// draining / the peer vanished). `on_done` — optional — runs on the
+  /// owning worker after the response is queued and flushed as far as
+  /// the socket allows, whether or not the connection still exists.
+  void complete(ConnId id, std::vector<std::string> parts, bool close_after,
+                std::function<void()> on_done = nullptr);
+
+ private:
+  struct Conn;
+  struct Worker;
+
+  void worker_loop(Worker& worker);
+  void accept_ready(Worker& worker);
+  void conn_readable(Worker& worker, Conn& conn);
+  void run_data(Worker& worker, Conn& conn);
+  void queue_output(Worker& worker, Conn& conn,
+                    std::vector<std::string> parts, bool close_after);
+  void flush(Worker& worker, Conn& conn);
+  void close_conn(Worker& worker, ConnId id);
+  void update_interest(Worker& worker, Conn& conn);
+  void sweep_idle(Worker& worker);
+  void post(std::size_t worker_index, std::function<void()> fn);
+  [[nodiscard]] static std::size_t worker_of(ConnId id);
+
+  Options options_;
+  DataFn on_data_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> draining_{false};
+};
+
+}  // namespace bifrost::net

@@ -134,12 +134,29 @@ void TcpStream::shutdown_both() {
 }
 
 util::Result<TcpListener> TcpListener::bind(std::uint16_t port, int backlog) {
+  return bind_impl(port, backlog, /*reuse_port=*/false);
+}
+
+util::Result<TcpListener> TcpListener::bind_reuseport(std::uint16_t port,
+                                                      int backlog) {
+  return bind_impl(port, backlog, /*reuse_port=*/true);
+}
+
+util::Result<TcpListener> TcpListener::bind_impl(std::uint16_t port,
+                                                 int backlog,
+                                                 bool reuse_port) {
   FdHandle fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
   if (!fd.valid()) {
     return util::Result<TcpListener>::error(errno_message("socket"));
   }
   const int one = 1;
   ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  if (reuse_port &&
+      ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEPORT, &one, sizeof one) !=
+          0) {
+    return util::Result<TcpListener>::error(
+        errno_message("setsockopt(reuseport)"));
+  }
 
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
@@ -169,9 +186,27 @@ util::Result<TcpStream> TcpListener::accept() {
       (void)stream.set_no_delay(true);
       return stream;
     }
-    if (errno == EINTR) continue;
+    // Transient, per-connection failures: the client gave up between
+    // SYN and accept (ECONNABORTED, or EPROTO on some stacks), a signal
+    // interrupted us, or the kernel reported an early network error on
+    // the nascent connection. None of these say anything about the
+    // listener — retry instead of surfacing a spurious error (a loaded
+    // CI runner hits these regularly).
+    if (errno == EINTR || errno == ECONNABORTED || errno == EPROTO ||
+        errno == ENETDOWN || errno == EHOSTUNREACH || errno == ENETUNREACH ||
+        errno == EHOSTDOWN || errno == ENONET) {
+      continue;
+    }
     return util::Result<TcpStream>::error(errno_message("accept"));
   }
+}
+
+util::Result<void> TcpListener::set_non_blocking() {
+  const int flags = ::fcntl(fd_.get(), F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd_.get(), F_SETFL, flags | O_NONBLOCK) != 0) {
+    return util::Result<void>::error(errno_message("fcntl(nonblock)"));
+  }
+  return {};
 }
 
 void TcpListener::close() {

@@ -91,9 +91,21 @@ class TcpListener {
   static util::Result<TcpListener> bind(std::uint16_t port,
                                         int backlog = 128);
 
-  /// Blocks until a client connects. Fails when the listener is closed
+  /// Like bind(), but sets SO_REUSEPORT before binding so several
+  /// listeners (one per reactor worker) can share one port and let the
+  /// kernel spread incoming connections across them.
+  static util::Result<TcpListener> bind_reuseport(std::uint16_t port,
+                                                  int backlog = 128);
+
+  /// Blocks until a client connects. Transient per-connection failures
+  /// (EINTR, ECONNABORTED, and friends) are retried internally; only
+  /// listener-level errors surface — notably the listener being closed
   /// from another thread (used to stop accept loops).
   util::Result<TcpStream> accept();
+
+  /// Switches the listening socket to non-blocking accepts (reactor
+  /// accept loops drain with accept4 until EAGAIN).
+  util::Result<void> set_non_blocking();
 
   [[nodiscard]] std::uint16_t port() const { return port_; }
   [[nodiscard]] bool valid() const { return fd_.valid(); }
@@ -103,6 +115,9 @@ class TcpListener {
   void close();
 
  private:
+  static util::Result<TcpListener> bind_impl(std::uint16_t port, int backlog,
+                                             bool reuse_port);
+
   FdHandle fd_;
   std::uint16_t port_ = 0;
 };

@@ -473,8 +473,8 @@ http::Response BifrostProxy::handle_data(const http::Request& request) {
   fire_shadows(*state, backend.version, request);
 
   const double elapsed_ms =
-      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
-                                                started)
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - started)
           .count();
   // Hot-path instrumentation: pointers were resolved at apply() time,
   // the sinks themselves are lock-free.
@@ -584,7 +584,8 @@ void BifrostProxy::fire_shadows(const RouteState& state,
     const std::string target_version = shadow.target_version;
     const auto submitted = shadow_queue_->submit(
         [this, duplicate = std::move(duplicate), host, port]() mutable {
-          auto result = shadow_client_.request(std::move(duplicate), host, port);
+          auto result =
+              shadow_client_.request(std::move(duplicate), host, port);
           if (!result.ok()) {
             registry_.counter("bifrost_proxy_shadow_errors_total").increment();
           }
@@ -791,7 +792,8 @@ http::Response BifrostProxy::handle_admin(const http::Request& request) {
     // this and forwards new events into its status stream.
     std::uint64_t since = 0;
     if (const auto s = request.query_param("since")) {
-      since = static_cast<std::uint64_t>(std::strtoull(s->c_str(), nullptr, 10));
+      since =
+          static_cast<std::uint64_t>(std::strtoull(s->c_str(), nullptr, 10));
     }
     json::Array events;
     for (const HealthEvent& event : overload_.events_since(since)) {

@@ -136,7 +136,8 @@ std::vector<double> Simulation::utilization_samples(runtime::Time from,
       window_seconds * (options_.cores + options_.workers);
   if (to <= from || capacity <= 0.0) return out;
   const auto first = static_cast<std::size_t>(from / window);
-  const auto last = static_cast<std::size_t>((to - runtime::Duration{1}) / window);
+  const auto last =
+      static_cast<std::size_t>((to - runtime::Duration{1}) / window);
   for (std::size_t i = first; i <= last; ++i) {
     const double busy =
         i < window_busy_seconds_.size() ? window_busy_seconds_[i] : 0.0;

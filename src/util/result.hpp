@@ -14,7 +14,8 @@ namespace bifrost::util {
 template <typename T>
 class [[nodiscard]] Result {
  public:
-  Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Result(T value) : value_(std::move(value)) {}
 
   static Result error(std::string message) {
     Result r;

@@ -342,7 +342,8 @@ class Parser {
     std::vector<Node> items;
     if (inner.empty()) return Node::sequence(std::move(items));
     for (const std::string& part : split_flow(inner, line)) {
-      items.push_back(parse_scalar_or_flow(std::string(util::trim(part)), line));
+      items.push_back(
+          parse_scalar_or_flow(std::string(util::trim(part)), line));
     }
     return Node::sequence(std::move(items));
   }

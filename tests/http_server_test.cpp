@@ -1,5 +1,7 @@
 // Live server/client integration over loopback sockets: keep-alive,
-// chunked decoding, timeouts, pooling, concurrent load.
+// chunked decoding, timeouts, pooling, concurrent load. The whole suite
+// runs once per HttpServer backend (reactor and legacy threads): both
+// must honor the same handler contract and wire behavior.
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -14,10 +16,16 @@ namespace {
 
 using namespace std::chrono_literals;
 
-class HttpServerTest : public testing::Test {
+std::string backend_name(
+    const testing::TestParamInfo<HttpServer::Backend>& info) {
+  return info.param == HttpServer::Backend::kReactor ? "Reactor" : "Threads";
+}
+
+class HttpServerTest : public testing::TestWithParam<HttpServer::Backend> {
  protected:
   void SetUp() override {
     HttpServer::Options options;
+    options.backend = GetParam();
     options.worker_threads = 4;
     server_ = std::make_unique<HttpServer>(
         options, [this](const Request& req) { return handle(req); });
@@ -46,7 +54,7 @@ class HttpServerTest : public testing::Test {
   std::atomic<int> requests_{0};
 };
 
-TEST_F(HttpServerTest, BasicRoundTrip) {
+TEST_P(HttpServerTest, BasicRoundTrip) {
   auto res = client_.post(
       "http://127.0.0.1:" + std::to_string(server_->port()) + "/echo",
       "ping", "text/plain");
@@ -55,7 +63,7 @@ TEST_F(HttpServerTest, BasicRoundTrip) {
   EXPECT_EQ(res.value().body, "ping");
 }
 
-TEST_F(HttpServerTest, HeadersForwarded) {
+TEST_P(HttpServerTest, HeadersForwarded) {
   Request req;
   req.method = "POST";
   req.target = "/echo";
@@ -66,7 +74,7 @@ TEST_F(HttpServerTest, HeadersForwarded) {
   EXPECT_EQ(res.value().headers.get("X-Echo"), "copy-me");
 }
 
-TEST_F(HttpServerTest, KeepAliveReusesConnection) {
+TEST_P(HttpServerTest, KeepAliveReusesConnection) {
   const std::string url =
       "http://127.0.0.1:" + std::to_string(server_->port()) + "/echo";
   ASSERT_TRUE(client_.post(url, "1", "text/plain").ok());
@@ -75,7 +83,7 @@ TEST_F(HttpServerTest, KeepAliveReusesConnection) {
   EXPECT_EQ(client_.idle_connections(), 1u);  // same connection reused
 }
 
-TEST_F(HttpServerTest, ConnectionCloseHonored) {
+TEST_P(HttpServerTest, ConnectionCloseHonored) {
   Request req;
   req.method = "GET";
   req.target = "/echo";
@@ -86,7 +94,7 @@ TEST_F(HttpServerTest, ConnectionCloseHonored) {
   EXPECT_EQ(client_.idle_connections(), 0u);
 }
 
-TEST_F(HttpServerTest, HandlerExceptionBecomes500) {
+TEST_P(HttpServerTest, HandlerExceptionBecomes500) {
   auto res = client_.get("http://127.0.0.1:" +
                          std::to_string(server_->port()) + "/boom");
   ASSERT_TRUE(res.ok());
@@ -94,14 +102,14 @@ TEST_F(HttpServerTest, HandlerExceptionBecomes500) {
   EXPECT_NE(res.value().body.find("handler exploded"), std::string::npos);
 }
 
-TEST_F(HttpServerTest, NotFoundStatus) {
+TEST_P(HttpServerTest, NotFoundStatus) {
   auto res = client_.get("http://127.0.0.1:" +
                          std::to_string(server_->port()) + "/nope");
   ASSERT_TRUE(res.ok());
   EXPECT_EQ(res.value().status, 404);
 }
 
-TEST_F(HttpServerTest, MalformedRequestGets400) {
+TEST_P(HttpServerTest, MalformedRequestGets400) {
   auto stream = net::TcpStream::connect("127.0.0.1", server_->port());
   ASSERT_TRUE(stream.ok());
   ASSERT_TRUE(stream.value().write_all("NOT-HTTP\r\n\r\n"));
@@ -111,7 +119,7 @@ TEST_F(HttpServerTest, MalformedRequestGets400) {
   EXPECT_EQ(res.value().status, 400);
 }
 
-TEST_F(HttpServerTest, ChunkedResponseDecoded) {
+TEST_P(HttpServerTest, ChunkedResponseDecoded) {
   // Speak raw HTTP from a fake backend: client must decode chunks.
   auto listener = net::TcpListener::bind(0);
   ASSERT_TRUE(listener.ok());
@@ -131,7 +139,7 @@ TEST_F(HttpServerTest, ChunkedResponseDecoded) {
   EXPECT_EQ(res.value().body, "Wikipedia");
 }
 
-TEST_F(HttpServerTest, EofDelimitedResponseBody) {
+TEST_P(HttpServerTest, EofDelimitedResponseBody) {
   auto listener = net::TcpListener::bind(0);
   ASSERT_TRUE(listener.ok());
   const std::uint16_t port = listener.value().port();
@@ -149,7 +157,7 @@ TEST_F(HttpServerTest, EofDelimitedResponseBody) {
   EXPECT_EQ(res.value().body, "to-the-end");
 }
 
-TEST_F(HttpServerTest, ConcurrentClients) {
+TEST_P(HttpServerTest, ConcurrentClients) {
   constexpr int kThreads = 8;
   constexpr int kPerThread = 20;
   std::atomic<int> successes{0};
@@ -172,7 +180,7 @@ TEST_F(HttpServerTest, ConcurrentClients) {
             static_cast<std::uint64_t>(kThreads * kPerThread));
 }
 
-TEST_F(HttpServerTest, LargeBodyRoundTrip) {
+TEST_P(HttpServerTest, LargeBodyRoundTrip) {
   const std::string big(512 * 1024, 'x');
   auto res = client_.post(
       "http://127.0.0.1:" + std::to_string(server_->port()) + "/echo", big,
@@ -181,7 +189,7 @@ TEST_F(HttpServerTest, LargeBodyRoundTrip) {
   EXPECT_EQ(res.value().body.size(), big.size());
 }
 
-TEST_F(HttpServerTest, StaleConnectionRetriedAfterServerRestart) {
+TEST_P(HttpServerTest, StaleConnectionRetriedAfterServerRestart) {
   const std::string url =
       "http://127.0.0.1:" + std::to_string(server_->port()) + "/echo";
   ASSERT_TRUE(client_.post(url, "a", "text/plain").ok());
@@ -191,7 +199,7 @@ TEST_F(HttpServerTest, StaleConnectionRetriedAfterServerRestart) {
   EXPECT_TRUE(res.ok());
 }
 
-TEST_F(HttpServerTest, PipelinedRequestsAllServed) {
+TEST_P(HttpServerTest, PipelinedRequestsAllServed) {
   auto stream = net::TcpStream::connect("127.0.0.1", server_->port());
   ASSERT_TRUE(stream.ok());
   Request first;
@@ -213,7 +221,7 @@ TEST_F(HttpServerTest, PipelinedRequestsAllServed) {
   EXPECT_EQ(r2.value().body, "two");
 }
 
-TEST_F(HttpServerTest, OversizedHeaderRejected) {
+TEST_P(HttpServerTest, OversizedHeaderRejected) {
   auto stream = net::TcpStream::connect("127.0.0.1", server_->port());
   ASSERT_TRUE(stream.ok());
   std::string head = "GET /echo HTTP/1.1\r\nX-Big: ";
@@ -226,8 +234,46 @@ TEST_F(HttpServerTest, OversizedHeaderRejected) {
   EXPECT_EQ(res.value().status, 400);
 }
 
-TEST(HttpServerIdle, IdleConnectionsSwept) {
+TEST_P(HttpServerTest, TornRequestBoundaries) {
+  // Deliver one request in tiny fragments with pauses: head torn inside
+  // the request line, inside a header, mid-CRLF-CRLF, and body split.
+  auto stream = net::TcpStream::connect("127.0.0.1", server_->port());
+  ASSERT_TRUE(stream.ok());
+  const std::string wire =
+      "POST /echo HTTP/1.1\r\nHost: x\r\nContent-Length: 9\r\n\r\n"
+      "torn-body";
+  for (std::size_t i = 0; i < wire.size(); i += 3) {
+    ASSERT_TRUE(stream.value().write_all(wire.substr(i, 3)));
+    std::this_thread::sleep_for(1ms);
+  }
+  ReadBuffer buf;
+  auto res = read_response(stream.value(), buf);
+  ASSERT_TRUE(res.ok()) << res.error_message();
+  EXPECT_EQ(res.value().body, "torn-body");
+}
+
+TEST_P(HttpServerTest, TornChunkedBodyReassembled) {
+  auto stream = net::TcpStream::connect("127.0.0.1", server_->port());
+  ASSERT_TRUE(stream.ok());
+  const std::string wire =
+      "POST /echo HTTP/1.1\r\nHost: x\r\nTransfer-Encoding: chunked\r\n\r\n"
+      "4\r\nWiki\r\n5\r\npedia\r\n0\r\n\r\n";
+  for (std::size_t i = 0; i < wire.size(); i += 5) {
+    ASSERT_TRUE(stream.value().write_all(wire.substr(i, 5)));
+    std::this_thread::sleep_for(1ms);
+  }
+  ReadBuffer buf;
+  auto res = read_response(stream.value(), buf);
+  ASSERT_TRUE(res.ok()) << res.error_message();
+  EXPECT_EQ(res.value().body, "Wikipedia");
+}
+
+class HttpServerIdleTest
+    : public testing::TestWithParam<HttpServer::Backend> {};
+
+TEST_P(HttpServerIdleTest, IdleConnectionsSwept) {
   HttpServer::Options options;
+  options.backend = GetParam();
   options.idle_timeout = 200ms;
   HttpServer server(options,
                     [](const Request&) { return Response::text(200, "ok"); });
@@ -238,11 +284,113 @@ TEST(HttpServerIdle, IdleConnectionsSwept) {
                        "/x")
                   .ok());
   EXPECT_EQ(server.open_connections(), 1u);
-  // The dispatcher sweep (500 ms poll period) closes the idle conn.
+  // The idle sweep (500 ms dispatcher poll / 250 ms reactor tick)
+  // closes the idle conn.
   for (int i = 0; i < 40 && server.open_connections() > 0; ++i) {
     std::this_thread::sleep_for(50ms);
   }
   EXPECT_EQ(server.open_connections(), 0u);
+  server.stop();
+}
+
+TEST_P(HttpServerIdleTest, IdleTimeoutClosesMidKeepAlive) {
+  // A keep-alive connection that served a request and then goes quiet is
+  // closed by the server; the raw client observes EOF, not a response.
+  HttpServer::Options options;
+  options.backend = GetParam();
+  options.idle_timeout = 200ms;
+  HttpServer server(options,
+                    [](const Request&) { return Response::text(200, "ok"); });
+  server.start();
+  auto stream = net::TcpStream::connect("127.0.0.1", server.port());
+  ASSERT_TRUE(stream.ok());
+  Request req;
+  req.target = "/x";
+  ASSERT_TRUE(stream.value().write_all(req.serialize()));
+  ReadBuffer buf;
+  auto first = read_response(stream.value(), buf);
+  ASSERT_TRUE(first.ok()) << first.error_message();
+  EXPECT_EQ(first.value().headers.get("Connection"), "keep-alive");
+  // Go quiet past the idle deadline; the next read must see EOF.
+  auto eof = read_response(stream.value(), buf);
+  EXPECT_FALSE(eof.ok());
+  server.stop();
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, HttpServerTest,
+                         testing::Values(HttpServer::Backend::kReactor,
+                                         HttpServer::Backend::kThreads),
+                         backend_name);
+INSTANTIATE_TEST_SUITE_P(Backends, HttpServerIdleTest,
+                         testing::Values(HttpServer::Backend::kReactor,
+                                         HttpServer::Backend::kThreads),
+                         backend_name);
+
+TEST(HttpClientPool, DeadPooledConnectionDetectedAfterServerRestart) {
+  // Warm the pool, kill the server, restart it on the same port: the
+  // health check must discard the dead socket (FIN pending) instead of
+  // sending a request into it.
+  auto server = std::make_unique<HttpServer>(
+      HttpServer::Options{},
+      [](const Request&) { return Response::text(200, "ok"); });
+  server->start();
+  const std::uint16_t port = server->port();
+  const std::string url = "http://127.0.0.1:" + std::to_string(port) + "/x";
+  HttpClient client;
+  ASSERT_TRUE(client.get(url).ok());
+  EXPECT_EQ(client.idle_connections(), 1u);
+  server->stop();
+  server.reset();
+
+  HttpServer::Options options;
+  options.port = port;
+  HttpServer fresh(options,
+                   [](const Request&) { return Response::text(200, "ok"); });
+  fresh.start();
+  auto res = client.get(url);
+  ASSERT_TRUE(res.ok()) << res.error_message();
+  EXPECT_EQ(res.value().status, 200);
+  EXPECT_GE(client.pool_stats().unhealthy, 1u);
+  fresh.stop();
+}
+
+TEST(HttpClientPool, IdleTtlExpiresPooledConnections) {
+  HttpServer server(HttpServer::Options{},
+                    [](const Request&) { return Response::text(200, "ok"); });
+  server.start();
+  HttpClient::Options options;
+  options.idle_ttl = 50ms;
+  HttpClient client(options);
+  const std::string url =
+      "http://127.0.0.1:" + std::to_string(server.port()) + "/x";
+  ASSERT_TRUE(client.get(url).ok());
+  EXPECT_EQ(client.pool_stats().misses, 1u);
+  std::this_thread::sleep_for(100ms);
+  ASSERT_TRUE(client.get(url).ok());
+  const auto stats = client.pool_stats();
+  EXPECT_EQ(stats.expired, 1u);
+  EXPECT_EQ(stats.misses, 2u);  // expired conn not reused
+  server.stop();
+}
+
+TEST(HttpClientPool, GlobalIdleBoundEvictsIdlest) {
+  HttpServer server(HttpServer::Options{},
+                    [](const Request&) { return Response::text(200, "ok"); });
+  server.start();
+  HttpClient::Options options;
+  options.max_idle_total = 2;
+  HttpClient client(options);
+  const std::string url =
+      "http://127.0.0.1:" + std::to_string(server.port()) + "/x";
+  // Three concurrent requests force three distinct connections; only
+  // two may stay pooled.
+  std::vector<std::thread> threads;
+  threads.reserve(3);
+  for (int i = 0; i < 3; ++i) {
+    threads.emplace_back([&] { EXPECT_TRUE(client.get(url).ok()); });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_LE(client.idle_connections(), 2u);
   server.stop();
 }
 

@@ -286,5 +286,97 @@ TEST(SplitPath, NormalizesSlashes) {
   EXPECT_TRUE(split_path("/").empty());
 }
 
+// --- Incremental request parser (reactor read path) ---
+
+TEST(IncrementalParse, CompleteRequestConsumedExactly) {
+  const std::string wire =
+      "POST /a HTTP/1.1\r\nContent-Length: 4\r\n\r\nbodyXTRA";
+  const auto parsed = try_parse_request(wire);
+  ASSERT_EQ(parsed.status, IncrementalParse::Status::kDone);
+  EXPECT_EQ(parsed.request.method, "POST");
+  EXPECT_EQ(parsed.request.body, "body");
+  // Trailing pipelined bytes are not consumed.
+  EXPECT_EQ(parsed.consumed, wire.size() - 4);
+  EXPECT_EQ(wire.substr(parsed.consumed), "XTRA");
+}
+
+TEST(IncrementalParse, EveryPrefixNeedsMore) {
+  // Feeding any strict prefix byte-by-byte must report kNeedMore and
+  // never error: the reactor relies on this to park torn reads.
+  const std::string wire =
+      "POST /echo HTTP/1.1\r\nHost: x\r\nContent-Length: 5\r\n\r\nhello";
+  for (std::size_t n = 0; n < wire.size(); ++n) {
+    const auto parsed = try_parse_request(wire.substr(0, n));
+    EXPECT_EQ(parsed.status, IncrementalParse::Status::kNeedMore)
+        << "prefix length " << n;
+  }
+  const auto full = try_parse_request(wire);
+  ASSERT_EQ(full.status, IncrementalParse::Status::kDone);
+  EXPECT_EQ(full.request.body, "hello");
+  EXPECT_EQ(full.consumed, wire.size());
+}
+
+TEST(IncrementalParse, ChunkedPrefixesNeedMore) {
+  const std::string wire =
+      "POST /e HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+      "4\r\nWiki\r\n5\r\npedia\r\n0\r\n\r\n";
+  for (std::size_t n = 0; n < wire.size(); ++n) {
+    const auto parsed = try_parse_request(wire.substr(0, n));
+    EXPECT_EQ(parsed.status, IncrementalParse::Status::kNeedMore)
+        << "prefix length " << n;
+  }
+  const auto full = try_parse_request(wire);
+  ASSERT_EQ(full.status, IncrementalParse::Status::kDone);
+  EXPECT_EQ(full.request.body, "Wikipedia");
+  EXPECT_EQ(full.consumed, wire.size());
+}
+
+TEST(IncrementalParse, PipelinedRequestsParseSequentially) {
+  Request a;
+  a.method = "POST";
+  a.target = "/1";
+  a.body = "one";
+  Request b;
+  b.method = "POST";
+  b.target = "/2";
+  b.body = "two";
+  std::string wire = a.serialize() + b.serialize();
+  const auto first = try_parse_request(wire);
+  ASSERT_EQ(first.status, IncrementalParse::Status::kDone);
+  EXPECT_EQ(first.request.target, "/1");
+  wire.erase(0, first.consumed);
+  const auto second = try_parse_request(wire);
+  ASSERT_EQ(second.status, IncrementalParse::Status::kDone);
+  EXPECT_EQ(second.request.target, "/2");
+  EXPECT_EQ(second.request.body, "two");
+}
+
+TEST(IncrementalParse, MalformedHeadIsError) {
+  const auto parsed = try_parse_request("NOT-HTTP\r\n\r\n");
+  EXPECT_EQ(parsed.status, IncrementalParse::Status::kError);
+}
+
+TEST(IncrementalParse, OversizedHeadIsErrorNotNeedMore) {
+  // A flood of header bytes with no terminator must be rejected, not
+  // buffered forever.
+  std::string wire = "GET / HTTP/1.1\r\nX-Big: ";
+  wire += std::string(kMaxHeaderBytes + 1, 'x');
+  const auto parsed = try_parse_request(wire);
+  EXPECT_EQ(parsed.status, IncrementalParse::Status::kError);
+}
+
+TEST(IncrementalParse, OversizedBodyIsError) {
+  const std::string wire = "POST / HTTP/1.1\r\nContent-Length: " +
+                           std::to_string(kMaxBodyBytes + 1) + "\r\n\r\n";
+  const auto parsed = try_parse_request(wire);
+  EXPECT_EQ(parsed.status, IncrementalParse::Status::kError);
+}
+
+TEST(IncrementalParse, BadChunkSizeIsError) {
+  const auto parsed = try_parse_request(
+      "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\nzz\r\n");
+  EXPECT_EQ(parsed.status, IncrementalParse::Status::kError);
+}
+
 }  // namespace
 }  // namespace bifrost::http

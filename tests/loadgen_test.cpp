@@ -151,7 +151,8 @@ TEST(PaperMix, DetailsIdsStayInRange) {
   util::Rng rng(9);
   for (int i = 0; i < 100; ++i) {
     const auto req = mix[1].make(rng);
-    const int id = std::stoi(req.target.substr(std::string("/products/p").size()));
+    const int id =
+        std::stoi(req.target.substr(std::string("/products/p").size()));
     EXPECT_GE(id, 1);
     EXPECT_LE(id, 5);
   }

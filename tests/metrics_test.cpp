@@ -662,7 +662,8 @@ TEST_F(ExprEval, MalformedExpressions) {
 }
 
 TEST_F(ExprEval, ToStringRoundTrips) {
-  auto expr = parse_expr(R"(sales_total{version="b"} - sales_total{version="a"} * 2)");
+  auto expr = parse_expr(
+      R"(sales_total{version="b"} - sales_total{version="a"} * 2)");
   ASSERT_TRUE(expr.ok());
   auto again = parse_expr(expr.value().to_string());
   ASSERT_TRUE(again.ok());

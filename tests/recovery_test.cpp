@@ -120,8 +120,8 @@ std::map<std::string, std::string> routing_of(
     const sim::SimProxyController& proxies) {
   std::map<std::string, std::string> routing;
   for (const auto& [service, view] : proxies.states()) {
-    routing[service] =
-        "epoch=" + std::to_string(view.epoch) + " " + view.config.to_json().dump();
+    routing[service] = "epoch=" + std::to_string(view.epoch) + " " +
+                       view.config.to_json().dump();
   }
   return routing;
 }
@@ -142,7 +142,8 @@ void fill_outcome(RunOutcome& out, engine::Engine& eng, const std::string& id,
   out.deduplicated_applies = proxies.duplicate_epochs();
 }
 
-void expect_same_outcome(const RunOutcome& resumed, const RunOutcome& baseline) {
+void expect_same_outcome(const RunOutcome& resumed,
+                         const RunOutcome& baseline) {
   expect_same_trace(resumed.trace, baseline.trace);
   EXPECT_EQ(resumed.routing, baseline.routing);
   EXPECT_EQ(resumed.status, baseline.status);

@@ -177,7 +177,8 @@ TEST(EventLoop, CancelReleasesEntryImmediately) {
   EXPECT_EQ(loop.pending(), 0u);
 
   std::atomic<bool> fired{false};
-  const TimerId quick = loop.schedule_after(Duration(1ms), [&] { fired = true; });
+  const TimerId quick =
+      loop.schedule_after(Duration(1ms), [&] { fired = true; });
   for (int i = 0; i < 200 && !fired; ++i) std::this_thread::sleep_for(5ms);
   ASSERT_TRUE(fired);
   loop.cancel(quick);  // fired id is forgotten: no-op
