@@ -910,6 +910,12 @@ int main() {
     run_scaling_sweep();
     run_shed_vs_saturate();
     run_io_sweep();
+    // Header-only CSV: the Figure 6 series is skipped in smoke mode,
+    // but the bench/out/ destination path must stay exercised (the
+    // smoke lane's bench_csv_guard checks all four CSVs exist there).
+    bifrost::util::CsvWriter csv(
+        bifrost::bench::out_path("bench_enduser_overhead.csv"),
+        {"time_s", "baseline_ms", "inactive_ms", "active_ms"});
     return 0;
   }
 

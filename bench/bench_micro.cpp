@@ -10,7 +10,9 @@
 //  * HTTP head parsing and JSON round trips on the control plane.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <sstream>
+#include <string>
 #include <vector>
 
 #include "bench_common.hpp"
@@ -332,6 +334,19 @@ int main(int argc, char** argv) {
   std::vector<char*> args(argv, argv + argc);
   char min_time[] = "--benchmark_min_time=0.01";
   if (bifrost::bench::smoke_mode()) args.push_back(min_time);
+  // Like every other bench binary, results land in bench/out/ (not the
+  // working directory's root) unless the caller picked a destination.
+  const bool has_out = std::any_of(
+      args.begin(), args.end(), [](const char* arg) {
+        return std::string(arg).starts_with("--benchmark_out=");
+      });
+  std::string out_arg =
+      "--benchmark_out=" + bifrost::bench::out_path("bench_micro.csv");
+  std::string format_arg = "--benchmark_out_format=csv";
+  if (!has_out) {
+    args.push_back(out_arg.data());
+    args.push_back(format_arg.data());
+  }
   int args_count = static_cast<int>(args.size());
   benchmark::Initialize(&args_count, args.data());
   if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {

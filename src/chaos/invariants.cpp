@@ -1,0 +1,210 @@
+#include "chaos/invariants.hpp"
+
+#include <cstdio>
+
+namespace bifrost::chaos {
+
+namespace {
+
+double to_seconds(runtime::Time t) {
+  return std::chrono::duration<double>(t).count();
+}
+
+/// Fixed-format timestamp so traces are byte-stable.
+std::string stamp(runtime::Time now) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "t=%012.3f", to_seconds(now));
+  return buffer;
+}
+
+}  // namespace
+
+void InvariantMonitor::record(runtime::Time now, const std::string& line) {
+  const std::string full = stamp(now) + " " + line;
+  trace_ += full;
+  trace_ += '\n';
+  recent_.push_back(full);
+  while (recent_.size() > options_.window_capacity) recent_.pop_front();
+  ++observations_;
+}
+
+void InvariantMonitor::violate(runtime::Time now, const std::string& invariant,
+                               const std::string& detail) {
+  record(now, "VIOLATION [" + invariant + "] " + detail);
+  Violation violation;
+  violation.invariant = invariant;
+  violation.time_seconds = to_seconds(now);
+  violation.detail = detail;
+  if (violations_.empty()) {
+    violation.window.assign(recent_.begin(), recent_.end());
+  }
+  violations_.push_back(std::move(violation));
+}
+
+void InvariantMonitor::on_event(const engine::StatusEvent& event) {
+  const auto now = std::chrono::duration_cast<runtime::Time>(
+      std::chrono::duration<double>(event.time_seconds));
+  record(now, "event " + event.type_name() +
+                  (event.strategy_id.empty() ? "" : " strategy=" +
+                                                        event.strategy_id) +
+                  (event.state.empty() ? "" : " state=" + event.state) +
+                  (event.check.empty() ? "" : " check=" + event.check) +
+                  (event.detail.empty() ? "" : " :: " + event.detail));
+
+  if (!event.strategy_id.empty()) {
+    auto it = strategies_.find(event.strategy_id);
+    if (it != strategies_.end()) {
+      it->second.last_progress = now;
+      it->second.reported_stuck = false;
+      if (event.type == engine::StatusEvent::Type::kFinished ||
+          event.type == engine::StatusEvent::Type::kAborted) {
+        it->second.finished = true;
+      }
+    }
+  }
+
+  switch (event.type) {
+    case engine::StatusEvent::Type::kBackendEjected:
+      // state = service, check = version (ProxyEventPump convention).
+      services_[event.state].ejected.insert(event.check);
+      break;
+    case engine::StatusEvent::Type::kBackendRecovered:
+      services_[event.state].ejected.erase(event.check);
+      break;
+    default:
+      break;
+  }
+}
+
+void InvariantMonitor::observe_stats(const ProxyStatsSample& sample,
+                                     runtime::Time now) {
+  ServiceBelief& belief = services_[sample.service];
+  std::string ejected_list;
+  for (const auto& [version, is_ejected] : sample.ejected) {
+    if (!is_ejected) continue;
+    if (!ejected_list.empty()) ejected_list += ",";
+    ejected_list += version;
+  }
+  record(now, "stats " + sample.service +
+                  " live_rejected=" + std::to_string(sample.live_rejected) +
+                  " shadows_queued=" + std::to_string(sample.shadows_queued) +
+                  " ejected=[" + ejected_list + "]");
+
+  // Invariant: overload shedding drops shadows before live traffic. If
+  // live rejections grew while shadow work was still queued, the shed
+  // order is wrong.
+  if (belief.have_stats && sample.live_rejected > belief.live_rejected &&
+      sample.shadows_queued > 0) {
+    violate(now, kLiveRejected,
+            sample.service + " rejected " +
+                std::to_string(sample.live_rejected - belief.live_rejected) +
+                " live request(s) while " +
+                std::to_string(sample.shadows_queued) +
+                " shadow(s) were still queued");
+  }
+  if (sample.live_rejected >= belief.live_rejected || !belief.have_stats) {
+    belief.live_rejected = sample.live_rejected;
+  }
+  belief.have_stats = true;
+
+  // Invariant: every version we saw ejected (backend_ejected with no
+  // matching backend_recovered) must still be ejected in the proxy's
+  // own stats — a re-apply or reconcile silently clearing ejection
+  // state re-admits a sick backend.
+  for (const std::string& version : belief.ejected) {
+    const auto it = sample.ejected.find(version);
+    if (it != sample.ejected.end() && !it->second) {
+      violate(now, kEjectionLost,
+              sample.service + "/" + version +
+                  " was ejected (no recovery event seen) but the proxy now "
+                  "reports it admitted — ejection state lost");
+    }
+  }
+}
+
+void InvariantMonitor::observe_epoch(const std::string& service,
+                                     std::uint64_t epoch, runtime::Time now) {
+  ServiceBelief& belief = services_[service];
+  record(now, "epoch " + service + " epoch=" + std::to_string(epoch));
+  if (belief.have_epoch && epoch < belief.epoch) {
+    violate(now, kEpochRegressed,
+            service + " config epoch moved backwards: " +
+                std::to_string(belief.epoch) + " -> " + std::to_string(epoch));
+  }
+  belief.epoch = std::max(belief.epoch, epoch);
+  belief.have_epoch = true;
+}
+
+void InvariantMonitor::observe_sticky(const std::string& service,
+                                      const std::string& session,
+                                      const std::string& version,
+                                      runtime::Time now) {
+  record(now,
+         "sticky " + service + " session=" + session + " served=" + version);
+  const auto key = std::make_pair(service, session);
+  const auto it = pins_.find(key);
+  if (it == pins_.end()) {
+    pins_.emplace(key, version);
+    return;
+  }
+  if (it->second != version) {
+    violate(now, kStickyMoved,
+            service + " session " + session + " pinned to " + it->second +
+                " was served by " + version);
+  }
+}
+
+void InvariantMonitor::note(runtime::Time now, const std::string& line) {
+  record(now, "note " + line);
+}
+
+void InvariantMonitor::strategy_started(const std::string& id,
+                                        runtime::Time now) {
+  StrategyBelief& belief = strategies_[id];
+  belief.last_progress = now;
+  belief.finished = false;
+  belief.reported_stuck = false;
+  record(now, "strategy " + id + " started");
+}
+
+void InvariantMonitor::strategy_finished(const std::string& id,
+                                         runtime::Time now) {
+  strategies_[id].finished = true;
+  record(now, "strategy " + id + " finished");
+}
+
+void InvariantMonitor::tick(runtime::Time now) {
+  for (auto& [id, belief] : strategies_) {
+    if (belief.finished || belief.reported_stuck) continue;
+    if (now - belief.last_progress > options_.stuck_after) {
+      belief.reported_stuck = true;  // once per stall, not once per tick
+      const double hours = std::chrono::duration<double, std::ratio<3600>>(
+                               now - belief.last_progress)
+                               .count();
+      char buffer[32];
+      std::snprintf(buffer, sizeof(buffer), "%.2f", hours);
+      violate(now, kStrategyStuck,
+              "strategy " + id + " made no progress for " + buffer +
+                  " virtual hour(s)");
+    }
+  }
+}
+
+std::string InvariantMonitor::report() const {
+  if (violations_.empty()) {
+    return "invariants: OK (" + std::to_string(observations_) +
+           " observations, 0 violations)\n";
+  }
+  std::string out = "invariants: FAILED (" +
+                    std::to_string(violations_.size()) + " violation(s), " +
+                    std::to_string(observations_) + " observations)\n";
+  const Violation& first = violations_.front();
+  out += "first violation: [" + first.invariant + "] " + first.detail + "\n";
+  out += "event window:\n";
+  for (const std::string& line : first.window) {
+    out += "  " + line + "\n";
+  }
+  return out;
+}
+
+}  // namespace bifrost::chaos

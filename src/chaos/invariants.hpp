@@ -1,0 +1,156 @@
+// Live invariant monitor for chaos soaks. The monitor subscribes to the
+// observable surfaces the system already exposes — the engine's status
+// event stream (which includes the pumped proxy /admin/events), proxy
+// stats samples, config epochs, and sticky-session observations — and
+// continuously checks system-level invariants that must hold through
+// ANY fault schedule:
+//
+//   live-rejected-while-shadows-queued  overload shedding must drop
+//       shadow traffic before it rejects a single live request
+//   ejection-survives-reapply           an ejected backend must stay
+//       ejected across config re-applies/reconciles until a
+//       backend_recovered event says its probe passed
+//   sticky-pin-stable                   a session pinned to a version
+//       must keep seeing that version across failovers
+//   epoch-monotonic                     a proxy's config epoch never
+//       moves backwards
+//   strategy-stuck                      a submitted strategy must make
+//       observable progress within a bound of virtual hours
+//
+// Every observation is appended to a deterministic trace; two runs of
+// the same seeded soak must produce byte-identical traces (the replay
+// acceptance bar). On the FIRST violation the monitor captures the
+// window of trace lines leading up to it, so a shrunk schedule replays
+// with the evidence attached.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "engine/interfaces.hpp"
+#include "runtime/scheduler.hpp"
+
+namespace bifrost::chaos {
+
+/// One sample of a service's proxy-observable health, fed by the soak
+/// runner (from real /admin/stats or the simulated health model).
+struct ProxyStatsSample {
+  std::string service;
+  std::uint64_t live_rejected = 0;   ///< cumulative live 503s (overload)
+  std::uint64_t shadows_queued = 0;  ///< shadow requests queued/in flight
+  /// Version -> currently ejected, the proxy's own truth (empty entry
+  /// set means "proxy reports nothing ejected").
+  std::map<std::string, bool> ejected;
+};
+
+/// A captured invariant violation.
+struct Violation {
+  std::string invariant;  ///< one of InvariantMonitor::k* ids
+  double time_seconds = 0.0;
+  std::string detail;
+  /// Trace lines immediately preceding (and including) the violation —
+  /// the "event window" for the replay artifact. First violation only.
+  std::vector<std::string> window;
+};
+
+class InvariantMonitor {
+ public:
+  static constexpr const char* kLiveRejected =
+      "live-rejected-while-shadows-queued";
+  static constexpr const char* kEjectionLost = "ejection-survives-reapply";
+  static constexpr const char* kStickyMoved = "sticky-pin-stable";
+  static constexpr const char* kEpochRegressed = "epoch-monotonic";
+  static constexpr const char* kStrategyStuck = "strategy-stuck";
+
+  struct Options {
+    /// A strategy with no status event for this long is "stuck".
+    runtime::Duration stuck_after = std::chrono::hours(3);
+    /// Trace lines retained for the first-violation window capture.
+    std::size_t window_capacity = 24;
+  };
+
+  explicit InvariantMonitor(Options options) : options_(options) {}
+  InvariantMonitor() : InvariantMonitor(Options{}) {}
+
+  // ---- inputs ----------------------------------------------------------
+
+  /// Feed one engine status event (includes pumped proxy events:
+  /// backend_ejected/backend_recovered carry service in `state` and
+  /// version in `check`). Timestamps must be virtual-time seconds.
+  void on_event(const engine::StatusEvent& event);
+
+  /// Proxy health sample at virtual time `now`.
+  void observe_stats(const ProxyStatsSample& sample, runtime::Time now);
+
+  /// Config epoch the service's proxy reports at `now`.
+  void observe_epoch(const std::string& service, std::uint64_t epoch,
+                     runtime::Time now);
+
+  /// A response for sticky `session` on `service` was served by
+  /// `version` at `now`.
+  void observe_sticky(const std::string& service, const std::string& session,
+                      const std::string& version, runtime::Time now);
+
+  /// Runner annotation (crash, recovery, re-apply...) — recorded in the
+  /// trace so violation windows show the chaos context, checked against
+  /// nothing itself.
+  void note(runtime::Time now, const std::string& line);
+
+  /// Lifecycle hooks for the strategy-stuck invariant.
+  void strategy_started(const std::string& id, runtime::Time now);
+  void strategy_finished(const std::string& id, runtime::Time now);
+
+  /// Periodic evaluation of time-based invariants (strategy-stuck).
+  void tick(runtime::Time now);
+
+  // ---- outputs ---------------------------------------------------------
+
+  [[nodiscard]] bool violated() const { return !violations_.empty(); }
+  [[nodiscard]] const std::vector<Violation>& violations() const {
+    return violations_;
+  }
+  [[nodiscard]] const Violation* first_violation() const {
+    return violations_.empty() ? nullptr : &violations_.front();
+  }
+  /// Full deterministic trace, one observation per line. The soak
+  /// determinism test compares this byte-for-byte across same-seed runs.
+  [[nodiscard]] const std::string& trace() const { return trace_; }
+  [[nodiscard]] std::uint64_t observations() const { return observations_; }
+
+  /// Human-readable report: verdict plus the first violation's window.
+  [[nodiscard]] std::string report() const;
+
+ private:
+  struct ServiceBelief {
+    std::set<std::string> ejected;  ///< versions we believe are ejected
+    std::uint64_t live_rejected = 0;
+    bool have_stats = false;
+    std::uint64_t epoch = 0;
+    bool have_epoch = false;
+  };
+  struct StrategyBelief {
+    runtime::Time last_progress{0};
+    bool finished = false;
+    bool reported_stuck = false;
+  };
+
+  void record(runtime::Time now, const std::string& line);
+  void violate(runtime::Time now, const std::string& invariant,
+               const std::string& detail);
+
+  Options options_;
+  std::map<std::string, ServiceBelief> services_;
+  std::map<std::string, StrategyBelief> strategies_;
+  /// (service, session) -> pinned version.
+  std::map<std::pair<std::string, std::string>, std::string> pins_;
+  std::string trace_;
+  std::deque<std::string> recent_;  ///< bounded window for capture
+  std::vector<Violation> violations_;
+  std::uint64_t observations_ = 0;
+};
+
+}  // namespace bifrost::chaos

@@ -1,0 +1,377 @@
+#include "chaos/schedule.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+#include <sstream>
+
+#include "util/rng.hpp"
+
+namespace bifrost::chaos {
+
+namespace {
+
+using util::Result;
+
+double to_seconds(runtime::Time t) {
+  return std::chrono::duration<double>(t).count();
+}
+
+runtime::Time from_seconds(double s) {
+  return std::chrono::duration_cast<runtime::Time>(
+      std::chrono::duration<double>(s));
+}
+
+/// Fixed-format seconds (3 decimals) so YAML round trips and trace
+/// lines are byte-stable across locales and platforms.
+std::string seconds_str(runtime::Time t) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.3f", to_seconds(t));
+  return buffer;
+}
+
+}  // namespace
+
+const char* ChaosWindow::kind_name() const {
+  switch (kind) {
+    case Kind::kBackendBrownout:
+      return "backend_brownout";
+    case Kind::kProviderOutage:
+      return "provider_outage";
+    case Kind::kProxyOutage:
+      return "proxy_outage";
+    case Kind::kLatency:
+      return "latency";
+    case Kind::kEngineCrash:
+      return "engine_crash";
+    case Kind::kConfigReapply:
+      return "config_reapply";
+  }
+  return "?";
+}
+
+std::optional<ChaosWindow::Kind> ChaosWindow::kind_from_name(
+    const std::string& name) {
+  if (name == "backend_brownout") return Kind::kBackendBrownout;
+  if (name == "provider_outage") return Kind::kProviderOutage;
+  if (name == "proxy_outage") return Kind::kProxyOutage;
+  if (name == "latency") return Kind::kLatency;
+  if (name == "engine_crash") return Kind::kEngineCrash;
+  if (name == "config_reapply") return Kind::kConfigReapply;
+  return std::nullopt;
+}
+
+std::string ChaosWindow::describe() const {
+  std::string out = kind_name();
+  if (!target.empty()) out += " " + target;
+  if (instant()) {
+    out += " @" + seconds_str(from) + "s";
+  } else {
+    out += " " + seconds_str(from) + "s.." + seconds_str(to) + "s";
+    if (kind == Kind::kLatency) {
+      out += " +" + std::to_string(latency.count()) + "ms";
+    }
+  }
+  return out;
+}
+
+ChaosSchedule::Inventory ChaosSchedule::Inventory::of(
+    const core::StrategyDef& def) {
+  Inventory inventory;
+  for (const core::ServiceDef& service : def.services) {
+    inventory.services.push_back(service.name);
+    for (const core::VersionDef& version : service.versions) {
+      inventory.versions.push_back(version.version);
+    }
+  }
+  for (const auto& [name, provider] : def.providers) {
+    inventory.providers.push_back(provider.host);
+  }
+  return inventory;
+}
+
+ChaosSchedule ChaosSchedule::generate(std::uint64_t seed,
+                                      runtime::Duration horizon,
+                                      const Inventory& inventory,
+                                      const GenOptions& options) {
+  ChaosSchedule schedule;
+  schedule.seed = seed;
+  schedule.horizon = horizon;
+  util::Rng rng(util::derive_seed(seed, /*stream=*/0xC4A05));
+
+  const auto pick = [&rng](const std::vector<std::string>& pool) {
+    return pool[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(pool.size()) - 1))];
+  };
+  const auto pick_time = [&rng, horizon](runtime::Duration margin) {
+    const auto span = horizon.count() - margin.count();
+    return runtime::Time(rng.uniform_int(0, std::max<std::int64_t>(1, span)));
+  };
+  const auto pick_span = [&rng, &options] {
+    return runtime::Duration(rng.uniform_int(options.min_window.count(),
+                                             options.max_window.count()));
+  };
+
+  // Fixed draw order: counts are walked kind by kind so the same seed
+  // always consumes the RNG identically.
+  for (int i = 0; i < options.brownouts && !inventory.versions.empty(); ++i) {
+    ChaosWindow window;
+    window.kind = ChaosWindow::Kind::kBackendBrownout;
+    window.target = pick(inventory.versions);
+    window.from = pick_time(options.min_window);
+    window.to = window.from + pick_span();
+    schedule.windows.push_back(std::move(window));
+  }
+  for (int i = 0; i < options.provider_outages && !inventory.providers.empty();
+       ++i) {
+    ChaosWindow window;
+    window.kind = ChaosWindow::Kind::kProviderOutage;
+    window.target = pick(inventory.providers);
+    window.from = pick_time(options.min_window);
+    window.to = window.from + pick_span();
+    schedule.windows.push_back(std::move(window));
+  }
+  for (int i = 0; i < options.proxy_outages && !inventory.services.empty();
+       ++i) {
+    ChaosWindow window;
+    window.kind = ChaosWindow::Kind::kProxyOutage;
+    window.target = pick(inventory.services);
+    window.from = pick_time(options.min_window);
+    window.to = window.from + pick_span();
+    schedule.windows.push_back(std::move(window));
+  }
+  for (int i = 0; i < options.latency_windows && !inventory.versions.empty();
+       ++i) {
+    ChaosWindow window;
+    window.kind = ChaosWindow::Kind::kLatency;
+    window.target = pick(inventory.versions);
+    window.from = pick_time(options.min_window);
+    window.to = window.from + pick_span();
+    window.latency = std::chrono::milliseconds(rng.uniform_int(
+        options.min_latency.count(), options.max_latency.count()));
+    schedule.windows.push_back(std::move(window));
+  }
+  for (int i = 0; i < options.crashes; ++i) {
+    ChaosWindow window;
+    window.kind = ChaosWindow::Kind::kEngineCrash;
+    window.from = pick_time(runtime::Duration{0});
+    window.to = window.from;
+    schedule.windows.push_back(std::move(window));
+  }
+  for (int i = 0; i < options.reapplies; ++i) {
+    ChaosWindow window;
+    window.kind = ChaosWindow::Kind::kConfigReapply;
+    window.from = pick_time(runtime::Duration{0});
+    window.to = window.from;
+    schedule.windows.push_back(std::move(window));
+  }
+
+  // Canonical order: by start time, then kind, then target. Keeps the
+  // YAML artifact stable and the shrinker's subsets well-defined.
+  std::stable_sort(schedule.windows.begin(), schedule.windows.end(),
+                   [](const ChaosWindow& a, const ChaosWindow& b) {
+                     if (a.from != b.from) return a.from < b.from;
+                     if (a.kind != b.kind) return a.kind < b.kind;
+                     return a.target < b.target;
+                   });
+  return schedule;
+}
+
+util::Result<ChaosSchedule> ChaosSchedule::from_yaml(const yaml::Node& root) {
+  using R = Result<ChaosSchedule>;
+  const yaml::Node* spec = root.find("chaos");
+  if (spec == nullptr) spec = &root;
+  if (!spec->is_mapping()) {
+    return R::error("chaos spec must be a mapping (have a 'chaos:' block?)");
+  }
+
+  ChaosSchedule schedule;
+  schedule.seed =
+      static_cast<std::uint64_t>(spec->get_int("seed", 0));
+  const double hours = spec->get_double("horizonHours", 6.0);
+  if (hours <= 0.0) return R::error("chaos: horizonHours must be positive");
+  schedule.horizon = std::chrono::duration_cast<runtime::Duration>(
+      std::chrono::duration<double, std::ratio<3600>>(hours));
+
+  const yaml::Node* windows = spec->find("windows");
+  if (windows != nullptr) {
+    if (!windows->is_sequence()) {
+      return R::error("chaos: windows must be a sequence");
+    }
+    for (std::size_t i = 0; i < windows->items().size(); ++i) {
+      const yaml::Node& item = windows->items()[i];
+      const std::string position = "chaos: windows[" + std::to_string(i) + "]";
+      if (!item.is_mapping()) {
+        return R::error(position + " must be a mapping");
+      }
+      const std::string kind_name = item.get_string("kind");
+      const auto kind = ChaosWindow::kind_from_name(kind_name);
+      if (!kind) {
+        return R::error(position + ": unknown kind '" + kind_name +
+                        "' (backend_brownout, provider_outage, proxy_outage, "
+                        "latency, engine_crash, config_reapply)");
+      }
+      ChaosWindow window;
+      window.kind = *kind;
+      window.target = item.get_string("target");
+      if (window.instant()) {
+        if (!item.has("atSeconds")) {
+          return R::error(position + ": " + kind_name + " needs atSeconds");
+        }
+        window.from = from_seconds(item.get_double("atSeconds", 0.0));
+        window.to = window.from;
+      } else {
+        if (!item.has("fromSeconds") || !item.has("toSeconds")) {
+          return R::error(position + ": " + kind_name +
+                          " needs fromSeconds and toSeconds");
+        }
+        window.from = from_seconds(item.get_double("fromSeconds", 0.0));
+        window.to = from_seconds(item.get_double("toSeconds", 0.0));
+        if (window.to <= window.from) {
+          return R::error(position + ": toSeconds must be > fromSeconds");
+        }
+        if (window.target.empty() &&
+            window.kind != ChaosWindow::Kind::kLatency) {
+          return R::error(position + ": " + kind_name + " needs a target");
+        }
+      }
+      if (window.kind == ChaosWindow::Kind::kLatency) {
+        const long long ms = item.get_int("latencyMs", 0);
+        if (ms <= 0) {
+          return R::error(position + ": latency needs latencyMs > 0");
+        }
+        window.latency = std::chrono::milliseconds(ms);
+      }
+      schedule.windows.push_back(std::move(window));
+    }
+  }
+  return schedule;
+}
+
+util::Result<ChaosSchedule> ChaosSchedule::from_yaml_text(
+    const std::string& text) {
+  auto doc = yaml::parse(text);
+  if (!doc.ok()) {
+    return Result<ChaosSchedule>::error("chaos spec: " + doc.error_message());
+  }
+  return from_yaml(doc.value());
+}
+
+std::string ChaosSchedule::to_yaml() const {
+  std::ostringstream out;
+  out << "chaos:\n";
+  out << "  seed: " << seed << "\n";
+  char hours[64];
+  std::snprintf(hours, sizeof(hours), "%.6g",
+                std::chrono::duration<double, std::ratio<3600>>(horizon)
+                    .count());
+  out << "  horizonHours: " << hours << "\n";
+  if (windows.empty()) {
+    out << "  windows: []\n";
+    return out.str();
+  }
+  out << "  windows:\n";
+  for (const ChaosWindow& window : windows) {
+    out << "    - kind: " << window.kind_name() << "\n";
+    if (!window.target.empty()) {
+      out << "      target: " << window.target << "\n";
+    }
+    if (window.instant()) {
+      out << "      atSeconds: " << seconds_str(window.from) << "\n";
+    } else {
+      out << "      fromSeconds: " << seconds_str(window.from) << "\n";
+      out << "      toSeconds: " << seconds_str(window.to) << "\n";
+    }
+    if (window.kind == ChaosWindow::Kind::kLatency) {
+      out << "      latencyMs: " << window.latency.count() << "\n";
+    }
+  }
+  return out.str();
+}
+
+util::Result<void> ChaosSchedule::validate_against(
+    const core::StrategyDef& def) const {
+  // Reuse the FaultPlan's name validation for every edge window; the
+  // instants validate locally (re-apply targets must name a service).
+  sim::FaultPlan plan(seed);
+  arm(plan);
+  if (auto armed = plan.validate_against(def); !armed.ok()) return armed;
+  for (const ChaosWindow& window : windows) {
+    if (window.kind == ChaosWindow::Kind::kConfigReapply &&
+        !window.target.empty() &&
+        def.find_service(window.target) == nullptr) {
+      return util::Result<void>::error(
+          "config_reapply targets unknown service '" + window.target +
+          "' in strategy '" + def.name + "'");
+    }
+  }
+  return {};
+}
+
+void ChaosSchedule::arm(sim::FaultPlan& plan) const {
+  for (const ChaosWindow& window : windows) {
+    sim::FaultPlan::Window armed;
+    armed.from = window.from;
+    armed.to = window.to;
+    armed.name = window.target;
+    switch (window.kind) {
+      case ChaosWindow::Kind::kBackendBrownout:
+        armed.target = sim::FaultPlan::Target::kBackend;
+        break;
+      case ChaosWindow::Kind::kProviderOutage:
+        armed.target = sim::FaultPlan::Target::kMetrics;
+        break;
+      case ChaosWindow::Kind::kProxyOutage:
+        armed.target = sim::FaultPlan::Target::kProxy;
+        break;
+      case ChaosWindow::Kind::kLatency:
+        armed.target = sim::FaultPlan::Target::kLatency;
+        armed.latency =
+            std::chrono::duration_cast<runtime::Duration>(window.latency);
+        break;
+      case ChaosWindow::Kind::kEngineCrash:
+      case ChaosWindow::Kind::kConfigReapply:
+        continue;  // instants: the runner schedules these itself
+    }
+    plan.add_window(std::move(armed));
+  }
+}
+
+std::vector<runtime::Time> ChaosSchedule::crash_times() const {
+  std::vector<runtime::Time> times;
+  for (const ChaosWindow& window : windows) {
+    if (window.kind == ChaosWindow::Kind::kEngineCrash) {
+      times.push_back(window.from);
+    }
+  }
+  std::sort(times.begin(), times.end());
+  return times;
+}
+
+std::vector<std::pair<runtime::Time, std::string>>
+ChaosSchedule::reapply_times() const {
+  std::vector<std::pair<runtime::Time, std::string>> times;
+  for (const ChaosWindow& window : windows) {
+    if (window.kind == ChaosWindow::Kind::kConfigReapply) {
+      times.emplace_back(window.from, window.target);
+    }
+  }
+  std::sort(times.begin(), times.end());
+  return times;
+}
+
+std::size_t ChaosSchedule::count(ChaosWindow::Kind kind) const {
+  std::size_t n = 0;
+  for (const ChaosWindow& window : windows) n += window.kind == kind ? 1 : 0;
+  return n;
+}
+
+std::size_t ChaosSchedule::fault_classes() const {
+  std::set<int> kinds;
+  for (const ChaosWindow& window : windows) {
+    kinds.insert(static_cast<int>(window.kind));
+  }
+  return kinds.size();
+}
+
+}  // namespace bifrost::chaos

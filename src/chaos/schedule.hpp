@@ -1,0 +1,137 @@
+// Composable chaos schedules: a ChaosSchedule is a first-class,
+// reproducible description of "what goes wrong when" over a soak run's
+// virtual-time horizon. It composes the deterministic fault primitives
+// the repo already has — sim::FaultPlan error windows against backends,
+// providers and proxies, latency overlays (the kLatency target), engine
+// crash points, and proxy config re-applies — into one artifact that
+// can be generated from a seed, written to / read from YAML (`chaos:`
+// spec), validated against the strategy it will torment, shrunk to a
+// minimal reproducing subset, and replayed byte-identically.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/model.hpp"
+#include "runtime/scheduler.hpp"
+#include "sim/fault_plan.hpp"
+#include "util/result.hpp"
+#include "yaml/yaml.hpp"
+
+namespace bifrost::chaos {
+
+/// One fault window (or instant) on the soak timeline.
+struct ChaosWindow {
+  enum class Kind {
+    kBackendBrownout,  ///< version hard-down for [from, to)
+    kProviderOutage,   ///< metrics provider host unreachable
+    kProxyOutage,      ///< config pushes to a service's proxy fail
+    kLatency,          ///< extra latency on calls naming `target`
+    kEngineCrash,      ///< the engine process dies at `from`
+    kConfigReapply,    ///< an operator re-pushes proxy config at `from`
+  };
+
+  Kind kind = Kind::kBackendBrownout;
+  /// Version (brownout/latency), provider host (outage), or service
+  /// (proxy outage). Empty for engine crashes; empty for re-applies
+  /// means "all services".
+  std::string target;
+  runtime::Time from{0};
+  runtime::Time to{0};  ///< ignored for instants
+  std::chrono::milliseconds latency{0};  ///< kLatency only
+
+  /// Crashes and re-applies are instants, not intervals.
+  [[nodiscard]] bool instant() const {
+    return kind == Kind::kEngineCrash || kind == Kind::kConfigReapply;
+  }
+  [[nodiscard]] const char* kind_name() const;
+  [[nodiscard]] static std::optional<Kind> kind_from_name(
+      const std::string& name);
+  /// One-line human summary ("backend_brownout canary-v2 600s..1800s").
+  [[nodiscard]] std::string describe() const;
+};
+
+class ChaosSchedule {
+ public:
+  /// Seeds the FaultPlan RNG (probabilistic specs) and, when the
+  /// schedule is generated, the generator itself.
+  std::uint64_t seed = 0;
+  runtime::Duration horizon = std::chrono::hours(6);
+  std::vector<ChaosWindow> windows;
+
+  /// What the generator can aim chaos at, extracted from a strategy:
+  /// every deployed version, service, and provider host.
+  struct Inventory {
+    std::vector<std::string> versions;
+    std::vector<std::string> services;
+    std::vector<std::string> providers;
+    [[nodiscard]] static Inventory of(const core::StrategyDef& def);
+  };
+
+  /// Knobs for the seed-driven generator. Counts are exact; times and
+  /// targets are drawn from the seed.
+  struct GenOptions {
+    int brownouts = 2;
+    int provider_outages = 1;
+    int proxy_outages = 1;
+    int latency_windows = 1;
+    int crashes = 1;
+    int reapplies = 2;
+    runtime::Duration min_window = std::chrono::minutes(5);
+    runtime::Duration max_window = std::chrono::minutes(45);
+    std::chrono::milliseconds min_latency{50};
+    std::chrono::milliseconds max_latency{500};
+  };
+
+  /// Deterministic: the same (seed, horizon, inventory, options)
+  /// produce the identical schedule. Window kinds targeting an empty
+  /// inventory bucket are skipped.
+  [[nodiscard]] static ChaosSchedule generate(std::uint64_t seed,
+                                              runtime::Duration horizon,
+                                              const Inventory& inventory,
+                                              const GenOptions& options);
+  [[nodiscard]] static ChaosSchedule generate(std::uint64_t seed,
+                                              runtime::Duration horizon,
+                                              const Inventory& inventory) {
+    return generate(seed, horizon, inventory, GenOptions{});
+  }
+
+  /// Parses a `chaos:` spec (accepts the `chaos:` wrapper or the bare
+  /// mapping). Times are seconds; latency is milliseconds.
+  [[nodiscard]] static util::Result<ChaosSchedule> from_yaml(
+      const yaml::Node& root);
+  [[nodiscard]] static util::Result<ChaosSchedule> from_yaml_text(
+      const std::string& text);
+
+  /// Serializes back to a `chaos:` YAML document; from_yaml_text of the
+  /// result reproduces the schedule (the replay artifact the shrinker
+  /// emits).
+  [[nodiscard]] std::string to_yaml() const;
+
+  /// Every named window must reference something the strategy actually
+  /// deploys/queries — a typo'd name would silently never fire.
+  /// Delegates the per-edge checks to FaultPlan::validate_against.
+  [[nodiscard]] util::Result<void> validate_against(
+      const core::StrategyDef& def) const;
+
+  /// Installs the interval windows (brownouts, outages, latency) into
+  /// `plan`. Crash and re-apply instants are the runner's job — read
+  /// them via crash_times() / reapply_times().
+  void arm(sim::FaultPlan& plan) const;
+
+  [[nodiscard]] std::vector<runtime::Time> crash_times() const;
+  /// (time, service) pairs; empty service = every service.
+  [[nodiscard]] std::vector<std::pair<runtime::Time, std::string>>
+  reapply_times() const;
+
+  /// Windows whose kind matches, sorted by start time (for reports).
+  [[nodiscard]] std::size_t count(ChaosWindow::Kind kind) const;
+  /// Distinct fault classes present (the acceptance criterion asks for
+  /// scenarios composing >= 3).
+  [[nodiscard]] std::size_t fault_classes() const;
+};
+
+}  // namespace bifrost::chaos

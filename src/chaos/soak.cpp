@@ -1,0 +1,357 @@
+#include "chaos/soak.hpp"
+
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "engine/engine.hpp"
+#include "engine/journal.hpp"
+#include "sim/fault_plan.hpp"
+#include "sim/sim_env.hpp"
+#include "sim/simulation.hpp"
+
+namespace bifrost::chaos {
+
+namespace {
+
+using namespace std::chrono_literals;
+
+double to_seconds(runtime::Time t) {
+  return std::chrono::duration<double>(t).count();
+}
+
+bool terminal(engine::ExecutionStatus status) {
+  return status == engine::ExecutionStatus::kSucceeded ||
+         status == engine::ExecutionStatus::kRolledBack ||
+         status == engine::ExecutionStatus::kAborted ||
+         status == engine::ExecutionStatus::kFailed;
+}
+
+/// Models the per-version health machinery of a fleet of real proxies
+/// (outlier ejection + recovery probes), driven deterministically by
+/// the FaultPlan: every supervisor tick each deployed version is
+/// sampled against the plan's brownout windows and latency overlay.
+class BackendHealthModel {
+ public:
+  BackendHealthModel(const core::StrategyDef& def, sim::FaultPlan& plan,
+                     const SoakOptions& options)
+      : plan_(plan), options_(options) {
+    for (const core::ServiceDef& service : def.services) {
+      for (const core::VersionDef& version : service.versions) {
+        versions_.push_back({service.name, version.version, 0, false});
+      }
+    }
+  }
+
+  /// Samples every version; state changes emit backend_ejected /
+  /// backend_recovered into the engine's event log (the observable
+  /// surface the monitor watches), exactly like the real event pump.
+  void step(runtime::Time now, engine::Engine& engine) {
+    for (VersionHealth& v : versions_) {
+      auto outcome =
+          plan_.decide(sim::FaultPlan::Target::kBackend, v.version, now);
+      const auto overlay =
+          plan_.decide(sim::FaultPlan::Target::kLatency, v.version, now);
+      const bool bad = outcome.error ||
+                       overlay.extra_latency >= options_.bad_latency_threshold;
+      if (bad) {
+        if (++v.bad_samples >= options_.eject_after_bad_samples &&
+            !v.ejected) {
+          v.ejected = true;
+          emit(engine, now, engine::StatusEvent::Type::kBackendEjected, v,
+               "ejected after " + std::to_string(v.bad_samples) +
+                   " consecutive bad samples");
+        }
+      } else {
+        v.bad_samples = 0;
+        if (v.ejected) {
+          // The fault window cleared: the recovery probe passes and the
+          // version is re-admitted.
+          v.ejected = false;
+          emit(engine, now, engine::StatusEvent::Type::kBackendRecovered, v,
+               "recovery probe passed");
+        }
+      }
+    }
+  }
+
+  /// An operator re-applied proxy config. Correct proxies keep their
+  /// ejection state (it is health-derived, not config-derived). The
+  /// planted bug rebuilds health state from the incoming config —
+  /// silently forgetting who was ejected, with no recovery event.
+  void on_reapply() {
+    if (!options_.plant_ejection_loss_bug) return;
+    for (VersionHealth& v : versions_) {
+      v.ejected = false;
+      v.bad_samples = 0;
+    }
+  }
+
+  /// Per-service stats samples, as a real /admin/stats scrape would
+  /// report them. The sim models no overload, so rejected/queued stay 0.
+  [[nodiscard]] std::vector<ProxyStatsSample> samples() const {
+    std::vector<ProxyStatsSample> out;
+    for (const VersionHealth& v : versions_) {
+      ProxyStatsSample* sample = nullptr;
+      for (ProxyStatsSample& existing : out) {
+        if (existing.service == v.service) sample = &existing;
+      }
+      if (sample == nullptr) {
+        out.push_back(ProxyStatsSample{});
+        sample = &out.back();
+        sample->service = v.service;
+      }
+      sample->ejected[v.version] = v.ejected;
+    }
+    return out;
+  }
+
+ private:
+  struct VersionHealth {
+    std::string service;
+    std::string version;
+    int bad_samples = 0;
+    bool ejected = false;
+  };
+
+  void emit(engine::Engine& engine, runtime::Time now,
+            engine::StatusEvent::Type type, const VersionHealth& v,
+            const std::string& detail) {
+    engine::StatusEvent event;
+    event.type = type;
+    event.time_seconds = to_seconds(now);
+    event.state = v.service;
+    event.check = v.version;
+    event.detail = detail;
+    engine.log_event(std::move(event));
+  }
+
+  sim::FaultPlan& plan_;
+  const SoakOptions& options_;
+  std::vector<VersionHealth> versions_;
+};
+
+}  // namespace
+
+SoakResult run_soak(const core::StrategyDef& def,
+                    const ChaosSchedule& schedule,
+                    const SoakOptions& options) {
+  SoakResult result;
+  result.fault_classes = schedule.fault_classes();
+
+  // Zero modeled costs: timers fire at exact absolute virtual times, so
+  // resumed executions after a crash re-arm identically and the run is
+  // deterministic end to end (same property the recovery tests rely on).
+  sim::Simulation::Options sim_options;
+  sim_options.dispatch_overhead = 0ns;
+  sim::Simulation sim(sim_options);
+
+  sim::FaultPlan plan(schedule.seed);
+  schedule.arm(plan);
+
+  sim::SimMetricsClient::Costs metric_costs;
+  metric_costs.default_query = {0ns, 0ns};
+  sim::SimMetricsClient metrics(
+      sim,
+      [](const std::string& query, double) -> std::optional<double> {
+        if (query.find("request_errors") != std::string::npos) return 0.0;
+        if (query.find("sales_total") != std::string::npos) return 150.0;
+        return 100.0;
+      },
+      metric_costs);
+  metrics.set_fault_plan(&plan);
+  sim::SimProxyController proxies(sim, {0ns, 0ns});
+  proxies.set_fault_plan(&plan);
+  engine::MemoryJournal disk;
+
+  InvariantMonitor monitor(options.monitor);
+  BackendHealthModel health(def, plan, options);
+
+  const runtime::Time horizon = runtime::Time{0} + schedule.horizon;
+
+  // Runner state the timers reach through: the engine is replaced on
+  // every injected crash while the timers (supervisor, crash points,
+  // re-applies) outlive each incarnation.
+  struct State {
+    std::unique_ptr<engine::Engine> engine;
+    std::uint64_t cursor = 0;  ///< event-log read position
+    std::string strategy_id;
+  } state;
+
+  const auto make_engine = [&] {
+    engine::Engine::Options engine_options;
+    engine_options.journal = &disk;
+    return std::make_unique<engine::Engine>(sim, metrics, proxies,
+                                            engine_options);
+  };
+  const auto drain_events = [&] {
+    if (!state.engine) return;
+    for (;;) {
+      const auto events = state.engine->events_since(state.cursor, 512, 0ms);
+      if (events.empty()) break;
+      for (const engine::StatusEvent& event : events) {
+        state.cursor = event.sequence;
+        monitor.on_event(event);
+        ++result.events_seen;
+      }
+    }
+  };
+  const auto submit_strategy = [&] {
+    auto submitted = state.engine->submit(def);
+    if (!submitted.ok()) {
+      monitor.note(sim.now(), "submit failed: " + submitted.error_message());
+      return;
+    }
+    state.strategy_id = submitted.value();
+    ++result.strategy_runs;
+    monitor.strategy_started(state.strategy_id, sim.now());
+  };
+
+  state.engine = make_engine();
+  submit_strategy();
+
+  // The supervisor: samples health, drains the event stream into the
+  // monitor, observes epochs and sticky sessions, resubmits finished
+  // strategies (a soak needs continuous enactment activity), and
+  // re-arms itself every sample_interval until the horizon.
+  std::function<void()> supervise = [&] {
+    const runtime::Time now = sim.now();
+    if (state.engine) {
+      health.step(now, *state.engine);
+    }
+    drain_events();
+    for (const ProxyStatsSample& sample : health.samples()) {
+      monitor.observe_stats(sample, now);
+    }
+    for (const auto& [service, view] : proxies.states()) {
+      monitor.observe_epoch(service, view.epoch, now);
+    }
+    // Synthesized sticky sessions: session i pins to the version its
+    // first request hit; a correct proxy keeps that pin for the
+    // session's lifetime, so the model keeps serving the pinned version.
+    for (int i = 0; i < options.sticky_sessions; ++i) {
+      for (const core::ServiceDef& service : def.services) {
+        if (service.versions.empty()) continue;
+        const std::string& version =
+            service.versions[static_cast<std::size_t>(i) %
+                             service.versions.size()]
+                .version;
+        monitor.observe_sticky(service.name, "session-" + std::to_string(i),
+                               version, now);
+      }
+    }
+    if (state.engine && !state.strategy_id.empty()) {
+      const auto snapshot = state.engine->status(state.strategy_id);
+      if (snapshot && terminal(snapshot->status)) {
+        monitor.strategy_finished(state.strategy_id, now);
+        state.strategy_id.clear();
+        submit_strategy();
+      }
+    }
+    monitor.tick(now);
+    const runtime::Time next = now + options.sample_interval;
+    if (next < horizon) sim.schedule_at(next, supervise);
+  };
+  sim.schedule_at(runtime::Time{0} + options.sample_interval, supervise);
+
+  for (const runtime::Time when : schedule.crash_times()) {
+    if (when >= horizon) continue;
+    sim.schedule_at(when, [] {
+      throw sim::CrashInjected("chaos schedule killed the engine");
+    });
+  }
+  for (const auto& [when, service] : schedule.reapply_times()) {
+    if (when >= horizon) continue;
+    sim.schedule_at(when, [&, service = service] {
+      monitor.note(sim.now(), "config re-apply" +
+                                  (service.empty() ? std::string{}
+                                                   : " service=" + service));
+      ++result.reapplies;
+      if (state.engine) (void)state.engine->reconcile();
+      health.on_reapply();
+    });
+  }
+
+  // Drive to the horizon; every CrashInjected is one engine death.
+  // The simulation survives a throwing callback, the journal and the
+  // runner's timers survive the engine, so the loop restarts a fresh
+  // engine on the same disk and recovers it — then keeps going.
+  for (;;) {
+    try {
+      sim.run_until(horizon);
+      break;
+    } catch (const sim::CrashInjected&) {
+      ++result.crashes;
+      drain_events();  // the monitor long-polls; it saw these already
+      monitor.note(sim.now(), "engine crashed (chaos kill)");
+      state.engine.reset();
+      state.cursor = 0;  // a fresh engine restarts event sequences
+      const std::vector<engine::JournalRecord> history = disk.records();
+      state.engine = make_engine();
+      auto recovered = state.engine->recover(history);
+      if (!recovered.ok()) {
+        monitor.note(sim.now(),
+                     "recovery FAILED: " + recovered.error_message());
+        break;
+      }
+      auto reconciled = state.engine->reconcile();
+      if (!reconciled.ok()) {
+        monitor.note(sim.now(),
+                     "reconcile FAILED: " + reconciled.error_message());
+        break;
+      }
+      monitor.note(sim.now(), "engine recovered and reconciled");
+    }
+  }
+  drain_events();
+
+  result.violated = monitor.violated();
+  result.violations = monitor.violations();
+  result.trace = monitor.trace();
+  result.report = monitor.report();
+  result.virtual_hours =
+      std::chrono::duration<double, std::ratio<3600>>(schedule.horizon)
+          .count();
+  return result;
+}
+
+std::optional<ShrinkResult> shrink(const core::StrategyDef& def,
+                                   const ChaosSchedule& schedule,
+                                   const SoakOptions& options) {
+  ShrinkResult out;
+  out.soaks_run = 1;
+  const SoakResult full = run_soak(def, schedule, options);
+  if (!full.violated) return std::nullopt;
+  out.invariant = full.violations.front().invariant;
+
+  const auto reproduces = [&](const ChaosSchedule& candidate) {
+    ++out.soaks_run;
+    const SoakResult result = run_soak(def, candidate, options);
+    return result.violated &&
+           result.violations.front().invariant == out.invariant;
+  };
+
+  // Greedy delta debugging to 1-minimality: repeatedly try dropping
+  // each window; keep any drop that still reproduces the same
+  // invariant, and rescan until no single window can be removed.
+  ChaosSchedule current = schedule;
+  bool reduced = true;
+  while (reduced && current.windows.size() > 1) {
+    reduced = false;
+    for (std::size_t i = 0; i < current.windows.size(); ++i) {
+      ChaosSchedule candidate = current;
+      candidate.windows.erase(candidate.windows.begin() +
+                              static_cast<std::ptrdiff_t>(i));
+      if (reproduces(candidate)) {
+        current = std::move(candidate);
+        reduced = true;
+        break;  // indices shifted; rescan from the front
+      }
+    }
+  }
+  out.minimal = std::move(current);
+  return out;
+}
+
+}  // namespace bifrost::chaos

@@ -1,0 +1,84 @@
+// Chaos soak runner: drives hours of virtual time through the
+// simulated engine environment while a ChaosSchedule torments it —
+// backend brownouts and latency overlays (via the FaultPlan a modeled
+// backend-health fleet samples), metrics-provider and proxy-push
+// outages, engine crash/recover/reconcile cycles, and operator config
+// re-applies — with an InvariantMonitor watching the whole time.
+//
+// Everything runs on one sim::Simulation with zero modeled costs, so a
+// given (strategy, schedule, options) triple is fully deterministic:
+// the acceptance bar is a byte-identical monitor trace across two runs
+// of the same seed. When a soak violates an invariant, shrink() bisects
+// the schedule to a minimal reproducing subset (greedy delta
+// debugging: drop one window at a time, keep drops that still
+// reproduce the SAME invariant) and the minimal schedule serializes to
+// replayable YAML via ChaosSchedule::to_yaml().
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "chaos/invariants.hpp"
+#include "chaos/schedule.hpp"
+#include "core/model.hpp"
+
+namespace bifrost::chaos {
+
+struct SoakOptions {
+  /// Cadence of the soak supervisor: event polling, health sampling,
+  /// epoch/sticky observation, stuck detection.
+  runtime::Duration sample_interval = std::chrono::seconds(30);
+  InvariantMonitor::Options monitor;
+
+  /// Modeled backend-health fleet: a version is ejected after this many
+  /// consecutive bad samples, recovered when its fault window clears.
+  int eject_after_bad_samples = 3;
+  /// A latency overlay at or above this counts as a bad sample too, so
+  /// latency windows compose with brownouts in driving ejection.
+  runtime::Duration bad_latency_threshold = std::chrono::milliseconds(250);
+
+  /// Synthesized sticky sessions observed every supervisor tick.
+  int sticky_sessions = 3;
+
+  /// Test-only planted bug: a config re-apply silently clears the
+  /// modeled proxies' ejection state without emitting recovery events —
+  /// exactly the class of state-loss regression the
+  /// ejection-survives-reapply invariant exists to catch.
+  bool plant_ejection_loss_bug = false;
+};
+
+struct SoakResult {
+  bool violated = false;
+  std::vector<Violation> violations;
+  /// Full deterministic monitor trace (the byte-identical replay bar).
+  std::string trace;
+  std::string report;
+  std::uint64_t crashes = 0;
+  std::uint64_t reapplies = 0;
+  std::uint64_t events_seen = 0;      ///< engine status events consumed
+  std::uint64_t strategy_runs = 0;  ///< submissions (incl. resubmits)
+  double virtual_hours = 0.0;
+  std::size_t fault_classes = 0;
+};
+
+/// Runs one soak of `def` under `schedule`. Deterministic; reusable —
+/// every run builds a fresh simulation.
+SoakResult run_soak(const core::StrategyDef& def,
+                    const ChaosSchedule& schedule,
+                    const SoakOptions& options = {});
+
+struct ShrinkResult {
+  ChaosSchedule minimal;
+  std::string invariant;  ///< invariant id the minimal schedule reproduces
+  std::size_t soaks_run = 0;
+};
+
+/// Shrinks a violating schedule to a 1-minimal reproducing subset (no
+/// single window can be removed without losing the violation). Returns
+/// nullopt when the full schedule does not violate in the first place.
+std::optional<ShrinkResult> shrink(const core::StrategyDef& def,
+                                   const ChaosSchedule& schedule,
+                                   const SoakOptions& options = {});
+
+}  // namespace bifrost::chaos

@@ -13,6 +13,8 @@
 #include <thread>
 #include <vector>
 
+#include "chaos/schedule.hpp"
+#include "chaos/soak.hpp"
 #include "core/analysis.hpp"
 #include "core/model.hpp"
 #include "dsl/dsl.hpp"
@@ -53,6 +55,16 @@ Usage:
                                             replay the journal, resume
                                             in-flight strategies,
                                             reconcile proxy state
+  bifrost soak <strategy.yaml> [--seed N] [--hours H] [--chaos FILE]
+               [--shrink] [--out FILE]
+                                            run a deterministic chaos soak
+                                            of the strategy in virtual time:
+                                            seed-generated (or --chaos
+                                            replayed) fault schedule, live
+                                            invariant monitor; --shrink
+                                            bisects a violating schedule to
+                                            a minimal repro and --out writes
+                                            it as replayable YAML
 
 The default engine endpoint is 127.0.0.1:4000 (override with --engine or
 the BIFROST_ENGINE environment variable).
@@ -67,6 +79,11 @@ struct Cli {
   long long since = 0;
   std::string journal;
   long long port = 4000;
+  long long seed = 1;
+  double hours = 6.0;
+  std::string chaos;
+  bool shrink = false;
+  std::string out;
 };
 
 Cli parse_args(int argc, char** argv) {
@@ -85,6 +102,16 @@ Cli parse_args(int argc, char** argv) {
       cli.journal = argv[++i];
     } else if (arg == "--port" && i + 1 < argc) {
       cli.port = bifrost::util::parse_int(argv[++i]).value_or(4000);
+    } else if (arg == "--seed" && i + 1 < argc) {
+      cli.seed = bifrost::util::parse_int(argv[++i]).value_or(1);
+    } else if (arg == "--hours" && i + 1 < argc) {
+      cli.hours = std::strtod(argv[++i], nullptr);
+    } else if (arg == "--chaos" && i + 1 < argc) {
+      cli.chaos = argv[++i];
+    } else if (arg == "--shrink") {
+      cli.shrink = true;
+    } else if (arg == "--out" && i + 1 < argc) {
+      cli.out = argv[++i];
     } else {
       cli.positional.push_back(arg);
     }
@@ -340,6 +367,82 @@ int cmd_dashboard(const Cli& cli) {
   return 0;
 }
 
+int cmd_soak(const Cli& cli) {
+  using namespace bifrost;
+  auto compiled = dsl::compile_file(cli.positional.at(0));
+  if (!compiled.ok()) {
+    std::cerr << "INVALID: " << compiled.error_message() << "\n";
+    return 1;
+  }
+  const core::StrategyDef def = std::move(compiled).value();
+
+  chaos::ChaosSchedule schedule;
+  if (!cli.chaos.empty()) {
+    auto parsed = chaos::ChaosSchedule::from_yaml_text(read_file(cli.chaos));
+    if (!parsed.ok()) {
+      std::cerr << "bad chaos spec: " << parsed.error_message() << "\n";
+      return 1;
+    }
+    schedule = std::move(parsed).value();
+  } else {
+    schedule = chaos::ChaosSchedule::generate(
+        static_cast<std::uint64_t>(cli.seed),
+        std::chrono::duration_cast<runtime::Duration>(
+            std::chrono::duration<double, std::ratio<3600>>(cli.hours)),
+        chaos::ChaosSchedule::Inventory::of(def));
+  }
+  if (auto valid = schedule.validate_against(def); !valid.ok()) {
+    std::cerr << "chaos schedule does not fit the strategy: "
+              << valid.error_message() << "\n";
+    return 1;
+  }
+
+  std::cout << "soak: strategy '" << def.name << "', seed " << schedule.seed
+            << ", " << schedule.windows.size() << " fault window(s) ("
+            << schedule.fault_classes() << " class(es)) over "
+            << std::chrono::duration<double, std::ratio<3600>>(
+                   schedule.horizon)
+                   .count()
+            << " virtual hour(s)\n";
+  for (const auto& window : schedule.windows) {
+    std::cout << "  " << window.describe() << "\n";
+  }
+
+  const chaos::SoakOptions options;
+  const chaos::SoakResult result = chaos::run_soak(def, schedule, options);
+  std::cout << "soak: " << result.events_seen << " events, "
+            << result.crashes << " crash(es), " << result.reapplies
+            << " re-appl(ies), " << result.strategy_runs
+            << " strategy run(s)\n"
+            << result.report;
+
+  std::string replay = schedule.to_yaml();
+  if (result.violated && cli.shrink) {
+    std::cout << "shrinking to a minimal reproducing schedule...\n";
+    const auto shrunk = chaos::shrink(def, schedule, options);
+    if (shrunk.has_value()) {
+      std::cout << "minimal repro of [" << shrunk->invariant << "] after "
+                << shrunk->soaks_run << " soak(s): "
+                << shrunk->minimal.windows.size() << " window(s)\n";
+      for (const auto& window : shrunk->minimal.windows) {
+        std::cout << "  " << window.describe() << "\n";
+      }
+      replay = shrunk->minimal.to_yaml();
+    }
+  }
+  if (!cli.out.empty()) {
+    std::ofstream file(cli.out);
+    if (!file) {
+      std::cerr << "cannot write " << cli.out << "\n";
+      return 1;
+    }
+    file << replay;
+    std::cout << "replay schedule written to " << cli.out
+              << " (re-run with --chaos " << cli.out << ")\n";
+  }
+  return result.violated ? 1 : 0;
+}
+
 std::atomic<bool> g_stop{false};
 
 void handle_signal(int) { g_stop.store(true); }
@@ -462,6 +565,9 @@ int main(int argc, char** argv) {
     }
     if (cli.command == "watch") return cmd_watch(cli);
     if (cli.command == "dashboard") return cmd_dashboard(cli);
+    if (cli.command == "soak" && cli.positional.size() == 1) {
+      return cmd_soak(cli);
+    }
     if (cli.command == "run") return cmd_run(cli, /*resume=*/false);
     if (cli.command == "resume") return cmd_run(cli, /*resume=*/true);
   } catch (const std::exception& e) {

@@ -42,6 +42,8 @@ std::string StatusEvent::type_name() const {
       return "backend_recovered";
     case Type::kLoadShed:
       return "load_shed";
+    case Type::kEventsLost:
+      return "events_lost";
   }
   return "?";
 }

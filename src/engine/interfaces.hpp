@@ -71,6 +71,7 @@ struct StatusEvent {
     kBackendEjected,    ///< proxy ejected a sick backend version
     kBackendRecovered,  ///< ejected version passed its probe, re-admitted
     kLoadShed,          ///< proxy shed shadow traffic under load
+    kEventsLost,        ///< proxy event ring overflowed a lagging reader
   };
 
   std::uint64_t sequence = 0;  ///< assigned by the engine event log

@@ -76,6 +76,32 @@ std::size_t ProxyEventPump::drain(Watched& watched) {
   if (events == nullptr || !events->is_array()) return 0;
 
   std::size_t forwarded = 0;
+
+  // The proxy's event ring is bounded: if our cursor lagged past it,
+  // events (possibly a backend_ejected) overflowed before we read them.
+  // Surface an events_lost marker instead of silently skipping the gap.
+  const auto lost =
+      static_cast<std::uint64_t>(doc.value().get_number("lost", 0.0));
+  if (lost > 0 && watched.cursor != 0) {
+    StatusEvent marker;
+    marker.type = StatusEvent::Type::kEventsLost;
+    marker.state = watched.service;
+    marker.value = static_cast<double>(lost);
+    marker.detail = "proxy event ring overflowed: " + std::to_string(lost) +
+                    " event(s) after sequence " +
+                    std::to_string(watched.cursor) + " were never seen";
+    if (listener_) listener_(marker);
+    ++forwarded;
+  }
+  // With nothing retained to serve, jump the cursor over the gap so the
+  // loss is reported once, not on every poll.
+  if (lost > 0) {
+    const auto last =
+        static_cast<std::uint64_t>(doc.value().get_number("lastSequence", 0.0));
+    if (events->as_array().empty() && last > watched.cursor) {
+      watched.cursor = last;
+    }
+  }
   for (const json::Value& entry : events->as_array()) {
     if (!entry.is_object()) continue;
     const auto sequence =

@@ -1,0 +1,36 @@
+#include "loadgen/arrivals.hpp"
+
+#include <stdexcept>
+
+namespace bifrost::loadgen {
+
+ArrivalSchedule::ArrivalSchedule(Mode mode, double rate, std::uint64_t seed)
+    : mode_(mode), rate_(rate), mean_gap_(0.0), rng_(seed) {
+  if (rate <= 0.0) {
+    throw std::invalid_argument("arrival rate must be positive");
+  }
+  mean_gap_ = 1.0 / rate;
+}
+
+double ArrivalSchedule::next_gap_seconds() {
+  ++generated_;
+  if (mode_ == Mode::kFixedRate) return mean_gap_;
+  return rng_.exponential(mean_gap_);
+}
+
+double ArrivalSchedule::next_arrival_seconds() {
+  clock_seconds_ += next_gap_seconds();
+  return clock_seconds_;
+}
+
+std::vector<double> ArrivalSchedule::arrivals_until(double horizon_seconds) {
+  std::vector<double> arrivals;
+  for (;;) {
+    const double at = next_arrival_seconds();
+    if (at >= horizon_seconds) break;
+    arrivals.push_back(at);
+  }
+  return arrivals;
+}
+
+}  // namespace bifrost::loadgen

@@ -1,0 +1,53 @@
+// Open-loop arrival processes for load generation. An ArrivalSchedule
+// produces the absolute send times of an arrival stream up front —
+// independent of how long any request takes — so a stalled system under
+// test cannot slow the offered load down and hide its own stall
+// (coordinated omission). The schedule is a pure function of
+// (rate, mode, seed): the same seed replays the identical arrival
+// sequence in wall-clock load tests and in virtual-time chaos soaks.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace bifrost::loadgen {
+
+class ArrivalSchedule {
+ public:
+  enum class Mode {
+    kFixedRate,  ///< constant inter-arrival gap of 1/rate seconds
+    kPoisson,    ///< exponential gaps with mean 1/rate (memoryless)
+  };
+
+  /// `rate` is arrivals per second (> 0). The RNG stream is owned by
+  /// the schedule, so interleaved consumers cannot perturb it.
+  ArrivalSchedule(Mode mode, double rate, std::uint64_t seed);
+
+  /// Gap to the next arrival, in seconds. Deterministic per seed.
+  [[nodiscard]] double next_gap_seconds();
+
+  /// Absolute time of the next arrival (sum of gaps so far), seconds
+  /// from the stream's origin. Advances the stream.
+  [[nodiscard]] double next_arrival_seconds();
+
+  /// Pre-computes the arrival times in [0, horizon_seconds). Advances
+  /// the stream past the horizon.
+  [[nodiscard]] std::vector<double> arrivals_until(double horizon_seconds);
+
+  [[nodiscard]] Mode mode() const { return mode_; }
+  [[nodiscard]] double rate() const { return rate_; }
+  /// Arrivals generated so far.
+  [[nodiscard]] std::uint64_t generated() const { return generated_; }
+
+ private:
+  Mode mode_;
+  double rate_;
+  double mean_gap_;
+  double clock_seconds_ = 0.0;
+  std::uint64_t generated_ = 0;
+  util::Rng rng_;
+};
+
+}  // namespace bifrost::loadgen

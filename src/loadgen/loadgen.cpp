@@ -14,7 +14,11 @@ LoadGenerator::LoadGenerator(Options options, std::string host,
       host_(std::move(host)),
       port_(port),
       mix_(std::move(mix)),
-      rng_(options.rng_seed) {
+      rng_(options.rng_seed),
+      arrivals_(options.poisson ? ArrivalSchedule::Mode::kPoisson
+                                : ArrivalSchedule::Mode::kFixedRate,
+                options.requests_per_second,
+                util::derive_seed(options.rng_seed, /*stream=*/1)) {
   if (mix_.empty()) throw std::invalid_argument("loadgen needs a request mix");
   if (options_.requests_per_second <= 0.0) {
     throw std::invalid_argument("loadgen rate must be positive");
@@ -73,24 +77,13 @@ void LoadGenerator::run_for(std::chrono::milliseconds duration) {
 }
 
 void LoadGenerator::dispatch_loop() {
-  const double mean_interval_s = 1.0 / options_.requests_per_second;
-  const auto fixed_interval = std::chrono::duration_cast<
-      std::chrono::steady_clock::duration>(
-      std::chrono::duration<double>(mean_interval_s));
   auto next = start_time_;
   std::uint64_t sequence = 0;
   while (running_.load()) {
-    if (options_.poisson) {
-      double gap_s;
-      {
-        const std::lock_guard<std::mutex> lock(rng_mutex_);
-        gap_s = rng_.exponential(mean_interval_s);
-      }
-      next += std::chrono::duration_cast<std::chrono::steady_clock::duration>(
-          std::chrono::duration<double>(gap_s));
-    } else {
-      next += fixed_interval;
-    }
+    // Open loop: the next send time comes from the pre-seeded arrival
+    // schedule, never from how long previous requests took.
+    next += std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+        std::chrono::duration<double>(arrivals_.next_gap_seconds()));
     std::this_thread::sleep_until(next);
     if (!running_.load()) break;
 

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "http/client.hpp"
+#include "loadgen/arrivals.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 
@@ -44,7 +45,11 @@ class LoadGenerator {
     double requests_per_second = 35.0;
     /// Poisson arrivals (exponential inter-arrival times) instead of a
     /// fixed interval; realistic production traffic is bursty, which is
-    /// what makes load-dependent queueing effects visible.
+    /// what makes load-dependent queueing effects visible. Either way
+    /// the arrival stream is OPEN LOOP (an ArrivalSchedule seeded from
+    /// rng_seed): send times never depend on response times, so a
+    /// stalled system under test cannot hide its stall by slowing the
+    /// offered load.
     bool poisson = false;
     std::size_t workers = 32;
     std::size_t virtual_users = 50;  ///< cookie jars
@@ -124,6 +129,10 @@ class LoadGenerator {
   std::atomic<std::uint64_t> errors_{0};
   std::mutex rng_mutex_;
   util::Rng rng_;
+  /// Dispatcher-thread-only: the open-loop arrival clock (seeded from a
+  /// stream derived off rng_seed so it is decorrelated from the
+  /// template/user picks drawn from rng_).
+  ArrivalSchedule arrivals_;
 };
 
 }  // namespace bifrost::loadgen

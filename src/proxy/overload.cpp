@@ -318,8 +318,17 @@ void OverloadController::note_shed(const char* reason) {
 }
 
 std::vector<HealthEvent> OverloadController::events_since(
-    std::uint64_t since) const {
+    std::uint64_t since, std::uint64_t* lost) const {
   const std::lock_guard<std::mutex> lock(events_mutex_);
+  if (lost != nullptr) {
+    // Oldest retained sequence: anything in (since, oldest) has been
+    // pushed out of the bounded ring and is gone for this reader.
+    const std::uint64_t emitted =
+        next_sequence_.load(std::memory_order_relaxed);
+    const std::uint64_t oldest =
+        events_.empty() ? emitted + 1 : events_.front().sequence;
+    *lost = oldest > since + 1 ? oldest - since - 1 : 0;
+  }
   std::vector<HealthEvent> out;
   for (const HealthEvent& event : events_) {
     if (event.sequence > since) out.push_back(event);

@@ -232,8 +232,14 @@ class OverloadController {
   void note_shed(const char* reason);
 
   /// Events with sequence > since, oldest first (admin API long-poll).
+  /// When `lost` is non-null it receives the number of events a reader
+  /// at cursor `since` can no longer see: the ring is bounded (512
+  /// entries), so a lagging reader that falls further behind than the
+  /// ring holds loses the overflowed events — the count is surfaced
+  /// instead of silently dropping (e.g. a backend_ejected the engine
+  /// never saw).
   [[nodiscard]] std::vector<HealthEvent> events_since(
-      std::uint64_t since) const;
+      std::uint64_t since, std::uint64_t* lost = nullptr) const;
 
   [[nodiscard]] std::uint64_t shadows_shed() const {
     return shadows_shed_.load(std::memory_order_relaxed);

@@ -459,6 +459,16 @@ http::Response BifrostProxy::handle_data(const http::Request& request) {
     return busy;
   }
 
+  // Chaos latency injection: slow this request down without erroring
+  // it (drives kLatency fault schedules against a real proxy).
+  if (options_.latency_injector) {
+    const auto delay = options_.latency_injector(backend.version);
+    if (delay.count() > 0) {
+      injected_delays_.fetch_add(1, std::memory_order_relaxed);
+      std::this_thread::sleep_for(delay);
+    }
+  }
+
   // Forward to the chosen backend under its (possibly per-version)
   // deadline.
   http::Request upstream = request;
@@ -795,14 +805,18 @@ http::Response BifrostProxy::handle_admin(const http::Request& request) {
       since =
           static_cast<std::uint64_t>(std::strtoull(s->c_str(), nullptr, 10));
     }
+    std::uint64_t lost = 0;
     json::Array events;
-    for (const HealthEvent& event : overload_.events_since(since)) {
+    for (const HealthEvent& event : overload_.events_since(since, &lost)) {
       events.push_back(event.to_json());
     }
+    // `lost` > 0 tells the reader its cursor lagged past the bounded
+    // ring: that many events overflowed and can never be served.
     return http::Response::json(
         200, json::Value(json::Object{
                  {"lastSequence",
                   static_cast<std::int64_t>(overload_.events_emitted())},
+                 {"lost", static_cast<std::int64_t>(lost)},
                  {"events", std::move(events)},
              })
                  .dump());

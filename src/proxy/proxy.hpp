@@ -90,6 +90,14 @@ class BifrostProxy {
     /// embedded deployments and tests. Called from data-plane and probe
     /// threads — must be cheap and thread-safe.
     OverloadController::Listener health_listener;
+    /// Chaos-injection hook: called once per live request with the
+    /// backend version about to serve it; a positive return delays the
+    /// forward by that long (the request still succeeds). This is how
+    /// a chaos harness drives a sim::FaultPlan kLatency schedule
+    /// against a REAL proxy instead of the simulator. Called from
+    /// worker threads — must be cheap and thread-safe. Null = off.
+    std::function<std::chrono::milliseconds(const std::string& version)>
+        latency_injector;
   };
 
   /// `initial` must pass ProxyConfig::validate(); it is typically a
@@ -136,6 +144,10 @@ class BifrostProxy {
   }
   [[nodiscard]] std::uint64_t backend_errors() const {
     return backend_errors_.load();
+  }
+  /// Requests delayed by Options::latency_injector.
+  [[nodiscard]] std::uint64_t injected_delays() const {
+    return injected_delays_.load();
   }
   [[nodiscard]] std::size_t sticky_sessions() const;
 
@@ -268,6 +280,7 @@ class BifrostProxy {
   std::atomic<std::uint64_t> shadow_requests_{0};
   std::atomic<std::uint64_t> shadow_copies_{0};
   std::atomic<std::uint64_t> backend_errors_{0};
+  std::atomic<std::uint64_t> injected_delays_{0};
   std::atomic<std::uint64_t> config_updates_{0};
   std::atomic<std::uint64_t> applied_epoch_{0};
   std::atomic<std::uint64_t> duplicate_epochs_{0};

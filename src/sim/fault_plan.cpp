@@ -16,6 +16,18 @@ FaultPlan::Outcome FaultPlan::decide(Target target, const std::string& name,
       return outcome;
     }
   }
+  // kLatency windows overlay every edge: matching calls get extra
+  // deterministic latency on top of whatever else the plan decides
+  // (no RNG draw consumed, so replays stay bit-identical).
+  for (const Window& window : windows_) {
+    if (window.target != Target::kLatency) continue;
+    if (!window.name.empty() && window.name != name) continue;
+    if (now < window.from || now >= window.to) continue;
+    ++injected_spikes_;
+    outcome.extra_latency += window.latency;
+  }
+  if (target == Target::kLatency) return outcome;
+
   for (const Window& window : windows_) {
     if (window.target != target) continue;
     if (!window.name.empty() && window.name != name) continue;
@@ -55,6 +67,25 @@ util::Result<void> FaultPlan::validate_against(
   using R = util::Result<void>;
   for (const Window& window : windows_) {
     if (window.name.empty()) continue;  // wildcard: matches any target
+    if (window.target == Target::kLatency) {
+      // A latency overlay may name any edge: a deployed version, a
+      // service (proxy edge), or a provider host.
+      bool found = def.find_service(window.name) != nullptr;
+      for (const core::ServiceDef& service : def.services) {
+        found |= service.find_version(window.name) != nullptr;
+      }
+      for (const auto& [provider_name, provider] : def.providers) {
+        found |= provider.host == window.name;
+      }
+      if (!found) {
+        return R::error(
+            "latency window targets unknown name '" + window.name +
+            "': strategy '" + def.name +
+            "' has no such version, service, or provider host "
+            "(a misspelled name would never fire)");
+      }
+      continue;
+    }
     if (window.target == Target::kBackend) {
       bool found = false;
       for (const core::ServiceDef& service : def.services) {

@@ -43,8 +43,13 @@ class FaultPlan {
   /// kMetrics/kProxy fault the engine's outbound edges; kBackend faults
   /// a deployed service version itself (the test backends behind a real
   /// proxy consult it per request), driving the proxy's outlier-ejection
-  /// machinery deterministically.
-  enum class Target { kMetrics, kProxy, kBackend };
+  /// machinery deterministically. kLatency is a cross-cutting overlay:
+  /// its windows add deterministic extra latency to matching calls of
+  /// ANY edge (by name), and can be consulted directly — a real
+  /// BifrostProxy's latency-injection hook calls
+  /// decide(kLatency, version, now) per request to slow a live backend
+  /// without erroring it.
+  enum class Target { kMetrics, kProxy, kBackend, kLatency };
 
   /// Probabilistic faults for one edge, evaluated per call.
   struct Spec {
@@ -55,14 +60,18 @@ class FaultPlan {
 
   /// Hard-down window in virtual time: every matching call within
   /// [from, to) fails deterministically (no RNG draw consumed).
+  /// kLatency windows don't fail calls — they add `latency` instead.
   struct Window {
     Target target = Target::kMetrics;
     runtime::Time from{0};
     runtime::Time to = runtime::Time::max();
     /// Provider host (metrics), service name (proxy), or version name
-    /// (backend) the window applies to; empty matches every target of
-    /// the edge.
+    /// (backend/latency) the window applies to; empty matches every
+    /// target of the edge.
     std::string name;
+    /// Extra latency injected while a kLatency window is active
+    /// (ignored for error windows).
+    runtime::Duration latency{0};
   };
 
   /// What the plan decided for one call.

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
 
 #include "http/server.hpp"
 #include "loadgen/loadgen.hpp"
@@ -125,6 +126,65 @@ TEST(LoadGenOptions, RejectsBadConfiguration) {
   EXPECT_THROW(
       LoadGenerator(options, "h", 1, {simple_get("x", "/")}),
       std::invalid_argument);
+}
+
+TEST(ArrivalScheduleTest, FixedRateEmitsConstantGaps) {
+  ArrivalSchedule schedule(ArrivalSchedule::Mode::kFixedRate, 50.0, 1);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(schedule.next_gap_seconds(), 0.02);
+  }
+  EXPECT_DOUBLE_EQ(schedule.next_arrival_seconds(), 0.02);
+  EXPECT_EQ(schedule.generated(), 11u);
+
+  // Gaps of exactly 0.25 s into a one-second horizon: 0.25, 0.5, 0.75
+  // (the arrival landing on the horizon itself is excluded).
+  const auto times = ArrivalSchedule(ArrivalSchedule::Mode::kFixedRate, 4.0, 1)
+                         .arrivals_until(1.0);
+  ASSERT_EQ(times.size(), 3u);
+  EXPECT_DOUBLE_EQ(times.front(), 0.25);
+  EXPECT_DOUBLE_EQ(times.back(), 0.75);
+}
+
+TEST(ArrivalScheduleTest, PoissonGapsMatchTheTargetRate) {
+  // Exponential(mean 1/rate) gaps: over many draws the sample mean is
+  // 1/rate and the coefficient of variation is ~1 (the memoryless
+  // signature a fixed-rate stream lacks).
+  ArrivalSchedule schedule(ArrivalSchedule::Mode::kPoisson, 100.0, 9);
+  constexpr int kDraws = 20000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < kDraws; ++i) {
+    const double gap = schedule.next_gap_seconds();
+    ASSERT_GE(gap, 0.0);
+    sum += gap;
+    sum_sq += gap * gap;
+  }
+  const double mean = sum / kDraws;
+  const double variance = sum_sq / kDraws - mean * mean;
+  const double cv = std::sqrt(variance) / mean;
+  EXPECT_NEAR(mean, 0.01, 0.0005);
+  EXPECT_NEAR(cv, 1.0, 0.05);
+  EXPECT_EQ(schedule.generated(), static_cast<std::uint64_t>(kDraws));
+}
+
+TEST(ArrivalScheduleTest, SameSeedReplaysTheIdenticalStream) {
+  ArrivalSchedule a(ArrivalSchedule::Mode::kPoisson, 40.0, 1234);
+  ArrivalSchedule b(ArrivalSchedule::Mode::kPoisson, 40.0, 1234);
+  ArrivalSchedule c(ArrivalSchedule::Mode::kPoisson, 40.0, 1235);
+  bool diverged = false;
+  for (int i = 0; i < 200; ++i) {
+    const double gap = a.next_gap_seconds();
+    EXPECT_DOUBLE_EQ(gap, b.next_gap_seconds());
+    diverged = diverged || gap != c.next_gap_seconds();
+  }
+  EXPECT_TRUE(diverged);  // a different seed is a different stream
+}
+
+TEST(ArrivalScheduleTest, RejectsNonPositiveRates) {
+  EXPECT_THROW(ArrivalSchedule(ArrivalSchedule::Mode::kFixedRate, 0.0, 1),
+               std::invalid_argument);
+  EXPECT_THROW(ArrivalSchedule(ArrivalSchedule::Mode::kPoisson, -3.0, 1),
+               std::invalid_argument);
 }
 
 TEST(PaperMix, HasAllFourRequestTypes) {

@@ -260,6 +260,32 @@ TEST(OverloadController, ShedEventsAreRateLimitedButAllCounted) {
   EXPECT_STREQ(events[0].kind_name(), "load_shed");
 }
 
+TEST(OverloadController, EventRingWraparoundReportsLostCount) {
+  OverloadController controller;
+  controller.adopt(tracker_policy(), "search", "canary", 0);
+  // 600 events through a 512-slot ring: the first 88 fall off the end.
+  for (int i = 0; i < 300; ++i) {
+    controller.emit(HealthEvent::Kind::kBackendEjected, "canary", "down");
+    controller.emit(HealthEvent::Kind::kBackendRecovered, "canary", "up");
+  }
+
+  std::uint64_t lost = 0;
+  const auto events = controller.events_since(0, &lost);
+  ASSERT_EQ(events.size(), 512u);
+  EXPECT_EQ(lost, 88u);
+  EXPECT_EQ(events.front().sequence, 89u);  // oldest retained
+  EXPECT_EQ(events.back().sequence, 600u);
+
+  // A cursor sitting exactly at the edge of the ring loses nothing.
+  lost = 99;
+  EXPECT_EQ(controller.events_since(88, &lost).size(), 512u);
+  EXPECT_EQ(lost, 0u);
+  // A caught-up cursor drains nothing and loses nothing.
+  lost = 99;
+  EXPECT_TRUE(controller.events_since(600, &lost).empty());
+  EXPECT_EQ(lost, 0u);
+}
+
 TEST(ShadowQueue, DropsOldestWhenFullAndRejectsAfterShutdown) {
   ShadowQueue queue(1, 2);
   std::mutex mutex;
@@ -905,6 +931,56 @@ TEST_F(OverloadProxyTest, ProxyEventPumpForwardsIntoEngineEventLog) {
   EXPECT_EQ(forwarded[0].state, "search");
   EXPECT_EQ(forwarded[0].check, "v1");
   EXPECT_EQ(forwarded[1].type, engine::StatusEvent::Type::kBackendRecovered);
+}
+
+TEST_F(OverloadProxyTest, ProxyEventPumpSurfacesEventsLostMarkerOnWraparound) {
+  const std::uint16_t backend = add_backend([](const http::Request&) {
+    return http::Response::text(200, "ok");
+  });
+  ProxyConfig config;
+  config.service = "search";
+  config.backends = {BackendTarget{"v1", "127.0.0.1", backend, 100.0, "", ""}};
+  config.overload.enabled = true;
+  auto proxy = make_proxy(std::move(config));
+
+  std::vector<engine::StatusEvent> forwarded;
+  engine::ProxyEventPump pump(
+      [&forwarded](const engine::StatusEvent& event) {
+        forwarded.push_back(event);
+      });
+  core::ServiceDef service;
+  service.name = "search";
+  service.proxy_admin_host = "127.0.0.1";
+  service.proxy_admin_port = proxy->admin_port();
+  pump.watch(service);
+
+  // Establish a non-zero cursor first (a fresh watcher skips the marker
+  // by design: everything before its first poll is history, not loss).
+  ASSERT_TRUE(proxy->force_eject("v1"));
+  ASSERT_TRUE(proxy->force_recover("v1"));
+  ASSERT_EQ(pump.poll_once(), 2u);
+  forwarded.clear();
+
+  // 620 more events through the proxy's 512-slot ring: by the next poll
+  // the cursor (2) has lagged past the oldest retained sequence (111),
+  // so 108 events are gone for good.
+  for (int i = 0; i < 310; ++i) {
+    ASSERT_TRUE(proxy->force_eject("v1"));
+    ASSERT_TRUE(proxy->force_recover("v1"));
+  }
+  EXPECT_EQ(pump.poll_once(), 513u);  // marker + the 512 retained events
+
+  ASSERT_FALSE(forwarded.empty());
+  const engine::StatusEvent& marker = forwarded.front();
+  EXPECT_EQ(marker.type, engine::StatusEvent::Type::kEventsLost);
+  EXPECT_EQ(marker.type_name(), "events_lost");
+  EXPECT_EQ(marker.state, "search");
+  EXPECT_EQ(marker.value, 108.0);
+  EXPECT_NE(marker.detail.find("108"), std::string::npos);
+  // The retained events follow the marker; the loss is reported once.
+  ASSERT_EQ(forwarded.size(), 513u);
+  EXPECT_EQ(forwarded[1].type, engine::StatusEvent::Type::kBackendEjected);
+  EXPECT_EQ(pump.poll_once(), 0u);
 }
 
 }  // namespace
