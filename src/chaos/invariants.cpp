@@ -1,6 +1,8 @@
 #include "chaos/invariants.hpp"
 
+#include <algorithm>
 #include <cstdio>
+#include <functional>
 
 namespace bifrost::chaos {
 
@@ -133,6 +135,89 @@ void InvariantMonitor::observe_epoch(const std::string& service,
   }
   belief.epoch = std::max(belief.epoch, epoch);
   belief.have_epoch = true;
+}
+
+void InvariantMonitor::observe_region_epoch(const std::string& service,
+                                            const std::string& region,
+                                            std::uint64_t epoch,
+                                            runtime::Time now) {
+  ServiceBelief& belief = services_[service];
+  RegionBelief& region_belief = belief.regions[region];
+  record(now, "epoch " + service + "/" + region +
+                  " epoch=" + std::to_string(epoch));
+  if (region_belief.have_epoch && epoch < region_belief.epoch) {
+    violate(now, kEpochRegressed,
+            service + "/" + region + " config epoch moved backwards: " +
+                std::to_string(region_belief.epoch) + " -> " +
+                std::to_string(epoch));
+  }
+  region_belief.epoch = std::max(region_belief.epoch, epoch);
+  region_belief.have_epoch = true;
+
+  // Invariant: once a reconcile fixed the fleet floor, no reachable
+  // region may serve a config older than it — a stale region after
+  // reconcile means the epoch floor re-push was lost.
+  if (belief.have_floor && !region_belief.partitioned &&
+      region_belief.epoch < belief.fleet_floor) {
+    violate(now, kRegionStale,
+            service + "/" + region + " serves epoch " +
+                std::to_string(region_belief.epoch) +
+                " below the fleet floor " +
+                std::to_string(belief.fleet_floor) + " after reconcile");
+  }
+}
+
+void InvariantMonitor::region_partitioned(const std::string& service,
+                                          const std::string& region,
+                                          runtime::Time now) {
+  services_[service].regions[region].partitioned = true;
+  record(now, "note region " + service + "/" + region + " partitioned");
+}
+
+void InvariantMonitor::region_healed(const std::string& service,
+                                     const std::string& region,
+                                     runtime::Time now) {
+  services_[service].regions[region].partitioned = false;
+  record(now, "note region " + service + "/" + region + " healed");
+}
+
+void InvariantMonitor::mark_reconciled(const std::string& service,
+                                       runtime::Time now) {
+  ServiceBelief& belief = services_[service];
+  if (belief.regions.empty()) return;
+  // The fleet floor is the epoch a MAJORITY of the fleet holds — the
+  // highest epoch at least floor(n/2)+1 believed regions have reached.
+  // Taking the plain maximum would mistake a canary-scoped push (one
+  // region legitimately ramped ahead of the fleet) for a fleet-wide
+  // epoch the rest must catch up to.
+  std::vector<std::uint64_t> epochs;
+  for (const auto& [name, region_belief] : belief.regions) {
+    if (region_belief.have_epoch) epochs.push_back(region_belief.epoch);
+  }
+  if (epochs.empty()) return;
+  std::sort(epochs.begin(), epochs.end(), std::greater<>());
+  const std::size_t majority = belief.regions.size() / 2 + 1;
+  const std::uint64_t floor =
+      epochs[std::min(majority, epochs.size()) - 1];
+  belief.fleet_floor = floor;
+  belief.have_floor = true;
+  record(now,
+         "reconciled " + service + " fleet_floor=" + std::to_string(floor));
+
+  // Invariant: a reconcile must converge every reachable region to at
+  // least the fleet floor (a canary region may run ahead). A region
+  // still behind after the partition healed and the engine reconciled
+  // is exactly the divergence federation exists to repair.
+  for (const auto& [name, region_belief] : belief.regions) {
+    if (region_belief.partitioned || !region_belief.have_epoch) continue;
+    if (region_belief.epoch < floor) {
+      violate(now, kFleetDiverged,
+              service + "/" + name + " still at epoch " +
+                  std::to_string(region_belief.epoch) +
+                  " after reconcile; fleet converged to " +
+                  std::to_string(floor));
+    }
+  }
 }
 
 void InvariantMonitor::observe_sticky(const std::string& service,

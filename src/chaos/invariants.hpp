@@ -16,6 +16,11 @@
 //       moves backwards
 //   strategy-stuck                      a submitted strategy must make
 //       observable progress within a bound of virtual hours
+//   fleet-epochs-converge               after a partition heals and the
+//       engine reconciles, every region of a federated service must
+//       report the same fleet epoch
+//   region-at-fleet-floor               once reconciled, no reachable
+//       region may serve a config older than the fleet epoch floor
 //
 // Every observation is appended to a deterministic trace; two runs of
 // the same seeded soak must produce byte-identical traces (the replay
@@ -65,6 +70,8 @@ class InvariantMonitor {
   static constexpr const char* kStickyMoved = "sticky-pin-stable";
   static constexpr const char* kEpochRegressed = "epoch-monotonic";
   static constexpr const char* kStrategyStuck = "strategy-stuck";
+  static constexpr const char* kFleetDiverged = "fleet-epochs-converge";
+  static constexpr const char* kRegionStale = "region-at-fleet-floor";
 
   struct Options {
     /// A strategy with no status event for this long is "stuck".
@@ -89,6 +96,29 @@ class InvariantMonitor {
   /// Config epoch the service's proxy reports at `now`.
   void observe_epoch(const std::string& service, std::uint64_t epoch,
                      runtime::Time now);
+
+  /// Config epoch one region's proxy of a federated service reports.
+  /// Checks per-region epoch monotonicity, and — once a reconcile set
+  /// the service's fleet floor — that no reachable region reports an
+  /// epoch below it (region-at-fleet-floor).
+  void observe_region_epoch(const std::string& service,
+                            const std::string& region, std::uint64_t epoch,
+                            runtime::Time now);
+
+  /// Runner annotations toggling a region's reachability: a partitioned
+  /// region is exempt from the convergence/floor checks (divergence is
+  /// expected while it cannot be reached).
+  void region_partitioned(const std::string& service,
+                          const std::string& region, runtime::Time now);
+  void region_healed(const std::string& service, const std::string& region,
+                     runtime::Time now);
+
+  /// The runner signals that a reconcile/resync of `service` completed.
+  /// Sets the fleet epoch floor to the highest region epoch observed and
+  /// immediately checks fleet-epochs-converge: every reachable region
+  /// must be AT that floor (a healed region left behind means the
+  /// reconcile failed to converge the fleet).
+  void mark_reconciled(const std::string& service, runtime::Time now);
 
   /// A response for sticky `session` on `service` was served by
   /// `version` at `now`.
@@ -125,12 +155,20 @@ class InvariantMonitor {
   [[nodiscard]] std::string report() const;
 
  private:
+  struct RegionBelief {
+    std::uint64_t epoch = 0;
+    bool have_epoch = false;
+    bool partitioned = false;
+  };
   struct ServiceBelief {
     std::set<std::string> ejected;  ///< versions we believe are ejected
     std::uint64_t live_rejected = 0;
     bool have_stats = false;
     std::uint64_t epoch = 0;
     bool have_epoch = false;
+    std::map<std::string, RegionBelief> regions;  ///< federated only
+    std::uint64_t fleet_floor = 0;  ///< set by mark_reconciled
+    bool have_floor = false;
   };
   struct StrategyBelief {
     runtime::Time last_progress{0};

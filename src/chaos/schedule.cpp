@@ -46,6 +46,8 @@ const char* ChaosWindow::kind_name() const {
       return "engine_crash";
     case Kind::kConfigReapply:
       return "config_reapply";
+    case Kind::kRegionOutage:
+      return "region_outage";
   }
   return "?";
 }
@@ -58,6 +60,7 @@ std::optional<ChaosWindow::Kind> ChaosWindow::kind_from_name(
   if (name == "latency") return Kind::kLatency;
   if (name == "engine_crash") return Kind::kEngineCrash;
   if (name == "config_reapply") return Kind::kConfigReapply;
+  if (name == "region_outage") return Kind::kRegionOutage;
   return std::nullopt;
 }
 
@@ -82,6 +85,9 @@ ChaosSchedule::Inventory ChaosSchedule::Inventory::of(
     inventory.services.push_back(service.name);
     for (const core::VersionDef& version : service.versions) {
       inventory.versions.push_back(version.version);
+    }
+    for (const core::RegionDef& region : service.regions) {
+      inventory.regions.push_back(region.name);
     }
   }
   for (const auto& [name, provider] : def.providers) {
@@ -165,6 +171,17 @@ ChaosSchedule ChaosSchedule::generate(std::uint64_t seed,
     window.to = window.from;
     schedule.windows.push_back(std::move(window));
   }
+  // Region partitions draw last: seeds for single-region strategies
+  // (empty bucket, no draws) replay exactly as before this kind existed.
+  for (int i = 0; i < options.region_outages && !inventory.regions.empty();
+       ++i) {
+    ChaosWindow window;
+    window.kind = ChaosWindow::Kind::kRegionOutage;
+    window.target = pick(inventory.regions);
+    window.from = pick_time(options.min_window);
+    window.to = window.from + pick_span();
+    schedule.windows.push_back(std::move(window));
+  }
 
   // Canonical order: by start time, then kind, then target. Keeps the
   // YAML artifact stable and the shrinker's subsets well-defined.
@@ -209,7 +226,8 @@ util::Result<ChaosSchedule> ChaosSchedule::from_yaml(const yaml::Node& root) {
       if (!kind) {
         return R::error(position + ": unknown kind '" + kind_name +
                         "' (backend_brownout, provider_outage, proxy_outage, "
-                        "latency, engine_crash, config_reapply)");
+                        "latency, engine_crash, config_reapply, "
+                        "region_outage)");
       }
       ChaosWindow window;
       window.kind = *kind;
@@ -323,6 +341,9 @@ void ChaosSchedule::arm(sim::FaultPlan& plan) const {
         break;
       case ChaosWindow::Kind::kProxyOutage:
         armed.target = sim::FaultPlan::Target::kProxy;
+        break;
+      case ChaosWindow::Kind::kRegionOutage:
+        armed.target = sim::FaultPlan::Target::kRegion;
         break;
       case ChaosWindow::Kind::kLatency:
         armed.target = sim::FaultPlan::Target::kLatency;

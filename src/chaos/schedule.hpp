@@ -32,12 +32,13 @@ struct ChaosWindow {
     kLatency,          ///< extra latency on calls naming `target`
     kEngineCrash,      ///< the engine process dies at `from`
     kConfigReapply,    ///< an operator re-pushes proxy config at `from`
+    kRegionOutage,     ///< one region of a federated service partitioned
   };
 
   Kind kind = Kind::kBackendBrownout;
-  /// Version (brownout/latency), provider host (outage), or service
-  /// (proxy outage). Empty for engine crashes; empty for re-applies
-  /// means "all services".
+  /// Version (brownout/latency), provider host (outage), service
+  /// (proxy outage), or region name (region outage). Empty for engine
+  /// crashes; empty for re-applies means "all services".
   std::string target;
   runtime::Time from{0};
   runtime::Time to{0};  ///< ignored for instants
@@ -68,6 +69,7 @@ class ChaosSchedule {
     std::vector<std::string> versions;
     std::vector<std::string> services;
     std::vector<std::string> providers;
+    std::vector<std::string> regions;  ///< of federated services
     [[nodiscard]] static Inventory of(const core::StrategyDef& def);
   };
 
@@ -80,6 +82,10 @@ class ChaosSchedule {
     int latency_windows = 1;
     int crashes = 1;
     int reapplies = 2;
+    /// Region partitions; only drawn when the inventory has regions
+    /// (after every other kind, so single-region seeds replay as
+    /// before).
+    int region_outages = 1;
     runtime::Duration min_window = std::chrono::minutes(5);
     runtime::Duration max_window = std::chrono::minutes(45);
     std::chrono::milliseconds min_latency{50};

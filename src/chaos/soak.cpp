@@ -1,7 +1,9 @@
 #include "chaos/soak.hpp"
 
 #include <functional>
+#include <map>
 #include <memory>
+#include <set>
 #include <utility>
 #include <vector>
 
@@ -168,6 +170,24 @@ SoakResult run_soak(const core::StrategyDef& def,
   InvariantMonitor monitor(options.monitor);
   BackendHealthModel health(def, plan, options);
 
+  // Region -> owning federated service, for partition bookkeeping.
+  std::map<std::string, std::string> region_owner;
+  for (const core::ServiceDef& service : def.services) {
+    for (const core::RegionDef& region : service.regions) {
+      region_owner[region.name] = service.name;
+    }
+  }
+  const auto mark_fleets_reconciled = [&](runtime::Time now) {
+    for (const core::ServiceDef& service : def.services) {
+      if (service.federated()) monitor.mark_reconciled(service.name, now);
+    }
+  };
+  // Region-outage windows currently open, and whether a reconcile/resync
+  // happened whose convergence the monitor should check once it has
+  // observed the post-reconcile region epochs.
+  std::set<std::string> partitioned_regions;
+  bool reconcile_pending = false;
+
   const runtime::Time horizon = runtime::Time{0} + schedule.horizon;
 
   // Runner state the timers reach through: the engine is replaced on
@@ -220,12 +240,57 @@ SoakResult run_soak(const core::StrategyDef& def,
     if (state.engine) {
       health.step(now, *state.engine);
     }
+    // Region partition bookkeeping: diff the schedule's open
+    // region-outage windows against the last tick, tell the monitor,
+    // and on heal drive the engine's live resync so every healed
+    // region converges back to the fleet epoch floor.
+    bool healed = false;
+    std::set<std::string> open;
+    for (const ChaosWindow& window : schedule.windows) {
+      if (window.kind != ChaosWindow::Kind::kRegionOutage) continue;
+      if (now >= window.from && now < window.to) open.insert(window.target);
+    }
+    for (const std::string& region : open) {
+      if (partitioned_regions.count(region) != 0) continue;
+      monitor.region_partitioned(region_owner[region], region, now);
+    }
+    for (const std::string& region : partitioned_regions) {
+      if (open.count(region) != 0) continue;
+      monitor.region_healed(region_owner[region], region, now);
+      healed = true;
+    }
+    partitioned_regions = std::move(open);
+    if (healed && state.engine) {
+      auto resynced = state.engine->resync_regions();
+      if (resynced.ok()) {
+        monitor.note(now, "partition healed: " +
+                              std::to_string(resynced.value()) +
+                              " region(s) resynced");
+        reconcile_pending = true;
+      } else {
+        monitor.note(now, "resync FAILED: " + resynced.error_message());
+      }
+    }
     drain_events();
     for (const ProxyStatsSample& sample : health.samples()) {
       monitor.observe_stats(sample, now);
     }
-    for (const auto& [service, view] : proxies.states()) {
-      monitor.observe_epoch(service, view.epoch, now);
+    for (const auto& [key, view] : proxies.states()) {
+      // Federated pushes key per-proxy state "service/region".
+      const auto slash = key.find('/');
+      if (slash == std::string::npos) {
+        monitor.observe_epoch(key, view.epoch, now);
+      } else {
+        monitor.observe_region_epoch(key.substr(0, slash),
+                                     key.substr(slash + 1), view.epoch, now);
+      }
+    }
+    if (reconcile_pending) {
+      // The engine reconciled/resynced and the monitor has now seen the
+      // post-reconcile region epochs: check fleet convergence and arm
+      // the epoch-floor invariant.
+      mark_fleets_reconciled(now);
+      reconcile_pending = false;
     }
     // Synthesized sticky sessions: session i pins to the version its
     // first request hit; a correct proxy keeps that pin for the
@@ -268,7 +333,10 @@ SoakResult run_soak(const core::StrategyDef& def,
                                   (service.empty() ? std::string{}
                                                    : " service=" + service));
       ++result.reapplies;
-      if (state.engine) (void)state.engine->reconcile();
+      if (state.engine) {
+        (void)state.engine->reconcile();
+        reconcile_pending = true;
+      }
       health.on_reapply();
     });
   }
@@ -302,6 +370,7 @@ SoakResult run_soak(const core::StrategyDef& def,
         break;
       }
       monitor.note(sim.now(), "engine recovered and reconciled");
+      reconcile_pending = true;
     }
   }
   drain_events();

@@ -166,6 +166,12 @@ int cmd_validate(const Cli& cli) {
   for (const auto& service : strategy.services) {
     std::cout << "  service '" << service.name << "' proxy resilience: "
               << describe(service.retry, service.circuit_breaker) << "\n";
+    if (service.federated()) {
+      std::cout << "  service '" << service.name << "' fleet: "
+                << service.regions.size() << " region(s), quorum "
+                << service.quorum_size() << ", canary '"
+                << service.canary_region()->name << "'\n";
+    }
     const auto& overload = service.overload;
     if (!overload.enabled) {
       std::cout << "  service '" << service.name << "' overload: none\n";

@@ -25,8 +25,18 @@ std::string range_label(const StateDef& state, size_t index) {
 std::string routing_label(const StateDef& state) {
   std::ostringstream out;
   for (const ServiceRouting& routing : state.routing) {
+    // Region-scoped pushes render as "service@region1,region2" so a
+    // region-by-region ramp reads distinctly from a fleet-wide push.
+    std::string target = routing.service;
+    if (!routing.regions.empty()) {
+      target += "@";
+      for (size_t i = 0; i < routing.regions.size(); ++i) {
+        if (i > 0) target += ",";
+        target += routing.regions[i];
+      }
+    }
     for (const VersionSplit& split : routing.splits) {
-      out << "\\n" << routing.service << "/" << split.version << " "
+      out << "\\n" << target << "/" << split.version << " "
           << split.percent << "%";
     }
     for (const ShadowRule& shadow : routing.shadows) {
@@ -35,6 +45,17 @@ std::string routing_label(const StateDef& state) {
     }
   }
   return out.str();
+}
+
+/// True when every routing in the state is scoped to a subset of its
+/// service's regions — the state is a region-ramp phase and gets the
+/// dashed-border treatment in the rendering.
+bool region_scoped(const StateDef& state) {
+  if (state.routing.empty()) return false;
+  for (const ServiceRouting& routing : state.routing) {
+    if (routing.regions.empty()) return false;
+  }
+  return true;
 }
 
 }  // namespace
@@ -47,6 +68,7 @@ std::string to_dot(const StrategyDef& strategy) {
     out << "  \"" << state.name << "\" [label=\"" << state.name
         << routing_label(state) << "\"";
     if (state.name == strategy.initial_state) out << ", penwidth=2";
+    if (region_scoped(state)) out << ", style=\"rounded,dashed\"";
     if (state.final_kind == FinalKind::kSuccess) {
       out << ", shape=doubleoctagon";
     } else if (state.final_kind == FinalKind::kRollback) {

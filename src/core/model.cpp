@@ -15,6 +15,35 @@ const VersionDef* ServiceDef::find_version(const std::string& v) const {
   return nullptr;
 }
 
+const RegionDef* ServiceDef::find_region(const std::string& r) const {
+  for (const RegionDef& region : regions) {
+    if (region.name == r) return &region;
+  }
+  return nullptr;
+}
+
+int ServiceDef::quorum_size() const {
+  if (regions.empty()) return 0;
+  if (quorum > 0) return quorum;
+  return static_cast<int>(regions.size()) / 2 + 1;
+}
+
+std::vector<const RegionDef*> ServiceDef::regions_in_canary_order() const {
+  std::vector<const RegionDef*> ordered;
+  ordered.reserve(regions.size());
+  for (const RegionDef& region : regions) ordered.push_back(&region);
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const RegionDef* a, const RegionDef* b) {
+                     return a->canary_order < b->canary_order;
+                   });
+  return ordered;
+}
+
+const RegionDef* ServiceDef::canary_region() const {
+  const auto ordered = regions_in_canary_order();
+  return ordered.empty() ? nullptr : ordered.front();
+}
+
 bool Validator::eval(double value) const {
   switch (cmp) {
     case Comparator::kLt:

@@ -130,22 +130,59 @@ struct VersionDef {
   }
 };
 
+/// One proxy instance ("region") of a federated service. A service that
+/// declares regions is fronted by N proxies instead of one; config
+/// pushes fan out to every region in `canary_order` and the fleet
+/// advances under the service's quorum rule.
+struct RegionDef {
+  std::string name;  ///< e.g. "us-east", "eu-west"
+  std::string proxy_admin_host;
+  std::uint16_t proxy_admin_port = 0;
+  /// Relative share of fleet traffic this region carries. Used to
+  /// weight cross-region mean aggregation; purely informational for
+  /// routing (each region's proxy splits its own traffic).
+  double weight = 1.0;
+  /// Push ordering: lower values are pushed first. The region with the
+  /// lowest canary_order is the fleet's canary region (ties broken by
+  /// declaration order).
+  int canary_order = 0;
+};
+
 /// A service b_i with its versions and the Bifrost proxy fronting it.
 struct ServiceDef {
   std::string name;
   std::vector<VersionDef> versions;
   /// Admin endpoint of the service's Bifrost proxy (one proxy per
   /// service, paper §4.1). Empty host means "no proxy" (service not part
-  /// of any live test).
+  /// of any live test). Ignored when `regions` is non-empty — a
+  /// federated service talks to its per-region proxies instead.
   std::string proxy_admin_host;
   std::uint16_t proxy_admin_port = 0;
-  /// Fault tolerance for routing updates pushed to this service's proxy.
+  /// Federation: the per-region proxies fronting this service. Empty
+  /// means the classic single-proxy deployment.
+  std::vector<RegionDef> regions;
+  /// Minimum regions a fleet push must land on to proceed (regions that
+  /// miss it are marked region_degraded and resynced later). 0 means
+  /// majority: floor(n/2) + 1. A push scoped to fewer regions than the
+  /// quorum must land on all of them.
+  int quorum = 0;
+  /// Fault tolerance for routing updates pushed to this service's proxy
+  /// (applied per region for federated services).
   RetryPolicy retry{};
   CircuitBreakerPolicy circuit_breaker{};
   /// Data-plane overload protection enacted by this service's proxy.
   OverloadPolicy overload{};
 
   [[nodiscard]] const VersionDef* find_version(const std::string& v) const;
+  [[nodiscard]] const RegionDef* find_region(const std::string& r) const;
+  [[nodiscard]] bool federated() const { return !regions.empty(); }
+  /// Effective quorum: `quorum` when set, else majority of the fleet.
+  [[nodiscard]] int quorum_size() const;
+  /// Region pointers sorted by (canary_order, declaration order).
+  [[nodiscard]] std::vector<const RegionDef*> regions_in_canary_order() const;
+  /// The region pushed first (lowest canary_order); nullptr when not
+  /// federated.
+  [[nodiscard]] const RegionDef* canary_region() const;
 };
 
 // ---------------------------------------------------------------------------
@@ -206,6 +243,11 @@ struct ServiceRouting {
   ExperimentFilter filter;
   std::vector<VersionSplit> splits;
   std::vector<ShadowRule> shadows;
+  /// Region scope for federated services: only the named regions
+  /// receive this config (the rest of the fleet keeps what it has).
+  /// Empty means the whole fleet. Lets a state ramp the canary region
+  /// alone before a later state pushes fleet-wide.
+  std::vector<std::string> regions;
 };
 
 // ---------------------------------------------------------------------------
@@ -225,6 +267,17 @@ struct Validator {
   static util::Result<Validator> parse(std::string_view text);
 };
 
+/// Cross-region combination of per-region metric streams. The query is
+/// executed once per region (every "$region" occurrence replaced by the
+/// region name) and the scalars combine before the validator applies.
+enum class RegionAggregate {
+  kNone,   ///< single query, no region fan-out
+  kMax,    ///< worst region
+  kMin,    ///< best region
+  kMean,   ///< weight-averaged fleet value
+  kDelta,  ///< canary value minus the rest's weighted mean (drift detector)
+};
+
 /// One metric retrieval + comparison inside a check's evaluation
 /// function f_c (Listing 1 of the paper): fetch `query` from `provider`
 /// and apply `validator` to the scalar result.
@@ -236,6 +289,11 @@ struct MetricCondition {
   /// If true, an unreachable provider / empty result fails the
   /// condition; if false, no-data counts as success (optimistic).
   bool fail_on_no_data = true;
+  /// Cross-region aggregation: when not kNone, `query` fans out over
+  /// the regions of `region_service` and the validator sees the
+  /// aggregate (or, for kDelta, canary minus fleet mean).
+  RegionAggregate aggregate = RegionAggregate::kNone;
+  std::string region_service;  ///< federated service whose regions fan out
 };
 
 /// Access to monitoring data Omega during a check execution. The real

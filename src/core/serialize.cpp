@@ -126,6 +126,20 @@ json::Value service_to_json(const ServiceDef& s) {
   o["versions"] = std::move(versions);
   o["proxyAdminHost"] = s.proxy_admin_host;
   o["proxyAdminPort"] = static_cast<int>(s.proxy_admin_port);
+  if (!s.regions.empty()) {
+    json::Array regions;
+    for (const RegionDef& r : s.regions) {
+      json::Object ro;
+      ro["name"] = r.name;
+      ro["proxyAdminHost"] = r.proxy_admin_host;
+      ro["proxyAdminPort"] = static_cast<int>(r.proxy_admin_port);
+      ro["weight"] = r.weight;
+      ro["canaryOrder"] = r.canary_order;
+      regions.emplace_back(std::move(ro));
+    }
+    o["regions"] = std::move(regions);
+    o["quorum"] = s.quorum;
+  }
   o["retry"] = retry_to_json(s.retry);
   o["circuitBreaker"] = breaker_to_json(s.circuit_breaker);
   o["overload"] = overload_to_json(s.overload);
@@ -152,6 +166,20 @@ ServiceDef service_from_json(const json::Value& v) {
   s.proxy_admin_host = v.get_string("proxyAdminHost");
   s.proxy_admin_port =
       static_cast<std::uint16_t>(v.get_number("proxyAdminPort"));
+  if (const json::Value* regions = v.find("regions");
+      regions != nullptr && regions->is_array()) {
+    for (const json::Value& rv : regions->as_array()) {
+      RegionDef r;
+      r.name = rv.get_string("name");
+      r.proxy_admin_host = rv.get_string("proxyAdminHost");
+      r.proxy_admin_port =
+          static_cast<std::uint16_t>(rv.get_number("proxyAdminPort"));
+      r.weight = rv.get_number("weight", 1.0);
+      r.canary_order = static_cast<int>(rv.get_number("canaryOrder", 0));
+      s.regions.push_back(std::move(r));
+    }
+    s.quorum = static_cast<int>(v.get_number("quorum", 0));
+  }
   if (const json::Value* r = v.find("retry")) s.retry = retry_from_json(*r);
   if (const json::Value* b = v.find("circuitBreaker")) {
     s.circuit_breaker = breaker_from_json(*b);
@@ -173,6 +201,30 @@ Result<Validator> validator_from_json(const json::Value& v) {
   return Validator::parse(v.as_string());
 }
 
+const char* aggregate_name(RegionAggregate a) {
+  switch (a) {
+    case RegionAggregate::kNone:
+      return "none";
+    case RegionAggregate::kMax:
+      return "max";
+    case RegionAggregate::kMin:
+      return "min";
+    case RegionAggregate::kMean:
+      return "mean";
+    case RegionAggregate::kDelta:
+      return "delta";
+  }
+  return "none";
+}
+
+RegionAggregate aggregate_from_name(const std::string& name) {
+  if (name == "max") return RegionAggregate::kMax;
+  if (name == "min") return RegionAggregate::kMin;
+  if (name == "mean") return RegionAggregate::kMean;
+  if (name == "delta") return RegionAggregate::kDelta;
+  return RegionAggregate::kNone;
+}
+
 json::Value condition_to_json(const MetricCondition& c) {
   json::Object o;
   o["provider"] = c.provider;
@@ -180,6 +232,10 @@ json::Value condition_to_json(const MetricCondition& c) {
   o["query"] = c.query;
   o["validator"] = validator_to_json(c.validator);
   o["failOnNoData"] = c.fail_on_no_data;
+  if (c.aggregate != RegionAggregate::kNone) {
+    o["aggregate"] = aggregate_name(c.aggregate);
+    o["regionService"] = c.region_service;
+  }
   return json::Value(std::move(o));
 }
 
@@ -198,6 +254,8 @@ Result<MetricCondition> condition_from_json(const json::Value& v) {
   }
   c.validator = parsed.value();
   c.fail_on_no_data = v.get_bool("failOnNoData", true);
+  c.aggregate = aggregate_from_name(v.get_string("aggregate", "none"));
+  c.region_service = v.get_string("regionService");
   return Result<MetricCondition>(std::move(c));
 }
 
@@ -389,6 +447,11 @@ json::Value routing_to_json(const ServiceRouting& r) {
     for (const ShadowRule& s : r.shadows) shadows.push_back(shadow_to_json(s));
     o["shadows"] = std::move(shadows);
   }
+  if (!r.regions.empty()) {
+    json::Array regions;
+    for (const std::string& name : r.regions) regions.emplace_back(name);
+    o["regions"] = std::move(regions);
+  }
   return json::Value(std::move(o));
 }
 
@@ -425,6 +488,12 @@ util::Result<ServiceRouting> routing_from_json(const json::Value& v) {
       shadow.target_version = sv.get_string("targetVersion");
       shadow.percent = sv.get_number("percent", 100.0);
       r.shadows.push_back(std::move(shadow));
+    }
+  }
+  if (const json::Value* regions = v.find("regions");
+      regions != nullptr && regions->is_array()) {
+    for (const json::Value& name : regions->as_array()) {
+      if (name.is_string()) r.regions.push_back(name.as_string());
     }
   }
   return Result<ServiceRouting>(std::move(r));

@@ -31,6 +31,11 @@
 //        0 < base_ejection <= max_ejection, probe interval > 0 and a
 //        probe path starting with '/'; per-version max_concurrency
 //        overrides non-negative
+//  (V15) federation: region names unique and non-empty with a proxy
+//        admin host each, positive weights, quorum within [0, n];
+//        routing region scopes name declared regions of a federated
+//        service without duplicates; aggregated conditions name a
+//        federated service (delta needs >= 2 regions)
 #include <cmath>
 #include <queue>
 #include <set>
@@ -73,6 +78,22 @@ Result<void> validate_check(const StrategyDef& strategy, const StateDef& state,
     }
     if (!strategy.providers.contains(condition.provider)) {
       return fail(where + "unknown provider '" + condition.provider + "'");
+    }
+    if (condition.aggregate != RegionAggregate::kNone) {  // V15
+      const ServiceDef* target = strategy.find_service(condition.region_service);
+      if (target == nullptr) {
+        return fail(where + "aggregate condition names unknown service '" +
+                    condition.region_service + "'");
+      }
+      if (!target->federated()) {
+        return fail(where + "aggregate condition needs a federated service, "
+                            "but '" + condition.region_service +
+                    "' declares no regions");
+      }
+      if (condition.aggregate == RegionAggregate::kDelta &&
+          target->regions.size() < 2) {
+        return fail(where + "delta aggregation needs at least two regions");
+      }
     }
   }
   if (check.kind == CheckKind::kBasic) {
@@ -147,6 +168,20 @@ Result<void> validate_routing(const StrategyDef& strategy,
       return fail(where + "filter default version '" +
                   routing.filter.default_version +
                   "' must be one of the split versions");
+    }
+  }
+  if (!routing.regions.empty()) {  // V15
+    if (!service->federated()) {
+      return fail(where + "region scope on a service with no regions");
+    }
+    std::set<std::string> seen;
+    for (const std::string& name : routing.regions) {
+      if (service->find_region(name) == nullptr) {
+        return fail(where + "unknown region '" + name + "'");
+      }
+      if (!seen.insert(name).second) {
+        return fail(where + "duplicate region '" + name + "' in scope");
+      }
     }
   }
   for (const ShadowRule& shadow : routing.shadows) {
@@ -289,6 +324,33 @@ util::Result<void> validate(const StrategyDef& strategy) {
         return r;
       }
       if (auto r = validate_overload(service); !r) return r;  // V14
+      if (service.federated()) {  // V15
+        std::set<std::string> regions;
+        for (const RegionDef& region : service.regions) {
+          if (region.name.empty()) {
+            return fail("service '" + service.name +
+                        "': region with empty name");
+          }
+          if (!regions.insert(region.name).second) {
+            return fail("service '" + service.name + "': duplicate region '" +
+                        region.name + "'");
+          }
+          if (region.proxy_admin_host.empty()) {
+            return fail("service '" + service.name + "' region '" +
+                        region.name + "': missing proxy admin host");
+          }
+          if (region.weight <= 0.0) {
+            return fail("service '" + service.name + "' region '" +
+                        region.name + "': weight must be positive");
+          }
+        }
+        if (service.quorum < 0 ||
+            service.quorum > static_cast<int>(service.regions.size())) {
+          return fail("service '" + service.name + "': quorum " +
+                      std::to_string(service.quorum) + " out of [0," +
+                      std::to_string(service.regions.size()) + "]");
+        }
+      }
       std::set<std::string> versions;
       for (const VersionDef& version : service.versions) {
         if (!versions.insert(version.version).second) {

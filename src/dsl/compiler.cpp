@@ -74,6 +74,28 @@ Validator parse_validator(const std::string& text, const std::string& where) {
   return std::move(v).value();
 }
 
+/// Cross-region aggregation keys on a condition: `aggregate: max|min|
+/// mean|delta` fans the query out over `aggregateService`'s regions
+/// ("$region" in the query is replaced per region).
+void parse_aggregate(const yaml::Node& body, MetricCondition& condition,
+                     const std::string& where) {
+  const std::string aggregate = body.get_string("aggregate");
+  if (aggregate.empty()) return;
+  if (aggregate == "max") {
+    condition.aggregate = core::RegionAggregate::kMax;
+  } else if (aggregate == "min") {
+    condition.aggregate = core::RegionAggregate::kMin;
+  } else if (aggregate == "mean") {
+    condition.aggregate = core::RegionAggregate::kMean;
+  } else if (aggregate == "delta") {
+    condition.aggregate = core::RegionAggregate::kDelta;
+  } else {
+    fail(where + ": unknown aggregate '" + aggregate +
+         "' (want max, min, mean, or delta)");
+  }
+  condition.region_service = require_string(body, "aggregateService", where);
+}
+
 /// Conditions from the paper's `providers:` list (Listing 1): each item
 /// is `- <providerName>: {name, query, validator?}`.
 std::vector<MetricCondition> parse_provider_conditions(
@@ -98,6 +120,7 @@ std::vector<MetricCondition> parse_provider_conditions(
       fail(where + ": metric '" + condition.alias + "' has no validator");
     }
     condition.fail_on_no_data = body.get_bool("failOnNoData", true);
+    parse_aggregate(body, condition, where);
     out.push_back(std::move(condition));
   }
   return out;
@@ -124,6 +147,7 @@ std::vector<MetricCondition> parse_metric_conditions(
       fail(where + ": metric '" + condition.alias + "' has no validator");
     }
     condition.fail_on_no_data = body.get_bool("failOnNoData", true);
+    parse_aggregate(body, condition, where);
     out.push_back(std::move(condition));
   }
   return out;
@@ -191,6 +215,7 @@ CheckDef parse_check(const yaml::Node& item, int index,
     if (!fallback_validator) fail(where + ": missing validator");
     condition.validator = *fallback_validator;
     condition.fail_on_no_data = body->get_bool("failOnNoData", true);
+    parse_aggregate(*body, condition, where);
     check.conditions.push_back(std::move(condition));
   } else {
     fail(where + ": needs 'providers', 'metrics', or a 'query'");
@@ -283,6 +308,19 @@ ServiceRouting parse_route(const yaml::Node& item, StateDef& state,
     fail(where + ": unknown mode '" + mode + "'");
   }
   routing.sticky = body.get_bool("sticky", false);
+
+  // Region scope for federated services: `regions: [eu-west]` pushes
+  // this config to the named regions only (the rest of the fleet keeps
+  // its previous config) — the building block of region-by-region ramps.
+  if (const yaml::Node* regions = body.find("regions"); regions != nullptr) {
+    if (!regions->is_sequence()) fail(where + ": 'regions' must be a list");
+    for (const yaml::Node& region : regions->items()) {
+      if (!region.is_scalar() || region.as_string().empty()) {
+        fail(where + ": region names must be strings");
+      }
+      routing.regions.push_back(region.as_string());
+    }
+  }
 
   // Experiment scoping ("5% of US users"): `filter` with header/value
   // plus the default version for everyone outside the population.
@@ -643,6 +681,34 @@ void parse_deployment(const yaml::Node& deployment, StrategyDef& strategy) {
             proxy->get_string("adminHost", proxy->get_string("host"));
         service.proxy_admin_port = static_cast<std::uint16_t>(
             proxy->get_int("adminPort", proxy->get_int("port", 0)));
+      }
+      // Federation: a `regions:` list declares one proxy per region;
+      // `quorum:` is the minimum regions a fleet push must land on
+      // (default 0 = majority).
+      if (const yaml::Node* regions = body.find("regions");
+          regions != nullptr) {
+        if (!regions->is_sequence()) {
+          fail(where + ": 'regions' must be a list");
+        }
+        for (const yaml::Node& region_item : regions->items()) {
+          const yaml::Node& region_body = unwrap(region_item, "region");
+          core::RegionDef region;
+          region.name = require_string(region_body, "name", where);
+          const std::string region_where = where + " region '" + region.name +
+                                           "'";
+          region.proxy_admin_host = region_body.get_string(
+              "adminHost", region_body.get_string("host"));
+          if (region.proxy_admin_host.empty()) {
+            fail(region_where + ": needs 'adminHost'");
+          }
+          region.proxy_admin_port = static_cast<std::uint16_t>(
+              region_body.get_int("adminPort", region_body.get_int("port", 0)));
+          region.weight = region_body.get_double("weight", 1.0);
+          region.canary_order = static_cast<int>(
+              region_body.get_int("canaryOrder", 0));
+          service.regions.push_back(std::move(region));
+        }
+        service.quorum = static_cast<int>(body.get_int("quorum", 0));
       }
       parse_resilience(body, where, service);
       if (const yaml::Node* overload = body.find("overload");

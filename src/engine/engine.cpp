@@ -30,6 +30,7 @@ Engine::~Engine() = default;
 StrategyExecution::Options Engine::execution_options() {
   StrategyExecution::Options options;
   options.check_executor = options_.check_executor;
+  options.fleet_executor = options_.fleet_executor;
   if (options_.journal != nullptr) {
     options.durability = this;
     options.epoch_allocator = [this](const std::string& service) {
@@ -220,10 +221,14 @@ util::Result<void> Engine::reconcile() {
     return {};
   }
   std::map<std::string, StateTracker::Intent> intents;
+  std::map<std::string, StateTracker::Intent> fleet_intents;
+  std::map<std::string, StateTracker::Intent> region_intents;
   std::map<std::string, StateTracker::Strategy> strategies;
   {
     const std::lock_guard<std::mutex> lock(journal_mutex_);
     intents = tracker_.intents();
+    fleet_intents = tracker_.fleet_intents();
+    region_intents = tracker_.region_intents();
     strategies = tracker_.strategies();
   }
   const runtime::Time now = scheduler_.now();
@@ -236,6 +241,19 @@ util::Result<void> Engine::reconcile() {
     std::string action;
     if (service == nullptr) {
       action = "skipped: service not in journaled strategy definition";
+    } else if (service->federated()) {
+      // Each region converges to its governing intent: the fleet-wide
+      // epoch floor, or a newer scoped intent that named the region.
+      // Regions at (or past) their floor ack as no-ops; partitioned
+      // regions that come back get the config re-pushed with the
+      // original epoch (the proxy dedupes).
+      const auto fleet_it = fleet_intents.find(service_name);
+      std::string detail;
+      converge_regions(
+          *service,
+          fleet_it != fleet_intents.end() ? &fleet_it->second : nullptr,
+          region_intents, now, detail);
+      action = "fleet: " + detail;
     } else {
       auto fetched = proxies_.fetch(*service);
       if (fetched.ok() && fetched.value().epoch >= intent.epoch) {
@@ -267,6 +285,103 @@ util::Result<void> Engine::reconcile() {
   }
   ready_.store(true);
   return {};
+}
+
+int Engine::converge_regions(
+    const core::ServiceDef& service, const StateTracker::Intent* fleet,
+    const std::map<std::string, StateTracker::Intent>& region_intents,
+    runtime::Time now, std::string& detail) {
+  int resynced = 0;
+  for (const core::RegionDef* region : service.regions_in_canary_order()) {
+    // The governing intent is the newest push that targeted this
+    // region: a scoped intent overrides the fleet-wide floor only for
+    // the regions it named.
+    const StateTracker::Intent* governing = fleet;
+    const auto scoped =
+        region_intents.find(service.name + "/" + region->name);
+    if (scoped != region_intents.end() &&
+        (governing == nullptr || scoped->second.epoch >= governing->epoch)) {
+      governing = &scoped->second;
+    }
+    std::string verdict;
+    if (governing == nullptr) {
+      // Never pushed to: nothing to converge (leaving it untouched is
+      // what makes post-crash reconcile byte-identical to a run that
+      // never targeted the region).
+      verdict = "never_targeted";
+    } else {
+      auto fetched = proxies_.fetch_region(service, *region);
+      if (fetched.ok() && fetched.value().epoch >= governing->epoch) {
+        verdict = "in_sync";
+      } else {
+        proxy::ProxyConfig config = governing->config;
+        config.epoch = governing->epoch;
+        auto applied = proxies_.apply_region(service, *region, config);
+        if (applied.ok()) {
+          verdict = "resynced";
+          ++resynced;
+          StatusEvent event;
+          event.time_seconds = to_seconds(now);
+          event.strategy_id = governing->strategy_id;
+          event.type = StatusEvent::Type::kRegionResynced;
+          event.state = service.name;
+          event.check = region->name;
+          event.detail = "region '" + region->name +
+                         "' converged to fleet epoch " +
+                         std::to_string(governing->epoch);
+          log_event(std::move(event));
+        } else {
+          verdict = "resync_failed: " + applied.error_message();
+        }
+      }
+    }
+    if (!detail.empty()) detail += ", ";
+    detail += region->name + "=" + verdict;
+  }
+  return resynced;
+}
+
+util::Result<int> Engine::resync_regions() {
+  if (options_.journal == nullptr) {
+    return util::Result<int>::error("engine has no journal to resync from");
+  }
+  std::map<std::string, StateTracker::Intent> intents;
+  std::map<std::string, StateTracker::Intent> fleet_intents;
+  std::map<std::string, StateTracker::Intent> region_intents;
+  std::map<std::string, StateTracker::Strategy> strategies;
+  {
+    const std::lock_guard<std::mutex> lock(journal_mutex_);
+    intents = tracker_.intents();
+    fleet_intents = tracker_.fleet_intents();
+    region_intents = tracker_.region_intents();
+    strategies = tracker_.strategies();
+  }
+  const runtime::Time now = scheduler_.now();
+  int total = 0;
+  for (const auto& [service_name, intent] : intents) {
+    const core::ServiceDef* service = nullptr;
+    if (const auto it = strategies.find(intent.strategy_id);
+        it != strategies.end()) {
+      service = it->second.def.find_service(service_name);
+    }
+    if (service == nullptr || !service->federated()) continue;
+    const auto fleet_it = fleet_intents.find(service_name);
+    std::string detail;
+    const int resynced = converge_regions(
+        *service,
+        fleet_it != fleet_intents.end() ? &fleet_it->second : nullptr,
+        region_intents, now, detail);
+    total += resynced;
+    if (resynced > 0) {
+      append_record(
+          RecordType::kReconciled,
+          json::Object{{"service", service_name},
+                       {"epoch", static_cast<std::int64_t>(intent.epoch)},
+                       {"action", "resync: " + detail},
+                       {"tNs", now.count()}});
+    }
+  }
+  return total;
 }
 
 void Engine::log_event(StatusEvent event) {

@@ -60,6 +60,11 @@ class Engine : private DurabilitySink {
     /// inline on the scheduler thread. The MetricsClient must be
     /// thread-safe when set. Null = inline evaluation (paper behavior).
     runtime::Executor* check_executor = nullptr;
+    /// Parallel fan-out for multi-region config pushes (not owned; must
+    /// outlive the engine). Must be a real thread pool, never a
+    /// simulated executor — see engine/fleet.hpp. Null = sequential
+    /// canary-order fan-out (the deterministic arm).
+    runtime::Executor* fleet_executor = nullptr;
   };
 
   Engine(runtime::Scheduler& scheduler, MetricsClient& metrics,
@@ -93,8 +98,18 @@ class Engine : private DurabilitySink {
   /// fetches the proxy's installed epoch, re-applies the journaled
   /// config (same epoch — the proxy dedupes) when the proxy is behind
   /// or unreadable, and journals/emits a kReconciled marker per
-  /// service. Marks the engine ready.
+  /// service. Federated services converge region by region: every
+  /// region is brought up to the fleet epoch floor (regions already at
+  /// or past it ack as no-ops), each convergence emitting a
+  /// kRegionResynced event. Marks the engine ready.
   util::Result<void> reconcile();
+
+  /// Lighter-weight re-convergence for federated services only, safe to
+  /// call on a live engine (e.g. after a network partition heals):
+  /// walks the journaled intents and re-pushes the fleet-epoch config
+  /// to every region still behind the floor. Returns the number of
+  /// regions resynced.
+  util::Result<int> resync_regions();
 
   /// True once the engine serves traffic safely: immediately for
   /// journal-less engines, after recover()+reconcile() otherwise.
@@ -144,6 +159,15 @@ class Engine : private DurabilitySink {
   [[nodiscard]] StrategyExecution::Options execution_options();
   [[nodiscard]] static StrategySnapshot snapshot_from_resume(
       const std::string& id, const StateTracker::Strategy& strategy);
+
+  /// Converges every region of a federated service to the intent's
+  /// fleet epoch (fetch, re-apply when behind, emit kRegionResynced).
+  /// Appends "region=verdict" pairs to `detail`; returns the number of
+  /// regions actually re-pushed.
+  int converge_regions(
+      const core::ServiceDef& service, const StateTracker::Intent* fleet,
+      const std::map<std::string, StateTracker::Intent>& region_intents,
+      runtime::Time now, std::string& detail);
 
   runtime::Scheduler& scheduler_;
   MetricsClient& metrics_;

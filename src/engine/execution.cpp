@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include <chrono>
+#include <string_view>
 #include <utility>
 
 #include "util/log.hpp"
@@ -81,7 +82,10 @@ StrategyExecution::StrategyExecution(std::string id,
       proxies_(proxies),
       def_(std::move(def)),
       listener_(std::move(listener)),
-      options_(std::move(options)) {}
+      options_(std::move(options)),
+      fleet_(proxies) {
+  fleet_.set_executor(options_.fleet_executor);
+}
 
 StrategyExecution::~StrategyExecution() {
   // Quiesce off-thread check evaluations first: the exclusive lock
@@ -248,7 +252,8 @@ bool StrategyExecution::apply_routing(const core::StateDef& state) {
 
 StrategyExecution::ApplyOutcome StrategyExecution::apply_one_routing(
     const core::StateDef& state, std::size_t index,
-    std::optional<std::uint64_t> forced_epoch, bool intent_already_journaled) {
+    std::optional<std::uint64_t> forced_epoch, bool intent_already_journaled,
+    const std::map<std::string, bool>* region_acks) {
   const core::ServiceRouting& routing = state.routing[index];
   const core::ServiceDef* service = def_.find_service(routing.service);
   if (service == nullptr) return ApplyOutcome::kContinue;  // validated earlier
@@ -266,13 +271,26 @@ StrategyExecution::ApplyOutcome StrategyExecution::apply_one_routing(
   }
   config.value().epoch = epoch;
   if (!intent_already_journaled) {
-    journal(RecordType::kApplyIntent,
-            json::Object{{"service", routing.service},
-                         {"routingIndex", index},
-                         {"epoch", static_cast<std::int64_t>(epoch)},
-                         {"state", state.name},
-                         {"config", config.value().to_json()},
-                         {"tNs", now_ns()}});
+    json::Object intent{{"service", routing.service},
+                        {"routingIndex", index},
+                        {"epoch", static_cast<std::int64_t>(epoch)},
+                        {"state", state.name},
+                        {"config", config.value().to_json()},
+                        {"tNs", now_ns()}};
+    if (!routing.regions.empty()) {
+      // Region scope travels with the intent: reconcile must converge
+      // only the regions this push targeted, never the whole fleet.
+      json::Array scope;
+      for (const std::string& region : routing.regions) {
+        scope.push_back(region);
+      }
+      intent["regions"] = std::move(scope);
+    }
+    journal(RecordType::kApplyIntent, std::move(intent));
+  }
+  if (service->federated()) {
+    return apply_fleet_routing(state, index, *service, config.value(), epoch,
+                               region_acks);
   }
   auto applied = proxies_.apply(*service, config.value());
   journal(RecordType::kApplyAck,
@@ -299,6 +317,94 @@ StrategyExecution::ApplyOutcome StrategyExecution::apply_one_routing(
     return ApplyOutcome::kContinue;
   }
   emit(StatusEvent::Type::kRoutingApplied, state.name, routing.service);
+  return ApplyOutcome::kContinue;
+}
+
+StrategyExecution::ApplyOutcome StrategyExecution::apply_fleet_routing(
+    const core::StateDef& state, std::size_t index,
+    const core::ServiceDef& service, const proxy::ProxyConfig& config,
+    std::uint64_t epoch, const std::map<std::string, bool>* region_acks) {
+  const core::ServiceRouting& routing = state.routing[index];
+  Fleet::SkipFn skip;
+  if (region_acks != nullptr && !region_acks->empty()) {
+    skip = [region_acks](const std::string& region) -> std::optional<bool> {
+      const auto it = region_acks->find(region);
+      if (it == region_acks->end()) return std::nullopt;
+      return it->second;
+    };
+  }
+  // One kRegionAck per fresh region outcome, in canary order: the WAL
+  // captures every region boundary a crash can land between, so resume
+  // re-pushes exactly the regions whose verdict is missing.
+  const Fleet::AckFn on_ack = [&](const Fleet::RegionOutcome& outcome) {
+    journal(RecordType::kRegionAck,
+            json::Object{{"service", routing.service},
+                         {"routingIndex", index},
+                         {"region", outcome.region->name},
+                         {"epoch", static_cast<std::int64_t>(epoch)},
+                         {"ok", outcome.ok},
+                         {"error", outcome.error},
+                         {"tNs", now_ns()}});
+  };
+  const Fleet::PushResult result =
+      fleet_.push(service, config, routing.regions, skip, on_ack);
+
+  // The final kApplyAck verdict is the quorum test, so the existing
+  // !ok -> rollback resume machinery covers sub-quorum pushes too.
+  const std::string quorum_error =
+      result.quorum_met()
+          ? ""
+          : "quorum not met: " + std::to_string(result.acked) + "/" +
+                std::to_string(result.required) +
+                " regions acked (missed: " + result.failed_regions() + ")";
+  journal(RecordType::kApplyAck,
+          json::Object{{"service", routing.service},
+                       {"routingIndex", index},
+                       {"epoch", static_cast<std::int64_t>(epoch)},
+                       {"ok", result.quorum_met()},
+                       {"error", quorum_error},
+                       {"tNs", now_ns()}});
+
+  // Degraded-region bookkeeping. Journaled (skipped) verdicts replayed
+  // on resume update the set silently — the pre-crash process already
+  // announced them; fresh state transitions are announced here.
+  std::set<std::string>& degraded = degraded_regions_[routing.service];
+  for (const Fleet::RegionOutcome& outcome : result.outcomes) {
+    const std::string& region = outcome.region->name;
+    if (outcome.ok) {
+      const bool was_degraded = degraded.erase(region) > 0;
+      if (was_degraded && !outcome.skipped) {
+        emit(StatusEvent::Type::kRegionRecovered, state.name, routing.service,
+             static_cast<double>(epoch),
+             "region '" + region + "' accepted epoch " +
+                 std::to_string(epoch));
+      }
+    } else if (result.quorum_met()) {
+      const bool newly = degraded.insert(region).second;
+      if (newly && !outcome.skipped) {
+        emit(StatusEvent::Type::kRegionDegraded, state.name, routing.service,
+             static_cast<double>(epoch),
+             "region '" + region + "' missed epoch " + std::to_string(epoch) +
+                 ": " + outcome.error);
+      }
+    }
+  }
+
+  if (!result.quorum_met()) {
+    emit(StatusEvent::Type::kError, state.name, routing.service, 0.0,
+         "fleet push failed: " + quorum_error);
+    if (!state.is_final()) {
+      rollback_or_abort("fleet push for service '" + routing.service +
+                        "' " + quorum_error);
+      return ApplyOutcome::kDiverted;
+    }
+    return ApplyOutcome::kContinue;
+  }
+  emit(StatusEvent::Type::kRoutingApplied, state.name, routing.service,
+       static_cast<double>(result.acked),
+       result.failed_regions().empty()
+           ? ""
+           : "degraded regions: " + result.failed_regions());
   return ApplyOutcome::kContinue;
 }
 
@@ -462,7 +568,9 @@ bool StrategyExecution::evaluate_check_once(
     const core::CheckDef& check, std::string& degraded_detail) const {
   ClientEvalContext context(metrics_, def_, now_seconds());
   for (const core::MetricCondition& condition : check.conditions) {
-    auto value = context.query(condition.provider, condition.query);
+    auto value = condition.aggregate == core::RegionAggregate::kNone
+                     ? context.query(condition.provider, condition.query)
+                     : aggregate_condition(context, condition);
     if (!value.ok()) {
       util::log_debug("execution", id_, ": provider error for '",
                       condition.query, "': ", value.error_message());
@@ -480,6 +588,83 @@ bool StrategyExecution::evaluate_check_once(
   }
   if (check.custom && !check.custom(context)) return false;
   return true;
+}
+
+util::Result<std::optional<double>> StrategyExecution::aggregate_condition(
+    core::EvalContext& context, const core::MetricCondition& condition) const {
+  using R = util::Result<std::optional<double>>;
+  const core::ServiceDef* service = def_.find_service(condition.region_service);
+  if (service == nullptr || !service->federated()) {  // validated earlier
+    return R::error("aggregate over unknown federated service '" +
+                    condition.region_service + "'");
+  }
+  // Canary order, so kDelta's "canary minus the rest" picks the same
+  // region the fleet ramps first. Regions without data are skipped —
+  // a partitioned region must not veto the fleet-wide check; total
+  // silence (or total provider failure) degrades like a normal
+  // no-data/provider-error condition.
+  const std::vector<const core::RegionDef*> regions =
+      service->regions_in_canary_order();
+  double weighted_sum = 0.0;
+  double weight_total = 0.0;
+  double min_value = 0.0;
+  double max_value = 0.0;
+  std::optional<double> canary_value;
+  double rest_sum = 0.0;
+  double rest_weight = 0.0;
+  std::size_t seen = 0;
+  std::string errors;
+  for (std::size_t i = 0; i < regions.size(); ++i) {
+    const core::RegionDef& region = *regions[i];
+    std::string query = condition.query;
+    static constexpr std::string_view kPlaceholder = "$region";
+    for (std::size_t pos = query.find(kPlaceholder);
+         pos != std::string::npos; pos = query.find(kPlaceholder, pos)) {
+      query.replace(pos, kPlaceholder.size(), region.name);
+      pos += region.name.size();
+    }
+    auto value = context.query(condition.provider, query);
+    if (!value.ok()) {
+      if (!errors.empty()) errors += "; ";
+      errors += "region '" + region.name + "': " + value.error_message();
+      continue;
+    }
+    if (!value.value().has_value()) continue;
+    const double v = *value.value();
+    if (seen == 0 || v < min_value) min_value = v;
+    if (seen == 0 || v > max_value) max_value = v;
+    weighted_sum += v * region.weight;
+    weight_total += region.weight;
+    if (i == 0) {
+      canary_value = v;
+    } else {
+      rest_sum += v * region.weight;
+      rest_weight += region.weight;
+    }
+    ++seen;
+  }
+  if (seen == 0) {
+    if (!errors.empty()) return R::error(errors);
+    return R(std::nullopt);
+  }
+  switch (condition.aggregate) {
+    case core::RegionAggregate::kMax:
+      return R(std::optional<double>(max_value));
+    case core::RegionAggregate::kMin:
+      return R(std::optional<double>(min_value));
+    case core::RegionAggregate::kMean:
+      return R(std::optional<double>(
+          weight_total > 0.0 ? weighted_sum / weight_total : 0.0));
+    case core::RegionAggregate::kDelta:
+      // Needs the canary AND at least one comparison region reporting.
+      if (!canary_value.has_value() || rest_weight <= 0.0) {
+        return R(std::nullopt);
+      }
+      return R(std::optional<double>(*canary_value - rest_sum / rest_weight));
+    case core::RegionAggregate::kNone:
+      break;
+  }
+  return R(std::nullopt);
 }
 
 void StrategyExecution::maybe_complete_state() {
@@ -636,13 +821,18 @@ void StrategyExecution::resume_in_state(const ResumeState& rs) {
                           "' failed before restart");
         return;
       }
+      // A quorate fleet push that left regions behind re-establishes
+      // the degraded set (the restarted process starts empty).
+      for (const auto& [region, ok] : progress.region_acks) {
+        if (!ok) degraded_regions_[state.routing[i].service].insert(region);
+      }
       continue;
     }
     const std::optional<std::uint64_t> epoch =
         progress.intent_journaled ? std::optional<std::uint64_t>(progress.epoch)
                                   : std::nullopt;
-    if (apply_one_routing(state, i, epoch, progress.intent_journaled) ==
-        ApplyOutcome::kDiverted) {
+    if (apply_one_routing(state, i, epoch, progress.intent_journaled,
+                          &progress.region_acks) == ApplyOutcome::kDiverted) {
       return;
     }
   }

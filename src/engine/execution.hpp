@@ -27,12 +27,14 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <set>
 #include <shared_mutex>
 #include <string>
 #include <unordered_set>
 #include <vector>
 
 #include "core/model.hpp"
+#include "engine/fleet.hpp"
 #include "engine/interfaces.hpp"
 #include "engine/journal.hpp"
 #include "runtime/executor.hpp"
@@ -84,6 +86,11 @@ struct ResumeState {
     std::uint64_t epoch = 0;  ///< valid when intent_journaled
     bool acked = false;
     bool ok = false;  ///< ack verdict when acked
+    /// Federated services only: journaled per-region verdicts of the
+    /// in-flight fleet push (region name -> ok). A crash between two
+    /// region acks resumes here — acked regions are not re-pushed,
+    /// the rest re-push with the journaled epoch (the proxy dedupes).
+    std::map<std::string, bool> region_acks;
   };
   std::vector<ApplyProgress> applies;
 
@@ -133,6 +140,11 @@ class StrategyExecution {
     /// when this is set (jobs may query it concurrently). Null = the
     /// classic inline, run-to-completion engine.
     runtime::Executor* check_executor = nullptr;
+    /// Fans multi-region config pushes out in parallel instead of
+    /// sequentially in canary order. Must be a real thread pool (never
+    /// a simulated executor — Fleet::push joins futures; see
+    /// engine/fleet.hpp). Null = sequential, the deterministic arm.
+    runtime::Executor* fleet_executor = nullptr;
   };
 
   /// `def` must already pass core::validate(). The listener receives
@@ -212,11 +224,22 @@ class StrategyExecution {
   bool apply_routing(const core::StateDef& state);
   /// Applies routing entry `index` of `state`: journals the intent
   /// (unless already journaled pre-crash), calls the proxy, journals
-  /// the ack. `forced_epoch` re-uses a journaled epoch during resume.
-  ApplyOutcome apply_one_routing(const core::StateDef& state,
-                                 std::size_t index,
-                                 std::optional<std::uint64_t> forced_epoch,
-                                 bool intent_already_journaled);
+  /// the ack. `forced_epoch` re-uses a journaled epoch during resume;
+  /// `region_acks` carries journaled per-region verdicts of a fleet
+  /// push interrupted mid-fan-out (null outside resume).
+  ApplyOutcome apply_one_routing(
+      const core::StateDef& state, std::size_t index,
+      std::optional<std::uint64_t> forced_epoch,
+      bool intent_already_journaled,
+      const std::map<std::string, bool>* region_acks = nullptr);
+  /// Fleet arm of apply_one_routing: fans the config out to the
+  /// routing's targeted regions, journals one kRegionAck per region and
+  /// a final kApplyAck whose verdict is the quorum test, and maintains
+  /// the degraded-region set (kRegionDegraded / kRegionRecovered).
+  ApplyOutcome apply_fleet_routing(
+      const core::StateDef& state, std::size_t index,
+      const core::ServiceDef& service, const proxy::ProxyConfig& config,
+      std::uint64_t epoch, const std::map<std::string, bool>* region_acks);
   /// Aborts into the strategy's first rollback-final state (or aborts
   /// outright when none exists) after an unrecoverable proxy failure.
   void rollback_or_abort(const std::string& reason);
@@ -238,6 +261,14 @@ class StrategyExecution {
   /// to run off-thread as a check_executor job.
   bool evaluate_check_once(const core::CheckDef& check,
                            std::string& degraded_detail) const;
+  /// Evaluates a cross-region condition: queries the metric once per
+  /// region of the condition's federated service ("$region" in the
+  /// query is substituted with the region name) and folds the values
+  /// through the condition's aggregate (max / min / weighted mean /
+  /// delta = canary minus weighted mean of the rest). Regions without
+  /// data are skipped; no region reporting = no data.
+  [[nodiscard]] util::Result<std::optional<double>> aggregate_condition(
+      core::EvalContext& context, const core::MetricCondition& condition) const;
   void maybe_complete_state();
   void complete_state();
   void transition_to(const std::string& next, bool via_exception);
@@ -262,6 +293,10 @@ class StrategyExecution {
   core::StrategyDef def_;
   StatusListener listener_;
   Options options_;
+  Fleet fleet_;  ///< fan-out for federated services (wraps proxies_)
+  /// Regions per service currently marked degraded (missed a quorate
+  /// push and not yet converged by a later push or an engine resync).
+  std::map<std::string, std::set<std::string>> degraded_regions_;
 
   ExecutionStatus status_ = ExecutionStatus::kPending;
   std::string current_state_;

@@ -1,0 +1,104 @@
+#include "engine/fleet.hpp"
+
+#include <algorithm>
+#include <future>
+
+namespace bifrost::engine {
+
+std::string Fleet::PushResult::failed_regions() const {
+  std::string out;
+  for (const RegionOutcome& outcome : outcomes) {
+    if (outcome.ok) continue;
+    if (!out.empty()) out += ",";
+    out += outcome.region->name;
+  }
+  return out;
+}
+
+std::vector<const core::RegionDef*> Fleet::targets(
+    const core::ServiceDef& service, const std::vector<std::string>& scope) {
+  std::vector<const core::RegionDef*> ordered =
+      service.regions_in_canary_order();
+  if (scope.empty()) return ordered;
+  std::erase_if(ordered, [&](const core::RegionDef* region) {
+    return std::find(scope.begin(), scope.end(), region->name) == scope.end();
+  });
+  return ordered;
+}
+
+int Fleet::required_acks(const core::ServiceDef& service,
+                         std::size_t targeted) {
+  return std::min(service.quorum_size(), static_cast<int>(targeted));
+}
+
+Fleet::PushResult Fleet::push(const core::ServiceDef& service,
+                              const proxy::ProxyConfig& config,
+                              const std::vector<std::string>& scope,
+                              const SkipFn& skip, const AckFn& on_ack) {
+  PushResult result;
+  const std::vector<const core::RegionDef*> regions = targets(service, scope);
+  result.required = required_acks(service, regions.size());
+  result.outcomes.reserve(regions.size());
+
+  // Seed the outcome list in canary order; journaled verdicts (resume
+  // re-entering a half-pushed state) short-circuit their region.
+  std::vector<std::size_t> fresh;
+  for (const core::RegionDef* region : regions) {
+    RegionOutcome outcome;
+    outcome.region = region;
+    if (skip) {
+      if (const std::optional<bool> verdict = skip(region->name)) {
+        outcome.skipped = true;
+        outcome.ok = *verdict;
+        if (!outcome.ok) outcome.error = "journaled failure";
+        result.outcomes.push_back(std::move(outcome));
+        continue;
+      }
+    }
+    fresh.push_back(result.outcomes.size());
+    result.outcomes.push_back(std::move(outcome));
+  }
+
+  if (executor_ != nullptr && fresh.size() > 1) {
+    // Parallel fan-out: one job per region, joined in canary order so
+    // the observable outcome sequence matches the sequential arm.
+    std::vector<std::future<util::Result<void>>> futures;
+    futures.reserve(fresh.size());
+    for (std::size_t index : fresh) {
+      auto promise = std::make_shared<std::promise<util::Result<void>>>();
+      futures.push_back(promise->get_future());
+      const core::RegionDef* region = result.outcomes[index].region;
+      const bool accepted = executor_->submit([this, &service, region, &config,
+                                               promise] {
+        promise->set_value(proxies_.apply_region(service, *region, config));
+      });
+      if (!accepted) {
+        // Executor shutting down: run inline rather than losing the push.
+        promise->set_value(proxies_.apply_region(service, *region, config));
+      }
+    }
+    for (std::size_t i = 0; i < fresh.size(); ++i) {
+      RegionOutcome& outcome = result.outcomes[fresh[i]];
+      const util::Result<void> applied = futures[i].get();
+      outcome.ok = applied.ok();
+      if (!applied.ok()) outcome.error = applied.error_message();
+      if (on_ack) on_ack(outcome);
+    }
+  } else {
+    for (std::size_t index : fresh) {
+      RegionOutcome& outcome = result.outcomes[index];
+      const util::Result<void> applied =
+          proxies_.apply_region(service, *outcome.region, config);
+      outcome.ok = applied.ok();
+      if (!applied.ok()) outcome.error = applied.error_message();
+      if (on_ack) on_ack(outcome);
+    }
+  }
+
+  for (const RegionOutcome& outcome : result.outcomes) {
+    if (outcome.ok) ++result.acked;
+  }
+  return result;
+}
+
+}  // namespace bifrost::engine

@@ -1,0 +1,89 @@
+// Federation layer between the strategy interpreter and the proxies of
+// a multi-region service. A ServiceDef that declares `regions` is
+// fronted by N proxies; one logical config push fans out to every
+// targeted region in canary order, each region retried independently
+// (the ResilientProxyController keys its per-region retry/breaker state
+// by "service/region"), and the push as a whole succeeds when at least
+// the service's quorum of regions acked it. Regions that missed the
+// push are `region_degraded` until a later push or an engine
+// reconcile/resync converges them back to the fleet epoch.
+//
+// Determinism: without an executor the fan-out is sequential in canary
+// order. With an executor the per-region applies run as parallel jobs,
+// but outcomes are joined and reported strictly in canary order, so
+// journaled records and emitted events are identical either way — only
+// wall-clock differs. Do NOT pass a simulated executor here: push()
+// blocks on the joined futures, which would deadlock a virtual-time
+// worker lane (the sim exercises the sequential arm, which is also the
+// byte-identical-replay arm).
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/model.hpp"
+#include "engine/interfaces.hpp"
+#include "runtime/executor.hpp"
+
+namespace bifrost::engine {
+
+class Fleet {
+ public:
+  /// Verdict of one region of a fleet push.
+  struct RegionOutcome {
+    const core::RegionDef* region = nullptr;
+    bool ok = false;
+    std::string error;
+    /// True when the verdict came from the journal (resume) instead of
+    /// a fresh apply — on_ack is not called for these.
+    bool skipped = false;
+  };
+
+  struct PushResult {
+    std::vector<RegionOutcome> outcomes;  ///< canary order
+    int acked = 0;     ///< regions that accepted the config
+    int required = 0;  ///< effective quorum for this push
+    [[nodiscard]] bool quorum_met() const { return acked >= required; }
+    /// Comma-separated names of regions that missed the push.
+    [[nodiscard]] std::string failed_regions() const;
+  };
+
+  /// Journaled verdict for a region pushed before a crash: nullopt =
+  /// not yet acked (push it), otherwise the acked ok/error verdict.
+  using SkipFn = std::function<std::optional<bool>(const std::string& region)>;
+  /// Runs after each fresh region outcome is known, in canary order —
+  /// the execution journals its kRegionAck record here, so the WAL
+  /// captures every region boundary a crash can land between.
+  using AckFn = std::function<void(const RegionOutcome&)>;
+
+  explicit Fleet(ProxyController& proxies) : proxies_(proxies) {}
+
+  /// Optional parallel fan-out. Must be a real thread pool (see file
+  /// comment); null keeps the sequential deterministic arm.
+  void set_executor(runtime::Executor* executor) { executor_ = executor; }
+
+  /// The regions a push scoped to `scope` targets, in canary order.
+  /// An empty scope targets the whole fleet.
+  [[nodiscard]] static std::vector<const core::RegionDef*> targets(
+      const core::ServiceDef& service, const std::vector<std::string>& scope);
+
+  /// Effective quorum of a push covering `targeted` regions: the
+  /// service quorum for fleet-wide pushes, every targeted region for
+  /// pushes scoped below the quorum (a canary-only push must land).
+  [[nodiscard]] static int required_acks(const core::ServiceDef& service,
+                                         std::size_t targeted);
+
+  /// Fans `config` out to the targeted regions of `service`.
+  PushResult push(const core::ServiceDef& service,
+                  const proxy::ProxyConfig& config,
+                  const std::vector<std::string>& scope, const SkipFn& skip,
+                  const AckFn& on_ack);
+
+ private:
+  ProxyController& proxies_;
+  runtime::Executor* executor_ = nullptr;
+};
+
+}  // namespace bifrost::engine

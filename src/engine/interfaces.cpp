@@ -44,6 +44,12 @@ std::string StatusEvent::type_name() const {
       return "load_shed";
     case Type::kEventsLost:
       return "events_lost";
+    case Type::kRegionDegraded:
+      return "region_degraded";
+    case Type::kRegionRecovered:
+      return "region_recovered";
+    case Type::kRegionResynced:
+      return "region_resynced";
   }
   return "?";
 }

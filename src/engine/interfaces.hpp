@@ -47,6 +47,22 @@ class ProxyController {
     (void)service;
     return util::Result<ProxyStateView>::error("fetch not supported");
   }
+
+  /// Federation: push to / read back from ONE region's proxy of a
+  /// federated service. Controllers unaware of regions fall back to the
+  /// single-proxy calls, so the fleet layer degrades to the classic
+  /// behavior against them.
+  virtual util::Result<void> apply_region(const core::ServiceDef& service,
+                                          const core::RegionDef& region,
+                                          const proxy::ProxyConfig& config) {
+    (void)region;
+    return apply(service, config);
+  }
+  virtual util::Result<ProxyStateView> fetch_region(
+      const core::ServiceDef& service, const core::RegionDef& region) {
+    (void)region;
+    return fetch(service);
+  }
 };
 
 /// Execution status events (fed to the dashboard/CLI event stream).
@@ -72,6 +88,9 @@ struct StatusEvent {
     kBackendRecovered,  ///< ejected version passed its probe, re-admitted
     kLoadShed,          ///< proxy shed shadow traffic under load
     kEventsLost,        ///< proxy event ring overflowed a lagging reader
+    kRegionDegraded,    ///< a fleet push missed this region (>= quorum held)
+    kRegionRecovered,   ///< a degraded region accepted a push again
+    kRegionResynced,    ///< reconcile converged a lagging region to the fleet
   };
 
   std::uint64_t sequence = 0;  ///< assigned by the engine event log

@@ -70,6 +70,8 @@ const char* record_type_name(RecordType type) {
       return "recovered";
     case RecordType::kReconciled:
       return "reconciled";
+    case RecordType::kRegionAck:
+      return "region_ack";
   }
   return "unknown";
 }
@@ -82,7 +84,7 @@ std::optional<RecordType> record_type_from_name(std::string_view name) {
       RecordType::kApplyIntent,   RecordType::kApplyAck,
       RecordType::kFinished,      RecordType::kAborted,
       RecordType::kSnapshot,      RecordType::kRecovered,
-      RecordType::kReconciled,
+      RecordType::kReconciled,    RecordType::kRegionAck,
   };
   for (RecordType t : kAll) {
     if (name == record_type_name(t)) return t;

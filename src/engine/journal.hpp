@@ -47,6 +47,7 @@ enum class RecordType {
   kSnapshot,           ///< compacted tracker state; replay starts here
   kRecovered,          ///< marker: engine recovered executions from journal
   kReconciled,         ///< marker: proxy reconciliation pass completed
+  kRegionAck,          ///< one region of a fleet push returned (ok or error)
 };
 
 [[nodiscard]] const char* record_type_name(RecordType type);

@@ -27,18 +27,24 @@ ProxyEventPump::ProxyEventPump(StatusListener listener, Options options)
 ProxyEventPump::~ProxyEventPump() { stop(); }
 
 void ProxyEventPump::watch(const core::ServiceDef& service) {
-  if (service.proxy_admin_host.empty() || service.proxy_admin_port == 0) return;
   const std::lock_guard<std::mutex> lock(mutex_);
-  for (Watched& watched : watched_) {
-    if (watched.service == service.name) {
-      watched.host = service.proxy_admin_host;
-      watched.port = service.proxy_admin_port;
-      return;
+  const auto upsert = [&](const std::string& region, const std::string& host,
+                          std::uint16_t port) {
+    if (host.empty() || port == 0) return;
+    for (Watched& watched : watched_) {
+      if (watched.service == service.name && watched.region == region) {
+        watched.host = host;
+        watched.port = port;
+        return;
+      }
     }
+    watched_.push_back(Watched{service.name, region, host, port,
+                               /*cursor=*/0});
+  };
+  upsert("", service.proxy_admin_host, service.proxy_admin_port);
+  for (const core::RegionDef& region : service.regions) {
+    upsert(region.name, region.proxy_admin_host, region.proxy_admin_port);
   }
-  watched_.push_back(
-      Watched{service.name, service.proxy_admin_host, service.proxy_admin_port,
-              /*cursor=*/0});
 }
 
 std::size_t ProxyEventPump::poll_once() {
@@ -56,7 +62,8 @@ std::size_t ProxyEventPump::poll_once() {
     const std::lock_guard<std::mutex> lock(mutex_);
     forwarded_ += n;
     for (Watched& live : watched_) {
-      if (live.service == watched.service && watched.cursor > live.cursor) {
+      if (live.service == watched.service && live.region == watched.region &&
+          watched.cursor > live.cursor) {
         live.cursor = watched.cursor;
       }
     }
@@ -86,10 +93,15 @@ std::size_t ProxyEventPump::drain(Watched& watched) {
     StatusEvent marker;
     marker.type = StatusEvent::Type::kEventsLost;
     marker.state = watched.service;
+    marker.check = watched.region;
     marker.value = static_cast<double>(lost);
-    marker.detail = "proxy event ring overflowed: " + std::to_string(lost) +
-                    " event(s) after sequence " +
-                    std::to_string(watched.cursor) + " were never seen";
+    marker.detail =
+        (watched.region.empty()
+             ? std::string("proxy event ring overflowed: ")
+             : "proxy event ring of region '" + watched.region +
+                   "' overflowed: ") +
+        std::to_string(lost) + " event(s) after sequence " +
+        std::to_string(watched.cursor) + " were never seen";
     if (listener_) listener_(marker);
     ++forwarded;
   }

@@ -37,9 +37,14 @@ class ProxyEventPump {
   ProxyEventPump(const ProxyEventPump&) = delete;
   ProxyEventPump& operator=(const ProxyEventPump&) = delete;
 
-  /// Registers a service's proxy admin endpoint. Services without one
-  /// are ignored. Safe to call while the pump runs; re-registering a
-  /// service updates its endpoint but keeps the event cursor.
+  /// Registers a service's proxy admin endpoint — and, for a federated
+  /// service, one entry per declared region (each region fronts its own
+  /// proxy with its own event ring). Endpoints without a host/port are
+  /// ignored. Safe to call while the pump runs; re-registering updates
+  /// the endpoint but keeps the event cursor. Cursors are keyed per
+  /// (service, region): two regions of the same service never share a
+  /// cursor, so one region's ring overflowing cannot corrupt another's
+  /// events_lost accounting.
   void watch(const core::ServiceDef& service);
 
   /// One synchronous sweep over all watched proxies; returns how many
@@ -58,6 +63,7 @@ class ProxyEventPump {
  private:
   struct Watched {
     std::string service;
+    std::string region;  ///< empty for the service-level (unfederated) proxy
     std::string host;
     std::uint16_t port = 0;
     std::uint64_t cursor = 0;  ///< highest proxy event sequence seen

@@ -165,15 +165,46 @@ Result<void> StateTracker::apply_impl(const JournalRecord& record) {
           return Result<void>::error("apply intent config: " +
                                      config.error_message());
         }
+        Intent incoming;
+        incoming.epoch = epoch;
+        incoming.config = std::move(config).value();
+        incoming.strategy_id = id;
+        if (const json::Value* regions = data.find("regions");
+            regions != nullptr && regions->is_array()) {
+          for (const json::Value& region : regions->as_array()) {
+            if (region.is_string()) {
+              incoming.regions.push_back(region.as_string());
+            }
+          }
+        }
         // Later intents supersede earlier ones; epochs are per-service
         // monotone so ">=" keeps the newest.
-        Intent& intent = intents_[service];
-        if (epoch >= intent.epoch) {
-          intent.epoch = epoch;
-          intent.config = std::move(config).value();
-          intent.strategy_id = id;
+        const auto supersede = [&incoming](Intent& slot) {
+          if (incoming.epoch >= slot.epoch) slot = incoming;
+        };
+        supersede(intents_[service]);
+        // Scoped intents govern only the regions they name — reconcile
+        // must never push a canary-scoped config fleet-wide.
+        if (incoming.regions.empty()) {
+          supersede(fleet_intents_[service]);
+        } else {
+          for (const std::string& region : incoming.regions) {
+            supersede(region_intents_[service + "/" + region]);
+          }
         }
       }
+      return {};
+    }
+
+    case RecordType::kRegionAck: {
+      // One region of a fleet push returned. The push as a whole is
+      // still in flight (its kApplyAck is pending), so resume re-pushes
+      // only the regions without a journaled verdict.
+      const auto index = static_cast<std::size_t>(
+          data.get_number("routingIndex"));
+      if (rs.applies.size() <= index) rs.applies.resize(index + 1);
+      rs.applies[index].region_acks[data.get_string("region")] =
+          data.get_bool("ok");
       return {};
     }
 
@@ -291,12 +322,18 @@ json::Value StateTracker::to_snapshot() const {
     }
     json::Array applies;
     for (const ResumeState::ApplyProgress& apply : rs.applies) {
-      applies.push_back(json::Object{
+      json::Object entry{
           {"intent", apply.intent_journaled},
           {"epoch", static_cast<std::int64_t>(apply.epoch)},
           {"acked", apply.acked},
           {"ok", apply.ok},
-      });
+      };
+      if (!apply.region_acks.empty()) {
+        json::Object acks;
+        for (const auto& [region, ok] : apply.region_acks) acks[region] = ok;
+        entry["regionAcks"] = std::move(acks);
+      }
+      applies.push_back(std::move(entry));
     }
     json::Array checks;
     for (const ResumeState::CheckProgress& check : rs.checks) {
@@ -333,18 +370,31 @@ json::Value StateTracker::to_snapshot() const {
   for (const auto& [service, epoch] : epochs_) {
     epochs[service] = static_cast<std::int64_t>(epoch);
   }
-  json::Object intents;
-  for (const auto& [service, intent] : intents_) {
-    intents[service] = json::Object{
-        {"epoch", static_cast<std::int64_t>(intent.epoch)},
-        {"config", intent.config.to_json()},
-        {"strategyId", intent.strategy_id},
-    };
-  }
+  const auto intents_json = [](const std::map<std::string, Intent>& intents) {
+    json::Object out;
+    for (const auto& [key, intent] : intents) {
+      json::Object entry{
+          {"epoch", static_cast<std::int64_t>(intent.epoch)},
+          {"config", intent.config.to_json()},
+          {"strategyId", intent.strategy_id},
+      };
+      if (!intent.regions.empty()) {
+        json::Array regions;
+        for (const std::string& region : intent.regions) {
+          regions.push_back(region);
+        }
+        entry["regions"] = std::move(regions);
+      }
+      out[key] = std::move(entry);
+    }
+    return out;
+  };
   return json::Object{
       {"nextId", next_id_},
       {"epochs", std::move(epochs)},
-      {"intents", std::move(intents)},
+      {"intents", intents_json(intents_)},
+      {"fleetIntents", intents_json(fleet_intents_)},
+      {"regionIntents", intents_json(region_intents_)},
       {"strategies", std::move(strategies)},
   };
 }
@@ -356,6 +406,8 @@ Result<void> StateTracker::load_snapshot(const json::Value& snapshot) {
   strategies_.clear();
   epochs_.clear();
   intents_.clear();
+  fleet_intents_.clear();
+  region_intents_.clear();
   next_id_ = static_cast<std::uint64_t>(snapshot.get_number("nextId", 1.0));
 
   if (const json::Value* epochs = snapshot.find("epochs");
@@ -366,9 +418,12 @@ Result<void> StateTracker::load_snapshot(const json::Value& snapshot) {
       }
     }
   }
-  if (const json::Value* intents = snapshot.find("intents");
-      intents != nullptr && intents->is_object()) {
-    for (const auto& [service, value] : intents->as_object()) {
+  const auto load_intents =
+      [&snapshot](const char* key,
+                  std::map<std::string, Intent>& out) -> Result<void> {
+    const json::Value* intents = snapshot.find(key);
+    if (intents == nullptr || !intents->is_object()) return {};
+    for (const auto& [name, value] : intents->as_object()) {
       Intent intent;
       intent.epoch = static_cast<std::uint64_t>(value.get_number("epoch"));
       intent.strategy_id = value.get_string("strategyId");
@@ -380,9 +435,19 @@ Result<void> StateTracker::load_snapshot(const json::Value& snapshot) {
         }
         intent.config = std::move(parsed).value();
       }
-      intents_[service] = std::move(intent);
+      if (const json::Value* regions = value.find("regions");
+          regions != nullptr && regions->is_array()) {
+        for (const json::Value& region : regions->as_array()) {
+          if (region.is_string()) intent.regions.push_back(region.as_string());
+        }
+      }
+      out[name] = std::move(intent);
     }
-  }
+    return {};
+  };
+  if (auto r = load_intents("intents", intents_); !r) return r;
+  if (auto r = load_intents("fleetIntents", fleet_intents_); !r) return r;
+  if (auto r = load_intents("regionIntents", region_intents_); !r) return r;
 
   const json::Value* strategies = snapshot.find("strategies");
   if (strategies == nullptr || !strategies->is_array()) return {};
@@ -423,12 +488,20 @@ Result<void> StateTracker::load_snapshot(const json::Value& snapshot) {
     if (const json::Value* applies = entry.find("applies");
         applies != nullptr && applies->is_array()) {
       for (const json::Value& apply : applies->as_array()) {
-        rs.applies.push_back(ResumeState::ApplyProgress{
+        ResumeState::ApplyProgress progress{
             apply.get_bool("intent"),
             static_cast<std::uint64_t>(apply.get_number("epoch")),
             apply.get_bool("acked"),
             apply.get_bool("ok"),
-        });
+            {},
+        };
+        if (const json::Value* acks = apply.find("regionAcks");
+            acks != nullptr && acks->is_object()) {
+          for (const auto& [region, ok] : acks->as_object()) {
+            progress.region_acks[region] = ok.is_bool() && ok.as_bool();
+          }
+        }
+        rs.applies.push_back(std::move(progress));
       }
     }
     if (const json::Value* checks = entry.find("checks");

@@ -42,6 +42,9 @@ class StateTracker {
     std::uint64_t epoch = 0;
     proxy::ProxyConfig config;
     std::string strategy_id;
+    /// Region scope journaled with the intent (federated services
+    /// only): the regions the push targeted. Empty = fleet-wide.
+    std::vector<std::string> regions;
   };
 
   /// Applies one record. kSnapshot resets the tracker to the snapshot's
@@ -62,6 +65,17 @@ class StateTracker {
   [[nodiscard]] const std::map<std::string, Intent>& intents() const {
     return intents_;
   }
+  /// Last fleet-wide (unscoped) intent per service. For a federated
+  /// service this is the fleet epoch floor every region must reach;
+  /// scoped intents in region_intents() override it for the regions
+  /// they name (a canary-scoped push must NOT be converged fleet-wide).
+  [[nodiscard]] const std::map<std::string, Intent>& fleet_intents() const {
+    return fleet_intents_;
+  }
+  /// Last region-scoped intent per "service/region" key.
+  [[nodiscard]] const std::map<std::string, Intent>& region_intents() const {
+    return region_intents_;
+  }
   /// Next free numeric suffix for "s-N" strategy ids.
   [[nodiscard]] std::uint64_t next_numeric_id() const { return next_id_; }
   [[nodiscard]] std::uint64_t records_seen() const { return records_seen_; }
@@ -76,6 +90,8 @@ class StateTracker {
   std::map<std::string, Strategy> strategies_;
   std::map<std::string, std::uint64_t> epochs_;
   std::map<std::string, Intent> intents_;
+  std::map<std::string, Intent> fleet_intents_;   ///< service -> unscoped
+  std::map<std::string, Intent> region_intents_;  ///< "service/region"
   std::uint64_t next_id_ = 1;
   std::uint64_t records_seen_ = 0;
 };

@@ -206,6 +206,18 @@ util::Result<void> ResilientProxyController::apply(
       [](std::string message) { return R::error(std::move(message)); });
 }
 
+util::Result<void> ResilientProxyController::apply_region(
+    const core::ServiceDef& service, const core::RegionDef& region,
+    const proxy::ProxyConfig& config) {
+  using R = util::Result<void>;
+  const CallContext ctx{clock_, sleep_, listener_, rng_, breakers_, attempts_};
+  return run_with_policy<R>(
+      ctx, service.name + "/" + region.name, service.retry,
+      service.circuit_breaker,
+      [&] { return inner_.apply_region(service, region, config); },
+      [](std::string message) { return R::error(std::move(message)); });
+}
+
 const CircuitBreaker* ResilientProxyController::breaker(
     const std::string& key) const {
   return find_breaker(breakers_, key);

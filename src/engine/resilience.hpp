@@ -114,11 +114,22 @@ class ResilientProxyController final : public ProxyController {
   util::Result<void> apply(const core::ServiceDef& service,
                            const proxy::ProxyConfig& config) override;
 
+  /// Per-region push with the same retry/breaker policy, keyed
+  /// "service/region" so one partitioned region tripping its breaker
+  /// never blocks pushes to the rest of the fleet.
+  util::Result<void> apply_region(const core::ServiceDef& service,
+                                  const core::RegionDef& region,
+                                  const proxy::ProxyConfig& config) override;
+
   /// Read-back passes straight through: reconciliation does its own
   /// fallback (re-apply) when the proxy cannot be read, so wrapping it
   /// in retries would only delay startup.
   util::Result<ProxyStateView> fetch(const core::ServiceDef& service) override {
     return inner_.fetch(service);
+  }
+  util::Result<ProxyStateView> fetch_region(
+      const core::ServiceDef& service, const core::RegionDef& region) override {
+    return inner_.fetch_region(service, region);
   }
 
   [[nodiscard]] std::uint64_t attempts() const { return attempts_; }

@@ -7,7 +7,10 @@ namespace bifrost::sim {
 FaultPlan::Outcome FaultPlan::decide(Target target, const std::string& name,
                                      runtime::Time now) {
   Outcome outcome;
-  if (target == Target::kProxy) {
+  if (target == Target::kProxy || target == Target::kRegion) {
+    // Region pushes count against the same apply counter, so
+    // crash_on_apply can land the engine between two region acks of
+    // one fleet push.
     ++proxy_calls_;
     if (crash_on_apply_ != 0 && proxy_calls_ >= crash_on_apply_) {
       crash_on_apply_ = 0;
@@ -46,9 +49,12 @@ FaultPlan::Outcome FaultPlan::decide(Target target, const std::string& name,
     return outcome;
   }
 
-  const Spec& spec = target == Target::kMetrics  ? metrics_
-                     : target == Target::kProxy ? proxy_
-                                                : backend_;
+  // Region pushes share the proxy edge's probabilistic spec: a region
+  // proxy is just one more proxy to the engine.
+  const Spec& spec = target == Target::kMetrics ? metrics_
+                     : target == Target::kProxy || target == Target::kRegion
+                         ? proxy_
+                         : backend_;
   if (spec.latency_spike_probability > 0.0 &&
       rng_.bernoulli(spec.latency_spike_probability)) {
     ++injected_spikes_;
@@ -69,10 +75,11 @@ util::Result<void> FaultPlan::validate_against(
     if (window.name.empty()) continue;  // wildcard: matches any target
     if (window.target == Target::kLatency) {
       // A latency overlay may name any edge: a deployed version, a
-      // service (proxy edge), or a provider host.
+      // service (proxy edge), a region, or a provider host.
       bool found = def.find_service(window.name) != nullptr;
       for (const core::ServiceDef& service : def.services) {
         found |= service.find_version(window.name) != nullptr;
+        found |= service.find_region(window.name) != nullptr;
       }
       for (const auto& [provider_name, provider] : def.providers) {
         found |= provider.host == window.name;
@@ -81,8 +88,29 @@ util::Result<void> FaultPlan::validate_against(
         return R::error(
             "latency window targets unknown name '" + window.name +
             "': strategy '" + def.name +
-            "' has no such version, service, or provider host "
+            "' has no such version, service, region, or provider host "
             "(a misspelled name would never fire)");
+      }
+      continue;
+    }
+    if (window.target == Target::kRegion) {
+      bool found = false;
+      for (const core::ServiceDef& service : def.services) {
+        found |= service.find_region(window.name) != nullptr;
+      }
+      if (!found) {
+        std::string known;
+        for (const core::ServiceDef& service : def.services) {
+          for (const core::RegionDef& region : service.regions) {
+            if (!known.empty()) known += ", ";
+            known += "'" + region.name + "'";
+          }
+        }
+        return R::error(
+            "fault window targets unknown region '" + window.name +
+            "': strategy '" + def.name + "' declares " +
+            (known.empty() ? std::string("no regions") : known) +
+            " (a misspelled name would never fire)");
       }
       continue;
     }

@@ -48,8 +48,10 @@ class FaultPlan {
   /// ANY edge (by name), and can be consulted directly — a real
   /// BifrostProxy's latency-injection hook calls
   /// decide(kLatency, version, now) per request to slow a live backend
-  /// without erroring it.
-  enum class Target { kMetrics, kProxy, kBackend, kLatency };
+  /// without erroring it. kRegion partitions one region of a federated
+  /// service: pushes (and fetches) against that region's proxy fail
+  /// while the window is open, leaving the rest of the fleet reachable.
+  enum class Target { kMetrics, kProxy, kBackend, kLatency, kRegion };
 
   /// Probabilistic faults for one edge, evaluated per call.
   struct Spec {
@@ -65,9 +67,9 @@ class FaultPlan {
     Target target = Target::kMetrics;
     runtime::Time from{0};
     runtime::Time to = runtime::Time::max();
-    /// Provider host (metrics), service name (proxy), or version name
-    /// (backend/latency) the window applies to; empty matches every
-    /// target of the edge.
+    /// Provider host (metrics), service name (proxy), version name
+    /// (backend/latency), or region name (region) the window applies
+    /// to; empty matches every target of the edge.
     std::string name;
     /// Extra latency injected while a kLatency window is active
     /// (ignored for error windows).
@@ -111,9 +113,10 @@ class FaultPlan {
   }
 
   /// Validates the plan against the strategy it will be injected into:
-  /// every named window must reference a service (proxy faults) or a
-  /// provider host (metrics faults) that the strategy actually uses —
-  /// a misspelled name would otherwise silently never fire.
+  /// every named window must reference a service (proxy faults), a
+  /// provider host (metrics faults), or a declared region (region
+  /// faults) that the strategy actually uses — a misspelled name would
+  /// otherwise silently never fire.
   [[nodiscard]] util::Result<void> validate_against(
       const core::StrategyDef& def) const;
 

@@ -61,6 +61,33 @@ util::Result<void> SimProxyController::apply(const core::ServiceDef& service,
   return {};
 }
 
+util::Result<void> SimProxyController::apply_region(
+    const core::ServiceDef& service, const core::RegionDef& region,
+    const proxy::ProxyConfig& config) {
+  sim_.consume(costs_.per_update);
+  sim_.wait_external(costs_.update_wait);
+  ++updates_;
+  const std::string key = service.name + "/" + region.name;
+  if (fault_plan_) {
+    auto outcome = fault_plan_->decide(FaultPlan::Target::kRegion, region.name,
+                                       sim_.now());
+    if (outcome.extra_latency > runtime::Duration::zero()) {
+      sim_.wait_external(outcome.extra_latency);
+    }
+    // A partitioned region never sees the push: its installed state
+    // keeps the previous epoch until the partition heals.
+    if (outcome.error) return util::Result<void>::error(outcome.reason);
+    if (outcome.crash) {
+      // The update reached the region's proxy; the engine dies before
+      // the ack — exactly the boundary the crash-matrix tests walk.
+      install(key, config);
+      throw CrashInjected(outcome.reason);
+    }
+  }
+  install(key, config);
+  return {};
+}
+
 void SimProxyController::install(const std::string& service,
                                  const proxy::ProxyConfig& config) {
   engine::ProxyStateView& state = states_[service];
@@ -81,6 +108,29 @@ util::Result<engine::ProxyStateView> SimProxyController::fetch(
   if (it == states_.end()) {
     return util::Result<engine::ProxyStateView>::error(
         "no config applied for service '" + service.name + "'");
+  }
+  return it->second;
+}
+
+util::Result<engine::ProxyStateView> SimProxyController::fetch_region(
+    const core::ServiceDef& service, const core::RegionDef& region) {
+  if (fault_plan_) {
+    // A partitioned region cannot be read either. Windows are checked
+    // directly (not via decide()) so a read-back consumes no RNG draw
+    // and never advances the apply-crash counter.
+    for (const FaultPlan::Window& window : fault_plan_->windows()) {
+      if (window.target != FaultPlan::Target::kRegion) continue;
+      if (!window.name.empty() && window.name != region.name) continue;
+      if (sim_.now() < window.from || sim_.now() >= window.to) continue;
+      return util::Result<engine::ProxyStateView>::error(
+          "injected partition of region '" + region.name + "'");
+    }
+  }
+  const auto it = states_.find(service.name + "/" + region.name);
+  if (it == states_.end()) {
+    return util::Result<engine::ProxyStateView>::error(
+        "no config applied for region '" + region.name + "' of service '" +
+        service.name + "'");
   }
   return it->second;
 }

@@ -76,12 +76,27 @@ class SimProxyController final : public engine::ProxyController {
   util::Result<void> apply(const core::ServiceDef& service,
                            const proxy::ProxyConfig& config) override;
 
+  /// One region's proxy of a federated service; state is keyed
+  /// "service/region" so every region keeps its own installed config
+  /// and epoch guard. Faults come from Target::kRegion windows (keyed
+  /// by region name — a partition of one region) on top of the shared
+  /// proxy-edge probabilistic spec.
+  util::Result<void> apply_region(const core::ServiceDef& service,
+                                  const core::RegionDef& region,
+                                  const proxy::ProxyConfig& config) override;
+
   /// Reads back the per-service installed config + epoch, like a real
   /// proxy's GET /admin/config. Charges no simulation cost (recovery
   /// reconciliation runs outside the simulated engine's callbacks).
   /// Errors when no config was ever applied for the service.
   util::Result<engine::ProxyStateView> fetch(
       const core::ServiceDef& service) override;
+
+  /// Region read-back ("service/region" key). A region inside an open
+  /// Target::kRegion window is unreachable and errors — reconcile then
+  /// falls back to re-pushing once the partition heals.
+  util::Result<engine::ProxyStateView> fetch_region(
+      const core::ServiceDef& service, const core::RegionDef& region) override;
 
   /// Non-owning: faults from `plan` (Target::kProxy, keyed by the
   /// service name) are injected into every update. A crash outcome
@@ -97,11 +112,19 @@ class SimProxyController final : public engine::ProxyController {
   [[nodiscard]] std::uint64_t duplicate_epochs() const {
     return duplicate_epochs_;
   }
-  /// Installed per-service state, keyed by service name (what a fleet
-  /// of real proxies would each persist).
+  /// Installed per-proxy state, keyed by service name — or
+  /// "service/region" for federated pushes (what a fleet of real
+  /// proxies would each persist).
   [[nodiscard]] const std::map<std::string, engine::ProxyStateView>& states()
       const {
     return states_;
+  }
+  /// Installed state of one region of a federated service, or null if
+  /// that region's proxy never accepted a config.
+  [[nodiscard]] const engine::ProxyStateView* region_state(
+      const std::string& service, const std::string& region) const {
+    const auto it = states_.find(service + "/" + region);
+    return it != states_.end() ? &it->second : nullptr;
   }
 
  private:

@@ -123,6 +123,98 @@ core::StrategyDef soak_strategy() {
   return compiled.ok() ? std::move(compiled).value() : core::StrategyDef{};
 }
 
+/// The soak strategy federated across three regions: the canary state
+/// ramps the designated canary region only, the rollout pushes
+/// fleet-wide under a 2-of-3 quorum gated on the worst region, so a
+/// six-hour soak crosses partition windows in every push phase.
+const char* kFleetSoakStrategy = R"(
+strategy:
+  name: fleet-soak
+  initial: canary
+  states:
+    - state:
+        name: canary
+        duration: 600
+        onSuccess: rollout
+        onFailure: rollback
+        checks:
+          - metric:
+              name: response-time
+              query: response_time_ms{region="eu-west",version="fast"}
+              validator: "<150"
+              intervalTime: 60
+              intervalLimit: 5
+        routes:
+          - route:
+              service: search
+              regions: [eu-west]
+              split:
+                - version: stable
+                  percent: 99
+                - version: fast
+                  percent: 1
+    - state:
+        name: rollout
+        duration: 600
+        onSuccess: done
+        onFailure: rollback
+        checks:
+          - metric:
+              name: error-rate
+              query: request_errors{region="$region",version="fast"}
+              validator: "<100"
+              aggregate: max
+              aggregateService: search
+              intervalTime: 60
+              intervalLimit: 5
+        routes:
+          - route:
+              service: search
+              split:
+                - version: stable
+                  percent: 50
+                - version: fast
+                  percent: 50
+    - state:
+        name: done
+        final: success
+        routes:
+          - route:
+              service: search
+              split:
+                - version: fast
+                  percent: 100
+    - state:
+        name: rollback
+        final: rollback
+        routes:
+          - route:
+              service: search
+              split:
+                - version: stable
+                  percent: 100
+deployment:
+  providers:
+    prometheus: { host: 127.0.0.1, port: 9090 }
+  services:
+    - service:
+        name: search
+        quorum: 2
+        regions:
+          - region: { name: eu-west, adminHost: 127.0.0.1, adminPort: 9201, weight: 2, canaryOrder: 0 }
+          - region: { name: us-east, adminHost: 127.0.0.1, adminPort: 9202, canaryOrder: 1 }
+          - region: { name: ap-south, adminHost: 127.0.0.1, adminPort: 9203, canaryOrder: 2 }
+        versions:
+          - version: { name: stable, host: 127.0.0.1, port: 9101 }
+          - version: { name: fast, host: 127.0.0.1, port: 9102 }
+)";
+
+core::StrategyDef fleet_soak_strategy() {
+  auto compiled = dsl::compile(std::string(kFleetSoakStrategy));
+  EXPECT_TRUE(compiled.ok()) << compiled.error_message();
+  return compiled.ok() ? std::move(compiled).value() : core::StrategyDef{};
+}
+
 // ---------------------------------------------------------------------------
 // FaultPlan kLatency overlay
 
@@ -229,6 +321,45 @@ TEST(ChaosSchedule, GenerationIsDeterministicPerSeed) {
   EXPECT_EQ(a.count(ChaosWindow::Kind::kBackendBrownout), 2u);
   EXPECT_EQ(a.count(ChaosWindow::Kind::kEngineCrash), 1u);
   EXPECT_EQ(a.count(ChaosWindow::Kind::kConfigReapply), 2u);
+}
+
+TEST(ChaosSchedule, RegionOutagesValidateAgainstDeclaredRegions) {
+  const core::StrategyDef fleet = fleet_soak_strategy();
+  // FaultPlan level: a kRegion window naming a region no service
+  // declares would silently never fire.
+  sim::FaultPlan plan;
+  plan.add_window({sim::FaultPlan::Target::kRegion, runtime::Time(0s),
+                   runtime::Time::max(), "eu-wset"});
+  const auto typo = plan.validate_against(fleet);
+  ASSERT_FALSE(typo.ok());
+  EXPECT_NE(typo.error_message().find("unknown region 'eu-wset'"),
+            std::string::npos);
+  EXPECT_NE(typo.error_message().find("'eu-west'"), std::string::npos);
+
+  sim::FaultPlan good;
+  good.add_window({sim::FaultPlan::Target::kRegion, runtime::Time(0s),
+                   runtime::Time::max(), "ap-south"});
+  EXPECT_TRUE(good.validate_against(fleet).ok());
+
+  // Against a single-region strategy there is nothing to partition.
+  const auto unfederated = good.validate_against(soak_strategy());
+  ASSERT_FALSE(unfederated.ok());
+  EXPECT_NE(unfederated.error_message().find("no regions"),
+            std::string::npos);
+
+  // ChaosSchedule delegates the same check for region_outage windows.
+  ChaosSchedule schedule;
+  ChaosWindow window;
+  window.kind = ChaosWindow::Kind::kRegionOutage;
+  window.target = "eu-wset";
+  window.from = runtime::Time(60s);
+  window.to = runtime::Time(120s);
+  schedule.windows.push_back(window);
+  const auto rejected = schedule.validate_against(fleet);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_NE(rejected.error_message().find("eu-wset"), std::string::npos);
+  schedule.windows[0].target = "us-east";
+  EXPECT_TRUE(schedule.validate_against(fleet).ok());
 }
 
 TEST(ChaosSchedule, YamlRoundTripsByteIdentically) {
@@ -467,6 +598,40 @@ TEST(ChaosSoak, SixVirtualHoursOfComposedChaosIsDeterministic) {
             schedule.count(ChaosWindow::Kind::kConfigReapply));
   EXPECT_GT(first.events_seen, 0u);
   EXPECT_GT(first.strategy_runs, 1u);  // the soak keeps resubmitting
+}
+
+TEST(ChaosSoak, MultiRegionSixVirtualHoursPassesFleetInvariants) {
+  const core::StrategyDef def = fleet_soak_strategy();
+  const auto inventory = ChaosSchedule::Inventory::of(def);
+  ASSERT_EQ(inventory.regions.size(), 3u);
+  const auto schedule = ChaosSchedule::generate(42, 6h, inventory);
+  ASSERT_TRUE(schedule.validate_against(def).ok());
+  // A federated inventory draws region partitions on top of the other
+  // six fault classes.
+  ASSERT_GE(schedule.count(ChaosWindow::Kind::kRegionOutage), 1u);
+
+  const chaos::SoakOptions options;
+  const auto first = chaos::run_soak(def, schedule, options);
+  const auto second = chaos::run_soak(def, schedule, options);
+
+  // Byte-identical traces across same-schedule runs, partitions and
+  // all: the replay acceptance bar holds for multi-region soaks.
+  EXPECT_EQ(first.trace, second.trace);
+  EXPECT_FALSE(first.trace.empty());
+
+  // The two fleet invariants hold for six virtual hours: fleet epochs
+  // converge after every partition heal, and no reachable region serves
+  // a config older than the fleet floor after a reconcile.
+  EXPECT_FALSE(first.violated) << first.report;
+  EXPECT_GE(first.virtual_hours, 6.0);
+  EXPECT_GT(first.strategy_runs, 1u);
+
+  // The soak actually exercised the fleet machinery: per-region epoch
+  // beliefs and at least one partition/heal cycle appear in the trace.
+  EXPECT_NE(first.trace.find("epoch search/"), std::string::npos);
+  EXPECT_NE(first.trace.find("partitioned"), std::string::npos);
+  EXPECT_NE(first.trace.find("healed"), std::string::npos);
+  EXPECT_NE(first.trace.find("reconciled search"), std::string::npos);
 }
 
 TEST(ChaosSoak, PlantedEjectionLossBugIsCaughtShrunkAndReplayable) {

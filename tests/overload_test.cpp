@@ -983,5 +983,84 @@ TEST_F(OverloadProxyTest, ProxyEventPumpSurfacesEventsLostMarkerOnWraparound) {
   EXPECT_EQ(pump.poll_once(), 0u);
 }
 
+// Two regions of one federated service front two proxies with two event
+// rings. The pump must key its cursor per (service, region): one
+// region's ring wrapping around may not bleed an events_lost marker —
+// or a skewed cursor — into the other region's accounting.
+TEST_F(OverloadProxyTest, ProxyEventPumpKeepsRegionCursorsIndependent) {
+  const std::uint16_t backend = add_backend([](const http::Request&) {
+    return http::Response::text(200, "ok");
+  });
+  const auto make_region_proxy = [&] {
+    ProxyConfig config;
+    config.service = "search";
+    config.backends = {
+        BackendTarget{"v1", "127.0.0.1", backend, 100.0, "", ""}};
+    config.overload.enabled = true;
+    return make_proxy(std::move(config));
+  };
+  auto eu_proxy = make_region_proxy();
+  auto us_proxy = make_region_proxy();
+
+  std::vector<engine::StatusEvent> forwarded;
+  engine::ProxyEventPump pump(
+      [&forwarded](const engine::StatusEvent& event) {
+        forwarded.push_back(event);
+      });
+  core::ServiceDef service;
+  service.name = "search";
+  core::RegionDef eu;
+  eu.name = "eu-west";
+  eu.proxy_admin_host = "127.0.0.1";
+  eu.proxy_admin_port = eu_proxy->admin_port();
+  core::RegionDef us;
+  us.name = "us-east";
+  us.proxy_admin_host = "127.0.0.1";
+  us.proxy_admin_port = us_proxy->admin_port();
+  service.regions = {eu, us};
+  pump.watch(service);
+
+  // Both regions establish non-zero cursors (2 events each).
+  ASSERT_TRUE(eu_proxy->force_eject("v1"));
+  ASSERT_TRUE(eu_proxy->force_recover("v1"));
+  ASSERT_TRUE(us_proxy->force_eject("v1"));
+  ASSERT_TRUE(us_proxy->force_recover("v1"));
+  ASSERT_EQ(pump.poll_once(), 4u);
+  forwarded.clear();
+
+  // Overflow ONLY eu-west's 512-slot ring (620 events against a cursor
+  // of 2: 108 gone), while us-east sees one quiet eject/recover pair.
+  for (int i = 0; i < 310; ++i) {
+    ASSERT_TRUE(eu_proxy->force_eject("v1"));
+    ASSERT_TRUE(eu_proxy->force_recover("v1"));
+  }
+  ASSERT_TRUE(us_proxy->force_eject("v1"));
+  ASSERT_TRUE(us_proxy->force_recover("v1"));
+  // eu-west: marker + 512 retained; us-east: its 2 events, no marker.
+  EXPECT_EQ(pump.poll_once(), 515u);
+
+  std::vector<const engine::StatusEvent*> markers;
+  for (const engine::StatusEvent& event : forwarded) {
+    if (event.type == engine::StatusEvent::Type::kEventsLost) {
+      markers.push_back(&event);
+    }
+  }
+  ASSERT_EQ(markers.size(), 1u) << "loss must be charged to one region";
+  EXPECT_EQ(markers[0]->check, "eu-west");
+  EXPECT_EQ(markers[0]->value, 108.0);
+  EXPECT_NE(markers[0]->detail.find("eu-west"), std::string::npos);
+
+  // us-east's cursor was untouched by the eu-west overflow: everything
+  // drained, and another quiet pair forwards cleanly, marker-free.
+  EXPECT_EQ(pump.poll_once(), 0u);
+  forwarded.clear();
+  ASSERT_TRUE(us_proxy->force_eject("v1"));
+  ASSERT_TRUE(us_proxy->force_recover("v1"));
+  EXPECT_EQ(pump.poll_once(), 2u);
+  ASSERT_EQ(forwarded.size(), 2u);
+  EXPECT_EQ(forwarded[0].type, engine::StatusEvent::Type::kBackendEjected);
+  EXPECT_EQ(forwarded[1].type, engine::StatusEvent::Type::kBackendRecovered);
+}
+
 }  // namespace
 }  // namespace bifrost
